@@ -1,0 +1,329 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§V) and
+// the repository's ablation studies. Each benchmark runs the figure's full
+// computation per iteration and prints the figure's summary rows once, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the experiment pipeline and reproduces the reported series.
+// cmd/nomloc-bench prints the full-resolution tables.
+package nomloc_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/eval"
+)
+
+// benchOptions keeps per-iteration cost moderate while preserving the
+// figure shapes.
+func benchOptions() eval.Options {
+	return eval.Options{PacketsPerSite: 12, TrialsPerSite: 2, WalkSteps: 10, Seed: 1}
+}
+
+// printOnce guards per-benchmark summary printing.
+var printOnce sync.Map
+
+func once(key string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		f()
+	}
+}
+
+func mustScenario(b *testing.B, name string) *deploy.Scenario {
+	b.Helper()
+	scn, err := deploy.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scn
+}
+
+// BenchmarkFig3DelayProfile regenerates the LOS/NLOS channel response
+// delay profile (paper Fig. 3).
+func BenchmarkFig3DelayProfile(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFig3(scn, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig3", func() {
+			losPeak, nlosPeak := 0.0, 0.0
+			for _, y := range res.LOS.Y {
+				if y > losPeak {
+					losPeak = y
+				}
+			}
+			for _, y := range res.NLOS.Y {
+				if y > nlosPeak {
+					nlosPeak = y
+				}
+			}
+			fmt.Printf("\n[fig3] LOS link %s peak %.3e | NLOS link %s peak %.3e | ratio %.1f×\n",
+				res.LOSLink, losPeak, res.NLOSLink, nlosPeak, losPeak/nlosPeak)
+		})
+	}
+}
+
+// BenchmarkFig7ProximityAccuracy regenerates the per-site PDP proximity
+// accuracy (paper Fig. 7) for both scenarios.
+func BenchmarkFig7ProximityAccuracy(b *testing.B) {
+	for _, name := range deploy.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			scn := mustScenario(b, name)
+			opt := benchOptions()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.RunFig7(scn, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				once("fig7-"+name, func() {
+					fmt.Printf("\n[fig7 %s] accuracy per site:", name)
+					var mean float64
+					for _, s := range res.Sites {
+						fmt.Printf(" %.0f%%", 100*s.Accuracy())
+						mean += s.Accuracy()
+					}
+					fmt.Printf(" | mean %.0f%%\n", 100*mean/float64(len(res.Sites)))
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig8SLV regenerates the spatial localizability variance
+// comparison (paper Fig. 8).
+func BenchmarkFig8SLV(b *testing.B) {
+	for _, name := range deploy.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			scn := mustScenario(b, name)
+			opt := benchOptions()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.RunFig8(scn, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				once("fig8-"+name, func() {
+					fmt.Printf("\n[fig8 %s] SLV static %.2f → nomadic %.2f | mean error static %.2f m → nomadic %.2f m\n",
+						name, res.StaticSLV, res.NomadicSLV, res.StaticMean, res.NomadicMean)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig9ErrorCDF regenerates the error CDF comparison (paper
+// Fig. 9).
+func BenchmarkFig9ErrorCDF(b *testing.B) {
+	for _, name := range deploy.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			scn := mustScenario(b, name)
+			opt := benchOptions()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := eval.RunFig9(scn, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				once("fig9-"+name, func() {
+					s50, _ := res.Static.Percentile(0.5)
+					n50, _ := res.Nomadic.Percentile(0.5)
+					s90, _ := res.Static.Percentile(0.9)
+					n90, _ := res.Nomadic.Percentile(0.9)
+					fmt.Printf("\n[fig9 %s] median static %.2f m → nomadic %.2f m | p90 static %.2f m → nomadic %.2f m\n",
+						name, s50, n50, s90, n90)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig10PositionError regenerates the nomadic position-error
+// robustness study (paper Fig. 10).
+func BenchmarkFig10PositionError(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	ers := []float64{0, 1, 2, 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFig10(scn, opt, ers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig10", func() {
+			fmt.Printf("\n[fig10 lab] median error by ER:")
+			for j, er := range res.ERs {
+				med, _ := res.CDFs[j].Percentile(0.5)
+				fmt.Printf(" ER=%.0f→%.2fm", er, med)
+			}
+			fmt.Println()
+		})
+	}
+}
+
+// BenchmarkAblationCenterRule compares estimate-extraction rules
+// (DESIGN.md ablation).
+func BenchmarkAblationCenterRule(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunCenterRuleAblation(scn, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ab-center", func() { printAblation("center-rule", rows) })
+	}
+}
+
+// BenchmarkAblationSiteCount sweeps the nomadic waypoint count
+// (DESIGN.md ablation).
+func BenchmarkAblationSiteCount(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunSiteCountAblation(scn, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ab-sites", func() { printAblation("site-count", rows) })
+	}
+}
+
+// BenchmarkAblationConfidence compares f-derived vs uniform relaxation
+// weights (DESIGN.md ablation).
+func BenchmarkAblationConfidence(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunConfidenceAblation(scn, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ab-conf", func() { printAblation("confidence", rows) })
+	}
+}
+
+// BenchmarkAblationBaselines pits NomLoc against the comparator
+// algorithms (DESIGN.md ablation).
+func BenchmarkAblationBaselines(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunBaselineComparison(scn, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ab-base", func() { printAblation("baselines", rows) })
+	}
+}
+
+// BenchmarkExtMultiNomadic evaluates the paper's future-work extension:
+// aggregating multiple nomadic APs.
+func BenchmarkExtMultiNomadic(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunMultiNomadicExtension(scn, opt, []int{1, 2, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ext-multi", func() { printAblation("multi-nomadic", rows) })
+	}
+}
+
+// BenchmarkAblationPDPMethod compares the paper's max-tap PDP against the
+// MUSIC super-resolution estimator (DESIGN.md ablation).
+func BenchmarkAblationPDPMethod(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunPDPMethodAblation(scn, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ab-pdp", func() { printAblation("pdp-method", rows) })
+	}
+}
+
+// BenchmarkAblationFidelity sweeps the simulator's reflection order
+// (DESIGN.md ablation).
+func BenchmarkAblationFidelity(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFidelityAblation(scn, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ab-fid", func() { printAblation("sim-fidelity", rows) })
+	}
+}
+
+// BenchmarkAblationPairPolicy compares the paper's constraint families
+// against the AllPairs extension (DESIGN.md ablation).
+func BenchmarkAblationPairPolicy(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunPairPolicyAblation(scn, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ab-pairs", func() { printAblation("pair-policy", rows) })
+	}
+}
+
+// BenchmarkAblationPlacement compares as-is static, greedy-optimized
+// static, and nomadic deployments (the paper's §III argument).
+func BenchmarkAblationPlacement(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunPlacementAblation(scn, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ab-place", func() { printAblation("placement", rows) })
+	}
+}
+
+// BenchmarkExtMovingPatterns compares nomadic movement strategies (paper
+// §VI future work: the impact of moving patterns).
+func BenchmarkExtMovingPatterns(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunMovingPatterns(scn, opt, len(scn.Nomadic.Waypoints))
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ext-patterns", func() { printAblation("moving-patterns", rows) })
+	}
+}
+
+func printAblation(label string, rows []eval.AblationRow) {
+	fmt.Printf("\n[%s]", label)
+	for _, r := range rows {
+		fmt.Printf(" %s: mean %.2f m SLV %.2f |", r.Variant, r.MeanError, r.SLVValue)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,102 @@
+// Command nomloc-ap runs one access-point agent against a running
+// nomloc-server. The AP identity is looked up in the scenario, which
+// pins its position (static) or waypoint set (nomadic).
+//
+// Usage:
+//
+//	nomloc-ap -server 127.0.0.1:7100 -scenario lab -id ap2
+//	nomloc-ap -server 127.0.0.1:7100 -scenario lab -id ap1 -nomadic -er 1.0
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/nomloc/nomloc/internal/agent"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nomloc-ap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nomloc-ap", flag.ContinueOnError)
+	serverAddr := fs.String("server", "127.0.0.1:7100", "localization server address")
+	scenario := fs.String("scenario", "lab", "scenario the AP belongs to")
+	id := fs.String("id", "", "AP id (e.g. ap1..ap4; required)")
+	nomadic := fs.Bool("nomadic", false, "run as the nomadic AP (id must match the scenario's nomadic AP)")
+	er := fs.Float64("er", 0, "believed-position error range in meters (nomadic only)")
+	seed := fs.Int64("seed", 1, "mobility/error seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return errors.New("missing -id")
+	}
+
+	scn, err := deploy.ByName(*scenario)
+	if err != nil {
+		return err
+	}
+	var sites []geom.Vec
+	if *nomadic {
+		if scn.Nomadic.ID != *id {
+			return fmt.Errorf("scenario %q has nomadic AP %q, not %q", scn.Name, scn.Nomadic.ID, *id)
+		}
+		sites = scn.Nomadic.AllSites()
+	} else {
+		found := false
+		for _, ap := range scn.AllAPsStatic() {
+			if ap.ID == *id {
+				sites = []geom.Vec{ap.Pos}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("scenario %q has no AP %q", scn.Name, *id)
+		}
+	}
+
+	a, err := agent.DialAP(agent.APConfig{
+		ID:             *id,
+		ServerAddr:     *serverAddr,
+		Sites:          sites,
+		Nomadic:        *nomadic,
+		PositionErrorM: *er,
+		Seed:           *seed,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("nomloc-ap: %s registered with %s (nomadic=%v, %d sites)",
+		*id, *serverAddr, *nomadic, len(sites))
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- a.Run() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("nomloc-ap: %v, closing", s)
+		a.Close()
+		<-runErr
+		return nil
+	case err := <-runErr:
+		if errors.Is(err, agent.ErrClosed) {
+			return nil
+		}
+		return err
+	}
+}

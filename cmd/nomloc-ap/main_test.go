@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-id") {
+		t.Errorf("missing id err = %v", err)
+	}
+	if err := run([]string{"-id", "ap2", "-scenario", "warehouse"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-id", "ghost", "-scenario", "lab"}); err == nil {
+		t.Error("unknown AP id accepted")
+	}
+	// Nomadic flag with a static AP id.
+	if err := run([]string{"-id", "ap2", "-nomadic", "-scenario", "lab"}); err == nil {
+		t.Error("nomadic mismatch accepted")
+	}
+	// Valid identity but unreachable server.
+	if err := run([]string{"-id", "ap2", "-server", "127.0.0.1:1"}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

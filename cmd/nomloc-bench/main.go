@@ -1,0 +1,346 @@
+// Command nomloc-bench regenerates every figure of the paper's evaluation
+// (§V) plus the repository's ablation studies, printing the rows/series a
+// plotting script would consume. EXPERIMENTS.md is produced from this
+// tool's output.
+//
+// Usage:
+//
+//	nomloc-bench                  # everything
+//	nomloc-bench -fig 8           # one figure
+//	nomloc-bench -fig ablation    # the ablation suite
+//	nomloc-bench -packets 30 -trials 8 -seed 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nomloc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nomloc-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 3, 7, 8, 9, 10, ablation, ext, all")
+	packets := fs.Int("packets", 25, "probe packets per AP position")
+	trials := fs.Int("trials", 5, "localization trials per test site")
+	walk := fs.Int("walk", 10, "nomadic random-walk steps per round")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := eval.Options{
+		PacketsPerSite: *packets,
+		TrialsPerSite:  *trials,
+		WalkSteps:      *walk,
+		Seed:           *seed,
+	}
+
+	runners := map[string]func(eval.Options) error{
+		"3":        fig3,
+		"7":        fig7,
+		"8":        fig8,
+		"9":        fig9,
+		"10":       fig10,
+		"ablation": ablations,
+		"ext":      extension,
+	}
+	if *fig == "all" {
+		for _, key := range []string{"3", "7", "8", "9", "10", "ablation", "ext"} {
+			if err := runners[key](opt); err != nil {
+				return fmt.Errorf("fig %s: %w", key, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[*fig]
+	if !ok {
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	return r(opt)
+}
+
+func header(title string) {
+	fmt.Printf("\n================ %s ================\n", title)
+}
+
+func fig3(eval.Options) error {
+	header("Fig. 3 — channel response delay profile, LOS vs NLOS")
+	scn, err := deploy.Lab()
+	if err != nil {
+		return err
+	}
+	res, err := eval.RunFig3(scn, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LOS link:  %s\nNLOS link: %s\n", res.LOSLink, res.NLOSLink)
+	fmt.Printf("bin delay: %.2f ns\n\n", res.BinDelayNs)
+	fmt.Println("delay(ns)  LOS-amp      NLOS-amp")
+	// Print the first 1.5 µs like the paper's x-axis, decimated ×4.
+	for i := 0; i < len(res.LOS.X) && res.LOS.X[i] <= 1500; i += 4 {
+		fmt.Printf("%9.1f  %.4e  %.4e\n", res.LOS.X[i], res.LOS.Y[i], res.NLOS.Y[i])
+	}
+	losPeak, nlosPeak := maxOf(res.LOS.Y), maxOf(res.NLOS.Y)
+	fmt.Printf("\npeak power: LOS %.3e, NLOS %.3e (ratio %.1f×)\n",
+		losPeak, nlosPeak, losPeak/nlosPeak)
+	return nil
+}
+
+func fig7(opt eval.Options) error {
+	header("Fig. 7 — PDP-based proximity determination accuracy")
+	for _, name := range deploy.Names() {
+		scn, err := deploy.ByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := eval.RunFig7(scn, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s (%d sites, %d pairwise judgements per site per trial):\n",
+			name, len(res.Sites), 6)
+		fmt.Println("site  accuracy")
+		var mean float64
+		for i, s := range res.Sites {
+			fmt.Printf("%4d  %6.1f%%\n", i+1, 100*s.Accuracy())
+			mean += s.Accuracy()
+		}
+		fmt.Printf("mean  %6.1f%%\n", 100*mean/float64(len(res.Sites)))
+	}
+	return nil
+}
+
+func fig8(opt eval.Options) error {
+	header("Fig. 8 — spatial localizability variance, static vs nomadic")
+	fmt.Println("scenario  static-SLV  nomadic-SLV  static-mean(m)  nomadic-mean(m)")
+	for _, name := range deploy.Names() {
+		scn, err := deploy.ByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := eval.RunFig8(scn, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  %10.2f  %11.2f  %14.2f  %15.2f\n",
+			name, res.StaticSLV, res.NomadicSLV, res.StaticMean, res.NomadicMean)
+	}
+	return nil
+}
+
+func fig9(opt eval.Options) error {
+	header("Fig. 9 — localization error CDF, static vs nomadic")
+	for _, name := range deploy.Names() {
+		scn, err := deploy.ByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := eval.RunFig9(scn, opt)
+		if err != nil {
+			return err
+		}
+		maxErr := 5.0
+		if name == "lobby" {
+			maxErr = 10.0
+		}
+		fmt.Printf("\n%s:\nerror(m)  static-CDF  nomadic-CDF\n", name)
+		static := res.Static.Sample(maxErr, 10)
+		nomadic := res.Nomadic.Sample(maxErr, 10)
+		for i := range static {
+			fmt.Printf("%8.1f  %10.2f  %11.2f\n", static[i].X, static[i].P, nomadic[i].P)
+		}
+		s50, _ := res.Static.Percentile(0.5)
+		n50, _ := res.Nomadic.Percentile(0.5)
+		s90, _ := res.Static.Percentile(0.9)
+		n90, _ := res.Nomadic.Percentile(0.9)
+		fmt.Printf("median: static %.2f m, nomadic %.2f m | p90: static %.2f m, nomadic %.2f m\n",
+			s50, n50, s90, n90)
+	}
+	return nil
+}
+
+func fig10(opt eval.Options) error {
+	header("Fig. 10 — effect of nomadic-AP position error (ER)")
+	ers := []float64{0, 1, 2, 3}
+	for _, name := range deploy.Names() {
+		scn, err := deploy.ByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := eval.RunFig10(scn, opt, ers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s:\nER(m)  median(m)  p90(m)  mean(m)\n", name)
+		for i, er := range res.ERs {
+			med, err := res.CDFs[i].Percentile(0.5)
+			if err != nil {
+				return err
+			}
+			p90, err := res.CDFs[i].Percentile(0.9)
+			if err != nil {
+				return err
+			}
+			var sum float64
+			pts := res.CDFs[i].Points()
+			for _, p := range pts {
+				sum += p.X
+			}
+			fmt.Printf("%5.0f  %9.2f  %6.2f  %7.2f\n", er, med, p90, sum/float64(len(pts)))
+		}
+	}
+	return nil
+}
+
+func ablations(opt eval.Options) error {
+	header("Ablations (DESIGN.md §4)")
+	scn, err := deploy.Lab()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\ncenter rule (nomadic, lab):")
+	rows, err := eval.RunCenterRuleAblation(scn, opt)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	fmt.Println("\nnomadic site count (lab):")
+	rows, err = eval.RunSiteCountAblation(scn, opt)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	fmt.Println("\nconfidence weighting (nomadic, lab):")
+	rows, err = eval.RunConfidenceAblation(scn, opt)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	fmt.Println("\nbaseline comparison (static deployment, lab):")
+	rows, err = eval.RunBaselineComparisonMode(scn, opt, eval.StaticDeployment)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	fmt.Println("\nbaseline comparison (nomadic deployment, lab — all methods see the site anchors):")
+	rows, err = eval.RunBaselineComparisonMode(scn, opt, eval.NomadicDeployment)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	lobby, err := deploy.Lobby()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nbaseline comparison (nomadic deployment, lobby):")
+	rows, err = eval.RunBaselineComparisonMode(lobby, opt, eval.NomadicDeployment)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	fmt.Println("\nsimulator fidelity (reflection order, nomadic, lab):")
+	rows, err = eval.RunFidelityAblation(scn, opt)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	fmt.Println("\npair policy (nomadic, lab):")
+	rows, err = eval.RunPairPolicyAblation(scn, opt)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	fmt.Println("\nPDP estimator (nomadic, lab):")
+	rows, err = eval.RunPDPMethodAblation(scn, opt)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+
+	fmt.Println("\ndeployment optimization (paper §III argument, both scenarios):")
+	for _, name := range deploy.Names() {
+		s, err := deploy.ByName(name)
+		if err != nil {
+			return err
+		}
+		rows, err = eval.RunPlacementAblation(s, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", name)
+		printRows(rows)
+	}
+	return nil
+}
+
+func extension(opt eval.Options) error {
+	header("Extension — multiple nomadic APs (paper §VI future work)")
+	for _, name := range deploy.Names() {
+		scn, err := deploy.ByName(name)
+		if err != nil {
+			return err
+		}
+		rows, err := eval.RunMultiNomadicExtension(scn, opt, []int{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s:\n", name)
+		printRows(rows)
+	}
+
+	header("Extension — nomadic moving patterns (paper §VI future work)")
+	for _, name := range deploy.Names() {
+		scn, err := deploy.ByName(name)
+		if err != nil {
+			return err
+		}
+		// Small budgets separate the strategies: with enough moves every
+		// no-revisit pattern covers all waypoints and converges to the
+		// same anchor set.
+		for _, budget := range []int{1, 2, 3} {
+			rows, err := eval.RunMovingPatterns(scn, opt, budget)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n%s (move budget %d):\n", name, budget)
+			printRows(rows)
+		}
+	}
+	return nil
+}
+
+func printRows(rows []eval.AblationRow) {
+	fmt.Println("variant            mean-error(m)  SLV")
+	for _, r := range rows {
+		fmt.Printf("%-18s %13.2f  %5.2f\n", r.Variant, r.MeanError, r.SLVValue)
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	best := 0.0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigure(t *testing.T) {
+	// Figure 3 is cheap (no localization loop).
+	if err := run([]string{"-fig", "3"}); err != nil {
+		t.Fatalf("fig 3: %v", err)
+	}
+}
+
+func TestRunFig8Tiny(t *testing.T) {
+	if err := run([]string{"-fig", "8", "-packets", "5", "-trials", "1"}); err != nil {
+		t.Fatalf("fig 8: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	if got := maxOf([]float64{1, 5, 2}); got != 5 {
+		t.Errorf("maxOf = %v", got)
+	}
+	if got := maxOf(nil); got != 0 {
+		t.Errorf("maxOf(nil) = %v", got)
+	}
+}

@@ -1,0 +1,92 @@
+// Command nomloc-object runs the object agent: it transmits probe bursts
+// through a running nomloc-server to the registered APs and prints the
+// location estimates the server computes.
+//
+// Start the server and the four APs first (see cmd/nomloc-server and
+// cmd/nomloc-ap), then:
+//
+//	nomloc-object -server 127.0.0.1:7100 -scenario lab -x 6 -y 4.5 -rounds 6
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/nomloc/nomloc/internal/agent"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nomloc-object:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nomloc-object", flag.ContinueOnError)
+	serverAddr := fs.String("server", "127.0.0.1:7100", "localization server address")
+	scenario := fs.String("scenario", "lab", "scenario for the channel physics")
+	x := fs.Float64("x", 6, "object true x (m)")
+	y := fs.Float64("y", 4, "object true y (m)")
+	rounds := fs.Int("rounds", 6, "measurement rounds to run")
+	packets := fs.Int("packets", 25, "probe packets per round")
+	seed := fs.Int64("seed", 1, "noise seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scn, err := deploy.ByName(*scenario)
+	if err != nil {
+		return err
+	}
+	truth := geom.V(*x, *y)
+	if !scn.Area.Contains(truth) {
+		return fmt.Errorf("object position %v is outside the %s area", truth, scn.Name)
+	}
+	sim, err := scn.Simulator()
+	if err != nil {
+		return err
+	}
+
+	obj, err := agent.DialObject(agent.ObjectConfig{
+		ID:         "object-1",
+		ServerAddr: *serverAddr,
+		Pos:        truth,
+		Sim:        sim,
+		Packets:    *packets,
+		Seed:       *seed,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	for _, ap := range scn.AllAPsStatic() {
+		obj.RegisterAP(ap.ID, ap.Pos)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- obj.Run() }()
+
+	fmt.Printf("object at %v, %d rounds of %d packets via %s\n",
+		truth, *rounds, *packets, *serverAddr)
+	fmt.Println("round  estimate          error(m)  anchors")
+	for r := uint64(1); r <= uint64(*rounds); r++ {
+		est, err := obj.RunRound(r)
+		if err != nil {
+			obj.Close()
+			<-runErr
+			return fmt.Errorf("round %d: %w", r, err)
+		}
+		fmt.Printf("%5d  %-16v  %8.2f  %7d\n", r, est.Pos, est.Pos.Dist(truth), est.NumAnchors)
+	}
+
+	obj.Close()
+	if err := <-runErr; err != nil && !errors.Is(err, agent.ErrClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-scenario", "warehouse"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	// Position outside the area.
+	if err := run([]string{"-scenario", "lab", "-x", "99", "-y", "99"}); err == nil {
+		t.Error("outside position accepted")
+	}
+	// Valid position, unreachable server.
+	if err := run([]string{"-scenario", "lab", "-x", "6", "-y", "4", "-server", "127.0.0.1:1"}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	if err := run([]string{"-junkflag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

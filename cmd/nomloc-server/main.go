@@ -1,0 +1,97 @@
+// Command nomloc-server runs the localization server (the top tier of the
+// paper's Fig. 2 architecture) on a TCP address. AP agents
+// (cmd/nomloc-ap) and the object (cmd/nomloc-object) connect to it.
+//
+// Usage:
+//
+//	nomloc-server -addr 127.0.0.1:7100 -scenario lab
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nomloc-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nomloc-server", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7100", "listen address")
+	httpAddr := fs.String("http", "", "also serve the monitoring API (GET /healthz, /status, /estimates) on this address")
+	scenario := fs.String("scenario", "lab", "scenario providing the area of interest")
+	verbose := fs.Bool("v", false, "verbose logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scn, err := deploy.ByName(*scenario)
+	if err != nil {
+		return err
+	}
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		return err
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	srv, err := server.New(server.Config{ID: "nomloc-server", Localizer: loc, Logf: logf})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	log.Printf("nomloc-server: serving scenario %q on %s", scn.Name, ln.Addr())
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.StatusHandler()}
+		go func() {
+			log.Printf("nomloc-server: monitoring API on %s", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("nomloc-server: http: %v", err)
+			}
+		}()
+	}
+
+	// Serve until SIGINT/SIGTERM.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("nomloc-server: %v, shutting down", s)
+		if httpSrv != nil {
+			_ = httpSrv.Close()
+		}
+		srv.Shutdown()
+		<-serveErr
+		return nil
+	case err := <-serveErr:
+		if httpSrv != nil {
+			_ = httpSrv.Close()
+		}
+		return err
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-scenario", "warehouse"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}); err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Errorf("bad addr err = %v", err)
+	}
+	if err := run([]string{"-wat"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Command nomloc-sim runs one scenario end-to-end in-process and prints
+// per-site localization errors plus the summary metrics.
+//
+// Usage:
+//
+//	nomloc-sim -scenario lab -mode nomadic -trials 5
+//	nomloc-sim -scenario lobby -mode static -packets 40
+//	nomloc-sim -scenario lab -mode nomadic -er 2      # ER study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/dataset"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nomloc-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nomloc-sim", flag.ContinueOnError)
+	scenario := fs.String("scenario", "lab", "scenario: lab or lobby")
+	mode := fs.String("mode", "nomadic", "deployment: static or nomadic")
+	packets := fs.Int("packets", 25, "probe packets per AP position")
+	trials := fs.Int("trials", 5, "trials per test site")
+	walk := fs.Int("walk", 10, "nomadic random-walk steps")
+	er := fs.Float64("er", 0, "nomadic AP position error range in meters")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	mapSpacing := fs.Float64("map", 0, "also print a localizability heat map with this grid spacing in meters (0 = off)")
+	record := fs.String("record", "", "record the campaign's raw CSI batches to this file (gzip JSON)")
+	replay := fs.String("replay", "", "skip measurement and replay a recorded campaign file instead")
+	plan := fs.Bool("plan", false, "print the scenario floor plan before running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *replay != "" {
+		return replayCampaign(*replay, *scenario)
+	}
+
+	scn, err := deploy.ByName(*scenario)
+	if err != nil {
+		return err
+	}
+	var m eval.Mode
+	switch *mode {
+	case "static":
+		m = eval.StaticDeployment
+	case "nomadic":
+		m = eval.NomadicDeployment
+	default:
+		return fmt.Errorf("unknown -mode %q (want static or nomadic)", *mode)
+	}
+
+	h, err := eval.NewHarness(scn, eval.Options{
+		PacketsPerSite: *packets,
+		TrialsPerSite:  *trials,
+		WalkSteps:      *walk,
+		PositionErrorM: *er,
+		Seed:           *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *plan {
+		fmt.Print(scn.ASCII(0.5))
+		fmt.Println()
+	}
+	fmt.Printf("scenario %s — %d static APs, nomadic %s with %d waypoints, %d test sites\n",
+		scn.Name, len(scn.StaticAPs), scn.Nomadic.ID, len(scn.Nomadic.Waypoints), len(scn.TestSites))
+	fmt.Printf("mode %s, %d packets/site, %d trials/site, ER %.1f m, seed %d\n\n",
+		m, *packets, *trials, *er, *seed)
+
+	results, err := h.RunSites(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println("site  truth             mean-error(m)")
+	for i, r := range results {
+		fmt.Printf("%4d  %-16v  %12.2f\n", i+1, r.Site, r.MeanError)
+	}
+	errs := eval.MeanErrors(results)
+	cdf, err := eval.NewCDF(errs)
+	if err != nil {
+		return err
+	}
+	med, err := cdf.Percentile(0.5)
+	if err != nil {
+		return err
+	}
+	p90, err := cdf.Percentile(0.9)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmean %.2f m | median %.2f m | p90 %.2f m | SLV %.2f\n",
+		eval.Mean(errs), med, p90, eval.SLV(errs))
+
+	if *mapSpacing > 0 {
+		lm, err := h.RunLocalizabilityMap(m, *mapSpacing, *trials)
+		if err != nil {
+			return fmt.Errorf("localizability map: %w", err)
+		}
+		worstAt, worst := lm.WorstPoint()
+		fmt.Printf("\nlocalizability map (%d grid points, spacing %.1f m):\n%s",
+			len(lm.Points), lm.Spacing, lm.ASCII())
+		fmt.Printf("map mean %.2f m | map SLV %.2f | worst %.2f m at %v\n",
+			lm.MeanError(), lm.SLV(), worst, worstAt)
+	}
+
+	if *record != "" {
+		ds, err := h.RecordDataset(m)
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		if err := ds.SaveFile(*record); err != nil {
+			return err
+		}
+		fmt.Printf("\nrecorded %d rounds (%d CSI samples) to %s\n",
+			len(ds.Records), ds.NumSamples(), *record)
+	}
+	return nil
+}
+
+// replayCampaign re-runs the SP pipeline over a recorded campaign file.
+func replayCampaign(path, scenario string) error {
+	ds, err := dataset.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	if ds.Scenario != "" {
+		scenario = ds.Scenario
+	}
+	scn, err := deploy.ByName(scenario)
+	if err != nil {
+		return err
+	}
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		return err
+	}
+	results, err := eval.ReplayDataset(loc, ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d rounds from %s (scenario %s, mode %s)\n",
+		len(results), path, ds.Scenario, ds.Mode)
+	fmt.Println("round  truth             estimate          error(m)")
+	for i, r := range results {
+		fmt.Printf("%5d  %-16v  %-16v  %8.2f\n", i+1, r.Truth, r.Estimate, r.Error)
+	}
+	errs := eval.ReplayErrors(results)
+	fmt.Printf("\nmean %.2f m | SLV %.2f\n", eval.Mean(errs), eval.SLV(errs))
+	return nil
+}

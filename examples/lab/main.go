@@ -1,0 +1,74 @@
+// Command lab reproduces the Lab-scenario evaluation in one program: it
+// localizes all ten test sites under both deployments and prints the
+// per-site errors, the mean error, and the spatial localizability
+// variance (SLV) — the paper's headline comparison, at small scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nomloc "github.com/nomloc/nomloc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scn, err := nomloc.Lab()
+	if err != nil {
+		return err
+	}
+	h, err := nomloc.NewHarness(scn, nomloc.Options{
+		PacketsPerSite: 20,
+		TrialsPerSite:  5,
+		WalkSteps:      10,
+		Seed:           42,
+	})
+	if err != nil {
+		return err
+	}
+
+	static, err := h.RunSites(nomloc.StaticDeployment)
+	if err != nil {
+		return fmt.Errorf("static run: %w", err)
+	}
+	nomadic, err := h.RunSites(nomloc.NomadicDeployment)
+	if err != nil {
+		return fmt.Errorf("nomadic run: %w", err)
+	}
+
+	fmt.Println("Lab scenario — per-site mean localization error (m)")
+	fmt.Println("site  position          static  nomadic")
+	for i := range static {
+		fmt.Printf("%4d  %-16v  %6.2f  %7.2f\n",
+			i+1, static[i].Site, static[i].MeanError, nomadic[i].MeanError)
+	}
+
+	se := nomloc.MeanErrors(static)
+	ne := nomloc.MeanErrors(nomadic)
+	fmt.Printf("\nmean error:  static %.2f m   nomadic %.2f m\n", mean(se), mean(ne))
+	fmt.Printf("SLV (Eq.22): static %.2f     nomadic %.2f\n", nomloc.SLV(se), nomloc.SLV(ne))
+
+	// PDP proximity accuracy (paper Fig. 7).
+	prox, err := h.ProximityAccuracy()
+	if err != nil {
+		return fmt.Errorf("proximity: %w", err)
+	}
+	fmt.Println("\nPDP proximity accuracy per site (Fig. 7):")
+	for i, p := range prox {
+		fmt.Printf("%4d  %.0f%%\n", i+1, 100*p.Accuracy())
+	}
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,69 @@
+// Command lobby runs the L-shaped Lobby scenario and highlights the
+// non-convex handling: the area is decomposed into convex pieces, each
+// piece is solved with its own virtual-AP boundary constraints, and the
+// per-piece relaxation costs decide where the object is. It also sweeps
+// the nomadic AP's position error (the paper's §V-E robustness study).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nomloc "github.com/nomloc/nomloc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scn, err := nomloc.Lobby()
+	if err != nil {
+		return err
+	}
+
+	// Show the convex decomposition the localizer works with.
+	loc, err := nomloc.NewLocalizer(nomloc.LocalizerConfig{Area: scn.Area})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Lobby area %.0f m² decomposes into %d convex pieces:\n",
+		scn.Area.Area(), len(loc.Pieces()))
+	for i, p := range loc.Pieces() {
+		fmt.Printf("  piece %d: %v\n", i, p)
+	}
+
+	opt := nomloc.Options{PacketsPerSite: 20, TrialsPerSite: 4, WalkSteps: 10, Seed: 7}
+
+	// Static vs nomadic across all twelve test sites.
+	f8, err := nomloc.RunFig8(scn, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstatic : mean error %.2f m, SLV %.2f\n", f8.StaticMean, f8.StaticSLV)
+	fmt.Printf("nomadic: mean error %.2f m, SLV %.2f\n", f8.NomadicMean, f8.NomadicSLV)
+
+	// Robustness to nomadic position error (paper Fig. 10).
+	f10, err := nomloc.RunFig10(scn, opt, []float64{0, 1, 2, 3})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nnomadic position error sweep (Fig. 10):")
+	fmt.Println("ER(m)  median(m)  p90(m)")
+	for i, er := range f10.ERs {
+		med, err := f10.CDFs[i].Percentile(0.5)
+		if err != nil {
+			return err
+		}
+		p90, err := f10.CDFs[i].Percentile(0.9)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5.0f  %9.2f  %6.2f\n", er, med, p90)
+	}
+	fmt.Println("\nSmall ER barely moves the curves: the SP method does not depend")
+	fmt.Println("on precise AP coordinates the way range-based methods do (§V-E).")
+	return nil
+}

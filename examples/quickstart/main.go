@@ -1,0 +1,59 @@
+// Command quickstart is the smallest end-to-end NomLoc program: build the
+// Lab scenario, localize one object under the static benchmark and under
+// the nomadic deployment, and print both estimates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	nomloc "github.com/nomloc/nomloc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The Lab scenario digitizes the paper's Fig. 6(a): a cluttered
+	// 12 m × 8 m machine room with four APs, one of them nomadic.
+	scn, err := nomloc.Lab()
+	if err != nil {
+		return fmt.Errorf("build scenario: %w", err)
+	}
+
+	h, err := nomloc.NewHarness(scn, nomloc.Options{
+		PacketsPerSite: 25, // probe packets per AP position
+		WalkSteps:      10, // nomadic random-walk length
+		Seed:           2014,
+	})
+	if err != nil {
+		return fmt.Errorf("build harness: %w", err)
+	}
+
+	truth := nomloc.V(6.0, 4.5)
+	fmt.Printf("object truly at %v\n\n", truth)
+
+	rng := rand.New(rand.NewSource(1))
+	static, err := h.LocalizeOnce(truth, nomloc.StaticDeployment, rng)
+	if err != nil {
+		return fmt.Errorf("static localization: %w", err)
+	}
+	fmt.Printf("static deployment:  estimate %v  error %.2f m (judgements %d, relax cost %.3f)\n",
+		static.Position, static.Position.Dist(truth), static.NumJudgements, static.RelaxCost)
+
+	nomadic, err := h.LocalizeOnce(truth, nomloc.NomadicDeployment, rng)
+	if err != nil {
+		return fmt.Errorf("nomadic localization: %w", err)
+	}
+	fmt.Printf("nomadic deployment: estimate %v  error %.2f m (judgements %d, relax cost %.3f)\n",
+		nomadic.Position, nomadic.Position.Dist(truth), nomadic.NumJudgements, nomadic.RelaxCost)
+
+	fmt.Println("\nThe nomadic AP's extra waypoints add constraint families that")
+	fmt.Println("downscope the feasible region (paper §IV-B.3) — no calibration,")
+	fmt.Println("no radio map, no propagation-model fitting.")
+	return nil
+}

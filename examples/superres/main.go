@@ -1,0 +1,113 @@
+// Command superres demonstrates the MUSIC super-resolution extension: on
+// an NLOS link whose direct path and strongest reflection fall inside the
+// same 50 ns IFFT tap, the classic power delay profile reports one merged
+// arrival while MUSIC separates them and recovers each path's own power.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nomloc "github.com/nomloc/nomloc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scn, err := nomloc.Lab()
+	if err != nil {
+		return err
+	}
+	sim, err := scn.Simulator()
+	if err != nil {
+		return err
+	}
+	radio := scn.Radio.Radio
+
+	// Pick an NLOS link: a test site whose view of an AP is blocked.
+	var tx, rx nomloc.Vec
+	var desc string
+	found := false
+	for _, ap := range scn.AllAPsStatic() {
+		for si, site := range scn.TestSites {
+			if !scn.Env.HasLOS(site, ap.Pos) {
+				tx, rx = site, ap.Pos
+				desc = fmt.Sprintf("test site %d → %s (%.1f m, NLOS)", si+1, ap.ID, site.Dist(ap.Pos))
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("no NLOS link in the scenario")
+	}
+	fmt.Println("link:", desc)
+
+	// The physical ground truth from the simulator.
+	fmt.Println("\ntrue propagation paths (simulator):")
+	fmt.Println("kind       delay(ns)  gain(dB)  walls")
+	for _, p := range sim.Paths(tx, rx) {
+		fmt.Printf("%-9s  %9.1f  %8.1f  %5d\n", p.Kind, p.Delay*1e9, p.GainDB, p.WallsCrossed)
+	}
+
+	h := sim.Response(tx, rx)
+
+	// Classic estimator: max tap of the IFFT power delay profile.
+	power, tap, err := nomloc.DirectPathPower(h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmax-tap PDP: %.3e at tap %d (±%.0f ns resolution — paths inside one tap merge)\n",
+		power, tap, radio.DelayResolution()*1e9)
+
+	// Super-resolution: MUSIC delays + least-squares powers.
+	cfg := nomloc.MusicConfig{
+		SubcarrierSpacing: radio.SubcarrierSpacing(),
+		NumPaths:          3,
+	}
+	paths, err := nomloc.EstimatePathsMUSIC(h, cfg, radio.MaxUnambiguousDelay()/3, 1e-9)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nMUSIC-resolved paths (1 ns grid):")
+	fmt.Println("delay(ns)  power")
+	for _, p := range paths {
+		fmt.Printf("%9.1f  %.3e\n", p.Delay*1e9, p.Power)
+	}
+	firstPower, delay, err := firstPath(h, cfg, radio)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsuper-resolved direct path: %.3e at %.1f ns\n", firstPower, delay*1e9)
+	fmt.Println("\nThe direct path's own power — not the merged tap — is what the")
+	fmt.Println("PDP proximity comparison ideally wants under NLOS (run the")
+	fmt.Println("'pdp=music' ablation in cmd/nomloc-bench to see the system effect).")
+	return nil
+}
+
+// firstPath wraps the facade call with the example's parameters.
+func firstPath(h nomloc.CSIVector, cfg nomloc.MusicConfig, radio nomloc.CSIConfig) (float64, float64, error) {
+	paths, err := nomloc.EstimatePathsMUSIC(h, cfg, radio.MaxUnambiguousDelay()/3, 1e-9)
+	if err != nil {
+		return 0, 0, err
+	}
+	strongest := 0.0
+	for _, p := range paths {
+		if p.Power > strongest {
+			strongest = p.Power
+		}
+	}
+	for _, p := range paths {
+		if p.Power >= strongest/31.6 { // 15 dB dynamic range
+			return p.Power, p.Delay, nil
+		}
+	}
+	return paths[0].Power, paths[0].Delay, nil
+}

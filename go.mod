@@ -1,0 +1,3 @@
+module github.com/nomloc/nomloc
+
+go 1.22

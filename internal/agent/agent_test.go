@@ -1,0 +1,356 @@
+package agent
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// testbed spins up a full system on localhost TCP: server, the Lab
+// scenario's four APs (AP1 nomadic), and an object.
+type testbed struct {
+	srv    *server.Server
+	addr   string
+	scn    *deploy.Scenario
+	aps    []*APAgent
+	object *ObjectAgent
+	wg     sync.WaitGroup
+}
+
+func newTestbed(t *testing.T, objPos geom.Vec, positionError float64) *testbed {
+	t.Helper()
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Localizer: loc, RoundTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := &testbed{srv: srv, addr: ln.Addr().String(), scn: scn}
+	tb.wg.Add(1)
+	go func() {
+		defer tb.wg.Done()
+		if err := srv.Serve(ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	// Static APs.
+	for i, ap := range scn.StaticAPs {
+		a, err := DialAP(APConfig{
+			ID:         ap.ID,
+			ServerAddr: tb.addr,
+			Sites:      []geom.Vec{ap.Pos},
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.aps = append(tb.aps, a)
+	}
+	// Nomadic AP.
+	nom, err := DialAP(APConfig{
+		ID:             scn.Nomadic.ID,
+		ServerAddr:     tb.addr,
+		Sites:          scn.Nomadic.AllSites(),
+		Nomadic:        true,
+		PositionErrorM: positionError,
+		Seed:           99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.aps = append(tb.aps, nom)
+	for _, a := range tb.aps {
+		a := a
+		tb.wg.Add(1)
+		go func() {
+			defer tb.wg.Done()
+			if err := a.Run(); !errors.Is(err, ErrClosed) {
+				t.Errorf("ap run: %v", err)
+			}
+		}()
+	}
+
+	sim, err := scn.Simulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := DialObject(ObjectConfig{
+		ID:         "obj1",
+		ServerAddr: tb.addr,
+		Pos:        objPos,
+		Sim:        sim,
+		Packets:    9,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.object = obj
+	for _, ap := range scn.AllAPsStatic() {
+		obj.RegisterAP(ap.ID, ap.Pos)
+	}
+	tb.wg.Add(1)
+	go func() {
+		defer tb.wg.Done()
+		if err := obj.Run(); !errors.Is(err, ErrClosed) {
+			t.Errorf("object run: %v", err)
+		}
+	}()
+
+	t.Cleanup(func() {
+		tb.object.Close()
+		for _, a := range tb.aps {
+			a.Close()
+		}
+		tb.srv.Shutdown()
+		tb.wg.Wait()
+	})
+	return tb
+}
+
+func TestEndToEndSingleRound(t *testing.T) {
+	objPos := geom.V(6, 4)
+	tb := newTestbed(t, objPos, 0)
+
+	est, err := tb.object.RunRound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ObjectID != "obj1" || est.RoundID != 1 {
+		t.Errorf("estimate meta = %+v", est)
+	}
+	if !tb.scn.Area.Contains(est.Pos) {
+		t.Errorf("estimate %v outside area", est.Pos)
+	}
+	if est.NumAnchors != 4 {
+		t.Errorf("anchors = %d, want 4 (first round: 4 APs)", est.NumAnchors)
+	}
+	if d := est.Pos.Dist(objPos); d > 8 {
+		t.Errorf("single-round error %v m implausible", d)
+	}
+}
+
+func TestEndToEndNomadicRoundsImprove(t *testing.T) {
+	objPos := geom.V(6, 4)
+	tb := newTestbed(t, objPos, 0)
+
+	var first, last wire.Estimate
+	var err error
+	const rounds = 6
+	for r := uint64(1); r <= rounds; r++ {
+		est, err2 := tb.object.RunRound(r)
+		if err2 != nil {
+			t.Fatalf("round %d: %v", r, err2)
+		}
+		if r == 1 {
+			first = est
+		}
+		last = est
+	}
+	_ = err
+
+	// As the nomadic AP visits more sites, the anchor count must grow.
+	if last.NumAnchors <= first.NumAnchors {
+		t.Errorf("anchors did not grow: %d → %d", first.NumAnchors, last.NumAnchors)
+	}
+	// Over all estimates, the server should have produced one per round.
+	ests := tb.srv.Estimates()
+	if len(ests) != rounds {
+		t.Errorf("server recorded %d estimates, want %d", len(ests), rounds)
+	}
+	if d := last.Pos.Dist(objPos); d > 6 {
+		t.Errorf("final error %v m too large", d)
+	}
+}
+
+func TestEndToEndWithPositionError(t *testing.T) {
+	objPos := geom.V(6, 4)
+	tb := newTestbed(t, objPos, 1.5)
+	for r := uint64(1); r <= 4; r++ {
+		est, err := tb.object.RunRound(r)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if !tb.scn.Area.Contains(est.Pos) {
+			t.Errorf("round %d: estimate outside area", r)
+		}
+	}
+}
+
+func TestDialAPValidation(t *testing.T) {
+	if _, err := DialAP(APConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty config err = %v", err)
+	}
+	if _, err := DialAP(APConfig{ID: "x", Sites: []geom.Vec{{X: 1}}, Nomadic: true}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nomadic single-site err = %v", err)
+	}
+	// Unreachable server.
+	if _, err := DialAP(APConfig{ID: "x", ServerAddr: "127.0.0.1:1", Sites: []geom.Vec{{X: 1}}}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestDialObjectValidation(t *testing.T) {
+	if _, err := DialObject(ObjectConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty config err = %v", err)
+	}
+}
+
+func TestRunRoundWithoutAPs(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Localizer: loc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Shutdown()
+		<-done
+	}()
+
+	sim, err := scn.Simulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := DialObject(ObjectConfig{ID: "o", ServerAddr: ln.Addr().String(), Pos: geom.V(1, 1), Sim: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objDone := make(chan struct{})
+	go func() {
+		defer close(objDone)
+		_ = obj.Run()
+	}()
+	defer func() {
+		obj.Close()
+		<-objDone
+	}()
+
+	if _, err := obj.RunRound(1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("round without APs err = %v", err)
+	}
+}
+
+func TestAPTruePosTracksMovement(t *testing.T) {
+	tb := newTestbed(t, geom.V(6, 4), 0)
+	nomadic := tb.aps[len(tb.aps)-1]
+	home := nomadic.TruePos()
+	// Drive several rounds; the nomadic AP moves after each report.
+	for r := uint64(1); r <= 5; r++ {
+		if _, err := tb.object.RunRound(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := nomadic.TruePos() != home
+	// With a uniform chain over 4 sites, staying home 5 times has
+	// probability 4⁻⁵ ≈ 0.1%; treat it as a failure.
+	if !moved {
+		t.Error("nomadic AP never moved in 5 rounds")
+	}
+}
+
+func TestViewerReceivesEstimates(t *testing.T) {
+	tb := newTestbed(t, geom.V(6, 4), 0)
+
+	viewer, err := DialViewer(ViewerConfig{ID: "dashboard", ServerAddr: tb.addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewerDone := make(chan struct{})
+	go func() {
+		defer close(viewerDone)
+		if err := viewer.Run(); !errors.Is(err, ErrClosed) {
+			t.Errorf("viewer run: %v", err)
+		}
+	}()
+	defer func() {
+		viewer.Close()
+		<-viewerDone
+	}()
+
+	const rounds = 3
+	for r := uint64(1); r <= rounds; r++ {
+		if _, err := tb.object.RunRound(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The viewer must observe all broadcast estimates.
+	seen := map[uint64]bool{}
+	for i := 0; i < rounds; i++ {
+		select {
+		case est := <-viewer.Estimates():
+			seen[est.RoundID] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("viewer saw only %d/%d estimates", len(seen), rounds)
+		}
+	}
+	for r := uint64(1); r <= rounds; r++ {
+		if !seen[r] {
+			t.Errorf("round %d estimate never reached the viewer", r)
+		}
+	}
+}
+
+func TestDialViewerValidation(t *testing.T) {
+	if _, err := DialViewer(ViewerConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty config err = %v", err)
+	}
+	if _, err := DialViewer(ViewerConfig{ID: "v", ServerAddr: "127.0.0.1:1"}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestObjectSetPosTracking(t *testing.T) {
+	tb := newTestbed(t, geom.V(6, 4), 0)
+	if got := tb.object.Pos(); got != geom.V(6, 4) {
+		t.Errorf("Pos = %v", got)
+	}
+	// Move the object between rounds (tracking use case): subsequent
+	// rounds must localize near the new truth.
+	newPos := geom.V(3, 6)
+	tb.object.SetPos(newPos)
+	if got := tb.object.Pos(); got != newPos {
+		t.Errorf("Pos after SetPos = %v", got)
+	}
+	est, err := tb.object.RunRound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est.Pos.Dist(newPos); d > 8 {
+		t.Errorf("estimate %v is %v m from the moved object", est.Pos, d)
+	}
+}

@@ -1,0 +1,302 @@
+// Package agent implements the client tiers of the NomLoc architecture:
+// access-point agents (static and nomadic) and the object agent. Agents
+// connect to the localization server over the wire protocol; the object
+// agent doubles as the physics layer, synthesizing the CSI each AP would
+// capture for its probe transmissions (on real hardware the radio channel
+// does this job — see DESIGN.md §2).
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// Agent errors.
+var (
+	ErrRejected   = errors.New("agent: server rejected hello")
+	ErrBadConfig  = errors.New("agent: invalid config")
+	ErrClosed     = errors.New("agent: closed")
+	ErrNoEstimate = errors.New("agent: no estimate before deadline")
+)
+
+// handshake dials the server and performs the hello exchange.
+func handshake(addr string, hello *wire.Hello) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: dial %s: %w", addr, err)
+	}
+	if err := wire.WriteMessage(conn, hello); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("agent: hello: %w", err)
+	}
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("agent: hello ack: %w", err)
+	}
+	ack, ok := msg.(*wire.HelloAck)
+	if !ok {
+		_ = conn.Close()
+		return nil, fmt.Errorf("%w: got %q instead of ack", ErrRejected, msg.Type())
+	}
+	if !ack.OK {
+		_ = conn.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRejected, ack.Detail)
+	}
+	return conn, nil
+}
+
+// APConfig parameterizes an AP agent.
+type APConfig struct {
+	// ID is the AP identity.
+	ID string
+	// ServerAddr is the localization server address.
+	ServerAddr string
+	// Sites are the AP's possible positions. Static APs have exactly one;
+	// nomadic APs list home first, then the waypoints.
+	Sites []geom.Vec
+	// Nomadic enables movement between rounds over Sites.
+	Nomadic bool
+	// PositionErrorM displaces the *believed* position reported to the
+	// server by a uniform-disk error (the paper's ER study). The true
+	// position — which physics uses — is unaffected.
+	PositionErrorM float64
+	// Seed drives the mobility walk and the error injection.
+	Seed int64
+	// Logf, when set, receives diagnostic log lines.
+	Logf func(format string, args ...any)
+}
+
+// APAgent is a connected access point.
+type APAgent struct {
+	cfg   APConfig
+	conn  net.Conn
+	chain *mobility.Chain
+	rng   *rand.Rand
+
+	mu       sync.Mutex
+	writeMu  sync.Mutex
+	curSite  int
+	believed geom.Vec
+	rounds   map[uint64]*apRound
+	closed   bool
+
+	done chan struct{}
+}
+
+// apRound accumulates one round's probe frames.
+type apRound struct {
+	packets  int // 0 until RoundStart arrives
+	samples  []csi.Sample
+	reported bool
+}
+
+// DialAP connects an AP agent to the server and registers it. Call Run to
+// process traffic.
+func DialAP(cfg APConfig) (*APAgent, error) {
+	if cfg.ID == "" || len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("%w: need id and at least one site", ErrBadConfig)
+	}
+	if cfg.Nomadic && len(cfg.Sites) < 2 {
+		return nil, fmt.Errorf("%w: nomadic AP needs ≥ 2 sites", ErrBadConfig)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &APAgent{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rounds: make(map[uint64]*apRound),
+		done:   make(chan struct{}),
+	}
+	if cfg.Nomadic {
+		chain, err := mobility.UniformChain(cfg.Sites)
+		if err != nil {
+			return nil, err
+		}
+		a.chain = chain
+	}
+	var err error
+	a.believed, err = mobility.PerturbUniformDisk(cfg.Sites[0], cfg.PositionErrorM, a.rng)
+	if err != nil {
+		return nil, err
+	}
+
+	conn, err := handshake(cfg.ServerAddr, &wire.Hello{
+		Role: wire.RoleAP, ID: cfg.ID, Pos: cfg.Sites[0], SiteIndex: 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.conn = conn
+	return a, nil
+}
+
+// TruePos returns the AP's current physical position.
+func (a *APAgent) TruePos() geom.Vec {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg.Sites[a.curSite]
+}
+
+// send serializes writes to the server.
+func (a *APAgent) send(msg wire.Message) error {
+	a.writeMu.Lock()
+	defer a.writeMu.Unlock()
+	return wire.WriteMessage(a.conn, msg)
+}
+
+// Run processes server traffic until the connection closes or Close is
+// called. It always returns a non-nil reason; after Close it returns
+// ErrClosed.
+func (a *APAgent) Run() error {
+	defer close(a.done)
+	for {
+		msg, err := wire.ReadMessage(a.conn)
+		if err != nil {
+			a.mu.Lock()
+			closed := a.closed
+			a.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return fmt.Errorf("agent: read: %w", err)
+		}
+		switch m := msg.(type) {
+		case *wire.RoundStart:
+			a.onRoundStart(m)
+		case *wire.ProbeFrame:
+			a.onProbeFrame(m)
+		case *wire.ErrorMsg:
+			a.cfg.Logf("ap %s: server error: %s", a.cfg.ID, m.Detail)
+		default:
+			a.cfg.Logf("ap %s: ignoring %q", a.cfg.ID, msg.Type())
+		}
+	}
+}
+
+// Close shuts the agent down and waits for Run to exit.
+func (a *APAgent) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		<-a.done
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	_ = a.conn.Close()
+	<-a.done
+}
+
+func (a *APAgent) onRoundStart(m *wire.RoundStart) {
+	a.mu.Lock()
+	r := a.rounds[m.RoundID]
+	if r == nil {
+		r = &apRound{}
+		a.rounds[m.RoundID] = r
+	}
+	r.packets = m.Packets
+	ready := r.ready()
+	a.mu.Unlock()
+	if ready {
+		a.report(m.RoundID)
+	}
+}
+
+func (a *APAgent) onProbeFrame(m *wire.ProbeFrame) {
+	if m.To != a.cfg.ID {
+		return
+	}
+	a.mu.Lock()
+	r := a.rounds[m.RoundID]
+	if r == nil {
+		r = &apRound{}
+		a.rounds[m.RoundID] = r
+	}
+	r.samples = append(r.samples, csi.Sample{
+		APID:       a.cfg.ID,
+		Seq:        m.Seq,
+		CapturedAt: time.Now(),
+		RSSI:       m.RSSI,
+		CSI:        m.CSI,
+	})
+	ready := r.ready()
+	a.mu.Unlock()
+	if ready {
+		a.report(m.RoundID)
+	}
+}
+
+// ready reports whether the round has all frames and a known burst length
+// and has not been reported yet. Callers must hold the mutex.
+func (r *apRound) ready() bool {
+	return !r.reported && r.packets > 0 && len(r.samples) >= r.packets
+}
+
+// report sends the accumulated burst to the server and, for nomadic APs,
+// moves to the next waypoint.
+func (a *APAgent) report(roundID uint64) {
+	a.mu.Lock()
+	r := a.rounds[roundID]
+	if r == nil || r.reported {
+		a.mu.Unlock()
+		return
+	}
+	r.reported = true
+	samples := r.samples
+	site := a.curSite
+	believed := a.believed
+	delete(a.rounds, roundID)
+	a.mu.Unlock()
+
+	rep := &wire.CSIReport{
+		RoundID:   roundID,
+		APID:      a.cfg.ID,
+		SiteIndex: site,
+		Pos:       believed,
+		Nomadic:   a.cfg.Nomadic,
+		Batch:     csi.Batch{APID: a.cfg.ID, SiteIndex: site, Samples: samples},
+	}
+	if err := a.send(rep); err != nil {
+		a.cfg.Logf("ap %s: report: %v", a.cfg.ID, err)
+		return
+	}
+	if a.cfg.Nomadic {
+		a.move()
+	}
+}
+
+// move steps the mobility chain and announces the new position. The
+// announcement carries the TRUE position (it feeds the object's physics);
+// the believed position used in reports picks up the configured error.
+func (a *APAgent) move() {
+	a.mu.Lock()
+	next, err := a.chain.Step(a.curSite, a.rng)
+	if err != nil {
+		a.mu.Unlock()
+		a.cfg.Logf("ap %s: move: %v", a.cfg.ID, err)
+		return
+	}
+	a.curSite = next
+	truePos := a.cfg.Sites[next]
+	a.believed, err = mobility.PerturbUniformDisk(truePos, a.cfg.PositionErrorM, a.rng)
+	if err != nil {
+		a.believed = truePos
+	}
+	site := a.curSite
+	a.mu.Unlock()
+
+	if err := a.send(&wire.PositionUpdate{APID: a.cfg.ID, SiteIndex: site, Pos: truePos}); err != nil {
+		a.cfg.Logf("ap %s: position update: %v", a.cfg.ID, err)
+	}
+}

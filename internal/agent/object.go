@@ -1,0 +1,209 @@
+package agent
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/channel"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// ObjectConfig parameterizes the object agent.
+type ObjectConfig struct {
+	// ID is the object identity.
+	ID string
+	// ServerAddr is the localization server address.
+	ServerAddr string
+	// Pos is the object's true position (what the system should find).
+	Pos geom.Vec
+	// Sim is the channel physics used to synthesize the CSI each AP
+	// captures for the object's probes.
+	Sim *channel.Simulator
+	// Packets is the burst length per round. Defaults to 25.
+	Packets int
+	// RoundTimeout bounds the wait for the server's estimate. Defaults
+	// to 10 s.
+	RoundTimeout time.Duration
+	// Seed drives measurement noise.
+	Seed int64
+	// Logf, when set, receives diagnostic log lines.
+	Logf func(format string, args ...any)
+}
+
+// ObjectAgent is the connected object: it transmits probe bursts and
+// receives location estimates.
+type ObjectAgent struct {
+	cfg  ObjectConfig
+	conn net.Conn
+	rng  *rand.Rand
+
+	mu      sync.Mutex
+	writeMu sync.Mutex
+	apPos   map[string]geom.Vec // true AP positions for physics
+	closed  bool
+
+	estimates chan wire.Estimate
+	done      chan struct{}
+}
+
+// DialObject connects the object agent and registers it. Call Run (in a
+// goroutine) before starting rounds.
+func DialObject(cfg ObjectConfig) (*ObjectAgent, error) {
+	if cfg.ID == "" || cfg.Sim == nil {
+		return nil, fmt.Errorf("%w: need id and simulator", ErrBadConfig)
+	}
+	if cfg.Packets <= 0 {
+		cfg.Packets = 25
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	conn, err := handshake(cfg.ServerAddr, &wire.Hello{Role: wire.RoleObject, ID: cfg.ID})
+	if err != nil {
+		return nil, err
+	}
+	return &ObjectAgent{
+		cfg:       cfg,
+		conn:      conn,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		apPos:     make(map[string]geom.Vec),
+		estimates: make(chan wire.Estimate, 16),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// RegisterAP tells the object's physics layer where an AP currently is
+// (true position). Nomadic APs keep this fresh via PositionUpdate.
+func (o *ObjectAgent) RegisterAP(id string, pos geom.Vec) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.apPos[id] = pos
+}
+
+// send serializes writes to the server.
+func (o *ObjectAgent) send(msg wire.Message) error {
+	o.writeMu.Lock()
+	defer o.writeMu.Unlock()
+	return wire.WriteMessage(o.conn, msg)
+}
+
+// Run processes server traffic until the connection closes or Close is
+// called.
+func (o *ObjectAgent) Run() error {
+	defer close(o.done)
+	for {
+		msg, err := wire.ReadMessage(o.conn)
+		if err != nil {
+			o.mu.Lock()
+			closed := o.closed
+			o.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return fmt.Errorf("agent: read: %w", err)
+		}
+		switch m := msg.(type) {
+		case *wire.PositionUpdate:
+			o.mu.Lock()
+			o.apPos[m.APID] = m.Pos
+			o.mu.Unlock()
+		case *wire.Estimate:
+			select {
+			case o.estimates <- *m:
+			default:
+				o.cfg.Logf("object %s: estimate buffer full, dropping round %d", o.cfg.ID, m.RoundID)
+			}
+		case *wire.ErrorMsg:
+			o.cfg.Logf("object %s: server error: %s", o.cfg.ID, m.Detail)
+		default:
+			o.cfg.Logf("object %s: ignoring %q", o.cfg.ID, msg.Type())
+		}
+	}
+}
+
+// Close shuts the agent down and waits for Run to exit.
+func (o *ObjectAgent) Close() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		<-o.done
+		return
+	}
+	o.closed = true
+	o.mu.Unlock()
+	_ = o.conn.Close()
+	<-o.done
+}
+
+// SetPos moves the object (tracking scenarios).
+func (o *ObjectAgent) SetPos(p geom.Vec) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.cfg.Pos = p
+}
+
+// Pos returns the object's current true position.
+func (o *ObjectAgent) Pos() geom.Vec {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cfg.Pos
+}
+
+// RunRound executes one measurement round: announce, transmit the probe
+// burst to every known AP, and wait for the server's estimate.
+func (o *ObjectAgent) RunRound(roundID uint64) (wire.Estimate, error) {
+	o.mu.Lock()
+	aps := make(map[string]geom.Vec, len(o.apPos))
+	for id, p := range o.apPos {
+		aps[id] = p
+	}
+	objPos := o.cfg.Pos
+	o.mu.Unlock()
+	if len(aps) == 0 {
+		return wire.Estimate{}, fmt.Errorf("%w: no APs registered with the object's physics layer", ErrBadConfig)
+	}
+
+	if err := o.send(&wire.RoundStart{RoundID: roundID, ObjectID: o.cfg.ID, Packets: o.cfg.Packets}); err != nil {
+		return wire.Estimate{}, fmt.Errorf("agent: round start: %w", err)
+	}
+	// Transmit the burst: for each packet, every AP hears its own channel
+	// realization of the same probe.
+	for seq := 0; seq < o.cfg.Packets; seq++ {
+		for id, apPos := range aps {
+			frame := &wire.ProbeFrame{
+				RoundID: roundID,
+				To:      id,
+				Seq:     uint64(seq),
+				RSSI:    o.cfg.Sim.RSSI(objPos, apPos) + o.rng.NormFloat64()*1.5,
+				CSI:     o.cfg.Sim.Measure(objPos, apPos, o.rng),
+			}
+			if err := o.send(frame); err != nil {
+				return wire.Estimate{}, fmt.Errorf("agent: probe frame: %w", err)
+			}
+		}
+	}
+
+	deadline := time.NewTimer(o.cfg.RoundTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case est := <-o.estimates:
+			if est.RoundID != roundID {
+				// A stale estimate from an earlier round; keep waiting.
+				continue
+			}
+			return est, nil
+		case <-deadline.C:
+			return wire.Estimate{}, fmt.Errorf("%w: round %d", ErrNoEstimate, roundID)
+		case <-o.done:
+			return wire.Estimate{}, ErrClosed
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package agent
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// ViewerConfig parameterizes a viewer agent — a read-only client (a
+// dashboard, a logger, the "merchant analytics" consumer of the paper's
+// ILBS motivation) that subscribes to the server's location estimates.
+type ViewerConfig struct {
+	// ID is the viewer identity.
+	ID string
+	// ServerAddr is the localization server address.
+	ServerAddr string
+	// Buffer is the estimate channel capacity. Defaults to 64.
+	Buffer int
+	// Logf, when set, receives diagnostic log lines.
+	Logf func(format string, args ...any)
+}
+
+// ViewerAgent receives every location estimate the server broadcasts.
+type ViewerAgent struct {
+	cfg  ViewerConfig
+	conn net.Conn
+
+	mu     sync.Mutex
+	closed bool
+
+	estimates chan wire.Estimate
+	done      chan struct{}
+}
+
+// DialViewer connects a viewer and registers it. Call Run (in a
+// goroutine) and consume Estimates.
+func DialViewer(cfg ViewerConfig) (*ViewerAgent, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("%w: need id", ErrBadConfig)
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	conn, err := handshake(cfg.ServerAddr, &wire.Hello{Role: wire.RoleViewer, ID: cfg.ID})
+	if err != nil {
+		return nil, err
+	}
+	return &ViewerAgent{
+		cfg:       cfg,
+		conn:      conn,
+		estimates: make(chan wire.Estimate, cfg.Buffer),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Estimates returns the stream of received estimates. The channel is
+// closed when Run exits.
+func (v *ViewerAgent) Estimates() <-chan wire.Estimate { return v.estimates }
+
+// Run processes server traffic until the connection closes or Close is
+// called.
+func (v *ViewerAgent) Run() error {
+	defer close(v.done)
+	defer close(v.estimates)
+	for {
+		msg, err := wire.ReadMessage(v.conn)
+		if err != nil {
+			v.mu.Lock()
+			closed := v.closed
+			v.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return fmt.Errorf("agent: read: %w", err)
+		}
+		switch m := msg.(type) {
+		case *wire.Estimate:
+			select {
+			case v.estimates <- *m:
+			default:
+				v.cfg.Logf("viewer %s: buffer full, dropping round %d", v.cfg.ID, m.RoundID)
+			}
+		case *wire.ErrorMsg:
+			v.cfg.Logf("viewer %s: server error: %s", v.cfg.ID, m.Detail)
+		default:
+			v.cfg.Logf("viewer %s: ignoring %q", v.cfg.ID, msg.Type())
+		}
+	}
+}
+
+// Close shuts the viewer down and waits for Run to exit.
+func (v *ViewerAgent) Close() {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		<-v.done
+		return
+	}
+	v.closed = true
+	v.mu.Unlock()
+	_ = v.conn.Close()
+	<-v.done
+}

@@ -1,0 +1,187 @@
+// Package baseline implements the comparator localization algorithms the
+// ablation benches pit against NomLoc's SP-based method:
+//
+//   - nearest-AP snapping (the crudest proximity scheme),
+//   - RSS/PDP weighted centroid,
+//   - FILA-style log-distance ranging plus linear least-squares
+//     trilateration — the "range-based" class the paper argues needs
+//     calibration (the propagation-model parameters must be fitted to the
+//     venue, which CalibrateRangingModel does explicitly).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// Anchor is a reference point with the received power the object's signal
+// produced there.
+type Anchor struct {
+	// Pos is the anchor position.
+	Pos geom.Vec
+	// PowerDBm is the received power in dBm (PDP or RSS, caller's choice).
+	PowerDBm float64
+}
+
+// Errors returned by the package.
+var (
+	ErrNoAnchors     = errors.New("baseline: need at least one anchor")
+	ErrTooFewAnchors = errors.New("baseline: too few anchors")
+	ErrBadModel      = errors.New("baseline: invalid ranging model")
+	ErrSingular      = errors.New("baseline: degenerate anchor geometry")
+	ErrBadSamples    = errors.New("baseline: unusable calibration samples")
+)
+
+// NearestAP returns the position of the strongest anchor.
+func NearestAP(anchors []Anchor) (geom.Vec, error) {
+	if len(anchors) == 0 {
+		return geom.Vec{}, ErrNoAnchors
+	}
+	best := anchors[0]
+	for _, a := range anchors[1:] {
+		if a.PowerDBm > best.PowerDBm {
+			best = a
+		}
+	}
+	return best.Pos, nil
+}
+
+// WeightedCentroid returns Σwᵢpᵢ/Σwᵢ with wᵢ the linear power raised to
+// exponent (1 is the classic choice; larger values sharpen toward the
+// strongest anchor).
+func WeightedCentroid(anchors []Anchor, exponent float64) (geom.Vec, error) {
+	if len(anchors) == 0 {
+		return geom.Vec{}, ErrNoAnchors
+	}
+	if exponent <= 0 || math.IsNaN(exponent) {
+		return geom.Vec{}, fmt.Errorf("%w: exponent %v", ErrBadModel, exponent)
+	}
+	var sum geom.Vec
+	var wsum float64
+	for _, a := range anchors {
+		w := math.Pow(math.Pow(10, a.PowerDBm/10), exponent)
+		sum = sum.Add(a.Pos.Scale(w))
+		wsum += w
+	}
+	if wsum <= 0 || math.IsInf(wsum, 0) || math.IsNaN(wsum) {
+		return geom.Vec{}, fmt.Errorf("%w: weight sum %v", ErrBadModel, wsum)
+	}
+	return sum.Scale(1 / wsum), nil
+}
+
+// RangingModel is the calibrated log-distance propagation model
+// P(d) = RefPowerDBm − 10·γ·log10(d), with d in meters.
+type RangingModel struct {
+	// RefPowerDBm is the received power at 1 m.
+	RefPowerDBm float64
+	// PathLossExponent is γ.
+	PathLossExponent float64
+}
+
+// Validate checks the model.
+func (m RangingModel) Validate() error {
+	if m.PathLossExponent <= 0 || math.IsNaN(m.PathLossExponent) {
+		return fmt.Errorf("%w: exponent %v", ErrBadModel, m.PathLossExponent)
+	}
+	if math.IsNaN(m.RefPowerDBm) || math.IsInf(m.RefPowerDBm, 0) {
+		return fmt.Errorf("%w: ref power %v", ErrBadModel, m.RefPowerDBm)
+	}
+	return nil
+}
+
+// Distance inverts the model: d = 10^((RefPowerDBm − P)/(10γ)), clamped
+// below at 0.1 m.
+func (m RangingModel) Distance(powerDBm float64) float64 {
+	d := math.Pow(10, (m.RefPowerDBm-powerDBm)/(10*m.PathLossExponent))
+	if d < 0.1 {
+		return 0.1
+	}
+	return d
+}
+
+// RangeSample is one calibration observation: a known TX–RX distance and
+// the power received over it.
+type RangeSample struct {
+	// DistanceM is the true distance in meters.
+	DistanceM float64
+	// PowerDBm is the received power.
+	PowerDBm float64
+}
+
+// CalibrateRangingModel fits the log-distance model to samples by ordinary
+// least squares on P = a + b·log10(d) (so γ = −b/10). This is precisely
+// the venue-specific calibration step the paper's §III-A cites as the
+// burden of range-based methods — NomLoc avoids it, the baseline cannot.
+func CalibrateRangingModel(samples []RangeSample) (RangingModel, error) {
+	var xs, ys []float64
+	for _, s := range samples {
+		if s.DistanceM <= 0 || math.IsNaN(s.PowerDBm) || math.IsInf(s.PowerDBm, 0) {
+			continue
+		}
+		xs = append(xs, math.Log10(s.DistanceM))
+		ys = append(ys, s.PowerDBm)
+	}
+	if len(xs) < 2 {
+		return RangingModel{}, fmt.Errorf("%w: %d usable samples", ErrBadSamples, len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if math.Abs(denom) < 1e-12 {
+		return RangingModel{}, fmt.Errorf("%w: all samples at one distance", ErrBadSamples)
+	}
+	b := (n*sxy - sx*sy) / denom
+	a := (sy - b*sx) / n
+	m := RangingModel{RefPowerDBm: a, PathLossExponent: -b / 10}
+	if err := m.Validate(); err != nil {
+		return RangingModel{}, fmt.Errorf("fit produced %+v: %w", m, err)
+	}
+	return m, nil
+}
+
+// Trilaterate estimates the object position from ≥ 3 anchors by ranging
+// each anchor through the model and solving the linearized least-squares
+// system (subtracting the first anchor's circle equation from the rest).
+func Trilaterate(anchors []Anchor, m RangingModel) (geom.Vec, error) {
+	if err := m.Validate(); err != nil {
+		return geom.Vec{}, err
+	}
+	if len(anchors) < 3 {
+		return geom.Vec{}, fmt.Errorf("%w: %d anchors, need 3", ErrTooFewAnchors, len(anchors))
+	}
+	d := make([]float64, len(anchors))
+	for i, a := range anchors {
+		d[i] = m.Distance(a.PowerDBm)
+	}
+	// Rows: 2(xᵢ−x₀)x + 2(yᵢ−y₀)y = (xᵢ²+yᵢ²−x₀²−y₀²) + (d₀²−dᵢ²).
+	ref := anchors[0]
+	var a11, a12, a22, b1, b2 float64
+	for i := 1; i < len(anchors); i++ {
+		ai := anchors[i]
+		rx := 2 * (ai.Pos.X - ref.Pos.X)
+		ry := 2 * (ai.Pos.Y - ref.Pos.Y)
+		rhs := ai.Pos.Len2() - ref.Pos.Len2() + d[0]*d[0] - d[i]*d[i]
+		// Accumulate normal equations AᵀA and Aᵀb.
+		a11 += rx * rx
+		a12 += rx * ry
+		a22 += ry * ry
+		b1 += rx * rhs
+		b2 += ry * rhs
+	}
+	det := a11*a22 - a12*a12
+	if math.Abs(det) < 1e-9 {
+		return geom.Vec{}, ErrSingular
+	}
+	x := (a22*b1 - a12*b2) / det
+	y := (a11*b2 - a12*b1) / det
+	return geom.V(x, y), nil
+}

@@ -1,0 +1,236 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func TestNearestAP(t *testing.T) {
+	anchors := []Anchor{
+		{Pos: geom.V(0, 0), PowerDBm: -60},
+		{Pos: geom.V(10, 0), PowerDBm: -40},
+		{Pos: geom.V(5, 5), PowerDBm: -55},
+	}
+	got, err := NearestAP(anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != geom.V(10, 0) {
+		t.Errorf("NearestAP = %v", got)
+	}
+	if _, err := NearestAP(nil); !errors.Is(err, ErrNoAnchors) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWeightedCentroid(t *testing.T) {
+	// Equal powers: plain centroid.
+	anchors := []Anchor{
+		{Pos: geom.V(0, 0), PowerDBm: -50},
+		{Pos: geom.V(10, 0), PowerDBm: -50},
+	}
+	got, err := WeightedCentroid(anchors, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(geom.V(5, 0), 1e-9) {
+		t.Errorf("equal-power centroid = %v", got)
+	}
+	// 10 dB advantage pulls the estimate toward the strong anchor.
+	anchors[1].PowerDBm = -40
+	got, err = WeightedCentroid(anchors, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X <= 5 {
+		t.Errorf("centroid %v not pulled toward strong anchor", got)
+	}
+	// Sharper exponent pulls harder.
+	sharp, err := WeightedCentroid(anchors, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharp.X <= got.X {
+		t.Errorf("exponent 2 (%v) not sharper than 1 (%v)", sharp.X, got.X)
+	}
+}
+
+func TestWeightedCentroidErrors(t *testing.T) {
+	if _, err := WeightedCentroid(nil, 1); !errors.Is(err, ErrNoAnchors) {
+		t.Errorf("err = %v", err)
+	}
+	a := []Anchor{{Pos: geom.V(0, 0), PowerDBm: -50}}
+	if _, err := WeightedCentroid(a, 0); !errors.Is(err, ErrBadModel) {
+		t.Errorf("zero exponent err = %v", err)
+	}
+	if _, err := WeightedCentroid(a, -1); !errors.Is(err, ErrBadModel) {
+		t.Errorf("negative exponent err = %v", err)
+	}
+}
+
+func TestRangingModelDistance(t *testing.T) {
+	m := RangingModel{RefPowerDBm: -40, PathLossExponent: 2}
+	// At the reference power, distance is 1 m.
+	if got := m.Distance(-40); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Distance(ref) = %v, want 1", got)
+	}
+	// 20 dB below the reference with γ=2 is 10 m.
+	if got := m.Distance(-60); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Distance(-60) = %v, want 10", got)
+	}
+	// Stronger than physically plausible: clamped at 0.1 m.
+	if got := m.Distance(0); got != 0.1 {
+		t.Errorf("Distance(hot) = %v, want clamp 0.1", got)
+	}
+}
+
+func TestRangingModelValidate(t *testing.T) {
+	if err := (RangingModel{RefPowerDBm: -40, PathLossExponent: 0}).Validate(); !errors.Is(err, ErrBadModel) {
+		t.Errorf("err = %v", err)
+	}
+	if err := (RangingModel{RefPowerDBm: math.NaN(), PathLossExponent: 2}).Validate(); !errors.Is(err, ErrBadModel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCalibrateRangingModel(t *testing.T) {
+	// Perfect log-distance data: the fit must recover the parameters.
+	truth := RangingModel{RefPowerDBm: -38, PathLossExponent: 2.4}
+	var samples []RangeSample
+	for _, d := range []float64{0.5, 1, 2, 4, 8, 16} {
+		samples = append(samples, RangeSample{
+			DistanceM: d,
+			PowerDBm:  truth.RefPowerDBm - 10*truth.PathLossExponent*math.Log10(d),
+		})
+	}
+	got, err := CalibrateRangingModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.RefPowerDBm-truth.RefPowerDBm) > 1e-9 {
+		t.Errorf("ref power = %v, want %v", got.RefPowerDBm, truth.RefPowerDBm)
+	}
+	if math.Abs(got.PathLossExponent-truth.PathLossExponent) > 1e-9 {
+		t.Errorf("exponent = %v, want %v", got.PathLossExponent, truth.PathLossExponent)
+	}
+}
+
+func TestCalibrateRangingModelNoisy(t *testing.T) {
+	truth := RangingModel{RefPowerDBm: -40, PathLossExponent: 2.0}
+	rng := rand.New(rand.NewSource(1))
+	var samples []RangeSample
+	for i := 0; i < 400; i++ {
+		d := 0.5 + rng.Float64()*15
+		samples = append(samples, RangeSample{
+			DistanceM: d,
+			PowerDBm:  truth.RefPowerDBm - 10*truth.PathLossExponent*math.Log10(d) + rng.NormFloat64()*2,
+		})
+	}
+	got, err := CalibrateRangingModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.PathLossExponent-truth.PathLossExponent) > 0.15 {
+		t.Errorf("noisy exponent = %v, want ≈ %v", got.PathLossExponent, truth.PathLossExponent)
+	}
+}
+
+func TestCalibrateRangingModelErrors(t *testing.T) {
+	if _, err := CalibrateRangingModel(nil); !errors.Is(err, ErrBadSamples) {
+		t.Errorf("empty err = %v", err)
+	}
+	one := []RangeSample{{DistanceM: 2, PowerDBm: -50}}
+	if _, err := CalibrateRangingModel(one); !errors.Is(err, ErrBadSamples) {
+		t.Errorf("one sample err = %v", err)
+	}
+	same := []RangeSample{{DistanceM: 2, PowerDBm: -50}, {DistanceM: 2, PowerDBm: -48}}
+	if _, err := CalibrateRangingModel(same); !errors.Is(err, ErrBadSamples) {
+		t.Errorf("same distance err = %v", err)
+	}
+	junk := []RangeSample{{DistanceM: -1, PowerDBm: -50}, {DistanceM: 0, PowerDBm: -48}}
+	if _, err := CalibrateRangingModel(junk); !errors.Is(err, ErrBadSamples) {
+		t.Errorf("junk err = %v", err)
+	}
+	// Increasing power with distance yields a negative exponent → invalid.
+	upside := []RangeSample{{DistanceM: 1, PowerDBm: -60}, {DistanceM: 10, PowerDBm: -40}}
+	if _, err := CalibrateRangingModel(upside); !errors.Is(err, ErrBadModel) {
+		t.Errorf("upside-down err = %v", err)
+	}
+}
+
+func TestTrilateratePerfect(t *testing.T) {
+	m := RangingModel{RefPowerDBm: -40, PathLossExponent: 2}
+	obj := geom.V(4, 3)
+	anchorPos := []geom.Vec{geom.V(0, 0), geom.V(10, 0), geom.V(0, 10), geom.V(10, 10)}
+	anchors := make([]Anchor, len(anchorPos))
+	for i, p := range anchorPos {
+		d := obj.Dist(p)
+		anchors[i] = Anchor{Pos: p, PowerDBm: m.RefPowerDBm - 10*m.PathLossExponent*math.Log10(d)}
+	}
+	got, err := Trilaterate(anchors, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(obj, 1e-6) {
+		t.Errorf("Trilaterate = %v, want %v", got, obj)
+	}
+}
+
+func TestTrilaterateErrors(t *testing.T) {
+	m := RangingModel{RefPowerDBm: -40, PathLossExponent: 2}
+	two := []Anchor{{Pos: geom.V(0, 0), PowerDBm: -50}, {Pos: geom.V(10, 0), PowerDBm: -50}}
+	if _, err := Trilaterate(two, m); !errors.Is(err, ErrTooFewAnchors) {
+		t.Errorf("two anchors err = %v", err)
+	}
+	bad := RangingModel{}
+	three := append(two, Anchor{Pos: geom.V(5, 5), PowerDBm: -50})
+	if _, err := Trilaterate(three, bad); !errors.Is(err, ErrBadModel) {
+		t.Errorf("bad model err = %v", err)
+	}
+	// Collinear anchors are singular.
+	col := []Anchor{
+		{Pos: geom.V(0, 0), PowerDBm: -50},
+		{Pos: geom.V(5, 0), PowerDBm: -50},
+		{Pos: geom.V(10, 0), PowerDBm: -50},
+	}
+	if _, err := Trilaterate(col, m); !errors.Is(err, ErrSingular) {
+		t.Errorf("collinear err = %v", err)
+	}
+}
+
+func TestTrilaterateNoisyStillReasonable(t *testing.T) {
+	m := RangingModel{RefPowerDBm: -40, PathLossExponent: 2}
+	obj := geom.V(6, 4)
+	rng := rand.New(rand.NewSource(2))
+	anchorPos := []geom.Vec{geom.V(0, 0), geom.V(12, 0), geom.V(0, 8), geom.V(12, 8)}
+	var worst, sum float64
+	for trial := 0; trial < 50; trial++ {
+		anchors := make([]Anchor, len(anchorPos))
+		for i, p := range anchorPos {
+			d := obj.Dist(p)
+			anchors[i] = Anchor{
+				Pos:      p,
+				PowerDBm: m.RefPowerDBm - 10*m.PathLossExponent*math.Log10(d) + rng.NormFloat64()*1.5,
+			}
+		}
+		got, err := Trilaterate(anchors, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := got.Dist(obj)
+		sum += e
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 8 {
+		t.Errorf("worst trilateration error %v m under mild noise", worst)
+	}
+	if mean := sum / 50; mean > 2.5 {
+		t.Errorf("mean trilateration error %v m under mild noise", mean)
+	}
+}

@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// SBL implements sequence-based localization (Yedavalli &
+// Krishnamachari, TMC 2008 — the paper's reference [2] and the origin of
+// the space-partition idea NomLoc builds on). The area is sampled on a
+// grid; each cell is described by the *rank order* of its distances to
+// the anchors. At runtime the measured powers are ranked (stronger =
+// closer) and the cell whose distance sequence correlates best with the
+// measured sequence — Spearman's ρ — wins. Like NomLoc it needs no
+// calibration, but unlike NomLoc it cannot exploit anchor mobility
+// beyond re-running with more anchors.
+type SBL struct {
+	anchors []geom.Vec
+	cells   []sblCell
+}
+
+// sblCell is one grid sample with its precomputed distance ranks.
+type sblCell struct {
+	pos   geom.Vec
+	ranks []float64
+}
+
+// NewSBL precomputes the grid sequence table: one cell per grid point of
+// the area at the given spacing.
+func NewSBL(area geom.Polygon, anchors []geom.Vec, spacing float64) (*SBL, error) {
+	if len(anchors) < 2 {
+		return nil, fmt.Errorf("%w: %d anchors, need ≥ 2", ErrTooFewAnchors, len(anchors))
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("%w: spacing %v", ErrBadModel, spacing)
+	}
+	pts := area.SamplePoints(spacing, spacing/4)
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("%w: grid too coarse for the area", ErrBadModel)
+	}
+	s := &SBL{
+		anchors: append([]geom.Vec(nil), anchors...),
+		cells:   make([]sblCell, 0, len(pts)),
+	}
+	for _, p := range pts {
+		dists := make([]float64, len(anchors))
+		for i, a := range anchors {
+			dists[i] = p.Dist(a)
+		}
+		s.cells = append(s.cells, sblCell{pos: p, ranks: averageRanks(dists)})
+	}
+	return s, nil
+}
+
+// NumCells returns the size of the sequence table.
+func (s *SBL) NumCells() int { return len(s.cells) }
+
+// Locate ranks the measured powers (strongest first ⇒ nearest first) and
+// returns the centroid of the best-correlated cells (all cells within a
+// hair of the maximal Spearman ρ — sequence tables typically contain
+// regions of identical sequence).
+func (s *SBL) Locate(powersDBm []float64) (geom.Vec, error) {
+	if len(powersDBm) != len(s.anchors) {
+		return geom.Vec{}, fmt.Errorf("%w: %d powers for %d anchors",
+			ErrBadModel, len(powersDBm), len(s.anchors))
+	}
+	// Stronger power ⇒ smaller distance, so rank negated powers to get a
+	// distance-like ordering.
+	neg := make([]float64, len(powersDBm))
+	for i, p := range powersDBm {
+		neg[i] = -p
+	}
+	measured := averageRanks(neg)
+
+	const tieTol = 1e-9
+	best := math.Inf(-1)
+	var sum geom.Vec
+	count := 0
+	for _, cell := range s.cells {
+		rho := spearman(measured, cell.ranks)
+		switch {
+		case rho > best+tieTol:
+			best = rho
+			sum = cell.pos
+			count = 1
+		case rho > best-tieTol:
+			sum = sum.Add(cell.pos)
+			count++
+		}
+	}
+	if count == 0 {
+		return geom.Vec{}, fmt.Errorf("%w: no cells", ErrBadModel)
+	}
+	return sum.Scale(1 / float64(count)), nil
+}
+
+// averageRanks returns 1-based ranks with ties sharing their average rank
+// (the standard treatment for Spearman correlation).
+func averageRanks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// spearman computes the rank correlation between two rank vectors (which
+// may contain tied average ranks), via the Pearson formula on the ranks.
+func spearman(a, b []float64) float64 {
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

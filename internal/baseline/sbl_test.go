@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func sblAnchors() []geom.Vec {
+	return []geom.Vec{geom.V(0, 0), geom.V(10, 0), geom.V(0, 8), geom.V(10, 8)}
+}
+
+func TestNewSBLValidation(t *testing.T) {
+	area := geom.Rect(0, 0, 10, 8)
+	if _, err := NewSBL(area, sblAnchors()[:1], 1); !errors.Is(err, ErrTooFewAnchors) {
+		t.Errorf("one anchor err = %v", err)
+	}
+	if _, err := NewSBL(area, sblAnchors(), 0); !errors.Is(err, ErrBadModel) {
+		t.Errorf("zero spacing err = %v", err)
+	}
+	if _, err := NewSBL(area, sblAnchors(), 100); !errors.Is(err, ErrBadModel) {
+		t.Errorf("coarse grid err = %v", err)
+	}
+	s, err := NewSBL(area, sblAnchors(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCells() == 0 {
+		t.Error("no cells")
+	}
+}
+
+func TestSBLPerfectSequences(t *testing.T) {
+	// With noise-free power orderings, SBL must land near the truth.
+	area := geom.Rect(0, 0, 10, 8)
+	s, err := NewSBL(area, sblAnchors(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := RangingModel{RefPowerDBm: -40, PathLossExponent: 2}
+	for _, truth := range []geom.Vec{geom.V(2, 2), geom.V(7, 5), geom.V(5, 4), geom.V(9, 1)} {
+		powers := make([]float64, len(sblAnchors()))
+		for i, a := range sblAnchors() {
+			powers[i] = model.RefPowerDBm - 20*math.Log10(truth.Dist(a))
+		}
+		got, err := s.Locate(powers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sequence localization is coarse (a whole equal-sequence region
+		// maps to one answer); 4 anchors partition a room into dozens of
+		// faces, so a few meters is the method's intrinsic resolution.
+		if d := got.Dist(truth); d > 3.5 {
+			t.Errorf("truth %v: SBL estimate %v is %v m away", truth, got, d)
+		}
+	}
+}
+
+func TestSBLLengthMismatch(t *testing.T) {
+	s, err := NewSBL(geom.Rect(0, 0, 10, 8), sblAnchors(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Locate([]float64{-40, -50}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAverageRanks(t *testing.T) {
+	// Plain distinct values.
+	got := averageRanks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", got, want)
+		}
+	}
+	// Ties share the average rank: {5, 5, 1} → ranks {2.5, 2.5, 1}.
+	got = averageRanks([]float64{5, 5, 1})
+	if got[0] != 2.5 || got[1] != 2.5 || got[2] != 1 {
+		t.Errorf("tied ranks = %v", got)
+	}
+	if got := averageRanks(nil); len(got) != 0 {
+		t.Errorf("empty ranks = %v", got)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Identical rankings: ρ = 1.
+	if got := spearman([]float64{1, 2, 3}, []float64{1, 2, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical ρ = %v", got)
+	}
+	// Reversed: ρ = −1.
+	if got := spearman([]float64{1, 2, 3}, []float64{3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("reversed ρ = %v", got)
+	}
+	// Constant vector: ρ = 0 by convention.
+	if got := spearman([]float64{2, 2, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant ρ = %v", got)
+	}
+	if got := spearman(nil, nil); got != 0 {
+		t.Errorf("empty ρ = %v", got)
+	}
+}
+
+func TestSBLCoarseOrderingRobustness(t *testing.T) {
+	// SBL uses only the ordering, so any monotone distortion of the
+	// powers (here: a nonlinear but increasing map) must not change the
+	// answer.
+	area := geom.Rect(0, 0, 10, 8)
+	s, err := NewSBL(area, sblAnchors(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := geom.V(3, 5)
+	model := RangingModel{RefPowerDBm: -40, PathLossExponent: 2}
+	powers := make([]float64, len(sblAnchors()))
+	distorted := make([]float64, len(sblAnchors()))
+	for i, a := range sblAnchors() {
+		p := model.RefPowerDBm - 20*math.Log10(truth.Dist(a))
+		powers[i] = p
+		distorted[i] = math.Tanh(p/50) * 100 // increasing map
+	}
+	got1, err := s.Locate(powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := s.Locate(distorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got1.ApproxEqual(got2, 1e-9) {
+		t.Errorf("monotone distortion changed the estimate: %v vs %v", got1, got2)
+	}
+}

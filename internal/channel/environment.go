@@ -1,0 +1,171 @@
+// Package channel simulates indoor 2.4 GHz radio propagation well enough
+// to drive NomLoc's CSI pipeline: a log-distance path-loss model, per-wall
+// NLOS attenuation, first-order image-method wall reflections, point
+// scatterers for clutter, and per-packet complex noise, all synthesized
+// into 802.11n-shaped frequency-domain CSI vectors.
+//
+// This package is the substitution for the paper's physical testbed
+// (Intel 5300 NICs + TL-WR941ND APs in a lab and a lobby at HKUST); see
+// DESIGN.md §2 for why the substitution preserves the behaviours the
+// NomLoc algorithms depend on.
+package channel
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// Wall is a straight attenuating obstacle. A radio path crossing the wall
+// loses AttenuationDB of power; the wall's surface also produces a
+// first-order specular reflection when Reflective is set.
+type Wall struct {
+	// Seg is the wall's footprint.
+	Seg geom.Segment
+	// AttenuationDB is the power loss per crossing, in dB (≥ 0).
+	AttenuationDB float64
+	// Reflective marks surfaces that produce image-method reflections
+	// (concrete/brick boundary walls, metal cabinets).
+	Reflective bool
+}
+
+// Scatterer is a point object (furniture, equipment, a person) that
+// re-radiates the signal with a fixed excess loss, adding a multipath
+// component TX→scatterer→RX.
+type Scatterer struct {
+	// Pos is the scatterer position.
+	Pos geom.Vec
+	// ExcessLossDB is the extra power loss of the scattered path relative
+	// to pure distance loss over the same length, in dB (≥ 0).
+	ExcessLossDB float64
+}
+
+// Environment is a 2-D indoor scene: the area boundary, interior walls,
+// and clutter.
+type Environment struct {
+	bound      geom.Polygon
+	walls      []Wall
+	scatterers []Scatterer
+}
+
+// Environment construction errors.
+var (
+	ErrNoBoundary = errors.New("channel: environment needs a boundary polygon")
+	ErrBadWall    = errors.New("channel: invalid wall")
+)
+
+// NewEnvironment builds an environment from the boundary polygon. The
+// boundary's edges are installed as reflective exterior walls with the
+// given attenuation (objects are indoors, so crossings of the boundary
+// only matter for reflections, but keeping them attenuating makes the
+// scene watertight).
+func NewEnvironment(bound geom.Polygon, exteriorWallDB float64) (*Environment, error) {
+	if bound.NumVertices() < 3 {
+		return nil, ErrNoBoundary
+	}
+	env := &Environment{bound: bound}
+	for _, e := range bound.Edges() {
+		env.walls = append(env.walls, Wall{Seg: e, AttenuationDB: exteriorWallDB, Reflective: true})
+	}
+	return env, nil
+}
+
+// Bound returns the area boundary polygon.
+func (e *Environment) Bound() geom.Polygon { return e.bound }
+
+// Walls returns a copy of the wall list.
+func (e *Environment) Walls() []Wall {
+	out := make([]Wall, len(e.walls))
+	copy(out, e.walls)
+	return out
+}
+
+// Scatterers returns a copy of the scatterer list.
+func (e *Environment) Scatterers() []Scatterer {
+	out := make([]Scatterer, len(e.scatterers))
+	copy(out, e.scatterers)
+	return out
+}
+
+// AddWall installs an interior wall.
+func (e *Environment) AddWall(w Wall) error {
+	if w.Seg.Len() < geom.Eps {
+		return fmt.Errorf("%w: zero-length segment", ErrBadWall)
+	}
+	if w.AttenuationDB < 0 {
+		return fmt.Errorf("%w: negative attenuation %v", ErrBadWall, w.AttenuationDB)
+	}
+	e.walls = append(e.walls, w)
+	return nil
+}
+
+// AddBox installs the four walls of an axis-aligned rectangular obstacle
+// (a cabinet, a server rack, a pillar). Each wall attenuates by
+// attenuationDB; reflective controls whether the faces reflect.
+func (e *Environment) AddBox(x0, y0, x1, y1, attenuationDB float64, reflective bool) error {
+	r := geom.Rect(x0, y0, x1, y1)
+	for _, edge := range r.Edges() {
+		if err := e.AddWall(Wall{Seg: edge, AttenuationDB: attenuationDB, Reflective: reflective}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddScatterer installs a point scatterer.
+func (e *Environment) AddScatterer(s Scatterer) error {
+	if s.ExcessLossDB < 0 {
+		return fmt.Errorf("%w: negative scatterer loss %v", ErrBadWall, s.ExcessLossDB)
+	}
+	e.scatterers = append(e.scatterers, s)
+	return nil
+}
+
+// AttenuationBetween returns the total wall attenuation in dB along the
+// open segment a→b, counting each properly-crossed wall once. skip, when
+// ≥ 0, excludes that wall index (used for reflection legs so the
+// reflecting wall itself is not double-counted).
+func (e *Environment) AttenuationBetween(a, b geom.Vec, skip int) float64 {
+	ray := geom.Seg(a, b)
+	var total float64
+	for i, w := range e.walls {
+		if i == skip {
+			continue
+		}
+		if ray.IntersectsProperly(w.Seg) {
+			total += w.AttenuationDB
+		}
+	}
+	return total
+}
+
+// HasLOS reports whether the segment a→b crosses no attenuating wall.
+func (e *Environment) HasLOS(a, b geom.Vec) bool {
+	ray := geom.Seg(a, b)
+	for _, w := range e.walls {
+		if w.AttenuationDB <= 0 {
+			continue
+		}
+		if ray.IntersectsProperly(w.Seg) {
+			return false
+		}
+	}
+	return true
+}
+
+// WallsCrossed returns how many attenuating walls the open segment a→b
+// properly crosses.
+func (e *Environment) WallsCrossed(a, b geom.Vec) int {
+	ray := geom.Seg(a, b)
+	n := 0
+	for _, w := range e.walls {
+		if w.AttenuationDB <= 0 {
+			continue
+		}
+		if ray.IntersectsProperly(w.Seg) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+// Package core implements NomLoc's two algorithmic modules on top of the
+// substrate packages: PDP-based proximity determination (paper §IV-A) and
+// SP-based location estimation with nomadic-AP downscoping and constraint
+// relaxation (paper §IV-B).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/dsp"
+)
+
+// F is the paper's confidence function (Eq. 4):
+//
+//	f(x) = 2^(−x)        for 0 < x ≤ 1
+//	f(x) = 1 − 2^(−1/x)  for x > 1
+//
+// It satisfies f(x) + f(1/x) = 1 and f(1) = ½ (Eq. 2–3) and is
+// monotonically decreasing, so f applied to the ratio of the *smaller* PDP
+// over the larger yields a confidence in [½, 1).
+// Non-positive or non-finite x returns NaN.
+func F(x float64) float64 {
+	if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return math.NaN()
+	}
+	if x <= 1 {
+		return math.Exp2(-x)
+	}
+	return 1 - math.Exp2(-1/x)
+}
+
+// Confidence returns the confidence that the object is closer to the AP
+// with PDP pi than to the AP with PDP pj, i.e. w = f(pj/pi). The two
+// directed confidences for a pair sum to 1, and equal PDPs give ½.
+// It returns NaN if either power is non-positive or non-finite.
+func Confidence(pi, pj float64) float64 {
+	if pi <= 0 || pj <= 0 ||
+		math.IsNaN(pi) || math.IsNaN(pj) || math.IsInf(pi, 0) || math.IsInf(pj, 0) {
+		return math.NaN()
+	}
+	return F(pj / pi)
+}
+
+// PDPEstimate is a direct-path power estimate aggregated over a burst of
+// CSI captures.
+type PDPEstimate struct {
+	// Power is the estimated direct-path power (linear, mW domain).
+	Power float64
+	// Tap is the CIR tap index the power was read from (for the median
+	// sample).
+	Tap int
+	// Samples is how many packets contributed.
+	Samples int
+}
+
+// Estimation errors.
+var (
+	ErrNoSamples = errors.New("core: batch has no samples")
+	ErrBadPDP    = errors.New("core: non-positive PDP estimate")
+)
+
+// EstimatePDP runs the paper's PDP extraction on every packet of a batch
+// (CSI → IFFT → CIR → max-tap power) and aggregates with the median, which
+// is robust to occasional corrupted captures. The per-packet design
+// matches the prototype: the object sends millisecond PINGs and the AP
+// collects thousands of packets per site.
+func EstimatePDP(batch *csi.Batch) (PDPEstimate, error) {
+	n := len(batch.Samples)
+	if n == 0 {
+		return PDPEstimate{}, ErrNoSamples
+	}
+	type obs struct {
+		power float64
+		tap   int
+	}
+	all := make([]obs, 0, n)
+	for i := range batch.Samples {
+		power, tap, err := dsp.DirectPathPower(batch.Samples[i].CSI)
+		if err != nil {
+			return PDPEstimate{}, fmt.Errorf("sample %d: %w", i, err)
+		}
+		all = append(all, obs{power: power, tap: tap})
+	}
+	// Median by power (insertion sort: bursts are small enough, and this
+	// avoids pulling in a sort dependency for a hot path that is not hot).
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j-1].power > all[j].power; j-- {
+			all[j-1], all[j] = all[j], all[j-1]
+		}
+	}
+	med := all[len(all)/2]
+	if med.power <= 0 {
+		return PDPEstimate{}, ErrBadPDP
+	}
+	return PDPEstimate{Power: med.power, Tap: med.tap, Samples: n}, nil
+}
+
+// EstimatePDPFromVector runs PDP extraction on a single CSI vector.
+func EstimatePDPFromVector(v csi.Vector) (PDPEstimate, error) {
+	power, tap, err := dsp.DirectPathPower(v)
+	if err != nil {
+		return PDPEstimate{}, err
+	}
+	if power <= 0 {
+		return PDPEstimate{}, ErrBadPDP
+	}
+	return PDPEstimate{Power: power, Tap: tap, Samples: 1}, nil
+}
+
+// PDPMethod selects the direct-path power estimator.
+type PDPMethod int
+
+// PDP estimation methods.
+const (
+	// MaxTapMethod is the paper's estimator: IFFT → CIR → max tap power.
+	MaxTapMethod PDPMethod = iota + 1
+	// MusicMethod is the super-resolution extension: MUSIC delay
+	// estimation + least-squares amplitude fit, reporting the earliest
+	// significant path's own power. It separates the direct path from
+	// reflections closer than one IFFT tap, at ~30× the compute.
+	MusicMethod
+)
+
+// String implements fmt.Stringer.
+func (m PDPMethod) String() string {
+	switch m {
+	case MaxTapMethod:
+		return "max-tap"
+	case MusicMethod:
+		return "music"
+	default:
+		return fmt.Sprintf("pdpmethod(%d)", int(m))
+	}
+}
+
+// EstimatePDPMusic estimates the direct-path power of a batch with the
+// super-resolution pipeline: the batch's coherent mean CSI (per-packet
+// noise averages out over a static link) is decomposed into paths and the
+// earliest path within 15 dB of the strongest is reported.
+func EstimatePDPMusic(batch *csi.Batch, radio csi.Config) (PDPEstimate, error) {
+	if err := radio.Validate(); err != nil {
+		return PDPEstimate{}, err
+	}
+	mean, err := batch.MeanVector()
+	if err != nil {
+		return PDPEstimate{}, fmt.Errorf("music pdp: %w", err)
+	}
+	cfg := dsp.MusicConfig{
+		SubcarrierSpacing: radio.SubcarrierSpacing(),
+		NumPaths:          3,
+	}
+	maxDelay := radio.MaxUnambiguousDelay() / 3
+	power, delay, err := dsp.FirstPathPowerMUSIC(mean, cfg, maxDelay, 2e-9, 15)
+	if err != nil {
+		return PDPEstimate{}, fmt.Errorf("music pdp: %w", err)
+	}
+	if power <= 0 {
+		return PDPEstimate{}, ErrBadPDP
+	}
+	return PDPEstimate{
+		Power:   power,
+		Tap:     int(delay / radio.DelayResolution()),
+		Samples: len(batch.Samples),
+	}, nil
+}
+
+// EstimatePDPWithMethod dispatches between the estimators.
+func EstimatePDPWithMethod(batch *csi.Batch, method PDPMethod, radio csi.Config) (PDPEstimate, error) {
+	switch method {
+	case MaxTapMethod:
+		return EstimatePDP(batch)
+	case MusicMethod:
+		return EstimatePDPMusic(batch, radio)
+	default:
+		return PDPEstimate{}, fmt.Errorf("core: unknown PDP method %v", method)
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/csi"
+)
+
+func TestFKnownValues(t *testing.T) {
+	// Eq. 3: f(1) = ½.
+	if got := F(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("F(1) = %v, want 0.5", got)
+	}
+	// Branch values.
+	if got := F(0.5); math.Abs(got-math.Exp2(-0.5)) > 1e-12 {
+		t.Errorf("F(0.5) = %v", got)
+	}
+	if got := F(2); math.Abs(got-(1-math.Exp2(-0.5))) > 1e-12 {
+		t.Errorf("F(2) = %v", got)
+	}
+	// Limits: x→0⁺ gives 1, x→∞ gives 0.
+	if got := F(1e-9); math.Abs(got-1) > 1e-6 {
+		t.Errorf("F(→0) = %v, want ≈ 1", got)
+	}
+	if got := F(1e9); got > 1e-6 {
+		t.Errorf("F(→∞) = %v, want ≈ 0", got)
+	}
+}
+
+func TestFInvalidInput(t *testing.T) {
+	for _, x := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := F(x); !math.IsNaN(got) {
+			t.Errorf("F(%v) = %v, want NaN", x, got)
+		}
+	}
+}
+
+func TestPropFComplementary(t *testing.T) {
+	// Eq. 2: f(x) + f(1/x) = 1 for all x > 0.
+	f := func(raw float64) bool {
+		x := math.Abs(raw)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 1e-6 || x > 1e6 {
+			return true
+		}
+		return math.Abs(F(x)+F(1/x)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFMonotoneDecreasing(t *testing.T) {
+	f := func(aRaw, bRaw float64) bool {
+		a, b := math.Abs(aRaw), math.Abs(bRaw)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) ||
+			a < 1e-6 || b < 1e-6 || a > 1e6 || b > 1e6 {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return F(a) >= F(b)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFNonNegative(t *testing.T) {
+	// Eq. 3: f(x) ≥ 0.
+	f := func(raw float64) bool {
+		x := math.Abs(raw)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 1e-9 {
+			return true
+		}
+		v := F(x)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	// Equal PDPs: ½ each way.
+	if got := Confidence(4, 4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Confidence(equal) = %v", got)
+	}
+	// Dominant pi: confidence in "closer to i" near 1.
+	if got := Confidence(1000, 1); got < 0.99 {
+		t.Errorf("Confidence(dominant) = %v, want ≈ 1", got)
+	}
+	// Directed confidences are complementary.
+	a, b := Confidence(3, 7), Confidence(7, 3)
+	if math.Abs(a+b-1) > 1e-12 {
+		t.Errorf("complementarity violated: %v + %v", a, b)
+	}
+	// Larger PDP on the i side means confidence above ½.
+	if got := Confidence(7, 3); got <= 0.5 {
+		t.Errorf("Confidence(7,3) = %v, want > 0.5", got)
+	}
+	// Invalid powers.
+	for _, pair := range [][2]float64{{0, 1}, {1, 0}, {-1, 2}, {math.NaN(), 1}, {1, math.Inf(1)}} {
+		if got := Confidence(pair[0], pair[1]); !math.IsNaN(got) {
+			t.Errorf("Confidence(%v, %v) = %v, want NaN", pair[0], pair[1], got)
+		}
+	}
+}
+
+// impulseCSI builds a CSI vector whose CIR is a single tap of the given
+// amplitude at the given index.
+func impulseCSI(n, tap int, amp float64) csi.Vector {
+	h := make(csi.Vector, n)
+	for k := 0; k < n; k++ {
+		angle := -2 * math.Pi * float64(k) * float64(tap) / float64(n)
+		h[k] = complex(amp*math.Cos(angle), amp*math.Sin(angle))
+	}
+	return h
+}
+
+func TestEstimatePDPFromVector(t *testing.T) {
+	v := impulseCSI(30, 4, 2)
+	est, err := EstimatePDPFromVector(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Tap != 4 {
+		t.Errorf("tap = %d, want 4", est.Tap)
+	}
+	if math.Abs(est.Power-4) > 1e-9 {
+		t.Errorf("power = %v, want 4", est.Power)
+	}
+	if est.Samples != 1 {
+		t.Errorf("samples = %d", est.Samples)
+	}
+	if _, err := EstimatePDPFromVector(nil); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := EstimatePDPFromVector(make(csi.Vector, 8)); !errors.Is(err, ErrBadPDP) {
+		t.Errorf("all-zero vector err = %v", err)
+	}
+}
+
+func TestEstimatePDPMedian(t *testing.T) {
+	// Batch with one outlier: the median must ignore it.
+	mk := func(amp float64) csi.Sample {
+		return csi.Sample{CapturedAt: time.Now(), CSI: impulseCSI(30, 2, amp)}
+	}
+	b := &csi.Batch{Samples: []csi.Sample{mk(2), mk(2.1), mk(1.9), mk(2.05), mk(50)}}
+	est, err := EstimatePDP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Power > 5 {
+		t.Errorf("median power = %v, outlier leaked through", est.Power)
+	}
+	if est.Samples != 5 {
+		t.Errorf("samples = %d", est.Samples)
+	}
+	if est.Tap != 2 {
+		t.Errorf("tap = %d, want 2", est.Tap)
+	}
+}
+
+func TestEstimatePDPErrors(t *testing.T) {
+	if _, err := EstimatePDP(&csi.Batch{}); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty batch err = %v", err)
+	}
+	bad := &csi.Batch{Samples: []csi.Sample{{CSI: nil}}}
+	if _, err := EstimatePDP(bad); err == nil {
+		t.Error("nil CSI accepted")
+	}
+	zero := &csi.Batch{Samples: []csi.Sample{{CSI: make(csi.Vector, 4)}}}
+	if _, err := EstimatePDP(zero); !errors.Is(err, ErrBadPDP) {
+		t.Errorf("zero CSI err = %v", err)
+	}
+}
+
+func TestPDPMethodString(t *testing.T) {
+	if MaxTapMethod.String() != "max-tap" || MusicMethod.String() != "music" {
+		t.Error("PDPMethod.String mismatch")
+	}
+	if PDPMethod(0).String() != "pdpmethod(0)" {
+		t.Error("zero PDPMethod should not pretty-print")
+	}
+}
+
+func TestEstimatePDPMusic(t *testing.T) {
+	// Two sub-tap paths: the max-tap estimator reports the merged tap
+	// power; MUSIC must report the (weaker) direct path's own power.
+	radio := csi.Config{NumSubcarriers: 30, Bandwidth: 20e6, CarrierFreq: 2.437e9}
+	df := radio.SubcarrierSpacing()
+	mk := func() csi.Vector {
+		h := make(csi.Vector, 30)
+		for k := 0; k < 30; k++ {
+			for p, d := range []float64{50e-9, 90e-9} {
+				amp := []float64{0.5, 1.0}[p]
+				angle := -2 * math.Pi * float64(k) * df * d
+				h[k] += complex(amp*math.Cos(angle), amp*math.Sin(angle))
+			}
+		}
+		return h
+	}
+	b := &csi.Batch{Samples: []csi.Sample{{CSI: mk()}, {CSI: mk()}, {CSI: mk()}}}
+
+	music, err := EstimatePDPMusic(b, radio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(music.Power-0.25) > 0.08 {
+		t.Errorf("music power = %v, want ≈ 0.25 (the direct path alone)", music.Power)
+	}
+	if music.Samples != 3 {
+		t.Errorf("samples = %d", music.Samples)
+	}
+
+	maxTap, err := EstimatePDP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxTap.Power <= music.Power {
+		t.Errorf("max-tap (%v) should exceed the isolated direct power (%v) on merged taps",
+			maxTap.Power, music.Power)
+	}
+
+	// Dispatch agreement.
+	viaDispatch, err := EstimatePDPWithMethod(b, MusicMethod, radio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaDispatch.Power != music.Power {
+		t.Error("dispatch disagrees with direct call")
+	}
+	viaDispatch, err = EstimatePDPWithMethod(b, MaxTapMethod, radio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaDispatch.Power != maxTap.Power {
+		t.Error("dispatch disagrees with max-tap")
+	}
+	if _, err := EstimatePDPWithMethod(b, PDPMethod(0), radio); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestEstimatePDPMusicErrors(t *testing.T) {
+	if _, err := EstimatePDPMusic(&csi.Batch{}, csi.Config{}); err == nil {
+		t.Error("bad radio accepted")
+	}
+	radio := csi.DefaultConfig()
+	if _, err := EstimatePDPMusic(&csi.Batch{}, radio); err == nil {
+		t.Error("empty batch accepted")
+	}
+}

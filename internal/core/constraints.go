@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// AnchorKind distinguishes the constraint families an anchor participates
+// in.
+type AnchorKind int
+
+// Anchor kinds.
+const (
+	// StaticAP is a fixed access point (contributes to the paper's A).
+	StaticAP AnchorKind = iota + 1
+	// NomadicSite is a nomadic AP observed at one waypoint (contributes to
+	// the paper's A″; one anchor per visited site).
+	NomadicSite
+)
+
+// String implements fmt.Stringer.
+func (k AnchorKind) String() string {
+	switch k {
+	case StaticAP:
+		return "static"
+	case NomadicSite:
+		return "nomadic-site"
+	default:
+		return fmt.Sprintf("anchorkind(%d)", int(k))
+	}
+}
+
+// Anchor is one localization reference: an AP identity at a believed
+// position with the direct-path power the object's signal showed there.
+// A nomadic AP that visited S sites appears as S anchors (same APID,
+// different SiteIndex and position).
+type Anchor struct {
+	// APID names the access point.
+	APID string
+	// SiteIndex distinguishes waypoints of a nomadic AP; 0 for static.
+	SiteIndex int
+	// Kind selects the constraint family.
+	Kind AnchorKind
+	// Pos is the believed anchor position (for nomadic APs this may carry
+	// the position error the paper's §V-E studies).
+	Pos geom.Vec
+	// PDP is the measured direct-path power of the object at this anchor.
+	PDP float64
+}
+
+// key identifies an anchor uniquely.
+func (a Anchor) key() string { return fmt.Sprintf("%s#%d", a.APID, a.SiteIndex) }
+
+// Judgement is one directed pairwise proximity decision: the object is
+// believed closer to Closer than to Farther, with the given confidence
+// factor w ∈ [½, 1).
+type Judgement struct {
+	// Closer is the anchor judged nearer to the object.
+	Closer Anchor
+	// Farther is the anchor judged farther.
+	Farther Anchor
+	// Confidence is the paper's w = f(P_farther / P_closer).
+	Confidence float64
+}
+
+// HalfPlane converts the judgement into its spatial constraint (Eq. 7):
+// points at least as close to Closer as to Farther.
+func (j Judgement) HalfPlane() geom.HalfPlane {
+	return geom.HalfPlaneCloserTo(j.Closer.Pos, j.Farther.Pos)
+}
+
+// Judge compares two anchors' PDPs and returns the directed judgement,
+// orienting the pair so the larger PDP (shorter distance) is Closer. An
+// exactly tied pair is oriented (a, b) with confidence ½.
+func Judge(a, b Anchor) (Judgement, error) {
+	if a.PDP <= 0 || b.PDP <= 0 {
+		return Judgement{}, fmt.Errorf("%w: %q=%v, %q=%v", ErrBadPDP, a.key(), a.PDP, b.key(), b.PDP)
+	}
+	if b.PDP > a.PDP {
+		a, b = b, a
+	}
+	return Judgement{Closer: a, Farther: b, Confidence: Confidence(a.PDP, b.PDP)}, nil
+}
+
+// Constraint assembly errors.
+var (
+	ErrTooFewAnchors   = errors.New("core: need at least two anchors")
+	ErrDuplicateAnchor = errors.New("core: duplicate anchor")
+)
+
+// PairPolicy selects which anchor pairs generate proximity constraints.
+type PairPolicy int
+
+// Pair policies.
+const (
+	// PaperPairs follows the paper exactly: all static×static pairs
+	// (Eq. 8) plus, per nomadic site, that site against every static AP
+	// (Eq. 13). Nomadic sites are not compared with each other.
+	PaperPairs PairPolicy = iota + 1
+	// AllPairs also compares nomadic sites against each other (an
+	// extension; all PDPs are measured from the same stationary object, so
+	// the comparisons are physically meaningful).
+	AllPairs
+)
+
+// String implements fmt.Stringer.
+func (p PairPolicy) String() string {
+	switch p {
+	case PaperPairs:
+		return "paper"
+	case AllPairs:
+		return "all"
+	default:
+		return fmt.Sprintf("pairpolicy(%d)", int(p))
+	}
+}
+
+// BuildJudgements produces the pairwise proximity judgements for a set of
+// anchors under a policy, skipping pairs whose confidence falls below
+// minConfidence (½ keeps everything, since w ≥ ½ by construction).
+func BuildJudgements(anchors []Anchor, policy PairPolicy, minConfidence float64) ([]Judgement, error) {
+	if len(anchors) < 2 {
+		return nil, ErrTooFewAnchors
+	}
+	seen := make(map[string]bool, len(anchors))
+	for _, a := range anchors {
+		k := a.key()
+		if seen[k] {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateAnchor, k)
+		}
+		seen[k] = true
+	}
+
+	pairAllowed := func(a, b Anchor) bool {
+		switch policy {
+		case AllPairs:
+			return true
+		case PaperPairs:
+			// At least one of the pair must be a static AP.
+			return a.Kind == StaticAP || b.Kind == StaticAP
+		default:
+			return false
+		}
+	}
+
+	var out []Judgement
+	for i := 0; i < len(anchors); i++ {
+		for j := i + 1; j < len(anchors); j++ {
+			if !pairAllowed(anchors[i], anchors[j]) {
+				continue
+			}
+			jd, err := Judge(anchors[i], anchors[j])
+			if err != nil {
+				return nil, fmt.Errorf("pair (%s, %s): %w",
+					anchors[i].key(), anchors[j].key(), err)
+			}
+			if jd.Confidence < minConfidence {
+				continue
+			}
+			out = append(out, jd)
+		}
+	}
+	return out, nil
+}
+
+// BoundaryConstraints materializes the paper's virtual-AP area-boundary
+// constraints (Eq. 9–11) for one convex piece: the object must be closer
+// to the interior reference point than to its mirror image across each
+// edge's supporting line, which pins the object to the interior side of
+// every edge. ref must lie strictly inside the (convex) piece.
+func BoundaryConstraints(piece geom.Polygon, ref geom.Vec) []geom.HalfPlane {
+	mirrors := piece.MirrorAcrossEdges(ref)
+	out := make([]geom.HalfPlane, 0, len(mirrors))
+	for _, vap := range mirrors {
+		out = append(out, geom.HalfPlaneCloserTo(ref, vap))
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/lp"
+)
+
+// CenterRule selects how the location estimate is extracted from the
+// (relaxed) feasible region.
+type CenterRule int
+
+// Center rules.
+const (
+	// ChebyshevRule reports the center of the largest inscribed ball.
+	ChebyshevRule CenterRule = iota + 1
+	// AnalyticRule reports the log-barrier analytic center (what the
+	// paper's CVX interior-point solve returns); seeded by the Chebyshev
+	// center.
+	AnalyticRule
+	// CentroidRule reports the area centroid of the feasible polygon,
+	// materialized by half-plane clipping.
+	CentroidRule
+)
+
+// String implements fmt.Stringer.
+func (r CenterRule) String() string {
+	switch r {
+	case ChebyshevRule:
+		return "chebyshev"
+	case AnalyticRule:
+		return "analytic"
+	case CentroidRule:
+		return "centroid"
+	default:
+		return fmt.Sprintf("centerrule(%d)", int(r))
+	}
+}
+
+// Config parameterizes a Localizer.
+type Config struct {
+	// Area is the area of interest; non-convex areas are decomposed into
+	// convex pieces automatically (paper §IV-B.2).
+	Area geom.Polygon
+	// BoundaryWeight is the relaxation price of an area-boundary
+	// constraint; it is "preset to a large weight to guarantee the
+	// corresponding constraint satisfied with high priority" (paper
+	// §IV-B.4). Defaults to 100.
+	BoundaryWeight float64
+	// MinConfidence drops proximity judgements below this confidence
+	// before the solve. Zero keeps everything (w ≥ ½ by construction).
+	MinConfidence float64
+	// Center selects the estimate extraction rule. Defaults to
+	// ChebyshevRule.
+	Center CenterRule
+	// Pairs selects which anchor pairs constrain the solve. Defaults to
+	// PaperPairs.
+	Pairs PairPolicy
+}
+
+// Localizer runs SP-based location estimation over a fixed area.
+// It is safe for concurrent use: Locate only reads the precomputed
+// decomposition.
+type Localizer struct {
+	cfg    Config
+	pieces []geom.Polygon
+}
+
+// Localizer errors.
+var (
+	ErrNoArea     = errors.New("core: config needs an area polygon")
+	ErrNoEstimate = errors.New("core: no piece produced an estimate")
+	errNoCenter   = errors.New("core: center extraction failed")
+)
+
+// New validates the configuration, decomposes the area, and returns a
+// ready Localizer.
+func New(cfg Config) (*Localizer, error) {
+	if cfg.Area.NumVertices() < 3 {
+		return nil, ErrNoArea
+	}
+	if cfg.BoundaryWeight <= 0 {
+		cfg.BoundaryWeight = 100
+	}
+	if cfg.Center == 0 {
+		cfg.Center = ChebyshevRule
+	}
+	if cfg.Pairs == 0 {
+		cfg.Pairs = PaperPairs
+	}
+	pieces, err := geom.ConvexDecompose(cfg.Area)
+	if err != nil {
+		return nil, fmt.Errorf("decompose area: %w", err)
+	}
+	return &Localizer{cfg: cfg, pieces: pieces}, nil
+}
+
+// Pieces returns the convex decomposition of the area.
+func (l *Localizer) Pieces() []geom.Polygon {
+	return append([]geom.Polygon(nil), l.pieces...)
+}
+
+// Config returns the effective configuration (defaults resolved).
+func (l *Localizer) Config() Config { return l.cfg }
+
+// Estimate is the outcome of one localization solve.
+type Estimate struct {
+	// Position is the location estimate.
+	Position geom.Vec
+	// RelaxCost is the attained wᵀt of the winning piece (0 when the
+	// constraint system was feasible as-is).
+	RelaxCost float64
+	// PieceIndex is the convex piece the estimate came from (−1 when the
+	// estimate merged several zero-cost pieces).
+	PieceIndex int
+	// NumJudgements is how many pairwise proximity constraints entered
+	// the solve.
+	NumJudgements int
+	// NumRelaxed counts proximity constraints that had to be relaxed
+	// (tᵢ above tolerance) in the winning piece.
+	NumRelaxed int
+}
+
+// pieceSolve is the relaxation outcome for one convex piece.
+type pieceSolve struct {
+	piece      int
+	cost       float64
+	relaxed    []geom.HalfPlane // all constraints, loosened by t
+	numRelaxed int
+	z          geom.Vec // LP vertex (fallback center)
+}
+
+const costTol = 1e-7
+
+// Locate estimates the object position from the anchors' PDPs: it builds
+// pairwise judgements, assembles the constraint stack per convex piece
+// (proximity + virtual-AP boundary), solves the relaxation LP (Eq. 19),
+// picks the piece(s) with minimal relaxation cost, and reports the center
+// of the relaxed feasible region.
+func (l *Localizer) Locate(anchors []Anchor) (*Estimate, error) {
+	judgements, err := BuildJudgements(anchors, l.cfg.Pairs, l.cfg.MinConfidence)
+	if err != nil {
+		return nil, err
+	}
+	return l.locateFromJudgements(judgements)
+}
+
+// LocateFromJudgements runs the solve on externally-produced judgements
+// (used by tests and by ablations that manipulate the judgement set).
+func (l *Localizer) LocateFromJudgements(judgements []Judgement) (*Estimate, error) {
+	return l.locateFromJudgements(judgements)
+}
+
+func (l *Localizer) locateFromJudgements(judgements []Judgement) (*Estimate, error) {
+	solves := make([]pieceSolve, 0, len(l.pieces))
+	for pi, piece := range l.pieces {
+		ps, err := l.solvePiece(pi, piece, judgements)
+		if err != nil {
+			return nil, fmt.Errorf("piece %d: %w", pi, err)
+		}
+		solves = append(solves, ps)
+	}
+	if len(solves) == 0 {
+		return nil, ErrNoEstimate
+	}
+
+	best := solves[0]
+	for _, s := range solves[1:] {
+		if s.cost < best.cost {
+			best = s
+		}
+	}
+
+	// Merge pieces tied at (near-)zero cost: the paper merges convex areas
+	// with feasible solutions. The merged estimate is the area-weighted
+	// centroid of the per-piece feasible regions.
+	if best.cost <= costTol {
+		var ties []pieceSolve
+		for _, s := range solves {
+			if s.cost <= costTol {
+				ties = append(ties, s)
+			}
+		}
+		if len(ties) > 1 {
+			if est, ok := l.mergeFeasible(ties, judgements); ok {
+				est.NumJudgements = len(judgements)
+				return est, nil
+			}
+		}
+	}
+
+	pos, err := l.centerOf(best)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		Position:      l.cfg.Area.Clamp(pos),
+		RelaxCost:     best.cost,
+		PieceIndex:    best.piece,
+		NumJudgements: len(judgements),
+		NumRelaxed:    best.numRelaxed,
+	}, nil
+}
+
+// solvePiece assembles and solves the relaxation LP for one convex piece.
+func (l *Localizer) solvePiece(pi int, piece geom.Polygon, judgements []Judgement) (pieceSolve, error) {
+	boundary := BoundaryConstraints(piece, piece.Centroid())
+
+	total := len(judgements) + len(boundary)
+	rows := make([][]float64, 0, total)
+	rhs := make([]float64, 0, total)
+	weights := make([]float64, 0, total)
+	cons := make([]geom.HalfPlane, 0, total)
+
+	// Rows are normalized to unit normal so each relaxation amount tᵢ is
+	// the Euclidean distance by which the bisector is pushed. Without
+	// this, t would be in squared-meter units and the LP would trade a
+	// high-weight boundary row against a wrong far-pair judgement purely
+	// because of row scale.
+	add := func(h geom.HalfPlane, w float64) {
+		n := h.NormalLen()
+		if n < geom.Eps {
+			return // degenerate pair (coincident anchors): no information
+		}
+		hn := geom.HalfPlane{Ax: h.Ax / n, Ay: h.Ay / n, B: h.B / n}
+		rows = append(rows, []float64{hn.Ax, hn.Ay})
+		rhs = append(rhs, hn.B)
+		weights = append(weights, w)
+		cons = append(cons, hn)
+	}
+	for _, j := range judgements {
+		add(j.HalfPlane(), j.Confidence)
+	}
+	judgeRows := len(rows)
+	for _, h := range boundary {
+		add(h, l.cfg.BoundaryWeight)
+	}
+
+	rel, err := lp.RelaxedSolve(rows, rhs, weights)
+	if err != nil {
+		return pieceSolve{}, fmt.Errorf("relaxation: %w", err)
+	}
+
+	relaxed := make([]geom.HalfPlane, len(cons))
+	numRelaxed := 0
+	for i, h := range cons {
+		relaxed[i] = h.Relax(rel.T[i])
+		if i < judgeRows && rel.T[i] > 1e-6 {
+			numRelaxed++
+		}
+	}
+	return pieceSolve{
+		piece:      pi,
+		cost:       rel.Cost,
+		relaxed:    relaxed,
+		numRelaxed: numRelaxed,
+		z:          geom.V(rel.Z[0], rel.Z[1]),
+	}, nil
+}
+
+// centerOf extracts the configured center from a piece solve.
+func (l *Localizer) centerOf(ps pieceSolve) (geom.Vec, error) {
+	rows := make([][]float64, len(ps.relaxed))
+	rhs := make([]float64, len(ps.relaxed))
+	for i, h := range ps.relaxed {
+		rows[i] = []float64{h.Ax, h.Ay}
+		rhs[i] = h.B
+	}
+
+	cheb, _, err := lp.ChebyshevCenter(rows, rhs)
+	if err != nil {
+		// The relaxed system is feasible by construction; a failure here
+		// means the region degenerated to (near) a point — fall back to
+		// the LP vertex.
+		if errors.Is(err, lp.ErrEmptyRegion) || errors.Is(err, lp.ErrUnboundedRegion) {
+			return ps.z, nil
+		}
+		return geom.Vec{}, fmt.Errorf("%w: chebyshev: %v", errNoCenter, err)
+	}
+	chebVec := geom.V(cheb[0], cheb[1])
+
+	switch l.cfg.Center {
+	case ChebyshevRule:
+		return chebVec, nil
+	case AnalyticRule:
+		ac, err := lp.AnalyticCenter(rows, rhs, cheb)
+		if err != nil {
+			// Degenerate interior: the Chebyshev center is the best
+			// available answer.
+			return chebVec, nil
+		}
+		return geom.V(ac[0], ac[1]), nil
+	case CentroidRule:
+		region, ok := l.regionOf(ps)
+		if !ok {
+			return chebVec, nil
+		}
+		return region.Centroid(), nil
+	default:
+		return geom.Vec{}, fmt.Errorf("%w: unknown rule %v", errNoCenter, l.cfg.Center)
+	}
+}
+
+// regionOf materializes the relaxed feasible polygon of a piece solve.
+func (l *Localizer) regionOf(ps pieceSolve) (geom.Polygon, bool) {
+	return geom.FeasibleRegion(l.pieces[ps.piece], ps.relaxed)
+}
+
+// mergeFeasible merges zero-cost pieces: the estimate is the area-weighted
+// centroid of their feasible regions. ok is false when no region could be
+// materialized (caller falls back to the single-piece path).
+func (l *Localizer) mergeFeasible(ties []pieceSolve, judgements []Judgement) (*Estimate, bool) {
+	var weightedSum geom.Vec
+	var areaSum float64
+	for _, s := range ties {
+		region, ok := l.regionOf(s)
+		if !ok {
+			continue
+		}
+		a := region.Area()
+		weightedSum = weightedSum.Add(region.Centroid().Scale(a))
+		areaSum += a
+	}
+	if areaSum <= 0 {
+		return nil, false
+	}
+	pos := weightedSum.Scale(1 / areaSum)
+	return &Estimate{
+		Position:   l.cfg.Area.Clamp(pos),
+		RelaxCost:  0,
+		PieceIndex: -1,
+	}, true
+}

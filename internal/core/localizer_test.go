@@ -1,0 +1,458 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// lArea is a non-convex L-shaped area for decomposition-path tests.
+func lArea() geom.Polygon {
+	return geom.MustPolygon([]geom.Vec{
+		geom.V(0, 0), geom.V(20, 0), geom.V(20, 8), geom.V(8, 8), geom.V(8, 14), geom.V(0, 14),
+	})
+}
+
+// truthAnchors builds anchors whose PDPs decrease monotonically with true
+// distance to obj (an idealized noise-free channel), so every judgement is
+// correct.
+func truthAnchors(obj geom.Vec, positions []geom.Vec) []Anchor {
+	anchors := make([]Anchor, len(positions))
+	for i, p := range positions {
+		d := obj.Dist(p)
+		anchors[i] = Anchor{
+			APID: string(rune('a' + i)),
+			Kind: StaticAP,
+			Pos:  p,
+			PDP:  1 / (1 + d*d),
+		}
+	}
+	return anchors
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoArea) {
+		t.Errorf("no area err = %v", err)
+	}
+	l, err := New(Config{Area: geom.Rect(0, 0, 10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := l.Config()
+	if cfg.BoundaryWeight != 100 || cfg.Center != ChebyshevRule || cfg.Pairs != PaperPairs {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if len(l.Pieces()) != 1 {
+		t.Errorf("convex area pieces = %d", len(l.Pieces()))
+	}
+}
+
+func TestNewDecomposesNonConvex(t *testing.T) {
+	l, err := New(Config{Area: lArea()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Pieces()) < 2 {
+		t.Errorf("L-shape pieces = %d, want ≥ 2", len(l.Pieces()))
+	}
+}
+
+func TestLocatePerfectJudgements(t *testing.T) {
+	// With truth-consistent PDPs the object must land in its own Voronoi
+	// cell: the estimate should be close to the true position.
+	area := geom.Rect(0, 0, 20, 12)
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps := []geom.Vec{geom.V(2, 2), geom.V(18, 2), geom.V(2, 10), geom.V(18, 10)}
+	for _, obj := range []geom.Vec{geom.V(5, 5), geom.V(14, 4), geom.V(10, 6), geom.V(3, 9)} {
+		est, err := l.Locate(truthAnchors(obj, aps))
+		if err != nil {
+			t.Fatalf("obj %v: %v", obj, err)
+		}
+		if est.RelaxCost > 1e-6 {
+			t.Errorf("obj %v: truth-consistent constraints needed relaxation %v", obj, est.RelaxCost)
+		}
+		if !area.Contains(est.Position) {
+			t.Errorf("obj %v: estimate %v outside area", obj, est.Position)
+		}
+		// Voronoi cells of a 4-AP grid in a 20×12 room are large; the
+		// center of the object's cell is within a few meters.
+		if d := est.Position.Dist(obj); d > 6 {
+			t.Errorf("obj %v: estimate %v is %v m away", obj, est.Position, d)
+		}
+	}
+}
+
+func TestLocateNomadicSitesTightenEstimate(t *testing.T) {
+	// Adding nomadic waypoints must not worsen (and typically shrinks) the
+	// error for a truth-consistent system: more correct half-planes can
+	// only shrink the feasible region around the truth.
+	area := geom.Rect(0, 0, 20, 12)
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := geom.V(7, 7)
+	statics := []geom.Vec{geom.V(2, 2), geom.V(18, 2), geom.V(2, 10), geom.V(18, 10)}
+	staticAnchors := truthAnchors(obj, statics)
+
+	base, err := l.Locate(staticAnchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nomadicSites := []geom.Vec{geom.V(6, 4), geom.V(10, 8), geom.V(12, 5)}
+	anchors := append([]Anchor(nil), staticAnchors...)
+	for s, p := range nomadicSites {
+		d := obj.Dist(p)
+		anchors = append(anchors, Anchor{
+			APID:      "nomad",
+			SiteIndex: s + 1,
+			Kind:      NomadicSite,
+			Pos:       p,
+			PDP:       1 / (1 + d*d),
+		})
+	}
+	withNomad, err := l.Locate(anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withNomad.NumJudgements <= base.NumJudgements {
+		t.Errorf("nomadic sites added no judgements: %d vs %d",
+			withNomad.NumJudgements, base.NumJudgements)
+	}
+	dBase := base.Position.Dist(obj)
+	dNomad := withNomad.Position.Dist(obj)
+	if dNomad > dBase+0.5 {
+		t.Errorf("nomadic sites worsened the estimate: %v → %v", dBase, dNomad)
+	}
+}
+
+func TestLocateConflictingJudgementsRelax(t *testing.T) {
+	// Force a contradiction: two anchors at the same PDP-implied side
+	// plus a wrong high-confidence judgement. The solver must relax
+	// something rather than fail.
+	area := geom.Rect(0, 0, 10, 10)
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two judgements with parallel but disjoint half-planes: closer to
+	// a(1,5) than b(9,5) pins x ≤ 5, while closer to d(11,5) than c(3,5)
+	// pins x ≥ 7. No point satisfies both.
+	a := staticAnchor("a", 1, 5, 10)
+	b := staticAnchor("b", 9, 5, 8)
+	c := staticAnchor("c", 3, 5, 2)
+	d := staticAnchor("d", 11, 5, 3)
+	jAB := Judgement{Closer: a, Farther: b, Confidence: 0.8}
+	jDC := Judgement{Closer: d, Farther: c, Confidence: 0.9}
+	est, err := l.LocateFromJudgements([]Judgement{jAB, jDC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RelaxCost <= 0 {
+		t.Error("contradictory system should have positive relaxation cost")
+	}
+	if est.NumRelaxed == 0 {
+		t.Error("no constraint recorded as relaxed")
+	}
+	if !area.Contains(est.Position) {
+		t.Errorf("estimate %v escaped the area", est.Position)
+	}
+}
+
+func TestLocateRelaxationPrefersLowConfidence(t *testing.T) {
+	// Contradiction between a w=0.95 and a w=0.55 judgement: the cheap one
+	// must be sacrificed, so the estimate obeys the confident one.
+	area := geom.Rect(0, 0, 10, 10)
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := staticAnchor("a", 1, 5, 1)
+	b := staticAnchor("b", 9, 5, 1)
+	confident := Judgement{Closer: a, Farther: b, Confidence: 0.95} // x ≤ 5
+	weak := Judgement{Closer: b, Farther: a, Confidence: 0.55}      // x ≥ 5
+	est, err := l.LocateFromJudgements([]Judgement{confident, weak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Position.X > 5+1e-6 {
+		t.Errorf("estimate %v sides with the low-confidence constraint", est.Position)
+	}
+}
+
+func TestLocateCenterRules(t *testing.T) {
+	area := geom.Rect(0, 0, 20, 12)
+	aps := []geom.Vec{geom.V(2, 2), geom.V(18, 2), geom.V(2, 10), geom.V(18, 10)}
+	obj := geom.V(6, 5)
+	for _, rule := range []CenterRule{ChebyshevRule, AnalyticRule, CentroidRule} {
+		l, err := New(Config{Area: area, Center: rule})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := l.Locate(truthAnchors(obj, aps))
+		if err != nil {
+			t.Fatalf("rule %v: %v", rule, err)
+		}
+		if !area.Contains(est.Position) {
+			t.Errorf("rule %v: estimate outside area", rule)
+		}
+		if d := est.Position.Dist(obj); d > 6 {
+			t.Errorf("rule %v: error %v too large", rule, d)
+		}
+	}
+}
+
+func TestLocateNonConvexArea(t *testing.T) {
+	// In the L-shaped area, an object in the upper arm must be localized
+	// there, not in the notch.
+	area := lArea()
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps := []geom.Vec{geom.V(2, 2), geom.V(18, 2), geom.V(2, 12), geom.V(7, 7)}
+	obj := geom.V(4, 11)
+	est, err := l.Locate(truthAnchors(obj, aps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !area.Contains(est.Position) {
+		t.Fatalf("estimate %v outside the L", est.Position)
+	}
+	if d := est.Position.Dist(obj); d > 7 {
+		t.Errorf("estimate %v is %v m from truth", est.Position, d)
+	}
+}
+
+func TestLocateErrors(t *testing.T) {
+	l, err := New(Config{Area: geom.Rect(0, 0, 10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Locate(nil); !errors.Is(err, ErrTooFewAnchors) {
+		t.Errorf("err = %v, want ErrTooFewAnchors", err)
+	}
+}
+
+func TestLocateOnlyBoundary(t *testing.T) {
+	// With zero judgements the estimate degenerates to the area's center
+	// region — it must still be a point inside the area.
+	area := geom.Rect(0, 0, 10, 10)
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := l.LocateFromJudgements(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !area.Contains(est.Position) {
+		t.Errorf("estimate %v outside area", est.Position)
+	}
+	if est.Position.Dist(geom.V(5, 5)) > 1e-6 {
+		t.Errorf("boundary-only estimate = %v, want the center", est.Position)
+	}
+}
+
+func TestCenterRuleString(t *testing.T) {
+	if ChebyshevRule.String() != "chebyshev" || AnalyticRule.String() != "analytic" ||
+		CentroidRule.String() != "centroid" {
+		t.Error("CenterRule.String mismatch")
+	}
+	if CenterRule(0).String() != "centerrule(0)" {
+		t.Error("zero CenterRule should not pretty-print")
+	}
+}
+
+func TestLocateDeterministic(t *testing.T) {
+	area := geom.Rect(0, 0, 20, 12)
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps := []geom.Vec{geom.V(2, 2), geom.V(18, 2), geom.V(2, 10), geom.V(18, 10)}
+	anchors := truthAnchors(geom.V(11, 7), aps)
+	a, err := l.Locate(anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Locate(anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Position != b.Position {
+		t.Errorf("non-deterministic: %v vs %v", a.Position, b.Position)
+	}
+}
+
+func TestEstimateAccuracyImprovesWithMoreSites(t *testing.T) {
+	// Sweep S = 0..6 nomadic waypoints; mean error over several objects
+	// should not increase with S (downscoping property, paper §IV-B.3).
+	area := geom.Rect(0, 0, 20, 12)
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	statics := []geom.Vec{geom.V(2, 2), geom.V(18, 2), geom.V(2, 10), geom.V(18, 10)}
+	waypoints := []geom.Vec{
+		geom.V(6, 4), geom.V(10, 8), geom.V(14, 4), geom.V(5, 9), geom.V(15, 9), geom.V(10, 3),
+	}
+	objects := []geom.Vec{geom.V(4, 6), geom.V(9, 5), geom.V(13, 8), geom.V(16, 4)}
+
+	meanErr := func(numSites int) float64 {
+		var sum float64
+		for _, obj := range objects {
+			anchors := truthAnchors(obj, statics)
+			for s := 0; s < numSites; s++ {
+				p := waypoints[s]
+				d := obj.Dist(p)
+				anchors = append(anchors, Anchor{
+					APID: "nomad", SiteIndex: s + 1, Kind: NomadicSite,
+					Pos: p, PDP: 1 / (1 + d*d),
+				})
+			}
+			est, err := l.Locate(anchors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += est.Position.Dist(obj)
+		}
+		return sum / float64(len(objects))
+	}
+
+	e0 := meanErr(0)
+	e6 := meanErr(6)
+	if e6 > e0 {
+		t.Errorf("6 nomadic sites worsened mean error: %v → %v", e0, e6)
+	}
+	if e6 > 2.5 {
+		t.Errorf("with 6 sites mean error %v still above 2.5 m", e6)
+	}
+}
+
+func BenchmarkLocateStatic(b *testing.B) {
+	l, err := New(Config{Area: geom.Rect(0, 0, 20, 12)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchors := truthAnchors(geom.V(7, 7), []geom.Vec{
+		geom.V(2, 2), geom.V(18, 2), geom.V(2, 10), geom.V(18, 10),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Locate(anchors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocateWithNomadicSites(b *testing.B) {
+	l, err := New(Config{Area: geom.Rect(0, 0, 20, 12)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := geom.V(7, 7)
+	anchors := truthAnchors(obj, []geom.Vec{
+		geom.V(2, 2), geom.V(18, 2), geom.V(2, 10), geom.V(18, 10),
+	})
+	for s, p := range []geom.Vec{geom.V(6, 4), geom.V(10, 8), geom.V(12, 5), geom.V(4, 9)} {
+		d := obj.Dist(p)
+		anchors = append(anchors, Anchor{
+			APID: "nomad", SiteIndex: s + 1, Kind: NomadicSite, Pos: p, PDP: 1 / (1 + d*d),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Locate(anchors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRelaxCostZeroMeansConsistent(t *testing.T) {
+	// Estimates with zero relax cost must satisfy every judgement.
+	area := geom.Rect(0, 0, 20, 12)
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps := []geom.Vec{geom.V(2, 2), geom.V(18, 2), geom.V(2, 10), geom.V(18, 10)}
+	obj := geom.V(12, 4)
+	anchors := truthAnchors(obj, aps)
+	judgements, err := BuildJudgements(anchors, PaperPairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := l.LocateFromJudgements(judgements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RelaxCost > 1e-6 {
+		t.Fatalf("relax cost = %v", est.RelaxCost)
+	}
+	for i, j := range judgements {
+		if v := j.HalfPlane().Violation(est.Position); v > 1e-5 {
+			t.Errorf("judgement %d violated by %v", i, v)
+		}
+	}
+	if math.IsNaN(est.Position.X) || math.IsNaN(est.Position.Y) {
+		t.Error("NaN estimate")
+	}
+}
+
+func TestLocateMergesZeroCostPieces(t *testing.T) {
+	// With no judgements on a non-convex area, every convex piece is
+	// feasible at zero cost, so the estimate must merge the pieces: the
+	// area-weighted centroid of the piece regions equals the polygon's
+	// own centroid, and PieceIndex reports the merged marker −1.
+	area := lArea()
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := l.LocateFromJudgements(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PieceIndex != -1 {
+		t.Errorf("PieceIndex = %d, want -1 (merged)", est.PieceIndex)
+	}
+	if d := est.Position.Dist(area.Centroid()); d > 1e-6 {
+		t.Errorf("merged estimate %v is %v m from the area centroid %v",
+			est.Position, d, area.Centroid())
+	}
+}
+
+func TestLocateMergedRegionRespectsConstraints(t *testing.T) {
+	// One judgement that keeps parts of both pieces feasible: the merged
+	// estimate must satisfy it.
+	area := lArea()
+	l, err := New(Config{Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := staticAnchor("a", 2, 2, 5)
+	b := staticAnchor("b", 18, 2, 1)
+	j, err := Judge(a, b) // closer to a: keeps the west of both arms
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := l.LocateFromJudgements([]Judgement{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := j.HalfPlane().Violation(est.Position); v > 1e-6 {
+		t.Errorf("merged estimate violates the judgement by %v", v)
+	}
+	if !area.Contains(est.Position) {
+		t.Errorf("estimate %v outside area", est.Position)
+	}
+}

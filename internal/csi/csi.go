@@ -1,0 +1,286 @@
+// Package csi models 802.11n channel state information the way NomLoc's
+// measurement plane consumes it: a complex gain per OFDM subcarrier,
+// captured per received packet, with the radio parameters (bandwidth,
+// carrier, subcarrier grid) needed to interpret it in the delay domain.
+//
+// The default configuration mirrors the Intel WiFi 5300 CSI tool the paper
+// used: 30 reported subcarrier groups spanning a 20 MHz 802.11n channel.
+package csi
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Physical constants.
+const (
+	// SpeedOfLight in meters per second.
+	SpeedOfLight = 299_792_458.0
+)
+
+// Default radio parameters (802.11n, channel 6, Intel 5300-style export).
+const (
+	DefaultNumSubcarriers = 30
+	DefaultBandwidth      = 20e6    // Hz
+	DefaultCarrierFreq    = 2.437e9 // Hz (2.4 GHz channel 6)
+)
+
+// Config describes the OFDM sampling grid of a CSI capture.
+type Config struct {
+	// NumSubcarriers is the number of reported subcarriers.
+	NumSubcarriers int
+	// Bandwidth is the occupied bandwidth in Hz; subcarriers are spaced
+	// uniformly at Bandwidth/NumSubcarriers so an IFFT over the report
+	// yields delay taps of duration 1/Bandwidth.
+	Bandwidth float64
+	// CarrierFreq is the RF carrier in Hz; it only matters for the
+	// per-path carrier phase, not for the delay grid.
+	CarrierFreq float64
+}
+
+// DefaultConfig returns the Intel 5300-style configuration the paper's
+// prototype used.
+func DefaultConfig() Config {
+	return Config{
+		NumSubcarriers: DefaultNumSubcarriers,
+		Bandwidth:      DefaultBandwidth,
+		CarrierFreq:    DefaultCarrierFreq,
+	}
+}
+
+// Errors reported by the package.
+var (
+	ErrBadConfig      = errors.New("csi: invalid config")
+	ErrLengthMismatch = errors.New("csi: vector length mismatch")
+	ErrCorruptData    = errors.New("csi: corrupt encoding")
+)
+
+// Validate checks the configuration for physical plausibility.
+func (c Config) Validate() error {
+	if c.NumSubcarriers < 2 {
+		return fmt.Errorf("%w: need ≥ 2 subcarriers, got %d", ErrBadConfig, c.NumSubcarriers)
+	}
+	if c.Bandwidth <= 0 || math.IsNaN(c.Bandwidth) || math.IsInf(c.Bandwidth, 0) {
+		return fmt.Errorf("%w: bandwidth %v", ErrBadConfig, c.Bandwidth)
+	}
+	if c.CarrierFreq <= 0 || math.IsNaN(c.CarrierFreq) || math.IsInf(c.CarrierFreq, 0) {
+		return fmt.Errorf("%w: carrier %v", ErrBadConfig, c.CarrierFreq)
+	}
+	return nil
+}
+
+// SubcarrierSpacing returns the frequency step between reported
+// subcarriers in Hz.
+func (c Config) SubcarrierSpacing() float64 {
+	return c.Bandwidth / float64(c.NumSubcarriers)
+}
+
+// SubcarrierOffsets returns the baseband frequency offset of each reported
+// subcarrier relative to subcarrier 0, in Hz: k·Δf.
+func (c Config) SubcarrierOffsets() []float64 {
+	df := c.SubcarrierSpacing()
+	out := make([]float64, c.NumSubcarriers)
+	for k := range out {
+		out[k] = float64(k) * df
+	}
+	return out
+}
+
+// DelayResolution returns the delay-domain tap duration in seconds
+// (1/bandwidth — 50 ns for a 20 MHz channel).
+func (c Config) DelayResolution() float64 { return 1 / c.Bandwidth }
+
+// MetersPerTap returns the path-length difference one CIR tap represents.
+func (c Config) MetersPerTap() float64 { return SpeedOfLight / c.Bandwidth }
+
+// MaxUnambiguousDelay returns the delay beyond which CIR taps alias
+// (N/bandwidth).
+func (c Config) MaxUnambiguousDelay() float64 {
+	return float64(c.NumSubcarriers) / c.Bandwidth
+}
+
+// Wavelength returns the carrier wavelength in meters.
+func (c Config) Wavelength() float64 { return SpeedOfLight / c.CarrierFreq }
+
+// Vector is one CSI snapshot: a complex channel gain per subcarrier.
+type Vector []complex128
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Power returns Σ|H[k]|².
+func (v Vector) Power() float64 {
+	var p float64
+	for _, c := range v {
+		re, im := real(c), imag(c)
+		p += re*re + im*im
+	}
+	return p
+}
+
+// IsZero reports whether every entry is exactly zero (an unset vector).
+func (v Vector) IsZero() bool {
+	for _, c := range v {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// magicVector tags the binary encoding of a Vector.
+const magicVector uint32 = 0x43534956 // "CSIV"
+
+// MarshalBinary encodes the vector as magic, count, then big-endian
+// float64 (re, im) pairs.
+func (v Vector) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(8 + 16*len(v))
+	var scratch [8]byte
+	binary.BigEndian.PutUint32(scratch[:4], magicVector)
+	binary.BigEndian.PutUint32(scratch[4:], uint32(len(v)))
+	buf.Write(scratch[:])
+	for _, c := range v {
+		binary.BigEndian.PutUint64(scratch[:], math.Float64bits(real(c)))
+		buf.Write(scratch[:])
+		binary.BigEndian.PutUint64(scratch[:], math.Float64bits(imag(c)))
+		buf.Write(scratch[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a vector produced by MarshalBinary.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("%w: short header (%d bytes)", ErrCorruptData, len(data))
+	}
+	if binary.BigEndian.Uint32(data[:4]) != magicVector {
+		return fmt.Errorf("%w: bad magic", ErrCorruptData)
+	}
+	n := int(binary.BigEndian.Uint32(data[4:8]))
+	want := 8 + 16*n
+	if len(data) != want {
+		return fmt.Errorf("%w: have %d bytes, want %d for %d subcarriers",
+			ErrCorruptData, len(data), want, n)
+	}
+	out := make(Vector, n)
+	off := 8
+	for i := 0; i < n; i++ {
+		re := math.Float64frombits(binary.BigEndian.Uint64(data[off : off+8]))
+		im := math.Float64frombits(binary.BigEndian.Uint64(data[off+8 : off+16]))
+		out[i] = complex(re, im)
+		off += 16
+	}
+	*v = out
+	return nil
+}
+
+// MarshalJSON encodes the vector as a base64 string of its binary form
+// (complex128 has no native JSON representation).
+func (v Vector) MarshalJSON() ([]byte, error) {
+	raw, err := v.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(base64.StdEncoding.EncodeToString(raw))
+}
+
+// UnmarshalJSON decodes the base64 binary form written by MarshalJSON.
+func (v *Vector) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptData, err)
+	}
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("%w: base64: %v", ErrCorruptData, err)
+	}
+	return v.UnmarshalBinary(raw)
+}
+
+// Sample is one packet's CSI capture at an AP, stamped with the capture
+// context the localization server needs.
+type Sample struct {
+	// APID identifies the capturing access point.
+	APID string `json:"apId"`
+	// Seq is the packet sequence number within a measurement burst.
+	Seq uint64 `json:"seq"`
+	// CapturedAt is the capture timestamp.
+	CapturedAt time.Time `json:"capturedAt"`
+	// RSSI is the coarse received signal strength in dBm (what legacy
+	// RSS-based systems would use; kept for the baselines).
+	RSSI float64 `json:"rssi"`
+	// CSI is the per-subcarrier channel snapshot.
+	CSI Vector `json:"csi"`
+}
+
+// Validate checks the sample against a configuration.
+func (s *Sample) Validate(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(s.CSI) != cfg.NumSubcarriers {
+		return fmt.Errorf("%w: sample has %d subcarriers, config wants %d",
+			ErrLengthMismatch, len(s.CSI), cfg.NumSubcarriers)
+	}
+	return nil
+}
+
+// Batch is a burst of samples captured by one AP at one (AP) position.
+type Batch struct {
+	// APID identifies the capturing AP.
+	APID string `json:"apId"`
+	// SiteIndex is the waypoint index a nomadic AP occupied for this
+	// burst; static APs use 0.
+	SiteIndex int `json:"siteIndex"`
+	// Samples holds the per-packet captures.
+	Samples []Sample `json:"samples"`
+}
+
+// MeanVector returns the per-subcarrier average of all sample CSI vectors
+// in the batch; averaging coherent snapshots suppresses per-packet noise.
+// It returns an error when the batch is empty or lengths disagree.
+func (b *Batch) MeanVector() (Vector, error) {
+	if len(b.Samples) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrCorruptData)
+	}
+	n := len(b.Samples[0].CSI)
+	mean := make(Vector, n)
+	for i := range b.Samples {
+		if len(b.Samples[i].CSI) != n {
+			return nil, fmt.Errorf("%w: sample %d has %d subcarriers, want %d",
+				ErrLengthMismatch, i, len(b.Samples[i].CSI), n)
+		}
+		for k, c := range b.Samples[i].CSI {
+			mean[k] += c
+		}
+	}
+	inv := complex(1/float64(len(b.Samples)), 0)
+	for k := range mean {
+		mean[k] *= inv
+	}
+	return mean, nil
+}
+
+// MeanRSSI returns the average RSSI across the batch (dBm domain average,
+// the way commodity stacks report it). It returns −Inf for an empty batch.
+func (b *Batch) MeanRSSI() float64 {
+	if len(b.Samples) == 0 {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for i := range b.Samples {
+		sum += b.Samples[i].RSSI
+	}
+	return sum / float64(len(b.Samples))
+}

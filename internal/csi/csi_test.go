@@ -1,0 +1,214 @@
+package csi
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.NumSubcarriers != 30 {
+		t.Errorf("NumSubcarriers = %d", cfg.NumSubcarriers)
+	}
+	// 20 MHz channel: one tap is ~15 m of path.
+	if got := cfg.MetersPerTap(); math.Abs(got-14.99) > 0.1 {
+		t.Errorf("MetersPerTap = %v, want ≈ 14.99", got)
+	}
+	if got := cfg.DelayResolution(); math.Abs(got-50e-9) > 1e-12 {
+		t.Errorf("DelayResolution = %v, want 50 ns", got)
+	}
+	if got := cfg.MaxUnambiguousDelay(); math.Abs(got-1.5e-6) > 1e-12 {
+		t.Errorf("MaxUnambiguousDelay = %v, want 1.5 µs", got)
+	}
+	if got := cfg.Wavelength(); math.Abs(got-0.123) > 0.001 {
+		t.Errorf("Wavelength = %v, want ≈ 0.123 m", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{NumSubcarriers: 1, Bandwidth: 20e6, CarrierFreq: 2.4e9},
+		{NumSubcarriers: 30, Bandwidth: 0, CarrierFreq: 2.4e9},
+		{NumSubcarriers: 30, Bandwidth: -1, CarrierFreq: 2.4e9},
+		{NumSubcarriers: 30, Bandwidth: 20e6, CarrierFreq: 0},
+		{NumSubcarriers: 30, Bandwidth: math.NaN(), CarrierFreq: 2.4e9},
+		{NumSubcarriers: 30, Bandwidth: 20e6, CarrierFreq: math.Inf(1)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestSubcarrierOffsets(t *testing.T) {
+	cfg := Config{NumSubcarriers: 4, Bandwidth: 4e6, CarrierFreq: 2.4e9}
+	offs := cfg.SubcarrierOffsets()
+	want := []float64{0, 1e6, 2e6, 3e6}
+	if len(offs) != 4 {
+		t.Fatalf("len = %d", len(offs))
+	}
+	for i := range want {
+		if math.Abs(offs[i]-want[i]) > 1e-6 {
+			t.Errorf("offset[%d] = %v, want %v", i, offs[i], want[i])
+		}
+	}
+	if got := cfg.SubcarrierSpacing(); math.Abs(got-1e6) > 1e-9 {
+		t.Errorf("spacing = %v", got)
+	}
+}
+
+func TestVectorPowerAndClone(t *testing.T) {
+	v := Vector{3 + 4i, 1i}
+	if got := v.Power(); math.Abs(got-26) > 1e-12 {
+		t.Errorf("Power = %v, want 26", got)
+	}
+	c := v.Clone()
+	c[0] = 0
+	if v[0] != 3+4i {
+		t.Error("Clone aliases the original")
+	}
+	if !(Vector{0, 0}).IsZero() {
+		t.Error("zero vector not detected")
+	}
+	if v.IsZero() {
+		t.Error("nonzero vector reported zero")
+	}
+}
+
+func TestVectorBinaryRoundtrip(t *testing.T) {
+	v := Vector{1 + 2i, -3.5 + 0.25i, 0, complex(math.Pi, -math.E)}
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 8+16*len(v) {
+		t.Errorf("encoded length = %d", len(data))
+	}
+	var got Vector
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(v) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Errorf("entry %d: %v != %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestVectorUnmarshalErrors(t *testing.T) {
+	var v Vector
+	if err := v.UnmarshalBinary([]byte{1, 2}); !errors.Is(err, ErrCorruptData) {
+		t.Errorf("short: err = %v", err)
+	}
+	good, err := (Vector{1}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if err := v.UnmarshalBinary(bad); !errors.Is(err, ErrCorruptData) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	if err := v.UnmarshalBinary(good[:len(good)-1]); !errors.Is(err, ErrCorruptData) {
+		t.Errorf("truncated: err = %v", err)
+	}
+}
+
+func TestPropVectorBinaryRoundtrip(t *testing.T) {
+	f := func(res, ims []float64) bool {
+		n := len(res)
+		if len(ims) < n {
+			n = len(ims)
+		}
+		v := make(Vector, n)
+		for i := 0; i < n; i++ {
+			re, im := res[i], ims[i]
+			if math.IsNaN(re) || math.IsNaN(im) {
+				return true // NaN != NaN; skip
+			}
+			v[i] = complex(re, im)
+		}
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Vector
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleValidate(t *testing.T) {
+	cfg := Config{NumSubcarriers: 3, Bandwidth: 20e6, CarrierFreq: 2.4e9}
+	s := &Sample{APID: "ap1", CSI: Vector{1, 2, 3}, CapturedAt: time.Now()}
+	if err := s.Validate(cfg); err != nil {
+		t.Errorf("valid sample rejected: %v", err)
+	}
+	s.CSI = Vector{1}
+	if err := s.Validate(cfg); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+	if err := s.Validate(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestBatchMeanVector(t *testing.T) {
+	b := &Batch{
+		APID: "ap1",
+		Samples: []Sample{
+			{CSI: Vector{2 + 2i, 4}},
+			{CSI: Vector{4 - 2i, 0}},
+		},
+	}
+	mean, err := b.MeanVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean[0] != 3+0i || mean[1] != 2 {
+		t.Errorf("mean = %v", mean)
+	}
+
+	empty := &Batch{}
+	if _, err := empty.MeanVector(); err == nil {
+		t.Error("empty batch should error")
+	}
+
+	ragged := &Batch{Samples: []Sample{{CSI: Vector{1}}, {CSI: Vector{1, 2}}}}
+	if _, err := ragged.MeanVector(); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestBatchMeanRSSI(t *testing.T) {
+	b := &Batch{Samples: []Sample{{RSSI: -40}, {RSSI: -50}}}
+	if got := b.MeanRSSI(); math.Abs(got+45) > 1e-12 {
+		t.Errorf("MeanRSSI = %v, want -45", got)
+	}
+	if got := (&Batch{}).MeanRSSI(); !math.IsInf(got, -1) {
+		t.Errorf("empty MeanRSSI = %v, want -Inf", got)
+	}
+}

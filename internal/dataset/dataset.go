@@ -1,0 +1,164 @@
+// Package dataset records and replays measurement campaigns: the raw CSI
+// batches a localization run consumed, with ground truth, serialized as
+// gzip-compressed JSON. Replaying a dataset re-runs the algorithms on
+// identical inputs — the workflow for offline algorithm work, regression
+// testing against captured campaigns, and sharing experiment data.
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// FormatVersion identifies the on-disk schema.
+const FormatVersion = 1
+
+// Dataset is one recorded measurement campaign.
+type Dataset struct {
+	// Version is the schema version (FormatVersion at write time).
+	Version int `json:"version"`
+	// Scenario names the scene the campaign ran in.
+	Scenario string `json:"scenario"`
+	// Mode describes the deployment ("static", "nomadic", …).
+	Mode string `json:"mode"`
+	// Radio is the CSI sampling grid of every batch.
+	Radio csi.Config `json:"radio"`
+	// CreatedAt stamps the recording.
+	CreatedAt time.Time `json:"createdAt"`
+	// Records holds one entry per localization round.
+	Records []Record `json:"records"`
+}
+
+// Record is one localization round: the object's ground truth and the
+// anchor measurements the server would consume.
+type Record struct {
+	// Truth is the object's true position.
+	Truth geom.Vec `json:"truth"`
+	// Anchors holds the per-anchor captures.
+	Anchors []AnchorRecord `json:"anchors"`
+}
+
+// AnchorRecord is one anchor's capture in a round.
+type AnchorRecord struct {
+	// APID names the access point.
+	APID string `json:"apId"`
+	// SiteIndex is the nomadic waypoint index (0 = static).
+	SiteIndex int `json:"siteIndex"`
+	// Nomadic marks nomadic-site anchors.
+	Nomadic bool `json:"nomadic"`
+	// Pos is the believed anchor position.
+	Pos geom.Vec `json:"pos"`
+	// Batch carries the raw CSI burst.
+	Batch csi.Batch `json:"batch"`
+}
+
+// Dataset errors.
+var (
+	ErrBadVersion = errors.New("dataset: unsupported format version")
+	ErrEmpty      = errors.New("dataset: no records")
+)
+
+// Validate checks structural invariants.
+func (d *Dataset) Validate() error {
+	if d.Version != FormatVersion {
+		return fmt.Errorf("%w: %d (want %d)", ErrBadVersion, d.Version, FormatVersion)
+	}
+	if len(d.Records) == 0 {
+		return ErrEmpty
+	}
+	if err := d.Radio.Validate(); err != nil {
+		return err
+	}
+	for ri, rec := range d.Records {
+		if len(rec.Anchors) < 2 {
+			return fmt.Errorf("dataset: record %d has %d anchors, need ≥ 2", ri, len(rec.Anchors))
+		}
+		for ai, a := range rec.Anchors {
+			if len(a.Batch.Samples) == 0 {
+				return fmt.Errorf("dataset: record %d anchor %d (%s#%d) has no samples",
+					ri, ai, a.APID, a.SiteIndex)
+			}
+			for si := range a.Batch.Samples {
+				if len(a.Batch.Samples[si].CSI) != d.Radio.NumSubcarriers {
+					return fmt.Errorf("dataset: record %d anchor %d sample %d has %d subcarriers, want %d",
+						ri, ai, si, len(a.Batch.Samples[si].CSI), d.Radio.NumSubcarriers)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Save writes the dataset as gzip-compressed JSON.
+func (d *Dataset) Save(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	if err := enc.Encode(d); err != nil {
+		_ = gz.Close()
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset written by Save and validates it.
+func Load(r io.Reader) (*Dataset, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: gzip: %w", err)
+	}
+	defer func() { _ = gz.Close() }()
+	var d Dataset
+	if err := json.NewDecoder(gz).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// SaveFile writes the dataset to path (creating or truncating it).
+func (d *Dataset) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	return d.Save(f)
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	return Load(f)
+}
+
+// NumSamples returns the total packet count across all records.
+func (d *Dataset) NumSamples() int {
+	total := 0
+	for _, rec := range d.Records {
+		for _, a := range rec.Anchors {
+			total += len(a.Batch.Samples)
+		}
+	}
+	return total
+}

@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// sampleDataset builds a minimal valid dataset.
+func sampleDataset() *Dataset {
+	cfg := csi.Config{NumSubcarriers: 4, Bandwidth: 20e6, CarrierFreq: 2.4e9}
+	mkBatch := func(apID string) csi.Batch {
+		return csi.Batch{
+			APID: apID,
+			Samples: []csi.Sample{
+				{APID: apID, Seq: 0, CSI: csi.Vector{1, 2i, -1, 0.5}},
+				{APID: apID, Seq: 1, CSI: csi.Vector{1, 1i, -2, 0.25}},
+			},
+		}
+	}
+	return &Dataset{
+		Version:   FormatVersion,
+		Scenario:  "lab",
+		Mode:      "static",
+		Radio:     cfg,
+		CreatedAt: time.Unix(1700000000, 0).UTC(),
+		Records: []Record{
+			{
+				Truth: geom.V(3, 4),
+				Anchors: []AnchorRecord{
+					{APID: "ap1", Pos: geom.V(0, 0), Batch: mkBatch("ap1")},
+					{APID: "ap2", Pos: geom.V(10, 0), Batch: mkBatch("ap2")},
+				},
+			},
+		},
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	if err := sampleDataset().Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+
+	d := sampleDataset()
+	d.Version = 99
+	if err := d.Validate(); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version err = %v", err)
+	}
+
+	d = sampleDataset()
+	d.Records = nil
+	if err := d.Validate(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+
+	d = sampleDataset()
+	d.Records[0].Anchors = d.Records[0].Anchors[:1]
+	if err := d.Validate(); err == nil {
+		t.Error("single-anchor record accepted")
+	}
+
+	d = sampleDataset()
+	d.Records[0].Anchors[0].Batch.Samples = nil
+	if err := d.Validate(); err == nil {
+		t.Error("empty batch accepted")
+	}
+
+	d = sampleDataset()
+	d.Records[0].Anchors[0].Batch.Samples[0].CSI = csi.Vector{1}
+	if err := d.Validate(); err == nil {
+		t.Error("wrong subcarrier count accepted")
+	}
+
+	d = sampleDataset()
+	d.Radio.Bandwidth = -1
+	if err := d.Validate(); err == nil {
+		t.Error("bad radio config accepted")
+	}
+}
+
+func TestDatasetSaveLoadRoundtrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != d.Scenario || got.Mode != d.Mode {
+		t.Errorf("meta lost: %+v", got)
+	}
+	if len(got.Records) != 1 {
+		t.Fatalf("records = %d", len(got.Records))
+	}
+	if got.Records[0].Truth != d.Records[0].Truth {
+		t.Error("truth lost")
+	}
+	a := got.Records[0].Anchors[0]
+	if a.APID != "ap1" || len(a.Batch.Samples) != 2 {
+		t.Errorf("anchor lost: %+v", a)
+	}
+	if a.Batch.Samples[0].CSI[1] != 2i {
+		t.Errorf("CSI corrupted: %v", a.Batch.Samples[0].CSI)
+	}
+	if !got.CreatedAt.Equal(d.CreatedAt) {
+		t.Error("timestamp lost")
+	}
+}
+
+func TestDatasetLoadErrors(t *testing.T) {
+	// Not gzip.
+	if _, err := Load(bytes.NewReader([]byte("plain text"))); err == nil {
+		t.Error("non-gzip accepted")
+	}
+	// Valid gzip, invalid content.
+	var buf bytes.Buffer
+	bad := sampleDataset()
+	bad.Records = nil
+	_ = bad.Save(&buf) // Save does not validate; Load must
+	if _, err := Load(&buf); !errors.Is(err, ErrEmpty) {
+		t.Errorf("invalid content err = %v", err)
+	}
+}
+
+func TestDatasetFileRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json.gz")
+	d := sampleDataset()
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSamples() != d.NumSamples() {
+		t.Errorf("samples = %d, want %d", got.NumSamples(), d.NumSamples())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gz")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestNumSamples(t *testing.T) {
+	if got := sampleDataset().NumSamples(); got != 4 {
+		t.Errorf("NumSamples = %d, want 4", got)
+	}
+}

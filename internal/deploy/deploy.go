@@ -1,0 +1,369 @@
+// Package deploy holds the experiment scenarios: digitized versions of the
+// paper's two testbeds (Fig. 6) — a cluttered Lab and a larger, sparser
+// L-shaped Lobby — plus an extra multi-room office stress scene. Each
+// scenario fixes the floor plan, obstacle layout, AP deployment, the
+// nomadic AP's waypoints, and the evaluation test sites. Custom scenes are
+// built by filling the exported Scenario struct and calling Validate.
+package deploy
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nomloc/nomloc/internal/channel"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// AP is a deployed access point.
+type AP struct {
+	// ID names the AP ("ap1" … "ap4").
+	ID string
+	// Pos is its true position.
+	Pos geom.Vec
+}
+
+// NomadicAP describes the mobile AP: its home position (where the static
+// benchmark keeps it) and the waypoint sites it random-walks among
+// (paper: "moves among current location and {P1, P2, P3}").
+type NomadicAP struct {
+	// ID names the AP.
+	ID string
+	// Home is the starting position, also its fixed position in the
+	// static-deployment benchmark.
+	Home geom.Vec
+	// Waypoints are the additional sites it visits (P1, P2, P3, …).
+	Waypoints []geom.Vec
+}
+
+// AllSites returns home followed by the waypoints — the full site set L of
+// the Markov mobility model.
+func (n NomadicAP) AllSites() []geom.Vec {
+	out := make([]geom.Vec, 0, len(n.Waypoints)+1)
+	out = append(out, n.Home)
+	out = append(out, n.Waypoints...)
+	return out
+}
+
+// Scenario is one complete experimental setup.
+type Scenario struct {
+	// Name labels the scenario ("lab", "lobby").
+	Name string
+	// Area is the area of interest.
+	Area geom.Polygon
+	// Env is the propagation environment (boundary, walls, clutter).
+	Env *channel.Environment
+	// Radio is the channel parameterization.
+	Radio channel.Params
+	// StaticAPs are the fixed APs (paper: AP2–AP4).
+	StaticAPs []AP
+	// Nomadic is the mobile AP (paper: AP1).
+	Nomadic NomadicAP
+	// TestSites are the ground-truth object positions evaluated.
+	TestSites []geom.Vec
+}
+
+// Validation errors.
+var (
+	ErrBadScenario = errors.New("deploy: invalid scenario")
+)
+
+// Validate checks internal consistency: all APs, waypoints and test sites
+// inside the area, no duplicate AP IDs, at least two APs overall.
+func (s *Scenario) Validate() error {
+	if s.Env == nil {
+		return fmt.Errorf("%w: nil environment", ErrBadScenario)
+	}
+	if s.Area.NumVertices() < 3 {
+		return fmt.Errorf("%w: no area", ErrBadScenario)
+	}
+	ids := map[string]bool{}
+	check := func(what string, p geom.Vec) error {
+		if !s.Area.Contains(p) {
+			return fmt.Errorf("%w: %s at %v outside the area", ErrBadScenario, what, p)
+		}
+		return nil
+	}
+	for _, ap := range s.StaticAPs {
+		if ids[ap.ID] {
+			return fmt.Errorf("%w: duplicate AP id %q", ErrBadScenario, ap.ID)
+		}
+		ids[ap.ID] = true
+		if err := check("static AP "+ap.ID, ap.Pos); err != nil {
+			return err
+		}
+	}
+	if s.Nomadic.ID != "" {
+		if ids[s.Nomadic.ID] {
+			return fmt.Errorf("%w: duplicate AP id %q", ErrBadScenario, s.Nomadic.ID)
+		}
+		if err := check("nomadic home", s.Nomadic.Home); err != nil {
+			return err
+		}
+		for i, w := range s.Nomadic.Waypoints {
+			if err := check(fmt.Sprintf("waypoint P%d", i+1), w); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.StaticAPs) == 0 || (len(s.StaticAPs) < 2 && s.Nomadic.ID == "") {
+		return fmt.Errorf("%w: need at least two APs", ErrBadScenario)
+	}
+	if len(s.TestSites) == 0 {
+		return fmt.Errorf("%w: no test sites", ErrBadScenario)
+	}
+	for i, ts := range s.TestSites {
+		if err := check(fmt.Sprintf("test site %d", i+1), ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Simulator builds the channel simulator for the scenario.
+func (s *Scenario) Simulator() (*channel.Simulator, error) {
+	return channel.NewSimulator(s.Env, s.Radio)
+}
+
+// AllAPsStatic returns the static-benchmark deployment: every AP fixed,
+// the nomadic AP parked at Home.
+func (s *Scenario) AllAPsStatic() []AP {
+	out := make([]AP, 0, len(s.StaticAPs)+1)
+	out = append(out, s.StaticAPs...)
+	if s.Nomadic.ID != "" {
+		out = append(out, AP{ID: s.Nomadic.ID, Pos: s.Nomadic.Home})
+	}
+	return out
+}
+
+// Lab returns the digitized Lab scenario (paper Fig. 6a): a 12 m × 8 m
+// cluttered machine room. Equipment racks and desks add NLOS walls and
+// scatterers; ten test sites cover the floor. AP1 (bottom-left) is the
+// nomadic AP with waypoints P1–P3 spread across the room.
+func Lab() (*Scenario, error) {
+	area := geom.Rect(0, 0, 12, 8)
+	env, err := channel.NewEnvironment(area, 12)
+	if err != nil {
+		return nil, fmt.Errorf("lab environment: %w", err)
+	}
+	// Clutter: equipment racks and desk clusters (attenuating, reflective
+	// metal surfaces), per the "substantial equipments (PCs and servers)
+	// and office facilities" description.
+	boxes := [][4]float64{
+		{2.5, 2.5, 4.5, 3.3},  // desk island
+		{7.0, 4.6, 9.0, 5.4},  // server rack row
+		{4.8, 6.2, 6.2, 7.2},  // cabinet
+		{9.8, 1.0, 11.0, 1.8}, // printer corner
+	}
+	for _, b := range boxes {
+		if err := env.AddBox(b[0], b[1], b[2], b[3], 7, true); err != nil {
+			return nil, fmt.Errorf("lab box: %w", err)
+		}
+	}
+	// A half-height partition wall near the entrance.
+	if err := env.AddWall(channel.Wall{
+		Seg:           geom.Seg(geom.V(0, 4.5), geom.V(2.6, 4.5)),
+		AttenuationDB: 9,
+		Reflective:    true,
+	}); err != nil {
+		return nil, fmt.Errorf("lab partition: %w", err)
+	}
+	// Point clutter: PCs, chairs, people.
+	for _, p := range []geom.Vec{
+		geom.V(3.2, 1.4), geom.V(8.8, 2.8), geom.V(5.4, 4.9), geom.V(10.4, 6.6), geom.V(1.6, 6.2),
+	} {
+		if err := env.AddScatterer(channel.Scatterer{Pos: p, ExcessLossDB: 13}); err != nil {
+			return nil, fmt.Errorf("lab scatterer: %w", err)
+		}
+	}
+
+	s := &Scenario{
+		Name:  "lab",
+		Area:  area,
+		Env:   env,
+		Radio: channel.DefaultParams(),
+		StaticAPs: []AP{
+			{ID: "ap2", Pos: geom.V(11.2, 0.8)},
+			{ID: "ap3", Pos: geom.V(0.8, 7.2)},
+			{ID: "ap4", Pos: geom.V(11.2, 7.2)},
+		},
+		Nomadic: NomadicAP{
+			ID:   "ap1",
+			Home: geom.V(0.8, 0.8),
+			Waypoints: []geom.Vec{
+				geom.V(4.0, 4.2), // P1
+				geom.V(8.2, 2.0), // P2
+				geom.V(7.2, 6.6), // P3 (clear of the cabinet)
+			},
+		},
+		TestSites: []geom.Vec{
+			geom.V(1.8, 2.2), geom.V(3.4, 5.6), geom.V(5.6, 1.6), geom.V(6.0, 3.9),
+			geom.V(7.8, 6.4), geom.V(6.2, 5.7), geom.V(9.4, 4.0), geom.V(10.2, 2.4),
+			geom.V(2.4, 7.0), geom.V(10.6, 7.0),
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Lobby returns the digitized Lobby scenario (paper Fig. 6b): a larger,
+// more open L-shaped atrium of roughly 20 m × 14 m. The non-convex shape
+// exercises the convex-decomposition path of the SP solver; clutter is
+// sparse (pillars and a reception desk). Twelve test sites span both arms
+// of the L.
+func Lobby() (*Scenario, error) {
+	area := geom.MustPolygon([]geom.Vec{
+		geom.V(0, 0), geom.V(20, 0), geom.V(20, 8), geom.V(8, 8), geom.V(8, 14), geom.V(0, 14),
+	})
+	env, err := channel.NewEnvironment(area, 12)
+	if err != nil {
+		return nil, fmt.Errorf("lobby environment: %w", err)
+	}
+	// Two structural pillars and a reception desk.
+	if err := env.AddBox(9.5, 3.5, 10.3, 4.3, 10, true); err != nil {
+		return nil, fmt.Errorf("lobby pillar: %w", err)
+	}
+	if err := env.AddBox(3.6, 9.6, 4.4, 10.4, 10, true); err != nil {
+		return nil, fmt.Errorf("lobby pillar: %w", err)
+	}
+	if err := env.AddBox(14.0, 5.8, 17.0, 6.8, 6, true); err != nil {
+		return nil, fmt.Errorf("lobby desk: %w", err)
+	}
+	for _, p := range []geom.Vec{geom.V(6, 2.5), geom.V(16, 2.2), geom.V(2.5, 11.5)} {
+		if err := env.AddScatterer(channel.Scatterer{Pos: p, ExcessLossDB: 15}); err != nil {
+			return nil, fmt.Errorf("lobby scatterer: %w", err)
+		}
+	}
+
+	s := &Scenario{
+		Name:  "lobby",
+		Area:  area,
+		Env:   env,
+		Radio: channel.DefaultParams(),
+		StaticAPs: []AP{
+			{ID: "ap2", Pos: geom.V(19.2, 0.8)},
+			{ID: "ap3", Pos: geom.V(0.8, 13.2)},
+			{ID: "ap4", Pos: geom.V(19.2, 7.2)},
+		},
+		Nomadic: NomadicAP{
+			ID:   "ap1",
+			Home: geom.V(0.8, 0.8),
+			Waypoints: []geom.Vec{
+				geom.V(6.0, 6.0),  // P1
+				geom.V(14.0, 3.8), // P2
+				geom.V(5.4, 10.8), // P3 (clear of the upper pillar)
+			},
+		},
+		TestSites: []geom.Vec{
+			geom.V(2.2, 2.0), geom.V(5.0, 4.8), geom.V(8.5, 1.8), geom.V(11.5, 5.5),
+			geom.V(13.0, 2.2), geom.V(15.5, 4.2), geom.V(18.0, 6.6), geom.V(18.2, 1.6),
+			geom.V(2.0, 6.8), geom.V(5.8, 9.2), geom.V(2.6, 12.4), geom.V(6.4, 12.6),
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ByName returns a built-in scenario by name.
+func ByName(name string) (*Scenario, error) {
+	switch name {
+	case "lab":
+		return Lab()
+	case "lobby":
+		return Lobby()
+	case "office":
+		return Office()
+	default:
+		return nil, fmt.Errorf("%w: unknown scenario %q (want lab, lobby, or office)",
+			ErrBadScenario, name)
+	}
+}
+
+// Names lists the scenarios the paper evaluates (the figure runners
+// iterate these). The extra stress scenario is in AllNames.
+func Names() []string { return []string{"lab", "lobby"} }
+
+// AllNames lists every built-in scenario, including the non-paper office
+// floor.
+func AllNames() []string { return []string{"lab", "lobby", "office"} }
+
+// Office returns an extra (non-paper) scenario for stress testing: a
+// 24 m × 14 m office floor with three walled rooms off a corridor —
+// heavier multi-wall NLOS than either paper venue. The nomadic AP patrols
+// the corridor, the natural walkway of the shop-greeter/security-guard
+// stories in the paper's introduction.
+func Office() (*Scenario, error) {
+	area := geom.Rect(0, 0, 24, 14)
+	env, err := channel.NewEnvironment(area, 12)
+	if err != nil {
+		return nil, fmt.Errorf("office environment: %w", err)
+	}
+	// Interior walls: three rooms along the top (y in [8, 14]) separated
+	// from a corridor (y in [6, 8]) and an open area below. Each room has
+	// a door gap.
+	walls := []geom.Segment{
+		// Corridor's top wall with door gaps at x ∈ [3,4.2], [11,12.2], [19,20.2].
+		geom.Seg(geom.V(0, 8), geom.V(3, 8)),
+		geom.Seg(geom.V(4.2, 8), geom.V(11, 8)),
+		geom.Seg(geom.V(12.2, 8), geom.V(19, 8)),
+		geom.Seg(geom.V(20.2, 8), geom.V(24, 8)),
+		// Room dividers.
+		geom.Seg(geom.V(8, 8), geom.V(8, 14)),
+		geom.Seg(geom.V(16, 8), geom.V(16, 14)),
+	}
+	for _, w := range walls {
+		if err := env.AddWall(channel.Wall{Seg: w, AttenuationDB: 10, Reflective: true}); err != nil {
+			return nil, fmt.Errorf("office wall: %w", err)
+		}
+	}
+	// Clutter: desks in the rooms, a copier in the open area.
+	if err := env.AddBox(1.5, 10, 4.5, 11.2, 6, true); err != nil {
+		return nil, fmt.Errorf("office desk: %w", err)
+	}
+	if err := env.AddBox(10, 10.5, 13, 11.7, 6, true); err != nil {
+		return nil, fmt.Errorf("office desk: %w", err)
+	}
+	if err := env.AddBox(18.5, 1.5, 20.0, 2.7, 8, true); err != nil {
+		return nil, fmt.Errorf("office copier: %w", err)
+	}
+	for _, p := range []geom.Vec{geom.V(5, 3), geom.V(12, 4.5), geom.V(21, 11)} {
+		if err := env.AddScatterer(channel.Scatterer{Pos: p, ExcessLossDB: 14}); err != nil {
+			return nil, fmt.Errorf("office scatterer: %w", err)
+		}
+	}
+
+	s := &Scenario{
+		Name:  "office",
+		Area:  area,
+		Env:   env,
+		Radio: channel.DefaultParams(),
+		StaticAPs: []AP{
+			{ID: "ap2", Pos: geom.V(23.2, 0.8)},
+			{ID: "ap3", Pos: geom.V(0.8, 13.2)},
+			{ID: "ap4", Pos: geom.V(23.2, 13.2)},
+		},
+		Nomadic: NomadicAP{
+			ID:   "ap1",
+			Home: geom.V(0.8, 0.8),
+			Waypoints: []geom.Vec{
+				geom.V(3.6, 7.0),  // P1: corridor west (by room 1's door)
+				geom.V(11.6, 7.0), // P2: corridor center (by room 2's door)
+				geom.V(19.6, 7.0), // P3: corridor east (by room 3's door)
+				geom.V(12.0, 2.5), // P4: open area
+			},
+		},
+		TestSites: []geom.Vec{
+			geom.V(2.0, 2.5), geom.V(7.0, 4.0), geom.V(12.0, 1.8), geom.V(17.0, 4.5),
+			geom.V(22.0, 3.0), geom.V(2.0, 7.0), geom.V(16.0, 7.0), geom.V(22.5, 7.0),
+			geom.V(2.5, 11.5), geom.V(6.0, 12.5), geom.V(10.0, 12.8), geom.V(14.5, 9.5),
+			geom.V(18.0, 12.0), geom.V(22.0, 10.0),
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

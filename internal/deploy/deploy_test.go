@@ -1,0 +1,308 @@
+package deploy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/channel"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func TestLabScenario(t *testing.T) {
+	s, err := Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "lab" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if len(s.StaticAPs) != 3 {
+		t.Errorf("static APs = %d, want 3", len(s.StaticAPs))
+	}
+	if len(s.Nomadic.Waypoints) != 3 {
+		t.Errorf("waypoints = %d, want 3 (P1–P3)", len(s.Nomadic.Waypoints))
+	}
+	if len(s.TestSites) != 10 {
+		t.Errorf("test sites = %d, want 10 (paper evaluates 10 Lab sites)", len(s.TestSites))
+	}
+	if !s.Area.IsConvex() {
+		t.Error("lab should be convex (rectangular)")
+	}
+}
+
+func TestLobbyScenario(t *testing.T) {
+	s, err := Lobby()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TestSites) != 12 {
+		t.Errorf("test sites = %d, want 12 (paper evaluates 12 Lobby sites)", len(s.TestSites))
+	}
+	if s.Area.IsConvex() {
+		t.Error("lobby must be non-convex (L-shape)")
+	}
+	if s.Area.Area() <= func() float64 { l, _ := Lab(); return l.Area.Area() }() {
+		t.Error("lobby should be larger than the lab")
+	}
+}
+
+func TestScenarioEverythingInsideArea(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ap := range s.StaticAPs {
+			if !s.Area.Contains(ap.Pos) {
+				t.Errorf("%s: AP %s outside area", name, ap.ID)
+			}
+		}
+		for _, site := range s.Nomadic.AllSites() {
+			if !s.Area.Contains(site) {
+				t.Errorf("%s: nomadic site %v outside area", name, site)
+			}
+		}
+		for i, ts := range s.TestSites {
+			if !s.Area.Contains(ts) {
+				t.Errorf("%s: test site %d outside area", name, i)
+			}
+		}
+	}
+}
+
+func TestScenarioSimulatorWorks(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := s.Simulator()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Every AP–test-site link must produce a usable response.
+		for _, ap := range s.AllAPsStatic() {
+			for _, ts := range s.TestSites {
+				h := sim.Response(ts, ap.Pos)
+				if h.IsZero() {
+					t.Errorf("%s: zero response %s ← %v", name, ap.ID, ts)
+				}
+			}
+		}
+	}
+}
+
+func TestLabHasMoreCluttterThanLobbyPerArea(t *testing.T) {
+	lab, err := Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lobby, err := Lobby()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labDensity := float64(len(lab.Env.Walls())) / lab.Area.Area()
+	lobbyDensity := float64(len(lobby.Env.Walls())) / lobby.Area.Area()
+	if labDensity <= lobbyDensity {
+		t.Errorf("lab wall density %v not above lobby %v (lab must be the cluttered scene)",
+			labDensity, lobbyDensity)
+	}
+}
+
+func TestAllAPsStatic(t *testing.T) {
+	s, err := Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := s.AllAPsStatic()
+	if len(all) != 4 {
+		t.Fatalf("static benchmark APs = %d, want 4", len(all))
+	}
+	found := false
+	for _, ap := range all {
+		if ap.ID == s.Nomadic.ID && ap.Pos == s.Nomadic.Home {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nomadic AP not parked at home in the static benchmark")
+	}
+}
+
+func TestNomadicAllSites(t *testing.T) {
+	n := NomadicAP{ID: "x", Home: geom.V(1, 1), Waypoints: []geom.Vec{geom.V(2, 2), geom.V(3, 3)}}
+	sites := n.AllSites()
+	if len(sites) != 3 || sites[0] != n.Home {
+		t.Errorf("AllSites = %v", sites)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("lab"); err != nil {
+		t.Errorf("lab: %v", err)
+	}
+	if _, err := ByName("lobby"); err != nil {
+		t.Errorf("lobby: %v", err)
+	}
+	if _, err := ByName("warehouse"); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("unknown err = %v", err)
+	}
+}
+
+func TestValidateCatchesBadScenarios(t *testing.T) {
+	good, err := Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := *good
+	s.Env = nil
+	if err := s.Validate(); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("nil env: %v", err)
+	}
+
+	s = *good
+	s.TestSites = nil
+	if err := s.Validate(); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("no sites: %v", err)
+	}
+
+	s = *good
+	s.TestSites = []geom.Vec{geom.V(-5, -5)}
+	if err := s.Validate(); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("outside site: %v", err)
+	}
+
+	s = *good
+	s.StaticAPs = append([]AP(nil), good.StaticAPs...)
+	s.StaticAPs[0].ID = good.Nomadic.ID
+	if err := s.Validate(); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("duplicate id: %v", err)
+	}
+
+	s = *good
+	s.StaticAPs = []AP{{ID: "only", Pos: geom.V(1, 1)}}
+	s.Nomadic = NomadicAP{}
+	if err := s.Validate(); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("single AP: %v", err)
+	}
+}
+
+func TestScenarioNLOSExists(t *testing.T) {
+	// The Lab must contain at least one AP–site link without LOS —
+	// otherwise it would not exercise the NLOS handling at all.
+	s, err := Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlos := 0
+	for _, ap := range s.AllAPsStatic() {
+		for _, ts := range s.TestSites {
+			if !s.Env.HasLOS(ts, ap.Pos) {
+				nlos++
+			}
+		}
+	}
+	if nlos == 0 {
+		t.Error("lab has no NLOS links; the scenario is too clean")
+	}
+}
+
+func TestScenarioIndependentInstances(t *testing.T) {
+	a, err := Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Env.AddScatterer(channel.Scatterer{Pos: geom.V(1, 1), ExcessLossDB: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Env.Scatterers()) == len(b.Env.Scatterers()) {
+		t.Error("two Lab() calls share an environment")
+	}
+}
+
+func TestOfficeScenario(t *testing.T) {
+	s, err := Office()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TestSites) != 14 {
+		t.Errorf("test sites = %d, want 14", len(s.TestSites))
+	}
+	if len(s.Nomadic.Waypoints) != 4 {
+		t.Errorf("waypoints = %d, want 4", len(s.Nomadic.Waypoints))
+	}
+	// Multi-wall NLOS must exist: at least one link through ≥ 2 walls.
+	deep := 0
+	for _, ap := range s.AllAPsStatic() {
+		for _, ts := range s.TestSites {
+			if s.Env.WallsCrossed(ts, ap.Pos) >= 2 {
+				deep++
+			}
+		}
+	}
+	if deep == 0 {
+		t.Error("office has no multi-wall NLOS links")
+	}
+	// The office is discoverable by name but not part of the paper set.
+	if _, err := ByName("office"); err != nil {
+		t.Errorf("ByName(office): %v", err)
+	}
+	for _, n := range Names() {
+		if n == "office" {
+			t.Error("office leaked into the paper scenario list")
+		}
+	}
+	if len(AllNames()) != 3 {
+		t.Errorf("AllNames = %v", AllNames())
+	}
+}
+
+func TestOfficeRunsEndToEnd(t *testing.T) {
+	// The scenario must support the full pipeline without pathologies.
+	s, err := Office()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := s.Simulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range s.AllAPsStatic() {
+		for _, ts := range s.TestSites {
+			if sim.Response(ts, ap.Pos).IsZero() {
+				t.Errorf("zero response %s ← %v", ap.ID, ts)
+			}
+		}
+	}
+}
+
+func TestScenarioASCII(t *testing.T) {
+	for _, name := range AllNames() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := s.ASCII(0.5)
+		if art == "" {
+			t.Fatalf("%s: empty rendering", name)
+		}
+		for _, want := range []string{"#", "H", "P", "x", "legend:"} {
+			if !strings.Contains(art, want) {
+				t.Errorf("%s: rendering missing %q", name, want)
+			}
+		}
+		// Default cell size fallback.
+		if s.ASCII(0) == "" {
+			t.Errorf("%s: default cell size failed", name)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// ASCII renders the scenario's floor plan as text (y grows upward):
+// '#' walls and boundary, digits 1–9 the static APs (in order, with the
+// parked nomadic AP last), 'P' nomadic waypoints, 'H' the nomadic home,
+// 'x' test sites, '*' scatterers. cellSize is the raster pitch in meters
+// (≤ 0 selects 0.5 m).
+func (s *Scenario) ASCII(cellSize float64) string {
+	if cellSize <= 0 {
+		cellSize = 0.5
+	}
+	min, max := s.Area.BoundingBox()
+	cols := int(math.Ceil((max.X-min.X)/cellSize)) + 1
+	rows := int(math.Ceil((max.Y-min.Y)/cellSize)) + 1
+	if cols <= 0 || rows <= 0 {
+		return ""
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	put := func(p geom.Vec, ch byte) {
+		c := int(math.Round((p.X - min.X) / cellSize))
+		r := int(math.Round((p.Y - min.Y) / cellSize))
+		if r < 0 || r >= rows || c < 0 || c >= cols {
+			return
+		}
+		grid[r][c] = ch
+	}
+
+	// Interior dots for area cells (so the outline is visible even for
+	// non-convex shapes).
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			p := geom.V(min.X+float64(c)*cellSize, min.Y+float64(r)*cellSize)
+			if s.Area.Contains(p) {
+				grid[r][c] = '.'
+			}
+		}
+	}
+	// Walls (boundary edges included — they are walls in the environment).
+	for _, w := range s.Env.Walls() {
+		steps := int(w.Seg.Len()/cellSize) + 1
+		for i := 0; i <= steps; i++ {
+			put(w.Seg.At(float64(i)/float64(steps)), '#')
+		}
+	}
+	for _, sc := range s.Env.Scatterers() {
+		put(sc.Pos, '*')
+	}
+	for _, ts := range s.TestSites {
+		put(ts, 'x')
+	}
+	for _, wp := range s.Nomadic.Waypoints {
+		put(wp, 'P')
+	}
+	for i, ap := range s.AllAPsStatic() {
+		// Label with the ID's trailing character when it is a digit
+		// ("ap2" → '2'), else by position in the list.
+		ch := byte('1' + i)
+		if last := ap.ID[len(ap.ID)-1]; last >= '0' && last <= '9' {
+			ch = last
+		}
+		put(ap.Pos, ch)
+	}
+	if s.Nomadic.ID != "" {
+		put(s.Nomadic.Home, 'H')
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %.0f m × %.0f m (1 char ≈ %.1f m)\n",
+		s.Name, max.X-min.X, max.Y-min.Y, cellSize)
+	for r := rows - 1; r >= 0; r-- {
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: # wall  1..n AP  H nomadic home  P waypoint  x test site  * scatterer\n")
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eigendecomposition errors.
+var (
+	ErrNotSquare     = errors.New("dsp: matrix is not square")
+	ErrNotHermitian  = errors.New("dsp: matrix is not Hermitian")
+	ErrEigenConverge = errors.New("dsp: Jacobi iteration did not converge")
+)
+
+// SymmetricEigen computes the eigendecomposition of a real symmetric
+// matrix by the cyclic Jacobi method. It returns the eigenvalues in
+// descending order with their eigenvectors as the columns of v
+// (v[i][k] is component i of eigenvector k). The input is not modified.
+func SymmetricEigen(a [][]float64) (values []float64, v [][]float64, err error) {
+	n := len(a)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, nil, ErrNotSquare
+		}
+	}
+	if n == 0 {
+		return nil, nil, ErrNotSquare
+	}
+	// Working copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	// Eigenvector accumulator starts as identity.
+	v = make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	const (
+		maxSweeps = 100
+		// Jacobi converges quadratically, so demanding a very small
+		// off-diagonal residual costs only a sweep or two but buys
+		// reconstruction accuracy near machine precision.
+		tol = 1e-26
+	)
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += m[i][j] * m[i][j]
+			}
+		}
+		return s
+	}
+	scale := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			scale += m[i][j] * m[i][j]
+		}
+	}
+	if scale == 0 {
+		// Zero matrix: all eigenvalues zero, identity vectors.
+		values = make([]float64, n)
+		return values, v, nil
+	}
+
+	converged := false
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offDiag() <= tol*scale {
+			converged = true
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p][q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				// Compute the Jacobi rotation annihilating m[p][q].
+				theta := (m[q][q] - m[p][p]) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				app, aqq := m[p][p], m[q][q]
+				m[p][p] = c*c*app - 2*s*c*apq + s*s*aqq
+				m[q][q] = s*s*app + 2*s*c*apq + c*c*aqq
+				m[p][q] = 0
+				m[q][p] = 0
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip, aiq := m[i][p], m[i][q]
+					m[i][p] = c*aip - s*aiq
+					m[p][i] = m[i][p]
+					m[i][q] = s*aip + c*aiq
+					m[q][i] = m[i][q]
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	if !converged && offDiag() > 1e-16*scale {
+		return nil, nil, ErrEigenConverge
+	}
+
+	// Extract and sort descending (stable selection sort keeps vectors
+	// aligned).
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m[i][i]
+	}
+	for i := 0; i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if values[j] > values[best] {
+				best = j
+			}
+		}
+		if best != i {
+			values[i], values[best] = values[best], values[i]
+			for r := 0; r < n; r++ {
+				v[r][i], v[r][best] = v[r][best], v[r][i]
+			}
+		}
+	}
+	return values, v, nil
+}
+
+// HermitianNoiseProjector returns the projector onto the noise subspace of
+// the Hermitian matrix r: I − Σ over the numSignal strongest eigenvectors
+// of u·uᴴ. It works through the real embedding
+//
+//	φ(R) = [Re(R) −Im(R); Im(R) Re(R)]
+//
+// whose spectrum doubles R's; the complex projector is recovered from the
+// block structure of the real one.
+func HermitianNoiseProjector(r [][]complex128, numSignal int) ([][]complex128, error) {
+	n := len(r)
+	for i := range r {
+		if len(r[i]) != n {
+			return nil, ErrNotSquare
+		}
+	}
+	if n == 0 {
+		return nil, ErrNotSquare
+	}
+	if numSignal < 0 || numSignal > n {
+		return nil, fmt.Errorf("dsp: numSignal %d out of range [0, %d]", numSignal, n)
+	}
+	// Hermitian check (tolerant; covariance estimates carry float noise).
+	var scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			re, im := real(r[i][j]), imag(r[i][j])
+			scale += re*re + im*im
+		}
+	}
+	tol := 1e-9 * (1 + scale)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			d := r[i][j] - complexConj(r[j][i])
+			if real(d)*real(d)+imag(d)*imag(d) > tol {
+				return nil, ErrNotHermitian
+			}
+		}
+	}
+
+	// Real embedding.
+	m := make([][]float64, 2*n)
+	for i := range m {
+		m[i] = make([]float64, 2*n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			re, im := real(r[i][j]), imag(r[i][j])
+			m[i][j] = re
+			m[i][j+n] = -im
+			m[i+n][j] = im
+			m[i+n][j+n] = re
+		}
+	}
+	_, vecs, err := SymmetricEigen(m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Signal projector in the embedding: the top 2·numSignal eigenvectors
+	// (each complex eigenvalue appears twice).
+	k := 2 * numSignal
+	pr := make([][]float64, 2*n)
+	for i := range pr {
+		pr[i] = make([]float64, 2*n)
+	}
+	for col := 0; col < k; col++ {
+		for i := 0; i < 2*n; i++ {
+			vi := vecs[i][col]
+			if vi == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				pr[i][j] += vi * vecs[j][col]
+			}
+		}
+	}
+
+	// Recover the complex projector from the block structure and form
+	// I − P_signal.
+	out := make([][]complex128, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]complex128, n)
+		for j := 0; j < n; j++ {
+			re := (pr[i][j] + pr[i+n][j+n]) / 2
+			im := (pr[i+n][j] - pr[i][j+n]) / 2
+			p := complex(re, im)
+			if i == j {
+				out[i][j] = 1 - p
+			} else {
+				out[i][j] = -p
+			}
+		}
+	}
+	return out, nil
+}
+
+// complexConj avoids importing math/cmplx for a one-liner.
+func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }

@@ -1,0 +1,184 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0}, {0, 1}}
+	vals, vecs, err := SymmetricEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("values = %v", vals)
+	}
+	// First eigenvector should be ±e1.
+	if math.Abs(math.Abs(vecs[0][0])-1) > 1e-10 || math.Abs(vecs[1][0]) > 1e-10 {
+		t.Errorf("vectors = %v", vecs)
+	}
+}
+
+func TestSymmetricEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := SymmetricEigen([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("values = %v", vals)
+	}
+	// Eigenvector of 3 is (1,1)/√2 up to sign.
+	if math.Abs(math.Abs(vecs[0][0])-1/math.Sqrt2) > 1e-9 ||
+		math.Abs(vecs[0][0]-vecs[1][0]) > 1e-9 {
+		t.Errorf("first vector = (%v, %v)", vecs[0][0], vecs[1][0])
+	}
+}
+
+func TestSymmetricEigenReconstruction(t *testing.T) {
+	// A = V Λ Vᵀ must reproduce the input for random symmetric matrices.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a[i][j] = v
+				a[j][i] = v
+			}
+		}
+		vals, vecs, err := SymmetricEigen(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Check sorted descending.
+		for k := 1; k < n; k++ {
+			if vals[k] > vals[k-1]+1e-9 {
+				t.Fatalf("trial %d: values not sorted: %v", trial, vals)
+			}
+		}
+		// Orthonormality.
+		for c1 := 0; c1 < n; c1++ {
+			for c2 := c1; c2 < n; c2++ {
+				var dot float64
+				for r := 0; r < n; r++ {
+					dot += vecs[r][c1] * vecs[r][c2]
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					t.Fatalf("trial %d: vᵀv[%d][%d] = %v", trial, c1, c2, dot)
+				}
+			}
+		}
+		// Reconstruction.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for k := 0; k < n; k++ {
+					sum += vecs[i][k] * vals[k] * vecs[j][k]
+				}
+				if math.Abs(sum-a[i][j]) > 1e-8 {
+					t.Fatalf("trial %d: A[%d][%d] = %v, reconstructed %v", trial, i, j, a[i][j], sum)
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetricEigenErrors(t *testing.T) {
+	if _, _, err := SymmetricEigen(nil); !errors.Is(err, ErrNotSquare) {
+		t.Errorf("nil err = %v", err)
+	}
+	if _, _, err := SymmetricEigen([][]float64{{1, 2}}); !errors.Is(err, ErrNotSquare) {
+		t.Errorf("ragged err = %v", err)
+	}
+	// Zero matrix is fine.
+	vals, _, err := SymmetricEigen([][]float64{{0, 0}, {0, 0}})
+	if err != nil || vals[0] != 0 {
+		t.Errorf("zero matrix: %v, %v", vals, err)
+	}
+}
+
+func TestHermitianNoiseProjector(t *testing.T) {
+	// R = u·uᴴ for a unit vector u has signal subspace span{u}; the noise
+	// projector must annihilate u and fix any vector orthogonal to it.
+	u := []complex128{complex(0.5, 0.5), complex(0.5, -0.5)}
+	// ‖u‖² = 0.5+0.5 = 1 ✓.
+	r := [][]complex128{
+		{u[0] * complexConj(u[0]), u[0] * complexConj(u[1])},
+		{u[1] * complexConj(u[0]), u[1] * complexConj(u[1])},
+	}
+	noise, err := HermitianNoiseProjector(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Π·u ≈ 0.
+	for i := 0; i < 2; i++ {
+		var acc complex128
+		for j := 0; j < 2; j++ {
+			acc += noise[i][j] * u[j]
+		}
+		if cmplx.Abs(acc) > 1e-8 {
+			t.Errorf("Π·u[%d] = %v, want 0", i, acc)
+		}
+	}
+	// Orthogonal vector w ⊥ u: w = (u[1]*, -u[0]*) (check: uᴴw = 0).
+	w := []complex128{complexConj(u[1]), -complexConj(u[0])}
+	for i := 0; i < 2; i++ {
+		var acc complex128
+		for j := 0; j < 2; j++ {
+			acc += noise[i][j] * w[j]
+		}
+		if cmplx.Abs(acc-w[i]) > 1e-8 {
+			t.Errorf("Π·w[%d] = %v, want %v", i, acc, w[i])
+		}
+	}
+	// Projector property: Π² = Π.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var acc complex128
+			for k := 0; k < 2; k++ {
+				acc += noise[i][k] * noise[k][j]
+			}
+			if cmplx.Abs(acc-noise[i][j]) > 1e-8 {
+				t.Errorf("Π² != Π at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestHermitianNoiseProjectorErrors(t *testing.T) {
+	if _, err := HermitianNoiseProjector(nil, 0); !errors.Is(err, ErrNotSquare) {
+		t.Errorf("nil err = %v", err)
+	}
+	notHerm := [][]complex128{{1, 2}, {3, 1}}
+	if _, err := HermitianNoiseProjector(notHerm, 1); !errors.Is(err, ErrNotHermitian) {
+		t.Errorf("non-Hermitian err = %v", err)
+	}
+	ok := [][]complex128{{1, 0}, {0, 1}}
+	if _, err := HermitianNoiseProjector(ok, 5); err == nil {
+		t.Error("numSignal > n accepted")
+	}
+	if _, err := HermitianNoiseProjector(ok, -1); err == nil {
+		t.Error("negative numSignal accepted")
+	}
+	// numSignal = 0: the noise projector is the identity.
+	noise, err := HermitianNoiseProjector(ok, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(noise[0][0]-1) > 1e-10 || cmplx.Abs(noise[0][1]) > 1e-10 {
+		t.Errorf("identity expected, got %v", noise)
+	}
+}

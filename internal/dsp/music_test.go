@@ -1,0 +1,201 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// twoPathCSI synthesizes H[k] = Σ aᵖ·exp(−j2π·k·Δf·τᵖ) for n subcarriers.
+func twoPathCSI(n int, df float64, delays []float64, amps []float64) []complex128 {
+	h := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for p := range delays {
+			angle := -2 * math.Pi * float64(k) * df * delays[p]
+			h[k] += complex(amps[p], 0) * cmplx.Exp(complex(0, angle))
+		}
+	}
+	return h
+}
+
+func musicCfg() MusicConfig {
+	return MusicConfig{
+		SubcarrierSpacing: 20e6 / 30, // the default NomLoc grid
+		NumPaths:          2,
+	}
+}
+
+func TestMusicPseudoSpectrumSinglePath(t *testing.T) {
+	df := 20e6 / 30
+	trueDelay := 80e-9
+	h := twoPathCSI(30, df, []float64{trueDelay}, []float64{1})
+	cfg := musicCfg()
+	cfg.NumPaths = 1
+
+	delays := make([]float64, 301)
+	for i := range delays {
+		delays[i] = float64(i) * 1e-9
+	}
+	spec, err := MusicPseudoSpectrum(h, cfg, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i, p := range spec {
+		if p > spec[best] {
+			best = i
+		}
+	}
+	if got := delays[best]; math.Abs(got-trueDelay) > 2e-9 {
+		t.Errorf("peak at %v ns, want %v ns", got*1e9, trueDelay*1e9)
+	}
+}
+
+func TestMusicResolvesSubTapPaths(t *testing.T) {
+	// Two paths 25 ns apart — half the 50 ns IFFT tap, unresolvable by
+	// the classic power delay profile, but separable by MUSIC.
+	df := 20e6 / 30
+	d1, d2 := 60e-9, 85e-9
+	h := twoPathCSI(30, df, []float64{d1, d2}, []float64{1, 0.8})
+
+	delays := make([]float64, 401)
+	for i := range delays {
+		delays[i] = float64(i) * 0.5e-9
+	}
+	spec, err := MusicPseudoSpectrum(h, musicCfg(), delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct peaks above 1% of the maximum.
+	maxVal := 0.0
+	for _, p := range spec {
+		if p > maxVal {
+			maxVal = p
+		}
+	}
+	var peakDelays []float64
+	for i := 1; i < len(spec)-1; i++ {
+		if spec[i] >= spec[i-1] && spec[i] > spec[i+1] && spec[i] > maxVal/100 {
+			peakDelays = append(peakDelays, delays[i])
+		}
+	}
+	if len(peakDelays) < 2 {
+		t.Fatalf("MUSIC found %d peaks, want 2 (sub-tap separation)", len(peakDelays))
+	}
+	// The two strongest peaks should bracket the true delays within 3 ns.
+	found1, found2 := false, false
+	for _, pd := range peakDelays {
+		if math.Abs(pd-d1) < 3e-9 {
+			found1 = true
+		}
+		if math.Abs(pd-d2) < 3e-9 {
+			found2 = true
+		}
+	}
+	if !found1 || !found2 {
+		t.Errorf("peaks at %v ns, want ≈ %v and %v ns",
+			scaled(peakDelays, 1e9), d1*1e9, d2*1e9)
+	}
+}
+
+func TestFirstPathDelayMUSIC(t *testing.T) {
+	// The direct path is WEAKER than the reflection (NLOS) but earlier:
+	// first-path picking must return the early one, which max-tap PDP
+	// cannot do below tap resolution.
+	df := 20e6 / 30
+	direct, reflection := 50e-9, 90e-9
+	h := twoPathCSI(30, df, []float64{direct, reflection}, []float64{0.6, 1.0})
+
+	got, err := FirstPathDelayMUSIC(h, musicCfg(), 300e-9, 1e-9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-direct) > 4e-9 {
+		t.Errorf("first path at %v ns, want %v ns", got*1e9, direct*1e9)
+	}
+}
+
+func TestMusicRobustToNoise(t *testing.T) {
+	df := 20e6 / 30
+	trueDelay := 70e-9
+	rng := rand.New(rand.NewSource(4))
+	h := twoPathCSI(30, df, []float64{trueDelay, 130e-9}, []float64{1, 0.5})
+	for k := range h {
+		h[k] += complex(rng.NormFloat64()*0.02, rng.NormFloat64()*0.02)
+	}
+	got, err := FirstPathDelayMUSIC(h, musicCfg(), 300e-9, 1e-9, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-trueDelay) > 6e-9 {
+		t.Errorf("noisy first path at %v ns, want %v ns", got*1e9, trueDelay*1e9)
+	}
+}
+
+func TestMusicConfigValidation(t *testing.T) {
+	h := twoPathCSI(30, 20e6/30, []float64{50e-9}, []float64{1})
+	delays := []float64{0, 50e-9}
+
+	bad := musicCfg()
+	bad.SubcarrierSpacing = 0
+	if _, err := MusicPseudoSpectrum(h, bad, delays); !errors.Is(err, ErrBadMusicConfig) {
+		t.Errorf("zero spacing err = %v", err)
+	}
+
+	bad = musicCfg()
+	bad.NumPaths = 0
+	if _, err := MusicPseudoSpectrum(h, bad, delays); !errors.Is(err, ErrBadMusicConfig) {
+		t.Errorf("zero paths err = %v", err)
+	}
+
+	bad = musicCfg()
+	bad.SmoothingLen = 2 // ≤ NumPaths
+	if _, err := MusicPseudoSpectrum(h, bad, delays); !errors.Is(err, ErrTooFewCarriers) {
+		t.Errorf("small window err = %v", err)
+	}
+
+	bad = musicCfg()
+	bad.SmoothingLen = 30 // > n−1
+	if _, err := MusicPseudoSpectrum(h, bad, delays); !errors.Is(err, ErrTooFewCarriers) {
+		t.Errorf("huge window err = %v", err)
+	}
+
+	if _, err := MusicPseudoSpectrum(nil, musicCfg(), delays); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty csi err = %v", err)
+	}
+
+	if _, err := FirstPathDelayMUSIC(h, musicCfg(), 0, 1e-9, 10); !errors.Is(err, ErrBadMusicConfig) {
+		t.Errorf("zero maxDelay err = %v", err)
+	}
+	if _, err := FirstPathDelayMUSIC(h, musicCfg(), 100e-9, 200e-9, 10); !errors.Is(err, ErrBadMusicConfig) {
+		t.Errorf("step > maxDelay err = %v", err)
+	}
+}
+
+// scaled multiplies each element (test output helper).
+func scaled(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}
+
+func BenchmarkMusicPseudoSpectrum(b *testing.B) {
+	df := 20e6 / 30
+	h := twoPathCSI(30, df, []float64{60e-9, 110e-9}, []float64{1, 0.7})
+	delays := make([]float64, 301)
+	for i := range delays {
+		delays[i] = float64(i) * 1e-9
+	}
+	cfg := musicCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MusicPseudoSpectrum(h, cfg, delays); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

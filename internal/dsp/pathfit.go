@@ -1,0 +1,182 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// PathEstimate is one resolved propagation path: its delay and power.
+type PathEstimate struct {
+	// Delay is the arrival delay in seconds.
+	Delay float64
+	// Power is the path's linear power |α|².
+	Power float64
+}
+
+// ErrNoPaths is returned when no spectral peaks are found.
+var ErrNoPaths = errors.New("dsp: no paths resolved")
+
+// EstimatePathsMUSIC resolves up to cfg.NumPaths propagation paths from a
+// CSI vector with super-resolution: MUSIC locates the delays, then a
+// complex least-squares fit against the steering matrix recovers each
+// path's amplitude. Results are sorted by delay (earliest first).
+//
+// This is the super-resolution alternative to the paper's max-tap PDP: it
+// separates the direct path from reflections closer than one IFFT tap and
+// reports the direct path's own power, not the power of the merged tap.
+func EstimatePathsMUSIC(csi []complex128, cfg MusicConfig, maxDelay, step float64) ([]PathEstimate, error) {
+	n := len(csi)
+	if n == 0 {
+		return nil, ErrEmptyInput
+	}
+	if maxDelay <= 0 || step <= 0 || step > maxDelay {
+		return nil, fmt.Errorf("%w: delay grid [0, %v] step %v", ErrBadMusicConfig, maxDelay, step)
+	}
+	rcfg, err := cfg.resolve(n)
+	if err != nil {
+		return nil, err
+	}
+
+	numPts := int(maxDelay/step) + 1
+	delays := make([]float64, numPts)
+	for i := range delays {
+		delays[i] = float64(i) * step
+	}
+	spec, err := MusicPseudoSpectrum(csi, cfg, delays)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick the NumPaths strongest local maxima.
+	type peak struct {
+		delay, val float64
+	}
+	var peaks []peak
+	for i := 1; i < len(spec)-1; i++ {
+		if spec[i] >= spec[i-1] && spec[i] > spec[i+1] {
+			peaks = append(peaks, peak{delay: delays[i], val: spec[i]})
+		}
+	}
+	if len(peaks) == 0 {
+		return nil, ErrNoPaths
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].val > peaks[b].val })
+	if len(peaks) > rcfg.NumPaths {
+		peaks = peaks[:rcfg.NumPaths]
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].delay < peaks[b].delay })
+
+	// Least-squares amplitude fit: minimize ‖H − A·α‖² with
+	// A[k][p] = exp(−j2π·k·Δf·τₚ). Normal equations: (AᴴA)·α = Aᴴ·H.
+	p := len(peaks)
+	a := make([][]complex128, n)
+	for k := 0; k < n; k++ {
+		a[k] = make([]complex128, p)
+		for c := 0; c < p; c++ {
+			angle := -2 * math.Pi * float64(k) * rcfg.SubcarrierSpacing * peaks[c].delay
+			a[k][c] = cmplx.Exp(complex(0, angle))
+		}
+	}
+	gram := make([][]complex128, p)
+	rhs := make([]complex128, p)
+	for i := 0; i < p; i++ {
+		gram[i] = make([]complex128, p)
+		for j := 0; j < p; j++ {
+			var acc complex128
+			for k := 0; k < n; k++ {
+				acc += complexConj(a[k][i]) * a[k][j]
+			}
+			gram[i][j] = acc
+		}
+		var acc complex128
+		for k := 0; k < n; k++ {
+			acc += complexConj(a[k][i]) * csi[k]
+		}
+		rhs[i] = acc
+	}
+	alpha, err := solveComplex(gram, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("amplitude fit: %w", err)
+	}
+
+	out := make([]PathEstimate, p)
+	for i := 0; i < p; i++ {
+		re, im := real(alpha[i]), imag(alpha[i])
+		out[i] = PathEstimate{Delay: peaks[i].delay, Power: re*re + im*im}
+	}
+	return out, nil
+}
+
+// FirstPathPowerMUSIC returns the power of the earliest resolved path
+// whose power is within dynamicRangeDB of the strongest path (paths much
+// weaker than that are treated as spectral artifacts).
+func FirstPathPowerMUSIC(csi []complex128, cfg MusicConfig, maxDelay, step, dynamicRangeDB float64) (power float64, delay float64, err error) {
+	paths, err := EstimatePathsMUSIC(csi, cfg, maxDelay, step)
+	if err != nil {
+		return 0, 0, err
+	}
+	strongest := 0.0
+	for _, p := range paths {
+		if p.Power > strongest {
+			strongest = p.Power
+		}
+	}
+	if strongest <= 0 {
+		return 0, 0, ErrNoPaths
+	}
+	threshold := strongest * math.Pow(10, -dynamicRangeDB/10)
+	for _, p := range paths {
+		if p.Power >= threshold {
+			return p.Power, p.Delay, nil
+		}
+	}
+	return paths[0].Power, paths[0].Delay, nil
+}
+
+// ErrSingularSystem reports a rank-deficient complex linear system.
+var ErrSingularSystem = errors.New("dsp: singular linear system")
+
+// solveComplex solves the square complex system M·x = b by Gaussian
+// elimination with partial pivoting. M and b are not modified.
+func solveComplex(m [][]complex128, b []complex128) ([]complex128, error) {
+	n := len(b)
+	aug := make([][]complex128, n)
+	for i := 0; i < n; i++ {
+		aug[i] = make([]complex128, n+1)
+		copy(aug[i], m[i])
+		aug[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		best := col
+		for r := col + 1; r < n; r++ {
+			if cmplx.Abs(aug[r][col]) > cmplx.Abs(aug[best][col]) {
+				best = r
+			}
+		}
+		if cmplx.Abs(aug[best][col]) < 1e-12 {
+			return nil, ErrSingularSystem
+		}
+		aug[col], aug[best] = aug[best], aug[col]
+		pivot := aug[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := aug[r][col] / pivot
+			if factor == 0 {
+				continue
+			}
+			for k := col; k <= n; k++ {
+				aug[r][k] -= factor * aug[col][k]
+			}
+		}
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = aug[i][n] / aug[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,576 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nomloc/nomloc/internal/baseline"
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/dsp"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/placement"
+)
+
+// This file holds the ablation studies DESIGN.md commits to: center rule,
+// nomadic site count, confidence weighting, baseline comparison, and the
+// paper's future-work extension (multiple nomadic APs).
+
+// AblationRow is one (variant, metric) outcome.
+type AblationRow struct {
+	// Variant names the configuration.
+	Variant string
+	// MeanError and SLVValue summarize the run.
+	MeanError, SLVValue float64
+}
+
+// RunCenterRuleAblation compares the three center-extraction rules on the
+// nomadic deployment of one scenario.
+func RunCenterRuleAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, error) {
+	rules := []core.CenterRule{core.ChebyshevRule, core.AnalyticRule, core.CentroidRule}
+	rows := make([]AblationRow, 0, len(rules))
+	for _, rule := range rules {
+		o := opt
+		o.Center = rule
+		h, err := NewHarness(scn, o)
+		if err != nil {
+			return nil, err
+		}
+		results, err := h.RunSites(NomadicDeployment)
+		if err != nil {
+			return nil, fmt.Errorf("rule %v: %w", rule, err)
+		}
+		errs := MeanErrors(results)
+		rows = append(rows, AblationRow{Variant: rule.String(), MeanError: Mean(errs), SLVValue: SLV(errs)})
+	}
+	return rows, nil
+}
+
+// RunSiteCountAblation sweeps how many nomadic waypoints are available
+// (0 = static-only deployment, up to all of them), quantifying the
+// downscoping gain of §IV-B.3.
+func RunSiteCountAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, error) {
+	maxSites := len(scn.Nomadic.AllSites())
+	rows := make([]AblationRow, 0, maxSites+1)
+	for s := 0; s <= maxSites; s++ {
+		variant := *scn
+		if s == 0 {
+			// Pure static benchmark.
+			h, err := NewHarness(scn, opt)
+			if err != nil {
+				return nil, err
+			}
+			results, err := h.RunSites(StaticDeployment)
+			if err != nil {
+				return nil, err
+			}
+			errs := MeanErrors(results)
+			rows = append(rows, AblationRow{Variant: "S=0 (static)", MeanError: Mean(errs), SLVValue: SLV(errs)})
+			continue
+		}
+		all := scn.Nomadic.AllSites()
+		variant.Nomadic = deploy.NomadicAP{
+			ID:        scn.Nomadic.ID,
+			Home:      all[0],
+			Waypoints: all[1:s],
+		}
+		h, err := NewHarness(&variant, opt)
+		if err != nil {
+			return nil, err
+		}
+		results, err := h.RunSites(NomadicDeployment)
+		if err != nil {
+			return nil, fmt.Errorf("S=%d: %w", s, err)
+		}
+		errs := MeanErrors(results)
+		rows = append(rows, AblationRow{
+			Variant:   fmt.Sprintf("S=%d", s),
+			MeanError: Mean(errs),
+			SLVValue:  SLV(errs),
+		})
+	}
+	return rows, nil
+}
+
+// RunConfidenceAblation compares f-derived relaxation weights against
+// uniform weights (all judgements priced equally). It re-implements the
+// localization loop with a judgement transformer so both variants see the
+// same measurements.
+func RunConfidenceAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, error) {
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name      string
+		transform func([]core.Judgement) []core.Judgement
+	}{
+		{name: "f-weighted", transform: func(js []core.Judgement) []core.Judgement { return js }},
+		{name: "uniform", transform: func(js []core.Judgement) []core.Judgement {
+			out := make([]core.Judgement, len(js))
+			for i, j := range js {
+				j.Confidence = 0.75 // a flat mid-range price
+				out[i] = j
+			}
+			return out
+		}},
+	}
+
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		var errs []float64
+		for si, site := range scn.TestSites {
+			rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+			var siteErrs []float64
+			for trial := 0; trial < h.Options().TrialsPerSite; trial++ {
+				anchors, err := h.AnchorsNomadic(site, rng)
+				if err != nil {
+					return nil, err
+				}
+				js, err := core.BuildJudgements(anchors, core.PaperPairs, 0)
+				if err != nil {
+					return nil, err
+				}
+				est, err := h.Localizer().LocateFromJudgements(v.transform(js))
+				if err != nil {
+					return nil, err
+				}
+				siteErrs = append(siteErrs, est.Position.Dist(site))
+			}
+			errs = append(errs, Mean(siteErrs))
+		}
+		rows = append(rows, AblationRow{Variant: v.name, MeanError: Mean(errs), SLVValue: SLV(errs)})
+	}
+	return rows, nil
+}
+
+// RunBaselineComparison pits the SP-based method against the comparator
+// algorithms on the static deployment (all methods see the same per-trial
+// measurements). The ranging baseline is calibrated in-scenario first —
+// the venue-specific step NomLoc avoids.
+func RunBaselineComparison(scn *deploy.Scenario, opt Options) ([]AblationRow, error) {
+	return RunBaselineComparisonMode(scn, opt, StaticDeployment)
+}
+
+// RunBaselineComparisonMode is RunBaselineComparison under either
+// deployment. In nomadic mode every method consumes the same anchor set
+// (statics + visited nomadic sites): trilateration and the centroid treat
+// sites as extra anchors, and SBL rebuilds its sequence table per
+// observed site set — so the comparison isolates how well each
+// *algorithm* exploits the extra topology, not who gets more data.
+func RunBaselineComparisonMode(scn *deploy.Scenario, opt Options, mode Mode) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		return nil, err
+	}
+	sim := h.Simulator()
+
+	// Calibrate the ranging model from a dedicated probe grid (war-driving
+	// pass): PDP in dB versus known distance.
+	calRng := rand.New(rand.NewSource(opt.Seed + 9999))
+	var cal []baseline.RangeSample
+	aps := scn.AllAPsStatic()
+	for _, probe := range scn.Area.SamplePoints(2.0, 0.5) {
+		for _, ap := range aps {
+			v := sim.Measure(probe, ap.Pos, calRng)
+			p, _, err := dsp.DirectPathPower(v)
+			if err != nil || p <= 0 {
+				continue
+			}
+			cal = append(cal, baseline.RangeSample{
+				DistanceM: probe.Dist(ap.Pos),
+				PowerDBm:  dsp.DB(p),
+			})
+		}
+	}
+	model, err := baseline.CalibrateRangingModel(cal)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: %w", err)
+	}
+
+	// Sequence tables for the SBL comparator (calibration-free like
+	// NomLoc, but grid-table-based). In nomadic mode the anchor set
+	// changes per trial, so tables are built on demand and cached by the
+	// anchor-position fingerprint.
+	sblTables := make(map[string]*baseline.SBL)
+	sblFor := func(anchors []core.Anchor) (*baseline.SBL, error) {
+		key := ""
+		positions := make([]geom.Vec, len(anchors))
+		for i, a := range anchors {
+			positions[i] = a.Pos
+			key += fmt.Sprintf("%.3f,%.3f;", a.Pos.X, a.Pos.Y)
+		}
+		if t, ok := sblTables[key]; ok {
+			return t, nil
+		}
+		t, err := baseline.NewSBL(scn.Area, positions, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("sbl table: %w", err)
+		}
+		sblTables[key] = t
+		return t, nil
+	}
+
+	type method struct {
+		name string
+		run  func(anchors []core.Anchor) (x, y float64, err error)
+	}
+	toBaseline := func(anchors []core.Anchor) []baseline.Anchor {
+		out := make([]baseline.Anchor, len(anchors))
+		for i, a := range anchors {
+			out[i] = baseline.Anchor{Pos: a.Pos, PowerDBm: dsp.DB(a.PDP)}
+		}
+		return out
+	}
+	methods := []method{
+		{name: "sp-nomloc", run: func(anchors []core.Anchor) (float64, float64, error) {
+			est, err := h.Localizer().Locate(anchors)
+			if err != nil {
+				return 0, 0, err
+			}
+			return est.Position.X, est.Position.Y, nil
+		}},
+		{name: "trilateration", run: func(anchors []core.Anchor) (float64, float64, error) {
+			p, err := baseline.Trilaterate(toBaseline(anchors), model)
+			if err != nil {
+				return 0, 0, err
+			}
+			p = scn.Area.Clamp(p)
+			return p.X, p.Y, nil
+		}},
+		{name: "weighted-centroid", run: func(anchors []core.Anchor) (float64, float64, error) {
+			p, err := baseline.WeightedCentroid(toBaseline(anchors), 1)
+			if err != nil {
+				return 0, 0, err
+			}
+			return p.X, p.Y, nil
+		}},
+		{name: "nearest-ap", run: func(anchors []core.Anchor) (float64, float64, error) {
+			p, err := baseline.NearestAP(toBaseline(anchors))
+			if err != nil {
+				return 0, 0, err
+			}
+			return p.X, p.Y, nil
+		}},
+		{name: "sequence-sbl", run: func(anchors []core.Anchor) (float64, float64, error) {
+			sbl, err := sblFor(anchors)
+			if err != nil {
+				return 0, 0, err
+			}
+			powers := make([]float64, len(anchors))
+			for i, a := range anchors {
+				powers[i] = dsp.DB(a.PDP)
+			}
+			p, err := sbl.Locate(powers)
+			if err != nil {
+				return 0, 0, err
+			}
+			return p.X, p.Y, nil
+		}},
+	}
+
+	perMethod := make(map[string][]float64, len(methods))
+	for si, site := range scn.TestSites {
+		rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+		trialErrs := make(map[string][]float64, len(methods))
+		for trial := 0; trial < opt.TrialsPerSite; trial++ {
+			var anchors []core.Anchor
+			var err error
+			switch mode {
+			case NomadicDeployment:
+				anchors, err = h.AnchorsNomadic(site, rng)
+			default:
+				anchors, err = h.AnchorsStatic(site, rng)
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range methods {
+				x, y, err := m.run(anchors)
+				if err != nil {
+					return nil, fmt.Errorf("%s at site %d: %w", m.name, si, err)
+				}
+				trialErrs[m.name] = append(trialErrs[m.name], math.Hypot(x-site.X, y-site.Y))
+			}
+		}
+		for _, m := range methods {
+			perMethod[m.name] = append(perMethod[m.name], Mean(trialErrs[m.name]))
+		}
+	}
+
+	rows := make([]AblationRow, 0, len(methods))
+	for _, m := range methods {
+		errs := perMethod[m.name]
+		rows = append(rows, AblationRow{Variant: m.name, MeanError: Mean(errs), SLVValue: SLV(errs)})
+	}
+	return rows, nil
+}
+
+// RunMultiNomadicExtension evaluates the paper's future-work direction
+// (§VI): aggregating 1, 2 and 3 nomadic APs. Extra nomadic APs reuse the
+// scenario waypoints shifted toward distinct area corners so their site
+// sets differ.
+func RunMultiNomadicExtension(scn *deploy.Scenario, opt Options, counts []int) ([]AblationRow, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 3}
+	}
+	opt = opt.withDefaults()
+	rows := make([]AblationRow, 0, len(counts))
+	for _, n := range counts {
+		errs, err := runMultiNomadicOnce(scn, opt, n)
+		if err != nil {
+			return nil, fmt.Errorf("%d nomadic APs: %w", n, err)
+		}
+		rows = append(rows, AblationRow{
+			Variant:   fmt.Sprintf("nomadic×%d", n),
+			MeanError: Mean(errs),
+			SLVValue:  SLV(errs),
+		})
+	}
+	return rows, nil
+}
+
+// runMultiNomadicOnce evaluates all test sites with n nomadic APs.
+func runMultiNomadicOnce(scn *deploy.Scenario, opt Options, n int) ([]float64, error) {
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		return nil, err
+	}
+	sim := h.Simulator()
+
+	// Fleet: the scenario's nomadic AP plus n−1 clones whose waypoint sets
+	// are the originals rotated about the area centroid (clamped back into
+	// the area), so each AP sweeps a distinct region.
+	center := scn.Area.Centroid()
+	fleets := make([][]geom.Vec, 0, n)
+	base := scn.Nomadic.AllSites()
+	for k := 0; k < n; k++ {
+		sites := make([]geom.Vec, len(base))
+		for i, s := range base {
+			p := s
+			if k > 0 {
+				// Rotate the site set around the centroid by k·120°.
+				p = center.Add(s.Sub(center).Rotate(2 * math.Pi * float64(k) / 3))
+				p = scn.Area.Clamp(p)
+			}
+			sites[i] = p
+		}
+		fleets = append(fleets, sites)
+	}
+
+	var errs []float64
+	for si, site := range scn.TestSites {
+		rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+		var siteErrs []float64
+		for trial := 0; trial < opt.TrialsPerSite; trial++ {
+			anchors, err := h.AnchorsStatic(site, rng)
+			if err != nil {
+				return nil, err
+			}
+			// Keep only the true statics; the scenario's nomadic AP is
+			// replaced by the fleet below.
+			statics := anchors[:0]
+			for _, a := range anchors {
+				if a.APID != scn.Nomadic.ID {
+					statics = append(statics, a)
+				}
+			}
+			anchors = statics
+			for k, sites := range fleets {
+				chain, err := mobility.UniformChain(sites)
+				if err != nil {
+					return nil, err
+				}
+				trace, err := chain.GenerateTrace(0, opt.WalkSteps, rng)
+				if err != nil {
+					return nil, err
+				}
+				for _, idx := range trace.UniqueSites() {
+					pos, err := chain.Site(idx)
+					if err != nil {
+						return nil, err
+					}
+					batch := sim.MeasureBatch(fmt.Sprintf("nomad%d", k), idx, site, pos, opt.PacketsPerSite, measureTime, rng)
+					est, err := core.EstimatePDP(&batch)
+					if err != nil {
+						return nil, err
+					}
+					anchors = append(anchors, core.Anchor{
+						APID:      fmt.Sprintf("nomad%d", k),
+						SiteIndex: idx + 1,
+						Kind:      core.NomadicSite,
+						Pos:       pos,
+						PDP:       est.Power,
+					})
+				}
+			}
+			est, err := h.Localizer().Locate(anchors)
+			if err != nil {
+				return nil, err
+			}
+			siteErrs = append(siteErrs, est.Position.Dist(site))
+		}
+		errs = append(errs, Mean(siteErrs))
+	}
+	return errs, nil
+}
+
+// RunFidelityAblation sweeps the channel simulator's image-method depth
+// (reflection order 0–2), checking how sensitive the headline comparison
+// is to multipath richness. Each row evaluates the nomadic deployment
+// under a simulator of the given fidelity.
+func RunFidelityAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, 3)
+	for order := 0; order <= 2; order++ {
+		variant := *scn
+		variant.Radio = scn.Radio
+		variant.Radio.MaxReflectionOrder = order
+		h, err := NewHarness(&variant, opt)
+		if err != nil {
+			return nil, fmt.Errorf("order %d: %w", order, err)
+		}
+		results, err := h.RunSites(NomadicDeployment)
+		if err != nil {
+			return nil, fmt.Errorf("order %d: %w", order, err)
+		}
+		errs := MeanErrors(results)
+		rows = append(rows, AblationRow{
+			Variant:   fmt.Sprintf("reflections≤%d", order),
+			MeanError: Mean(errs),
+			SLVValue:  SLV(errs),
+		})
+	}
+	return rows, nil
+}
+
+// RunPairPolicyAblation compares the paper's constraint families (static×
+// static + nomadic-site×static) against the AllPairs extension that also
+// judges nomadic sites against each other — C(n,2) constraints instead of
+// the paper's N + S·(n−1).
+func RunPairPolicyAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, 2)
+	for _, policy := range []core.PairPolicy{core.PaperPairs, core.AllPairs} {
+		o := opt
+		o.Pairs = policy
+		h, err := NewHarness(scn, o)
+		if err != nil {
+			return nil, err
+		}
+		results, err := h.RunSites(NomadicDeployment)
+		if err != nil {
+			return nil, fmt.Errorf("policy %v: %w", policy, err)
+		}
+		errs := MeanErrors(results)
+		rows = append(rows, AblationRow{
+			Variant:   "pairs=" + policy.String(),
+			MeanError: Mean(errs),
+			SLVValue:  SLV(errs),
+		})
+	}
+	return rows, nil
+}
+
+// RunPDPMethodAblation compares the paper's max-tap PDP estimator against
+// the MUSIC super-resolution extension, reporting both the proximity
+// accuracy (the primitive the estimator feeds) and the end localization
+// error under the nomadic deployment.
+func RunPDPMethodAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, 2)
+	for _, method := range []core.PDPMethod{core.MaxTapMethod, core.MusicMethod} {
+		o := opt
+		o.PDP = method
+		h, err := NewHarness(scn, o)
+		if err != nil {
+			return nil, err
+		}
+		results, err := h.RunSites(NomadicDeployment)
+		if err != nil {
+			return nil, fmt.Errorf("method %v: %w", method, err)
+		}
+		errs := MeanErrors(results)
+		prox, err := h.ProximityAccuracy()
+		if err != nil {
+			return nil, fmt.Errorf("method %v proximity: %w", method, err)
+		}
+		var acc float64
+		for _, p := range prox {
+			acc += p.Accuracy()
+		}
+		acc /= float64(len(prox))
+		rows = append(rows, AblationRow{
+			Variant:   fmt.Sprintf("pdp=%v (prox %.0f%%)", method, 100*acc),
+			MeanError: Mean(errs),
+			SLVValue:  SLV(errs),
+		})
+	}
+	return rows, nil
+}
+
+// RunPlacementAblation quantifies the paper's §III argument: it compares
+// (a) the scenario's as-is static deployment, (b) a static deployment of
+// the same AP count whose positions were *optimized* by greedy forward
+// selection over a candidate grid (geometric-dilution objective), and
+// (c) the unoptimized-but-nomadic NomLoc configuration.
+func RunPlacementAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	rows := make([]AblationRow, 0, 3)
+
+	// (a) As-is static.
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		return nil, err
+	}
+	results, err := h.RunSites(StaticDeployment)
+	if err != nil {
+		return nil, err
+	}
+	errs := MeanErrors(results)
+	rows = append(rows, AblationRow{Variant: "static (as-is)", MeanError: Mean(errs), SLVValue: SLV(errs)})
+
+	// (b) Optimized static: same AP count, greedy-placed.
+	cands, err := placement.GridCandidates(scn.Area, 1.5, 0.7)
+	if err != nil {
+		return nil, fmt.Errorf("candidates: %w", err)
+	}
+	probes := scn.Area.SamplePoints(1.0, 0.4)
+	k := len(scn.AllAPsStatic())
+	chosen, _, err := placement.Greedy(cands, k, placement.GeometricDilution(probes))
+	if err != nil {
+		return nil, fmt.Errorf("greedy placement: %w", err)
+	}
+	optimized := *scn
+	optimized.StaticAPs = make([]deploy.AP, 0, k-1)
+	for i := 1; i < k; i++ {
+		optimized.StaticAPs = append(optimized.StaticAPs, deploy.AP{
+			ID:  fmt.Sprintf("opt%d", i+1),
+			Pos: chosen[i],
+		})
+	}
+	optimized.Nomadic = deploy.NomadicAP{
+		ID:        scn.Nomadic.ID,
+		Home:      chosen[0],
+		Waypoints: scn.Nomadic.Waypoints, // unused in static mode
+	}
+	hOpt, err := NewHarness(&optimized, opt)
+	if err != nil {
+		return nil, fmt.Errorf("optimized harness: %w", err)
+	}
+	results, err = hOpt.RunSites(StaticDeployment)
+	if err != nil {
+		return nil, fmt.Errorf("optimized static: %w", err)
+	}
+	errs = MeanErrors(results)
+	rows = append(rows, AblationRow{Variant: "static (optimized)", MeanError: Mean(errs), SLVValue: SLV(errs)})
+
+	// (c) Nomadic on the as-is deployment.
+	results, err = h.RunSites(NomadicDeployment)
+	if err != nil {
+		return nil, err
+	}
+	errs = MeanErrors(results)
+	rows = append(rows, AblationRow{Variant: "nomadic (as-is)", MeanError: Mean(errs), SLVValue: SLV(errs)})
+	return rows, nil
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/deploy"
+)
+
+// tinyOptions keeps ablation tests fast.
+func tinyOptions() Options {
+	return Options{PacketsPerSite: 6, TrialsPerSite: 1, WalkSteps: 8, Seed: 5}
+}
+
+// checkRows validates common ablation-row invariants.
+func checkRows(t *testing.T, rows []AblationRow, wantLen int) {
+	t.Helper()
+	if len(rows) != wantLen {
+		t.Fatalf("rows = %d, want %d", len(rows), wantLen)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Variant == "" {
+			t.Error("empty variant name")
+		}
+		if seen[r.Variant] {
+			t.Errorf("duplicate variant %q", r.Variant)
+		}
+		seen[r.Variant] = true
+		if r.MeanError <= 0 || r.MeanError > 25 {
+			t.Errorf("%s: mean error %v implausible", r.Variant, r.MeanError)
+		}
+		if r.SLVValue < 0 {
+			t.Errorf("%s: negative SLV", r.Variant)
+		}
+	}
+}
+
+func TestRunCenterRuleAblation(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunCenterRuleAblation(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, 3)
+}
+
+func TestRunSiteCountAblation(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunSiteCountAblation(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S = 0..4 for a home + 3 waypoints scenario.
+	checkRows(t, rows, 5)
+	// The full nomadic set must not be worse than static by a wide
+	// margin (it is typically strictly better).
+	if rows[len(rows)-1].MeanError > rows[0].MeanError+1.0 {
+		t.Errorf("S=max (%v) much worse than static (%v)",
+			rows[len(rows)-1].MeanError, rows[0].MeanError)
+	}
+}
+
+func TestRunConfidenceAblation(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunConfidenceAblation(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, 2)
+}
+
+func TestRunBaselineComparisonBothModes(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunBaselineComparison(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, static, 5)
+	nomadic, err := RunBaselineComparisonMode(scn, tinyOptions(), NomadicDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, nomadic, 5)
+	// All five methods must be present in both.
+	for _, rows := range [][]AblationRow{static, nomadic} {
+		names := map[string]bool{}
+		for _, r := range rows {
+			names[r.Variant] = true
+		}
+		for _, want := range []string{"sp-nomloc", "trilateration", "weighted-centroid", "nearest-ap", "sequence-sbl"} {
+			if !names[want] {
+				t.Errorf("method %q missing", want)
+			}
+		}
+	}
+}
+
+func TestRunFidelityAblation(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunFidelityAblation(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, 3)
+}
+
+func TestRunPairPolicyAblation(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunPairPolicyAblation(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, 2)
+}
+
+func TestRunPDPMethodAblation(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunPDPMethodAblation(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, 2)
+}
+
+func TestRunMultiNomadicExtension(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunMultiNomadicExtension(scn, tinyOptions(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, 2)
+	// Default counts.
+	rows, err = RunMultiNomadicExtension(scn, tinyOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, 3)
+}
+
+func TestRunPlacementAblation(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunPlacementAblation(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, 3)
+}

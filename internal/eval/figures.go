@@ -1,0 +1,214 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// This file contains one runner per figure of the paper's evaluation
+// (§V). Each returns plain data; formatting lives in cmd/nomloc-bench.
+
+// ErrNoSuchLink is returned when a scenario has no link with the requested
+// LOS condition.
+var ErrNoSuchLink = errors.New("eval: no AP–site link with the requested visibility")
+
+// Fig3Result is the channel response delay profile data (paper Fig. 3):
+// normalized CIR amplitude versus delay for one LOS and one NLOS link.
+type Fig3Result struct {
+	// BinDelayNs is the delay-domain resolution of the profiles.
+	BinDelayNs float64
+	// LOS and NLOS are amplitude-vs-delay series.
+	LOS, NLOS Series
+	// LOSLink and NLOSLink describe the chosen links.
+	LOSLink, NLOSLink string
+}
+
+// RunFig3 picks one LOS and one NLOS AP–test-site link in the scenario and
+// returns their interpolated delay profiles.
+func RunFig3(scn *deploy.Scenario, pad int) (*Fig3Result, error) {
+	sim, err := scn.Simulator()
+	if err != nil {
+		return nil, err
+	}
+	aps := scn.AllAPsStatic()
+
+	find := func(wantLOS bool) (geom.Vec, geom.Vec, string, error) {
+		for _, ap := range aps {
+			for si, site := range scn.TestSites {
+				if scn.Env.HasLOS(site, ap.Pos) == wantLOS {
+					desc := fmt.Sprintf("site %d → %s (%.1f m)", si+1, ap.ID, site.Dist(ap.Pos))
+					return site, ap.Pos, desc, nil
+				}
+			}
+		}
+		return geom.Vec{}, geom.Vec{}, "", ErrNoSuchLink
+	}
+
+	losTx, losRx, losDesc, err := find(true)
+	if err != nil {
+		return nil, fmt.Errorf("LOS link: %w", err)
+	}
+	nlosTx, nlosRx, nlosDesc, err := find(false)
+	if err != nil {
+		return nil, fmt.Errorf("NLOS link: %w", err)
+	}
+
+	toSeries := func(name string, tx, rx geom.Vec) (Series, float64, error) {
+		profile, binDelay, err := sim.DelayProfile(tx, rx, pad)
+		if err != nil {
+			return Series{}, 0, err
+		}
+		s := Series{Name: name, X: make([]float64, len(profile)), Y: make([]float64, len(profile))}
+		for i, p := range profile {
+			s.X[i] = float64(i) * binDelay * 1e9 // ns
+			s.Y[i] = p
+		}
+		return s, binDelay, nil
+	}
+
+	los, binDelay, err := toSeries("LOS", losTx, losRx)
+	if err != nil {
+		return nil, err
+	}
+	nlos, _, err := toSeries("NLOS", nlosTx, nlosRx)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{
+		BinDelayNs: binDelay * 1e9,
+		LOS:        los,
+		NLOS:       nlos,
+		LOSLink:    losDesc,
+		NLOSLink:   nlosDesc,
+	}, nil
+}
+
+// Fig7Result is the PDP proximity accuracy per test site (paper Fig. 7).
+type Fig7Result struct {
+	// Scenario names the scene.
+	Scenario string
+	// Sites holds one accuracy entry per test site, in site order.
+	Sites []ProximityResult
+}
+
+// RunFig7 evaluates the proximity primitive across all scenario sites.
+func RunFig7(scn *deploy.Scenario, opt Options) (*Fig7Result, error) {
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		return nil, err
+	}
+	sites, err := h.ProximityAccuracy()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Scenario: scn.Name, Sites: sites}, nil
+}
+
+// Fig8Result is the SLV comparison (paper Fig. 8): static vs nomadic per
+// scenario.
+type Fig8Result struct {
+	// Scenario names the scene.
+	Scenario string
+	// StaticSLV and NomadicSLV are Eq. 22 values.
+	StaticSLV, NomadicSLV float64
+	// StaticMean and NomadicMean are the mean errors (context for the
+	// bars).
+	StaticMean, NomadicMean float64
+}
+
+// RunFig8 computes SLV for both deployments of one scenario.
+func RunFig8(scn *deploy.Scenario, opt Options) (*Fig8Result, error) {
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		return nil, err
+	}
+	static, err := h.RunSites(StaticDeployment)
+	if err != nil {
+		return nil, err
+	}
+	nomadic, err := h.RunSites(NomadicDeployment)
+	if err != nil {
+		return nil, err
+	}
+	se, ne := MeanErrors(static), MeanErrors(nomadic)
+	return &Fig8Result{
+		Scenario:    scn.Name,
+		StaticSLV:   SLV(se),
+		NomadicSLV:  SLV(ne),
+		StaticMean:  Mean(se),
+		NomadicMean: Mean(ne),
+	}, nil
+}
+
+// Fig9Result is the error CDF comparison (paper Fig. 9).
+type Fig9Result struct {
+	// Scenario names the scene.
+	Scenario string
+	// Static and Nomadic are the CDFs of per-site mean error.
+	Static, Nomadic *CDF
+}
+
+// RunFig9 computes the static and nomadic error CDFs for one scenario.
+func RunFig9(scn *deploy.Scenario, opt Options) (*Fig9Result, error) {
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		return nil, err
+	}
+	static, err := h.RunSites(StaticDeployment)
+	if err != nil {
+		return nil, err
+	}
+	nomadic, err := h.RunSites(NomadicDeployment)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := NewCDF(MeanErrors(static))
+	if err != nil {
+		return nil, err
+	}
+	nc, err := NewCDF(MeanErrors(nomadic))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{Scenario: scn.Name, Static: sc, Nomadic: nc}, nil
+}
+
+// Fig10Result is the nomadic position-error study (paper Fig. 10): one
+// error CDF per error range.
+type Fig10Result struct {
+	// Scenario names the scene.
+	Scenario string
+	// ERs are the evaluated error ranges in meters.
+	ERs []float64
+	// CDFs[i] is the error CDF under ERs[i].
+	CDFs []*CDF
+}
+
+// RunFig10 sweeps the nomadic-AP position error range over ers.
+func RunFig10(scn *deploy.Scenario, opt Options, ers []float64) (*Fig10Result, error) {
+	if len(ers) == 0 {
+		ers = []float64{0, 1, 2, 3}
+	}
+	res := &Fig10Result{Scenario: scn.Name, ERs: append([]float64(nil), ers...)}
+	for _, er := range ers {
+		o := opt
+		o.PositionErrorM = er
+		h, err := NewHarness(scn, o)
+		if err != nil {
+			return nil, err
+		}
+		results, err := h.RunSites(NomadicDeployment)
+		if err != nil {
+			return nil, fmt.Errorf("ER=%v: %w", er, err)
+		}
+		c, err := NewCDF(MeanErrors(results))
+		if err != nil {
+			return nil, err
+		}
+		res.CDFs = append(res.CDFs, c)
+	}
+	return res, nil
+}

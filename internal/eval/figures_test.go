@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/channel"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// openEnvironment is a clutter-free room: every interior link has LOS.
+func openEnvironment() (*channel.Environment, error) {
+	return channel.NewEnvironment(geom.Rect(0, 0, 12, 8), 12)
+}
+
+func TestRunFig3(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig3(scn, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.LOS.Validate(); err != nil {
+		t.Errorf("LOS series: %v", err)
+	}
+	if err := res.NLOS.Validate(); err != nil {
+		t.Errorf("NLOS series: %v", err)
+	}
+	if len(res.LOS.X) == 0 || len(res.NLOS.X) == 0 {
+		t.Fatal("empty profiles")
+	}
+	if res.BinDelayNs <= 0 {
+		t.Errorf("bin delay = %v", res.BinDelayNs)
+	}
+	if res.LOSLink == "" || res.NLOSLink == "" {
+		t.Error("link descriptions missing")
+	}
+	// The Fig. 3 dichotomy: the NLOS peak is below the LOS peak.
+	maxOf := func(xs []float64) float64 {
+		best := 0.0
+		for _, x := range xs {
+			if x > best {
+				best = x
+			}
+		}
+		return best
+	}
+	if maxOf(res.NLOS.Y) >= maxOf(res.LOS.Y) {
+		t.Errorf("NLOS peak %v not below LOS peak %v", maxOf(res.NLOS.Y), maxOf(res.LOS.Y))
+	}
+	// Bad pad propagates.
+	if _, err := RunFig3(scn, 0); err == nil {
+		t.Error("pad 0 accepted")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig7(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "lab" {
+		t.Errorf("scenario = %q", res.Scenario)
+	}
+	if len(res.Sites) != len(scn.TestSites) {
+		t.Fatalf("sites = %d", len(res.Sites))
+	}
+	for i, s := range res.Sites {
+		if acc := s.Accuracy(); acc < 0 || acc > 1 {
+			t.Errorf("site %d accuracy = %v", i, acc)
+		}
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig8(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"static SLV":   res.StaticSLV,
+		"nomadic SLV":  res.NomadicSLV,
+		"static mean":  res.StaticMean,
+		"nomadic mean": res.NomadicMean,
+	} {
+		if v < 0 || v > 100 {
+			t.Errorf("%s = %v implausible", name, v)
+		}
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig9(scn, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Static.Len() != len(scn.TestSites) || res.Nomadic.Len() != len(scn.TestSites) {
+		t.Errorf("CDF sizes = %d, %d", res.Static.Len(), res.Nomadic.Len())
+	}
+	// CDFs evaluate sensibly.
+	if p := res.Static.At(100); p != 1 {
+		t.Errorf("At(100) = %v", p)
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig10(scn, tinyOptions(), []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ERs) != 2 || len(res.CDFs) != 2 {
+		t.Fatalf("shape: %d ERs, %d CDFs", len(res.ERs), len(res.CDFs))
+	}
+	// Default ER sweep.
+	res, err = RunFig10(scn, tinyOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ERs) != 4 {
+		t.Errorf("default ERs = %v", res.ERs)
+	}
+}
+
+func TestRunFig3NoNLOSLink(t *testing.T) {
+	// A scenario with no obstructions has no NLOS link to show.
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := *scn
+	env, err := openEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	open.Env = env
+	if _, err := RunFig3(&open, 4); !errors.Is(err, ErrNoSuchLink) {
+		t.Errorf("err = %v, want ErrNoSuchLink", err)
+	}
+}

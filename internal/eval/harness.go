@@ -1,0 +1,328 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/channel"
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/mobility"
+)
+
+// Mode selects the deployment under evaluation.
+type Mode int
+
+// Deployment modes.
+const (
+	// StaticDeployment keeps every AP fixed (nomadic AP parked at home) —
+	// the paper's comparison benchmark.
+	StaticDeployment Mode = iota + 1
+	// NomadicDeployment lets AP1 random-walk among its waypoints and
+	// contributes one constraint family per visited site.
+	NomadicDeployment
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case StaticDeployment:
+		return "static"
+	case NomadicDeployment:
+		return "nomadic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options tunes a harness run.
+type Options struct {
+	// PacketsPerSite is the measurement burst length per AP position.
+	// Defaults to 25.
+	PacketsPerSite int
+	// WalkSteps is the length of the nomadic AP's random walk per
+	// localization round. Defaults to 8 (long enough to visit most of the
+	// four sites).
+	WalkSteps int
+	// TrialsPerSite is how many independent rounds each test site is
+	// localized; the per-site error is the mean over trials. Defaults
+	// to 3.
+	TrialsPerSite int
+	// PositionErrorM is the nomadic-AP coordinate error range (the
+	// paper's ER, §V-E): reported positions are displaced uniformly
+	// within a disk of this radius. 0 disables it.
+	PositionErrorM float64
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+	// Center overrides the localizer's center rule (0 keeps the default).
+	Center core.CenterRule
+	// Pairs overrides the pair policy (0 keeps the default).
+	Pairs core.PairPolicy
+	// MinConfidence filters judgements before the solve.
+	MinConfidence float64
+	// PDP selects the direct-path power estimator (0 = the paper's
+	// max-tap method).
+	PDP core.PDPMethod
+}
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.PacketsPerSite <= 0 {
+		o.PacketsPerSite = 25
+	}
+	if o.WalkSteps <= 0 {
+		o.WalkSteps = 8
+	}
+	if o.TrialsPerSite <= 0 {
+		o.TrialsPerSite = 3
+	}
+	if o.PDP == 0 {
+		o.PDP = core.MaxTapMethod
+	}
+	return o
+}
+
+// Harness errors.
+var (
+	ErrBadMode = errors.New("eval: unknown deployment mode")
+)
+
+// Harness runs localization experiments on one scenario.
+type Harness struct {
+	scn   *deploy.Scenario
+	sim   *channel.Simulator
+	loc   *core.Localizer
+	chain *mobility.Chain
+	opt   Options
+}
+
+// NewHarness builds a harness for the scenario.
+func NewHarness(scn *deploy.Scenario, opt Options) (*Harness, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	sim, err := scn.Simulator()
+	if err != nil {
+		return nil, fmt.Errorf("simulator: %w", err)
+	}
+	loc, err := core.New(core.Config{
+		Area:          scn.Area,
+		Center:        opt.Center,
+		Pairs:         opt.Pairs,
+		MinConfidence: opt.MinConfidence,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("localizer: %w", err)
+	}
+	chain, err := mobility.UniformChain(scn.Nomadic.AllSites())
+	if err != nil {
+		return nil, fmt.Errorf("mobility: %w", err)
+	}
+	return &Harness{scn: scn, sim: sim, loc: loc, chain: chain, opt: opt}, nil
+}
+
+// Scenario returns the scenario under test.
+func (h *Harness) Scenario() *deploy.Scenario { return h.scn }
+
+// Simulator returns the channel simulator.
+func (h *Harness) Simulator() *channel.Simulator { return h.sim }
+
+// Localizer returns the configured localizer.
+func (h *Harness) Localizer() *core.Localizer { return h.loc }
+
+// Options returns the effective options.
+func (h *Harness) Options() Options { return h.opt }
+
+// measureTime is the fixed base timestamp for synthesized batches.
+var measureTime = time.Date(2014, time.June, 30, 12, 0, 0, 0, time.UTC)
+
+// measureAnchor captures a burst at apPos (true position) and produces an
+// anchor carrying the believed position and the PDP estimate.
+func (h *Harness) measureAnchor(apID string, siteIdx int, kind core.AnchorKind, truePos, believedPos, obj geom.Vec, rng *rand.Rand) (core.Anchor, error) {
+	a, _, err := h.measureRawAnchor(apID, siteIdx, kind, truePos, believedPos, obj, rng)
+	return a, err
+}
+
+// measureRawAnchor is measureAnchor keeping the raw burst (for dataset
+// recording).
+func (h *Harness) measureRawAnchor(apID string, siteIdx int, kind core.AnchorKind, truePos, believedPos, obj geom.Vec, rng *rand.Rand) (core.Anchor, csi.Batch, error) {
+	batch := h.sim.MeasureBatch(apID, siteIdx, obj, truePos, h.opt.PacketsPerSite, measureTime, rng)
+	est, err := core.EstimatePDPWithMethod(&batch, h.opt.PDP, h.scn.Radio.Radio)
+	if err != nil {
+		return core.Anchor{}, csi.Batch{}, fmt.Errorf("pdp %s#%d: %w", apID, siteIdx, err)
+	}
+	return core.Anchor{
+		APID:      apID,
+		SiteIndex: siteIdx,
+		Kind:      kind,
+		Pos:       believedPos,
+		PDP:       est.Power,
+	}, batch, nil
+}
+
+// AnchorsStatic measures the static benchmark deployment: every AP fixed,
+// all treated as StaticAP anchors.
+func (h *Harness) AnchorsStatic(obj geom.Vec, rng *rand.Rand) ([]core.Anchor, error) {
+	aps := h.scn.AllAPsStatic()
+	anchors := make([]core.Anchor, 0, len(aps))
+	for _, ap := range aps {
+		a, err := h.measureAnchor(ap.ID, 0, core.StaticAP, ap.Pos, ap.Pos, obj, rng)
+		if err != nil {
+			return nil, err
+		}
+		anchors = append(anchors, a)
+	}
+	return anchors, nil
+}
+
+// AnchorsNomadic measures the nomadic deployment: the static APs plus one
+// NomadicSite anchor per distinct waypoint the random walk visited. The
+// believed positions of nomadic anchors carry the configured position
+// error.
+func (h *Harness) AnchorsNomadic(obj geom.Vec, rng *rand.Rand) ([]core.Anchor, error) {
+	anchors := make([]core.Anchor, 0, len(h.scn.StaticAPs)+h.chain.NumSites())
+	for _, ap := range h.scn.StaticAPs {
+		a, err := h.measureAnchor(ap.ID, 0, core.StaticAP, ap.Pos, ap.Pos, obj, rng)
+		if err != nil {
+			return nil, err
+		}
+		anchors = append(anchors, a)
+	}
+	trace, err := h.chain.GenerateTrace(0, h.opt.WalkSteps, rng)
+	if err != nil {
+		return nil, fmt.Errorf("walk: %w", err)
+	}
+	for _, siteIdx := range trace.UniqueSites() {
+		truePos, err := h.chain.Site(siteIdx)
+		if err != nil {
+			return nil, err
+		}
+		believed, err := mobility.PerturbUniformDisk(truePos, h.opt.PositionErrorM, rng)
+		if err != nil {
+			return nil, err
+		}
+		a, err := h.measureAnchor(h.scn.Nomadic.ID, siteIdx+1, core.NomadicSite, truePos, believed, obj, rng)
+		if err != nil {
+			return nil, err
+		}
+		anchors = append(anchors, a)
+	}
+	return anchors, nil
+}
+
+// LocalizeOnce runs one full localization round for an object at obj and
+// returns the estimate.
+func (h *Harness) LocalizeOnce(obj geom.Vec, mode Mode, rng *rand.Rand) (*core.Estimate, error) {
+	var anchors []core.Anchor
+	var err error
+	switch mode {
+	case StaticDeployment:
+		anchors, err = h.AnchorsStatic(obj, rng)
+	case NomadicDeployment:
+		anchors, err = h.AnchorsNomadic(obj, rng)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrBadMode, mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return h.loc.Locate(anchors)
+}
+
+// SiteResult is the evaluation outcome for one test site.
+type SiteResult struct {
+	// Site is the ground-truth position.
+	Site geom.Vec
+	// MeanError is the mean Euclidean error over the trials, in meters.
+	MeanError float64
+	// Errors holds the per-trial errors.
+	Errors []float64
+}
+
+// RunSites localizes every scenario test site TrialsPerSite times under
+// the given mode and returns per-site results, in test-site order.
+// Randomness derives from Options.Seed, the mode, and the site index, so
+// static/nomadic comparisons reuse identical noise processes where the
+// measurement sequences align.
+func (h *Harness) RunSites(mode Mode) ([]SiteResult, error) {
+	results := make([]SiteResult, 0, len(h.scn.TestSites))
+	for si, site := range h.scn.TestSites {
+		rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*7919 + int64(mode)*104729))
+		res := SiteResult{Site: site, Errors: make([]float64, 0, h.opt.TrialsPerSite)}
+		for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
+			est, err := h.LocalizeOnce(site, mode, rng)
+			if err != nil {
+				return nil, fmt.Errorf("site %d trial %d: %w", si, trial, err)
+			}
+			res.Errors = append(res.Errors, est.Position.Dist(site))
+		}
+		res.MeanError = Mean(res.Errors)
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// MeanErrors extracts the per-site mean errors from results.
+func MeanErrors(results []SiteResult) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.MeanError
+	}
+	return out
+}
+
+// ProximityResult is the Fig. 7 outcome for one test site.
+type ProximityResult struct {
+	// Site is the object position.
+	Site geom.Vec
+	// Correct counts pairwise judgements matching ground truth.
+	Correct int
+	// Total is the number of judged pairs (C(n, 2)).
+	Total int
+}
+
+// Accuracy returns Correct/Total.
+func (p ProximityResult) Accuracy() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Correct) / float64(p.Total)
+}
+
+// ProximityAccuracy evaluates the PDP-based proximity determination at
+// every test site against geometric ground truth, using the full static
+// deployment (paper Fig. 7: C(4,2) = 6 judgements per site). Judgements
+// are averaged over TrialsPerSite independent measurement rounds.
+func (h *Harness) ProximityAccuracy() ([]ProximityResult, error) {
+	out := make([]ProximityResult, 0, len(h.scn.TestSites))
+	for si, site := range h.scn.TestSites {
+		rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*6271))
+		res := ProximityResult{Site: site}
+		for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
+			anchors, err := h.AnchorsStatic(site, rng)
+			if err != nil {
+				return nil, fmt.Errorf("site %d: %w", si, err)
+			}
+			for i := 0; i < len(anchors); i++ {
+				for j := i + 1; j < len(anchors); j++ {
+					jd, err := core.Judge(anchors[i], anchors[j])
+					if err != nil {
+						return nil, fmt.Errorf("site %d judge: %w", si, err)
+					}
+					res.Total++
+					trueCloser := site.Dist2(jd.Closer.Pos) <= site.Dist2(jd.Farther.Pos)
+					if trueCloser {
+						res.Correct++
+					}
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+package eval
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// fastOptions keeps unit tests quick while exercising the full pipeline.
+func fastOptions() Options {
+	return Options{PacketsPerSite: 9, WalkSteps: 8, TrialsPerSite: 2, Seed: 42}
+}
+
+func labHarness(t *testing.T) *Harness {
+	t.Helper()
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(scn, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHarnessDefaults(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := h.Options()
+	if opt.PacketsPerSite != 25 || opt.WalkSteps != 8 || opt.TrialsPerSite != 3 {
+		t.Errorf("defaults = %+v", opt)
+	}
+	if h.Scenario() != scn {
+		t.Error("Scenario accessor broken")
+	}
+	if h.Simulator() == nil || h.Localizer() == nil {
+		t.Error("nil sub-components")
+	}
+}
+
+func TestNewHarnessRejectsBadScenario(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *scn
+	bad.TestSites = nil
+	if _, err := NewHarness(&bad, Options{}); !errors.Is(err, deploy.ErrBadScenario) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAnchorsStatic(t *testing.T) {
+	h := labHarness(t)
+	rng := rand.New(rand.NewSource(1))
+	anchors, err := h.AnchorsStatic(geom.V(6, 4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anchors) != 4 {
+		t.Fatalf("anchors = %d, want 4", len(anchors))
+	}
+	for _, a := range anchors {
+		if a.Kind != core.StaticAP {
+			t.Errorf("anchor %s kind = %v", a.APID, a.Kind)
+		}
+		if a.PDP <= 0 {
+			t.Errorf("anchor %s PDP = %v", a.APID, a.PDP)
+		}
+	}
+}
+
+func TestAnchorsNomadic(t *testing.T) {
+	h := labHarness(t)
+	rng := rand.New(rand.NewSource(2))
+	anchors, err := h.AnchorsNomadic(geom.V(6, 4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statics, sites := 0, 0
+	for _, a := range anchors {
+		switch a.Kind {
+		case core.StaticAP:
+			statics++
+		case core.NomadicSite:
+			sites++
+			if a.APID != h.Scenario().Nomadic.ID {
+				t.Errorf("nomadic anchor has APID %q", a.APID)
+			}
+		}
+	}
+	if statics != 3 {
+		t.Errorf("static anchors = %d, want 3", statics)
+	}
+	if sites < 1 || sites > 4 {
+		t.Errorf("nomadic site anchors = %d, want 1..4", sites)
+	}
+}
+
+func TestAnchorsNomadicPositionError(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOptions()
+	opt.PositionErrorM = 2
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	anchors, err := h.AnchorsNomadic(geom.V(6, 4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := scn.Nomadic.AllSites()
+	moved := false
+	for _, a := range anchors {
+		if a.Kind != core.NomadicSite {
+			continue
+		}
+		truePos := sites[a.SiteIndex-1]
+		d := a.Pos.Dist(truePos)
+		if d > 2+1e-9 {
+			t.Errorf("believed position %v is %v m from true site", a.Pos, d)
+		}
+		if d > 1e-9 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("position error did not move any nomadic anchor")
+	}
+}
+
+func TestLocalizeOnceModes(t *testing.T) {
+	h := labHarness(t)
+	obj := geom.V(6, 4)
+	for _, mode := range []Mode{StaticDeployment, NomadicDeployment} {
+		rng := rand.New(rand.NewSource(4))
+		est, err := h.LocalizeOnce(obj, mode, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !h.Scenario().Area.Contains(est.Position) {
+			t.Errorf("%v: estimate outside area", mode)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := h.LocalizeOnce(obj, Mode(0), rng); !errors.Is(err, ErrBadMode) {
+		t.Errorf("bad mode err = %v", err)
+	}
+}
+
+func TestRunSitesShape(t *testing.T) {
+	h := labHarness(t)
+	results, err := h.RunSites(StaticDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(h.Scenario().TestSites) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if len(r.Errors) != h.Options().TrialsPerSite {
+			t.Errorf("site %d trials = %d", i, len(r.Errors))
+		}
+		if r.MeanError < 0 || r.MeanError > 25 {
+			t.Errorf("site %d mean error = %v implausible", i, r.MeanError)
+		}
+	}
+	errs := MeanErrors(results)
+	if len(errs) != len(results) {
+		t.Error("MeanErrors length mismatch")
+	}
+}
+
+func TestRunSitesDeterministicPerSeed(t *testing.T) {
+	h := labHarness(t)
+	a, err := h.RunSites(NomadicDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.RunSites(NomadicDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].MeanError != b[i].MeanError {
+			t.Fatalf("site %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestNomadicBeatsStaticInLab(t *testing.T) {
+	// The paper's headline result (Fig. 8/9): the nomadic deployment has
+	// lower mean error and lower SLV than the static benchmark.
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(scn, Options{PacketsPerSite: 15, TrialsPerSite: 3, WalkSteps: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := h.RunSites(StaticDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := h.RunSites(NomadicDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, ne := MeanErrors(static), MeanErrors(nomadic)
+	if Mean(ne) >= Mean(se) {
+		t.Errorf("nomadic mean error %v not below static %v", Mean(ne), Mean(se))
+	}
+	if SLV(ne) >= SLV(se) {
+		t.Errorf("nomadic SLV %v not below static %v", SLV(ne), SLV(se))
+	}
+}
+
+func TestProximityAccuracy(t *testing.T) {
+	h := labHarness(t)
+	results, err := h.ProximityAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(h.Scenario().TestSites) {
+		t.Fatalf("results = %d", len(results))
+	}
+	var accSum float64
+	for i, r := range results {
+		// 4 APs → 6 pairs per trial.
+		if r.Total != 6*h.Options().TrialsPerSite {
+			t.Errorf("site %d total = %d", i, r.Total)
+		}
+		if r.Correct < 0 || r.Correct > r.Total {
+			t.Errorf("site %d correct = %d of %d", i, r.Correct, r.Total)
+		}
+		accSum += r.Accuracy()
+	}
+	// Paper Fig. 7: "most of them are more than 85%". Average across sites
+	// must at least clear a solid majority on the simulator.
+	if mean := accSum / float64(len(results)); mean < 0.7 {
+		t.Errorf("mean proximity accuracy = %v, want ≥ 0.7", mean)
+	}
+}
+
+func TestProximityAccuracyZeroTotal(t *testing.T) {
+	if got := (ProximityResult{}).Accuracy(); got != 0 {
+		t.Errorf("empty accuracy = %v", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if StaticDeployment.String() != "static" || NomadicDeployment.String() != "nomadic" {
+		t.Error("Mode.String mismatch")
+	}
+	if Mode(0).String() != "mode(0)" {
+		t.Error("zero Mode should not pretty-print")
+	}
+}
+
+func TestNomadicBeatsStaticInLobby(t *testing.T) {
+	// The paper's second scenario: the SLV superiority must be even more
+	// evident in the Lobby (paper Fig. 8's second observation).
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scn, err := deploy.Lobby()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(scn, Options{PacketsPerSite: 15, TrialsPerSite: 3, WalkSteps: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := h.RunSites(StaticDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := h.RunSites(NomadicDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, ne := MeanErrors(static), MeanErrors(nomadic)
+	if Mean(ne) >= Mean(se) {
+		t.Errorf("nomadic mean error %v not below static %v", Mean(ne), Mean(se))
+	}
+	if SLV(ne) >= SLV(se) {
+		t.Errorf("nomadic SLV %v not below static %v", SLV(ne), SLV(se))
+	}
+}

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// This file computes localizability maps: the paper's Fig. 1 concept made
+// measurable. Every grid point of the area is localized repeatedly; the
+// per-point mean error surfaces exactly where the deployment's blind
+// spots are, and the map's variance is the SLV over the whole area rather
+// than over the hand-picked test sites.
+
+// ErrMapEmpty is returned when the grid contains no interior points.
+var ErrMapEmpty = errors.New("eval: localizability map has no grid points")
+
+// MapResult is a localizability map.
+type MapResult struct {
+	// Mode is the evaluated deployment.
+	Mode Mode
+	// Spacing is the grid pitch in meters.
+	Spacing float64
+	// Points are the evaluated grid positions.
+	Points []geom.Vec
+	// Errors holds the mean localization error per point.
+	Errors []float64
+}
+
+// RunLocalizabilityMap localizes every grid point of the scenario area
+// (margin half a spacing from walls) trials times under the given mode.
+func (h *Harness) RunLocalizabilityMap(mode Mode, spacing float64, trials int) (*MapResult, error) {
+	if spacing <= 0 {
+		spacing = 1.5
+	}
+	if trials <= 0 {
+		trials = 1
+	}
+	points := h.scn.Area.SamplePoints(spacing, spacing/2)
+	if len(points) == 0 {
+		return nil, ErrMapEmpty
+	}
+	res := &MapResult{
+		Mode:    mode,
+		Spacing: spacing,
+		Points:  points,
+		Errors:  make([]float64, len(points)),
+	}
+	for i, p := range points {
+		rng := rand.New(rand.NewSource(h.opt.Seed + int64(i)*6151 + int64(mode)*104729))
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			est, err := h.LocalizeOnce(p, mode, rng)
+			if err != nil {
+				return nil, fmt.Errorf("grid point %v: %w", p, err)
+			}
+			sum += est.Position.Dist(p)
+		}
+		res.Errors[i] = sum / float64(trials)
+	}
+	return res, nil
+}
+
+// MeanError returns the map-wide mean error.
+func (m *MapResult) MeanError() float64 { return Mean(m.Errors) }
+
+// SLV returns the spatial localizability variance over the whole grid.
+func (m *MapResult) SLV() float64 { return SLV(m.Errors) }
+
+// WorstPoint returns the grid point with the largest mean error.
+func (m *MapResult) WorstPoint() (geom.Vec, float64) {
+	best := -1.0
+	var at geom.Vec
+	for i, e := range m.Errors {
+		if e > best {
+			best = e
+			at = m.Points[i]
+		}
+	}
+	return at, best
+}
+
+// errorGlyphs maps error buckets (in meters) to ASCII shades.
+var errorGlyphs = []struct {
+	limit float64
+	glyph byte
+}{
+	{1, '.'},
+	{2, '+'},
+	{3, 'o'},
+	{4, 'O'},
+	{math.Inf(1), '#'},
+}
+
+// glyphFor returns the shade for an error value.
+func glyphFor(e float64) byte {
+	for _, g := range errorGlyphs {
+		if e < g.limit {
+			return g.glyph
+		}
+	}
+	return '#'
+}
+
+// ASCII renders the map as a text heat map (y grows upward, like the
+// floor plans in the paper): '.' < 1 m, '+' < 2 m, 'o' < 3 m, 'O' < 4 m,
+// '#' ≥ 4 m; spaces are outside the area.
+func (m *MapResult) ASCII() string {
+	if len(m.Points) == 0 {
+		return ""
+	}
+	min, max := geom.BoundingBox(m.Points)
+	cols := int(math.Round((max.X-min.X)/m.Spacing)) + 1
+	rows := int(math.Round((max.Y-min.Y)/m.Spacing)) + 1
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for i, p := range m.Points {
+		c := int(math.Round((p.X - min.X) / m.Spacing))
+		r := int(math.Round((p.Y - min.Y) / m.Spacing))
+		if r < 0 || r >= rows || c < 0 || c >= cols {
+			continue
+		}
+		grid[r][c] = glyphFor(m.Errors[i])
+	}
+	var b strings.Builder
+	// Top row = max y.
+	for r := rows - 1; r >= 0; r-- {
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: . <1m  + <2m  o <3m  O <4m  # >=4m\n")
+	return b.String()
+}

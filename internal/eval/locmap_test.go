@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func TestRunLocalizabilityMap(t *testing.T) {
+	h := labHarness(t)
+	m, err := h.RunLocalizabilityMap(StaticDeployment, 3.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Points) == 0 || len(m.Points) != len(m.Errors) {
+		t.Fatalf("map shape: %d points, %d errors", len(m.Points), len(m.Errors))
+	}
+	for i, p := range m.Points {
+		if !h.Scenario().Area.Contains(p) {
+			t.Errorf("grid point %v outside area", p)
+		}
+		if m.Errors[i] < 0 || m.Errors[i] > 20 {
+			t.Errorf("error at %v = %v implausible", p, m.Errors[i])
+		}
+	}
+	if m.MeanError() <= 0 {
+		t.Error("mean error should be positive")
+	}
+	if m.SLV() < 0 {
+		t.Error("SLV negative")
+	}
+	worstAt, worst := m.WorstPoint()
+	if worst < m.MeanError() {
+		t.Error("worst point below the mean")
+	}
+	if !h.Scenario().Area.Contains(worstAt) {
+		t.Error("worst point outside area")
+	}
+}
+
+func TestLocalizabilityMapDefaults(t *testing.T) {
+	h := labHarness(t)
+	// Non-positive spacing and trials fall back to defaults.
+	m, err := h.RunLocalizabilityMap(StaticDeployment, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spacing != 1.5 {
+		t.Errorf("spacing = %v", m.Spacing)
+	}
+}
+
+func TestLocalizabilityMapEmptyGrid(t *testing.T) {
+	// A spacing far larger than the area leaves no interior points.
+	h := labHarness(t)
+	if _, err := h.RunLocalizabilityMap(StaticDeployment, 100, 1); !errors.Is(err, ErrMapEmpty) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLocalizabilityMapASCII(t *testing.T) {
+	h := labHarness(t)
+	m, err := h.RunLocalizabilityMap(StaticDeployment, 3.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := m.ASCII()
+	if art == "" {
+		t.Fatal("empty rendering")
+	}
+	if !strings.Contains(art, "legend:") {
+		t.Error("legend missing")
+	}
+	// Every glyph must be one of the known shades or space.
+	for _, line := range strings.Split(art, "\n") {
+		if strings.HasPrefix(line, "legend") || line == "" {
+			continue
+		}
+		for _, ch := range line {
+			switch ch {
+			case ' ', '.', '+', 'o', 'O', '#':
+			default:
+				t.Fatalf("unexpected glyph %q in map", ch)
+			}
+		}
+	}
+	// Empty map renders empty.
+	empty := &MapResult{}
+	if got := empty.ASCII(); got != "" {
+		t.Errorf("empty map rendered %q", got)
+	}
+}
+
+func TestLocalizabilityMapNomadicReducesSLV(t *testing.T) {
+	// The full-area version of the paper's headline claim.
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(scn, Options{PacketsPerSite: 12, TrialsPerSite: 1, WalkSteps: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := h.RunLocalizabilityMap(StaticDeployment, 2.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := h.RunLocalizabilityMap(NomadicDeployment, 2.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nomadic.MeanError() >= static.MeanError() {
+		t.Errorf("nomadic map mean %v not below static %v",
+			nomadic.MeanError(), static.MeanError())
+	}
+}
+
+func TestGlyphFor(t *testing.T) {
+	tests := []struct {
+		e    float64
+		want byte
+	}{
+		{0.5, '.'}, {1.5, '+'}, {2.5, 'o'}, {3.5, 'O'}, {9, '#'},
+	}
+	for _, tt := range tests {
+		if got := glyphFor(tt.e); got != tt.want {
+			t.Errorf("glyphFor(%v) = %c, want %c", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestBoundingBoxedGridAlignment(t *testing.T) {
+	// Grid points must land on distinct raster cells.
+	m := &MapResult{
+		Spacing: 1,
+		Points:  []geom.Vec{geom.V(0, 0), geom.V(1, 0), geom.V(0, 1)},
+		Errors:  []float64{0.5, 1.5, 4.5},
+	}
+	art := m.ASCII()
+	if !strings.Contains(art, ".") || !strings.Contains(art, "+") || !strings.Contains(art, "#") {
+		t.Errorf("raster lost points:\n%s", art)
+	}
+}

@@ -1,0 +1,171 @@
+// Package eval provides the evaluation metrics the paper reports (mean
+// localization error, spatial localizability variance, error CDFs) and the
+// experiment harness that reproduces its figures end-to-end on the channel
+// simulator.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metric errors.
+var (
+	ErrNoData  = errors.New("eval: no data points")
+	ErrBadProb = errors.New("eval: probability out of [0, 1]")
+)
+
+// Mean returns the arithmetic mean. It returns NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// SLV computes the spatial localizability variance (paper Eq. 22): the
+// population variance of the per-site mean errors,
+//
+//	SLV = (1/p)·Σ (eᵢ − ē)².
+//
+// It returns NaN for empty input.
+func SLV(siteMeanErrors []float64) float64 {
+	if len(siteMeanErrors) == 0 {
+		return math.NaN()
+	}
+	mean := Mean(siteMeanErrors)
+	var acc float64
+	for _, e := range siteMeanErrors {
+		d := e - mean
+		acc += d * d
+	}
+	return acc / float64(len(siteMeanErrors))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(SLV(xs)) }
+
+// Max returns the maximum. It returns NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Min returns the minimum. It returns NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x < best {
+			best = x
+		}
+	}
+	return best
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds the empirical CDF of xs (copied and sorted).
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}, nil
+}
+
+// Len returns the number of underlying samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	// First index with value > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Percentile returns the smallest sample value v with P(X ≤ v) ≥ p.
+func (c *CDF) Percentile(p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: %v", ErrBadProb, p)
+	}
+	if p == 0 {
+		return c.sorted[0], nil
+	}
+	idx := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx], nil
+}
+
+// Point is one (x, P(X ≤ x)) pair of the empirical CDF staircase.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Points returns the staircase corner points (one per sample).
+func (c *CDF) Points() []Point {
+	out := make([]Point, len(c.sorted))
+	n := float64(len(c.sorted))
+	for i, x := range c.sorted {
+		out[i] = Point{X: x, P: float64(i+1) / n}
+	}
+	return out
+}
+
+// Sample returns the CDF evaluated on a fixed grid from 0 to max in steps
+// — convenient for printing comparable series across experiments.
+func (c *CDF) Sample(max float64, steps int) []Point {
+	if steps < 1 {
+		steps = 1
+	}
+	out := make([]Point, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		x := max * float64(i) / float64(steps)
+		out = append(out, Point{X: x, P: c.At(x)})
+	}
+	return out
+}
+
+// Series is a named data series for report printing (one figure line).
+type Series struct {
+	// Name labels the line (e.g. "static", "nomadic", "ER=2").
+	Name string
+	// X and Y are the coordinates, len(X) == len(Y).
+	X []float64
+	// Y values.
+	Y []float64
+}
+
+// Validate checks the series lengths.
+func (s *Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("eval: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Errorf("Mean(nil) = %v, want NaN", got)
+	}
+}
+
+func TestSLV(t *testing.T) {
+	// Identical errors everywhere: zero variance (perfect consistency).
+	if got := SLV([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("SLV(const) = %v", got)
+	}
+	// Known variance: {1, 3} has mean 2, SLV 1.
+	if got := SLV([]float64{1, 3}); got != 1 {
+		t.Errorf("SLV = %v, want 1", got)
+	}
+	if got := SLV(nil); !math.IsNaN(got) {
+		t.Errorf("SLV(nil) = %v, want NaN", got)
+	}
+}
+
+func TestStdDevMaxMin(t *testing.T) {
+	xs := []float64{1, 3}
+	if got := StdDev(xs); got != 1 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := Max(xs); got != 3 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if !math.IsNaN(Max(nil)) || !math.IsNaN(Min(nil)) {
+		t.Error("Max/Min of empty should be NaN")
+	}
+}
+
+func TestPropSLVNonNegativeAndShiftInvariant(t *testing.T) {
+	f := func(xs []float64, shift float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			clean = append(clean, math.Mod(x, 1000))
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 0
+		}
+		shift = math.Mod(shift, 1000)
+		v := SLV(clean)
+		if v < 0 {
+			return false
+		}
+		shifted := make([]float64, len(clean))
+		for i, x := range clean {
+			shifted[i] = x + shift
+		}
+		return math.Abs(SLV(shifted)-v) < 1e-6*(1+v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	c, err := NewCDF([]float64{4, 1, 3, 2}) // unsorted input
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 1}, {0.5, 2}, {0.75, 3}, {0.9, 4}, {1, 4},
+	}
+	for _, tt := range tests {
+		got, err := c.Percentile(tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := c.Percentile(-0.1); !errors.Is(err, ErrBadProb) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.Percentile(1.5); !errors.Is(err, ErrBadProb) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, _ := NewCDF([]float64{2, 1})
+	pts := c.Points()
+	if len(pts) != 2 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 1 || pts[0].P != 0.5 || pts[1].X != 2 || pts[1].P != 1 {
+		t.Errorf("Points = %+v", pts)
+	}
+}
+
+func TestCDFSample(t *testing.T) {
+	c, _ := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Sample(4, 4)
+	if len(pts) != 5 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].P != 0 || pts[4].P != 1 {
+		t.Errorf("endpoints = %v, %v", pts[0], pts[4])
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Error("CDF sample not monotone")
+		}
+	}
+	// Degenerate steps clamp to 1.
+	if got := c.Sample(4, 0); len(got) != 2 {
+		t.Errorf("steps=0 gave %d points", len(got))
+	}
+}
+
+func TestPropCDFMonotone(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			clean = append(clean, math.Mod(x, 100))
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 100), math.Mod(b, 100)
+		if a > b {
+			a, b = b, a
+		}
+		c, err := NewCDF(clean)
+		if err != nil {
+			return false
+		}
+		return c.At(a) <= c.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	ok := Series{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+	bad := Series{Name: "s", X: []float64{1}, Y: []float64{3, 4}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}

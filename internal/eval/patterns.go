@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/planner"
+)
+
+// This file evaluates nomadic movement patterns (paper §VI future work,
+// "the impact of moving patterns of nomadic APs"): the planner strategies
+// replace the Markov random walk, under a fixed move budget.
+
+// AnchorsNomadicPlanned measures the nomadic AP along a strategy-driven
+// trajectory of moves steps (so up to moves+1 distinct sites including
+// home). After each site's measurement the planner's belief region is
+// shrunk with the judgements gathered so far, letting information-driven
+// strategies react to evidence.
+func (h *Harness) AnchorsNomadicPlanned(obj geom.Vec, strat planner.Strategy, moves int, rng *rand.Rand) ([]core.Anchor, error) {
+	anchors := make([]core.Anchor, 0, len(h.scn.StaticAPs)+moves+1)
+	staticPos := make([]geom.Vec, 0, len(h.scn.StaticAPs))
+	for _, ap := range h.scn.StaticAPs {
+		a, err := h.measureAnchor(ap.ID, 0, core.StaticAP, ap.Pos, ap.Pos, obj, rng)
+		if err != nil {
+			return nil, err
+		}
+		anchors = append(anchors, a)
+		staticPos = append(staticPos, ap.Pos)
+	}
+
+	sites := h.scn.Nomadic.AllSites()
+	state, err := planner.NewState(sites, staticPos, h.scn.Area)
+	if err != nil {
+		return nil, err
+	}
+
+	measureSite := func(siteIdx int) error {
+		truePos := sites[siteIdx]
+		believed, err := perturb(truePos, h.opt.PositionErrorM, rng)
+		if err != nil {
+			return err
+		}
+		a, err := h.measureAnchor(h.scn.Nomadic.ID, siteIdx+1, core.NomadicSite, truePos, believed, obj, rng)
+		if err != nil {
+			return err
+		}
+		anchors = append(anchors, a)
+		return nil
+	}
+
+	// Home is measured first (the AP starts there).
+	if err := measureSite(0); err != nil {
+		return nil, err
+	}
+	shrinkBelief(state, anchors, h.opt.MinConfidence)
+
+	visited := map[int]bool{0: true}
+	for m := 0; m < moves; m++ {
+		next, err := strat.Next(state, rng)
+		if err != nil {
+			return nil, fmt.Errorf("strategy %s: %w", strat.Name(), err)
+		}
+		if err := state.MarkVisited(next); err != nil {
+			return nil, err
+		}
+		if visited[next] {
+			continue // revisits re-measure nothing new for a static object
+		}
+		visited[next] = true
+		if err := measureSite(next); err != nil {
+			return nil, err
+		}
+		shrinkBelief(state, anchors, h.opt.MinConfidence)
+	}
+	return anchors, nil
+}
+
+// shrinkBelief updates the planner's region with the feasible set of the
+// current judgements. Errors are ignored: the belief is a heuristic and
+// an unjudgeable anchor set simply leaves it unchanged.
+func shrinkBelief(state *planner.State, anchors []core.Anchor, minConfidence float64) {
+	if len(anchors) < 2 {
+		return
+	}
+	js, err := core.BuildJudgements(anchors, core.PaperPairs, minConfidence)
+	if err != nil {
+		return
+	}
+	cons := make([]geom.HalfPlane, 0, len(js))
+	for _, j := range js {
+		cons = append(cons, j.HalfPlane())
+	}
+	state.ShrinkRegion(cons)
+}
+
+// perturb applies the uniform-disk position error.
+func perturb(p geom.Vec, radius float64, rng *rand.Rand) (geom.Vec, error) {
+	if radius <= 0 {
+		return p, nil
+	}
+	return mobility.PerturbUniformDisk(p, radius, rng)
+}
+
+// RunMovingPatterns compares the built-in movement strategies under a
+// fixed move budget, returning mean error and SLV per strategy. The
+// Markov random walk of the main experiments is included via the
+// planner's RandomWalk strategy, so all rows share the measurement
+// pipeline exactly.
+func RunMovingPatterns(scn *deploy.Scenario, opt Options, moves int) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		return nil, err
+	}
+	if moves <= 0 {
+		moves = len(scn.Nomadic.Waypoints)
+	}
+	rows := make([]AblationRow, 0, len(planner.Builtin()))
+	for _, strat := range planner.Builtin() {
+		var errs []float64
+		for si, site := range scn.TestSites {
+			rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+			var siteErrs []float64
+			for trial := 0; trial < opt.TrialsPerSite; trial++ {
+				anchors, err := h.AnchorsNomadicPlanned(site, strat, moves, rng)
+				if err != nil {
+					return nil, fmt.Errorf("%s at site %d: %w", strat.Name(), si, err)
+				}
+				est, err := h.loc.Locate(anchors)
+				if err != nil {
+					return nil, err
+				}
+				siteErrs = append(siteErrs, est.Position.Dist(site))
+			}
+			errs = append(errs, Mean(siteErrs))
+		}
+		rows = append(rows, AblationRow{
+			Variant:   strat.Name(),
+			MeanError: Mean(errs),
+			SLVValue:  SLV(errs),
+		})
+	}
+	return rows, nil
+}

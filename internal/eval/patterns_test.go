@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/planner"
+)
+
+func TestAnchorsNomadicPlanned(t *testing.T) {
+	h := labHarness(t)
+	obj := geom.V(6, 4)
+	for _, strat := range planner.Builtin() {
+		rng := rand.New(rand.NewSource(11))
+		anchors, err := h.AnchorsNomadicPlanned(obj, strat, 3, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		statics, sites := 0, 0
+		seen := map[int]bool{}
+		for _, a := range anchors {
+			switch a.Kind {
+			case core.StaticAP:
+				statics++
+			case core.NomadicSite:
+				sites++
+				if seen[a.SiteIndex] {
+					t.Errorf("%s: duplicate site anchor %d", strat.Name(), a.SiteIndex)
+				}
+				seen[a.SiteIndex] = true
+			}
+		}
+		if statics != 3 {
+			t.Errorf("%s: statics = %d", strat.Name(), statics)
+		}
+		if sites < 1 || sites > 4 {
+			t.Errorf("%s: site anchors = %d", strat.Name(), sites)
+		}
+		// Deterministic strategies with 3 moves visit all 4 sites.
+		if strat.Name() == "round-robin" && sites != 4 {
+			t.Errorf("round-robin visited %d sites, want 4", sites)
+		}
+		if strat.Name() == "farthest-first" && sites != 4 {
+			t.Errorf("farthest-first visited %d sites, want 4", sites)
+		}
+	}
+}
+
+func TestAnchorsNomadicPlannedLocalizes(t *testing.T) {
+	h := labHarness(t)
+	obj := geom.V(6, 4)
+	rng := rand.New(rand.NewSource(12))
+	anchors, err := h.AnchorsNomadicPlanned(obj, planner.GreedyPartition(), 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := h.Localizer().Locate(anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Scenario().Area.Contains(est.Position) {
+		t.Errorf("estimate %v outside area", est.Position)
+	}
+	if d := est.Position.Dist(obj); d > 8 {
+		t.Errorf("planned localization error %v m implausible", d)
+	}
+}
+
+func TestRunMovingPatterns(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunMovingPatterns(scn, fastOptions(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(planner.Builtin()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanError <= 0 || r.MeanError > 10 {
+			t.Errorf("%s: mean error %v implausible", r.Variant, r.MeanError)
+		}
+		if r.SLVValue < 0 {
+			t.Errorf("%s: negative SLV", r.Variant)
+		}
+	}
+	// Deterministic full-coverage strategies should not lose badly to the
+	// random walk under the same move budget (they visit ≥ as many
+	// distinct sites).
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	if rr, ok := byName["round-robin"]; ok {
+		if rw, ok2 := byName["random-walk"]; ok2 && rr.MeanError > rw.MeanError+1.0 {
+			t.Errorf("round-robin (%v) much worse than random walk (%v)", rr.MeanError, rw.MeanError)
+		}
+	}
+}
+
+func TestRunMovingPatternsDefaultMoves(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOptions()
+	opt.TrialsPerSite = 1
+	rows, err := RunMovingPatterns(scn, opt, 0) // 0 → waypoint count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+}

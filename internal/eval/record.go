@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/dataset"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/mobility"
+)
+
+// This file bridges the harness and the dataset package: recording
+// campaigns (raw CSI batches + ground truth) and replaying them through a
+// localizer.
+
+// RecordDataset runs the scenario's test sites under the given mode,
+// keeping the raw CSI batches, and returns the campaign as a dataset
+// (TrialsPerSite records per site).
+func (h *Harness) RecordDataset(mode Mode) (*dataset.Dataset, error) {
+	ds := &dataset.Dataset{
+		Version:   dataset.FormatVersion,
+		Scenario:  h.scn.Name,
+		Mode:      mode.String(),
+		Radio:     h.scn.Radio.Radio,
+		CreatedAt: time.Date(2014, time.June, 30, 12, 0, 0, 0, time.UTC),
+	}
+	for si, site := range h.scn.TestSites {
+		rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*7919 + int64(mode)*104729))
+		for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
+			rec, err := h.recordRound(site, mode, rng)
+			if err != nil {
+				return nil, fmt.Errorf("site %d trial %d: %w", si, trial, err)
+			}
+			ds.Records = append(ds.Records, rec)
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// recordRound captures one localization round with raw batches.
+func (h *Harness) recordRound(obj geom.Vec, mode Mode, rng *rand.Rand) (dataset.Record, error) {
+	rec := dataset.Record{Truth: obj}
+
+	appendRaw := func(apID string, siteIdx int, kind core.AnchorKind, truePos, believedPos geom.Vec) error {
+		a, batch, err := h.measureRawAnchor(apID, siteIdx, kind, truePos, believedPos, obj, rng)
+		if err != nil {
+			return err
+		}
+		rec.Anchors = append(rec.Anchors, dataset.AnchorRecord{
+			APID:      a.APID,
+			SiteIndex: a.SiteIndex,
+			Nomadic:   kind == core.NomadicSite,
+			Pos:       a.Pos,
+			Batch:     batch,
+		})
+		return nil
+	}
+
+	switch mode {
+	case StaticDeployment:
+		for _, ap := range h.scn.AllAPsStatic() {
+			if err := appendRaw(ap.ID, 0, core.StaticAP, ap.Pos, ap.Pos); err != nil {
+				return dataset.Record{}, err
+			}
+		}
+	case NomadicDeployment:
+		for _, ap := range h.scn.StaticAPs {
+			if err := appendRaw(ap.ID, 0, core.StaticAP, ap.Pos, ap.Pos); err != nil {
+				return dataset.Record{}, err
+			}
+		}
+		trace, err := h.chain.GenerateTrace(0, h.opt.WalkSteps, rng)
+		if err != nil {
+			return dataset.Record{}, err
+		}
+		for _, siteIdx := range trace.UniqueSites() {
+			truePos, err := h.chain.Site(siteIdx)
+			if err != nil {
+				return dataset.Record{}, err
+			}
+			believed, err := mobility.PerturbUniformDisk(truePos, h.opt.PositionErrorM, rng)
+			if err != nil {
+				return dataset.Record{}, err
+			}
+			if err := appendRaw(h.scn.Nomadic.ID, siteIdx+1, core.NomadicSite, truePos, believed); err != nil {
+				return dataset.Record{}, err
+			}
+		}
+	default:
+		return dataset.Record{}, fmt.Errorf("%w: %v", ErrBadMode, mode)
+	}
+	return rec, nil
+}
+
+// ReplayResult is one replayed record's outcome.
+type ReplayResult struct {
+	// Truth is the recorded ground truth.
+	Truth geom.Vec
+	// Estimate is the replayed localization estimate.
+	Estimate geom.Vec
+	// Error is the Euclidean distance between them.
+	Error float64
+}
+
+// ReplayDataset runs the SP pipeline over every record of a dataset —
+// batches are re-reduced to PDPs and localized by loc. The channel
+// simulator is not involved: this is the pure-algorithm path.
+func ReplayDataset(loc *core.Localizer, ds *dataset.Dataset) ([]ReplayResult, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]ReplayResult, 0, len(ds.Records))
+	for ri, rec := range ds.Records {
+		anchors := make([]core.Anchor, 0, len(rec.Anchors))
+		for _, a := range rec.Anchors {
+			batch := a.Batch
+			est, err := core.EstimatePDP(&batch)
+			if err != nil {
+				return nil, fmt.Errorf("record %d anchor %s#%d: %w", ri, a.APID, a.SiteIndex, err)
+			}
+			kind := core.StaticAP
+			if a.Nomadic {
+				kind = core.NomadicSite
+			}
+			anchors = append(anchors, core.Anchor{
+				APID:      a.APID,
+				SiteIndex: a.SiteIndex,
+				Kind:      kind,
+				Pos:       a.Pos,
+				PDP:       est.Power,
+			})
+		}
+		est, err := loc.Locate(anchors)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", ri, err)
+		}
+		out = append(out, ReplayResult{
+			Truth:    rec.Truth,
+			Estimate: est.Position,
+			Error:    est.Position.Dist(rec.Truth),
+		})
+	}
+	return out, nil
+}
+
+// ReplayErrors extracts the error column.
+func ReplayErrors(results []ReplayResult) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.Error
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/dataset"
+)
+
+func TestRecordDatasetStatic(t *testing.T) {
+	h := labHarness(t)
+	ds, err := h.RecordDataset(StaticDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := len(h.Scenario().TestSites) * h.Options().TrialsPerSite
+	if len(ds.Records) != wantRecords {
+		t.Fatalf("records = %d, want %d", len(ds.Records), wantRecords)
+	}
+	for ri, rec := range ds.Records {
+		if len(rec.Anchors) != 4 {
+			t.Errorf("record %d anchors = %d, want 4", ri, len(rec.Anchors))
+		}
+		for _, a := range rec.Anchors {
+			if a.Nomadic {
+				t.Errorf("record %d has nomadic anchor in static mode", ri)
+			}
+			if len(a.Batch.Samples) != h.Options().PacketsPerSite {
+				t.Errorf("record %d anchor %s samples = %d", ri, a.APID, len(a.Batch.Samples))
+			}
+		}
+	}
+	if ds.Scenario != "lab" || ds.Mode != "static" {
+		t.Errorf("meta = %s/%s", ds.Scenario, ds.Mode)
+	}
+}
+
+func TestRecordDatasetNomadic(t *testing.T) {
+	h := labHarness(t)
+	ds, err := h.RecordDataset(NomadicDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundNomadic := false
+	for _, rec := range ds.Records {
+		for _, a := range rec.Anchors {
+			if a.Nomadic {
+				foundNomadic = true
+			}
+		}
+	}
+	if !foundNomadic {
+		t.Error("nomadic recording contains no nomadic anchors")
+	}
+	if _, err := h.RecordDataset(Mode(0)); !errors.Is(err, ErrBadMode) {
+		t.Errorf("bad mode err = %v", err)
+	}
+}
+
+func TestReplayMatchesLiveRun(t *testing.T) {
+	// The central replay property: running the localizer over the
+	// recorded batches must reproduce the live errors exactly (the same
+	// inputs flow through the same pipeline).
+	h := labHarness(t)
+	ds, err := h.RecordDataset(StaticDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := h.RunSites(StaticDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayDataset(h.Localizer(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(ds.Records) {
+		t.Fatalf("replay results = %d", len(replayed))
+	}
+	// Records are ordered site-major, trial-minor — regroup and compare.
+	trials := h.Options().TrialsPerSite
+	for si, siteRes := range live {
+		for trial := 0; trial < trials; trial++ {
+			rr := replayed[si*trials+trial]
+			if rr.Truth != siteRes.Site {
+				t.Fatalf("site %d trial %d: truth %v vs %v", si, trial, rr.Truth, siteRes.Site)
+			}
+			if diff := rr.Error - siteRes.Errors[trial]; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("site %d trial %d: replay error %v vs live %v",
+					si, trial, rr.Error, siteRes.Errors[trial])
+			}
+		}
+	}
+}
+
+func TestReplayThroughSerialization(t *testing.T) {
+	// Record → save → load → replay must agree with direct replay.
+	h := labHarness(t)
+	ds, err := h.RecordDataset(StaticDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataset.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ReplayDataset(h.Localizer(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundtripped, err := ReplayDataset(h.Localizer(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if direct[i].Estimate != roundtripped[i].Estimate {
+			t.Errorf("record %d: estimate changed across serialization: %v vs %v",
+				i, direct[i].Estimate, roundtripped[i].Estimate)
+		}
+	}
+}
+
+func TestReplayWithDifferentLocalizer(t *testing.T) {
+	// The point of datasets: swap the algorithm, keep the measurements.
+	h := labHarness(t)
+	ds, err := h.RecordDataset(NomadicDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centroidLoc, err := core.New(core.Config{
+		Area:   h.Scenario().Area,
+		Center: core.CentroidRule,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := ReplayDataset(centroidLoc, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := ReplayErrors(results)
+	if len(errs) != len(results) {
+		t.Fatal("ReplayErrors length mismatch")
+	}
+	if Mean(errs) <= 0 || Mean(errs) > 10 {
+		t.Errorf("replayed mean error %v implausible", Mean(errs))
+	}
+}
+
+func TestReplayInvalidDataset(t *testing.T) {
+	h := labHarness(t)
+	bad := &dataset.Dataset{Version: dataset.FormatVersion}
+	if _, err := ReplayDataset(h.Localizer(), bad); !errors.Is(err, dataset.ErrEmpty) {
+		t.Errorf("err = %v", err)
+	}
+}

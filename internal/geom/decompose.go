@@ -1,0 +1,114 @@
+package geom
+
+import "fmt"
+
+// ConvexDecompose splits a simple polygon into convex pieces. A convex
+// input is returned unchanged (as a single piece). Non-convex inputs are
+// ear-clipped into triangles which are then greedily merged à la
+// Hertel–Mehlhorn: two pieces sharing an edge are fused whenever the union
+// stays convex. The result is not guaranteed minimal but is within a
+// factor of four of optimal, which is more than enough for floor plans.
+//
+// NomLoc needs this because the paper's virtual-AP boundary construction
+// (Eq. 9) is only valid for convex areas; §IV-B.2 prescribes dividing a
+// non-convex area (like the L-shaped Lobby) into convex ones, solving per
+// piece, and merging the feasible results.
+func ConvexDecompose(p Polygon) ([]Polygon, error) {
+	poly := p.EnsureCCW()
+	if poly.IsConvex() {
+		return []Polygon{poly}, nil
+	}
+	tris, err := Triangulate(poly)
+	if err != nil {
+		return nil, fmt.Errorf("convex decompose: %w", err)
+	}
+	pieces := make([][]Vec, len(tris))
+	for i, t := range tris {
+		pieces[i] = []Vec{t.A, t.B, t.C}
+	}
+
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(pieces); i++ {
+			for j := i + 1; j < len(pieces); j++ {
+				fused, ok := tryMerge(pieces[i], pieces[j])
+				if !ok {
+					continue
+				}
+				pieces[i] = fused
+				pieces = append(pieces[:j], pieces[j+1:]...)
+				merged = true
+				break outer
+			}
+		}
+	}
+
+	out := make([]Polygon, 0, len(pieces))
+	for _, verts := range pieces {
+		poly, err := NewPolygon(verts)
+		if err != nil {
+			return nil, fmt.Errorf("convex decompose: piece invalid: %w", err)
+		}
+		out = append(out, poly)
+	}
+	return out, nil
+}
+
+// tryMerge fuses two CCW vertex rings that share exactly one edge, if the
+// union is convex. Ring a must contain a directed edge (u, v) that appears
+// in b as (v, u).
+func tryMerge(a, b []Vec) ([]Vec, bool) {
+	m, k := len(a), len(b)
+	for i := 0; i < m; i++ {
+		u := a[i]
+		v := a[(i+1)%m]
+		for l := 0; l < k; l++ {
+			if !b[l].ApproxEqual(v, Eps) || !b[(l+1)%k].ApproxEqual(u, Eps) {
+				continue
+			}
+			// Build the union: all of a starting at v and ending at u,
+			// then b's vertices strictly between u and v (CCW).
+			fused := make([]Vec, 0, m+k-2)
+			for s := 0; s < m; s++ {
+				fused = append(fused, a[(i+1+s)%m])
+			}
+			for s := 2; s < k; s++ {
+				fused = append(fused, b[(l+s)%k])
+			}
+			if !ringConvex(fused) {
+				return nil, false
+			}
+			return fused, true
+		}
+	}
+	return nil, false
+}
+
+// ringConvex reports whether the CCW vertex ring is convex.
+func ringConvex(verts []Vec) bool {
+	n := len(verts)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		a := verts[i]
+		b := verts[(i+1)%n]
+		c := verts[(i+2)%n]
+		if b.Sub(a).Cross(c.Sub(b)) < -Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// PieceContaining returns the index of the first piece containing q, or −1.
+func PieceContaining(pieces []Polygon, q Vec) int {
+	for i, p := range pieces {
+		if p.Contains(q) {
+			return i
+		}
+	}
+	return -1
+}

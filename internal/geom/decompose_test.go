@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTriangulateSquare(t *testing.T) {
+	tris, err := Triangulate(Rect(0, 0, 4, 4))
+	if err != nil {
+		t.Fatalf("Triangulate: %v", err)
+	}
+	if len(tris) != 2 {
+		t.Errorf("len = %d, want 2", len(tris))
+	}
+	var area float64
+	for _, tr := range tris {
+		area += tr.Area()
+	}
+	if math.Abs(area-16) > 1e-9 {
+		t.Errorf("total area = %v, want 16", area)
+	}
+}
+
+func TestTriangulateLShape(t *testing.T) {
+	l := lShape()
+	tris, err := Triangulate(l)
+	if err != nil {
+		t.Fatalf("Triangulate: %v", err)
+	}
+	if len(tris) != l.NumVertices()-2 {
+		t.Errorf("len = %d, want %d", len(tris), l.NumVertices()-2)
+	}
+	var area float64
+	for _, tr := range tris {
+		area += tr.Area()
+		// Every triangle centroid must lie inside the original polygon.
+		if !l.Contains(tr.Centroid()) {
+			t.Errorf("triangle centroid %v outside polygon", tr.Centroid())
+		}
+	}
+	if math.Abs(area-l.Area()) > 1e-9 {
+		t.Errorf("total area = %v, want %v", area, l.Area())
+	}
+}
+
+func TestTriangulateCWInput(t *testing.T) {
+	cw := Polygon{vertices: []Vec{{0, 0}, {0, 4}, {4, 4}, {4, 0}}}
+	tris, err := Triangulate(cw)
+	if err != nil {
+		t.Fatalf("Triangulate CW: %v", err)
+	}
+	var area float64
+	for _, tr := range tris {
+		area += tr.Area()
+	}
+	if math.Abs(area-16) > 1e-9 {
+		t.Errorf("area = %v, want 16", area)
+	}
+}
+
+func TestTriangleContains(t *testing.T) {
+	tr := Triangle{A: V(0, 0), B: V(4, 0), C: V(0, 4)}
+	if !tr.Contains(V(1, 1)) {
+		t.Error("interior point rejected")
+	}
+	if !tr.Contains(V(2, 0)) {
+		t.Error("edge point rejected")
+	}
+	if tr.Contains(V(3, 3)) {
+		t.Error("exterior point accepted")
+	}
+}
+
+func TestConvexDecomposeConvexPassthrough(t *testing.T) {
+	sq := Rect(0, 0, 4, 4)
+	pieces, err := ConvexDecompose(sq)
+	if err != nil {
+		t.Fatalf("ConvexDecompose: %v", err)
+	}
+	if len(pieces) != 1 {
+		t.Fatalf("len = %d, want 1", len(pieces))
+	}
+	if math.Abs(pieces[0].Area()-16) > 1e-9 {
+		t.Errorf("area = %v", pieces[0].Area())
+	}
+}
+
+func TestConvexDecomposeLShape(t *testing.T) {
+	l := lShape()
+	pieces, err := ConvexDecompose(l)
+	if err != nil {
+		t.Fatalf("ConvexDecompose: %v", err)
+	}
+	if len(pieces) < 2 {
+		t.Fatalf("L-shape should need ≥ 2 pieces, got %d", len(pieces))
+	}
+	if len(pieces) > 3 {
+		t.Errorf("Hertel–Mehlhorn should merge an L into ≤ 3 pieces, got %d", len(pieces))
+	}
+	var area float64
+	for i, p := range pieces {
+		if !p.IsConvex() {
+			t.Errorf("piece %d not convex", i)
+		}
+		if !p.IsCCW() {
+			t.Errorf("piece %d not CCW", i)
+		}
+		area += p.Area()
+		if !l.Contains(p.Centroid()) {
+			t.Errorf("piece %d centroid outside the original", i)
+		}
+	}
+	if math.Abs(area-l.Area()) > 1e-6 {
+		t.Errorf("piece areas sum to %v, want %v", area, l.Area())
+	}
+}
+
+func TestConvexDecomposeUShape(t *testing.T) {
+	u := MustPolygon([]Vec{
+		{0, 0}, {12, 0}, {12, 8}, {9, 8}, {9, 3}, {3, 3}, {3, 8}, {0, 8},
+	})
+	pieces, err := ConvexDecompose(u)
+	if err != nil {
+		t.Fatalf("ConvexDecompose: %v", err)
+	}
+	var area float64
+	for i, p := range pieces {
+		if !p.IsConvex() {
+			t.Errorf("piece %d not convex", i)
+		}
+		area += p.Area()
+	}
+	if math.Abs(area-u.Area()) > 1e-6 {
+		t.Errorf("piece areas sum to %v, want %v", area, u.Area())
+	}
+}
+
+func TestConvexDecomposeCoversInterior(t *testing.T) {
+	l := lShape()
+	pieces, err := ConvexDecompose(l)
+	if err != nil {
+		t.Fatalf("ConvexDecompose: %v", err)
+	}
+	// Every interior sample of the original must be in some piece, and
+	// every piece sample must be inside the original.
+	for _, q := range l.SamplePoints(0.5, 0.1) {
+		if PieceContaining(pieces, q) < 0 {
+			t.Errorf("interior point %v not covered by any piece", q)
+		}
+	}
+	for i, p := range pieces {
+		for _, q := range p.SamplePoints(0.5, 0.1) {
+			if !l.Contains(q) {
+				t.Errorf("piece %d sample %v escapes the original", i, q)
+			}
+		}
+	}
+}
+
+func TestPieceContaining(t *testing.T) {
+	pieces := []Polygon{Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)}
+	if got := PieceContaining(pieces, V(1, 1)); got != 0 {
+		t.Errorf("PieceContaining = %d, want 0", got)
+	}
+	if got := PieceContaining(pieces, V(3, 1)); got != 1 {
+		t.Errorf("PieceContaining = %d, want 1", got)
+	}
+	if got := PieceContaining(pieces, V(9, 9)); got != -1 {
+		t.Errorf("PieceContaining = %d, want -1", got)
+	}
+}

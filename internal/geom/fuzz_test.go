@@ -1,0 +1,146 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomStarPolygon generates a random simple polygon: vertices at sorted
+// angles around a center with random radii. Star-shaped polygons are
+// always simple, which makes them ideal fuzz inputs for triangulation and
+// decomposition.
+func randomStarPolygon(rng *rand.Rand, n int) Polygon {
+	angles := make([]float64, n)
+	for i := range angles {
+		angles[i] = rng.Float64() * 2 * math.Pi
+	}
+	// Sort ascending (insertion sort; n is small).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && angles[j-1] > angles[j]; j-- {
+			angles[j-1], angles[j] = angles[j], angles[j-1]
+		}
+	}
+	// Enforce minimum angular separation to avoid near-duplicate vertices.
+	verts := make([]Vec, 0, n)
+	prev := -1.0
+	for _, a := range angles {
+		if a-prev < 0.05 {
+			continue
+		}
+		prev = a
+		r := 2 + rng.Float64()*8
+		verts = append(verts, V(r*math.Cos(a), r*math.Sin(a)))
+	}
+	if len(verts) < 3 {
+		return Rect(0, 0, 1, 1)
+	}
+	p, err := NewPolygon(verts)
+	if err != nil {
+		return Rect(0, 0, 1, 1)
+	}
+	return p
+}
+
+func TestFuzzTriangulatePreservesArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 200; trial++ {
+		p := randomStarPolygon(rng, 4+rng.Intn(12))
+		tris, err := Triangulate(p)
+		if err != nil {
+			t.Fatalf("trial %d: triangulate %v: %v", trial, p, err)
+		}
+		if len(tris) != p.NumVertices()-2 {
+			t.Fatalf("trial %d: %d triangles for %d vertices", trial, len(tris), p.NumVertices())
+		}
+		var area float64
+		for _, tr := range tris {
+			area += tr.Area()
+		}
+		if math.Abs(area-p.Area()) > 1e-6*(1+p.Area()) {
+			t.Fatalf("trial %d: triangle area %v vs polygon %v", trial, area, p.Area())
+		}
+	}
+}
+
+func TestFuzzConvexDecomposeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 120; trial++ {
+		p := randomStarPolygon(rng, 4+rng.Intn(10))
+		pieces, err := ConvexDecompose(p)
+		if err != nil {
+			t.Fatalf("trial %d: decompose: %v", trial, err)
+		}
+		var area float64
+		for pi, piece := range pieces {
+			if !piece.IsConvex() {
+				t.Fatalf("trial %d: piece %d not convex", trial, pi)
+			}
+			if !piece.IsCCW() {
+				t.Fatalf("trial %d: piece %d not CCW", trial, pi)
+			}
+			area += piece.Area()
+			if !p.Contains(piece.Centroid()) {
+				t.Fatalf("trial %d: piece %d centroid escapes the polygon", trial, pi)
+			}
+		}
+		if math.Abs(area-p.Area()) > 1e-6*(1+p.Area()) {
+			t.Fatalf("trial %d: pieces area %v vs polygon %v", trial, area, p.Area())
+		}
+	}
+}
+
+func TestFuzzMirrorConstraintsConsistent(t *testing.T) {
+	// For any convex piece, the VAP boundary constraints built from an
+	// interior reference must accept interior samples and reject mirrored
+	// exterior points.
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 100; trial++ {
+		p := randomStarPolygon(rng, 4+rng.Intn(8))
+		pieces, err := ConvexDecompose(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, piece := range pieces {
+			ref := piece.Centroid()
+			mirrors := piece.MirrorAcrossEdges(ref)
+			for mi, m := range mirrors {
+				h := HalfPlaneCloserTo(ref, m)
+				if !h.Contains(ref, 1e-9) {
+					t.Fatalf("trial %d: reference violates its own constraint %d", trial, mi)
+				}
+				// The mirror itself must violate (it is on the far side),
+				// unless the reference sits on the edge (degenerate thin
+				// piece).
+				if ref.Dist(m) > 1e-6 && h.Contains(m, -1e-9) {
+					t.Fatalf("trial %d: mirror %d satisfies the constraint", trial, mi)
+				}
+			}
+		}
+	}
+}
+
+func TestFuzzFeasibleRegionShrinks(t *testing.T) {
+	// Adding constraints can only shrink (or empty) the feasible region.
+	rng := rand.New(rand.NewSource(2027))
+	for trial := 0; trial < 100; trial++ {
+		bound := Rect(0, 0, 10, 10)
+		var cons []HalfPlane
+		prevArea := bound.Area()
+		for k := 0; k < 6; k++ {
+			cons = append(cons, HalfPlane{
+				Ax: rng.NormFloat64(),
+				Ay: rng.NormFloat64(),
+				B:  rng.NormFloat64() * 6,
+			})
+			region, ok := FeasibleRegion(bound, cons)
+			if !ok {
+				break // emptied: also a valid shrink
+			}
+			if region.Area() > prevArea+1e-9 {
+				t.Fatalf("trial %d: region grew from %v to %v", trial, prevArea, region.Area())
+			}
+			prevArea = region.Area()
+		}
+	}
+}

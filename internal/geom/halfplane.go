@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// HalfPlane is the closed region { z : A·z ≤ B } where A = (Ax, Ay).
+// It is the geometric form of one row of the paper's constraint system
+// Āz ≤ b̄ (Eq. 8, 9, 13).
+type HalfPlane struct {
+	Ax, Ay float64
+	B      float64
+}
+
+// HalfPlaneCloserTo returns the half-plane of points at least as close to p
+// as to q, i.e. the paper's Eq. 7:
+//
+//	2(qx−px)·x + 2(qy−py)·y ≤ qx²+qy² − px²−py²
+func HalfPlaneCloserTo(p, q Vec) HalfPlane {
+	return HalfPlane{
+		Ax: 2 * (q.X - p.X),
+		Ay: 2 * (q.Y - p.Y),
+		B:  q.Len2() - p.Len2(),
+	}
+}
+
+// Contains reports whether z satisfies the constraint within tol.
+func (h HalfPlane) Contains(z Vec, tol float64) bool {
+	return h.Ax*z.X+h.Ay*z.Y <= h.B+tol
+}
+
+// Violation returns max(0, A·z − B): how far z is outside the half-plane
+// in constraint units.
+func (h HalfPlane) Violation(z Vec) float64 {
+	v := h.Ax*z.X + h.Ay*z.Y - h.B
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Normal returns the outward normal (Ax, Ay).
+func (h HalfPlane) Normal() Vec { return Vec{h.Ax, h.Ay} }
+
+// NormalLen returns |(Ax, Ay)|.
+func (h HalfPlane) NormalLen() float64 { return math.Hypot(h.Ax, h.Ay) }
+
+// Relax returns the half-plane loosened by t: { z : A·z ≤ B + t }.
+func (h HalfPlane) Relax(t float64) HalfPlane {
+	return HalfPlane{Ax: h.Ax, Ay: h.Ay, B: h.B + t}
+}
+
+// String implements fmt.Stringer.
+func (h HalfPlane) String() string {
+	return fmt.Sprintf("%.3f·x + %.3f·y ≤ %.3f", h.Ax, h.Ay, h.B)
+}
+
+// Boundary returns the boundary line A·z = B. ok is false when the normal
+// is degenerate (the half-plane is everything or nothing).
+func (h HalfPlane) Boundary() (Line, bool) {
+	n := h.Normal()
+	l2 := n.Len2()
+	if l2 < Eps*Eps {
+		return Line{}, false
+	}
+	point := n.Scale(h.B / l2)
+	return Line{Point: point, Dir: n.Perp()}, true
+}
+
+// ClipPolygon clips poly to the half-plane with the Sutherland–Hodgman
+// step for a single clip edge. The result may be empty (ok=false) when the
+// polygon lies entirely outside.
+func (h HalfPlane) ClipPolygon(poly Polygon) (Polygon, bool) {
+	verts := poly.vertices
+	n := len(verts)
+	if n == 0 {
+		return Polygon{}, false
+	}
+	val := func(v Vec) float64 { return h.Ax*v.X + h.Ay*v.Y - h.B }
+	out := make([]Vec, 0, n+4)
+	for i := 0; i < n; i++ {
+		cur, nxt := verts[i], verts[(i+1)%n]
+		cv, nv := val(cur), val(nxt)
+		curIn := cv <= Eps
+		nxtIn := nv <= Eps
+		if curIn {
+			out = append(out, cur)
+		}
+		if curIn != nxtIn {
+			denom := cv - nv
+			if math.Abs(denom) > Eps {
+				t := cv / denom
+				out = append(out, cur.Lerp(nxt, t))
+			}
+		}
+	}
+	clipped, err := NewPolygon(out)
+	if err != nil {
+		return Polygon{}, false
+	}
+	return clipped, true
+}
+
+// FeasibleRegion intersects the half-planes within the bounding polygon and
+// returns the resulting feasible polygon. ok is false when the intersection
+// is empty (or collapses below area Eps). This is how NomLoc materializes
+// "the feasible region" of the space-partition LP so its center can be
+// reported as the location estimate.
+func FeasibleRegion(bound Polygon, constraints []HalfPlane) (Polygon, bool) {
+	region := bound.EnsureCCW()
+	for _, h := range constraints {
+		var ok bool
+		region, ok = h.ClipPolygon(region)
+		if !ok {
+			return Polygon{}, false
+		}
+	}
+	return region, true
+}
+
+// ChebyshevRadius returns the distance from z to the nearest constraint
+// boundary among constraints that z satisfies; it is +Inf when there are no
+// constraints and negative when z violates some constraint (the largest
+// violation, normalized).
+func ChebyshevRadius(z Vec, constraints []HalfPlane) float64 {
+	r := math.Inf(1)
+	for _, h := range constraints {
+		nl := h.NormalLen()
+		if nl < Eps {
+			continue
+		}
+		slack := (h.B - (h.Ax*z.X + h.Ay*z.Y)) / nl
+		if slack < r {
+			r = slack
+		}
+	}
+	return r
+}

@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfPlaneCloserTo(t *testing.T) {
+	p, q := V(0, 0), V(10, 0)
+	h := HalfPlaneCloserTo(p, q)
+	// Points left of x=5 are closer to p.
+	if !h.Contains(V(2, 3), 1e-9) {
+		t.Error("point closer to p rejected")
+	}
+	if h.Contains(V(8, -1), 1e-9) {
+		t.Error("point closer to q accepted")
+	}
+	// The bisector itself is included.
+	if !h.Contains(V(5, 100), 1e-9) {
+		t.Error("bisector point rejected")
+	}
+}
+
+func TestPropHalfPlaneMatchesDistance(t *testing.T) {
+	f := func(p, q, z Vec) bool {
+		p, q, z = clampVec(p), clampVec(q), clampVec(z)
+		if p.Dist(q) < 1e-6 {
+			return true
+		}
+		h := HalfPlaneCloserTo(p, q)
+		closer := z.Dist2(p) <= z.Dist2(q)+1e-6
+		return h.Contains(z, 1e-6) == closer
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfPlaneViolation(t *testing.T) {
+	h := HalfPlane{Ax: 1, Ay: 0, B: 5} // x ≤ 5
+	if got := h.Violation(V(3, 0)); got != 0 {
+		t.Errorf("Violation inside = %v", got)
+	}
+	if got := h.Violation(V(8, 0)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Violation = %v, want 3", got)
+	}
+}
+
+func TestHalfPlaneRelax(t *testing.T) {
+	h := HalfPlane{Ax: 1, Ay: 0, B: 5}
+	r := h.Relax(2)
+	if !r.Contains(V(6.5, 0), 1e-9) {
+		t.Error("relaxed constraint should admit x=6.5")
+	}
+	if r.Contains(V(7.5, 0), 1e-9) {
+		t.Error("relaxed constraint should reject x=7.5")
+	}
+}
+
+func TestHalfPlaneBoundary(t *testing.T) {
+	h := HalfPlane{Ax: 0, Ay: 2, B: 8} // y ≤ 4
+	l, ok := h.Boundary()
+	if !ok {
+		t.Fatal("Boundary not ok")
+	}
+	if math.Abs(l.DistTo(V(100, 4))) > 1e-9 {
+		t.Error("boundary line is not y = 4")
+	}
+	if _, ok := (HalfPlane{}).Boundary(); ok {
+		t.Error("degenerate half-plane should have no boundary")
+	}
+}
+
+func TestClipPolygon(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+
+	// Clip to x ≤ 4.
+	left, ok := (HalfPlane{Ax: 1, Ay: 0, B: 4}).ClipPolygon(sq)
+	if !ok {
+		t.Fatal("clip produced empty polygon")
+	}
+	if math.Abs(left.Area()-40) > 1e-9 {
+		t.Errorf("clipped area = %v, want 40", left.Area())
+	}
+
+	// Clip away everything.
+	if _, ok := (HalfPlane{Ax: 1, Ay: 0, B: -5}).ClipPolygon(sq); ok {
+		t.Error("fully-outside clip should be empty")
+	}
+
+	// Clip that keeps everything.
+	all, ok := (HalfPlane{Ax: 1, Ay: 0, B: 100}).ClipPolygon(sq)
+	if !ok || math.Abs(all.Area()-100) > 1e-9 {
+		t.Errorf("no-op clip changed polygon: ok=%v area=%v", ok, all.Area())
+	}
+
+	// Diagonal clip of the unit square: x + y ≤ 1 on a 1×1 square keeps a
+	// triangle of area ½.
+	tri, ok := (HalfPlane{Ax: 1, Ay: 1, B: 1}).ClipPolygon(Rect(0, 0, 1, 1))
+	if !ok || math.Abs(tri.Area()-0.5) > 1e-9 {
+		t.Errorf("diagonal clip: ok=%v area=%v, want 0.5", ok, tri.Area())
+	}
+}
+
+func TestFeasibleRegion(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+	region, ok := FeasibleRegion(sq, []HalfPlane{
+		{Ax: 1, Ay: 0, B: 6},                                     // x ≤ 6
+		{Ax: -1, Ay: 0, B: -2} /* x ≥ 2 */, {Ax: 0, Ay: 1, B: 5}, // y ≤ 5
+	})
+	if !ok {
+		t.Fatal("feasible region empty")
+	}
+	if math.Abs(region.Area()-4*5) > 1e-9 {
+		t.Errorf("region area = %v, want 20", region.Area())
+	}
+	if !region.Centroid().ApproxEqual(V(4, 2.5), 1e-9) {
+		t.Errorf("region centroid = %v, want (4, 2.5)", region.Centroid())
+	}
+
+	// Contradictory constraints → empty.
+	if _, ok := FeasibleRegion(sq, []HalfPlane{
+		{Ax: 1, Ay: 0, B: 2}, {Ax: -1, Ay: 0, B: -8},
+	}); ok {
+		t.Error("contradictory constraints should yield empty region")
+	}
+}
+
+func TestFeasibleRegionFromProximity(t *testing.T) {
+	// Three APs at known sites; the object at (3, 3) is closest to AP0.
+	aps := []Vec{{2, 2}, {8, 2}, {5, 8}}
+	obj := V(3, 3)
+	bound := Rect(0, 0, 10, 10)
+	var cons []HalfPlane
+	for i := range aps {
+		for j := range aps {
+			if i == j {
+				continue
+			}
+			if obj.Dist2(aps[i]) <= obj.Dist2(aps[j]) {
+				cons = append(cons, HalfPlaneCloserTo(aps[i], aps[j]))
+			}
+		}
+	}
+	region, ok := FeasibleRegion(bound, cons)
+	if !ok {
+		t.Fatal("true proximity constraints must be feasible")
+	}
+	if !region.Contains(obj) {
+		t.Errorf("region %v does not contain the true position %v", region, obj)
+	}
+}
+
+func TestChebyshevRadius(t *testing.T) {
+	cons := []HalfPlane{
+		{Ax: 1, Ay: 0, B: 10}, // x ≤ 10
+		{Ax: -1, Ay: 0, B: 0}, // x ≥ 0
+		{Ax: 0, Ay: 1, B: 10}, // y ≤ 10
+		{Ax: 0, Ay: -1, B: 0}, // y ≥ 0
+	}
+	if got := ChebyshevRadius(V(5, 5), cons); math.Abs(got-5) > 1e-9 {
+		t.Errorf("center radius = %v, want 5", got)
+	}
+	if got := ChebyshevRadius(V(1, 5), cons); math.Abs(got-1) > 1e-9 {
+		t.Errorf("off-center radius = %v, want 1", got)
+	}
+	if got := ChebyshevRadius(V(12, 5), cons); got >= 0 {
+		t.Errorf("outside point should have negative radius, got %v", got)
+	}
+	if got := ChebyshevRadius(V(0, 0), nil); !math.IsInf(got, 1) {
+		t.Errorf("no constraints should give +Inf, got %v", got)
+	}
+}

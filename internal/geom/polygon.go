@@ -1,0 +1,315 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Polygon is a simple polygon given by its vertices in order. Methods that
+// care about winding normalize internally; use EnsureCCW to canonicalize.
+type Polygon struct {
+	vertices []Vec
+}
+
+// Errors returned by polygon validation.
+var (
+	ErrTooFewVertices = errors.New("geom: polygon needs at least 3 vertices")
+	ErrDegenerate     = errors.New("geom: polygon has near-zero area")
+	ErrSelfIntersect  = errors.New("geom: polygon edges self-intersect")
+)
+
+// NewPolygon builds a polygon from vertices, copying the slice. It returns
+// an error if the polygon is degenerate or self-intersecting; repeated
+// consecutive vertices are dropped.
+func NewPolygon(vertices []Vec) (Polygon, error) {
+	cleaned := make([]Vec, 0, len(vertices))
+	for _, v := range vertices {
+		if len(cleaned) > 0 && cleaned[len(cleaned)-1].ApproxEqual(v, Eps) {
+			continue
+		}
+		cleaned = append(cleaned, v)
+	}
+	if len(cleaned) > 1 && cleaned[0].ApproxEqual(cleaned[len(cleaned)-1], Eps) {
+		cleaned = cleaned[:len(cleaned)-1]
+	}
+	if len(cleaned) < 3 {
+		return Polygon{}, ErrTooFewVertices
+	}
+	p := Polygon{vertices: cleaned}
+	if math.Abs(p.SignedArea()) < Eps {
+		return Polygon{}, ErrDegenerate
+	}
+	if p.selfIntersects() {
+		return Polygon{}, ErrSelfIntersect
+	}
+	return p, nil
+}
+
+// MustPolygon is NewPolygon that panics on error. Reserve it for static
+// scenario definitions where an invalid polygon is a programming bug.
+func MustPolygon(vertices []Vec) Polygon {
+	p, err := NewPolygon(vertices)
+	if err != nil {
+		panic(fmt.Sprintf("geom: invalid polygon: %v", err))
+	}
+	return p
+}
+
+// Rect returns the axis-aligned rectangle with corners (x0,y0) and (x1,y1).
+func Rect(x0, y0, x1, y1 float64) Polygon {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Polygon{vertices: []Vec{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}}
+}
+
+// Vertices returns a copy of the vertex list.
+func (p Polygon) Vertices() []Vec {
+	out := make([]Vec, len(p.vertices))
+	copy(out, p.vertices)
+	return out
+}
+
+// NumVertices returns the vertex count.
+func (p Polygon) NumVertices() int { return len(p.vertices) }
+
+// Vertex returns vertex i, indexing modulo the vertex count (negative
+// indices wrap as well).
+func (p Polygon) Vertex(i int) Vec {
+	n := len(p.vertices)
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return p.vertices[i]
+}
+
+// Edges returns the edge list, edge i running from vertex i to vertex i+1.
+func (p Polygon) Edges() []Segment {
+	n := len(p.vertices)
+	edges := make([]Segment, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Segment{A: p.vertices[i], B: p.vertices[(i+1)%n]}
+	}
+	return edges
+}
+
+// SignedArea returns the shoelace area: positive for CCW winding.
+func (p Polygon) SignedArea() float64 {
+	var sum float64
+	n := len(p.vertices)
+	for i := 0; i < n; i++ {
+		a, b := p.vertices[i], p.vertices[(i+1)%n]
+		sum += a.Cross(b)
+	}
+	return sum / 2
+}
+
+// Area returns the absolute area.
+func (p Polygon) Area() float64 { return math.Abs(p.SignedArea()) }
+
+// Perimeter returns the total edge length.
+func (p Polygon) Perimeter() float64 {
+	var sum float64
+	for _, e := range p.Edges() {
+		sum += e.Len()
+	}
+	return sum
+}
+
+// Centroid returns the area centroid.
+func (p Polygon) Centroid() Vec {
+	var cx, cy, a float64
+	n := len(p.vertices)
+	for i := 0; i < n; i++ {
+		v0, v1 := p.vertices[i], p.vertices[(i+1)%n]
+		cross := v0.Cross(v1)
+		a += cross
+		cx += (v0.X + v1.X) * cross
+		cy += (v0.Y + v1.Y) * cross
+	}
+	if math.Abs(a) < Eps {
+		return Centroid(p.vertices)
+	}
+	return Vec{cx / (3 * a), cy / (3 * a)}
+}
+
+// IsCCW reports whether the vertices wind counter-clockwise.
+func (p Polygon) IsCCW() bool { return p.SignedArea() > 0 }
+
+// EnsureCCW returns a polygon with the same boundary wound CCW.
+func (p Polygon) EnsureCCW() Polygon {
+	if p.IsCCW() {
+		return p
+	}
+	n := len(p.vertices)
+	rev := make([]Vec, n)
+	for i, v := range p.vertices {
+		rev[n-1-i] = v
+	}
+	return Polygon{vertices: rev}
+}
+
+// IsConvex reports whether the polygon is convex (collinear runs allowed).
+func (p Polygon) IsConvex() bool {
+	n := len(p.vertices)
+	sign := 0
+	for i := 0; i < n; i++ {
+		a := p.vertices[i]
+		b := p.vertices[(i+1)%n]
+		c := p.vertices[(i+2)%n]
+		cross := b.Sub(a).Cross(c.Sub(b))
+		if math.Abs(cross) < Eps {
+			continue
+		}
+		s := 1
+		if cross < 0 {
+			s = -1
+		}
+		if sign == 0 {
+			sign = s
+		} else if s != sign {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether q is inside the polygon (boundary inclusive),
+// using the winding-insensitive even-odd ray-crossing rule with an explicit
+// boundary check so edge and vertex points count as inside.
+func (p Polygon) Contains(q Vec) bool {
+	for _, e := range p.Edges() {
+		if e.Contains(q, Eps) {
+			return true
+		}
+	}
+	inside := false
+	n := len(p.vertices)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := p.vertices[i], p.vertices[j]
+		if (vi.Y > q.Y) != (vj.Y > q.Y) {
+			xCross := (vj.X-vi.X)*(q.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if q.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// ContainsStrict reports whether q is strictly interior: inside and at
+// least margin away from every edge.
+func (p Polygon) ContainsStrict(q Vec, margin float64) bool {
+	if !p.Contains(q) {
+		return false
+	}
+	for _, e := range p.Edges() {
+		if e.DistTo(q) < margin {
+			return false
+		}
+	}
+	return true
+}
+
+// DistToBoundary returns the distance from q to the nearest edge.
+func (p Polygon) DistToBoundary(q Vec) float64 {
+	best := math.Inf(1)
+	for _, e := range p.Edges() {
+		if d := e.DistTo(q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ClosestBoundaryPoint returns the boundary point nearest to q.
+func (p Polygon) ClosestBoundaryPoint(q Vec) Vec {
+	best := math.Inf(1)
+	var bestPt Vec
+	for _, e := range p.Edges() {
+		pt := e.ClosestPoint(q)
+		if d := pt.Dist(q); d < best {
+			best, bestPt = d, pt
+		}
+	}
+	return bestPt
+}
+
+// Clamp returns q if inside, otherwise the closest boundary point. It is
+// used to keep LP solutions within the area of interest when numerical
+// relaxation lets an estimate drift just past an edge.
+func (p Polygon) Clamp(q Vec) Vec {
+	if p.Contains(q) {
+		return q
+	}
+	return p.ClosestBoundaryPoint(q)
+}
+
+// BoundingBox returns the axis-aligned bounding box of the polygon.
+func (p Polygon) BoundingBox() (min, max Vec) { return BoundingBox(p.vertices) }
+
+// MirrorAcrossEdges returns the mirror image of pt across every edge's
+// supporting line, in edge order. These are the paper's virtual-AP
+// positions (Fig. 4, Eq. 9–11): for a convex area, the interior point pt is
+// closer to itself than to each mirror image exactly when the object is on
+// the interior side of each boundary line.
+func (p Polygon) MirrorAcrossEdges(pt Vec) []Vec {
+	edges := p.Edges()
+	out := make([]Vec, len(edges))
+	for i, e := range edges {
+		out[i] = e.SupportingLine().Mirror(pt)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (p Polygon) String() string {
+	return fmt.Sprintf("Polygon(%d vertices, area %.2f)", len(p.vertices), p.Area())
+}
+
+// selfIntersects reports whether any two non-adjacent edges intersect, or
+// adjacent edges overlap beyond their shared vertex.
+func (p Polygon) selfIntersects() bool {
+	edges := p.Edges()
+	n := len(edges)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			adjacent := j == i+1 || (i == 0 && j == n-1)
+			if adjacent {
+				if edges[i].IntersectsProperly(edges[j]) {
+					return true
+				}
+				continue
+			}
+			if _, ok := edges[i].Intersect(edges[j]); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SamplePoints returns points on a regular grid of the given spacing that
+// fall strictly inside the polygon (margin from the boundary). It is used
+// to pick evaluation sites across an area.
+func (p Polygon) SamplePoints(spacing, margin float64) []Vec {
+	if spacing <= 0 {
+		return nil
+	}
+	min, max := p.BoundingBox()
+	var pts []Vec
+	for y := min.Y + spacing/2; y < max.Y; y += spacing {
+		for x := min.X + spacing/2; x < max.X; x += spacing {
+			q := Vec{x, y}
+			if p.ContainsStrict(q, margin) {
+				pts = append(pts, q)
+			}
+		}
+	}
+	return pts
+}

@@ -1,0 +1,277 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// lShape is the canonical non-convex test polygon (an "L").
+func lShape() Polygon {
+	return MustPolygon([]Vec{
+		{0, 0}, {10, 0}, {10, 4}, {4, 4}, {4, 10}, {0, 10},
+	})
+}
+
+func TestNewPolygonValidation(t *testing.T) {
+	if _, err := NewPolygon([]Vec{{0, 0}, {1, 0}}); !errors.Is(err, ErrTooFewVertices) {
+		t.Errorf("2 vertices: err = %v, want ErrTooFewVertices", err)
+	}
+	if _, err := NewPolygon([]Vec{{0, 0}, {1, 0}, {2, 0}}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("collinear: err = %v, want ErrDegenerate", err)
+	}
+	// Bow-tie self-intersection (with nonzero signed area so the
+	// degeneracy check does not trip first).
+	if _, err := NewPolygon([]Vec{{0, 0}, {4, 4}, {4, 0}, {0, 2}}); !errors.Is(err, ErrSelfIntersect) {
+		t.Errorf("bow-tie: err = %v, want ErrSelfIntersect", err)
+	}
+	// Duplicate consecutive vertices are dropped, closing vertex trimmed.
+	p, err := NewPolygon([]Vec{{0, 0}, {0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}})
+	if err != nil {
+		t.Fatalf("NewPolygon: %v", err)
+	}
+	if p.NumVertices() != 4 {
+		t.Errorf("NumVertices = %d, want 4", p.NumVertices())
+	}
+}
+
+func TestMustPolygonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPolygon did not panic on invalid input")
+		}
+	}()
+	MustPolygon([]Vec{{0, 0}, {1, 0}})
+}
+
+func TestRect(t *testing.T) {
+	r := Rect(5, 6, 1, 2) // deliberately swapped corners
+	if r.Area() != 16 {
+		t.Errorf("Area = %v, want 16", r.Area())
+	}
+	if !r.Contains(V(3, 4)) {
+		t.Error("center not contained")
+	}
+	if !r.IsConvex() {
+		t.Error("rect not convex")
+	}
+}
+
+func TestPolygonAreaCentroid(t *testing.T) {
+	sq := Rect(0, 0, 4, 4)
+	if sq.Area() != 16 {
+		t.Errorf("square area = %v", sq.Area())
+	}
+	if !sq.Centroid().ApproxEqual(V(2, 2), 1e-12) {
+		t.Errorf("square centroid = %v", sq.Centroid())
+	}
+
+	l := lShape()
+	// L area = 10×4 + 4×6 = 64.
+	if math.Abs(l.Area()-64) > 1e-9 {
+		t.Errorf("L area = %v, want 64", l.Area())
+	}
+	// Centroid of the union of the two rectangles.
+	// R1 = [0,10]×[0,4] area 40 centroid (5,2); R2 = [0,4]×[4,10] area 24 centroid (2,7).
+	want := V((40*5+24*2)/64.0, (40*2+24*7)/64.0)
+	if !l.Centroid().ApproxEqual(want, 1e-9) {
+		t.Errorf("L centroid = %v, want %v", l.Centroid(), want)
+	}
+}
+
+func TestPolygonPerimeter(t *testing.T) {
+	if got := Rect(0, 0, 3, 4).Perimeter(); math.Abs(got-14) > 1e-12 {
+		t.Errorf("Perimeter = %v, want 14", got)
+	}
+}
+
+func TestPolygonWinding(t *testing.T) {
+	cw := Polygon{vertices: []Vec{{0, 0}, {0, 4}, {4, 4}, {4, 0}}}
+	if cw.IsCCW() {
+		t.Fatal("test polygon should be CW")
+	}
+	ccw := cw.EnsureCCW()
+	if !ccw.IsCCW() {
+		t.Error("EnsureCCW did not flip winding")
+	}
+	if math.Abs(ccw.Area()-cw.Area()) > 1e-12 {
+		t.Error("EnsureCCW changed area")
+	}
+	if ccw2 := ccw.EnsureCCW(); !ccw2.IsCCW() {
+		t.Error("EnsureCCW not idempotent")
+	}
+}
+
+func TestPolygonIsConvex(t *testing.T) {
+	if !Rect(0, 0, 1, 1).IsConvex() {
+		t.Error("rect should be convex")
+	}
+	if lShape().IsConvex() {
+		t.Error("L-shape should not be convex")
+	}
+	// Collinear run on an edge stays convex.
+	p := MustPolygon([]Vec{{0, 0}, {2, 0}, {4, 0}, {4, 4}, {0, 4}})
+	if !p.IsConvex() {
+		t.Error("polygon with collinear edge vertices should be convex")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	l := lShape()
+	tests := []struct {
+		p    Vec
+		want bool
+	}{
+		{V(2, 2), true},   // inside lower arm
+		{V(2, 8), true},   // inside upper arm
+		{V(8, 2), true},   // inside right arm
+		{V(8, 8), false},  // the notch
+		{V(5, 5), false},  // the notch
+		{V(0, 0), true},   // corner
+		{V(5, 0), true},   // edge
+		{V(-1, 5), false}, // outside
+		{V(4, 7), true},   // on inner edge
+	}
+	for _, tt := range tests {
+		if got := l.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPolygonContainsStrict(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+	if !sq.ContainsStrict(V(5, 5), 1) {
+		t.Error("deep interior point rejected")
+	}
+	if sq.ContainsStrict(V(0.5, 5), 1) {
+		t.Error("near-edge point accepted with margin 1")
+	}
+	if sq.ContainsStrict(V(-1, 5), 0) {
+		t.Error("exterior point accepted")
+	}
+}
+
+func TestPolygonDistAndClamp(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+	if got := sq.DistToBoundary(V(5, 3)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("DistToBoundary = %v, want 3", got)
+	}
+	if got := sq.Clamp(V(5, 5)); got != V(5, 5) {
+		t.Errorf("Clamp of interior moved the point: %v", got)
+	}
+	if got := sq.Clamp(V(5, 13)); !got.ApproxEqual(V(5, 10), 1e-12) {
+		t.Errorf("Clamp = %v, want (5, 10)", got)
+	}
+	if got := sq.ClosestBoundaryPoint(V(-3, 5)); !got.ApproxEqual(V(0, 5), 1e-12) {
+		t.Errorf("ClosestBoundaryPoint = %v, want (0, 5)", got)
+	}
+}
+
+func TestPolygonVertexWraparound(t *testing.T) {
+	sq := Rect(0, 0, 1, 1)
+	if sq.Vertex(4) != sq.Vertex(0) {
+		t.Error("Vertex(4) should wrap to Vertex(0)")
+	}
+	if sq.Vertex(-1) != sq.Vertex(3) {
+		t.Error("Vertex(-1) should wrap to Vertex(3)")
+	}
+}
+
+func TestPolygonEdges(t *testing.T) {
+	sq := Rect(0, 0, 1, 1)
+	edges := sq.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("len(edges) = %d", len(edges))
+	}
+	// Edges must chain.
+	for i, e := range edges {
+		next := edges[(i+1)%4]
+		if !e.B.ApproxEqual(next.A, 1e-12) {
+			t.Errorf("edge %d does not chain", i)
+		}
+	}
+}
+
+func TestMirrorAcrossEdges(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+	in := V(3, 4)
+	mirrors := sq.MirrorAcrossEdges(in)
+	if len(mirrors) != 4 {
+		t.Fatalf("len(mirrors) = %d", len(mirrors))
+	}
+	// Every mirror must be outside the convex polygon, and the interior
+	// point must be strictly closer to itself than to each mirror — that's
+	// the whole premise of the VAP boundary constraints.
+	for i, m := range mirrors {
+		if sq.Contains(m) {
+			t.Errorf("mirror %d = %v is inside the polygon", i, m)
+		}
+	}
+	// The interior point is equidistant from the edge as its mirror and on
+	// the opposite side, so any interior object q satisfies
+	// dist(q, in) could exceed dist(q, mirror) only if q were outside.
+	for _, q := range []Vec{V(1, 1), V(9, 9), V(5, 5)} {
+		for i, m := range mirrors {
+			if q.Dist(in) > q.Dist(m)+1e-9 && sq.Contains(q) {
+				t.Errorf("interior q=%v closer to mirror %d than to anchor", q, i)
+			}
+		}
+	}
+}
+
+func TestSamplePoints(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+	pts := sq.SamplePoints(2, 0.5)
+	if len(pts) == 0 {
+		t.Fatal("no sample points")
+	}
+	for _, p := range pts {
+		if !sq.ContainsStrict(p, 0.49) {
+			t.Errorf("sample %v violates margin", p)
+		}
+	}
+	if got := sq.SamplePoints(0, 0); got != nil {
+		t.Error("non-positive spacing should return nil")
+	}
+	// L-shape samples must avoid the notch.
+	for _, p := range lShape().SamplePoints(1, 0.25) {
+		if p.X > 4.5 && p.Y > 4.5 {
+			t.Errorf("sample %v inside the notch", p)
+		}
+	}
+}
+
+func TestPolygonVerticesCopy(t *testing.T) {
+	sq := Rect(0, 0, 1, 1)
+	vs := sq.Vertices()
+	vs[0] = V(99, 99)
+	if sq.Vertex(0) == V(99, 99) {
+		t.Error("Vertices returned internal storage")
+	}
+}
+
+func TestPropCentroidInsideConvex(t *testing.T) {
+	f := func(w, h, ox, oy float64) bool {
+		w = 1 + math.Abs(clampCoord(w))
+		h = 1 + math.Abs(clampCoord(h))
+		ox, oy = clampCoord(ox), clampCoord(oy)
+		r := Rect(ox, oy, ox+w, oy+h)
+		return r.Contains(r.Centroid())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropClampedPointContained(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+	f := func(p Vec) bool {
+		p = clampVec(p)
+		return sq.Contains(sq.Clamp(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is a closed line segment from A to B.
+type Segment struct {
+	A, B Vec
+}
+
+// Seg is shorthand for constructing a Segment.
+func Seg(a, b Vec) Segment { return Segment{A: a, B: b} }
+
+// Len returns the segment length.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Dir returns the (unnormalized) direction B − A.
+func (s Segment) Dir() Vec { return s.B.Sub(s.A) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Vec { return s.A.Lerp(s.B, 0.5) }
+
+// At returns the point A + t·(B−A).
+func (s Segment) At(t float64) Vec { return s.A.Lerp(s.B, t) }
+
+// String implements fmt.Stringer.
+func (s Segment) String() string { return fmt.Sprintf("[%v → %v]", s.A, s.B) }
+
+// Contains reports whether p lies on the segment within tol.
+func (s Segment) Contains(p Vec, tol float64) bool {
+	d := s.Dir()
+	l2 := d.Len2()
+	if l2 < tol*tol {
+		return s.A.ApproxEqual(p, tol)
+	}
+	// Perpendicular distance from the supporting line.
+	if math.Abs(d.Cross(p.Sub(s.A)))/math.Sqrt(l2) > tol {
+		return false
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	return t >= -tol && t <= 1+tol
+}
+
+// ClosestPoint returns the point on the segment closest to p.
+func (s Segment) ClosestPoint(p Vec) Vec {
+	d := s.Dir()
+	l2 := d.Len2()
+	if l2 < Eps*Eps {
+		return s.A
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	return s.At(t)
+}
+
+// DistTo returns the Euclidean distance from p to the segment.
+func (s Segment) DistTo(p Vec) float64 { return s.ClosestPoint(p).Dist(p) }
+
+// Intersect computes the intersection of two segments. ok reports whether
+// the segments cross (including touching at endpoints). Overlapping
+// collinear segments report ok with one representative point (the first
+// overlap endpoint encountered).
+func (s Segment) Intersect(o Segment) (p Vec, ok bool) {
+	r := s.Dir()
+	q := o.Dir()
+	denom := r.Cross(q)
+	diff := o.A.Sub(s.A)
+	if math.Abs(denom) < Eps {
+		// Parallel. Check for collinear overlap.
+		if math.Abs(diff.Cross(r)) > Eps {
+			return Vec{}, false
+		}
+		// Collinear: project o's endpoints onto s.
+		rl2 := r.Len2()
+		if rl2 < Eps*Eps {
+			if o.Contains(s.A, Eps) {
+				return s.A, true
+			}
+			return Vec{}, false
+		}
+		t0 := diff.Dot(r) / rl2
+		t1 := o.B.Sub(s.A).Dot(r) / rl2
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		lo := math.Max(0, t0)
+		hi := math.Min(1, t1)
+		if lo > hi+Eps {
+			return Vec{}, false
+		}
+		return s.At(lo), true
+	}
+	t := diff.Cross(q) / denom
+	u := diff.Cross(r) / denom
+	if t < -Eps || t > 1+Eps || u < -Eps || u > 1+Eps {
+		return Vec{}, false
+	}
+	return s.At(t), true
+}
+
+// IntersectsProperly reports whether the two segments cross at a single
+// interior point of both (endpoint touches and collinear overlaps do not
+// count). This is the predicate used for wall-blockage tests where grazing
+// an endpoint should not register as an obstruction.
+func (s Segment) IntersectsProperly(o Segment) bool {
+	r := s.Dir()
+	q := o.Dir()
+	denom := r.Cross(q)
+	if math.Abs(denom) < Eps {
+		return false
+	}
+	diff := o.A.Sub(s.A)
+	t := diff.Cross(q) / denom
+	u := diff.Cross(r) / denom
+	return t > Eps && t < 1-Eps && u > Eps && u < 1-Eps
+}
+
+// Line is an infinite line through Point with direction Dir.
+type Line struct {
+	Point Vec
+	Dir   Vec
+}
+
+// LineThrough returns the line through a and b.
+func LineThrough(a, b Vec) Line { return Line{Point: a, Dir: b.Sub(a)} }
+
+// SupportingLine returns the infinite line containing the segment.
+func (s Segment) SupportingLine() Line { return LineThrough(s.A, s.B) }
+
+// Mirror reflects p across the line. This is the primitive behind the
+// paper's virtual-AP construction (Fig. 4): a VAP is the mirror image of a
+// real AP across a boundary edge.
+func (l Line) Mirror(p Vec) Vec {
+	d := l.Dir
+	l2 := d.Len2()
+	if l2 < Eps*Eps {
+		// Degenerate line: mirror across the point.
+		return l.Point.Scale(2).Sub(p)
+	}
+	t := p.Sub(l.Point).Dot(d) / l2
+	foot := l.Point.Add(d.Scale(t))
+	return foot.Scale(2).Sub(p)
+}
+
+// DistTo returns the perpendicular distance from p to the line.
+func (l Line) DistTo(p Vec) float64 {
+	d := l.Dir
+	ln := d.Len()
+	if ln < Eps {
+		return l.Point.Dist(p)
+	}
+	return math.Abs(d.Cross(p.Sub(l.Point))) / ln
+}
+
+// Side reports which side of the directed line p lies on: +1 left (CCW),
+// −1 right (CW), 0 on the line within Eps.
+func (l Line) Side(p Vec) int {
+	c := l.Dir.Cross(p.Sub(l.Point))
+	switch {
+	case c > Eps:
+		return 1
+	case c < -Eps:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,237 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(V(0, 0), V(4, 0))
+	if s.Len() != 4 {
+		t.Errorf("Len = %v", s.Len())
+	}
+	if s.Midpoint() != V(2, 0) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+	if s.At(0.25) != V(1, 0) {
+		t.Errorf("At(0.25) = %v", s.At(0.25))
+	}
+	if s.Dir() != V(4, 0) {
+		t.Errorf("Dir = %v", s.Dir())
+	}
+}
+
+func TestSegmentContains(t *testing.T) {
+	s := Seg(V(0, 0), V(4, 4))
+	tests := []struct {
+		p    Vec
+		want bool
+	}{
+		{V(2, 2), true},
+		{V(0, 0), true},
+		{V(4, 4), true},
+		{V(5, 5), false},
+		{V(2, 2.1), false},
+		{V(-1, -1), false},
+	}
+	for _, tt := range tests {
+		if got := s.Contains(tt.p, 1e-9); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSegmentContainsDegenerate(t *testing.T) {
+	s := Seg(V(1, 1), V(1, 1))
+	if !s.Contains(V(1, 1), 1e-9) {
+		t.Error("degenerate segment should contain its point")
+	}
+	if s.Contains(V(1, 2), 1e-9) {
+		t.Error("degenerate segment should not contain other points")
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Seg(V(0, 0), V(10, 0))
+	tests := []struct {
+		p, want Vec
+	}{
+		{V(5, 3), V(5, 0)},
+		{V(-2, 1), V(0, 0)},
+		{V(12, -1), V(10, 0)},
+	}
+	for _, tt := range tests {
+		if got := s.ClosestPoint(tt.p); !got.ApproxEqual(tt.want, 1e-12) {
+			t.Errorf("ClosestPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSegmentDistTo(t *testing.T) {
+	s := Seg(V(0, 0), V(10, 0))
+	if got := s.DistTo(V(5, 3)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("DistTo = %v, want 3", got)
+	}
+	if got := s.DistTo(V(13, 4)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("DistTo = %v, want 5", got)
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	tests := []struct {
+		name   string
+		s, o   Segment
+		wantOK bool
+		wantP  Vec
+	}{
+		{
+			name: "plain cross", s: Seg(V(0, 0), V(4, 4)), o: Seg(V(0, 4), V(4, 0)),
+			wantOK: true, wantP: V(2, 2),
+		},
+		{
+			name: "disjoint", s: Seg(V(0, 0), V(1, 0)), o: Seg(V(0, 1), V(1, 1)),
+			wantOK: false,
+		},
+		{
+			name: "T touch", s: Seg(V(0, 0), V(4, 0)), o: Seg(V(2, 0), V(2, 3)),
+			wantOK: true, wantP: V(2, 0),
+		},
+		{
+			name: "parallel offset", s: Seg(V(0, 0), V(4, 0)), o: Seg(V(0, 1), V(4, 1)),
+			wantOK: false,
+		},
+		{
+			name: "collinear overlap", s: Seg(V(0, 0), V(4, 0)), o: Seg(V(2, 0), V(6, 0)),
+			wantOK: true, wantP: V(2, 0),
+		},
+		{
+			name: "collinear disjoint", s: Seg(V(0, 0), V(1, 0)), o: Seg(V(2, 0), V(3, 0)),
+			wantOK: false,
+		},
+		{
+			name: "would cross beyond ends", s: Seg(V(0, 0), V(1, 1)), o: Seg(V(3, 0), V(0, 3)),
+			wantOK: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, ok := tt.s.Intersect(tt.o)
+			if ok != tt.wantOK {
+				t.Fatalf("Intersect ok = %v, want %v", ok, tt.wantOK)
+			}
+			if ok && !p.ApproxEqual(tt.wantP, 1e-9) {
+				t.Errorf("Intersect point = %v, want %v", p, tt.wantP)
+			}
+		})
+	}
+}
+
+func TestSegmentIntersectsProperly(t *testing.T) {
+	cross := Seg(V(0, 0), V(4, 4))
+	if !cross.IntersectsProperly(Seg(V(0, 4), V(4, 0))) {
+		t.Error("proper crossing not detected")
+	}
+	// Endpoint touch is not proper.
+	if cross.IntersectsProperly(Seg(V(4, 4), V(8, 0))) {
+		t.Error("endpoint touch reported as proper")
+	}
+	// Collinear overlap is not proper.
+	if cross.IntersectsProperly(Seg(V(2, 2), V(6, 6))) {
+		t.Error("collinear overlap reported as proper")
+	}
+}
+
+func TestLineMirror(t *testing.T) {
+	// Mirror across the x-axis.
+	l := LineThrough(V(0, 0), V(1, 0))
+	got := l.Mirror(V(3, 4))
+	if !got.ApproxEqual(V(3, -4), 1e-12) {
+		t.Errorf("Mirror = %v, want (3, -4)", got)
+	}
+	// Mirror across the diagonal y = x swaps coordinates.
+	diag := LineThrough(V(0, 0), V(1, 1))
+	got = diag.Mirror(V(2, 5))
+	if !got.ApproxEqual(V(5, 2), 1e-12) {
+		t.Errorf("Mirror = %v, want (5, 2)", got)
+	}
+	// Point on the line maps to itself.
+	got = diag.Mirror(V(7, 7))
+	if !got.ApproxEqual(V(7, 7), 1e-12) {
+		t.Errorf("Mirror of on-line point = %v", got)
+	}
+}
+
+func TestLineMirrorDegenerate(t *testing.T) {
+	l := Line{Point: V(1, 1), Dir: Vec{}}
+	got := l.Mirror(V(3, 0))
+	if !got.ApproxEqual(V(-1, 2), 1e-12) {
+		t.Errorf("degenerate Mirror = %v, want point reflection (-1, 2)", got)
+	}
+}
+
+func TestLineDistTo(t *testing.T) {
+	l := LineThrough(V(0, 0), V(10, 0))
+	if got := l.DistTo(V(3, 7)); math.Abs(got-7) > 1e-12 {
+		t.Errorf("DistTo = %v, want 7", got)
+	}
+	degen := Line{Point: V(1, 1), Dir: Vec{}}
+	if got := degen.DistTo(V(4, 5)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("degenerate DistTo = %v, want 5", got)
+	}
+}
+
+func TestLineSide(t *testing.T) {
+	l := LineThrough(V(0, 0), V(1, 0))
+	if l.Side(V(0, 5)) != 1 {
+		t.Error("left side not +1")
+	}
+	if l.Side(V(0, -5)) != -1 {
+		t.Error("right side not -1")
+	}
+	if l.Side(V(9, 0)) != 0 {
+		t.Error("on-line not 0")
+	}
+}
+
+func TestPropMirrorInvolution(t *testing.T) {
+	f := func(a, b, p Vec) bool {
+		a, b, p = clampVec(a), clampVec(b), clampVec(p)
+		if a.Dist(b) < 1e-3 {
+			return true // skip degenerate lines
+		}
+		l := LineThrough(a, b)
+		return l.Mirror(l.Mirror(p)).ApproxEqual(p, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMirrorPreservesLineDistance(t *testing.T) {
+	f := func(a, b, p Vec) bool {
+		a, b, p = clampVec(a), clampVec(b), clampVec(p)
+		if a.Dist(b) < 1e-3 {
+			return true
+		}
+		l := LineThrough(a, b)
+		return math.Abs(l.DistTo(p)-l.DistTo(l.Mirror(p))) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropClosestPointIsClosest(t *testing.T) {
+	f := func(a, b, p Vec, tRaw float64) bool {
+		a, b, p = clampVec(a), clampVec(b), clampVec(p)
+		s := Seg(a, b)
+		cp := s.ClosestPoint(p)
+		// Any sampled point on the segment must be at least as far.
+		tt := math.Abs(math.Mod(clampCoord(tRaw), 1))
+		return p.Dist(cp) <= p.Dist(s.At(tt))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Triangle is a triangle with CCW vertices.
+type Triangle struct {
+	A, B, C Vec
+}
+
+// Area returns the triangle's area.
+func (t Triangle) Area() float64 {
+	return math.Abs(t.B.Sub(t.A).Cross(t.C.Sub(t.A))) / 2
+}
+
+// Centroid returns the triangle's centroid.
+func (t Triangle) Centroid() Vec {
+	return Vec{(t.A.X + t.B.X + t.C.X) / 3, (t.A.Y + t.B.Y + t.C.Y) / 3}
+}
+
+// Contains reports whether p lies inside the triangle (boundary inclusive).
+func (t Triangle) Contains(p Vec) bool {
+	d1 := p.Sub(t.A).Cross(t.B.Sub(t.A))
+	d2 := p.Sub(t.B).Cross(t.C.Sub(t.B))
+	d3 := p.Sub(t.C).Cross(t.A.Sub(t.C))
+	hasNeg := d1 < -Eps || d2 < -Eps || d3 < -Eps
+	hasPos := d1 > Eps || d2 > Eps || d3 > Eps
+	return !(hasNeg && hasPos)
+}
+
+// ErrTriangulation is returned when ear clipping cannot make progress,
+// which indicates a non-simple input polygon.
+var ErrTriangulation = errors.New("geom: triangulation failed (polygon not simple?)")
+
+// Triangulate decomposes a simple polygon into triangles by ear clipping.
+// The polygon may be non-convex. Runtime is O(n²), fine for floor plans.
+func Triangulate(p Polygon) ([]Triangle, error) {
+	poly := p.EnsureCCW()
+	verts := append([]Vec(nil), poly.vertices...)
+	if len(verts) < 3 {
+		return nil, ErrTooFewVertices
+	}
+	tris := make([]Triangle, 0, len(verts)-2)
+	for len(verts) > 3 {
+		earFound := false
+		n := len(verts)
+		for i := 0; i < n; i++ {
+			prev := verts[(i-1+n)%n]
+			cur := verts[i]
+			next := verts[(i+1)%n]
+			if !isEar(verts, prev, cur, next, i) {
+				continue
+			}
+			tris = append(tris, Triangle{A: prev, B: cur, C: next})
+			verts = append(verts[:i], verts[i+1:]...)
+			earFound = true
+			break
+		}
+		if !earFound {
+			return nil, ErrTriangulation
+		}
+	}
+	tris = append(tris, Triangle{A: verts[0], B: verts[1], C: verts[2]})
+	return tris, nil
+}
+
+// isEar reports whether vertex cur (at index i) is a convex ear: the turn
+// prev→cur→next is CCW and no other polygon vertex lies inside the
+// candidate triangle.
+func isEar(verts []Vec, prev, cur, next Vec, i int) bool {
+	cross := cur.Sub(prev).Cross(next.Sub(cur))
+	if cross <= Eps {
+		// Reflex or collinear vertex — not an ear.
+		return false
+	}
+	tri := Triangle{A: prev, B: cur, C: next}
+	n := len(verts)
+	for j := 0; j < n; j++ {
+		if j == i || j == (i-1+n)%n || j == (i+1)%n {
+			continue
+		}
+		v := verts[j]
+		// Skip vertices coinciding with the ear's corners (repeated
+		// coordinates in degenerate inputs).
+		if v.ApproxEqual(prev, Eps) || v.ApproxEqual(cur, Eps) || v.ApproxEqual(next, Eps) {
+			continue
+		}
+		if tri.Contains(v) {
+			return false
+		}
+	}
+	return true
+}

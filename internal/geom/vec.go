@@ -1,0 +1,168 @@
+// Package geom provides the 2-D computational geometry primitives NomLoc
+// builds on: vectors, segments, polygons, half-planes, triangulation and
+// convex decomposition.
+//
+// All coordinates are in meters. The package is pure and deterministic:
+// nothing here allocates goroutines, touches globals, or depends on
+// randomness.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the default absolute tolerance used by the package for geometric
+// predicates (collinearity, point-on-segment, degeneracy checks). The unit
+// is meters; one tenth of a millimeter is far below any RF-localization
+// resolution while staying well above float64 noise for room-scale
+// coordinates.
+const Eps = 1e-9
+
+// Vec is a 2-D point or displacement vector.
+type Vec struct {
+	X, Y float64
+}
+
+// V is shorthand for constructing a Vec.
+func V(x, y float64) Vec { return Vec{X: x, Y: y} }
+
+// Add returns v + u.
+func (v Vec) Add(u Vec) Vec { return Vec{v.X + u.X, v.Y + u.Y} }
+
+// Sub returns v − u.
+func (v Vec) Sub(u Vec) Vec { return Vec{v.X - u.X, v.Y - u.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·u.
+func (v Vec) Dot(u Vec) float64 { return v.X*u.X + v.Y*u.Y }
+
+// Cross returns the z-component of the 3-D cross product v×u. It is
+// positive when u is counter-clockwise from v.
+func (v Vec) Cross(u Vec) float64 { return v.X*u.Y - v.Y*u.X }
+
+// Len returns the Euclidean length |v|.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Len2 returns the squared length |v|².
+func (v Vec) Len2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and u.
+func (v Vec) Dist(u Vec) float64 { return v.Sub(u).Len() }
+
+// Dist2 returns the squared Euclidean distance between v and u.
+func (v Vec) Dist2(u Vec) float64 { return v.Sub(u).Len2() }
+
+// Unit returns v normalized to length 1. The zero vector is returned
+// unchanged (there is no meaningful direction to report).
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l < Eps {
+		return Vec{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Perp returns v rotated 90° counter-clockwise.
+func (v Vec) Perp() Vec { return Vec{-v.Y, v.X} }
+
+// Neg returns −v.
+func (v Vec) Neg() Vec { return Vec{-v.X, -v.Y} }
+
+// Lerp linearly interpolates from v to u; t=0 yields v, t=1 yields u.
+func (v Vec) Lerp(u Vec, t float64) Vec {
+	return Vec{v.X + (u.X-v.X)*t, v.Y + (u.Y-v.Y)*t}
+}
+
+// Rotate returns v rotated by theta radians counter-clockwise about the
+// origin.
+func (v Vec) Rotate(theta float64) Vec {
+	s, c := math.Sincos(theta)
+	return Vec{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Angle returns the angle of v in radians, in (−π, π].
+func (v Vec) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// ApproxEqual reports whether v and u coincide within tol in each
+// coordinate.
+func (v Vec) ApproxEqual(u Vec, tol float64) bool {
+	return math.Abs(v.X-u.X) <= tol && math.Abs(v.Y-u.Y) <= tol
+}
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (v Vec) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0)
+}
+
+// String implements fmt.Stringer.
+func (v Vec) String() string { return fmt.Sprintf("(%.3f, %.3f)", v.X, v.Y) }
+
+// Orientation classifies the turn a→b→c.
+type Orientation int
+
+// Turn directions. Collinear is deliberately the zero value so that the
+// predicate's "no turn" outcome is the type's default.
+const (
+	Collinear Orientation = iota
+	CCW
+	CW
+)
+
+// String implements fmt.Stringer.
+func (o Orientation) String() string {
+	switch o {
+	case CCW:
+		return "ccw"
+	case CW:
+		return "cw"
+	default:
+		return "collinear"
+	}
+}
+
+// Orient returns the orientation of the ordered triple (a, b, c): CCW if
+// they make a left turn, CW for a right turn, Collinear within Eps.
+func Orient(a, b, c Vec) Orientation {
+	cross := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case cross > Eps:
+		return CCW
+	case cross < -Eps:
+		return CW
+	default:
+		return Collinear
+	}
+}
+
+// Centroid returns the arithmetic mean of pts. It returns the zero vector
+// for an empty slice.
+func Centroid(pts []Vec) Vec {
+	if len(pts) == 0 {
+		return Vec{}
+	}
+	var sum Vec
+	for _, p := range pts {
+		sum = sum.Add(p)
+	}
+	return sum.Scale(1 / float64(len(pts)))
+}
+
+// BoundingBox returns the axis-aligned bounding box (min, max) of pts.
+// It returns zero vectors for an empty slice.
+func BoundingBox(pts []Vec) (min, max Vec) {
+	if len(pts) == 0 {
+		return Vec{}, Vec{}
+	}
+	min, max = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+	}
+	return min, max
+}

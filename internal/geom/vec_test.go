@@ -1,0 +1,212 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	a := V(3, 4)
+	b := V(1, -2)
+
+	if got := a.Add(b); got != V(4, 2) {
+		t.Errorf("Add = %v, want (4, 2)", got)
+	}
+	if got := a.Sub(b); got != V(2, 6) {
+		t.Errorf("Sub = %v, want (2, 6)", got)
+	}
+	if got := a.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v, want (6, 8)", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v, want -5", got)
+	}
+	if got := a.Cross(b); got != -6-4 {
+		t.Errorf("Cross = %v, want -10", got)
+	}
+	if got := a.Len(); got != 5 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := a.Len2(); got != 25 {
+		t.Errorf("Len2 = %v, want 25", got)
+	}
+	if got := a.Dist(b); math.Abs(got-math.Sqrt(4+36)) > 1e-12 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := a.Neg(); got != V(-3, -4) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := V(3, 4).Unit()
+	if math.Abs(u.Len()-1) > 1e-12 {
+		t.Errorf("Unit length = %v, want 1", u.Len())
+	}
+	if got := (Vec{}).Unit(); got != (Vec{}) {
+		t.Errorf("Unit of zero = %v, want zero", got)
+	}
+}
+
+func TestVecPerp(t *testing.T) {
+	v := V(2, 1)
+	p := v.Perp()
+	if math.Abs(v.Dot(p)) > 1e-12 {
+		t.Errorf("Perp not orthogonal: dot = %v", v.Dot(p))
+	}
+	if v.Cross(p) <= 0 {
+		t.Error("Perp should be CCW from v")
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVecRotate(t *testing.T) {
+	v := V(1, 0)
+	got := v.Rotate(math.Pi / 2)
+	if !got.ApproxEqual(V(0, 1), 1e-12) {
+		t.Errorf("Rotate(π/2) = %v, want (0, 1)", got)
+	}
+	got = v.Rotate(math.Pi)
+	if !got.ApproxEqual(V(-1, 0), 1e-12) {
+		t.Errorf("Rotate(π) = %v, want (-1, 0)", got)
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	if got := V(1, 1).Angle(); math.Abs(got-math.Pi/4) > 1e-12 {
+		t.Errorf("Angle = %v, want π/4", got)
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2).IsFinite() {
+		t.Error("finite vec reported non-finite")
+	}
+	if V(math.NaN(), 0).IsFinite() {
+		t.Error("NaN vec reported finite")
+	}
+	if V(0, math.Inf(1)).IsFinite() {
+		t.Error("Inf vec reported finite")
+	}
+}
+
+func TestOrient(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, c Vec
+		want    Orientation
+	}{
+		{"left turn", V(0, 0), V(1, 0), V(1, 1), CCW},
+		{"right turn", V(0, 0), V(1, 0), V(1, -1), CW},
+		{"collinear", V(0, 0), V(1, 0), V(2, 0), Collinear},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Orient(tt.a, tt.b, tt.c); got != tt.want {
+				t.Errorf("Orient = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	got := Centroid([]Vec{V(0, 0), V(2, 0), V(2, 2), V(0, 2)})
+	if !got.ApproxEqual(V(1, 1), 1e-12) {
+		t.Errorf("Centroid = %v, want (1, 1)", got)
+	}
+	if got := Centroid(nil); got != (Vec{}) {
+		t.Errorf("Centroid(nil) = %v, want zero", got)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	min, max := BoundingBox([]Vec{V(1, 5), V(-2, 3), V(4, -1)})
+	if min != V(-2, -1) || max != V(4, 5) {
+		t.Errorf("BoundingBox = %v, %v", min, max)
+	}
+	min, max = BoundingBox(nil)
+	if min != (Vec{}) || max != (Vec{}) {
+		t.Error("BoundingBox(nil) should be zero")
+	}
+}
+
+func TestOrientationString(t *testing.T) {
+	if CCW.String() != "ccw" || CW.String() != "cw" || Collinear.String() != "collinear" {
+		t.Error("Orientation.String mismatch")
+	}
+}
+
+// clampCoord maps an arbitrary float into a well-conditioned coordinate
+// range for property tests.
+func clampCoord(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1000)
+}
+
+func clampVec(v Vec) Vec { return Vec{clampCoord(v.X), clampCoord(v.Y)} }
+
+func TestPropDotCommutative(t *testing.T) {
+	f := func(a, b Vec) bool {
+		a, b = clampVec(a), clampVec(b)
+		return math.Abs(a.Dot(b)-b.Dot(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCrossAntisymmetric(t *testing.T) {
+	f := func(a, b Vec) bool {
+		a, b = clampVec(a), clampVec(b)
+		return math.Abs(a.Cross(b)+b.Cross(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(a, b, c Vec) bool {
+		a, b, c = clampVec(a), clampVec(b), clampVec(c)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRotatePreservesLength(t *testing.T) {
+	f := func(v Vec, theta float64) bool {
+		v = clampVec(v)
+		theta = clampCoord(theta)
+		return math.Abs(v.Rotate(theta).Len()-v.Len()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddSubRoundtrip(t *testing.T) {
+	f := func(a, b Vec) bool {
+		a, b = clampVec(a), clampVec(b)
+		return a.Add(b).Sub(b).ApproxEqual(a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce2D solves min cᵀx s.t. a·x ≤ b over free x ∈ R² by enumerating
+// all candidate vertices (intersections of constraint-boundary pairs) and
+// picking the feasible one with the lowest objective. It is exponential-ish
+// and only correct when the optimum is attained at a vertex (bounded LP
+// with ≥ 2 non-parallel active constraints), which the generator below
+// guarantees by boxing the feasible set.
+func bruteForce2D(c []float64, a [][]float64, b []float64) (best float64, feasible bool) {
+	const tol = 1e-7
+	m := len(a)
+	best = math.Inf(1)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			det := a[i][0]*a[j][1] - a[i][1]*a[j][0]
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (b[i]*a[j][1] - a[i][1]*b[j]) / det
+			y := (a[i][0]*b[j] - b[i]*a[j][0]) / det
+			ok := true
+			for k := 0; k < m; k++ {
+				if a[k][0]*x+a[k][1]*y > b[k]+tol {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasible = true
+			if v := c[0]*x + c[1]*y; v < best {
+				best = v
+			}
+		}
+	}
+	return best, feasible
+}
+
+// TestSimplexMatchesBruteForce2D fuzzes random boxed 2-D LPs and checks
+// the simplex optimum against exhaustive vertex enumeration.
+func TestSimplexMatchesBruteForce2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 500; trial++ {
+		// A box keeps every instance bounded; extra random cuts create
+		// interesting geometry (sometimes emptying the region).
+		a := [][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+		b := []float64{10, 10, 10, 10}
+		extra := rng.Intn(6)
+		for k := 0; k < extra; k++ {
+			a = append(a, []float64{rng.NormFloat64(), rng.NormFloat64()})
+			b = append(b, rng.NormFloat64()*8)
+		}
+		c := []float64{rng.NormFloat64(), rng.NormFloat64()}
+
+		want, feasible := bruteForce2D(c, a, b)
+
+		res, err := Solve(&Problem{C: c, A: a, B: b, Free: []bool{true, true}})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasible {
+			if res.Status == Optimal {
+				// The brute force only inspects vertices; a region that is
+				// a single point or a sliver can be missed by its
+				// tolerance. Verify the simplex answer is truly feasible
+				// before calling it a disagreement.
+				for k := range a {
+					if a[k][0]*res.X[0]+a[k][1]*res.X[1] > b[k]+1e-6 {
+						t.Fatalf("trial %d: simplex claims feasible but violates constraint %d", trial, k)
+					}
+				}
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: simplex says %v, brute force found optimum %v", trial, res.Status, want)
+		}
+		if math.Abs(res.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %v vs brute force %v", trial, res.Objective, want)
+		}
+	}
+}
+
+// TestChebyshevMatchesBruteForce cross-checks the Chebyshev-center radius
+// against a brute-force grid search.
+func TestChebyshevMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(159))
+	for trial := 0; trial < 30; trial++ {
+		a := [][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+		b := []float64{8, 0, 6, 0} // [0,8]×[0,6]
+		for k := 0; k < rng.Intn(3); k++ {
+			row := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			// Keep the cut loose enough that some interior survives.
+			b = append(b, row[0]*4+row[1]*3+2+rng.Float64()*2)
+			a = append(a, row)
+		}
+		_, wantR, err := ChebyshevCenter(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Grid search the max-min-slack point.
+		bestR := math.Inf(-1)
+		for x := 0.0; x <= 8; x += 0.05 {
+			for y := 0.0; y <= 6; y += 0.05 {
+				r := math.Inf(1)
+				for k := range a {
+					norm := math.Hypot(a[k][0], a[k][1])
+					if norm < 1e-12 {
+						continue
+					}
+					slack := (b[k] - a[k][0]*x - a[k][1]*y) / norm
+					if slack < r {
+						r = slack
+					}
+				}
+				if r > bestR {
+					bestR = r
+				}
+			}
+		}
+		// The grid is coarse; allow its resolution as tolerance.
+		if math.Abs(wantR-bestR) > 0.08 {
+			t.Errorf("trial %d: LP radius %v vs grid %v", trial, wantR, bestR)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the center solvers.
+var (
+	ErrEmptyRegion      = errors.New("lp: empty feasible region")
+	ErrUnboundedRegion  = errors.New("lp: unbounded feasible region")
+	ErrNotStrictlyFeas  = errors.New("lp: start point not strictly feasible")
+	ErrSingularHessian  = errors.New("lp: singular Hessian")
+	ErrNewtonDiverged   = errors.New("lp: Newton iteration failed to converge")
+	ErrWeightDimension  = errors.New("lp: weight vector dimension mismatch")
+	ErrNoConstraints    = errors.New("lp: no constraints")
+	ErrBadConstraintDim = errors.New("lp: constraint row dimension mismatch")
+)
+
+// rowNorm returns the Euclidean norm of a constraint row.
+func rowNorm(row []float64) float64 {
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func checkSystem(a [][]float64, b []float64) (dim int, err error) {
+	if len(a) == 0 {
+		return 0, ErrNoConstraints
+	}
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d rows vs %d rhs", ErrDimensionMismatch, len(a), len(b))
+	}
+	dim = len(a[0])
+	for i, row := range a {
+		if len(row) != dim {
+			return 0, fmt.Errorf("%w: row %d", ErrBadConstraintDim, i)
+		}
+	}
+	return dim, nil
+}
+
+// ChebyshevCenter returns the center and radius of the largest ball
+// inscribed in { z : a·z ≤ b }, found by the LP
+//
+//	maximize  r
+//	s.t.      aᵢ·z + ‖aᵢ‖·r ≤ bᵢ,  r ≥ 0.
+//
+// It returns ErrEmptyRegion when the polyhedron is empty and
+// ErrUnboundedRegion when the inscribed radius is unbounded (the region
+// has non-empty interior in every direction — callers should include
+// boundary constraints).
+func ChebyshevCenter(a [][]float64, b []float64) (center []float64, radius float64, err error) {
+	dim, err := checkSystem(a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := len(a)
+	// Variables: z (dim, free), r (1, ≥ 0). Minimize −r.
+	n := dim + 1
+	c := make([]float64, n)
+	c[dim] = -1
+	free := make([]bool, n)
+	for j := 0; j < dim; j++ {
+		free[j] = true
+	}
+	rows := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		copy(row, a[i])
+		row[dim] = rowNorm(a[i])
+		rows[i] = row
+	}
+	res, err := Solve(&Problem{C: c, A: rows, B: b, Free: free})
+	if err != nil {
+		return nil, 0, err
+	}
+	switch res.Status {
+	case Infeasible:
+		return nil, 0, ErrEmptyRegion
+	case Unbounded:
+		return nil, 0, ErrUnboundedRegion
+	}
+	return res.X[:dim], res.X[dim], nil
+}
+
+// FeasiblePoint returns a strictly interior point of { z : a·z ≤ b } when
+// one exists (the Chebyshev center), together with its margin. A margin of
+// zero (within tolerance) means the region has empty interior.
+func FeasiblePoint(a [][]float64, b []float64) (z []float64, margin float64, err error) {
+	return ChebyshevCenter(a, b)
+}
+
+// AnalyticCenter computes argmin −Σ log(bᵢ − aᵢ·z) by damped Newton with
+// backtracking line search, starting from the strictly feasible point
+// start. This is the log-barrier center an interior-point LP solver (such
+// as CVX, which the paper uses) parks at when the objective is constant —
+// NomLoc's Eq. 12/16 "minimize 0" formulation.
+func AnalyticCenter(a [][]float64, b []float64, start []float64) ([]float64, error) {
+	dim, err := checkSystem(a, b)
+	if err != nil {
+		return nil, err
+	}
+	if len(start) != dim {
+		return nil, fmt.Errorf("%w: start has dim %d, want %d", ErrDimensionMismatch, len(start), dim)
+	}
+	m := len(a)
+	z := append([]float64(nil), start...)
+
+	slacks := func(pt []float64) ([]float64, bool) {
+		s := make([]float64, m)
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := 0; j < dim; j++ {
+				dot += a[i][j] * pt[j]
+			}
+			s[i] = b[i] - dot
+			if s[i] <= 0 {
+				return nil, false
+			}
+		}
+		return s, true
+	}
+
+	s, ok := slacks(z)
+	if !ok {
+		return nil, ErrNotStrictlyFeas
+	}
+
+	const (
+		newtonTol  = 1e-10
+		maxNewton  = 100
+		alphaLS    = 0.25
+		betaLS     = 0.5
+		maxLSSteps = 60
+	)
+
+	barrier := func(sv []float64) float64 {
+		var phi float64
+		for _, si := range sv {
+			phi -= math.Log(si)
+		}
+		return phi
+	}
+
+	for iter := 0; iter < maxNewton; iter++ {
+		// Gradient g = Σ aᵢ/sᵢ; Hessian H = Σ aᵢaᵢᵀ/sᵢ².
+		g := make([]float64, dim)
+		h := make([][]float64, dim)
+		for j := range h {
+			h[j] = make([]float64, dim)
+		}
+		for i := 0; i < m; i++ {
+			inv := 1 / s[i]
+			inv2 := inv * inv
+			for j := 0; j < dim; j++ {
+				g[j] += a[i][j] * inv
+				for k := 0; k < dim; k++ {
+					h[j][k] += a[i][j] * a[i][k] * inv2
+				}
+			}
+		}
+		step, err := solveLinear(h, g)
+		if err != nil {
+			return nil, err
+		}
+		// Newton decrement² = gᵀ·step.
+		var dec2 float64
+		for j := 0; j < dim; j++ {
+			dec2 += g[j] * step[j]
+		}
+		if dec2/2 < newtonTol {
+			return z, nil
+		}
+		// Backtracking line search on the barrier value, keeping strict
+		// feasibility.
+		phi0 := barrier(s)
+		tStep := 1.0
+		improved := false
+		for ls := 0; ls < maxLSSteps; ls++ {
+			cand := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				cand[j] = z[j] - tStep*step[j]
+			}
+			if sc, okc := slacks(cand); okc {
+				if barrier(sc) <= phi0-alphaLS*tStep*dec2 {
+					z, s = cand, sc
+					improved = true
+					break
+				}
+			}
+			tStep *= betaLS
+		}
+		if !improved {
+			// Line search stalled at numerical precision: current point is
+			// as central as float64 allows.
+			return z, nil
+		}
+	}
+	return nil, ErrNewtonDiverged
+}
+
+// solveLinear solves the square system H·x = g by Gaussian elimination
+// with partial pivoting. H and g are not modified.
+func solveLinear(h [][]float64, g []float64) ([]float64, error) {
+	n := len(g)
+	// Working copy as an augmented matrix.
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n+1)
+		copy(m[i], h[i])
+		m[i][n] = g[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		best := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[best][col]) {
+				best = r
+			}
+		}
+		if math.Abs(m[best][col]) < 1e-14 {
+			return nil, ErrSingularHessian
+		}
+		m[col], m[best] = m[best], m[col]
+		inv := 1 / m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := m[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for k := col; k <= n; k++ {
+				m[r][k] -= factor * m[col][k]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, nil
+}
+
+// Relaxation is the solution of the constraint-relaxation LP (paper
+// Eq. 19).
+type Relaxation struct {
+	// Z is the coordinate estimate the LP picked (a vertex; callers
+	// usually re-center within the relaxed region).
+	Z []float64
+	// T holds the per-constraint relaxation amounts (tᵢ ≥ 0).
+	T []float64
+	// Cost is the attained wᵀt.
+	Cost float64
+}
+
+// RelaxedSolve solves
+//
+//	minimize  wᵀt
+//	s.t.      a·z − t ≤ b,  t ≥ 0
+//
+// which is always feasible. Weights must be positive for the relaxation to
+// be bounded (a non-positive weight would let tᵢ grow for free); rows with
+// larger weight are preserved preferentially, mirroring the paper's use of
+// the confidence factor w as the price of breaking a constraint.
+func RelaxedSolve(a [][]float64, b []float64, w []float64) (*Relaxation, error) {
+	dim, err := checkSystem(a, b)
+	if err != nil {
+		return nil, err
+	}
+	m := len(a)
+	if len(w) != m {
+		return nil, ErrWeightDimension
+	}
+	for i, wi := range w {
+		if wi <= 0 || math.IsNaN(wi) || math.IsInf(wi, 0) {
+			return nil, fmt.Errorf("%w: weight %d = %v must be positive and finite",
+				ErrWeightDimension, i, wi)
+		}
+	}
+
+	// Variables: z (dim, free), t (m, ≥ 0).
+	n := dim + m
+	c := make([]float64, n)
+	copy(c[dim:], w)
+	free := make([]bool, n)
+	for j := 0; j < dim; j++ {
+		free[j] = true
+	}
+	rows := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		copy(row, a[i])
+		row[dim+i] = -1
+		rows[i] = row
+	}
+	res, err := Solve(&Problem{C: c, A: rows, B: b, Free: free})
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != Optimal {
+		// min wᵀt with w > 0 and t ≥ 0 is bounded below by zero and always
+		// feasible (choose t large enough); any other status is numerical.
+		return nil, fmt.Errorf("lp: relaxation solve returned %v", res.Status)
+	}
+	rel := &Relaxation{
+		Z:    append([]float64(nil), res.X[:dim]...),
+		T:    make([]float64, m),
+		Cost: res.Objective,
+	}
+	for i := 0; i < m; i++ {
+		ti := res.X[dim+i]
+		if ti < 0 {
+			ti = 0
+		}
+		rel.T[i] = ti
+	}
+	return rel, nil
+}

@@ -1,0 +1,333 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// boxSystem returns the constraint system 0 ≤ x ≤ w, 0 ≤ y ≤ h.
+func boxSystem(w, h float64) ([][]float64, []float64) {
+	a := [][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	b := []float64{w, 0, h, 0}
+	return a, b
+}
+
+func TestChebyshevCenterSquare(t *testing.T) {
+	a, b := boxSystem(10, 10)
+	center, r, err := ChebyshevCenter(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(center[0], 5, 1e-6) || !approxEq(center[1], 5, 1e-6) {
+		t.Errorf("center = %v, want (5, 5)", center)
+	}
+	if !approxEq(r, 5, 1e-6) {
+		t.Errorf("radius = %v, want 5", r)
+	}
+}
+
+func TestChebyshevCenterRectangle(t *testing.T) {
+	a, b := boxSystem(20, 6)
+	center, r, err := ChebyshevCenter(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(r, 3, 1e-6) {
+		t.Errorf("radius = %v, want 3", r)
+	}
+	if !approxEq(center[1], 3, 1e-6) {
+		t.Errorf("center y = %v, want 3", center[1])
+	}
+	// x can be anywhere in [3, 17]; it must at least be feasible.
+	if center[0] < 3-1e-6 || center[0] > 17+1e-6 {
+		t.Errorf("center x = %v outside [3, 17]", center[0])
+	}
+}
+
+func TestChebyshevCenterTriangle(t *testing.T) {
+	// Triangle x ≥ 0, y ≥ 0, x + y ≤ 2: incircle radius 2/(2+√2).
+	a := [][]float64{{-1, 0}, {0, -1}, {1, 1}}
+	b := []float64{0, 0, 2}
+	_, r, err := ChebyshevCenter(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 / (2 + math.Sqrt2)
+	if !approxEq(r, want, 1e-6) {
+		t.Errorf("radius = %v, want %v", r, want)
+	}
+}
+
+func TestChebyshevCenterEmpty(t *testing.T) {
+	a := [][]float64{{1, 0}, {-1, 0}}
+	b := []float64{1, -3} // x ≤ 1 and x ≥ 3
+	if _, _, err := ChebyshevCenter(a, b); !errors.Is(err, ErrEmptyRegion) {
+		t.Errorf("err = %v, want ErrEmptyRegion", err)
+	}
+}
+
+func TestChebyshevCenterUnbounded(t *testing.T) {
+	a := [][]float64{{-1, 0}} // x ≥ 0 only
+	b := []float64{0}
+	if _, _, err := ChebyshevCenter(a, b); !errors.Is(err, ErrUnboundedRegion) {
+		t.Errorf("err = %v, want ErrUnboundedRegion", err)
+	}
+}
+
+func TestChebyshevCenterValidation(t *testing.T) {
+	if _, _, err := ChebyshevCenter(nil, nil); !errors.Is(err, ErrNoConstraints) {
+		t.Errorf("err = %v, want ErrNoConstraints", err)
+	}
+	if _, _, err := ChebyshevCenter([][]float64{{1, 0}, {1}}, []float64{1, 1}); !errors.Is(err, ErrBadConstraintDim) {
+		t.Errorf("err = %v, want ErrBadConstraintDim", err)
+	}
+	if _, _, err := ChebyshevCenter([][]float64{{1, 0}}, []float64{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestAnalyticCenterSquare(t *testing.T) {
+	a, b := boxSystem(10, 10)
+	got, err := AnalyticCenter(a, b, []float64{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic center of a symmetric box is its midpoint.
+	if !approxEq(got[0], 5, 1e-6) || !approxEq(got[1], 5, 1e-6) {
+		t.Errorf("analytic center = %v, want (5, 5)", got)
+	}
+}
+
+func TestAnalyticCenterTriangle(t *testing.T) {
+	// x ≥ 0, y ≥ 0, x + y ≤ 3: the analytic center equalizes slack
+	// products; by symmetry x = y and maximizing x·y·(3−2x) gives x = 1.
+	a := [][]float64{{-1, 0}, {0, -1}, {1, 1}}
+	b := []float64{0, 0, 3}
+	got, err := AnalyticCenter(a, b, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got[0], 1, 1e-5) || !approxEq(got[1], 1, 1e-5) {
+		t.Errorf("analytic center = %v, want (1, 1)", got)
+	}
+}
+
+func TestAnalyticCenterNotStrictlyFeasible(t *testing.T) {
+	a, b := boxSystem(10, 10)
+	if _, err := AnalyticCenter(a, b, []float64{0, 5}); !errors.Is(err, ErrNotStrictlyFeas) {
+		t.Errorf("on-boundary start: err = %v", err)
+	}
+	if _, err := AnalyticCenter(a, b, []float64{-1, 5}); !errors.Is(err, ErrNotStrictlyFeas) {
+		t.Errorf("outside start: err = %v", err)
+	}
+}
+
+func TestAnalyticCenterBadDims(t *testing.T) {
+	a, b := boxSystem(10, 10)
+	if _, err := AnalyticCenter(a, b, []float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAnalyticCenterStartInvariance(t *testing.T) {
+	// Different strictly feasible starts must converge to the same center.
+	a := [][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}}
+	b := []float64{8, 0, 8, 0, 12}
+	c1, err := AnalyticCenter(a, b, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := AnalyticCenter(a, b, []float64{6, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(c1[0], c2[0], 1e-5) || !approxEq(c1[1], c2[1], 1e-5) {
+		t.Errorf("centers differ: %v vs %v", c1, c2)
+	}
+}
+
+func TestRelaxedSolveFeasibleCase(t *testing.T) {
+	// A feasible system needs no relaxation: cost 0, all t = 0 (paper
+	// claim: Eq. 19 and Eq. 16 coincide when Eq. 16 is feasible).
+	a, b := boxSystem(10, 10)
+	w := []float64{1, 1, 1, 1}
+	rel, err := RelaxedSolve(a, b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(rel.Cost, 0, 1e-8) {
+		t.Errorf("cost = %v, want 0", rel.Cost)
+	}
+	for i, ti := range rel.T {
+		if ti > 1e-8 {
+			t.Errorf("t[%d] = %v, want 0", i, ti)
+		}
+	}
+	// z must satisfy the original system.
+	for i := range a {
+		dot := a[i][0]*rel.Z[0] + a[i][1]*rel.Z[1]
+		if dot > b[i]+1e-6 {
+			t.Errorf("constraint %d violated by %v", i, dot-b[i])
+		}
+	}
+}
+
+func TestRelaxedSolveInfeasibleCase(t *testing.T) {
+	// x ≤ 1 (weight 10) against x ≥ 3 (weight 1): the cheap constraint
+	// should be the one broken, by exactly 2.
+	a := [][]float64{{1}, {-1}}
+	b := []float64{1, -3}
+	rel, err := RelaxedSolve(a, b, []float64{10, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.T[0] > 1e-8 {
+		t.Errorf("expensive constraint relaxed by %v", rel.T[0])
+	}
+	if !approxEq(rel.T[1], 2, 1e-6) {
+		t.Errorf("cheap constraint relaxed by %v, want 2", rel.T[1])
+	}
+	if !approxEq(rel.Cost, 2, 1e-6) {
+		t.Errorf("cost = %v, want 2", rel.Cost)
+	}
+	if !approxEq(rel.Z[0], 1, 1e-6) {
+		t.Errorf("z = %v, want 1 (the kept constraint binds)", rel.Z[0])
+	}
+}
+
+func TestRelaxedSolveWeightsFlipPreference(t *testing.T) {
+	a := [][]float64{{1}, {-1}}
+	b := []float64{1, -3}
+	rel, err := RelaxedSolve(a, b, []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.T[1] > 1e-8 {
+		t.Errorf("expensive constraint relaxed by %v", rel.T[1])
+	}
+	if !approxEq(rel.T[0], 2, 1e-6) {
+		t.Errorf("cheap constraint relaxed by %v, want 2", rel.T[0])
+	}
+}
+
+func TestRelaxedSolveValidation(t *testing.T) {
+	a, b := boxSystem(1, 1)
+	if _, err := RelaxedSolve(a, b, []float64{1, 1}); !errors.Is(err, ErrWeightDimension) {
+		t.Errorf("short weights err = %v", err)
+	}
+	if _, err := RelaxedSolve(a, b, []float64{1, 1, 0, 1}); !errors.Is(err, ErrWeightDimension) {
+		t.Errorf("zero weight err = %v", err)
+	}
+	if _, err := RelaxedSolve(a, b, []float64{1, 1, -2, 1}); !errors.Is(err, ErrWeightDimension) {
+		t.Errorf("negative weight err = %v", err)
+	}
+	if _, err := RelaxedSolve(nil, nil, nil); !errors.Is(err, ErrNoConstraints) {
+		t.Errorf("no constraints err = %v", err)
+	}
+}
+
+func TestRelaxedSolveRandomConsistency(t *testing.T) {
+	// For random systems: relaxing by T must always make the system
+	// feasible at Z, and cost must equal Σ wᵢtᵢ.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		m := 3 + rng.Intn(8)
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		w := make([]float64, m)
+		for i := 0; i < m; i++ {
+			a[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			b[i] = rng.NormFloat64() * 3
+			w[i] = 0.5 + rng.Float64()
+		}
+		rel, err := RelaxedSolve(a, b, w)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var cost float64
+		for i := 0; i < m; i++ {
+			dot := a[i][0]*rel.Z[0] + a[i][1]*rel.Z[1]
+			if dot > b[i]+rel.T[i]+1e-6 {
+				t.Fatalf("trial %d: relaxed constraint %d still violated", trial, i)
+			}
+			cost += w[i] * rel.T[i]
+		}
+		if !approxEq(cost, rel.Cost, 1e-6*(1+cost)) {
+			t.Fatalf("trial %d: cost mismatch %v vs %v", trial, cost, rel.Cost)
+		}
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	h := [][]float64{{2, 1}, {1, 3}}
+	g := []float64{5, 10}
+	x, err := solveLinear(h, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	if !approxEq(x[0], 1, 1e-9) || !approxEq(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want (1, 3)", x)
+	}
+	if _, err := solveLinear([][]float64{{1, 2}, {2, 4}}, []float64{1, 1}); !errors.Is(err, ErrSingularHessian) {
+		t.Errorf("singular err = %v", err)
+	}
+}
+
+func TestChebyshevInsideAnalyticRegion(t *testing.T) {
+	// Pipeline consistency: the Chebyshev center can seed AnalyticCenter.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		// Random bounded region: a box plus random cuts through it.
+		a, b := boxSystem(10, 10)
+		extra := rng.Intn(4)
+		for k := 0; k < extra; k++ {
+			row := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			// Cut passing near the middle so the region stays non-empty.
+			b = append(b, row[0]*5+row[1]*5+1+rng.Float64()*3)
+			a = append(a, row)
+		}
+		center, r, err := ChebyshevCenter(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: chebyshev: %v", trial, err)
+		}
+		if r <= 0 {
+			continue // empty interior: nothing to seed
+		}
+		ac, err := AnalyticCenter(a, b, center)
+		if err != nil {
+			t.Fatalf("trial %d: analytic: %v", trial, err)
+		}
+		for i := range a {
+			dot := a[i][0]*ac[0] + a[i][1]*ac[1]
+			if dot > b[i]-1e-9 {
+				t.Fatalf("trial %d: analytic center not strictly interior", trial)
+			}
+		}
+	}
+}
+
+func BenchmarkChebyshevCenter(b *testing.B) {
+	a, bb := boxSystem(10, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ChebyshevCenter(a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyticCenter(b *testing.B) {
+	a, bb := boxSystem(10, 10)
+	start := []float64{2, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyticCenter(a, bb, start); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

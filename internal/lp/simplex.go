@@ -1,0 +1,372 @@
+// Package lp implements the small dense linear programming toolkit NomLoc
+// uses for space-partition location estimation: a two-phase simplex solver
+// with Bland's anti-cycling rule, a Chebyshev-center LP, an analytic-center
+// Newton solver (the log-barrier center CVX-style interior-point methods
+// return, which the paper cites), and the constraint-relaxation LP of
+// Eq. 19.
+//
+// Problems here are tiny — a handful of coordinates and some tens of
+// constraints — so the package optimizes for robustness and clarity, not
+// for sparse large-scale performance.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status describes the outcome of an LP solve.
+type Status int
+
+// Solve outcomes. Optimal is deliberately non-zero so an uninitialized
+// Status never reads as success.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is the inequality-form linear program
+//
+//	minimize   Cᵀx
+//	subject to A·x ≤ B
+//	           x_i ≥ 0 unless Free[i]
+//
+// Free may be nil (all variables non-negative) or have length len(C).
+type Problem struct {
+	C    []float64
+	A    [][]float64
+	B    []float64
+	Free []bool
+}
+
+// Result holds an LP solution.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// Validation and solver errors.
+var (
+	ErrDimensionMismatch = errors.New("lp: dimension mismatch")
+	ErrEmptyProblem      = errors.New("lp: empty problem")
+	ErrMaxIterations     = errors.New("lp: iteration limit exceeded")
+)
+
+const (
+	tol     = 1e-9
+	maxIter = 100000
+)
+
+// Validate checks the problem dimensions.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return ErrEmptyProblem
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("%w: %d constraint rows vs %d rhs entries",
+			ErrDimensionMismatch, len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("%w: row %d has %d coefficients, want %d",
+				ErrDimensionMismatch, i, len(row), n)
+		}
+	}
+	if p.Free != nil && len(p.Free) != n {
+		return fmt.Errorf("%w: Free has length %d, want %d",
+			ErrDimensionMismatch, len(p.Free), n)
+	}
+	return nil
+}
+
+// Solve runs the two-phase simplex method on the problem. Free variables
+// are split internally into differences of non-negative pairs. On
+// Infeasible and Unbounded outcomes X is nil.
+func Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Map original variables to split columns: variable j occupies column
+	// pos[j]; free variables get an extra negative-part column neg[j].
+	pos := make([]int, n)
+	neg := make([]int, n)
+	cols := 0
+	for j := 0; j < n; j++ {
+		pos[j] = cols
+		cols++
+		if p.Free != nil && p.Free[j] {
+			neg[j] = cols
+			cols++
+		} else {
+			neg[j] = -1
+		}
+	}
+
+	c := make([]float64, cols)
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for j := 0; j < n; j++ {
+		c[pos[j]] = p.C[j]
+		if neg[j] >= 0 {
+			c[neg[j]] = -p.C[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols)
+		for j := 0; j < n; j++ {
+			row[pos[j]] = p.A[i][j]
+			if neg[j] >= 0 {
+				row[neg[j]] = -p.A[i][j]
+			}
+		}
+		a[i] = row
+		b[i] = p.B[i]
+	}
+
+	xSplit, status, err := solveStandard(c, a, b)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Status: status}
+	if status != Optimal {
+		return res, nil
+	}
+	res.X = make([]float64, n)
+	for j := 0; j < n; j++ {
+		res.X[j] = xSplit[pos[j]]
+		if neg[j] >= 0 {
+			res.X[j] -= xSplit[neg[j]]
+		}
+	}
+	for j := 0; j < n; j++ {
+		res.Objective += p.C[j] * res.X[j]
+	}
+	return res, nil
+}
+
+// solveStandard solves min cᵀx s.t. a·x ≤ b, x ≥ 0 with a two-phase dense
+// tableau simplex. It returns the primal solution over the given columns.
+func solveStandard(c []float64, a [][]float64, b []float64) ([]float64, Status, error) {
+	m := len(a)
+	n := len(c)
+	if m == 0 {
+		// No constraints: optimum is 0 unless some cost is negative, in
+		// which case the problem is unbounded below.
+		for _, cj := range c {
+			if cj < -tol {
+				return nil, Unbounded, nil
+			}
+		}
+		return make([]float64, n), Optimal, nil
+	}
+
+	// Slack columns s_i turn rows into equalities. Rows with negative RHS
+	// are negated (flipping the slack sign) and given artificial columns.
+	nArt := 0
+	for i := range b {
+		if b[i] < -tol {
+			nArt++
+		}
+	}
+	total := n + m + nArt
+
+	// Tableau: m rows of [columns | rhs], plus we track the basis.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	artCol := n + m
+	for i := 0; i < m; i++ {
+		row := make([]float64, total+1)
+		sign := 1.0
+		if b[i] < -tol {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * a[i][j]
+		}
+		row[n+i] = sign // slack (negated when the row was flipped)
+		row[total] = sign * b[i]
+		if sign < 0 {
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		} else {
+			basis[i] = n + i
+		}
+		t[i] = row
+	}
+
+	if nArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		phase1 := make([]float64, total)
+		for j := n + m; j < total; j++ {
+			phase1[j] = 1
+		}
+		obj, status, err := runSimplex(t, basis, phase1, total, total)
+		if err != nil {
+			return nil, 0, err
+		}
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded means a
+			// numerical breakdown.
+			return nil, 0, fmt.Errorf("lp: phase 1 reported unbounded")
+		}
+		if obj > 1e-7 {
+			return nil, Infeasible, nil
+		}
+		// Drive any artificials still in the basis out (degenerate rows).
+		for i := 0; i < m; i++ {
+			if basis[i] < n+m {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t[i][j]) > tol {
+					pivot(t, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it can never constrain.
+				for j := range t[i] {
+					t[i][j] = 0
+				}
+				basis[i] = -1
+			}
+		}
+	}
+
+	// Phase 2 on the real objective, with artificial columns barred.
+	cFull := make([]float64, total)
+	copy(cFull, c)
+	_, status, err := runSimplex(t, basis, cFull, n+m, total)
+	if err != nil {
+		return nil, 0, err
+	}
+	if status == Unbounded {
+		return nil, Unbounded, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] >= 0 && basis[i] < n {
+			x[basis[i]] = t[i][total]
+		}
+	}
+	return x, Optimal, nil
+}
+
+// runSimplex performs primal simplex pivots on the tableau until the
+// objective cObj cannot improve. Only columns < allowedCols may enter the
+// basis. It returns the achieved objective value.
+func runSimplex(t [][]float64, basis []int, cObj []float64, allowedCols, total int) (float64, Status, error) {
+	m := len(t)
+
+	// Reduced costs: z[j] = c[j] − c_Bᵀ·B⁻¹·A_j, maintained as an explicit
+	// row recomputed from the basis to stay consistent after phase swaps.
+	reduced := make([]float64, total)
+	objVal := 0.0
+	recompute := func() {
+		copy(reduced, cObj)
+		objVal = 0
+		for i := 0; i < m; i++ {
+			bi := basis[i]
+			if bi < 0 {
+				continue
+			}
+			cb := cObj[bi]
+			if cb == 0 {
+				continue
+			}
+			for j := 0; j < total; j++ {
+				reduced[j] -= cb * t[i][j]
+			}
+			objVal += cb * t[i][total]
+		}
+	}
+	recompute()
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Bland's rule: the lowest-index column with negative reduced cost.
+		enter := -1
+		for j := 0; j < allowedCols; j++ {
+			if reduced[j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return objVal, Optimal, nil
+		}
+		// Ratio test; ties broken by the lowest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if basis[i] < 0 {
+				continue
+			}
+			coef := t[i][enter]
+			if coef <= tol {
+				continue
+			}
+			ratio := t[i][total] / coef
+			if ratio < bestRatio-tol ||
+				(ratio < bestRatio+tol && (leave == -1 || basis[i] < basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return objVal, Unbounded, nil
+		}
+		pivot(t, basis, leave, enter)
+		recompute()
+	}
+	return 0, 0, ErrMaxIterations
+}
+
+// pivot makes column enter basic in row leave via Gauss–Jordan elimination.
+func pivot(t [][]float64, basis []int, leave, enter int) {
+	row := t[leave]
+	p := row[enter]
+	inv := 1 / p
+	for j := range row {
+		row[j] *= inv
+	}
+	row[enter] = 1 // exact
+	for i := range t {
+		if i == leave {
+			continue
+		}
+		factor := t[i][enter]
+		if factor == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= factor * row[j]
+		}
+		t[i][enter] = 0 // exact
+	}
+	basis[leave] = enter
+}

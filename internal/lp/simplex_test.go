@@ -1,0 +1,330 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(&Problem{}); !errors.Is(err, ErrEmptyProblem) {
+		t.Errorf("empty problem err = %v", err)
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("bad row err = %v", err)
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("rhs mismatch err = %v", err)
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, Free: []bool{true, false}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("free mismatch err = %v", err)
+	}
+}
+
+func TestSolveSimpleMax(t *testing.T) {
+	// max x + y s.t. x ≤ 4, y ≤ 3, x+y ≤ 5, x,y ≥ 0 → optimum 5.
+	res, err := Solve(&Problem{
+		C: []float64{-1, -1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{4, 3, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approxEq(res.Objective, -5, 1e-8) {
+		t.Errorf("objective = %v, want -5", res.Objective)
+	}
+	if !approxEq(res.X[0]+res.X[1], 5, 1e-8) {
+		t.Errorf("x+y = %v, want 5", res.X[0]+res.X[1])
+	}
+}
+
+func TestSolveClassicProduction(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	res, err := Solve(&Problem{
+		C: []float64{-3, -5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approxEq(res.X[0], 2, 1e-8) || !approxEq(res.X[1], 6, 1e-8) {
+		t.Errorf("x = %v, want (2, 6)", res.X)
+	}
+	if !approxEq(res.Objective, -36, 1e-8) {
+		t.Errorf("objective = %v, want -36", res.Objective)
+	}
+}
+
+func TestSolveNeedsPhase1(t *testing.T) {
+	// min x + y s.t. x + y ≥ 4 (i.e. −x−y ≤ −4), x ≤ 10, y ≤ 10 → 4.
+	res, err := Solve(&Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{-1, -1}, {1, 0}, {0, 1}},
+		B: []float64{-4, 10, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approxEq(res.Objective, 4, 1e-8) {
+		t.Errorf("objective = %v, want 4", res.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 3 simultaneously.
+	res, err := Solve(&Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, -3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want Infeasible", res.Status)
+	}
+	if res.X != nil {
+		t.Error("infeasible result should have nil X")
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min −x with only x ≥ 0: unbounded below.
+	res, err := Solve(&Problem{
+		C: []float64{-1},
+		A: [][]float64{{-1}},
+		B: []float64{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Errorf("status = %v, want Unbounded", res.Status)
+	}
+}
+
+func TestSolveUnboundedNoConstraints(t *testing.T) {
+	res, err := Solve(&Problem{C: []float64{-1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Errorf("status = %v, want Unbounded", res.Status)
+	}
+	// Non-negative costs with no constraints: optimum at the origin.
+	res, err = Solve(&Problem{C: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || res.Objective != 0 {
+		t.Errorf("status = %v obj = %v, want optimal 0", res.Status, res.Objective)
+	}
+}
+
+func TestSolveFreeVariables(t *testing.T) {
+	// min x with x free and x ≥ −7 (−x ≤ 7): optimum −7.
+	res, err := Solve(&Problem{
+		C:    []float64{1},
+		A:    [][]float64{{-1}},
+		B:    []float64{7},
+		Free: []bool{true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approxEq(res.X[0], -7, 1e-8) {
+		t.Errorf("x = %v, want -7", res.X[0])
+	}
+}
+
+func TestSolveMixedFreeAndNonneg(t *testing.T) {
+	// min x + y, x free, y ≥ 0, s.t. x ≥ −2 (−x ≤ 2), x + y ≥ 1.
+	res, err := Solve(&Problem{
+		C:    []float64{1, 1},
+		A:    [][]float64{{-1, 0}, {-1, -1}},
+		B:    []float64{2, -1},
+		Free: []bool{true, false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// The optimum value is 1, achieved along the whole face x + y = 1
+	// (any vertex on it is a valid answer).
+	if !approxEq(res.Objective, 1, 1e-8) {
+		t.Errorf("objective = %v, want 1", res.Objective)
+	}
+	if res.X[0] < -2-1e-8 || res.X[1] < -1e-8 || res.X[0]+res.X[1] < 1-1e-8 {
+		t.Errorf("x = %v not feasible", res.X)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A degenerate vertex (three constraints through one point in 2-D)
+	// exercises Bland's anti-cycling rule.
+	res, err := Solve(&Problem{
+		C: []float64{-1, -1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}},
+		B: []float64{2, 2, 4, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approxEq(res.Objective, -4, 1e-8) {
+		t.Errorf("objective = %v, want -4", res.Objective)
+	}
+}
+
+func TestSolveRedundantEqualityLikeRows(t *testing.T) {
+	// x ≥ 3 and x ≤ 3 pin x; a duplicated row adds degeneracy.
+	res, err := Solve(&Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}, {-1}},
+		B: []float64{3, -3, -3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approxEq(res.X[0], 3, 1e-8) {
+		t.Errorf("res = %+v, want x=3", res)
+	}
+}
+
+func TestSolveSolutionSatisfiesConstraints(t *testing.T) {
+	// Every optimal answer must be primal feasible.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(6)
+		p := &Problem{
+			C:    make([]float64, n),
+			A:    make([][]float64, m),
+			B:    make([]float64, m),
+			Free: make([]bool, n),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.NormFloat64()
+			p.Free[j] = rng.Intn(2) == 0
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			p.A[i] = row
+			p.B[i] = rng.NormFloat64() * 5
+		}
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Status != Optimal {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				dot += p.A[i][j] * res.X[j]
+			}
+			if dot > p.B[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, dot, p.B[i])
+			}
+		}
+		for j := 0; j < n; j++ {
+			if !p.Free[j] && res.X[j] < -1e-8 {
+				t.Fatalf("trial %d: nonneg var %d = %v", trial, j, res.X[j])
+			}
+		}
+	}
+}
+
+func TestPropBoxLPOptimum(t *testing.T) {
+	// min cᵀx over the box 0 ≤ x ≤ u has the closed-form optimum
+	// Σ min(c_i, 0)·u_i achieved at x_i = u_i where c_i < 0.
+	f := func(c1, c2, u1Raw, u2Raw float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(x, 50)
+		}
+		c := []float64{clamp(c1), clamp(c2)}
+		u := []float64{math.Abs(clamp(u1Raw)) + 1, math.Abs(clamp(u2Raw)) + 1}
+		res, err := Solve(&Problem{
+			C: c,
+			A: [][]float64{{1, 0}, {0, 1}},
+			B: u,
+		})
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		want := math.Min(c[0], 0)*u[0] + math.Min(c[1], 0)*u[1]
+		return approxEq(res.Objective, want, 1e-6*(1+math.Abs(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" {
+		t.Error("Status.String mismatch")
+	}
+	if Status(0).String() != "status(0)" {
+		t.Error("zero Status should not read as success")
+	}
+}
+
+func BenchmarkSolveRelaxationSized(b *testing.B) {
+	// A problem shaped like NomLoc's relaxation LP: 2 free coords + 40
+	// relaxation variables, 40 rows.
+	rng := rand.New(rand.NewSource(9))
+	const m = 40
+	n := 2 + m
+	p := &Problem{
+		C:    make([]float64, n),
+		A:    make([][]float64, m),
+		B:    make([]float64, m),
+		Free: make([]bool, n),
+	}
+	p.Free[0], p.Free[1] = true, true
+	for i := 0; i < m; i++ {
+		p.C[2+i] = 0.5 + rng.Float64()
+		row := make([]float64, n)
+		row[0], row[1] = rng.NormFloat64(), rng.NormFloat64()
+		row[2+i] = -1
+		p.A[i] = row
+		p.B[i] = rng.NormFloat64() * 10
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package mobility models how a nomadic AP moves: a Markov-chain random
+// walk over a discrete set of waypoint sites (the model the paper's
+// evaluation methodology prescribes, §V-A), plus the uniform-disk position
+// error injection used to study robustness to erroneous nomadic-AP
+// coordinates (§V-E).
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// Chain is a finite Markov chain whose states are waypoint sites.
+type Chain struct {
+	sites []geom.Vec
+	trans [][]float64
+}
+
+// Construction errors.
+var (
+	ErrNoSites        = errors.New("mobility: need at least one site")
+	ErrBadTransition  = errors.New("mobility: invalid transition matrix")
+	ErrBadSiteIndex   = errors.New("mobility: site index out of range")
+	ErrBadErrorRadius = errors.New("mobility: negative error radius")
+)
+
+// NewChain builds a chain over the given sites with the row-stochastic
+// transition matrix trans (trans[i][j] is the probability of moving from
+// site i to site j). Rows must sum to 1 within a small tolerance.
+func NewChain(sites []geom.Vec, trans [][]float64) (*Chain, error) {
+	n := len(sites)
+	if n == 0 {
+		return nil, ErrNoSites
+	}
+	if len(trans) != n {
+		return nil, fmt.Errorf("%w: %d rows for %d sites", ErrBadTransition, len(trans), n)
+	}
+	cp := make([][]float64, n)
+	for i, row := range trans {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d entries", ErrBadTransition, i, len(row))
+		}
+		var sum float64
+		for j, p := range row {
+			if p < 0 || math.IsNaN(p) {
+				return nil, fmt.Errorf("%w: trans[%d][%d] = %v", ErrBadTransition, i, j, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("%w: row %d sums to %v", ErrBadTransition, i, sum)
+		}
+		cp[i] = append([]float64(nil), row...)
+	}
+	return &Chain{sites: append([]geom.Vec(nil), sites...), trans: cp}, nil
+}
+
+// UniformChain builds a chain that jumps to every site (including staying
+// put) with equal probability — the "random walks among the sites" model
+// the paper's experiments use.
+func UniformChain(sites []geom.Vec) (*Chain, error) {
+	n := len(sites)
+	if n == 0 {
+		return nil, ErrNoSites
+	}
+	trans := make([][]float64, n)
+	p := 1 / float64(n)
+	for i := range trans {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = p
+		}
+		trans[i] = row
+	}
+	return NewChain(sites, trans)
+}
+
+// NumSites returns the number of waypoint sites.
+func (c *Chain) NumSites() int { return len(c.sites) }
+
+// Site returns the coordinates of site i.
+func (c *Chain) Site(i int) (geom.Vec, error) {
+	if i < 0 || i >= len(c.sites) {
+		return geom.Vec{}, fmt.Errorf("%w: %d of %d", ErrBadSiteIndex, i, len(c.sites))
+	}
+	return c.sites[i], nil
+}
+
+// Sites returns a copy of the site list.
+func (c *Chain) Sites() []geom.Vec {
+	return append([]geom.Vec(nil), c.sites...)
+}
+
+// Step samples the successor state of cur.
+func (c *Chain) Step(cur int, rng *rand.Rand) (int, error) {
+	if cur < 0 || cur >= len(c.sites) {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadSiteIndex, cur, len(c.sites))
+	}
+	u := rng.Float64()
+	var acc float64
+	row := c.trans[cur]
+	for j, p := range row {
+		acc += p
+		if u < acc {
+			return j, nil
+		}
+	}
+	// Floating-point residue: fall back to the last positive-probability
+	// state.
+	for j := len(row) - 1; j >= 0; j-- {
+		if row[j] > 0 {
+			return j, nil
+		}
+	}
+	return cur, nil
+}
+
+// Walk samples a trajectory of the given number of steps starting from
+// start. The returned slice has steps+1 entries and begins with start.
+func (c *Chain) Walk(start, steps int, rng *rand.Rand) ([]int, error) {
+	if start < 0 || start >= len(c.sites) {
+		return nil, fmt.Errorf("%w: start %d of %d", ErrBadSiteIndex, start, len(c.sites))
+	}
+	if steps < 0 {
+		steps = 0
+	}
+	out := make([]int, 0, steps+1)
+	out = append(out, start)
+	cur := start
+	for k := 0; k < steps; k++ {
+		next, err := c.Step(cur, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out, nil
+}
+
+// StationaryDistribution approximates the chain's stationary distribution
+// by power iteration from the uniform distribution.
+func (c *Chain) StationaryDistribution(iters int) []float64 {
+	n := len(c.sites)
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for k := 0; k < iters; k++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			if pi[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * c.trans[i][j]
+			}
+		}
+		pi, next = next, pi
+	}
+	return pi
+}
+
+// Trace is a realized nomadic-AP trajectory: the ordered site visits with
+// their true coordinates.
+type Trace struct {
+	// SiteIndices is the visit order.
+	SiteIndices []int
+	// Positions holds the true coordinates per visit.
+	Positions []geom.Vec
+}
+
+// GenerateTrace samples a walk and materializes site coordinates.
+func (c *Chain) GenerateTrace(start, steps int, rng *rand.Rand) (*Trace, error) {
+	idx, err := c.Walk(start, steps, rng)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{SiteIndices: idx, Positions: make([]geom.Vec, len(idx))}
+	for k, i := range idx {
+		tr.Positions[k] = c.sites[i]
+	}
+	return tr, nil
+}
+
+// UniqueSites returns the distinct site indices in visit order.
+func (t *Trace) UniqueSites() []int {
+	seen := make(map[int]bool, len(t.SiteIndices))
+	var out []int
+	for _, i := range t.SiteIndices {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Len returns the number of visits in the trace.
+func (t *Trace) Len() int { return len(t.SiteIndices) }
+
+// PerturbUniformDisk returns p displaced by a vector drawn uniformly from
+// the disk of the given radius — the paper's "artificial random errors …
+// with error range (ER)" applied to nomadic-AP coordinates. A radius of 0
+// returns p unchanged.
+func PerturbUniformDisk(p geom.Vec, radius float64, rng *rand.Rand) (geom.Vec, error) {
+	if radius < 0 {
+		return geom.Vec{}, fmt.Errorf("%w: %v", ErrBadErrorRadius, radius)
+	}
+	if radius == 0 {
+		return p, nil
+	}
+	// Uniform over the disk: r = R√u, θ uniform.
+	r := radius * math.Sqrt(rng.Float64())
+	theta := 2 * math.Pi * rng.Float64()
+	return p.Add(geom.V(r*math.Cos(theta), r*math.Sin(theta))), nil
+}
+
+// PerturbTrace returns a copy of the trace with every position displaced
+// independently by a uniform-disk error of the given radius. The site
+// indices are preserved so ground truth remains linked.
+func PerturbTrace(t *Trace, radius float64, rng *rand.Rand) (*Trace, error) {
+	out := &Trace{
+		SiteIndices: append([]int(nil), t.SiteIndices...),
+		Positions:   make([]geom.Vec, len(t.Positions)),
+	}
+	for k, p := range t.Positions {
+		q, err := PerturbUniformDisk(p, radius, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.Positions[k] = q
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package mobility
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func threeSites() []geom.Vec {
+	return []geom.Vec{geom.V(0, 0), geom.V(5, 0), geom.V(0, 5)}
+}
+
+func TestNewChainValidation(t *testing.T) {
+	sites := threeSites()
+	if _, err := NewChain(nil, nil); !errors.Is(err, ErrNoSites) {
+		t.Errorf("no sites err = %v", err)
+	}
+	if _, err := NewChain(sites, [][]float64{{1}}); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("short matrix err = %v", err)
+	}
+	bad := [][]float64{{0.5, 0.5, 0}, {0.2, 0.2, 0.2}, {0, 0, 1}}
+	if _, err := NewChain(sites, bad); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("non-stochastic row err = %v", err)
+	}
+	neg := [][]float64{{1.5, -0.5, 0}, {0, 1, 0}, {0, 0, 1}}
+	if _, err := NewChain(sites, neg); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("negative entry err = %v", err)
+	}
+	ragged := [][]float64{{1, 0, 0}, {0, 1}, {0, 0, 1}}
+	if _, err := NewChain(sites, ragged); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("ragged row err = %v", err)
+	}
+}
+
+func TestUniformChain(t *testing.T) {
+	c, err := UniformChain(threeSites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSites() != 3 {
+		t.Errorf("NumSites = %d", c.NumSites())
+	}
+	if _, err := UniformChain(nil); !errors.Is(err, ErrNoSites) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSiteAccess(t *testing.T) {
+	c, _ := UniformChain(threeSites())
+	s, err := c.Site(1)
+	if err != nil || s != geom.V(5, 0) {
+		t.Errorf("Site(1) = %v, %v", s, err)
+	}
+	if _, err := c.Site(3); !errors.Is(err, ErrBadSiteIndex) {
+		t.Errorf("out of range err = %v", err)
+	}
+	if _, err := c.Site(-1); !errors.Is(err, ErrBadSiteIndex) {
+		t.Errorf("negative err = %v", err)
+	}
+	sites := c.Sites()
+	sites[0] = geom.V(99, 99)
+	if got, _ := c.Site(0); got == geom.V(99, 99) {
+		t.Error("Sites returned internal storage")
+	}
+}
+
+func TestStepDistribution(t *testing.T) {
+	// A biased 2-state chain: from state 0, go to 1 with p=0.8.
+	sites := []geom.Vec{geom.V(0, 0), geom.V(1, 0)}
+	c, err := NewChain(sites, [][]float64{{0.2, 0.8}, {0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	count := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		next, err := c.Step(0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next == 1 {
+			count++
+		}
+	}
+	got := float64(count) / trials
+	if math.Abs(got-0.8) > 0.02 {
+		t.Errorf("empirical P(0→1) = %v, want ≈ 0.8", got)
+	}
+	if _, err := c.Step(5, rng); !errors.Is(err, ErrBadSiteIndex) {
+		t.Errorf("bad index err = %v", err)
+	}
+}
+
+func TestStepAbsorbing(t *testing.T) {
+	sites := []geom.Vec{geom.V(0, 0), geom.V(1, 0)}
+	c, err := NewChain(sites, [][]float64{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		next, err := c.Step(0, rng)
+		if err != nil || next != 0 {
+			t.Fatalf("absorbing state left: %d, %v", next, err)
+		}
+	}
+}
+
+func TestWalk(t *testing.T) {
+	c, _ := UniformChain(threeSites())
+	rng := rand.New(rand.NewSource(3))
+	w, err := c.Walk(1, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 11 {
+		t.Fatalf("len = %d, want 11", len(w))
+	}
+	if w[0] != 1 {
+		t.Errorf("walk does not start at start: %d", w[0])
+	}
+	for _, i := range w {
+		if i < 0 || i >= 3 {
+			t.Errorf("site index %d out of range", i)
+		}
+	}
+	if _, err := c.Walk(9, 5, rng); !errors.Is(err, ErrBadSiteIndex) {
+		t.Errorf("bad start err = %v", err)
+	}
+	// Negative steps clamp to zero.
+	w, err = c.Walk(0, -5, rng)
+	if err != nil || len(w) != 1 {
+		t.Errorf("negative steps: %v, %v", w, err)
+	}
+}
+
+func TestStationaryDistributionUniform(t *testing.T) {
+	c, _ := UniformChain(threeSites())
+	pi := c.StationaryDistribution(50)
+	for i, p := range pi {
+		if math.Abs(p-1.0/3) > 1e-9 {
+			t.Errorf("pi[%d] = %v, want 1/3", i, p)
+		}
+	}
+}
+
+func TestStationaryDistributionBiased(t *testing.T) {
+	// Two states with P(0→1)=0.9, P(1→0)=0.1: stationary = (0.1, 0.9).
+	sites := []geom.Vec{geom.V(0, 0), geom.V(1, 0)}
+	c, err := NewChain(sites, [][]float64{{0.1, 0.9}, {0.1, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := c.StationaryDistribution(100)
+	if math.Abs(pi[0]-0.1) > 1e-9 || math.Abs(pi[1]-0.9) > 1e-9 {
+		t.Errorf("pi = %v, want (0.1, 0.9)", pi)
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	c, _ := UniformChain(threeSites())
+	rng := rand.New(rand.NewSource(4))
+	tr, err := c.GenerateTrace(0, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 21 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for k, i := range tr.SiteIndices {
+		want, _ := c.Site(i)
+		if tr.Positions[k] != want {
+			t.Errorf("visit %d: position %v does not match site %d", k, tr.Positions[k], i)
+		}
+	}
+	if _, err := c.GenerateTrace(-1, 5, rng); !errors.Is(err, ErrBadSiteIndex) {
+		t.Errorf("bad start err = %v", err)
+	}
+}
+
+func TestUniqueSites(t *testing.T) {
+	tr := &Trace{SiteIndices: []int{2, 0, 2, 1, 0, 1}}
+	got := tr.UniqueSites()
+	want := []int{2, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPerturbUniformDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := geom.V(3, 4)
+
+	if _, err := PerturbUniformDisk(p, -1, rng); !errors.Is(err, ErrBadErrorRadius) {
+		t.Errorf("negative radius err = %v", err)
+	}
+	got, err := PerturbUniformDisk(p, 0, rng)
+	if err != nil || got != p {
+		t.Errorf("zero radius should be identity: %v, %v", got, err)
+	}
+
+	const radius = 2.0
+	var sumDist float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		q, err := PerturbUniformDisk(p, radius, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := q.Dist(p)
+		if d > radius+1e-12 {
+			t.Fatalf("perturbation %v exceeds radius", d)
+		}
+		sumDist += d
+	}
+	// Uniform disk: E[r] = 2R/3.
+	mean := sumDist / trials
+	if math.Abs(mean-2*radius/3) > 0.02 {
+		t.Errorf("mean displacement = %v, want %v", mean, 2*radius/3)
+	}
+}
+
+func TestPerturbTrace(t *testing.T) {
+	c, _ := UniformChain(threeSites())
+	rng := rand.New(rand.NewSource(6))
+	tr, err := c.GenerateTrace(0, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := PerturbTrace(tr, 1.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Len() != tr.Len() {
+		t.Fatalf("length changed")
+	}
+	moved := false
+	for k := range tr.Positions {
+		if pt.SiteIndices[k] != tr.SiteIndices[k] {
+			t.Error("site indices changed")
+		}
+		d := pt.Positions[k].Dist(tr.Positions[k])
+		if d > 1.5+1e-12 {
+			t.Errorf("visit %d displaced by %v > radius", k, d)
+		}
+		if d > 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("perturbation moved nothing")
+	}
+	// Original is untouched.
+	orig, _ := c.Site(tr.SiteIndices[0])
+	if tr.Positions[0] != orig {
+		t.Error("PerturbTrace mutated the input trace")
+	}
+	if _, err := PerturbTrace(tr, -1, rng); !errors.Is(err, ErrBadErrorRadius) {
+		t.Errorf("negative radius err = %v", err)
+	}
+}
+
+func TestPropPerturbWithinRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(x, y, rRaw float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		p := geom.V(clamp(x), clamp(y))
+		radius := math.Abs(clamp(rRaw))
+		q, err := PerturbUniformDisk(p, radius, rng)
+		if err != nil {
+			return false
+		}
+		return q.Dist(p) <= radius+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

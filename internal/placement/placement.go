@@ -1,0 +1,126 @@
+// Package placement implements static AP deployment optimization — the
+// alternative the paper argues against in §III ("even if the AP deployment
+// is optimized, once being fixed, it still cannot be further adaptive").
+// A greedy forward-selection optimizer places k APs from a candidate grid
+// to minimize a localizability objective, so experiments can pit
+// *optimized static* deployments against the unoptimized-but-nomadic
+// NomLoc configuration.
+package placement
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// Objective scores a candidate deployment (lower is better). Evaluations
+// must be deterministic for reproducible optimization runs.
+type Objective func(aps []geom.Vec) (float64, error)
+
+// Optimizer errors.
+var (
+	ErrNoCandidates = errors.New("placement: no candidate positions")
+	ErrBadCount     = errors.New("placement: invalid AP count")
+	ErrNilObjective = errors.New("placement: nil objective")
+)
+
+// Greedy places k APs by forward selection: at each step it adds the
+// candidate position that minimizes the objective given the APs chosen so
+// far. With n candidates this costs O(k·n) objective evaluations.
+func Greedy(candidates []geom.Vec, k int, objective Objective) ([]geom.Vec, float64, error) {
+	if len(candidates) == 0 {
+		return nil, 0, ErrNoCandidates
+	}
+	if k <= 0 || k > len(candidates) {
+		return nil, 0, fmt.Errorf("%w: %d of %d candidates", ErrBadCount, k, len(candidates))
+	}
+	if objective == nil {
+		return nil, 0, ErrNilObjective
+	}
+
+	chosen := make([]geom.Vec, 0, k)
+	used := make([]bool, len(candidates))
+	best := 0.0
+	for step := 0; step < k; step++ {
+		bestIdx := -1
+		bestScore := 0.0
+		for ci, cand := range candidates {
+			if used[ci] {
+				continue
+			}
+			trial := append(append([]geom.Vec(nil), chosen...), cand)
+			score, err := objective(trial)
+			if err != nil {
+				return nil, 0, fmt.Errorf("objective at step %d candidate %v: %w", step, cand, err)
+			}
+			if bestIdx == -1 || score < bestScore {
+				bestIdx, bestScore = ci, score
+			}
+		}
+		if bestIdx == -1 {
+			return nil, 0, ErrNoCandidates
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, candidates[bestIdx])
+		best = bestScore
+	}
+	return chosen, best, nil
+}
+
+// GridCandidates returns candidate AP positions on a grid over the area,
+// keeping a margin from the boundary (APs mount on or near walls in
+// practice, but a margin avoids degenerate mirror geometry).
+func GridCandidates(area geom.Polygon, spacing, margin float64) ([]geom.Vec, error) {
+	if spacing <= 0 {
+		return nil, fmt.Errorf("%w: spacing %v", ErrBadCount, spacing)
+	}
+	pts := area.SamplePoints(spacing, margin)
+	if len(pts) == 0 {
+		return nil, ErrNoCandidates
+	}
+	return pts, nil
+}
+
+// GeometricDilution is a cheap, simulator-free objective: the mean over
+// probe points of the distance to the nearest AP plus a spread penalty
+// for anchor collinearity. It is a proxy for localizability (close,
+// well-spread anchors partition space finely) used to pre-screen
+// candidates before expensive harness-based evaluation.
+func GeometricDilution(probes []geom.Vec) Objective {
+	return func(aps []geom.Vec) (float64, error) {
+		if len(aps) == 0 {
+			return 0, ErrBadCount
+		}
+		var sum float64
+		for _, p := range probes {
+			nearest := p.Dist(aps[0])
+			for _, a := range aps[1:] {
+				if d := p.Dist(a); d < nearest {
+					nearest = d
+				}
+			}
+			sum += nearest
+		}
+		mean := sum / float64(len(probes))
+
+		// Spread penalty: prefer anchor sets with large pairwise minimum
+		// distance (collinear or clustered anchors localize poorly even
+		// when close to everything).
+		if len(aps) >= 2 {
+			minPair := aps[0].Dist(aps[1])
+			for i := 0; i < len(aps); i++ {
+				for j := i + 1; j < len(aps); j++ {
+					if d := aps[i].Dist(aps[j]); d < minPair {
+						minPair = d
+					}
+				}
+			}
+			if minPair < 1e-9 {
+				return mean * 10, nil // coincident anchors: strongly penalized
+			}
+			mean += 2 / minPair
+		}
+		return mean, nil
+	}
+}

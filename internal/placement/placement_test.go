@@ -1,0 +1,158 @@
+package placement
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func TestGridCandidates(t *testing.T) {
+	area := geom.Rect(0, 0, 10, 10)
+	cands, err := GridCandidates(area, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		if !area.ContainsStrict(c, 0.49) {
+			t.Errorf("candidate %v violates the margin", c)
+		}
+	}
+	if _, err := GridCandidates(area, 0, 0); !errors.Is(err, ErrBadCount) {
+		t.Errorf("zero spacing err = %v", err)
+	}
+	if _, err := GridCandidates(area, 100, 0); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("too coarse err = %v", err)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	cands := []geom.Vec{geom.V(1, 1), geom.V(2, 2)}
+	obj := func([]geom.Vec) (float64, error) { return 0, nil }
+	if _, _, err := Greedy(nil, 1, obj); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("no candidates err = %v", err)
+	}
+	if _, _, err := Greedy(cands, 0, obj); !errors.Is(err, ErrBadCount) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, _, err := Greedy(cands, 3, obj); !errors.Is(err, ErrBadCount) {
+		t.Errorf("k>n err = %v", err)
+	}
+	if _, _, err := Greedy(cands, 1, nil); !errors.Is(err, ErrNilObjective) {
+		t.Errorf("nil objective err = %v", err)
+	}
+}
+
+func TestGreedyPicksObviousOptimum(t *testing.T) {
+	// Objective: distance of the single AP to a target point — greedy
+	// must pick the closest candidate.
+	target := geom.V(5, 5)
+	cands := []geom.Vec{geom.V(0, 0), geom.V(4.8, 5.1), geom.V(9, 9), geom.V(2, 7)}
+	obj := func(aps []geom.Vec) (float64, error) {
+		return aps[len(aps)-1].Dist(target), nil
+	}
+	chosen, score, err := Greedy(cands, 1, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen[0] != geom.V(4.8, 5.1) {
+		t.Errorf("chose %v", chosen)
+	}
+	if math.Abs(score-geom.V(4.8, 5.1).Dist(target)) > 1e-12 {
+		t.Errorf("score = %v", score)
+	}
+}
+
+func TestGreedyNoDuplicates(t *testing.T) {
+	cands := []geom.Vec{geom.V(0, 0), geom.V(1, 0), geom.V(2, 0)}
+	obj := func(aps []geom.Vec) (float64, error) { return 0, nil } // indifferent
+	chosen, _, err := Greedy(cands, 3, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[geom.Vec]bool{}
+	for _, c := range chosen {
+		if seen[c] {
+			t.Fatalf("duplicate position %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestGreedyPropagatesObjectiveError(t *testing.T) {
+	cands := []geom.Vec{geom.V(0, 0)}
+	boom := errors.New("boom")
+	obj := func([]geom.Vec) (float64, error) { return 0, boom }
+	if _, _, err := Greedy(cands, 1, obj); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGeometricDilutionPrefersSpreadCoverage(t *testing.T) {
+	area := geom.Rect(0, 0, 10, 10)
+	probes := area.SamplePoints(1, 0.2)
+	obj := GeometricDilution(probes)
+
+	// Four corners beat four clustered center points.
+	corners := []geom.Vec{geom.V(1, 1), geom.V(9, 1), geom.V(1, 9), geom.V(9, 9)}
+	clustered := []geom.Vec{geom.V(4.9, 5), geom.V(5.1, 5), geom.V(5, 4.9), geom.V(5, 5.1)}
+	sc, err := obj(corners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := obj(clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc >= sk {
+		t.Errorf("corners (%v) should score below the cluster (%v)", sc, sk)
+	}
+	if _, err := obj(nil); !errors.Is(err, ErrBadCount) {
+		t.Errorf("empty AP set err = %v", err)
+	}
+	// Coincident anchors are strongly penalized, not Inf/NaN.
+	dup := []geom.Vec{geom.V(5, 5), geom.V(5, 5)}
+	sd, err := obj(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(sd, 0) || math.IsNaN(sd) {
+		t.Errorf("coincident score = %v", sd)
+	}
+	if sd <= sc {
+		t.Error("coincident anchors should score worse than corners")
+	}
+}
+
+func TestGreedyWithDilutionEndToEnd(t *testing.T) {
+	// Greedy + dilution on a square: 4 APs should spread out (pairwise
+	// min distance comfortably large).
+	area := geom.Rect(0, 0, 12, 8)
+	cands, err := GridCandidates(area, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := area.SamplePoints(1.5, 0.4)
+	chosen, _, err := Greedy(cands, 4, GeometricDilution(probes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 4 {
+		t.Fatalf("chose %d", len(chosen))
+	}
+	minPair := math.Inf(1)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if d := chosen[i].Dist(chosen[j]); d < minPair {
+				minPair = d
+			}
+		}
+	}
+	if minPair < 3 {
+		t.Errorf("optimized APs cluster: min pairwise distance %v", minPair)
+	}
+}

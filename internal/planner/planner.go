@@ -1,0 +1,293 @@
+// Package planner implements nomadic-AP movement strategies — the paper's
+// second future-work direction ("to understand the impact of moving
+// patterns of nomadic APs on the overall performance", §VI). A Strategy
+// decides which waypoint the nomadic AP visits next; the eval harness can
+// then compare patterns under identical measurement noise.
+//
+// Strategies:
+//
+//   - RandomWalk: the paper's baseline — a uniform Markov step.
+//   - RoundRobin: cycle the waypoints in order.
+//   - FarthestFirst: always move to the waypoint farthest from those
+//     already visited (a coverage-greedy sweep).
+//   - GreedyPartition: pick the waypoint whose bisector constraints
+//     against the static APs are expected to cut the current feasible
+//     region most evenly — an information-driven planner that uses the
+//     SP geometry itself.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// Strategy chooses the next waypoint for a nomadic AP.
+type Strategy interface {
+	// Name labels the strategy in reports.
+	Name() string
+	// Next returns the index of the next waypoint to visit. state carries
+	// the visit history and the current belief region; rng gives the
+	// strategy its (seeded) randomness.
+	Next(state *State, rng *rand.Rand) (int, error)
+}
+
+// State is everything a strategy may condition on.
+type State struct {
+	// Sites are the candidate waypoints (index 0 is home).
+	Sites []geom.Vec
+	// Visited flags waypoints already measured this localization session.
+	Visited []bool
+	// Current is the waypoint the AP occupies.
+	Current int
+	// StaticAPs are the fixed AP positions.
+	StaticAPs []geom.Vec
+	// Region is the current feasible region of the object estimate (the
+	// area polygon before any constraints are known).
+	Region geom.Polygon
+}
+
+// Planner errors.
+var (
+	ErrNoSites    = errors.New("planner: no waypoints")
+	ErrBadState   = errors.New("planner: inconsistent state")
+	ErrAllVisited = errors.New("planner: all waypoints visited")
+)
+
+// NewState initializes planning state for a session.
+func NewState(sites, staticAPs []geom.Vec, region geom.Polygon) (*State, error) {
+	if len(sites) == 0 {
+		return nil, ErrNoSites
+	}
+	s := &State{
+		Sites:     append([]geom.Vec(nil), sites...),
+		Visited:   make([]bool, len(sites)),
+		Current:   0,
+		StaticAPs: append([]geom.Vec(nil), staticAPs...),
+		Region:    region,
+	}
+	s.Visited[0] = true // the AP starts at home
+	return s, nil
+}
+
+// Validate checks state consistency.
+func (s *State) Validate() error {
+	if len(s.Sites) == 0 {
+		return ErrNoSites
+	}
+	if len(s.Visited) != len(s.Sites) {
+		return fmt.Errorf("%w: %d visited flags for %d sites", ErrBadState, len(s.Visited), len(s.Sites))
+	}
+	if s.Current < 0 || s.Current >= len(s.Sites) {
+		return fmt.Errorf("%w: current %d", ErrBadState, s.Current)
+	}
+	return nil
+}
+
+// MarkVisited records a move to site i.
+func (s *State) MarkVisited(i int) error {
+	if i < 0 || i >= len(s.Sites) {
+		return fmt.Errorf("%w: site %d", ErrBadState, i)
+	}
+	s.Visited[i] = true
+	s.Current = i
+	return nil
+}
+
+// Unvisited returns the indices of waypoints not yet measured.
+func (s *State) Unvisited() []int {
+	var out []int
+	for i, v := range s.Visited {
+		if !v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ShrinkRegion intersects the belief region with a constraint set,
+// tracking the planner's view of the feasible area. Empty intersections
+// leave the region unchanged (the planner's belief is only a heuristic).
+func (s *State) ShrinkRegion(cons []geom.HalfPlane) {
+	region, ok := geom.FeasibleRegion(s.Region, cons)
+	if ok {
+		s.Region = region
+	}
+}
+
+// randomWalk is the paper's uniform Markov step.
+type randomWalk struct{}
+
+// RandomWalk returns the uniform random-walk strategy.
+func RandomWalk() Strategy { return randomWalk{} }
+
+// Name implements Strategy.
+func (randomWalk) Name() string { return "random-walk" }
+
+// Next implements Strategy.
+func (randomWalk) Next(state *State, rng *rand.Rand) (int, error) {
+	if err := state.Validate(); err != nil {
+		return 0, err
+	}
+	return rng.Intn(len(state.Sites)), nil
+}
+
+// roundRobin cycles the waypoints in index order.
+type roundRobin struct{}
+
+// RoundRobin returns the cyclic strategy.
+func RoundRobin() Strategy { return roundRobin{} }
+
+// Name implements Strategy.
+func (roundRobin) Name() string { return "round-robin" }
+
+// Next implements Strategy.
+func (roundRobin) Next(state *State, _ *rand.Rand) (int, error) {
+	if err := state.Validate(); err != nil {
+		return 0, err
+	}
+	return (state.Current + 1) % len(state.Sites), nil
+}
+
+// farthestFirst greedily maximizes coverage spread.
+type farthestFirst struct{}
+
+// FarthestFirst returns the coverage-greedy strategy: move to the
+// unvisited waypoint maximizing the minimum distance to every visited
+// one; once all are visited, revisit the least-recently-reachable via
+// round-robin.
+func FarthestFirst() Strategy { return farthestFirst{} }
+
+// Name implements Strategy.
+func (farthestFirst) Name() string { return "farthest-first" }
+
+// Next implements Strategy.
+func (farthestFirst) Next(state *State, _ *rand.Rand) (int, error) {
+	if err := state.Validate(); err != nil {
+		return 0, err
+	}
+	unvisited := state.Unvisited()
+	if len(unvisited) == 0 {
+		return (state.Current + 1) % len(state.Sites), nil
+	}
+	best := unvisited[0]
+	bestScore := -1.0
+	for _, cand := range unvisited {
+		minDist := math.Inf(1)
+		for i, visited := range state.Visited {
+			if !visited {
+				continue
+			}
+			if d := state.Sites[cand].Dist(state.Sites[i]); d < minDist {
+				minDist = d
+			}
+		}
+		if minDist > bestScore {
+			bestScore = minDist
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// greedyPartition is the information-driven planner.
+type greedyPartition struct{}
+
+// GreedyPartition returns the strategy that picks the waypoint whose
+// proximity bisectors against the static APs cut the current belief
+// region most evenly. The intuition: a constraint "closer to site L than
+// AP j" removes one side of the bisector; an even cut removes ~half the
+// region regardless of the judgement's direction, maximizing the
+// worst-case information gain.
+func GreedyPartition() Strategy { return greedyPartition{} }
+
+// Name implements Strategy.
+func (greedyPartition) Name() string { return "greedy-partition" }
+
+// Next implements Strategy.
+func (greedyPartition) Next(state *State, _ *rand.Rand) (int, error) {
+	if err := state.Validate(); err != nil {
+		return 0, err
+	}
+	cands := state.Unvisited()
+	if len(cands) == 0 {
+		cands = make([]int, len(state.Sites))
+		for i := range cands {
+			cands[i] = i
+		}
+	}
+	if len(state.StaticAPs) == 0 {
+		// No geometry to reason about: degrade to the first candidate.
+		return cands[0], nil
+	}
+	total := state.Region.Area()
+	if total <= geom.Eps {
+		return cands[0], nil
+	}
+	best := cands[0]
+	bestScore := -1.0
+	for _, cand := range cands {
+		score := PartitionScore(state, cand)
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// reliabilityScale discounts bisectors between near-coincident points: a
+// waypoint right next to an AP produces an even geometric cut, but the
+// corresponding PDP comparison is a near-tie (confidence ≈ ½) and carries
+// little usable information.
+const reliabilityScale = 2.0 // meters
+
+// PartitionScore is GreedyPartition's objective for moving to waypoint
+// cand: the sum over static APs of the smaller side of the bisector cut of
+// the current belief region, discounted by the pair's expected judgement
+// reliability. Exposed so tools and tests can inspect the planner's
+// reasoning.
+func PartitionScore(state *State, cand int) float64 {
+	if cand < 0 || cand >= len(state.Sites) {
+		return 0
+	}
+	total := state.Region.Area()
+	if total <= geom.Eps {
+		return 0
+	}
+	score := 0.0
+	for _, ap := range state.StaticAPs {
+		// The bisector cut if the object were judged closer to the
+		// candidate site than to this static AP.
+		h := geom.HalfPlaneCloserTo(state.Sites[cand], ap)
+		clipped, ok := h.ClipPolygon(state.Region)
+		kept := 0.0
+		if ok {
+			kept = clipped.Area()
+		}
+		// Worst-case information: the smaller side of the cut.
+		cut := math.Min(kept, total-kept)
+		d2 := state.Sites[cand].Dist2(ap)
+		reliability := d2 / (d2 + reliabilityScale*reliabilityScale)
+		score += cut * reliability
+	}
+	return score
+}
+
+// Builtin returns all built-in strategies.
+func Builtin() []Strategy {
+	return []Strategy{RandomWalk(), RoundRobin(), FarthestFirst(), GreedyPartition()}
+}
+
+// ByName looks up a built-in strategy.
+func ByName(name string) (Strategy, error) {
+	for _, s := range Builtin() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("planner: unknown strategy %q", name)
+}

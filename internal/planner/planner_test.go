@@ -1,0 +1,250 @@
+package planner
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func testState(t *testing.T) *State {
+	t.Helper()
+	sites := []geom.Vec{geom.V(1, 1), geom.V(8, 2), geom.V(4, 6), geom.V(9, 7)}
+	statics := []geom.Vec{geom.V(0, 0), geom.V(10, 0), geom.V(10, 8)}
+	s, err := NewState(sites, statics, geom.Rect(0, 0, 10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewState(t *testing.T) {
+	s := testState(t)
+	if !s.Visited[0] {
+		t.Error("home should start visited")
+	}
+	if s.Current != 0 {
+		t.Errorf("current = %d", s.Current)
+	}
+	if _, err := NewState(nil, nil, geom.Polygon{}); !errors.Is(err, ErrNoSites) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStateValidateAndMark(t *testing.T) {
+	s := testState(t)
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid state rejected: %v", err)
+	}
+	if err := s.MarkVisited(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current != 2 || !s.Visited[2] {
+		t.Error("MarkVisited did not update")
+	}
+	if err := s.MarkVisited(9); !errors.Is(err, ErrBadState) {
+		t.Errorf("out of range err = %v", err)
+	}
+	bad := &State{Sites: []geom.Vec{{}}, Visited: []bool{true, false}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadState) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestUnvisited(t *testing.T) {
+	s := testState(t)
+	got := s.Unvisited()
+	if len(got) != 3 {
+		t.Fatalf("unvisited = %v", got)
+	}
+	_ = s.MarkVisited(1)
+	_ = s.MarkVisited(2)
+	_ = s.MarkVisited(3)
+	if got := s.Unvisited(); len(got) != 0 {
+		t.Errorf("unvisited after all = %v", got)
+	}
+}
+
+func TestShrinkRegion(t *testing.T) {
+	s := testState(t)
+	before := s.Region.Area()
+	s.ShrinkRegion([]geom.HalfPlane{{Ax: 1, Ay: 0, B: 5}}) // x ≤ 5
+	if s.Region.Area() >= before {
+		t.Error("region did not shrink")
+	}
+	// Contradictory constraints leave the region unchanged.
+	after := s.Region.Area()
+	s.ShrinkRegion([]geom.HalfPlane{{Ax: 1, Ay: 0, B: -100}})
+	if s.Region.Area() != after {
+		t.Error("empty intersection should not change the region")
+	}
+}
+
+func TestRandomWalkUniform(t *testing.T) {
+	s := testState(t)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(s.Sites))
+	const trials = 8000
+	for i := 0; i < trials; i++ {
+		next, err := RandomWalk().Next(s, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[next]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.2 || frac > 0.3 {
+			t.Errorf("site %d frequency %v, want ≈ 0.25", i, frac)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := testState(t)
+	rng := rand.New(rand.NewSource(2))
+	want := []int{1, 2, 3, 0, 1}
+	for _, w := range want {
+		next, err := RoundRobin().Next(s, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != w {
+			t.Fatalf("round robin gave %d, want %d", next, w)
+		}
+		_ = s.MarkVisited(next)
+	}
+}
+
+func TestFarthestFirst(t *testing.T) {
+	s := testState(t)
+	rng := rand.New(rand.NewSource(3))
+	// From home (1,1) the farthest unvisited is (9,7).
+	next, err := FarthestFirst().Next(s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 3 {
+		t.Errorf("farthest-first chose %d, want 3 (the far corner)", next)
+	}
+	_ = s.MarkVisited(3)
+	// Now the point maximizing min-distance to {(1,1),(9,7)} among
+	// {(8,2),(4,6)}: (8,2) has min dist ~5.1 to (9,7)... compute:
+	// (8,2): min(d to (1,1)=7.07, d to (9,7)=5.10) = 5.10
+	// (4,6): min(d to (1,1)=5.83, d to (9,7)=5.10) = 5.10
+	// Tie (both 5.10); implementation picks the first with strictly
+	// greater score, so index 1.
+	next, err = FarthestFirst().Next(s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 1 && next != 2 {
+		t.Errorf("farthest-first chose %d, want 1 or 2", next)
+	}
+	// All visited: falls back to round-robin.
+	_ = s.MarkVisited(1)
+	_ = s.MarkVisited(2)
+	next, err = FarthestFirst().Next(s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != (s.Current+1)%len(s.Sites) {
+		t.Errorf("exhausted fallback chose %d", next)
+	}
+}
+
+func TestGreedyPartitionIsArgmax(t *testing.T) {
+	// Next must return the unvisited candidate with the maximal
+	// PartitionScore.
+	sites := []geom.Vec{geom.V(0.5, 0.5), geom.V(5, 4), geom.V(0.5, 7.5), geom.V(8, 2)}
+	statics := []geom.Vec{geom.V(0, 0), geom.V(10, 0), geom.V(10, 8), geom.V(0, 8)}
+	s, err := NewState(sites, statics, geom.Rect(0, 0, 10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	next, err := GreedyPartition().Next(s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestScore := PartitionScore(s, next)
+	for _, cand := range s.Unvisited() {
+		if sc := PartitionScore(s, cand); sc > bestScore+1e-12 {
+			t.Errorf("candidate %d scores %v > chosen %d's %v", cand, sc, next, bestScore)
+		}
+	}
+}
+
+func TestPartitionScoreReliabilityDiscount(t *testing.T) {
+	// A waypoint glued to an AP yields a near-tie judgement and must
+	// score below a well-separated waypoint whose bisector still cuts
+	// the region substantially.
+	sites := []geom.Vec{geom.V(9, 7), geom.V(5.1, 4), geom.V(2, 4)}
+	statics := []geom.Vec{geom.V(5, 4)}
+	s, err := NewState(sites, statics, geom.Rect(0, 0, 10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	glued := PartitionScore(s, 1)     // 0.1 m from the AP
+	separated := PartitionScore(s, 2) // 3 m away
+	if glued >= separated {
+		t.Errorf("glued score %v not below separated %v", glued, separated)
+	}
+	// Out-of-range candidate scores zero.
+	if got := PartitionScore(s, 99); got != 0 {
+		t.Errorf("out of range score = %v", got)
+	}
+}
+
+func TestGreedyPartitionDegenerateCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// No static APs: still returns something valid.
+	s, err := NewState([]geom.Vec{geom.V(1, 1), geom.V(2, 2)}, nil, geom.Rect(0, 0, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := GreedyPartition().Next(s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next < 0 || next >= 2 {
+		t.Errorf("next = %d", next)
+	}
+	// All visited: candidates reset to everything.
+	_ = s.MarkVisited(1)
+	if _, err := GreedyPartition().Next(s, rng); err != nil {
+		t.Errorf("exhausted err = %v", err)
+	}
+}
+
+func TestBuiltinAndByName(t *testing.T) {
+	all := Builtin()
+	if len(all) != 4 {
+		t.Fatalf("builtin = %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name()] {
+			t.Errorf("duplicate strategy name %q", s.Name())
+		}
+		seen[s.Name()] = true
+		got, err := ByName(s.Name())
+		if err != nil || got.Name() != s.Name() {
+			t.Errorf("ByName(%q) = %v, %v", s.Name(), got, err)
+		}
+	}
+	if _, err := ByName("teleport"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategiesValidateState(t *testing.T) {
+	bad := &State{Sites: []geom.Vec{{}}, Visited: []bool{true}, Current: 5}
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range []Strategy{RandomWalk(), RoundRobin(), FarthestFirst(), GreedyPartition()} {
+		if _, err := s.Next(bad, rng); !errors.Is(err, ErrBadState) {
+			t.Errorf("%s accepted bad state: %v", s.Name(), err)
+		}
+	}
+}

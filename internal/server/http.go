@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// This file exposes the server's operational state over HTTP for
+// dashboards and health checks — the monitoring surface a production
+// deployment needs next to the agent protocol.
+
+// Status is the server's operational snapshot.
+type Status struct {
+	// ServerID names the instance.
+	ServerID string `json:"serverId"`
+	// APs lists the registered access-point ids.
+	APs []string `json:"aps"`
+	// Objects lists the registered object ids.
+	Objects []string `json:"objects"`
+	// ActiveRounds counts rounds still collecting reports.
+	ActiveRounds int `json:"activeRounds"`
+	// EstimatesProduced counts completed localizations.
+	EstimatesProduced int `json:"estimatesProduced"`
+}
+
+// CurrentStatus captures a snapshot of the server state.
+func (s *Server) CurrentStatus() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		ServerID:          s.cfg.ID,
+		ActiveRounds:      len(s.rounds),
+		EstimatesProduced: len(s.estimates),
+	}
+	for id := range s.aps {
+		st.APs = append(st.APs, id)
+	}
+	for id := range s.objects {
+		st.Objects = append(st.Objects, id)
+	}
+	return st
+}
+
+// StatusHandler returns an http.Handler serving the monitoring API:
+//
+//	GET /healthz   → 200 "ok"
+//	GET /status    → the Status snapshot as JSON
+//	GET /estimates → all produced estimates as a JSON array
+func (s *Server) StatusHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.CurrentStatus())
+	})
+	mux.HandleFunc("/estimates", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.Estimates())
+	})
+	return mux
+}
+
+// writeJSON encodes v with an application/json content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing sensible left to do but note
+		// the failure for the client.
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+func TestHealthz(t *testing.T) {
+	s, _ := startServer(t, Config{Localizer: testLocalizer(t)})
+	srv := httptest.NewServer(s.StatusHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+
+	// Non-GET rejected.
+	resp2, err := http.Post(srv.URL+"/healthz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp2.StatusCode)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	s, addr := startServer(t, Config{ID: "test-server", Localizer: testLocalizer(t)})
+	srv := httptest.NewServer(s.StatusHandler())
+	defer srv.Close()
+
+	// Register one AP and one object over the wire protocol.
+	ap := dialRaw(t, addr)
+	hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)})
+	obj := dialRaw(t, addr)
+	hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj1"})
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ServerID != "test-server" {
+		t.Errorf("server id = %q", st.ServerID)
+	}
+	if len(st.APs) != 1 || st.APs[0] != "ap1" {
+		t.Errorf("aps = %v", st.APs)
+	}
+	if len(st.Objects) != 1 || st.Objects[0] != "obj1" {
+		t.Errorf("objects = %v", st.Objects)
+	}
+	if st.ActiveRounds != 0 || st.EstimatesProduced != 0 {
+		t.Errorf("counters = %+v", st)
+	}
+}
+
+func TestEstimatesEndpoint(t *testing.T) {
+	s, _ := startServer(t, Config{Localizer: testLocalizer(t)})
+	srv := httptest.NewServer(s.StatusHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/estimates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ests []wire.Estimate
+	if err := json.NewDecoder(resp.Body).Decode(&ests); err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 0 {
+		t.Errorf("estimates = %v", ests)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestStatusUnknownPath(t *testing.T) {
+	s, _ := startServer(t, Config{Localizer: testLocalizer(t)})
+	srv := httptest.NewServer(s.StatusHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,469 @@
+// Package server implements the NomLoc localization server: the top tier
+// of the paper's Fig. 2 architecture. It accepts agent connections over
+// the wire protocol, routes the object's probe frames to APs, aggregates
+// CSI reports (one nomadic site per round, accumulated across rounds),
+// runs the SP-based localization pipeline, and broadcasts estimates.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// ID names the server instance in HelloAcks.
+	ID string
+	// Localizer runs the SP-based solves. Required.
+	Localizer *core.Localizer
+	// RoundTimeout finalizes a round even if some APs have not reported.
+	// Defaults to 5 s.
+	RoundTimeout time.Duration
+	// MaxNomadicSites bounds how many distinct nomadic waypoints are kept
+	// per (object, AP): older sites are evicted first. Defaults to 8.
+	MaxNomadicSites int
+	// Logf, when set, receives diagnostic log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server errors.
+var (
+	ErrNoLocalizer = errors.New("server: config needs a localizer")
+	ErrClosed      = errors.New("server: closed")
+)
+
+// Server is the localization server. Create with New, run with Serve, stop
+// with Shutdown.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	ln        net.Listener
+	sessions  map[*session]struct{}
+	aps       map[string]*session
+	objects   map[string]*session
+	rounds    map[uint64]*round
+	history   map[string][]*wire.CSIReport // per object: accumulated reports
+	estimates []wire.Estimate
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// session is one connected agent.
+type session struct {
+	conn net.Conn
+	role wire.Role
+	id   string
+
+	writeMu sync.Mutex
+}
+
+// round tracks one measurement round.
+type round struct {
+	id       uint64
+	objectID string
+	packets  int
+	expected map[string]struct{} // AP ids expected to report
+	reported map[string]struct{}
+	timer    *time.Timer
+	done     bool
+}
+
+// New validates the configuration and builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Localizer == nil {
+		return nil, ErrNoLocalizer
+	}
+	if cfg.ID == "" {
+		cfg.ID = "nomloc-server"
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 5 * time.Second
+	}
+	if cfg.MaxNomadicSites <= 0 {
+		cfg.MaxNomadicSites = 8
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[*session]struct{}),
+		aps:      make(map[string]*session),
+		objects:  make(map[string]*session),
+		rounds:   make(map[uint64]*round),
+		history:  make(map[string][]*wire.CSIReport),
+	}, nil
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		sess := &session{conn: conn}
+		s.mu.Lock()
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(sess)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves. The
+// bound address is available via Addr once this returns from listening;
+// for a race-free startup prefer creating the listener yourself.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown closes the listener and all connections and waits for the
+// handler goroutines to exit. It is idempotent.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for sess := range s.sessions {
+		_ = sess.conn.Close()
+	}
+	for _, r := range s.rounds {
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Estimates returns a copy of all estimates produced so far.
+func (s *Server) Estimates() []wire.Estimate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]wire.Estimate, len(s.estimates))
+	copy(out, s.estimates)
+	return out
+}
+
+// send writes a message to a session, serializing concurrent writers.
+func (sess *session) send(msg wire.Message) error {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	return wire.WriteMessage(sess.conn, msg)
+}
+
+// handle runs one connection's read loop.
+func (s *Server) handle(sess *session) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		if sess.role == wire.RoleAP && s.aps[sess.id] == sess {
+			delete(s.aps, sess.id)
+		}
+		if sess.role == wire.RoleObject && s.objects[sess.id] == sess {
+			delete(s.objects, sess.id)
+		}
+		s.mu.Unlock()
+		_ = sess.conn.Close()
+	}()
+
+	for {
+		msg, err := wire.ReadMessage(sess.conn)
+		if err != nil {
+			return // disconnect (EOF or broken frame)
+		}
+		if err := s.dispatch(sess, msg); err != nil {
+			s.cfg.Logf("server: %s/%s: %v", sess.role, sess.id, err)
+			_ = sess.send(&wire.ErrorMsg{Detail: err.Error()})
+		}
+	}
+}
+
+// dispatch routes one message.
+func (s *Server) dispatch(sess *session, msg wire.Message) error {
+	switch m := msg.(type) {
+	case *wire.Hello:
+		return s.onHello(sess, m)
+	case *wire.RoundStart:
+		return s.onRoundStart(sess, m)
+	case *wire.ProbeFrame:
+		return s.onProbeFrame(m)
+	case *wire.PositionUpdate:
+		return s.onPositionUpdate(m)
+	case *wire.CSIReport:
+		return s.onCSIReport(m)
+	default:
+		return fmt.Errorf("unexpected message %q", msg.Type())
+	}
+}
+
+func (s *Server) onHello(sess *session, m *wire.Hello) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.ID == "" {
+		_ = sess.send(&wire.HelloAck{OK: false, ServerID: s.cfg.ID, Detail: "empty id"})
+		return errors.New("hello with empty id")
+	}
+	switch m.Role {
+	case wire.RoleAP:
+		if other, dup := s.aps[m.ID]; dup && other != sess {
+			_ = sess.send(&wire.HelloAck{OK: false, ServerID: s.cfg.ID, Detail: "duplicate AP id"})
+			return fmt.Errorf("duplicate AP id %q", m.ID)
+		}
+		s.aps[m.ID] = sess
+	case wire.RoleObject:
+		s.objects[m.ID] = sess
+	case wire.RoleViewer:
+		// Viewers only receive estimates.
+	default:
+		_ = sess.send(&wire.HelloAck{OK: false, ServerID: s.cfg.ID, Detail: "unknown role"})
+		return fmt.Errorf("unknown role %q", m.Role)
+	}
+	sess.role = m.Role
+	sess.id = m.ID
+	s.cfg.Logf("server: registered %s %q", m.Role, m.ID)
+	return sess.send(&wire.HelloAck{OK: true, ServerID: s.cfg.ID})
+}
+
+func (s *Server) onRoundStart(sess *session, m *wire.RoundStart) error {
+	if sess.role != wire.RoleObject {
+		return errors.New("round start from non-object")
+	}
+	s.mu.Lock()
+	if _, dup := s.rounds[m.RoundID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("duplicate round %d", m.RoundID)
+	}
+	r := &round{
+		id:       m.RoundID,
+		objectID: m.ObjectID,
+		packets:  m.Packets,
+		expected: make(map[string]struct{}, len(s.aps)),
+		reported: make(map[string]struct{}),
+	}
+	var apSessions []*session
+	for id, ap := range s.aps {
+		r.expected[id] = struct{}{}
+		apSessions = append(apSessions, ap)
+	}
+	s.rounds[m.RoundID] = r
+	r.timer = time.AfterFunc(s.cfg.RoundTimeout, func() { s.finalizeRound(m.RoundID, true) })
+	s.mu.Unlock()
+
+	if len(apSessions) == 0 {
+		return errors.New("no APs registered")
+	}
+	for _, ap := range apSessions {
+		if err := ap.send(m); err != nil {
+			s.cfg.Logf("server: forward round start to %s: %v", ap.id, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) onProbeFrame(m *wire.ProbeFrame) error {
+	s.mu.Lock()
+	ap, ok := s.aps[m.To]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("probe frame for unknown AP %q", m.To)
+	}
+	return ap.send(m)
+}
+
+func (s *Server) onPositionUpdate(m *wire.PositionUpdate) error {
+	// Broadcast to objects (their physics layer tracks AP motion) and log.
+	s.mu.Lock()
+	objs := make([]*session, 0, len(s.objects))
+	for _, o := range s.objects {
+		objs = append(objs, o)
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("server: %s moved to site %d at %v", m.APID, m.SiteIndex, m.Pos)
+	for _, o := range objs {
+		if err := o.send(m); err != nil {
+			s.cfg.Logf("server: forward position update: %v", err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) onCSIReport(m *wire.CSIReport) error {
+	s.mu.Lock()
+	r, ok := s.rounds[m.RoundID]
+	if !ok || r.done {
+		s.mu.Unlock()
+		return fmt.Errorf("report for unknown or finished round %d", m.RoundID)
+	}
+	objectID := r.objectID
+	s.storeReportLocked(objectID, m)
+	r.reported[m.APID] = struct{}{}
+	complete := len(r.reported) >= len(r.expected)
+	s.mu.Unlock()
+
+	if complete {
+		s.finalizeRound(m.RoundID, false)
+	}
+	return nil
+}
+
+// storeReportLocked appends a report to the object's history, keeping the
+// most recent report per static AP and per (nomadic AP, site), bounded by
+// MaxNomadicSites per nomadic AP.
+func (s *Server) storeReportLocked(objectID string, m *wire.CSIReport) {
+	hist := s.history[objectID]
+	// Drop a previous report with the same identity (static: APID; nomadic:
+	// APID+site).
+	kept := hist[:0]
+	perAP := 0
+	for _, old := range hist {
+		same := old.APID == m.APID && (!m.Nomadic || old.SiteIndex == m.SiteIndex)
+		if same {
+			continue
+		}
+		kept = append(kept, old)
+		if old.APID == m.APID {
+			perAP++
+		}
+	}
+	// Evict the oldest site of this nomadic AP when over budget.
+	if m.Nomadic && perAP >= s.cfg.MaxNomadicSites {
+		for i, old := range kept {
+			if old.APID == m.APID {
+				kept = append(kept[:i], kept[i+1:]...)
+				break
+			}
+		}
+	}
+	s.history[objectID] = append(kept, m)
+}
+
+// finalizeRound runs localization for a round using the object's full
+// report history and broadcasts the estimate.
+func (s *Server) finalizeRound(roundID uint64, timeout bool) {
+	s.mu.Lock()
+	r, ok := s.rounds[roundID]
+	if !ok || r.done {
+		s.mu.Unlock()
+		return
+	}
+	r.done = true
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	delete(s.rounds, roundID)
+	reports := append([]*wire.CSIReport(nil), s.history[r.objectID]...)
+	obj := s.objects[r.objectID]
+	closed := s.closed
+	s.mu.Unlock()
+
+	if closed {
+		return
+	}
+	if timeout {
+		s.cfg.Logf("server: round %d finalized by timeout (%d/%d reports)",
+			roundID, len(r.reported), len(r.expected))
+	}
+
+	est, err := s.localize(reports)
+	if err != nil {
+		s.cfg.Logf("server: round %d: localize: %v", roundID, err)
+		if obj != nil {
+			_ = obj.send(&wire.ErrorMsg{Detail: fmt.Sprintf("round %d: %v", roundID, err)})
+		}
+		return
+	}
+	out := wire.Estimate{
+		RoundID:    roundID,
+		ObjectID:   r.objectID,
+		Pos:        est.Position,
+		RelaxCost:  est.RelaxCost,
+		NumAnchors: len(reports),
+	}
+
+	s.mu.Lock()
+	s.estimates = append(s.estimates, out)
+	targets := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		if sess.role == wire.RoleObject || sess.role == wire.RoleViewer {
+			targets = append(targets, sess)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, t := range targets {
+		if err := t.send(&out); err != nil {
+			s.cfg.Logf("server: send estimate: %v", err)
+		}
+	}
+}
+
+// localize turns the report set into anchors and runs the SP pipeline.
+func (s *Server) localize(reports []*wire.CSIReport) (*core.Estimate, error) {
+	anchors := make([]core.Anchor, 0, len(reports))
+	for _, rep := range reports {
+		est, err := core.EstimatePDP(&rep.Batch)
+		if err != nil {
+			return nil, fmt.Errorf("pdp for %s#%d: %w", rep.APID, rep.SiteIndex, err)
+		}
+		kind := core.StaticAP
+		if rep.Nomadic {
+			kind = core.NomadicSite
+		}
+		anchors = append(anchors, core.Anchor{
+			APID:      rep.APID,
+			SiteIndex: rep.SiteIndex,
+			Kind:      kind,
+			Pos:       rep.Pos,
+			PDP:       est.Power,
+		})
+	}
+	return s.cfg.Localizer.Locate(anchors)
+}

@@ -1,0 +1,446 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+func testLocalizer(t *testing.T) *core.Localizer {
+	t.Helper()
+	l, err := core.New(core.Config{Area: geom.Rect(0, 0, 12, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// startServer runs a server on an ephemeral port and returns it with its
+// address; it is shut down with the test.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Shutdown()
+		// ErrClosed happens when Shutdown wins the race with Serve's
+		// startup — a clean outcome.
+		if err := <-serveDone; err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+// dialRaw opens a raw protocol connection.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+// hello performs a handshake over conn and returns the ack.
+func hello(t *testing.T, conn net.Conn, h *wire.Hello) *wire.HelloAck {
+	t.Helper()
+	if err := wire.WriteMessage(conn, h); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := msg.(*wire.HelloAck)
+	if !ok {
+		t.Fatalf("got %q, want hello_ack", msg.Type())
+	}
+	return ack
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoLocalizer) {
+		t.Errorf("err = %v", err)
+	}
+	s, err := New(Config{Localizer: testLocalizer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.ID == "" || s.cfg.RoundTimeout <= 0 || s.cfg.MaxNomadicSites <= 0 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestHelloRegistration(t *testing.T) {
+	_, addr := startServer(t, Config{Localizer: testLocalizer(t)})
+
+	ap := dialRaw(t, addr)
+	if ack := hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)}); !ack.OK {
+		t.Fatalf("AP rejected: %s", ack.Detail)
+	}
+
+	// Duplicate AP id on a second connection is rejected.
+	dup := dialRaw(t, addr)
+	if ack := hello(t, dup, &wire.Hello{Role: wire.RoleAP, ID: "ap1"}); ack.OK {
+		t.Error("duplicate AP id accepted")
+	}
+
+	// Empty id rejected.
+	anon := dialRaw(t, addr)
+	if ack := hello(t, anon, &wire.Hello{Role: wire.RoleAP}); ack.OK {
+		t.Error("empty id accepted")
+	}
+
+	// Unknown role rejected.
+	weird := dialRaw(t, addr)
+	if ack := hello(t, weird, &wire.Hello{Role: "toaster", ID: "x"}); ack.OK {
+		t.Error("unknown role accepted")
+	}
+
+	obj := dialRaw(t, addr)
+	if ack := hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj"}); !ack.OK {
+		t.Errorf("object rejected: %s", ack.Detail)
+	}
+}
+
+func TestRoundStartRequiresObjectAndAPs(t *testing.T) {
+	_, addr := startServer(t, Config{Localizer: testLocalizer(t)})
+
+	// Round start from an AP is refused.
+	ap := dialRaw(t, addr)
+	hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1"})
+	if err := wire.WriteMessage(ap, &wire.RoundStart{RoundID: 1, ObjectID: "x", Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type() != wire.TypeError {
+		t.Errorf("got %q, want error", msg.Type())
+	}
+
+	// Round start with no APs registered: the object gets an error.
+	srvOnly, addr2 := startServer(t, Config{Localizer: testLocalizer(t)})
+	_ = srvOnly
+	obj := dialRaw(t, addr2)
+	hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj"})
+	if err := wire.WriteMessage(obj, &wire.RoundStart{RoundID: 1, ObjectID: "obj", Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = wire.ReadMessage(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type() != wire.TypeError {
+		t.Errorf("got %q, want error", msg.Type())
+	}
+}
+
+func TestProbeFrameRouting(t *testing.T) {
+	_, addr := startServer(t, Config{Localizer: testLocalizer(t)})
+
+	ap := dialRaw(t, addr)
+	hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)})
+	obj := dialRaw(t, addr)
+	hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj"})
+
+	frame := &wire.ProbeFrame{RoundID: 1, To: "ap1", Seq: 7, CSI: []complex128{1, 2}}
+	if err := wire.WriteMessage(obj, frame); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(*wire.ProbeFrame)
+	if !ok {
+		t.Fatalf("AP got %q", msg.Type())
+	}
+	if got.Seq != 7 || got.To != "ap1" {
+		t.Errorf("frame = %+v", got)
+	}
+
+	// Frame to an unknown AP returns an error to the object.
+	if err := wire.WriteMessage(obj, &wire.ProbeFrame{To: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = wire.ReadMessage(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type() != wire.TypeError {
+		t.Errorf("got %q, want error", msg.Type())
+	}
+}
+
+func TestDuplicateRoundRejected(t *testing.T) {
+	_, addr := startServer(t, Config{Localizer: testLocalizer(t), RoundTimeout: time.Minute})
+	ap := dialRaw(t, addr)
+	hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1"})
+	obj := dialRaw(t, addr)
+	hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj"})
+
+	if err := wire.WriteMessage(obj, &wire.RoundStart{RoundID: 5, ObjectID: "obj", Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteMessage(obj, &wire.RoundStart{RoundID: 5, ObjectID: "obj", Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type() != wire.TypeError {
+		t.Errorf("got %q, want error for duplicate round", msg.Type())
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	s, _ := startServer(t, Config{Localizer: testLocalizer(t)})
+	s.Shutdown()
+	s.Shutdown() // second call must not hang or panic
+}
+
+func TestServeAfterShutdown(t *testing.T) {
+	s, err := New(Config{Localizer: testLocalizer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := s.Serve(ln); !errors.Is(err, ErrClosed) {
+		t.Errorf("Serve after shutdown = %v", err)
+	}
+}
+
+func TestEstimatesInitiallyEmpty(t *testing.T) {
+	s, _ := startServer(t, Config{Localizer: testLocalizer(t)})
+	if got := s.Estimates(); len(got) != 0 {
+		t.Errorf("estimates = %v", got)
+	}
+}
+
+func TestRoundTimeoutFinalizesWithPartialReports(t *testing.T) {
+	// Two APs registered, only one reports: the round must finalize by
+	// timeout and still produce an estimate from the partial data.
+	_, addr := startServer(t, Config{
+		Localizer:    testLocalizer(t),
+		RoundTimeout: 150 * time.Millisecond,
+	})
+
+	ap1 := dialRaw(t, addr)
+	hello(t, ap1, &wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)})
+	ap2 := dialRaw(t, addr)
+	hello(t, ap2, &wire.Hello{Role: wire.RoleAP, ID: "ap2", Pos: geom.V(11, 7)})
+	obj := dialRaw(t, addr)
+	hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj"})
+
+	if err := wire.WriteMessage(obj, &wire.RoundStart{RoundID: 1, ObjectID: "obj", Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the RoundStart forwarded to both APs.
+	for _, ap := range []net.Conn{ap1, ap2} {
+		msg, err := wire.ReadMessage(ap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Type() != wire.TypeRoundStart {
+			t.Fatalf("AP got %q", msg.Type())
+		}
+	}
+	// Only ap1 reports; make the CSI a valid single-tap channel.
+	csiVec := make([]complex128, 8)
+	for k := range csiVec {
+		csiVec[k] = complex(1, 0)
+	}
+	rep := &wire.CSIReport{
+		RoundID: 1, APID: "ap1", Pos: geom.V(1, 1),
+		Batch: csiBatch("ap1", csiVec),
+	}
+	if err := wire.WriteMessage(ap1, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// The object should still receive an estimate (via timeout). The
+	// localizer needs ≥ 2 anchors though — with a single report it will
+	// error; accept either an Estimate or an ErrorMsg, but the round MUST
+	// resolve within the deadline.
+	deadline := time.After(3 * time.Second)
+	type result struct {
+		msg wire.Message
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		m, err := wire.ReadMessage(obj)
+		ch <- result{m, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("read: %v", r.err)
+		}
+		switch r.msg.Type() {
+		case wire.TypeEstimate, wire.TypeError:
+			// Both are acceptable resolutions of a partial round.
+		default:
+			t.Errorf("got %q", r.msg.Type())
+		}
+	case <-deadline:
+		t.Fatal("round never finalized after timeout")
+	}
+}
+
+// csiBatch builds a small valid batch for protocol tests.
+func csiBatch(apID string, vec []complex128) csi.Batch {
+	return csi.Batch{
+		APID: apID,
+		Samples: []csi.Sample{
+			{APID: apID, Seq: 0, CSI: vec},
+			{APID: apID, Seq: 1, CSI: vec},
+		},
+	}
+}
+
+func TestReportForUnknownRoundRejected(t *testing.T) {
+	_, addr := startServer(t, Config{Localizer: testLocalizer(t)})
+	ap := dialRaw(t, addr)
+	hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1"})
+	rep := &wire.CSIReport{RoundID: 42, APID: "ap1", Batch: csiBatch("ap1", []complex128{1, 2})}
+	if err := wire.WriteMessage(ap, rep); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type() != wire.TypeError {
+		t.Errorf("got %q, want error", msg.Type())
+	}
+}
+
+func TestListenAndServeAndAddr(t *testing.T) {
+	s, err := New(Config{Localizer: testLocalizer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != nil {
+		t.Error("Addr before Serve should be nil")
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe("127.0.0.1:0") }()
+	// Wait for the listener to come up.
+	deadline := time.Now().Add(3 * time.Second)
+	for s.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("listener never came up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	addr := s.Addr().String()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	_ = conn.Close()
+	s.Shutdown()
+	if err := <-done; err != nil && !errors.Is(err, ErrClosed) {
+		t.Errorf("ListenAndServe returned %v", err)
+	}
+	// Bad address errors immediately.
+	s2, err := New(Config{Localizer: testLocalizer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.ListenAndServe("256.1.1.1:bogus"); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestPositionUpdateBroadcastToObjects(t *testing.T) {
+	_, addr := startServer(t, Config{Localizer: testLocalizer(t)})
+	ap := dialRaw(t, addr)
+	hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1"})
+	obj := dialRaw(t, addr)
+	hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj"})
+
+	update := &wire.PositionUpdate{APID: "ap1", SiteIndex: 2, Pos: geom.V(4, 4)}
+	if err := wire.WriteMessage(ap, update); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(*wire.PositionUpdate)
+	if !ok {
+		t.Fatalf("object got %q", msg.Type())
+	}
+	if got.APID != "ap1" || got.SiteIndex != 2 || got.Pos != geom.V(4, 4) {
+		t.Errorf("update = %+v", got)
+	}
+}
+
+func TestStoreReportDedupAndEviction(t *testing.T) {
+	s, err := New(Config{Localizer: testLocalizer(t), MaxNomadicSites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(apID string, site int, nomadic bool) *wire.CSIReport {
+		return &wire.CSIReport{APID: apID, SiteIndex: site, Nomadic: nomadic}
+	}
+	s.mu.Lock()
+	// Static report replaced by a fresher one for the same AP.
+	s.storeReportLocked("obj", mk("ap2", 0, false))
+	s.storeReportLocked("obj", mk("ap2", 0, false))
+	if n := len(s.history["obj"]); n != 1 {
+		t.Errorf("static dedup: history = %d", n)
+	}
+	// Nomadic: distinct sites accumulate, same site replaces.
+	s.storeReportLocked("obj", mk("ap1", 1, true))
+	s.storeReportLocked("obj", mk("ap1", 2, true))
+	s.storeReportLocked("obj", mk("ap1", 2, true))
+	if n := len(s.history["obj"]); n != 3 {
+		t.Errorf("nomadic accumulate: history = %d, want 3", n)
+	}
+	// Third distinct site exceeds MaxNomadicSites=2: oldest evicted.
+	s.storeReportLocked("obj", mk("ap1", 3, true))
+	count := 0
+	site1 := false
+	for _, r := range s.history["obj"] {
+		if r.APID == "ap1" {
+			count++
+			if r.SiteIndex == 1 {
+				site1 = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	if count != 2 {
+		t.Errorf("nomadic reports after eviction = %d, want 2", count)
+	}
+	if site1 {
+		t.Error("oldest site survived eviction")
+	}
+}

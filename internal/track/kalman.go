@@ -1,0 +1,196 @@
+// Package track smooths sequences of NomLoc position estimates into
+// trajectories: a constant-velocity Kalman filter over 2-D positions.
+// Single-round SP estimates are noisy (the feasible-region center jumps as
+// judgements flip); for a moving object — the security-patrol and
+// shopper-analytics uses the paper motivates — filtering the estimate
+// stream recovers a usable track.
+package track
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// Config parameterizes the filter.
+type Config struct {
+	// ProcessNoise is the white-acceleration spectral density q
+	// (m²/s³): how aggressively the model lets velocity wander. Typical
+	// pedestrian values: 0.5–2.
+	ProcessNoise float64
+	// MeasurementStd is the per-axis standard deviation of the position
+	// estimates fed in, in meters (the localization error scale).
+	MeasurementStd float64
+	// InitialPosStd is the prior position uncertainty at the first
+	// observation. Defaults to 3× MeasurementStd.
+	InitialPosStd float64
+	// InitialVelStd is the prior speed uncertainty (m/s). Defaults to 2.
+	InitialVelStd float64
+}
+
+// Filter errors.
+var (
+	ErrBadConfig   = errors.New("track: invalid config")
+	ErrNotStarted  = errors.New("track: filter has no state yet")
+	ErrBadInterval = errors.New("track: non-positive time step")
+)
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ProcessNoise <= 0 || math.IsNaN(c.ProcessNoise) {
+		return fmt.Errorf("%w: process noise %v", ErrBadConfig, c.ProcessNoise)
+	}
+	if c.MeasurementStd <= 0 || math.IsNaN(c.MeasurementStd) {
+		return fmt.Errorf("%w: measurement std %v", ErrBadConfig, c.MeasurementStd)
+	}
+	return nil
+}
+
+// Filter is a constant-velocity Kalman filter with state
+// [x, y, vx, vy]. The x and y axes are independent under this model, so
+// the filter runs two decoupled 2-state filters sharing parameters —
+// numerically simpler and exactly equivalent.
+type Filter struct {
+	cfg     Config
+	started bool
+	x       axisState
+	y       axisState
+}
+
+// axisState is one axis's [position, velocity] state and covariance.
+type axisState struct {
+	pos, vel            float64
+	pPos, pPosVel, pVel float64 // symmetric 2×2 covariance entries
+}
+
+// New builds a filter.
+func New(cfg Config) (*Filter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialPosStd <= 0 {
+		cfg.InitialPosStd = 3 * cfg.MeasurementStd
+	}
+	if cfg.InitialVelStd <= 0 {
+		cfg.InitialVelStd = 2
+	}
+	return &Filter{cfg: cfg}, nil
+}
+
+// Started reports whether the filter has been initialized by an
+// observation.
+func (f *Filter) Started() bool { return f.started }
+
+// Position returns the current state estimate.
+func (f *Filter) Position() (geom.Vec, error) {
+	if !f.started {
+		return geom.Vec{}, ErrNotStarted
+	}
+	return geom.V(f.x.pos, f.y.pos), nil
+}
+
+// Velocity returns the current velocity estimate in m/s.
+func (f *Filter) Velocity() (geom.Vec, error) {
+	if !f.started {
+		return geom.Vec{}, ErrNotStarted
+	}
+	return geom.V(f.x.vel, f.y.vel), nil
+}
+
+// Uncertainty returns the per-axis position standard deviations.
+func (f *Filter) Uncertainty() (geom.Vec, error) {
+	if !f.started {
+		return geom.Vec{}, ErrNotStarted
+	}
+	return geom.V(math.Sqrt(f.x.pPos), math.Sqrt(f.y.pPos)), nil
+}
+
+// Observe feeds one position estimate taken dt seconds after the previous
+// one and returns the filtered position. The first observation initializes
+// the state (dt is ignored then).
+func (f *Filter) Observe(z geom.Vec, dt float64) (geom.Vec, error) {
+	if !f.started {
+		p0 := f.cfg.InitialPosStd * f.cfg.InitialPosStd
+		v0 := f.cfg.InitialVelStd * f.cfg.InitialVelStd
+		f.x = axisState{pos: z.X, pPos: p0, pVel: v0}
+		f.y = axisState{pos: z.Y, pPos: p0, pVel: v0}
+		f.started = true
+		return z, nil
+	}
+	if dt <= 0 || math.IsNaN(dt) {
+		return geom.Vec{}, fmt.Errorf("%w: %v", ErrBadInterval, dt)
+	}
+	r := f.cfg.MeasurementStd * f.cfg.MeasurementStd
+	f.x.step(z.X, dt, f.cfg.ProcessNoise, r)
+	f.y.step(z.Y, dt, f.cfg.ProcessNoise, r)
+	return geom.V(f.x.pos, f.y.pos), nil
+}
+
+// Predict advances the state dt seconds without an observation (a missed
+// round) and returns the predicted position.
+func (f *Filter) Predict(dt float64) (geom.Vec, error) {
+	if !f.started {
+		return geom.Vec{}, ErrNotStarted
+	}
+	if dt <= 0 || math.IsNaN(dt) {
+		return geom.Vec{}, fmt.Errorf("%w: %v", ErrBadInterval, dt)
+	}
+	f.x.predict(dt, f.cfg.ProcessNoise)
+	f.y.predict(dt, f.cfg.ProcessNoise)
+	return geom.V(f.x.pos, f.y.pos), nil
+}
+
+// predict runs the time update: x ← F x, P ← F P Fᵀ + Q with
+// F = [1 dt; 0 1] and the white-acceleration Q.
+func (a *axisState) predict(dt, q float64) {
+	a.pos += a.vel * dt
+
+	// P ← F P Fᵀ.
+	pPos := a.pPos + dt*(2*a.pPosVel+dt*a.pVel)
+	pPosVel := a.pPosVel + dt*a.pVel
+	a.pPos, a.pPosVel = pPos, pPosVel
+
+	// Q for white acceleration with spectral density q.
+	dt2 := dt * dt
+	a.pPos += q * dt2 * dt / 3
+	a.pPosVel += q * dt2 / 2
+	a.pVel += q * dt
+}
+
+// step runs predict + the measurement update for observation z with
+// variance r (H = [1 0]).
+func (a *axisState) step(z, dt, q, r float64) {
+	a.predict(dt, q)
+	s := a.pPos + r
+	kPos := a.pPos / s
+	kVel := a.pPosVel / s
+	innov := z - a.pos
+	a.pos += kPos * innov
+	a.vel += kVel * innov
+	// Joseph-free covariance update (standard form; fine for these
+	// well-conditioned 2×2 systems).
+	pPos := (1 - kPos) * a.pPos
+	pPosVel := (1 - kPos) * a.pPosVel
+	pVel := a.pVel - kVel*a.pPosVel
+	a.pPos, a.pPosVel, a.pVel = pPos, pPosVel, pVel
+}
+
+// Smooth runs the filter over a whole estimate sequence sampled at a
+// fixed interval and returns the filtered trajectory (same length).
+func Smooth(cfg Config, estimates []geom.Vec, dt float64) ([]geom.Vec, error) {
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geom.Vec, 0, len(estimates))
+	for _, z := range estimates {
+		p, err := f.Observe(z, dt) // the first observation ignores dt
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package track
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+func defaultConfig() Config {
+	return Config{ProcessNoise: 1, MeasurementStd: 1.5}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero config err = %v", err)
+	}
+	if _, err := New(Config{ProcessNoise: -1, MeasurementStd: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative q err = %v", err)
+	}
+	if _, err := New(Config{ProcessNoise: 1, MeasurementStd: math.NaN()}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NaN std err = %v", err)
+	}
+	f, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Started() {
+		t.Error("fresh filter claims started")
+	}
+}
+
+func TestAccessorsBeforeStart(t *testing.T) {
+	f, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Position(); !errors.Is(err, ErrNotStarted) {
+		t.Errorf("Position err = %v", err)
+	}
+	if _, err := f.Velocity(); !errors.Is(err, ErrNotStarted) {
+		t.Errorf("Velocity err = %v", err)
+	}
+	if _, err := f.Uncertainty(); !errors.Is(err, ErrNotStarted) {
+		t.Errorf("Uncertainty err = %v", err)
+	}
+	if _, err := f.Predict(1); !errors.Is(err, ErrNotStarted) {
+		t.Errorf("Predict err = %v", err)
+	}
+}
+
+func TestFirstObservationInitializes(t *testing.T) {
+	f, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := geom.V(3, 4)
+	got, err := f.Observe(z, 0) // dt ignored on first call
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != z {
+		t.Errorf("first estimate = %v, want the observation", got)
+	}
+	if !f.Started() {
+		t.Error("not started after first observation")
+	}
+	pos, err := f.Position()
+	if err != nil || pos != z {
+		t.Errorf("Position = %v, %v", pos, err)
+	}
+	vel, err := f.Velocity()
+	if err != nil || vel != (geom.Vec{}) {
+		t.Errorf("initial velocity = %v, want zero", vel)
+	}
+}
+
+func TestObserveRejectsBadInterval(t *testing.T) {
+	f, _ := New(defaultConfig())
+	if _, err := f.Observe(geom.V(0, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Observe(geom.V(1, 1), 0); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("dt 0 err = %v", err)
+	}
+	if _, err := f.Observe(geom.V(1, 1), -1); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("dt -1 err = %v", err)
+	}
+	if _, err := f.Predict(0); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("predict dt 0 err = %v", err)
+	}
+}
+
+func TestStationaryTargetConverges(t *testing.T) {
+	// Noisy observations of a fixed point: the filtered estimate must end
+	// closer to the truth than the raw observation average error, and the
+	// uncertainty must shrink.
+	f, err := New(Config{ProcessNoise: 0.01, MeasurementStd: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := geom.V(5, 7)
+	rng := rand.New(rand.NewSource(1))
+	var last geom.Vec
+	for i := 0; i < 200; i++ {
+		z := truth.Add(geom.V(rng.NormFloat64()*1.5, rng.NormFloat64()*1.5))
+		last, err = f.Observe(z, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := last.Dist(truth); d > 0.8 {
+		t.Errorf("filtered error %v m after 200 obs of a fixed point", d)
+	}
+	u, err := f.Uncertainty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.X > 1.5 || u.Y > 1.5 {
+		t.Errorf("uncertainty %v did not shrink below measurement noise", u)
+	}
+	v, err := f.Velocity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() > 0.3 {
+		t.Errorf("stationary target has velocity %v", v)
+	}
+}
+
+func TestConstantVelocityTracked(t *testing.T) {
+	// A target moving at (1, 0.5) m/s with noisy observations: the
+	// velocity estimate must converge near the truth.
+	// Low process noise: the target really is constant-velocity, so the
+	// filter may trust its model and average the noise down.
+	f, err := New(Config{ProcessNoise: 0.05, MeasurementStd: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	vel := geom.V(1, 0.5)
+	pos := geom.V(0, 0)
+	for i := 0; i < 300; i++ {
+		pos = pos.Add(vel.Scale(0.5))
+		z := pos.Add(geom.V(rng.NormFloat64(), rng.NormFloat64()))
+		if _, err := f.Observe(z, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := f.Velocity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Dist(vel) > 0.25 {
+		t.Errorf("velocity estimate %v, want ≈ %v", v, vel)
+	}
+	p, err := f.Position()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dist(pos) > 1.5 {
+		t.Errorf("position lag %v m", p.Dist(pos))
+	}
+}
+
+func TestPredictExtrapolates(t *testing.T) {
+	f, err := New(Config{ProcessNoise: 0.5, MeasurementStd: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a clean constant-velocity track so velocity is learned.
+	for i := 0; i <= 20; i++ {
+		z := geom.V(float64(i), 0)
+		if _, err := f.Observe(z, 1); err != nil && i > 0 {
+			t.Fatal(err)
+		}
+	}
+	before, err := f.Uncertainty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Predict(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should extrapolate to ≈ (22, 0).
+	if math.Abs(got.X-22) > 1.0 || math.Abs(got.Y) > 0.5 {
+		t.Errorf("prediction %v, want ≈ (22, 0)", got)
+	}
+	after, err := f.Uncertainty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.X <= before.X {
+		t.Error("prediction without observation should grow uncertainty")
+	}
+}
+
+func TestSmoothReducesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := make([]geom.Vec, 100)
+	noisy := make([]geom.Vec, 100)
+	pos := geom.V(1, 1)
+	vel := geom.V(0.8, 0.3)
+	for i := range truth {
+		pos = pos.Add(vel.Scale(1))
+		truth[i] = pos
+		noisy[i] = pos.Add(geom.V(rng.NormFloat64()*2, rng.NormFloat64()*2))
+	}
+	smooth, err := Smooth(Config{ProcessNoise: 0.3, MeasurementStd: 2}, noisy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smooth) != len(noisy) {
+		t.Fatalf("length = %d", len(smooth))
+	}
+	// RMS error over the second half (after convergence) must improve on
+	// the raw observations.
+	var rawErr, smErr float64
+	for i := 50; i < 100; i++ {
+		rawErr += noisy[i].Dist2(truth[i])
+		smErr += smooth[i].Dist2(truth[i])
+	}
+	if smErr >= rawErr {
+		t.Errorf("smoothing did not help: %v vs %v", math.Sqrt(smErr/50), math.Sqrt(rawErr/50))
+	}
+}
+
+func TestSmoothValidation(t *testing.T) {
+	if _, err := Smooth(Config{}, []geom.Vec{{X: 1}}, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("err = %v", err)
+	}
+	got, err := Smooth(defaultConfig(), nil, 1)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package wire defines the NomLoc message protocol: length-prefixed JSON
+// frames carrying typed messages between the object, the access points,
+// and the localization server (the three tiers of the paper's Fig. 2
+// architecture).
+//
+// Topology is hub-and-spoke: every agent connects to the server, which
+// routes probe frames from the object to APs and collects CSI reports.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// MsgType tags a protocol message.
+type MsgType string
+
+// Protocol message types.
+const (
+	TypeHello          MsgType = "hello"
+	TypeHelloAck       MsgType = "hello_ack"
+	TypeProbeFrame     MsgType = "probe_frame"
+	TypeRoundStart     MsgType = "round_start"
+	TypePositionUpdate MsgType = "position_update"
+	TypeCSIReport      MsgType = "csi_report"
+	TypeEstimate       MsgType = "estimate"
+	TypeError          MsgType = "error"
+)
+
+// Role identifies what kind of agent a connection belongs to.
+type Role string
+
+// Agent roles.
+const (
+	RoleAP     Role = "ap"
+	RoleObject Role = "object"
+	RoleViewer Role = "viewer"
+)
+
+// Protocol limits and errors.
+const (
+	// MaxFrameBytes bounds a single frame (headroom for a large CSI
+	// batch).
+	MaxFrameBytes = 16 << 20
+)
+
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+	ErrUnknownType   = errors.New("wire: unknown message type")
+	ErrBadMessage    = errors.New("wire: malformed message")
+)
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Type returns the wire tag of the message.
+	Type() MsgType
+}
+
+// Hello announces an agent to the server.
+type Hello struct {
+	// Role is the agent kind.
+	Role Role `json:"role"`
+	// ID is the agent identity (AP id or object id).
+	ID string `json:"id"`
+	// Pos is the agent's position (APs only).
+	Pos geom.Vec `json:"pos"`
+	// SiteIndex is the nomadic AP's current waypoint (0 for static APs).
+	SiteIndex int `json:"siteIndex"`
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return TypeHello }
+
+// HelloAck confirms registration.
+type HelloAck struct {
+	// OK reports acceptance.
+	OK bool `json:"ok"`
+	// ServerID names the server instance.
+	ServerID string `json:"serverId"`
+	// Detail carries a rejection reason when OK is false.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Type implements Message.
+func (*HelloAck) Type() MsgType { return TypeHelloAck }
+
+// RoundStart opens a measurement round: the object announces how many
+// probe frames each AP should accumulate before reporting.
+type RoundStart struct {
+	// RoundID identifies the round.
+	RoundID uint64 `json:"roundId"`
+	// ObjectID is the transmitting object.
+	ObjectID string `json:"objectId"`
+	// Packets is the burst length per AP.
+	Packets int `json:"packets"`
+}
+
+// Type implements Message.
+func (*RoundStart) Type() MsgType { return TypeRoundStart }
+
+// ProbeFrame is one simulated radio capture: the CSI an AP observes for
+// one probe packet from the object. The server routes it to the addressed
+// AP. (On real hardware this frame is the physical channel; the simulator
+// computes it at the transmitter side.)
+type ProbeFrame struct {
+	// RoundID ties the frame to a measurement round.
+	RoundID uint64 `json:"roundId"`
+	// To addresses the capturing AP.
+	To string `json:"to"`
+	// Seq is the packet number within the round.
+	Seq uint64 `json:"seq"`
+	// RSSI is the coarse power reading in dBm.
+	RSSI float64 `json:"rssi"`
+	// CSI is the per-subcarrier channel snapshot.
+	CSI csi.Vector `json:"csi"`
+}
+
+// Type implements Message.
+func (*ProbeFrame) Type() MsgType { return TypeProbeFrame }
+
+// PositionUpdate reports a nomadic AP's new believed position.
+type PositionUpdate struct {
+	// APID is the moving AP.
+	APID string `json:"apId"`
+	// SiteIndex is the new waypoint index (1-based per the mobility
+	// trace).
+	SiteIndex int `json:"siteIndex"`
+	// Pos is the believed position at the new site.
+	Pos geom.Vec `json:"pos"`
+}
+
+// Type implements Message.
+func (*PositionUpdate) Type() MsgType { return TypePositionUpdate }
+
+// CSIReport delivers an AP's accumulated burst for a round to the server.
+type CSIReport struct {
+	// RoundID ties the report to a measurement round.
+	RoundID uint64 `json:"roundId"`
+	// APID is the reporting AP.
+	APID string `json:"apId"`
+	// SiteIndex is the AP's waypoint at capture time (0 = static).
+	SiteIndex int `json:"siteIndex"`
+	// Pos is the believed AP position at capture time.
+	Pos geom.Vec `json:"pos"`
+	// Nomadic marks reports from a moving AP.
+	Nomadic bool `json:"nomadic"`
+	// Batch carries the captured samples.
+	Batch csi.Batch `json:"batch"`
+}
+
+// Type implements Message.
+func (*CSIReport) Type() MsgType { return TypeCSIReport }
+
+// Estimate is the server's localization result for a round.
+type Estimate struct {
+	// RoundID is the round the estimate answers.
+	RoundID uint64 `json:"roundId"`
+	// ObjectID is the localized object.
+	ObjectID string `json:"objectId"`
+	// Pos is the position estimate.
+	Pos geom.Vec `json:"pos"`
+	// RelaxCost is the relaxation cost of the winning solve.
+	RelaxCost float64 `json:"relaxCost"`
+	// NumAnchors is how many anchors entered the solve.
+	NumAnchors int `json:"numAnchors"`
+}
+
+// Type implements Message.
+func (*Estimate) Type() MsgType { return TypeEstimate }
+
+// ErrorMsg reports a protocol-level failure to a peer.
+type ErrorMsg struct {
+	// Detail is a human-readable description.
+	Detail string `json:"detail"`
+}
+
+// Type implements Message.
+func (*ErrorMsg) Type() MsgType { return TypeError }
+
+// Compile-time interface checks.
+var (
+	_ Message = (*Hello)(nil)
+	_ Message = (*HelloAck)(nil)
+	_ Message = (*RoundStart)(nil)
+	_ Message = (*ProbeFrame)(nil)
+	_ Message = (*PositionUpdate)(nil)
+	_ Message = (*CSIReport)(nil)
+	_ Message = (*Estimate)(nil)
+	_ Message = (*ErrorMsg)(nil)
+)
+
+// envelope is the on-wire frame body.
+type envelope struct {
+	Type    MsgType         `json:"type"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// newByType allocates the concrete message for a wire tag.
+func newByType(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeHelloAck:
+		return &HelloAck{}, nil
+	case TypeRoundStart:
+		return &RoundStart{}, nil
+	case TypeProbeFrame:
+		return &ProbeFrame{}, nil
+	case TypePositionUpdate:
+		return &PositionUpdate{}, nil
+	case TypeCSIReport:
+		return &CSIReport{}, nil
+	case TypeEstimate:
+		return &Estimate{}, nil
+	case TypeError:
+		return &ErrorMsg{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, t)
+	}
+}
+
+// WriteMessage frames and writes one message: a big-endian uint32 length
+// followed by the JSON envelope.
+func WriteMessage(w io.Writer, msg Message) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("wire: marshal payload: %w", err)
+	}
+	frame, err := json.Marshal(envelope{Type: msg.Type(), Payload: payload})
+	if err != nil {
+		return fmt.Errorf("wire: marshal envelope: %w", err)
+	}
+	if len(frame) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(frame))
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(frame)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err // preserve io.EOF for clean-shutdown detection
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(frame, &env); err != nil {
+		return nil, fmt.Errorf("%w: envelope: %v", ErrBadMessage, err)
+	}
+	msg, err := newByType(env.Type)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(env.Payload, msg); err != nil {
+		return nil, fmt.Errorf("%w: payload for %q: %v", ErrBadMessage, env.Type, err)
+	}
+	return msg, nil
+}

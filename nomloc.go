@@ -1,0 +1,496 @@
+// Package nomloc is a calibration-free WLAN indoor localization library
+// with nomadic access points, reproducing "NomLoc: Calibration-free Indoor
+// Localization With Nomadic Access Points" (Xiao et al., IEEE ICDCS 2014).
+//
+// NomLoc attacks the spatial localizability variance problem — with a
+// fixed AP deployment, accuracy differs wildly across positions — by
+// letting mobile ("nomadic") APs refine the network topology on the fly.
+// The pipeline is calibration-free: no radio map, no propagation-model
+// fitting. It has two stages:
+//
+//  1. PDP-based proximity determination: per-packet 802.11n CSI is
+//     IFFT-ed into the channel impulse response, and the power of the
+//     direct path is approximated by the maximum tap power, which
+//     suppresses multipath and NLOS bias. Pairwise AP comparisons yield
+//     "object is closer to AP i than AP j" judgements with confidence
+//     w = f(Pj/Pi).
+//  2. SP-based location estimation: judgements become half-plane
+//     constraints; virtual APs mirror a reference point across the area
+//     boundary; each site a nomadic AP visits adds fresh constraints.
+//     The (possibly conflicting) stack is solved as the relaxation LP
+//     minimize wᵀt s.t. Āz − t ≤ b̄, t ≥ 0, and the center of the relaxed
+//     feasible region is the location estimate.
+//
+// This package is the public facade: it re-exports the library's types
+// and constructors so applications depend only on the module root.
+//
+// # Quick start
+//
+//	scn, _ := nomloc.Lab()                         // built-in scenario
+//	h, _ := nomloc.NewHarness(scn, nomloc.Options{Seed: 1})
+//	est, _ := h.LocalizeOnce(nomloc.V(6, 4), nomloc.NomadicDeployment,
+//		rand.New(rand.NewSource(1)))
+//	fmt.Println(est.Position)
+//
+// See examples/ for runnable programs, DESIGN.md for the architecture,
+// and EXPERIMENTS.md for the paper-figure reproductions.
+package nomloc
+
+import (
+	"github.com/nomloc/nomloc/internal/agent"
+	"github.com/nomloc/nomloc/internal/baseline"
+	"github.com/nomloc/nomloc/internal/channel"
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/dataset"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/dsp"
+	"github.com/nomloc/nomloc/internal/eval"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/lp"
+	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/placement"
+	"github.com/nomloc/nomloc/internal/planner"
+	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/track"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// Geometry primitives.
+type (
+	// Vec is a 2-D point or vector in meters.
+	Vec = geom.Vec
+	// Polygon is a simple polygon (floor plans, feasible regions).
+	Polygon = geom.Polygon
+	// HalfPlane is one spatial constraint A·z ≤ b.
+	HalfPlane = geom.HalfPlane
+	// Segment is a closed 2-D line segment.
+	Segment = geom.Segment
+)
+
+// Geometry constructors.
+var (
+	// V builds a Vec.
+	V = geom.V
+	// Rect builds an axis-aligned rectangle polygon.
+	Rect = geom.Rect
+	// NewPolygon validates and builds a polygon.
+	NewPolygon = geom.NewPolygon
+	// ConvexDecompose splits a simple polygon into convex pieces.
+	ConvexDecompose = geom.ConvexDecompose
+)
+
+// CSI model.
+type (
+	// CSIConfig is the OFDM sampling grid of a capture.
+	CSIConfig = csi.Config
+	// CSIVector is one per-subcarrier channel snapshot.
+	CSIVector = csi.Vector
+	// CSISample is one packet's capture.
+	CSISample = csi.Sample
+	// CSIBatch is a burst of captures at one AP position.
+	CSIBatch = csi.Batch
+)
+
+// DefaultCSIConfig returns the Intel 5300-style 30-subcarrier, 20 MHz
+// configuration the paper's prototype used.
+var DefaultCSIConfig = csi.DefaultConfig
+
+// Channel simulation (the testbed substitute).
+type (
+	// Environment is a 2-D indoor propagation scene.
+	Environment = channel.Environment
+	// Wall is an attenuating (optionally reflective) obstacle.
+	Wall = channel.Wall
+	// Scatterer is a point clutter object.
+	Scatterer = channel.Scatterer
+	// ChannelParams parameterizes the propagation model.
+	ChannelParams = channel.Params
+	// Simulator synthesizes CSI for TX–RX pairs.
+	Simulator = channel.Simulator
+	// Path is one resolved propagation path.
+	Path = channel.Path
+)
+
+// Channel constructors.
+var (
+	// NewEnvironment builds a scene from its boundary polygon.
+	NewEnvironment = channel.NewEnvironment
+	// NewSimulator builds a validated simulator.
+	NewSimulator = channel.NewSimulator
+	// DefaultChannelParams returns typical 2.4 GHz indoor parameters.
+	DefaultChannelParams = channel.DefaultParams
+)
+
+// Core algorithm types.
+type (
+	// Anchor is one localization reference (AP or nomadic waypoint) with
+	// its measured PDP.
+	Anchor = core.Anchor
+	// AnchorKind distinguishes static APs from nomadic waypoints.
+	AnchorKind = core.AnchorKind
+	// Judgement is a directed pairwise proximity decision.
+	Judgement = core.Judgement
+	// PairPolicy selects which anchor pairs are judged.
+	PairPolicy = core.PairPolicy
+	// CenterRule selects how the estimate is extracted from the feasible
+	// region.
+	CenterRule = core.CenterRule
+	// LocalizerConfig parameterizes a Localizer.
+	LocalizerConfig = core.Config
+	// Localizer runs SP-based location estimation.
+	Localizer = core.Localizer
+	// Estimate is one localization outcome.
+	Estimate = core.Estimate
+	// PDPEstimate is an aggregated direct-path power estimate.
+	PDPEstimate = core.PDPEstimate
+)
+
+// Core algorithm constants.
+const (
+	// StaticAP marks fixed access points.
+	StaticAP = core.StaticAP
+	// NomadicSite marks a nomadic AP observed at one waypoint.
+	NomadicSite = core.NomadicSite
+	// PaperPairs follows the paper's constraint families exactly.
+	PaperPairs = core.PaperPairs
+	// AllPairs additionally compares nomadic sites with each other.
+	AllPairs = core.AllPairs
+	// ChebyshevRule centers the largest inscribed ball.
+	ChebyshevRule = core.ChebyshevRule
+	// AnalyticRule uses the log-barrier analytic center.
+	AnalyticRule = core.AnalyticRule
+	// CentroidRule uses the feasible polygon's area centroid.
+	CentroidRule = core.CentroidRule
+)
+
+// Core algorithm functions.
+var (
+	// NewLocalizer validates configuration and decomposes the area.
+	NewLocalizer = core.New
+	// F is the paper's confidence function (Eq. 4).
+	F = core.F
+	// Confidence returns w = f(Pj/Pi) for a directed pair.
+	Confidence = core.Confidence
+	// Judge orients a pair of anchors by PDP.
+	Judge = core.Judge
+	// BuildJudgements produces all pairwise judgements under a policy.
+	BuildJudgements = core.BuildJudgements
+	// EstimatePDP aggregates a CSI batch into a direct-path power.
+	EstimatePDP = core.EstimatePDP
+	// EstimatePDPFromVector runs PDP extraction on a single snapshot.
+	EstimatePDPFromVector = core.EstimatePDPFromVector
+)
+
+// Signal processing.
+var (
+	// FFT computes the discrete Fourier transform (any length).
+	FFT = dsp.FFT
+	// IFFT computes the inverse transform with 1/N scaling.
+	IFFT = dsp.IFFT
+	// PowerDelayProfile converts CSI into per-tap CIR power.
+	PowerDelayProfile = dsp.PowerDelayProfile
+	// DirectPathPower is the composed PDP estimator.
+	DirectPathPower = dsp.DirectPathPower
+)
+
+// Linear programming toolkit.
+type (
+	// LPProblem is an inequality-form linear program.
+	LPProblem = lp.Problem
+	// LPResult is an LP solution.
+	LPResult = lp.Result
+	// Relaxation is the solution of the constraint-relaxation LP.
+	Relaxation = lp.Relaxation
+)
+
+// LP functions.
+var (
+	// SolveLP runs the two-phase simplex method.
+	SolveLP = lp.Solve
+	// ChebyshevCenter finds the largest inscribed ball of a polyhedron.
+	ChebyshevCenter = lp.ChebyshevCenter
+	// AnalyticCenter finds the log-barrier center.
+	AnalyticCenter = lp.AnalyticCenter
+	// RelaxedSolve solves min wᵀt s.t. a·z − t ≤ b, t ≥ 0 (paper Eq. 19).
+	RelaxedSolve = lp.RelaxedSolve
+)
+
+// Mobility model.
+type (
+	// Chain is a Markov chain over waypoint sites.
+	Chain = mobility.Chain
+	// Trace is a realized nomadic trajectory.
+	Trace = mobility.Trace
+)
+
+// Mobility functions.
+var (
+	// NewChain builds a chain with an explicit transition matrix.
+	NewChain = mobility.NewChain
+	// UniformChain builds the paper's uniform random-walk chain.
+	UniformChain = mobility.UniformChain
+	// PerturbUniformDisk injects a uniform-disk position error.
+	PerturbUniformDisk = mobility.PerturbUniformDisk
+)
+
+// Scenarios.
+type (
+	// Scenario is one complete experimental setup.
+	Scenario = deploy.Scenario
+	// AP is a deployed access point.
+	AP = deploy.AP
+	// NomadicAP describes the mobile AP and its waypoints.
+	NomadicAP = deploy.NomadicAP
+)
+
+// Scenario constructors.
+var (
+	// Lab returns the digitized Lab scenario (paper Fig. 6a).
+	Lab = deploy.Lab
+	// Lobby returns the digitized L-shaped Lobby scenario (Fig. 6b).
+	Lobby = deploy.Lobby
+	// ScenarioByName looks up a built-in scenario.
+	ScenarioByName = deploy.ByName
+	// ScenarioNames lists the built-in scenarios.
+	ScenarioNames = deploy.Names
+)
+
+// Evaluation harness.
+type (
+	// Options tunes an experiment run.
+	Options = eval.Options
+	// Harness runs localization experiments on one scenario.
+	Harness = eval.Harness
+	// DeploymentMode selects static vs nomadic evaluation.
+	DeploymentMode = eval.Mode
+	// SiteResult is one test site's outcome.
+	SiteResult = eval.SiteResult
+	// ProximityResult is one site's Fig. 7 outcome.
+	ProximityResult = eval.ProximityResult
+	// ErrorCDF is an empirical error distribution.
+	ErrorCDF = eval.CDF
+	// Series is a named data series.
+	Series = eval.Series
+)
+
+// Deployment modes.
+const (
+	// StaticDeployment is the all-APs-fixed benchmark.
+	StaticDeployment = eval.StaticDeployment
+	// NomadicDeployment lets the nomadic AP walk its waypoints.
+	NomadicDeployment = eval.NomadicDeployment
+)
+
+// Evaluation functions.
+var (
+	// NewHarness builds a harness for a scenario.
+	NewHarness = eval.NewHarness
+	// SLV computes the spatial localizability variance (Eq. 22).
+	SLV = eval.SLV
+	// MeanErrors extracts per-site mean errors.
+	MeanErrors = eval.MeanErrors
+	// NewCDF builds an empirical CDF.
+	NewCDF = eval.NewCDF
+	// RunFig3 regenerates the delay-profile figure data.
+	RunFig3 = eval.RunFig3
+	// RunFig7 regenerates the proximity-accuracy figure data.
+	RunFig7 = eval.RunFig7
+	// RunFig8 regenerates the SLV comparison.
+	RunFig8 = eval.RunFig8
+	// RunFig9 regenerates the error-CDF comparison.
+	RunFig9 = eval.RunFig9
+	// RunFig10 regenerates the position-error study.
+	RunFig10 = eval.RunFig10
+)
+
+// Baselines.
+type (
+	// RangingModel is the calibrated log-distance model.
+	RangingModel = baseline.RangingModel
+	// BaselineAnchor is a reference point with received power.
+	BaselineAnchor = baseline.Anchor
+)
+
+// Baseline functions.
+var (
+	// Trilaterate runs ranging + linear least squares.
+	Trilaterate = baseline.Trilaterate
+	// WeightedCentroid runs the RSS-centroid baseline.
+	WeightedCentroid = baseline.WeightedCentroid
+	// NearestAP snaps to the strongest anchor.
+	NearestAP = baseline.NearestAP
+	// CalibrateRangingModel fits the log-distance model.
+	CalibrateRangingModel = baseline.CalibrateRangingModel
+)
+
+// Distributed system (the Fig. 2 architecture over TCP).
+type (
+	// Server is the localization server.
+	Server = server.Server
+	// ServerConfig parameterizes the server.
+	ServerConfig = server.Config
+	// APAgent is a connected access point.
+	APAgent = agent.APAgent
+	// APConfig parameterizes an AP agent.
+	APConfig = agent.APConfig
+	// ObjectAgent is the connected object.
+	ObjectAgent = agent.ObjectAgent
+	// ObjectConfig parameterizes the object agent.
+	ObjectConfig = agent.ObjectConfig
+	// WireEstimate is the server's broadcast localization result.
+	WireEstimate = wire.Estimate
+)
+
+// Distributed system constructors.
+var (
+	// NewServer validates configuration and builds a server.
+	NewServer = server.New
+	// DialAP connects and registers an AP agent.
+	DialAP = agent.DialAP
+	// DialObject connects and registers the object agent.
+	DialObject = agent.DialObject
+)
+
+// Distributed system sentinels.
+var (
+	// ErrAgentClosed is the clean-shutdown reason agent Run loops return
+	// after Close.
+	ErrAgentClosed = agent.ErrClosed
+)
+
+// Movement planning (paper §VI future work: nomadic moving patterns).
+type (
+	// MovementStrategy decides the nomadic AP's next waypoint.
+	MovementStrategy = planner.Strategy
+	// PlannerState carries visit history and the belief region.
+	PlannerState = planner.State
+)
+
+// Movement strategies.
+var (
+	// RandomWalkStrategy is the paper's uniform Markov step.
+	RandomWalkStrategy = planner.RandomWalk
+	// RoundRobinStrategy cycles the waypoints in order.
+	RoundRobinStrategy = planner.RoundRobin
+	// FarthestFirstStrategy is the coverage-greedy sweep.
+	FarthestFirstStrategy = planner.FarthestFirst
+	// GreedyPartitionStrategy is the information-driven planner.
+	GreedyPartitionStrategy = planner.GreedyPartition
+	// MovementStrategies lists all built-in strategies.
+	MovementStrategies = planner.Builtin
+)
+
+// Localizability mapping (the paper's Fig. 1 concept made measurable).
+type (
+	// LocalizabilityMap is a grid of per-point mean localization errors.
+	LocalizabilityMap = eval.MapResult
+)
+
+// Dataset recording and replay.
+type (
+	// Dataset is a recorded measurement campaign.
+	Dataset = dataset.Dataset
+	// DatasetRecord is one recorded localization round.
+	DatasetRecord = dataset.Record
+	// ReplayResult is one replayed round's outcome.
+	ReplayResult = eval.ReplayResult
+)
+
+// Dataset functions.
+var (
+	// LoadDataset reads a campaign file.
+	LoadDataset = dataset.LoadFile
+	// ReplayDataset re-runs the SP pipeline over recorded batches.
+	ReplayDataset = eval.ReplayDataset
+	// ReplayErrors extracts the error column of replay results.
+	ReplayErrors = eval.ReplayErrors
+)
+
+// Viewer clients.
+type (
+	// ViewerAgent subscribes to the server's estimate broadcasts.
+	ViewerAgent = agent.ViewerAgent
+	// ViewerConfig parameterizes a viewer.
+	ViewerConfig = agent.ViewerConfig
+)
+
+// DialViewer connects and registers a read-only viewer.
+var DialViewer = agent.DialViewer
+
+// Trajectory tracking.
+type (
+	// TrackFilter is a constant-velocity Kalman filter over position
+	// estimates.
+	TrackFilter = track.Filter
+	// TrackConfig parameterizes the filter.
+	TrackConfig = track.Config
+)
+
+// Tracking functions.
+var (
+	// NewTrackFilter builds a validated filter.
+	NewTrackFilter = track.New
+	// SmoothTrack filters a whole estimate sequence at a fixed interval.
+	SmoothTrack = track.Smooth
+)
+
+// Super-resolution delay estimation (MUSIC extension).
+type (
+	// MusicConfig parameterizes the super-resolution estimator.
+	MusicConfig = dsp.MusicConfig
+	// PathEstimate is one resolved path (delay + power).
+	PathEstimate = dsp.PathEstimate
+	// PDPMethod selects the direct-path power estimator.
+	PDPMethod = core.PDPMethod
+)
+
+// PDP estimation methods.
+const (
+	// MaxTapMethod is the paper's CIR max-tap estimator.
+	MaxTapMethod = core.MaxTapMethod
+	// MusicMethod is the super-resolution first-path estimator.
+	MusicMethod = core.MusicMethod
+)
+
+// Super-resolution functions.
+var (
+	// MusicPseudoSpectrum evaluates the MUSIC delay pseudo-spectrum.
+	MusicPseudoSpectrum = dsp.MusicPseudoSpectrum
+	// EstimatePathsMUSIC resolves paths with delays and powers.
+	EstimatePathsMUSIC = dsp.EstimatePathsMUSIC
+	// FirstPathDelayMUSIC estimates the earliest significant arrival.
+	FirstPathDelayMUSIC = dsp.FirstPathDelayMUSIC
+	// EstimatePDPMusic is the batch-level super-resolution PDP.
+	EstimatePDPMusic = core.EstimatePDPMusic
+	// SymmetricEigen exposes the Jacobi eigensolver.
+	SymmetricEigen = dsp.SymmetricEigen
+)
+
+// Sequence-based localization comparator.
+type (
+	// SBL is the sequence-based localization table.
+	SBL = baseline.SBL
+)
+
+// NewSBL precomputes an SBL sequence table for an area and anchor set.
+var NewSBL = baseline.NewSBL
+
+// Additional scenarios beyond the paper's two.
+var (
+	// Office returns the extra multi-room stress scenario (heavy
+	// multi-wall NLOS; not part of the paper's evaluation set).
+	Office = deploy.Office
+	// ScenarioAllNames lists every built-in scenario including office.
+	ScenarioAllNames = deploy.AllNames
+)
+
+// AP placement optimization (the §III comparison experiment).
+var (
+	// GreedyPlacement places k APs by forward selection over candidates.
+	GreedyPlacement = placement.Greedy
+	// PlacementCandidates samples a candidate grid over an area.
+	PlacementCandidates = placement.GridCandidates
+	// GeometricDilution is the cheap localizability proxy objective.
+	GeometricDilution = placement.GeometricDilution
+)

@@ -1,0 +1,141 @@
+package nomloc_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	nomloc "github.com/nomloc/nomloc"
+)
+
+// TestFacadeSurface exercises the public API end to end the way a
+// downstream application would: scenario → harness → localization, plus
+// the algorithm primitives.
+func TestFacadeSurface(t *testing.T) {
+	// Confidence function properties through the facade.
+	if got := nomloc.F(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("F(1) = %v", got)
+	}
+	if got := nomloc.Confidence(4, 2) + nomloc.Confidence(2, 4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("confidences sum to %v", got)
+	}
+
+	// Geometry.
+	area := nomloc.Rect(0, 0, 12, 8)
+	if !area.Contains(nomloc.V(6, 4)) {
+		t.Error("Contains broken through facade")
+	}
+	pieces, err := nomloc.ConvexDecompose(area)
+	if err != nil || len(pieces) != 1 {
+		t.Errorf("ConvexDecompose = %d pieces, %v", len(pieces), err)
+	}
+
+	// Scenario + harness + one localization round.
+	scn, err := nomloc.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := nomloc.NewHarness(scn, nomloc.Options{PacketsPerSite: 9, TrialsPerSite: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := nomloc.V(6, 4)
+	est, err := h.LocalizeOnce(obj, nomloc.NomadicDeployment, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scn.Area.Contains(est.Position) {
+		t.Errorf("estimate %v outside area", est.Position)
+	}
+
+	// Metrics.
+	cdf, err := nomloc.NewCDF([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cdf.At(2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("CDF.At = %v", got)
+	}
+	if got := nomloc.SLV([]float64{1, 3}); got != 1 {
+		t.Errorf("SLV = %v", got)
+	}
+}
+
+// TestFacadeLocalizerDirect drives the Localizer without the harness.
+func TestFacadeLocalizerDirect(t *testing.T) {
+	loc, err := nomloc.NewLocalizer(nomloc.LocalizerConfig{
+		Area:   nomloc.Rect(0, 0, 10, 10),
+		Center: nomloc.ChebyshevRule,
+		Pairs:  nomloc.PaperPairs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := nomloc.V(3, 3)
+	aps := []nomloc.Vec{nomloc.V(1, 1), nomloc.V(9, 1), nomloc.V(5, 9)}
+	anchors := make([]nomloc.Anchor, len(aps))
+	for i, p := range aps {
+		d := obj.Dist(p)
+		anchors[i] = nomloc.Anchor{
+			APID: string(rune('a' + i)),
+			Kind: nomloc.StaticAP,
+			Pos:  p,
+			PDP:  1 / (1 + d*d),
+		}
+	}
+	est, err := loc.Locate(anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RelaxCost > 1e-6 {
+		t.Errorf("relax cost = %v", est.RelaxCost)
+	}
+	if d := est.Position.Dist(obj); d > 5 {
+		t.Errorf("error = %v m", d)
+	}
+}
+
+// TestFacadeChannelAndDSP runs the substrate through the facade.
+func TestFacadeChannelAndDSP(t *testing.T) {
+	env, err := nomloc.NewEnvironment(nomloc.Rect(0, 0, 10, 10), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := nomloc.NewSimulator(env, nomloc.DefaultChannelParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csiVec := sim.Measure(nomloc.V(1, 1), nomloc.V(8, 8), rand.New(rand.NewSource(1)))
+	if len(csiVec) != nomloc.DefaultCSIConfig().NumSubcarriers {
+		t.Fatalf("CSI length = %d", len(csiVec))
+	}
+	power, tap, err := nomloc.DirectPathPower(csiVec)
+	if err != nil || power <= 0 || tap < 0 {
+		t.Errorf("DirectPathPower = %v @ %d, %v", power, tap, err)
+	}
+	spec, err := nomloc.FFT([]complex128{1, 0, 0, 0})
+	if err != nil || len(spec) != 4 {
+		t.Errorf("FFT through facade: %v, %v", spec, err)
+	}
+}
+
+// TestFacadeBaselines runs a baseline through the facade.
+func TestFacadeBaselines(t *testing.T) {
+	model := nomloc.RangingModel{RefPowerDBm: -40, PathLossExponent: 2}
+	obj := nomloc.V(4, 3)
+	anchors := []nomloc.BaselineAnchor{}
+	for _, p := range []nomloc.Vec{nomloc.V(0, 0), nomloc.V(10, 0), nomloc.V(0, 10)} {
+		d := obj.Dist(p)
+		anchors = append(anchors, nomloc.BaselineAnchor{
+			Pos:      p,
+			PowerDBm: model.RefPowerDBm - 20*math.Log10(d),
+		})
+	}
+	got, err := nomloc.Trilaterate(anchors, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(obj) > 1e-6 {
+		t.Errorf("Trilaterate = %v", got)
+	}
+}
