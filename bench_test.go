@@ -147,6 +147,31 @@ func BenchmarkFig9ErrorCDF(b *testing.B) {
 	}
 }
 
+// BenchmarkHarnessWorkers times the full position sweep (the Fig. 9
+// inner loop) at several worker-pool sizes. The per-worker-count
+// sub-benchmark ratios are the harness's parallel speedup; estimates
+// are seed-derived per site, so every worker count computes identical
+// results (see eval.TestParallelMatchesSequential).
+func BenchmarkHarnessWorkers(b *testing.B) {
+	scn := mustScenario(b, "lab")
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := benchOptions()
+			opt.Workers = workers
+			h, err := eval.NewHarness(scn, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.RunSites(eval.NomadicDeployment); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig10PositionError regenerates the nomadic position-error
 // robustness study (paper Fig. 10).
 func BenchmarkFig10PositionError(b *testing.B) {

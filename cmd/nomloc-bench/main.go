@@ -8,16 +8,20 @@
 //	nomloc-bench                  # everything
 //	nomloc-bench -fig 8           # one figure
 //	nomloc-bench -fig ablation    # the ablation suite
-//	nomloc-bench -packets 30 -trials 8 -seed 5
+//	nomloc-bench -fig speedup     # parallel-harness speedup report
+//	nomloc-bench -packets 30 -trials 8 -seed 5 -workers -1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/eval"
+	"github.com/nomloc/nomloc/internal/parallel"
 )
 
 func main() {
@@ -34,6 +38,7 @@ func run(args []string) error {
 	trials := fs.Int("trials", 5, "localization trials per test site")
 	walk := fs.Int("walk", 10, "nomadic random-walk steps per round")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	workers := fs.Int("workers", 0, "harness worker pool size (0/1 sequential, -1 = all CPUs); results are identical at every setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +48,7 @@ func run(args []string) error {
 		TrialsPerSite:  *trials,
 		WalkSteps:      *walk,
 		Seed:           *seed,
+		Workers:        *workers,
 	}
 
 	runners := map[string]func(eval.Options) error{
@@ -53,9 +59,10 @@ func run(args []string) error {
 		"10":       fig10,
 		"ablation": ablations,
 		"ext":      extension,
+		"speedup":  speedup,
 	}
 	if *fig == "all" {
-		for _, key := range []string{"3", "7", "8", "9", "10", "ablation", "ext"} {
+		for _, key := range []string{"3", "7", "8", "9", "10", "ablation", "ext", "speedup"} {
 			if err := runners[key](opt); err != nil {
 				return fmt.Errorf("fig %s: %w", key, err)
 			}
@@ -326,6 +333,65 @@ func extension(opt eval.Options) error {
 		}
 	}
 	return nil
+}
+
+// speedup times the Fig. 9 position sweep at several worker counts,
+// checks every run is bit-identical to the sequential one, and prints
+// wall-clock speedups. This is the table DESIGN.md/README.md quote.
+func speedup(opt eval.Options) error {
+	header("Parallel harness — speedup vs workers (identical results required)")
+	scn, err := deploy.Lab()
+	if err != nil {
+		return err
+	}
+	counts := []int{1, 2, 4, parallel.Resolve(-1)}
+	fmt.Printf("host CPUs: %d\n\n", runtime.NumCPU())
+	fmt.Println("workers  wall-clock  speedup  identical")
+
+	var baseline time.Duration
+	var baseErrs []float64
+	for _, w := range counts {
+		o := opt
+		o.Workers = w
+		h, err := eval.NewHarness(scn, o)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		results, err := h.RunSites(eval.NomadicDeployment)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		elapsed := time.Since(start)
+		errs := flatErrors(results)
+		identical := true
+		if w == counts[0] {
+			baseline, baseErrs = elapsed, errs
+		} else {
+			identical = len(errs) == len(baseErrs)
+			for i := range errs {
+				if !identical || errs[i] != baseErrs[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		fmt.Printf("%7d  %10v  %6.2fx  %v\n", w, elapsed.Round(time.Millisecond),
+			baseline.Seconds()/elapsed.Seconds(), identical)
+		if !identical {
+			return fmt.Errorf("workers=%d produced different estimates than workers=%d", w, counts[0])
+		}
+	}
+	return nil
+}
+
+// flatErrors concatenates every per-trial error in site order.
+func flatErrors(results []eval.SiteResult) []float64 {
+	var out []float64
+	for _, r := range results {
+		out = append(out, r.Errors...)
+	}
+	return out
 }
 
 func printRows(rows []eval.AblationRow) {

@@ -35,6 +35,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7100", "listen address")
 	httpAddr := fs.String("http", "", "also serve the monitoring API (GET /healthz, /status, /estimates) on this address")
 	scenario := fs.String("scenario", "lab", "scenario providing the area of interest")
+	workers := fs.Int("workers", 0, "concurrent localization solves (0/1 serialized, -1 = one per CPU)")
 	verbose := fs.Bool("v", false, "verbose logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +53,7 @@ func run(args []string) error {
 	if *verbose {
 		logf = log.Printf
 	}
-	srv, err := server.New(server.Config{ID: "nomloc-server", Localizer: loc, Logf: logf})
+	srv, err := server.New(server.Config{ID: "nomloc-server", Localizer: loc, Workers: *workers, Logf: logf})
 	if err != nil {
 		return err
 	}

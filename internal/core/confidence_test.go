@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -82,6 +84,45 @@ func TestPropFNonNegative(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPropFTenThousandRatios hammers the paper's Eq. 2/3 identities over
+// 10 000 log-uniform random ratios spanning twelve decades: the
+// complementarity f(x) + f(1/x) = 1, the fixed point f(1) = ½, the
+// [0, 1] range, and — over the sorted sample — strict monotone decrease.
+func TestPropFTenThousandRatios(t *testing.T) {
+	const n = 10_000
+	rng := rand.New(rand.NewSource(20140630))
+	xs := make([]float64, n)
+	for i := range xs {
+		// log-uniform in [1e-6, 1e6]: exercises both branches of F and the
+		// crossover at x = 1 evenly in log space.
+		xs[i] = math.Exp(rng.Float64()*12*math.Ln10 - 6*math.Ln10)
+	}
+
+	if got := F(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("F(1) = %v, want exactly ½", got)
+	}
+	for _, x := range xs {
+		v := F(x)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("F(%v) = %v outside [0, 1]", x, v)
+		}
+		if sum := v + F(1/x); math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("F(%v) + F(1/%v) = %v, want 1", x, x, sum)
+		}
+	}
+
+	sort.Float64s(xs)
+	for i := 1; i < n; i++ {
+		if xs[i] == xs[i-1] {
+			continue
+		}
+		if F(xs[i]) >= F(xs[i-1]) {
+			t.Fatalf("F not strictly decreasing: F(%v) = %v, F(%v) = %v",
+				xs[i-1], F(xs[i-1]), xs[i], F(xs[i]))
+		}
 	}
 }
 

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/lp"
+	"github.com/nomloc/nomloc/internal/parallel"
 )
 
 // CenterRule selects how the location estimate is extracted from the
@@ -62,10 +65,63 @@ type Config struct {
 
 // Localizer runs SP-based location estimation over a fixed area.
 // It is safe for concurrent use: Locate only reads the precomputed
-// decomposition.
+// decomposition, and per-solve scratch comes from an internal pool.
 type Localizer struct {
 	cfg    Config
 	pieces []geom.Polygon
+	// scratch pools solveScratch values so repeated solves reuse the
+	// simplex tableau and constraint-stack buffers.
+	scratch sync.Pool
+}
+
+// solveScratch is the per-solve working memory of the hot path: the LP
+// workspace plus the constraint-stack buffers solvePiece and centerOf
+// assemble into. One scratch serves one solve at a time; LocateBatch
+// gives each worker its own.
+type solveScratch struct {
+	ws      lp.Workspace
+	rowFlat []float64
+	rows    [][]float64
+	rhs     []float64
+	weights []float64
+	cons    []geom.HalfPlane
+}
+
+// reserve readies the scratch for up to n constraint rows: the flat
+// row backing is pre-grown so appended row slices never reallocate (and
+// therefore never dangle).
+func (sc *solveScratch) reserve(n int) {
+	if cap(sc.rowFlat) < 2*n {
+		sc.rowFlat = make([]float64, 0, 2*n)
+	}
+	sc.rowFlat = sc.rowFlat[:0]
+	if cap(sc.rows) < n {
+		sc.rows = make([][]float64, 0, n)
+	}
+	sc.rows = sc.rows[:0]
+	if cap(sc.rhs) < n {
+		sc.rhs = make([]float64, 0, n)
+	}
+	sc.rhs = sc.rhs[:0]
+	if cap(sc.weights) < n {
+		sc.weights = make([]float64, 0, n)
+	}
+	sc.weights = sc.weights[:0]
+	if cap(sc.cons) < n {
+		sc.cons = make([]geom.HalfPlane, 0, n)
+	}
+	sc.cons = sc.cons[:0]
+}
+
+// addRow appends one normalized constraint row backed by the reserved
+// flat storage.
+func (sc *solveScratch) addRow(ax, ay, b, w float64, h geom.HalfPlane) {
+	off := len(sc.rowFlat)
+	sc.rowFlat = append(sc.rowFlat, ax, ay)
+	sc.rows = append(sc.rows, sc.rowFlat[off:off+2])
+	sc.rhs = append(sc.rhs, b)
+	sc.weights = append(sc.weights, w)
+	sc.cons = append(sc.cons, h)
 }
 
 // Localizer errors.
@@ -94,7 +150,9 @@ func New(cfg Config) (*Localizer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("decompose area: %w", err)
 	}
-	return &Localizer{cfg: cfg, pieces: pieces}, nil
+	l := &Localizer{cfg: cfg, pieces: pieces}
+	l.scratch.New = func() any { return new(solveScratch) }
+	return l, nil
 }
 
 // Pieces returns the convex decomposition of the area.
@@ -144,19 +202,44 @@ func (l *Localizer) Locate(anchors []Anchor) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	return l.locateFromJudgements(judgements)
+	sc := l.scratch.Get().(*solveScratch)
+	defer l.scratch.Put(sc)
+	return l.locateFromJudgements(judgements, sc)
+}
+
+// LocateBatch solves one anchor set per entry, fanning the solves across
+// parallel.Resolve(workers) workers that each reuse their own scratch
+// buffers for the simplex/clipping hot path. Estimates come back in
+// input order and are bit-identical to calling Locate on each set
+// sequentially; the first (lowest-index) failure aborts the batch.
+func (l *Localizer) LocateBatch(ctx context.Context, sets [][]Anchor, workers int) ([]*Estimate, error) {
+	return parallel.MapWorker(ctx, workers, len(sets),
+		func(int) *solveScratch { return new(solveScratch) },
+		func(sc *solveScratch, i int) (*Estimate, error) {
+			judgements, err := BuildJudgements(sets[i], l.cfg.Pairs, l.cfg.MinConfidence)
+			if err != nil {
+				return nil, fmt.Errorf("set %d: %w", i, err)
+			}
+			est, err := l.locateFromJudgements(judgements, sc)
+			if err != nil {
+				return nil, fmt.Errorf("set %d: %w", i, err)
+			}
+			return est, nil
+		})
 }
 
 // LocateFromJudgements runs the solve on externally-produced judgements
 // (used by tests and by ablations that manipulate the judgement set).
 func (l *Localizer) LocateFromJudgements(judgements []Judgement) (*Estimate, error) {
-	return l.locateFromJudgements(judgements)
+	sc := l.scratch.Get().(*solveScratch)
+	defer l.scratch.Put(sc)
+	return l.locateFromJudgements(judgements, sc)
 }
 
-func (l *Localizer) locateFromJudgements(judgements []Judgement) (*Estimate, error) {
+func (l *Localizer) locateFromJudgements(judgements []Judgement, sc *solveScratch) (*Estimate, error) {
 	solves := make([]pieceSolve, 0, len(l.pieces))
 	for pi, piece := range l.pieces {
-		ps, err := l.solvePiece(pi, piece, judgements)
+		ps, err := l.solvePiece(pi, piece, judgements, sc)
 		if err != nil {
 			return nil, fmt.Errorf("piece %d: %w", pi, err)
 		}
@@ -191,7 +274,7 @@ func (l *Localizer) locateFromJudgements(judgements []Judgement) (*Estimate, err
 		}
 	}
 
-	pos, err := l.centerOf(best)
+	pos, err := l.centerOf(best, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -205,14 +288,13 @@ func (l *Localizer) locateFromJudgements(judgements []Judgement) (*Estimate, err
 }
 
 // solvePiece assembles and solves the relaxation LP for one convex piece.
-func (l *Localizer) solvePiece(pi int, piece geom.Polygon, judgements []Judgement) (pieceSolve, error) {
+// The constraint stack and the LP tableau live in sc and are recycled
+// across pieces and solves.
+func (l *Localizer) solvePiece(pi int, piece geom.Polygon, judgements []Judgement, sc *solveScratch) (pieceSolve, error) {
 	boundary := BoundaryConstraints(piece, piece.Centroid())
 
 	total := len(judgements) + len(boundary)
-	rows := make([][]float64, 0, total)
-	rhs := make([]float64, 0, total)
-	weights := make([]float64, 0, total)
-	cons := make([]geom.HalfPlane, 0, total)
+	sc.reserve(total)
 
 	// Rows are normalized to unit normal so each relaxation amount tᵢ is
 	// the Euclidean distance by which the bisector is pushed. Without
@@ -225,27 +307,24 @@ func (l *Localizer) solvePiece(pi int, piece geom.Polygon, judgements []Judgemen
 			return // degenerate pair (coincident anchors): no information
 		}
 		hn := geom.HalfPlane{Ax: h.Ax / n, Ay: h.Ay / n, B: h.B / n}
-		rows = append(rows, []float64{hn.Ax, hn.Ay})
-		rhs = append(rhs, hn.B)
-		weights = append(weights, w)
-		cons = append(cons, hn)
+		sc.addRow(hn.Ax, hn.Ay, hn.B, w, hn)
 	}
 	for _, j := range judgements {
 		add(j.HalfPlane(), j.Confidence)
 	}
-	judgeRows := len(rows)
+	judgeRows := len(sc.rows)
 	for _, h := range boundary {
 		add(h, l.cfg.BoundaryWeight)
 	}
 
-	rel, err := lp.RelaxedSolve(rows, rhs, weights)
+	rel, err := sc.ws.RelaxedSolve(sc.rows, sc.rhs, sc.weights)
 	if err != nil {
 		return pieceSolve{}, fmt.Errorf("relaxation: %w", err)
 	}
 
-	relaxed := make([]geom.HalfPlane, len(cons))
+	relaxed := make([]geom.HalfPlane, len(sc.cons))
 	numRelaxed := 0
-	for i, h := range cons {
+	for i, h := range sc.cons {
 		relaxed[i] = h.Relax(rel.T[i])
 		if i < judgeRows && rel.T[i] > 1e-6 {
 			numRelaxed++
@@ -260,16 +339,16 @@ func (l *Localizer) solvePiece(pi int, piece geom.Polygon, judgements []Judgemen
 	}, nil
 }
 
-// centerOf extracts the configured center from a piece solve.
-func (l *Localizer) centerOf(ps pieceSolve) (geom.Vec, error) {
-	rows := make([][]float64, len(ps.relaxed))
-	rhs := make([]float64, len(ps.relaxed))
-	for i, h := range ps.relaxed {
-		rows[i] = []float64{h.Ax, h.Ay}
-		rhs[i] = h.B
+// centerOf extracts the configured center from a piece solve, reusing
+// sc's constraint and tableau buffers.
+func (l *Localizer) centerOf(ps pieceSolve, sc *solveScratch) (geom.Vec, error) {
+	sc.reserve(len(ps.relaxed))
+	for _, h := range ps.relaxed {
+		sc.addRow(h.Ax, h.Ay, h.B, 1, h)
 	}
+	rows, rhs := sc.rows, sc.rhs
 
-	cheb, _, err := lp.ChebyshevCenter(rows, rhs)
+	cheb, _, err := sc.ws.ChebyshevCenter(rows, rhs)
 	if err != nil {
 		// The relaxed system is feasible by construction; a failure here
 		// means the region degenerated to (near) a point — fall back to

@@ -1,0 +1,88 @@
+package csi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// binSeed builds a valid binary encoding for the seed corpus.
+func binSeed(tb testing.TB, v Vector) []byte {
+	tb.Helper()
+	raw, err := v.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzVectorUnmarshalBinary attacks the binary codec. The encoding is
+// canonical — magic, count, then exactly 16 bytes per subcarrier — so
+// any input the decoder accepts must re-marshal to the identical bytes,
+// bit-for-bit (NaN payloads included).
+func FuzzVectorUnmarshalBinary(f *testing.F) {
+	f.Add(binSeed(f, Vector{}))
+	f.Add(binSeed(f, Vector{1 + 2i}))
+	f.Add(binSeed(f, Vector{complex(math.Inf(1), math.NaN()), -3 - 4i, 0}))
+	f.Add([]byte{})
+	f.Add([]byte("CSIV"))                                         // magic only, short header
+	f.Add([]byte{0x43, 0x53, 0x49, 0x56, 0, 0, 0, 9})             // count without payload
+	f.Add([]byte{0x43, 0x53, 0x49, 0x56, 0xff, 0xff, 0xff, 0xff}) // absurd count
+	f.Add(append(binSeed(f, Vector{5i}), 0))                      // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return
+		}
+		again, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted vector failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("binary round trip not canonical:\nin:  %x\nout: %x", data, again)
+		}
+	})
+}
+
+// FuzzVectorUnmarshalJSON attacks the JSON (base64-of-binary) codec: no
+// panics, and every accepted input must round-trip to a bit-identical
+// vector through MarshalJSON.
+func FuzzVectorUnmarshalJSON(f *testing.F) {
+	for _, v := range []Vector{{}, {1 + 2i, -3i}, {complex(math.NaN(), 0)}} {
+		enc, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte(`"not base64!"`))
+	f.Add([]byte(`"QUJD"`)) // valid base64, broken payload
+	f.Add([]byte(`42`))     // wrong JSON type
+	f.Add([]byte(`"`))      // broken JSON
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vector
+		if err := v.UnmarshalJSON(data); err != nil {
+			return
+		}
+		enc, err := v.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted vector failed to re-marshal: %v", err)
+		}
+		var again Vector
+		if err := again.UnmarshalJSON(enc); err != nil {
+			t.Fatalf("re-encoded vector failed to decode: %v", err)
+		}
+		if len(again) != len(v) {
+			t.Fatalf("round trip changed length: %d → %d", len(v), len(again))
+		}
+		for i := range v {
+			if math.Float64bits(real(v[i])) != math.Float64bits(real(again[i])) ||
+				math.Float64bits(imag(v[i])) != math.Float64bits(imag(again[i])) {
+				t.Fatalf("round trip changed entry %d: %v → %v", i, v[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+//go:build ignore
+
+// gen_corpus.go regenerates the checked-in seed corpora for the csi
+// fuzz targets. Run from the package directory:
+//
+//	go run testdata/gen_corpus.go
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/nomloc/nomloc/internal/csi"
+)
+
+func bin(v csi.Vector) []byte {
+	raw, err := v.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return raw
+}
+
+func js(v csi.Vector) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return raw
+}
+
+func writeCorpus(target string, seeds [][]byte) {
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d corpus entries to %s\n", len(seeds), dir)
+}
+
+func main() {
+	writeCorpus("FuzzVectorUnmarshalBinary", [][]byte{
+		bin(csi.Vector{}),
+		bin(csi.Vector{1 + 2i}),
+		bin(csi.Vector{complex(math.Inf(1), math.NaN()), -3 - 4i, 0}),
+		{},
+		[]byte("CSIV"),
+		{0x43, 0x53, 0x49, 0x56, 0, 0, 0, 9},
+		{0x43, 0x53, 0x49, 0x56, 0xff, 0xff, 0xff, 0xff},
+		append(bin(csi.Vector{5i}), 0),
+	})
+	writeCorpus("FuzzVectorUnmarshalJSON", [][]byte{
+		js(csi.Vector{}),
+		js(csi.Vector{1 + 2i, -3i}),
+		js(csi.Vector{complex(math.NaN(), 0)}),
+		[]byte(`"not base64!"`),
+		[]byte(`"QUJD"`),
+		[]byte(`42`),
+		[]byte(`"`),
+	})
+}

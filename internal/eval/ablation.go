@@ -1,9 +1,11 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/nomloc/nomloc/internal/baseline"
 	"github.com/nomloc/nomloc/internal/core"
@@ -11,6 +13,7 @@ import (
 	"github.com/nomloc/nomloc/internal/dsp"
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/parallel"
 	"github.com/nomloc/nomloc/internal/placement"
 )
 
@@ -120,26 +123,30 @@ func RunConfidenceAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, er
 
 	rows := make([]AblationRow, 0, len(variants))
 	for _, v := range variants {
-		var errs []float64
-		for si, site := range scn.TestSites {
-			rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
-			var siteErrs []float64
-			for trial := 0; trial < h.Options().TrialsPerSite; trial++ {
-				anchors, err := h.AnchorsNomadic(site, rng)
-				if err != nil {
-					return nil, err
+		errs, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
+			func(si int) (float64, error) {
+				site := scn.TestSites[si]
+				rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+				var siteErrs []float64
+				for trial := 0; trial < h.Options().TrialsPerSite; trial++ {
+					anchors, err := h.AnchorsNomadic(site, rng)
+					if err != nil {
+						return 0, err
+					}
+					js, err := core.BuildJudgements(anchors, core.PaperPairs, 0)
+					if err != nil {
+						return 0, err
+					}
+					est, err := h.Localizer().LocateFromJudgements(v.transform(js))
+					if err != nil {
+						return 0, err
+					}
+					siteErrs = append(siteErrs, est.Position.Dist(site))
 				}
-				js, err := core.BuildJudgements(anchors, core.PaperPairs, 0)
-				if err != nil {
-					return nil, err
-				}
-				est, err := h.Localizer().LocateFromJudgements(v.transform(js))
-				if err != nil {
-					return nil, err
-				}
-				siteErrs = append(siteErrs, est.Position.Dist(site))
-			}
-			errs = append(errs, Mean(siteErrs))
+				return Mean(siteErrs), nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		rows = append(rows, AblationRow{Variant: v.name, MeanError: Mean(errs), SLVValue: SLV(errs)})
 	}
@@ -194,7 +201,11 @@ func RunBaselineComparisonMode(scn *deploy.Scenario, opt Options, mode Mode) ([]
 	// Sequence tables for the SBL comparator (calibration-free like
 	// NomLoc, but grid-table-based). In nomadic mode the anchor set
 	// changes per trial, so tables are built on demand and cached by the
-	// anchor-position fingerprint.
+	// anchor-position fingerprint. The cache is shared across the worker
+	// pool, hence the mutex; a duplicate build racing past the first
+	// lookup only costs time, never correctness (tables for equal keys
+	// are identical).
+	var sblMu sync.Mutex
 	sblTables := make(map[string]*baseline.SBL)
 	sblFor := func(anchors []core.Anchor) (*baseline.SBL, error) {
 		key := ""
@@ -203,14 +214,19 @@ func RunBaselineComparisonMode(scn *deploy.Scenario, opt Options, mode Mode) ([]
 			positions[i] = a.Pos
 			key += fmt.Sprintf("%.3f,%.3f;", a.Pos.X, a.Pos.Y)
 		}
-		if t, ok := sblTables[key]; ok {
+		sblMu.Lock()
+		t, ok := sblTables[key]
+		sblMu.Unlock()
+		if ok {
 			return t, nil
 		}
 		t, err := baseline.NewSBL(scn.Area, positions, 0.5)
 		if err != nil {
 			return nil, fmt.Errorf("sbl table: %w", err)
 		}
+		sblMu.Lock()
 		sblTables[key] = t
+		sblMu.Unlock()
 		return t, nil
 	}
 
@@ -272,38 +288,48 @@ func RunBaselineComparisonMode(scn *deploy.Scenario, opt Options, mode Mode) ([]
 		}},
 	}
 
-	perMethod := make(map[string][]float64, len(methods))
-	for si, site := range scn.TestSites {
-		rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
-		trialErrs := make(map[string][]float64, len(methods))
-		for trial := 0; trial < opt.TrialsPerSite; trial++ {
-			var anchors []core.Anchor
-			var err error
-			switch mode {
-			case NomadicDeployment:
-				anchors, err = h.AnchorsNomadic(site, rng)
-			default:
-				anchors, err = h.AnchorsStatic(site, rng)
-			}
-			if err != nil {
-				return nil, err
-			}
-			for _, m := range methods {
-				x, y, err := m.run(anchors)
-				if err != nil {
-					return nil, fmt.Errorf("%s at site %d: %w", m.name, si, err)
+	// Per site, the mean trial error for each method (method order).
+	siteMeans, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
+		func(si int) ([]float64, error) {
+			site := scn.TestSites[si]
+			rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+			trialErrs := make([][]float64, len(methods))
+			for trial := 0; trial < opt.TrialsPerSite; trial++ {
+				var anchors []core.Anchor
+				var err error
+				switch mode {
+				case NomadicDeployment:
+					anchors, err = h.AnchorsNomadic(site, rng)
+				default:
+					anchors, err = h.AnchorsStatic(site, rng)
 				}
-				trialErrs[m.name] = append(trialErrs[m.name], math.Hypot(x-site.X, y-site.Y))
+				if err != nil {
+					return nil, err
+				}
+				for mi, m := range methods {
+					x, y, err := m.run(anchors)
+					if err != nil {
+						return nil, fmt.Errorf("%s at site %d: %w", m.name, si, err)
+					}
+					trialErrs[mi] = append(trialErrs[mi], math.Hypot(x-site.X, y-site.Y))
+				}
 			}
-		}
-		for _, m := range methods {
-			perMethod[m.name] = append(perMethod[m.name], Mean(trialErrs[m.name]))
-		}
+			means := make([]float64, len(methods))
+			for mi := range methods {
+				means[mi] = Mean(trialErrs[mi])
+			}
+			return means, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	rows := make([]AblationRow, 0, len(methods))
-	for _, m := range methods {
-		errs := perMethod[m.name]
+	for mi, m := range methods {
+		errs := make([]float64, len(siteMeans))
+		for si := range siteMeans {
+			errs[si] = siteMeans[si][mi]
+		}
 		rows = append(rows, AblationRow{Variant: m.name, MeanError: Mean(errs), SLVValue: SLV(errs)})
 	}
 	return rows, nil
@@ -361,14 +387,14 @@ func runMultiNomadicOnce(scn *deploy.Scenario, opt Options, n int) ([]float64, e
 		fleets = append(fleets, sites)
 	}
 
-	var errs []float64
-	for si, site := range scn.TestSites {
+	return parallel.Map(context.Background(), opt.Workers, len(scn.TestSites), func(si int) (float64, error) {
+		site := scn.TestSites[si]
 		rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
 		var siteErrs []float64
 		for trial := 0; trial < opt.TrialsPerSite; trial++ {
 			anchors, err := h.AnchorsStatic(site, rng)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			// Keep only the true statics; the scenario's nomadic AP is
 			// replaced by the fleet below.
@@ -382,21 +408,21 @@ func runMultiNomadicOnce(scn *deploy.Scenario, opt Options, n int) ([]float64, e
 			for k, sites := range fleets {
 				chain, err := mobility.UniformChain(sites)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				trace, err := chain.GenerateTrace(0, opt.WalkSteps, rng)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				for _, idx := range trace.UniqueSites() {
 					pos, err := chain.Site(idx)
 					if err != nil {
-						return nil, err
+						return 0, err
 					}
 					batch := sim.MeasureBatch(fmt.Sprintf("nomad%d", k), idx, site, pos, opt.PacketsPerSite, measureTime, rng)
 					est, err := core.EstimatePDP(&batch)
 					if err != nil {
-						return nil, err
+						return 0, err
 					}
 					anchors = append(anchors, core.Anchor{
 						APID:      fmt.Sprintf("nomad%d", k),
@@ -409,13 +435,12 @@ func runMultiNomadicOnce(scn *deploy.Scenario, opt Options, n int) ([]float64, e
 			}
 			est, err := h.Localizer().Locate(anchors)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			siteErrs = append(siteErrs, est.Position.Dist(site))
 		}
-		errs = append(errs, Mean(siteErrs))
-	}
-	return errs, nil
+		return Mean(siteErrs), nil
+	})
 }
 
 // RunFidelityAblation sweeps the channel simulator's image-method depth

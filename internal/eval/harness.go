@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/parallel"
 )
 
 // Mode selects the deployment under evaluation.
@@ -67,6 +69,12 @@ type Options struct {
 	// PDP selects the direct-path power estimator (0 = the paper's
 	// max-tap method).
 	PDP core.PDPMethod
+	// Workers bounds the worker pool fanning per-site work (position
+	// sweeps, ablation grids, pattern runs). 0 or 1 runs sequentially;
+	// negative uses GOMAXPROCS. Because every site owns an independent
+	// RNG stream seeded from Seed, results are bit-identical at every
+	// worker count.
+	Workers int
 }
 
 // withDefaults resolves zero fields.
@@ -248,23 +256,24 @@ type SiteResult struct {
 // the given mode and returns per-site results, in test-site order.
 // Randomness derives from Options.Seed, the mode, and the site index, so
 // static/nomadic comparisons reuse identical noise processes where the
-// measurement sequences align.
+// measurement sequences align, and results are identical at every
+// Workers setting.
 func (h *Harness) RunSites(mode Mode) ([]SiteResult, error) {
-	results := make([]SiteResult, 0, len(h.scn.TestSites))
-	for si, site := range h.scn.TestSites {
-		rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*7919 + int64(mode)*104729))
-		res := SiteResult{Site: site, Errors: make([]float64, 0, h.opt.TrialsPerSite)}
-		for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
-			est, err := h.LocalizeOnce(site, mode, rng)
-			if err != nil {
-				return nil, fmt.Errorf("site %d trial %d: %w", si, trial, err)
+	return parallel.Map(context.Background(), h.opt.Workers, len(h.scn.TestSites),
+		func(si int) (SiteResult, error) {
+			site := h.scn.TestSites[si]
+			rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*7919 + int64(mode)*104729))
+			res := SiteResult{Site: site, Errors: make([]float64, 0, h.opt.TrialsPerSite)}
+			for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
+				est, err := h.LocalizeOnce(site, mode, rng)
+				if err != nil {
+					return SiteResult{}, fmt.Errorf("site %d trial %d: %w", si, trial, err)
+				}
+				res.Errors = append(res.Errors, est.Position.Dist(site))
 			}
-			res.Errors = append(res.Errors, est.Position.Dist(site))
-		}
-		res.MeanError = Mean(res.Errors)
-		results = append(results, res)
-	}
-	return results, nil
+			res.MeanError = Mean(res.Errors)
+			return res, nil
+		})
 }
 
 // MeanErrors extracts the per-site mean errors from results.
@@ -299,30 +308,30 @@ func (p ProximityResult) Accuracy() float64 {
 // deployment (paper Fig. 7: C(4,2) = 6 judgements per site). Judgements
 // are averaged over TrialsPerSite independent measurement rounds.
 func (h *Harness) ProximityAccuracy() ([]ProximityResult, error) {
-	out := make([]ProximityResult, 0, len(h.scn.TestSites))
-	for si, site := range h.scn.TestSites {
-		rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*6271))
-		res := ProximityResult{Site: site}
-		for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
-			anchors, err := h.AnchorsStatic(site, rng)
-			if err != nil {
-				return nil, fmt.Errorf("site %d: %w", si, err)
-			}
-			for i := 0; i < len(anchors); i++ {
-				for j := i + 1; j < len(anchors); j++ {
-					jd, err := core.Judge(anchors[i], anchors[j])
-					if err != nil {
-						return nil, fmt.Errorf("site %d judge: %w", si, err)
-					}
-					res.Total++
-					trueCloser := site.Dist2(jd.Closer.Pos) <= site.Dist2(jd.Farther.Pos)
-					if trueCloser {
-						res.Correct++
+	return parallel.Map(context.Background(), h.opt.Workers, len(h.scn.TestSites),
+		func(si int) (ProximityResult, error) {
+			site := h.scn.TestSites[si]
+			rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*6271))
+			res := ProximityResult{Site: site}
+			for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
+				anchors, err := h.AnchorsStatic(site, rng)
+				if err != nil {
+					return ProximityResult{}, fmt.Errorf("site %d: %w", si, err)
+				}
+				for i := 0; i < len(anchors); i++ {
+					for j := i + 1; j < len(anchors); j++ {
+						jd, err := core.Judge(anchors[i], anchors[j])
+						if err != nil {
+							return ProximityResult{}, fmt.Errorf("site %d judge: %w", si, err)
+						}
+						res.Total++
+						trueCloser := site.Dist2(jd.Closer.Pos) <= site.Dist2(jd.Farther.Pos)
+						if trueCloser {
+							res.Correct++
+						}
 					}
 				}
 			}
-		}
-		out = append(out, res)
-	}
-	return out, nil
+			return res, nil
+		})
 }

@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/deploy"
+)
+
+// TestParallelMatchesSequential is the determinism contract of the
+// worker pool: the same seed must produce bit-identical estimates at
+// Workers=1 and Workers=8, for every harness entry point the pool fans
+// out. Each site owns an RNG derived from (Seed, site, mode) alone, so
+// which worker executes a site cannot matter.
+func TestParallelMatchesSequential(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{PacketsPerSite: 8, TrialsPerSite: 2, WalkSteps: 6, Seed: 42}
+
+	harness := func(workers int) *Harness {
+		o := base
+		o.Workers = workers
+		h, err := NewHarness(scn, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	seq, par := harness(1), harness(8)
+
+	for _, mode := range []Mode{StaticDeployment, NomadicDeployment} {
+		rs, err := seq.RunSites(mode)
+		if err != nil {
+			t.Fatalf("%v sequential: %v", mode, err)
+		}
+		rp, err := par.RunSites(mode)
+		if err != nil {
+			t.Fatalf("%v parallel: %v", mode, err)
+		}
+		if len(rs) != len(rp) {
+			t.Fatalf("%v: %d vs %d sites", mode, len(rs), len(rp))
+		}
+		for si := range rs {
+			if rs[si].MeanError != rp[si].MeanError {
+				t.Errorf("%v site %d: mean %v (seq) vs %v (par)", mode, si, rs[si].MeanError, rp[si].MeanError)
+			}
+			for ti := range rs[si].Errors {
+				if rs[si].Errors[ti] != rp[si].Errors[ti] {
+					t.Errorf("%v site %d trial %d: %v vs %v — not bit-identical",
+						mode, si, ti, rs[si].Errors[ti], rp[si].Errors[ti])
+				}
+			}
+		}
+	}
+
+	ps, err := seq.ProximityAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := par.ProximityAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range ps {
+		if ps[si] != pp[si] {
+			t.Errorf("proximity site %d: %+v vs %+v", si, ps[si], pp[si])
+		}
+	}
+}
+
+// TestParallelAblationsMatchSequential extends the contract to the
+// ablation and pattern runners, which parallelize their own site loops.
+func TestParallelAblationsMatchSequential(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{PacketsPerSite: 6, TrialsPerSite: 1, WalkSteps: 5, Seed: 7}
+	par := base
+	par.Workers = 8
+
+	type runner struct {
+		name string
+		run  func(Options) ([]AblationRow, error)
+	}
+	runners := []runner{
+		{"confidence", func(o Options) ([]AblationRow, error) { return RunConfidenceAblation(scn, o) }},
+		{"baselines", func(o Options) ([]AblationRow, error) { return RunBaselineComparisonMode(scn, o, NomadicDeployment) }},
+		{"multi-nomadic", func(o Options) ([]AblationRow, error) { return RunMultiNomadicExtension(scn, o, []int{2}) }},
+		{"patterns", func(o Options) ([]AblationRow, error) { return RunMovingPatterns(scn, o, 2) }},
+	}
+	for _, r := range runners {
+		rs, err := r.run(base)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", r.name, err)
+		}
+		rp, err := r.run(par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", r.name, err)
+		}
+		if len(rs) != len(rp) {
+			t.Fatalf("%s: %d vs %d rows", r.name, len(rs), len(rp))
+		}
+		for i := range rs {
+			if rs[i] != rp[i] {
+				t.Errorf("%s row %d: %+v (seq) vs %+v (par)", r.name, i, rs[i], rp[i])
+			}
+		}
+	}
+}

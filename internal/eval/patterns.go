@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/parallel"
 	"github.com/nomloc/nomloc/internal/planner"
 )
 
@@ -121,22 +123,26 @@ func RunMovingPatterns(scn *deploy.Scenario, opt Options, moves int) ([]Ablation
 	}
 	rows := make([]AblationRow, 0, len(planner.Builtin()))
 	for _, strat := range planner.Builtin() {
-		var errs []float64
-		for si, site := range scn.TestSites {
-			rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
-			var siteErrs []float64
-			for trial := 0; trial < opt.TrialsPerSite; trial++ {
-				anchors, err := h.AnchorsNomadicPlanned(site, strat, moves, rng)
-				if err != nil {
-					return nil, fmt.Errorf("%s at site %d: %w", strat.Name(), si, err)
+		errs, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
+			func(si int) (float64, error) {
+				site := scn.TestSites[si]
+				rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+				var siteErrs []float64
+				for trial := 0; trial < opt.TrialsPerSite; trial++ {
+					anchors, err := h.AnchorsNomadicPlanned(site, strat, moves, rng)
+					if err != nil {
+						return 0, fmt.Errorf("%s at site %d: %w", strat.Name(), si, err)
+					}
+					est, err := h.loc.Locate(anchors)
+					if err != nil {
+						return 0, err
+					}
+					siteErrs = append(siteErrs, est.Position.Dist(site))
 				}
-				est, err := h.loc.Locate(anchors)
-				if err != nil {
-					return nil, err
-				}
-				siteErrs = append(siteErrs, est.Position.Dist(site))
-			}
-			errs = append(errs, Mean(siteErrs))
+				return Mean(siteErrs), nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		rows = append(rows, AblationRow{
 			Variant:   strat.Name(),

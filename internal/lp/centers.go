@@ -54,6 +54,14 @@ func checkSystem(a [][]float64, b []float64) (dim int, err error) {
 // has non-empty interior in every direction — callers should include
 // boundary constraints).
 func ChebyshevCenter(a [][]float64, b []float64) (center []float64, radius float64, err error) {
+	var ws Workspace
+	return ws.ChebyshevCenter(a, b)
+}
+
+// ChebyshevCenter is the workspace-backed variant of the package-level
+// function: the LP is assembled in and solved from reusable scratch. The
+// returned center is freshly allocated.
+func (ws *Workspace) ChebyshevCenter(a [][]float64, b []float64) (center []float64, radius float64, err error) {
 	dim, err := checkSystem(a, b)
 	if err != nil {
 		return nil, 0, err
@@ -61,20 +69,20 @@ func ChebyshevCenter(a [][]float64, b []float64) (center []float64, radius float
 	m := len(a)
 	// Variables: z (dim, free), r (1, ≥ 0). Minimize −r.
 	n := dim + 1
-	c := make([]float64, n)
+	ws.probC = growF(ws.probC, n)
+	c := ws.probC
 	c[dim] = -1
-	free := make([]bool, n)
+	free := ws.growFree(n)
 	for j := 0; j < dim; j++ {
 		free[j] = true
 	}
-	rows := make([][]float64, m)
+	ws.probFlat, ws.probRows = growRows(ws.probFlat, ws.probRows, m, n)
+	rows := ws.probRows
 	for i := 0; i < m; i++ {
-		row := make([]float64, n)
-		copy(row, a[i])
-		row[dim] = rowNorm(a[i])
-		rows[i] = row
+		copy(rows[i], a[i])
+		rows[i][dim] = rowNorm(a[i])
 	}
-	res, err := Solve(&Problem{C: c, A: rows, B: b, Free: free})
+	res, err := ws.Solve(&Problem{C: c, A: rows, B: b, Free: free})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -269,6 +277,14 @@ type Relaxation struct {
 // larger weight are preserved preferentially, mirroring the paper's use of
 // the confidence factor w as the price of breaking a constraint.
 func RelaxedSolve(a [][]float64, b []float64, w []float64) (*Relaxation, error) {
+	var ws Workspace
+	return ws.RelaxedSolve(a, b, w)
+}
+
+// RelaxedSolve is the workspace-backed variant of the package-level
+// function: the relaxation LP is assembled in and solved from reusable
+// scratch. The returned Relaxation owns its slices.
+func (ws *Workspace) RelaxedSolve(a [][]float64, b []float64, w []float64) (*Relaxation, error) {
 	dim, err := checkSystem(a, b)
 	if err != nil {
 		return nil, err
@@ -286,20 +302,20 @@ func RelaxedSolve(a [][]float64, b []float64, w []float64) (*Relaxation, error) 
 
 	// Variables: z (dim, free), t (m, ≥ 0).
 	n := dim + m
-	c := make([]float64, n)
+	ws.probC = growF(ws.probC, n)
+	c := ws.probC
 	copy(c[dim:], w)
-	free := make([]bool, n)
+	free := ws.growFree(n)
 	for j := 0; j < dim; j++ {
 		free[j] = true
 	}
-	rows := make([][]float64, m)
+	ws.probFlat, ws.probRows = growRows(ws.probFlat, ws.probRows, m, n)
+	rows := ws.probRows
 	for i := 0; i < m; i++ {
-		row := make([]float64, n)
-		copy(row, a[i])
-		row[dim+i] = -1
-		rows[i] = row
+		copy(rows[i], a[i])
+		rows[i][dim+i] = -1
 	}
-	res, err := Solve(&Problem{C: c, A: rows, B: b, Free: free})
+	res, err := ws.Solve(&Problem{C: c, A: rows, B: b, Free: free})
 	if err != nil {
 		return nil, err
 	}

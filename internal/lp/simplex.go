@@ -97,10 +97,94 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
+// Workspace holds the scratch buffers of the simplex solver so batch
+// callers (the localizer's per-solve hot path) can reuse them across
+// solves instead of reallocating tableaus per call. The zero value is
+// ready to use. A Workspace is NOT safe for concurrent use: give each
+// worker its own.
+type Workspace struct {
+	pos, neg  []int
+	splitC    []float64
+	splitFlat []float64
+	splitRows [][]float64
+	splitB    []float64
+	flat      []float64
+	rows      [][]float64
+	basis     []int
+	phase1    []float64
+	cFull     []float64
+	reduced   []float64
+
+	// Problem-building scratch for the center/relaxation wrappers.
+	probC    []float64
+	probFree []bool
+	probFlat []float64
+	probRows [][]float64
+}
+
+// growF returns buf resized to n zeroed entries, reallocating only when
+// capacity is insufficient.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growI is growF for int slices (entries left unzeroed: callers assign
+// every element).
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growFree returns the workspace's free-variable marker buffer resized to
+// n false entries.
+func (ws *Workspace) growFree(n int) []bool {
+	if cap(ws.probFree) < n {
+		ws.probFree = make([]bool, n)
+		return ws.probFree
+	}
+	ws.probFree = ws.probFree[:n]
+	for i := range ws.probFree {
+		ws.probFree[i] = false
+	}
+	return ws.probFree
+}
+
+// growRows reslices a flat backing array into m rows of width w, reusing
+// storage across solves. The flat storage is zeroed.
+func growRows(flat []float64, rows [][]float64, m, w int) ([]float64, [][]float64) {
+	flat = growF(flat, m*w)
+	if cap(rows) < m {
+		rows = make([][]float64, m)
+	}
+	rows = rows[:m]
+	for i := 0; i < m; i++ {
+		rows[i] = flat[i*w : (i+1)*w]
+	}
+	return flat, rows
+}
+
 // Solve runs the two-phase simplex method on the problem. Free variables
 // are split internally into differences of non-negative pairs. On
 // Infeasible and Unbounded outcomes X is nil.
 func Solve(p *Problem) (*Result, error) {
+	var ws Workspace
+	return ws.Solve(p)
+}
+
+// Solve is the workspace-backed variant of the package-level Solve: all
+// intermediate storage (split columns, tableau, basis) comes from the
+// workspace. Result.X is freshly allocated and stays valid after further
+// solves.
+func (ws *Workspace) Solve(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,8 +193,9 @@ func Solve(p *Problem) (*Result, error) {
 
 	// Map original variables to split columns: variable j occupies column
 	// pos[j]; free variables get an extra negative-part column neg[j].
-	pos := make([]int, n)
-	neg := make([]int, n)
+	ws.pos = growI(ws.pos, n)
+	ws.neg = growI(ws.neg, n)
+	pos, neg := ws.pos, ws.neg
 	cols := 0
 	for j := 0; j < n; j++ {
 		pos[j] = cols
@@ -123,9 +208,10 @@ func Solve(p *Problem) (*Result, error) {
 		}
 	}
 
-	c := make([]float64, cols)
-	a := make([][]float64, m)
-	b := make([]float64, m)
+	ws.splitC = growF(ws.splitC, cols)
+	ws.splitB = growF(ws.splitB, m)
+	ws.splitFlat, ws.splitRows = growRows(ws.splitFlat, ws.splitRows, m, cols)
+	c, a, b := ws.splitC, ws.splitRows, ws.splitB
 	for j := 0; j < n; j++ {
 		c[pos[j]] = p.C[j]
 		if neg[j] >= 0 {
@@ -133,18 +219,17 @@ func Solve(p *Problem) (*Result, error) {
 		}
 	}
 	for i := 0; i < m; i++ {
-		row := make([]float64, cols)
+		row := a[i]
 		for j := 0; j < n; j++ {
 			row[pos[j]] = p.A[i][j]
 			if neg[j] >= 0 {
 				row[neg[j]] = -p.A[i][j]
 			}
 		}
-		a[i] = row
 		b[i] = p.B[i]
 	}
 
-	xSplit, status, err := solveStandard(c, a, b)
+	xSplit, status, err := ws.solveStandard(c, a, b)
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +251,10 @@ func Solve(p *Problem) (*Result, error) {
 }
 
 // solveStandard solves min cᵀx s.t. a·x ≤ b, x ≥ 0 with a two-phase dense
-// tableau simplex. It returns the primal solution over the given columns.
-func solveStandard(c []float64, a [][]float64, b []float64) ([]float64, Status, error) {
+// tableau simplex. It returns the primal solution over the given columns;
+// the returned slice aliases workspace storage and is only valid until
+// the next solve.
+func (ws *Workspace) solveStandard(c []float64, a [][]float64, b []float64) ([]float64, Status, error) {
 	m := len(a)
 	n := len(c)
 	if m == 0 {
@@ -192,11 +279,13 @@ func solveStandard(c []float64, a [][]float64, b []float64) ([]float64, Status, 
 	total := n + m + nArt
 
 	// Tableau: m rows of [columns | rhs], plus we track the basis.
-	t := make([][]float64, m)
-	basis := make([]int, m)
+	ws.flat, ws.rows = growRows(ws.flat, ws.rows, m, total+1)
+	ws.basis = growI(ws.basis, m)
+	t := ws.rows
+	basis := ws.basis
 	artCol := n + m
 	for i := 0; i < m; i++ {
-		row := make([]float64, total+1)
+		row := t[i]
 		sign := 1.0
 		if b[i] < -tol {
 			sign = -1.0
@@ -213,16 +302,16 @@ func solveStandard(c []float64, a [][]float64, b []float64) ([]float64, Status, 
 		} else {
 			basis[i] = n + i
 		}
-		t[i] = row
 	}
 
 	if nArt > 0 {
 		// Phase 1: minimize the sum of artificials.
-		phase1 := make([]float64, total)
+		ws.phase1 = growF(ws.phase1, total)
+		phase1 := ws.phase1
 		for j := n + m; j < total; j++ {
 			phase1[j] = 1
 		}
-		obj, status, err := runSimplex(t, basis, phase1, total, total)
+		obj, status, err := ws.runSimplex(t, basis, phase1, total, total)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -258,9 +347,10 @@ func solveStandard(c []float64, a [][]float64, b []float64) ([]float64, Status, 
 	}
 
 	// Phase 2 on the real objective, with artificial columns barred.
-	cFull := make([]float64, total)
+	ws.cFull = growF(ws.cFull, total)
+	cFull := ws.cFull
 	copy(cFull, c)
-	_, status, err := runSimplex(t, basis, cFull, n+m, total)
+	_, status, err := ws.runSimplex(t, basis, cFull, n+m, total)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -268,7 +358,7 @@ func solveStandard(c []float64, a [][]float64, b []float64) ([]float64, Status, 
 		return nil, Unbounded, nil
 	}
 
-	x := make([]float64, n)
+	x := growF(c, n) // c is dead past this point; reuse it for the solution
 	for i := 0; i < m; i++ {
 		if basis[i] >= 0 && basis[i] < n {
 			x[basis[i]] = t[i][total]
@@ -280,12 +370,13 @@ func solveStandard(c []float64, a [][]float64, b []float64) ([]float64, Status, 
 // runSimplex performs primal simplex pivots on the tableau until the
 // objective cObj cannot improve. Only columns < allowedCols may enter the
 // basis. It returns the achieved objective value.
-func runSimplex(t [][]float64, basis []int, cObj []float64, allowedCols, total int) (float64, Status, error) {
+func (ws *Workspace) runSimplex(t [][]float64, basis []int, cObj []float64, allowedCols, total int) (float64, Status, error) {
 	m := len(t)
 
 	// Reduced costs: z[j] = c[j] − c_Bᵀ·B⁻¹·A_j, maintained as an explicit
 	// row recomputed from the basis to stay consistent after phase swaps.
-	reduced := make([]float64, total)
+	ws.reduced = growF(ws.reduced, total)
+	reduced := ws.reduced
 	objVal := 0.0
 	recompute := func() {
 		copy(reduced, cObj)

@@ -1,0 +1,127 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomRelaxation builds a random bounded relaxation instance: a box
+// plus a few random cuts, with positive weights.
+func randomRelaxation(rng *rand.Rand) (a [][]float64, b, w []float64) {
+	m := 4 + rng.Intn(12)
+	a = [][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	b = []float64{10, 10, 10, 10}
+	w = []float64{100, 100, 100, 100}
+	for i := 0; i < m; i++ {
+		a = append(a, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		b = append(b, rng.NormFloat64()*5)
+		w = append(w, 0.5+rng.Float64()/2)
+	}
+	return a, b, w
+}
+
+// TestWorkspaceMatchesFreshSolves locks in the buffer-reuse contract: a
+// workspace recycled across many solves of varying shapes must return
+// bit-identical results to one-shot solves, and results returned earlier
+// must not be clobbered by later solves.
+func TestWorkspaceMatchesFreshSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ws Workspace
+	type kept struct {
+		z    []float64
+		cost float64
+	}
+	var held []kept
+	var fresh []kept
+	for trial := 0; trial < 100; trial++ {
+		a, b, w := randomRelaxation(rng)
+
+		relWS, err := ws.RelaxedSolve(a, b, w)
+		if err != nil {
+			t.Fatalf("trial %d: workspace solve: %v", trial, err)
+		}
+		relFresh, err := RelaxedSolve(a, b, w)
+		if err != nil {
+			t.Fatalf("trial %d: fresh solve: %v", trial, err)
+		}
+		if relWS.Cost != relFresh.Cost {
+			t.Fatalf("trial %d: cost %v (workspace) vs %v (fresh)", trial, relWS.Cost, relFresh.Cost)
+		}
+		for i := range relWS.Z {
+			if relWS.Z[i] != relFresh.Z[i] {
+				t.Fatalf("trial %d: Z[%d] %v vs %v", trial, i, relWS.Z[i], relFresh.Z[i])
+			}
+		}
+		for i := range relWS.T {
+			if relWS.T[i] != relFresh.T[i] {
+				t.Fatalf("trial %d: T[%d] %v vs %v", trial, i, relWS.T[i], relFresh.T[i])
+			}
+		}
+		held = append(held, kept{z: relWS.Z, cost: relWS.Cost})
+		fresh = append(fresh, kept{z: relFresh.Z, cost: relFresh.Cost})
+
+		cWS, rWS, errWS := ws.ChebyshevCenter(a, b)
+		cFresh, rFresh, errFresh := ChebyshevCenter(a, b)
+		if (errWS == nil) != (errFresh == nil) {
+			t.Fatalf("trial %d: chebyshev err %v vs %v", trial, errWS, errFresh)
+		}
+		if errWS == nil {
+			if rWS != rFresh {
+				t.Fatalf("trial %d: radius %v vs %v", trial, rWS, rFresh)
+			}
+			for i := range cWS {
+				if cWS[i] != cFresh[i] {
+					t.Fatalf("trial %d: center[%d] %v vs %v", trial, i, cWS[i], cFresh[i])
+				}
+			}
+		}
+	}
+	// Early results must still equal their fresh twins after 100 reuses.
+	for k := range held {
+		if held[k].cost != fresh[k].cost {
+			t.Fatalf("solve %d: retained cost clobbered", k)
+		}
+		for i := range held[k].z {
+			if held[k].z[i] != fresh[k].z[i] {
+				t.Fatalf("solve %d: retained Z clobbered", k)
+			}
+		}
+	}
+}
+
+// TestWorkspaceSolveStatuses checks that infeasible and unbounded
+// outcomes survive the workspace path.
+func TestWorkspaceSolveStatuses(t *testing.T) {
+	var ws Workspace
+
+	// Infeasible: x ≤ −1, x ≥ 0.
+	res, err := ws.Solve(&Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", res.Status)
+	}
+
+	// Unbounded: minimize −x with no constraints binding x.
+	res, err = ws.Solve(&Problem{C: []float64{-1}, A: [][]float64{{0}}, B: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", res.Status)
+	}
+
+	// A plain optimal solve right after the degenerate ones.
+	res, err = ws.Solve(&Problem{C: []float64{1, 1}, A: [][]float64{{-1, 0}, {0, -1}}, B: []float64{-2, -3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("got %v, want optimal", res.Status)
+	}
+	if math.Abs(res.X[0]-2) > 1e-9 || math.Abs(res.X[1]-3) > 1e-9 {
+		t.Fatalf("got %v, want [2 3]", res.X)
+	}
+}

@@ -1,0 +1,237 @@
+// Package parallel is the bounded worker pool the evaluation and solve
+// layers fan out on. It is built for deterministic science: results come
+// back in input order, errors surface exactly as a sequential run would
+// surface them, and per-task RNG streams derive from the run seed alone —
+// so a sweep executed on eight workers is bit-identical to the same sweep
+// executed on one.
+package parallel
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers option to a concrete worker count: n > 0 is
+// taken as-is, 0 means one worker (sequential), and negative means one
+// worker per available CPU.
+func Resolve(n int) int {
+	switch {
+	case n > 0:
+		return n
+	case n < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// ForEach invokes fn(i) for every i in [0, n), distributing indices over
+// at most Resolve(workers) goroutines. Indices are claimed in ascending
+// order, and once claimed a task always runs to completion; after a task
+// fails, unclaimed indices are abandoned. Because every index below a
+// claimed one has itself been claimed, the lowest-index error is always
+// observed, and ForEach returns exactly the error a sequential loop would
+// have returned (fn must be deterministic for this to hold).
+//
+// Context cancellation is checked between claims; the context's error is
+// reported for the first unprocessed index.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		errs = make([]error, n)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := ctx.Err(); err != nil {
+					stop.Store(true)
+					i := int(next.Add(1) - 1)
+					if i < n {
+						errs[i] = err
+					}
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) on the pool and collects the results in input
+// order. On error the partial results are discarded and the first
+// (lowest-index) error is returned, matching ForEach's error contract.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapWorker is Map with per-worker state: newState runs once per worker
+// goroutine (worker 0 for the sequential path) and its value is threaded
+// into every fn call that worker executes. Use it to reuse scratch
+// buffers across tasks without synchronization. Results must not depend
+// on which worker ran a task — only on the task index — or the
+// determinism guarantee is lost.
+func MapWorker[S, T any](ctx context.Context, workers, n int, newState func(worker int) S, fn func(state S, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return make([]T, 0), nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		state := newState(0)
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(state, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		errs = make([]error, n)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			state := newState(worker)
+			for !stop.Load() {
+				if err := ctx.Err(); err != nil {
+					stop.Store(true)
+					i := int(next.Add(1) - 1)
+					if i < n {
+						errs[i] = err
+					}
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				v, err := fn(state, i)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Stream returns the RNG for task index task of a run seeded with seed.
+// Streams for distinct task indices are decorrelated by a SplitMix64
+// finalizer, and a given (seed, task) pair always yields the same
+// sequence — the property that makes parallel sweeps bit-reproducible:
+// randomness belongs to the task, never to the worker that happens to
+// execute it.
+func Stream(seed, task int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix(uint64(seed), uint64(task)))))
+}
+
+// mix is the SplitMix64 finalizer applied to the seed advanced by the
+// task's Weyl increment.
+func mix(seed, task uint64) uint64 {
+	z := seed + (task+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Gate bounds concurrency for callers that manage their own goroutines
+// (the server's round finalization): at most n holders are inside at any
+// moment.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting Resolve(n) concurrent holders.
+func NewGate(n int) *Gate {
+	return &Gate{slots: make(chan struct{}, Resolve(n))}
+}
+
+// Enter blocks until a slot frees up or the context is done.
+func (g *Gate) Enter(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Leave releases a slot taken by Enter.
+func (g *Gate) Leave() {
+	<-g.slots
+}

@@ -1,0 +1,216 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 57
+			var hits [n]atomic.Int32
+			err := ForEach(context.Background(), workers, n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("index %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Both index 3 and index 40 fail; regardless of worker interleaving the
+	// reported error must be index 3's — what a sequential loop returns.
+	wantErr := errors.New("boom-3")
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(context.Background(), 8, 64, func(i int) error {
+			switch i {
+			case 3:
+				return wantErr
+			case 40:
+				return errors.New("boom-40")
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("trial %d: got %v, want %v", trial, err, wantErr)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 2, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Fatal("pool did not stop claiming after the error")
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 100, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 7} {
+		out, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
+			if i%10 == 0 {
+				time.Sleep(time.Millisecond) // shuffle completion order
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapWorkerStatePerWorker(t *testing.T) {
+	// Each worker gets its own counter; totals across workers must cover
+	// every task exactly once.
+	type counter struct{ n int }
+	var made atomic.Int32
+	out, err := MapWorker(context.Background(), 4, 200,
+		func(worker int) *counter {
+			made.Add(1)
+			return &counter{}
+		},
+		func(c *counter, i int) (int, error) {
+			c.n++
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(made.Load()) > 4 {
+		t.Fatalf("newState ran %d times for 4 workers", made.Load())
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapWorkerEmpty(t *testing.T) {
+	out, err := MapWorker(context.Background(), 4, 0,
+		func(int) int { return 0 },
+		func(int, int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(0); got != 1 {
+		t.Fatalf("Resolve(0) = %d", got)
+	}
+	if got := Resolve(-1); got < 1 {
+		t.Fatalf("Resolve(-1) = %d", got)
+	}
+}
+
+func TestStreamDeterministicAndDecorrelated(t *testing.T) {
+	a1 := Stream(42, 7)
+	a2 := Stream(42, 7)
+	b := Stream(42, 8)
+	same, diff := 0, 0
+	for i := 0; i < 64; i++ {
+		x1, x2, y := a1.Int63(), a2.Int63(), b.Int63()
+		if x1 == x2 {
+			same++
+		}
+		if x1 != y {
+			diff++
+		}
+	}
+	if same != 64 {
+		t.Fatal("equal (seed, task) must yield identical streams")
+	}
+	if diff == 0 {
+		t.Fatal("distinct tasks produced identical streams")
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	g := NewGate(limit)
+	var inside, peak atomic.Int32
+	err := ForEach(context.Background(), 16, 64, func(i int) error {
+		if err := g.Enter(context.Background()); err != nil {
+			return err
+		}
+		defer g.Leave()
+		now := inside.Add(1)
+		for {
+			p := peak.Load()
+			if now <= p || peak.CompareAndSwap(p, now) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		inside.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("gate admitted %d concurrent holders, limit %d", p, limit)
+	}
+}
+
+func TestGateEnterHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Enter(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	g.Leave()
+}

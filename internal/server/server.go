@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/parallel"
 	"github.com/nomloc/nomloc/internal/wire"
 )
 
@@ -28,6 +30,10 @@ type Config struct {
 	// MaxNomadicSites bounds how many distinct nomadic waypoints are kept
 	// per (object, AP): older sites are evicted first. Defaults to 8.
 	MaxNomadicSites int
+	// Workers bounds how many rounds may run the localization solve
+	// concurrently (each solve already runs outside the server lock).
+	// 0 or 1 serializes solves; negative admits one per CPU.
+	Workers int
 	// Logf, when set, receives diagnostic log lines.
 	Logf func(format string, args ...any)
 }
@@ -41,7 +47,8 @@ var (
 // Server is the localization server. Create with New, run with Serve, stop
 // with Shutdown.
 type Server struct {
-	cfg Config
+	cfg  Config
+	gate *parallel.Gate // bounds concurrent localization solves
 
 	mu        sync.Mutex
 	ln        net.Listener
@@ -95,6 +102,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:      cfg,
+		gate:     parallel.NewGate(cfg.Workers),
 		sessions: make(map[*session]struct{}),
 		aps:      make(map[string]*session),
 		objects:  make(map[string]*session),
@@ -412,7 +420,14 @@ func (s *Server) finalizeRound(roundID uint64, timeout bool) {
 			roundID, len(r.reported), len(r.expected))
 	}
 
+	// Admission through the gate bounds how many rounds solve at once;
+	// the solve itself runs outside the server lock, so reports for other
+	// rounds keep flowing while this one computes.
+	if err := s.gate.Enter(context.Background()); err != nil {
+		return
+	}
 	est, err := s.localize(reports)
+	s.gate.Leave()
 	if err != nil {
 		s.cfg.Logf("server: round %d: localize: %v", roundID, err)
 		if obj != nil {

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// TestConcurrentStress drives every server surface at once — AP and
+// object registration, probe routing, position updates, CSI reports
+// closing rounds, and the monitoring API — from many goroutines. It
+// exists to run under `go test -race`: the assertions are deliberately
+// weak (the server must stay consistent and reachable), the detector
+// does the real checking.
+func TestConcurrentStress(t *testing.T) {
+	s, addr := startServer(t, Config{
+		Localizer:    testLocalizer(t),
+		RoundTimeout: 100 * time.Millisecond,
+		Workers:      4,
+	})
+	web := httptest.NewServer(s.StatusHandler())
+	defer web.Close()
+
+	const (
+		numAPs     = 4
+		numObjects = 4
+		rounds     = 8
+	)
+
+	csiVec := make([]complex128, 8)
+	for k := range csiVec {
+		csiVec[k] = complex(1, 0)
+	}
+
+	var wg sync.WaitGroup
+
+	// AP agents: register, then answer every forwarded RoundStart with a
+	// CSI report and sprinkle in position updates.
+	for a := 0; a < numAPs; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			id := fmt.Sprintf("ap%d", a)
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("%s dial: %v", id, err)
+				return
+			}
+			defer conn.Close()
+			if err := wire.WriteMessage(conn, &wire.Hello{Role: wire.RoleAP, ID: id, Pos: geom.V(float64(a), 1)}); err != nil {
+				t.Errorf("%s hello: %v", id, err)
+				return
+			}
+			for {
+				msg, err := wire.ReadMessage(conn)
+				if err != nil {
+					return // server shut the connection down
+				}
+				switch m := msg.(type) {
+				case *wire.RoundStart:
+					_ = wire.WriteMessage(conn, &wire.PositionUpdate{
+						APID: id, SiteIndex: a, Pos: geom.V(float64(a), 2),
+					})
+					_ = wire.WriteMessage(conn, &wire.CSIReport{
+						RoundID: m.RoundID, APID: id, Pos: geom.V(float64(a), 1),
+						Batch: csiBatch(id, csiVec),
+					})
+				}
+			}
+		}(a)
+	}
+
+	// Object agents: register, launch rounds, read whatever comes back
+	// (estimates, errors, forwarded position updates) until their last
+	// round resolves or the read loop ends.
+	var objWG sync.WaitGroup
+	for o := 0; o < numObjects; o++ {
+		objWG.Add(1)
+		go func(o int) {
+			defer objWG.Done()
+			id := fmt.Sprintf("obj%d", o)
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("%s dial: %v", id, err)
+				return
+			}
+			defer conn.Close()
+			if err := wire.WriteMessage(conn, &wire.Hello{Role: wire.RoleObject, ID: id}); err != nil {
+				t.Errorf("%s hello: %v", id, err)
+				return
+			}
+			if msg, err := wire.ReadMessage(conn); err != nil || msg.Type() != wire.TypeHelloAck {
+				t.Errorf("%s: no hello ack (%v)", id, err)
+				return
+			}
+			resolved := 0
+			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			for r := 0; r < rounds; r++ {
+				roundID := uint64(o*rounds + r + 1)
+				if err := wire.WriteMessage(conn, &wire.RoundStart{RoundID: roundID, ObjectID: id, Packets: 1}); err != nil {
+					return
+				}
+				// Drain until this round yields an estimate or an error.
+				for {
+					msg, err := wire.ReadMessage(conn)
+					if err != nil {
+						return
+					}
+					done := false
+					switch msg.Type() {
+					case wire.TypeEstimate, wire.TypeError:
+						done = true
+					}
+					if done {
+						resolved++
+						break
+					}
+				}
+			}
+			if resolved != rounds {
+				t.Errorf("%s: %d/%d rounds resolved", id, resolved, rounds)
+			}
+		}(o)
+	}
+
+	// Pollers: hammer CurrentStatus, Estimates, and the HTTP surface
+	// while the protocol traffic is in flight.
+	stop := make(chan struct{})
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.CurrentStatus()
+				if len(st.APs) > numAPs {
+					t.Errorf("status reports %d APs, max %d", len(st.APs), numAPs)
+				}
+				_ = s.Estimates()
+				resp, err := web.Client().Get(web.URL + "/status")
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	objWG.Wait()
+	close(stop)
+	s.Shutdown() // unblocks the AP read loops
+	wg.Wait()
+
+	if got := len(s.Estimates()); got == 0 {
+		t.Error("stress run produced no estimates at all")
+	}
+}

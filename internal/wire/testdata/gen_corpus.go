@@ -1,0 +1,68 @@
+//go:build ignore
+
+// gen_corpus.go regenerates the checked-in seed corpus for
+// FuzzReadMessage. Run from the package directory:
+//
+//	go run testdata/gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+func frame(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+func encode(msg wire.Message) []byte {
+	var buf bytes.Buffer
+	if err := wire.WriteMessage(&buf, msg); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func main() {
+	seeds := [][]byte{
+		encode(&wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 2), SiteIndex: 3}),
+		encode(&wire.HelloAck{OK: true, ServerID: "srv"}),
+		encode(&wire.RoundStart{RoundID: 7, ObjectID: "obj", Packets: 25}),
+		encode(&wire.ProbeFrame{RoundID: 7, To: "ap1", Seq: 9, RSSI: -40, CSI: csi.Vector{1 + 2i, 3 - 4i}}),
+		encode(&wire.PositionUpdate{APID: "nomad", SiteIndex: 2, Pos: geom.V(5, 6)}),
+		encode(&wire.CSIReport{RoundID: 7, APID: "ap1", Nomadic: true, Batch: csi.Batch{
+			APID:    "ap1",
+			Samples: []csi.Sample{{APID: "ap1", Seq: 0, CSI: csi.Vector{1, 2i}}},
+		}}),
+		encode(&wire.Estimate{RoundID: 7, ObjectID: "obj", Pos: geom.V(3, 4), RelaxCost: 0.5, NumAnchors: 6}),
+		encode(&wire.ErrorMsg{Detail: "boom"}),
+		{0, 0},
+		{0xff, 0xff, 0xff, 0xff},
+		frame([]byte("not json")),
+		frame([]byte(`{"type":"warp","payload":{}}`)),
+		frame([]byte(`{"type":"round_start","payload":{"roundId":"x"}}`)),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadMessage")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d corpus entries to %s\n", len(seeds), dir)
+}
