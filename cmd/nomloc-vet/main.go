@@ -1,0 +1,105 @@
+// Command nomloc-vet is the multichecker for NomLoc's determinism and
+// concurrency contract. It composes the internal/analysis suite —
+// detrand, seedmix, floateq, locksafe — over `go list` package patterns
+// and exits nonzero when any analyzer reports a finding, so CI can gate
+// merges on the contract the same way it gates on tests:
+//
+//	go run ./cmd/nomloc-vet ./...
+//	go run ./cmd/nomloc-vet -analyzers detrand,seedmix ./internal/eval/
+//
+// Diagnostics print as file:line:col: analyzer: message. The escape
+// hatch //nomloc:nondeterministic-ok (detrand only) is honored and
+// audited: a suppression with nothing to suppress is itself an error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the multichecker: 0 clean, 1 findings, 2 usage or load
+// failure.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("nomloc-vet", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	dir := fs.String("C", ".", "resolve package patterns relative to this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(out, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *names != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(errOut, "nomloc-vet: unknown analyzer %q\n", n)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+		return 2
+	}
+
+	type finding struct {
+		pos  string
+		line string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			diags, err := pkg.Run(a)
+			if err != nil {
+				fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+				return 2
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					pos:  pos.String(),
+					line: fmt.Sprintf("%s: %s: %s", pos, d.Analyzer, d.Message),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		fmt.Fprintln(out, f.line)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errOut, "nomloc-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsVetClean is the acceptance gate: the full module must carry
+// zero findings. A regression here means someone reintroduced a
+// determinism or lock-hygiene violation.
+func TestRepoIsVetClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("nomloc-vet on the repo = exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+}
+
+// TestFindingsExitOne builds a throwaway module holding a detrand
+// violation and checks the multichecker reports it and exits 1.
+func TestFindingsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpvet\n\ngo 1.22\n")
+	write("core/core.go", `package core
+
+import "time"
+
+func Clock() time.Time { return time.Now() }
+`)
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "detrand") || !strings.Contains(out.String(), "time.Now") {
+		t.Fatalf("findings missing detrand/time.Now:\n%s", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, name := range []string{"detrand", "seedmix", "floateq", "locksafe"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-analyzers", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+}

@@ -354,3 +354,26 @@ func TestObjectSetPosTracking(t *testing.T) {
 		t.Errorf("estimate %v is %v m from the moved object", est.Pos, d)
 	}
 }
+
+func TestCaptureTimeSimulatedClockIsDeterministic(t *testing.T) {
+	a := &APAgent{cfg: APConfig{ID: "AP1"}}
+	t1 := a.captureTime(3, 7)
+	t2 := a.captureTime(3, 7)
+	if !t1.Equal(t2) {
+		t.Fatalf("simulated capture time not reproducible: %v vs %v", t1, t2)
+	}
+	if want := captureEpoch.Add(3*time.Second + 7*time.Millisecond); !t1.Equal(want) {
+		t.Fatalf("captureTime(3, 7) = %v, want %v", t1, want)
+	}
+	if !a.captureTime(4, 0).After(t1) {
+		t.Fatal("later rounds must stamp later capture times")
+	}
+}
+
+func TestCaptureTimeHonorsConfiguredClock(t *testing.T) {
+	fixed := time.Date(2026, time.January, 2, 3, 4, 5, 0, time.UTC)
+	a := &APAgent{cfg: APConfig{ID: "AP1", Clock: func() time.Time { return fixed }}}
+	if got := a.captureTime(99, 99); !got.Equal(fixed) {
+		t.Fatalf("captureTime with Clock = %v, want %v", got, fixed)
+	}
+}

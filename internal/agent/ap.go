@@ -72,8 +72,28 @@ type APConfig struct {
 	PositionErrorM float64
 	// Seed drives the mobility walk and the error injection.
 	Seed int64
+	// Clock, when set, stamps captured probe frames (real hardware wires
+	// time.Now here). When nil, capture timestamps are synthesized
+	// deterministically from the round counter and packet sequence — 1 s
+	// per round, 1 ms per packet, matching the paper's PING cadence — so
+	// replaying the same wire traffic reproduces the same samples bit for
+	// bit.
+	Clock func() time.Time
 	// Logf, when set, receives diagnostic log lines.
 	Logf func(format string, args ...any)
+}
+
+// captureEpoch is the base timestamp of simulated capture time, shared
+// with the evaluation harness's synthesized batches.
+var captureEpoch = time.Date(2014, time.June, 30, 12, 0, 0, 0, time.UTC)
+
+// captureTime stamps one captured probe frame: the configured Clock when
+// present, simulated time derived from (round, seq) otherwise.
+func (a *APAgent) captureTime(roundID, seq uint64) time.Time {
+	if a.cfg.Clock != nil {
+		return a.cfg.Clock()
+	}
+	return captureEpoch.Add(time.Duration(roundID)*time.Second + time.Duration(seq)*time.Millisecond)
 }
 
 // APAgent is a connected access point.
@@ -206,7 +226,7 @@ func (a *APAgent) onRoundStart(m *wire.RoundStart) {
 		a.rounds[m.RoundID] = r
 	}
 	r.packets = m.Packets
-	ready := r.ready()
+	ready := r.readyLocked()
 	a.mu.Unlock()
 	if ready {
 		a.report(m.RoundID)
@@ -226,20 +246,20 @@ func (a *APAgent) onProbeFrame(m *wire.ProbeFrame) {
 	r.samples = append(r.samples, csi.Sample{
 		APID:       a.cfg.ID,
 		Seq:        m.Seq,
-		CapturedAt: time.Now(),
+		CapturedAt: a.captureTime(m.RoundID, m.Seq),
 		RSSI:       m.RSSI,
 		CSI:        m.CSI,
 	})
-	ready := r.ready()
+	ready := r.readyLocked()
 	a.mu.Unlock()
 	if ready {
 		a.report(m.RoundID)
 	}
 }
 
-// ready reports whether the round has all frames and a known burst length
-// and has not been reported yet. Callers must hold the mutex.
-func (r *apRound) ready() bool {
+// readyLocked reports whether the round has all frames and a known burst
+// length and has not been reported yet. Callers must hold the agent mutex.
+func (r *apRound) readyLocked() bool {
 	return !r.reported && r.packets > 0 && len(r.samples) >= r.packets
 }
 

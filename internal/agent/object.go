@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -159,13 +160,21 @@ func (o *ObjectAgent) Pos() geom.Vec {
 // RunRound executes one measurement round: announce, transmit the probe
 // burst to every known AP, and wait for the server's estimate.
 func (o *ObjectAgent) RunRound(roundID uint64) (wire.Estimate, error) {
+	// Snapshot the AP roster sorted by ID: the probe loop below draws
+	// noise from o.rng per transmission, so map order would give every
+	// run a different noise-to-AP assignment.
+	type apSite struct {
+		id  string
+		pos geom.Vec
+	}
 	o.mu.Lock()
-	aps := make(map[string]geom.Vec, len(o.apPos))
+	aps := make([]apSite, 0, len(o.apPos))
 	for id, p := range o.apPos {
-		aps[id] = p
+		aps = append(aps, apSite{id: id, pos: p})
 	}
 	objPos := o.cfg.Pos
 	o.mu.Unlock()
+	sort.Slice(aps, func(i, j int) bool { return aps[i].id < aps[j].id })
 	if len(aps) == 0 {
 		return wire.Estimate{}, fmt.Errorf("%w: no APs registered with the object's physics layer", ErrBadConfig)
 	}
@@ -176,13 +185,13 @@ func (o *ObjectAgent) RunRound(roundID uint64) (wire.Estimate, error) {
 	// Transmit the burst: for each packet, every AP hears its own channel
 	// realization of the same probe.
 	for seq := 0; seq < o.cfg.Packets; seq++ {
-		for id, apPos := range aps {
+		for _, ap := range aps {
 			frame := &wire.ProbeFrame{
 				RoundID: roundID,
-				To:      id,
+				To:      ap.id,
 				Seq:     uint64(seq),
-				RSSI:    o.cfg.Sim.RSSI(objPos, apPos) + o.rng.NormFloat64()*1.5,
-				CSI:     o.cfg.Sim.Measure(objPos, apPos, o.rng),
+				RSSI:    o.cfg.Sim.RSSI(objPos, ap.pos) + o.rng.NormFloat64()*1.5,
+				CSI:     o.cfg.Sim.Measure(objPos, ap.pos, o.rng),
 			}
 			if err := o.send(frame); err != nil {
 				return wire.Estimate{}, fmt.Errorf("agent: probe frame: %w", err)

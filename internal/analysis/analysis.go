@@ -1,0 +1,136 @@
+// Package analysis is nomloc-vet's static-analysis toolkit: a
+// self-contained go/analysis-style framework (the container this repo
+// builds in has no network access, so golang.org/x/tools is off the
+// table) plus the four analyzers that enforce NomLoc's determinism and
+// concurrency contract. The evaluation pipeline's bit-reproducibility —
+// the property that makes the paper-figure reproductions checkable — is
+// enforced here at the syntax/type level instead of living as tribal
+// knowledge:
+//
+//   - detrand:  no time.Now, no global math/rand, no raw map iteration in
+//     deterministic packages (escape hatch: //nomloc:nondeterministic-ok)
+//   - seedmix:  per-stream seed derivations go through parallel.MixSeed
+//   - floateq:  no exact ==/!= between floats away from zero sentinels
+//   - locksafe: *Locked methods are called with a lock held, and
+//     mutex-bearing values are never copied
+//
+// The cmd/nomloc-vet multichecker composes them over `go list` package
+// patterns; the analysistest subpackage runs them over fixture packages
+// with // want expectations, mirroring x/tools' analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// Analyzer is one static check: a name for diagnostics and suppression
+// scoping, documentation, and the per-package Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -analyzers filters.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run inspects one type-checked package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line.
+	Fset *token.FileSet
+	// Files are the package's parsed sources, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	// Pos anchors the finding.
+	Pos token.Pos
+	// Analyzer names the originating check.
+	Analyzer string
+	// Message states the violation and the fix.
+	Message string
+}
+
+// Reportf records a finding against the pass's package.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// All returns the nomloc-vet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, SeedMix, FloatEq, LockSafe}
+}
+
+// deterministicPackages are the import-path base names whose outputs feed
+// published figures and therefore must be bit-reproducible. The agent
+// package joins them because its simulated capture path feeds the same
+// pipeline (its timers and network I/O are untouched — only time.Now,
+// global math/rand, and map iteration are constrained).
+var deterministicPackages = map[string]bool{
+	"core":      true,
+	"lp":        true,
+	"csi":       true,
+	"channel":   true,
+	"eval":      true,
+	"baseline":  true,
+	"placement": true,
+	"mobility":  true,
+	"track":     true,
+	"agent":     true,
+}
+
+// isDeterministicPkg reports whether the import path names a package
+// under the determinism contract.
+func isDeterministicPkg(pkgPath string) bool {
+	return deterministicPackages[path.Base(pkgPath)]
+}
+
+// calleeFunc resolves a call expression to the function or method object
+// it invokes, or nil for builtins, conversions, and dynamic calls through
+// function-typed variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	default:
+		return nil
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}

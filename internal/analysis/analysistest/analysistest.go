@@ -1,0 +1,171 @@
+// Package analysistest runs nomloc-vet analyzers over fixture packages
+// and checks their diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only. Fixtures live under <testdata>/src/<pkg>/ as plain directories —
+// the go tool never builds testdata — and the fixture's package path is
+// just <pkg>, which is how determinism-scoped analyzers are pointed at
+// (or away from) fixture code: name the directory core, eval, lp … to
+// opt in, anything else to opt out.
+//
+// Expectation syntax, at the end of the offending line:
+//
+//	badCall() // want `regexp` "another regexp"
+//
+// Every listed pattern must match some diagnostic reported on that line,
+// and every diagnostic must be matched by some pattern. Suppression
+// comments are honored exactly as cmd/nomloc-vet honors them, so
+// fixtures can also assert the escape hatch's behavior (including stale
+// suppressions, which report on the comment's own line).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+var (
+	lookupOnce sync.Once
+	lookup     analysis.ExportLookup
+	lookupErr  error
+)
+
+// moduleLookup builds (once) the export-data index for the enclosing
+// module, so fixtures may import anything the module or its dependencies
+// provide — github.com/nomloc/nomloc/internal/parallel included.
+func moduleLookup() (analysis.ExportLookup, error) {
+	lookupOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			lookupErr = fmt.Errorf("locate module root: %w", err)
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == os.DevNull {
+			lookupErr = fmt.Errorf("analysistest requires a module context")
+			return
+		}
+		lookup, lookupErr = analysis.NewExportLookup(filepath.Dir(gomod), "./...")
+	})
+	return lookup, lookupErr
+}
+
+// Run loads each fixture package from <testdata>/src/<pkg>, applies the
+// analyzer (suppressions included), and reports every mismatch between
+// its diagnostics and the fixtures' // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	look, err := moduleLookup()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgName)
+		fset := token.NewFileSet()
+		files, err := analysis.ParseDir(dir, fset)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		pkg, err := look.CheckFiles(fset, pkgName, files)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		diags, err := pkg.Run(a)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		checkExpectations(t, pkg, a.Name, diags)
+	}
+}
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// wantRe extracts the expectation list from a comment's text.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// patternRe matches one double- or back-quoted Go string literal.
+var patternRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// checkExpectations diffs diagnostics against // want comments.
+func checkExpectations(t *testing.T, pkg *analysis.Package, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+
+	remaining := map[lineKey][]string{}
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		k := lineKey{file: p.Filename, line: p.Line}
+		remaining[k] = append(remaining[k], d.Message)
+	}
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				k := lineKey{file: p.Filename, line: p.Line}
+				for _, lit := range patternRe.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %s: %v", p.Filename, p.Line, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, pattern, err)
+						continue
+					}
+					if !consumeMatch(remaining, k, re) {
+						t.Errorf("%s:%d: no %s diagnostic matching %q", p.Filename, p.Line, name, pattern)
+					}
+				}
+			}
+		}
+	}
+
+	for k, msgs := range remaining {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", k.file, k.line, name, msg)
+		}
+	}
+}
+
+// consumeMatch removes the first diagnostic on line k matching re.
+func consumeMatch(remaining map[lineKey][]string, k lineKey, re *regexp.Regexp) bool {
+	msgs := remaining[k]
+	for i, msg := range msgs {
+		if re.MatchString(msg) {
+			remaining[k] = append(msgs[:i], msgs[i+1:]...)
+			if len(remaining[k]) == 0 {
+				delete(remaining, k)
+			}
+			return true
+		}
+	}
+	return false
+}

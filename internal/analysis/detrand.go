@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids the three ambient sources of nondeterminism inside
+// deterministic packages: wall-clock reads, the global math/rand source,
+// and iteration over maps (whose order Go randomizes). Map iteration is
+// allowed when the body only collects keys/values into a slice — the
+// collect-then-sort idiom — because collection order cannot leak into the
+// result once the slice is sorted. Anything else needs an explicit
+// //nomloc:nondeterministic-ok suppression on the offending line.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid time.Now, the global math/rand source, and unsorted map " +
+		"iteration in deterministic packages",
+	Run: runDetRand,
+}
+
+// globalRandFuncs are the math/rand top-level functions that consume the
+// shared global source. Constructors (New, NewSource, NewZipf) are fine:
+// they bind randomness to an explicit, seedable stream.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				f := calleeFunc(pass.Info, n)
+				if isPkgFunc(f, "time", "Now") {
+					pass.Reportf(n.Pos(), "time.Now is nondeterministic in a deterministic package; inject a clock (see agent.APConfig.Clock)")
+				}
+				if f != nil && f.Pkg() != nil && f.Pkg().Path() == "math/rand" && globalRandFuncs[f.Name()] {
+					sig, _ := f.Type().(*types.Signature)
+					if sig != nil && sig.Recv() == nil {
+						pass.Reportf(n.Pos(), "rand.%s draws from the global math/rand source; use an explicit *rand.Rand seeded via parallel.MixSeed or parallel.Stream", f.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if isCollectOnlyBody(n.Body) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "map iteration order is nondeterministic; collect the keys into a slice and sort them first")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectOnlyBody reports whether a range body is a single
+// `s = append(s, ...)` statement — the order-insensitive first half of
+// the collect-then-sort idiom.
+func isCollectOnlyBody(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) != 1 {
+		return false
+	}
+	assign, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && fn.Name == "append"
+}

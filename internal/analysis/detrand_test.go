@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+	"github.com/nomloc/nomloc/internal/analysis/analysistest"
+)
+
+func TestDetRand(t *testing.T) {
+	// core is inside the determinism contract, other is not: the same
+	// violations must report in the former and stay silent in the latter.
+	analysistest.Run(t, analysistest.TestData(), analysis.DetRand, "core", "other")
+}

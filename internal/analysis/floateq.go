@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags exact ==/!= between floating-point operands in
+// deterministic packages. Exact float comparison makes control flow
+// depend on the last ulp of a computation — the SBL baseline's rank-tie
+// detection was the live example. Three comparisons stay legal:
+//
+//   - against an exact-zero constant: zero is the universal "unset" and
+//     "skip the no-op pivot" sentinel, and comparing to it is well-defined;
+//   - x != x, the NaN probe;
+//   - inside tolerance helpers, recognized by name (approxEqual,
+//     AlmostEqual, …, or any function whose name starts with approx/almost
+//     or ends in Tol), which is where an intentional exact comparison
+//     belongs.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag exact ==/!= between floating-point operands outside " +
+		"tolerance helpers and zero-sentinel checks",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isToleranceHelper(fn.Name.Name) {
+				return true
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				// Nested function literals belong to fn for this purpose.
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass.Info.TypeOf(b.X)) && !isFloat(pass.Info.TypeOf(b.Y)) {
+					return true
+				}
+				if isExactZero(pass.Info, b.X) || isExactZero(pass.Info, b.Y) {
+					return true
+				}
+				if isNaNProbe(b) {
+					return true
+				}
+				pass.Reportf(b.OpPos, "exact floating-point %s; compare with a tolerance helper (e.g. approxEqual) instead", b.Op)
+				return true
+			})
+			// Do not descend again; the inner walk covered the body.
+			return false
+		})
+	}
+	return nil
+}
+
+// isToleranceHelper reports whether a function name marks an approved
+// comparison helper.
+func isToleranceHelper(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasPrefix(l, "approx") || strings.HasPrefix(l, "almost") ||
+		strings.HasSuffix(l, "tol")
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether the expression is a compile-time constant
+// equal to zero.
+func isExactZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isNaNProbe recognizes the x != x NaN test.
+func isNaNProbe(b *ast.BinaryExpr) bool {
+	if b.Op != token.NEQ {
+		return false
+	}
+	x, okX := ast.Unparen(b.X).(*ast.Ident)
+	y, okY := ast.Unparen(b.Y).(*ast.Ident)
+	return okX && okY && x.Name == y.Name
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader typechecks packages the way vet's unitchecker does: each
+// target package is parsed from source and checked against the compiled
+// export data of its dependencies, which `go list -deps -export` places
+// in the build cache. Everything here is standard library — the sandbox
+// this repo grows in has no module proxy, so golang.org/x/tools/go/
+// packages is not an option.
+
+// ErrLoad wraps package-loading failures.
+var ErrLoad = errors.New("analysis: load failed")
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the checker's fact tables.
+	Info *types.Info
+}
+
+// Run executes one analyzer over the package, returning its diagnostics
+// after suppression filtering.
+func (p *Package) Run(a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     p.Fset,
+		Files:    p.Files,
+		Pkg:      p.Types,
+		Info:     p.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", a.Name, p.Path, err)
+	}
+	return ApplySuppressions(p.Fset, p.Files, a.Name, pass.diags), nil
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%w: go list %s: %v\n%s", ErrLoad,
+			strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%w: decode go list output: %v", ErrLoad, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportLookup maps import paths to compiled export data files for every
+// dependency reachable from the module's packages. Build one with
+// NewExportLookup and share it across Load and fixture typechecks.
+type ExportLookup map[string]string
+
+// NewExportLookup compiles (into the build cache) and indexes export data
+// for all packages matching patterns, and their dependencies, resolved
+// from dir.
+func NewExportLookup(dir string, patterns ...string) (ExportLookup, error) {
+	pkgs, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	lookup := make(ExportLookup, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			lookup[p.ImportPath] = p.Export
+		}
+	}
+	return lookup, nil
+}
+
+// Importer returns a types.Importer serving packages from the lookup's
+// export data files.
+func (l ExportLookup) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// NewInfo returns a types.Info with every fact table the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CheckFiles typechecks already-parsed files as the package at pkgPath,
+// resolving imports through the lookup.
+func (l ExportLookup) CheckFiles(fset *token.FileSet, pkgPath string, files []*ast.File) (*Package, error) {
+	info := NewInfo()
+	cfg := types.Config{Importer: l.Importer(fset)}
+	tpkg, err := cfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%w: typecheck %s: %v", ErrLoad, pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ParseDir parses every .go file of one directory (comments included)
+// into a fresh file set.
+func ParseDir(dir string, fset *token.FileSet) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLoad, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLoad, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%w: no .go files in %s", ErrLoad, dir)
+	}
+	return files, nil
+}
+
+// Load lists, parses, and typechecks the packages matching the `go list`
+// patterns, resolving them relative to dir (the module the patterns name
+// must be reachable from there). Test files are not analyzed — the
+// determinism contract governs what ships, and fixtures/tests legally
+// hold violations as specimens.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	lookup, err := NewExportLookup(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Name,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrLoad, err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := lookup.CheckFiles(fset, t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockSafe enforces the repo's two lock-hygiene conventions, in every
+// package (the mutex-heavy server and agent tiers are exactly the ones
+// outside the determinism set):
+//
+//   - a method whose name ends in "Locked" documents that its receiver's
+//     state is guarded by a mutex the caller already holds. Calling one
+//     from a function that neither locks anything beforehand (lexically,
+//     within the enclosing function) nor is itself a *Locked method is
+//     flagged. The check is syntactic — it looks for a sync (R)Lock call
+//     earlier in the enclosing function body — which is deliberately
+//     conservative about unlock paths; it exists to catch the "called it
+//     from a fresh code path with no lock at all" regression.
+//
+//   - values whose type transitively contains a sync.Mutex/RWMutex must
+//     not be copied: assignments from existing variables, range value
+//     variables, and value receivers are flagged (a lightweight cut of
+//     go vet's copylocks).
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "flag *Locked methods called without a lock held in the caller's " +
+		"scope, and by-value copies of mutex-bearing structs",
+	Run: runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockedCalls(pass, fn)
+			checkValueReceiver(pass, fn)
+			if fn.Body != nil {
+				checkLockCopies(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLockedCalls flags calls to *Locked methods made without any
+// preceding (R)Lock call in the enclosing function, unless the function
+// is itself a *Locked method.
+func checkLockedCalls(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || strings.HasSuffix(fn.Name.Name, "Locked") {
+		return
+	}
+	lockPositions := syncLockPositions(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Name() == "Locked" || !strings.HasSuffix(f.Name(), "Locked") {
+			return true
+		}
+		sig, _ := f.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil {
+			return true
+		}
+		held := false
+		for _, lp := range lockPositions {
+			if lp < call.Pos() {
+				held = true
+				break
+			}
+		}
+		if !held {
+			pass.Reportf(call.Pos(), "%s is called without a lock held in %s; its Locked suffix requires the receiver's mutex", f.Name(), fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// syncLockPositions collects the positions of sync.Mutex.Lock,
+// sync.RWMutex.Lock, and sync.RWMutex.RLock calls within body.
+func syncLockPositions(pass *Pass, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+			return true
+		}
+		if f.Name() == "Lock" || f.Name() == "RLock" {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// checkValueReceiver flags methods declared on a mutex-bearing value
+// receiver: every call would copy the lock.
+func checkValueReceiver(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return
+	}
+	recv := fn.Recv.List[0]
+	t := pass.Info.TypeOf(recv.Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if lockType := containedLock(t); lockType != "" {
+		pass.Reportf(recv.Type.Pos(), "value receiver of %s copies %s; use a pointer receiver", fn.Name.Name, lockType)
+	}
+}
+
+// checkLockCopies flags statements that copy a mutex-bearing value from
+// an existing variable: plain/short assignments and range value
+// variables. Composite literals and call results are fresh values, not
+// copies of a lock someone may hold, and stay legal.
+func checkLockCopies(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				// `_ = v` discards the value; nothing is copied.
+				if lhs, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && lhs.Name == "_" {
+					continue
+				}
+				if !copiesExistingValue(rhs) {
+					continue
+				}
+				t := pass.Info.TypeOf(rhs)
+				if t == nil {
+					continue
+				}
+				if lockType := containedLock(t); lockType != "" {
+					pass.Reportf(rhs.Pos(), "assignment copies %s by value; take a pointer instead", lockType)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return true
+			}
+			t := pass.Info.TypeOf(n.Value)
+			if t == nil {
+				return true
+			}
+			if lockType := containedLock(t); lockType != "" {
+				pass.Reportf(n.Value.Pos(), "range value copies %s per iteration; range over indices or pointers instead", lockType)
+			}
+		}
+		return true
+	})
+}
+
+// copiesExistingValue reports whether the expression reads an existing
+// addressable value (identifier, field, index, or pointer dereference) —
+// the forms whose assignment duplicates a possibly-held lock.
+func copiesExistingValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// containedLock reports the name of the sync lock type t transitively
+// contains by value ("" when none): sync.Mutex or sync.RWMutex directly,
+// or inside struct fields and array elements. Pointers and slices stop
+// the walk — they share, not copy.
+func containedLock(t types.Type) string {
+	return containedLockRec(t, map[types.Type]bool{})
+}
+
+func containedLockRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex":
+				return "sync." + obj.Name()
+			}
+		}
+		return containedLockRec(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if found := containedLockRec(t.Field(i).Type(), seen); found != "" {
+				return found
+			}
+		}
+	case *types.Array:
+		return containedLockRec(t.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+	"github.com/nomloc/nomloc/internal/analysis/analysistest"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.LockSafe, "server")
+}

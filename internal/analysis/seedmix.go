@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// mixSeedPkg is the blessed home of seed-derivation arithmetic.
+const mixSeedPkg = "github.com/nomloc/nomloc/internal/parallel"
+
+// SeedMix rejects ad-hoc seed arithmetic feeding rand.NewSource in
+// deterministic packages — the `opt.Seed + int64(si)*7919` pattern that
+// used to be copy-pasted across internal/eval. Five near-copies of the
+// same derivation are five chances for two experiments to collide on a
+// stream; parallel.MixSeed(seed, stream, mode) is the one place the grid
+// lives. A NewSource argument may be a plain variable, a constant, or a
+// call (parallel.MixSeed above all) — any expression containing arithmetic
+// is flagged.
+var SeedMix = &Analyzer{
+	Name: "seedmix",
+	Doc: "require parallel.MixSeed for per-stream seed derivations instead " +
+		"of ad-hoc seed arithmetic",
+	Run: runSeedMix,
+}
+
+func runSeedMix(pass *Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if !isPkgFunc(calleeFunc(pass.Info, call), "math/rand", "NewSource") {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if argCall, ok := arg.(*ast.CallExpr); ok {
+				if isPkgFunc(calleeFunc(pass.Info, argCall), mixSeedPkg, "MixSeed") {
+					return true
+				}
+			}
+			if containsArithmetic(arg) {
+				pass.Reportf(call.Args[0].Pos(), "ad-hoc seed arithmetic; derive per-stream seeds with parallel.MixSeed(seed, stream, mode)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// containsArithmetic reports whether the expression tree contains any
+// binary operator — the signature of a hand-rolled seed derivation.
+func containsArithmetic(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.BinaryExpr); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

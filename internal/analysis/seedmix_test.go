@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+	"github.com/nomloc/nomloc/internal/analysis/analysistest"
+)
+
+func TestSeedMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.SeedMix, "eval")
+}

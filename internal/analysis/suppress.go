@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// SuppressComment is the escape hatch for detrand findings: placed at the
+// end of the offending line (or alone on the line directly above it), it
+// silences diagnostics on exactly that one statement's line. A rationale
+// may follow after a space. Suppressions are audited — one that silences
+// nothing is itself reported, so escape hatches cannot outlive the code
+// they excused.
+const SuppressComment = "//nomloc:nondeterministic-ok"
+
+// suppressibleAnalyzers names the analyzers SuppressComment applies to.
+// The other checks have no sanctioned exceptions: seed derivations,
+// float comparisons, and lock conventions are always fixable in place.
+var suppressibleAnalyzers = map[string]bool{"detrand": true}
+
+// ApplySuppressions filters diags through the SuppressComment escape
+// hatches found in files, returning the surviving diagnostics plus one
+// stale-suppression diagnostic (attributed to analyzer) for every
+// comment that suppressed nothing. Call it once per (package, analyzer)
+// run; for analyzers outside the suppressible set it returns diags
+// unchanged and reports no staleness (the comments belong to detrand's
+// audit, not theirs).
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
+	if !suppressibleAnalyzers[analyzer] {
+		return diags
+	}
+
+	type suppression struct {
+		pos  token.Pos
+		file string
+		line int
+		used bool
+	}
+	var sups []*suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, SuppressComment) {
+					continue
+				}
+				// Require a clean boundary: exactly the marker, or the
+				// marker followed by whitespace and a rationale.
+				rest := c.Text[len(SuppressComment):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				sups = append(sups, &suppression{pos: c.Pos(), file: p.Filename, line: p.Line})
+			}
+		}
+	}
+	if len(sups) == 0 {
+		return diags
+	}
+
+	// Each suppression covers exactly one line: its own when a diagnostic
+	// sits there (trailing comment), otherwise the line below (standalone
+	// comment above the statement).
+	onLine := func(file string, line int) bool {
+		for _, d := range diags {
+			p := fset.Position(d.Pos)
+			if p.Filename == file && p.Line == line {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range sups {
+		if !onLine(s.file, s.line) {
+			s.line++
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, s := range sups {
+			if s.file == p.Filename && p.Line == s.line {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			kept = append(kept, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: analyzer,
+				Message:  "stale " + SuppressComment + " suppression: no diagnostic on this or the next line",
+			})
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept
+}

@@ -1,0 +1,93 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+	"github.com/nomloc/nomloc/internal/analysis/analysistest"
+)
+
+// TestSuppressions drives the escape hatch end to end through the track
+// fixture: a trailing //nomloc:nondeterministic-ok silences its own
+// statement, a standalone one silences the statement below, a second
+// violation next to a suppressed one still reports, and a suppression
+// with nothing under it reports as stale.
+func TestSuppressions(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.DetRand, "track")
+}
+
+// parseOne parses one synthetic file with comments.
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, file
+}
+
+// TestSuppressionScopedToDetrand checks that the hatch does not leak to
+// other analyzers: a suppression comment neither silences their
+// diagnostics nor produces stale reports under their name.
+func TestSuppressionScopedToDetrand(t *testing.T) {
+	const src = `package p
+
+var x = 1 //nomloc:nondeterministic-ok
+`
+	fset, file := parseOne(t, src)
+	in := []analysis.Diagnostic{{
+		Pos:      file.Package,
+		Analyzer: "floateq",
+		Message:  "exact floating-point ==",
+	}}
+	got := analysis.ApplySuppressions(fset, []*ast.File{file}, "floateq", in)
+	if len(got) != 1 || got[0].Message != in[0].Message {
+		t.Fatalf("floateq diagnostics = %v, want the input unchanged", got)
+	}
+}
+
+// TestSuppressionTrailingCoversOwnLineOnly checks the one-statement scope
+// directly on the filter: with diagnostics on the comment's line and the
+// next line, only the former is silenced.
+func TestSuppressionTrailingCoversOwnLineOnly(t *testing.T) {
+	const src = `package p
+
+var a = 1 //nomloc:nondeterministic-ok
+var b = 2
+`
+	fset, file := parseOne(t, src)
+	// Positions of the two declarations (lines 3 and 4).
+	posA := file.Decls[0].Pos()
+	posB := file.Decls[1].Pos()
+	in := []analysis.Diagnostic{
+		{Pos: posA, Analyzer: "detrand", Message: "violation a"},
+		{Pos: posB, Analyzer: "detrand", Message: "violation b"},
+	}
+	got := analysis.ApplySuppressions(fset, []*ast.File{file}, "detrand", in)
+	if len(got) != 1 || got[0].Message != "violation b" {
+		t.Fatalf("diagnostics = %+v, want only the line-4 violation", got)
+	}
+}
+
+// TestStaleSuppressionReported checks that a hatch with nothing under it
+// becomes a diagnostic of its own.
+func TestStaleSuppressionReported(t *testing.T) {
+	const src = `package p
+
+//nomloc:nondeterministic-ok
+var a = 1
+`
+	fset, file := parseOne(t, src)
+	got := analysis.ApplySuppressions(fset, []*ast.File{file}, "detrand", nil)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "stale") {
+		t.Fatalf("diagnostics = %+v, want one stale-suppression report", got)
+	}
+	if line := fset.Position(got[0].Pos).Line; line != 3 {
+		t.Fatalf("stale report on line %d, want the comment's line 3", line)
+	}
+}

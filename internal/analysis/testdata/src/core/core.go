@@ -1,0 +1,51 @@
+// Package core is a detrand fixture: its directory name puts it inside
+// the determinism contract.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time.Now is nondeterministic`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand source`
+}
+
+func localRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func mapIter(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+func mapCollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceIter(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,30 @@
+// Package eval is a seedmix fixture: the directory name puts it inside
+// the determinism contract, where seed derivations must go through
+// parallel.MixSeed.
+package eval
+
+import (
+	"math/rand"
+
+	"github.com/nomloc/nomloc/internal/parallel"
+)
+
+func adHoc(seed int64, si int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(si)*7919)) // want `ad-hoc seed arithmetic`
+}
+
+func xorMix(seed int64, i int) rand.Source {
+	return rand.NewSource(seed ^ int64(i)<<7) // want `ad-hoc seed arithmetic`
+}
+
+func mixed(seed int64, si int) *rand.Rand {
+	return rand.New(rand.NewSource(parallel.MixSeed(seed, int64(si), 0)))
+}
+
+func plainSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func constSeed() rand.Source {
+	return rand.NewSource(42)
+}

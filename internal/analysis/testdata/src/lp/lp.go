@@ -1,0 +1,45 @@
+// Package lp is a floateq fixture: the directory name puts it inside the
+// determinism contract, where exact float comparison needs a tolerance
+// helper.
+package lp
+
+import "math"
+
+func bad(a, b float64) bool {
+	return a == b // want `exact floating-point ==`
+}
+
+func badNeq(a, b float64) bool {
+	return a != b+1 // want `exact floating-point !=`
+}
+
+func badFloat32(a float32, b float32) bool {
+	return a == b // want `exact floating-point ==`
+}
+
+func zeroSentinel(x float64) bool {
+	return x == 0
+}
+
+func zeroPivotSkip(factor float64) bool {
+	return factor != 0
+}
+
+func nanProbe(x float64) bool {
+	return x != x
+}
+
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func tinyConstCompare(x float64) bool {
+	return x == 1e-300 // want `exact floating-point ==`
+}
+
+func ints(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,24 @@
+// Package other is a detrand fixture outside the determinism contract:
+// nothing here may be reported.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(10)
+}
+
+func mapIter(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

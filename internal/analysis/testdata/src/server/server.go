@@ -1,0 +1,58 @@
+// Package server is a locksafe fixture. locksafe runs everywhere, so the
+// directory name carries no meaning beyond matching the real package the
+// convention came from.
+package server
+
+import "sync"
+
+type Store struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(k)
+}
+
+func (s *Store) getLocked(k string) int { return s.items[k] }
+
+func (s *Store) Bad(k string) int {
+	return s.getLocked(k) // want `getLocked is called without a lock held in Bad`
+}
+
+func (s *Store) chainLocked(k string) int {
+	return s.getLocked(k)
+}
+
+func CopyDeref(s *Store) {
+	v := *s // want `assignment copies sync.Mutex by value`
+	_ = v
+}
+
+func CopyAssign(a, b Store) {
+	a = b // want `assignment copies sync.Mutex by value`
+	_ = a
+}
+
+func (s Store) ValueRecv() {} // want `value receiver of ValueRecv copies sync.Mutex`
+
+func Iterate(xs []Store) {
+	for _, x := range xs { // want `range value copies sync.Mutex`
+		_ = x
+	}
+}
+
+func IterateByIndex(xs []Store) {
+	for i := range xs {
+		xs[i].mu.Lock()
+		xs[i].mu.Unlock()
+	}
+}
+
+func FreshValue() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package track is the escape-hatch fixture (directory name inside the
+// determinism contract): suppressions silence exactly one statement, and
+// a suppression with nothing under it is itself reported.
+package track
+
+import "time"
+
+func suppressedTrailing() time.Time {
+	return time.Now() //nomloc:nondeterministic-ok wall clock feeds a log line only
+}
+
+func suppressedAbove() time.Time {
+	//nomloc:nondeterministic-ok
+	return time.Now()
+}
+
+func suppressesOnlyOneStatement() (time.Time, time.Time) {
+	a := time.Now() //nomloc:nondeterministic-ok
+	b := time.Now() // want `time.Now is nondeterministic`
+	return a, b
+}
+
+//nomloc:nondeterministic-ok // want `stale //nomloc:nondeterministic-ok suppression`

@@ -97,6 +97,19 @@ func (s *SBL) Locate(powersDBm []float64) (geom.Vec, error) {
 	return sum.Scale(1 / float64(count)), nil
 }
 
+// rankTieTol bounds the spread within which sorted values count as one
+// rank tie. Distances to distinct grid cells and measured powers that
+// genuinely tie are bit-identical, so the tolerance only has to absorb
+// float formatting round-trips, not measurement noise.
+const rankTieTol = 1e-12
+
+// approxEqualRank reports whether two sorted rank keys tie, within
+// rankTieTol absolute tolerance (exact float equality would make tie
+// handling depend on the last ulp of the distance computation).
+func approxEqualRank(a, b float64) bool {
+	return math.Abs(a-b) <= rankTieTol
+}
+
 // averageRanks returns 1-based ranks with ties sharing their average rank
 // (the standard treatment for Spearman correlation).
 func averageRanks(xs []float64) []float64 {
@@ -109,7 +122,7 @@ func averageRanks(xs []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		for j+1 < n && approxEqualRank(xs[idx[j+1]], xs[idx[i]]) {
 			j++
 		}
 		avg := float64(i+j)/2 + 1

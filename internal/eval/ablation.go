@@ -126,7 +126,7 @@ func RunConfidenceAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, er
 		errs, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
 			func(si int) (float64, error) {
 				site := scn.TestSites[si]
-				rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+				rng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, int64(si), 0)))
 				var siteErrs []float64
 				for trial := 0; trial < h.Options().TrialsPerSite; trial++ {
 					anchors, err := h.AnchorsNomadic(site, rng)
@@ -177,7 +177,7 @@ func RunBaselineComparisonMode(scn *deploy.Scenario, opt Options, mode Mode) ([]
 
 	// Calibrate the ranging model from a dedicated probe grid (war-driving
 	// pass): PDP in dB versus known distance.
-	calRng := rand.New(rand.NewSource(opt.Seed + 9999))
+	calRng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, 0, calibrationMode)))
 	var cal []baseline.RangeSample
 	aps := scn.AllAPsStatic()
 	for _, probe := range scn.Area.SamplePoints(2.0, 0.5) {
@@ -292,7 +292,7 @@ func RunBaselineComparisonMode(scn *deploy.Scenario, opt Options, mode Mode) ([]
 	siteMeans, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
 		func(si int) ([]float64, error) {
 			site := scn.TestSites[si]
-			rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+			rng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, int64(si), 0)))
 			trialErrs := make([][]float64, len(methods))
 			for trial := 0; trial < opt.TrialsPerSite; trial++ {
 				var anchors []core.Anchor
@@ -389,7 +389,7 @@ func runMultiNomadicOnce(scn *deploy.Scenario, opt Options, n int) ([]float64, e
 
 	return parallel.Map(context.Background(), opt.Workers, len(scn.TestSites), func(si int) (float64, error) {
 		site := scn.TestSites[si]
-		rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+		rng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, int64(si), 0)))
 		var siteErrs []float64
 		for trial := 0; trial < opt.TrialsPerSite; trial++ {
 			anchors, err := h.AnchorsStatic(site, rng)

@@ -262,7 +262,7 @@ func (h *Harness) RunSites(mode Mode) ([]SiteResult, error) {
 	return parallel.Map(context.Background(), h.opt.Workers, len(h.scn.TestSites),
 		func(si int) (SiteResult, error) {
 			site := h.scn.TestSites[si]
-			rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*7919 + int64(mode)*104729))
+			rng := rand.New(rand.NewSource(parallel.MixSeed(h.opt.Seed, int64(si), int64(mode))))
 			res := SiteResult{Site: site, Errors: make([]float64, 0, h.opt.TrialsPerSite)}
 			for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
 				est, err := h.LocalizeOnce(site, mode, rng)
@@ -311,7 +311,7 @@ func (h *Harness) ProximityAccuracy() ([]ProximityResult, error) {
 	return parallel.Map(context.Background(), h.opt.Workers, len(h.scn.TestSites),
 		func(si int) (ProximityResult, error) {
 			site := h.scn.TestSites[si]
-			rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*6271))
+			rng := rand.New(rand.NewSource(parallel.MixSeed(h.opt.Seed, int64(si), proximityMode)))
 			res := ProximityResult{Site: site}
 			for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
 				anchors, err := h.AnchorsStatic(site, rng)

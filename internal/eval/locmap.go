@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/parallel"
 )
 
 // This file computes localizability maps: the paper's Fig. 1 concept made
@@ -51,7 +52,7 @@ func (h *Harness) RunLocalizabilityMap(mode Mode, spacing float64, trials int) (
 		Errors:  make([]float64, len(points)),
 	}
 	for i, p := range points {
-		rng := rand.New(rand.NewSource(h.opt.Seed + int64(i)*6151 + int64(mode)*104729))
+		rng := rand.New(rand.NewSource(parallel.MixSeed(h.opt.Seed, int64(i), locmapModeBase+int64(mode))))
 		var sum float64
 		for trial := 0; trial < trials; trial++ {
 			est, err := h.LocalizeOnce(p, mode, rng)

@@ -126,7 +126,7 @@ func RunMovingPatterns(scn *deploy.Scenario, opt Options, moves int) ([]Ablation
 		errs, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
 			func(si int) (float64, error) {
 				site := scn.TestSites[si]
-				rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919))
+				rng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, int64(si), 0)))
 				var siteErrs []float64
 				for trial := 0; trial < opt.TrialsPerSite; trial++ {
 					anchors, err := h.AnchorsNomadicPlanned(site, strat, moves, rng)

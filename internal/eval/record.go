@@ -9,6 +9,7 @@ import (
 	"github.com/nomloc/nomloc/internal/dataset"
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/parallel"
 )
 
 // This file bridges the harness and the dataset package: recording
@@ -27,7 +28,7 @@ func (h *Harness) RecordDataset(mode Mode) (*dataset.Dataset, error) {
 		CreatedAt: time.Date(2014, time.June, 30, 12, 0, 0, 0, time.UTC),
 	}
 	for si, site := range h.scn.TestSites {
-		rng := rand.New(rand.NewSource(h.opt.Seed + int64(si)*7919 + int64(mode)*104729))
+		rng := rand.New(rand.NewSource(parallel.MixSeed(h.opt.Seed, int64(si), int64(mode))))
 		for trial := 0; trial < h.opt.TrialsPerSite; trial++ {
 			rec, err := h.recordRound(site, mode, rng)
 			if err != nil {

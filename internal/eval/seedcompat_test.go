@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/parallel"
+)
+
+// TestMixSeedPreservesPublishedStreams pins parallel.MixSeed to the
+// inline arithmetic it replaced (seed + stream*7919 + mode*104729, the
+// derivation RunSites/RecordDataset/the ablations used before the
+// deduplication). If the mixer ever changes formula, every published
+// error figure shifts, so this is a hard compatibility contract — not a
+// statistical check.
+func TestMixSeedPreservesPublishedStreams(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -3, 1 << 40} {
+		for stream := int64(0); stream < 9; stream++ {
+			for _, mode := range []int64{0, 1, 2, proximityMode, locmapModeBase, calibrationMode} {
+				want := seed + stream*7919 + mode*104729
+				if got := parallel.MixSeed(seed, stream, mode); got != want {
+					t.Fatalf("MixSeed(%d, %d, %d) = %d, want legacy stream %d",
+						seed, stream, mode, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSitesMatchesLegacySeedDerivation replays RunSites sequentially
+// with the pre-refactor inline seed expression and requires bitwise
+// identical estimates for the default seed, proving the MixSeed
+// migration left the published streams untouched end to end.
+func TestRunSitesMatchesLegacySeedDerivation(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOptions()
+	h, err := NewHarness(scn, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{StaticDeployment, NomadicDeployment} {
+		got, err := h.RunSites(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, site := range scn.TestSites {
+			// The exact expression RunSites used before parallel.MixSeed
+			// existed.
+			rng := rand.New(rand.NewSource(opt.Seed + int64(si)*7919 + int64(mode)*104729))
+			for trial := 0; trial < h.Options().TrialsPerSite; trial++ {
+				est, err := h.LocalizeOnce(site, mode, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := est.Position.Dist(site); got[si].Errors[trial] != want {
+					t.Fatalf("mode %v site %d trial %d: error %.17g, legacy stream gives %.17g",
+						mode, si, trial, got[si].Errors[trial], want)
+				}
+			}
+		}
+	}
+}
