@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,6 +21,7 @@ import (
 	"github.com/nomloc/nomloc/internal/agent"
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func run(args []string) error {
 	nomadic := fs.Bool("nomadic", false, "run as the nomadic AP (id must match the scenario's nomadic AP)")
 	er := fs.Float64("er", 0, "believed-position error range in meters (nomadic only)")
 	seed := fs.Int64("seed", 1, "mobility/error seed")
+	metricsAddr := fs.String("metrics", "", "serve GET /metrics and /debug/pprof/ on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +71,19 @@ func run(args []string) error {
 		}
 	}
 
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New(nil)
+		mux := http.NewServeMux()
+		telemetry.RegisterDebug(mux, reg)
+		go func() {
+			log.Printf("nomloc-ap: metrics on %s", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("nomloc-ap: metrics: %v", err)
+			}
+		}()
+	}
+
 	a, err := agent.DialAP(agent.APConfig{
 		ID:             *id,
 		ServerAddr:     *serverAddr,
@@ -75,6 +91,7 @@ func run(args []string) error {
 		Nomadic:        *nomadic,
 		PositionErrorM: *er,
 		Seed:           *seed,
+		Telemetry:      reg,
 		Logf:           log.Printf,
 	})
 	if err != nil {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/eval"
 	"github.com/nomloc/nomloc/internal/parallel"
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func run(args []string) error {
 	walk := fs.Int("walk", 10, "nomadic random-walk steps per round")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	workers := fs.Int("workers", 0, "harness worker pool size (0/1 sequential, -1 = all CPUs); results are identical at every setting")
+	withTelemetry := fs.Bool("telemetry", false, "collect solve/pool telemetry and print the final snapshot as JSON; figures are bit-identical either way")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +52,9 @@ func run(args []string) error {
 		WalkSteps:      *walk,
 		Seed:           *seed,
 		Workers:        *workers,
+	}
+	if *withTelemetry {
+		opt.Telemetry = telemetry.New(nil)
 	}
 
 	runners := map[string]func(eval.Options) error{
@@ -67,13 +73,28 @@ func run(args []string) error {
 				return fmt.Errorf("fig %s: %w", key, err)
 			}
 		}
-		return nil
+		return dumpTelemetry(opt)
 	}
 	r, ok := runners[*fig]
 	if !ok {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
-	return r(opt)
+	if err := r(opt); err != nil {
+		return err
+	}
+	return dumpTelemetry(opt)
+}
+
+// dumpTelemetry prints the run's final telemetry snapshot as indented
+// JSON when -telemetry is set.
+func dumpTelemetry(opt eval.Options) error {
+	if opt.Telemetry == nil {
+		return nil
+	}
+	header("Telemetry snapshot")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(opt.Telemetry.Snapshot())
 }
 
 func header(title string) {

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 
 	"github.com/nomloc/nomloc/internal/agent"
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func run(args []string) error {
 	rounds := fs.Int("rounds", 6, "measurement rounds to run")
 	packets := fs.Int("packets", 25, "probe packets per round")
 	seed := fs.Int64("seed", 1, "noise seed")
+	metricsAddr := fs.String("metrics", "", "serve GET /metrics and /debug/pprof/ on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +56,19 @@ func run(args []string) error {
 		return err
 	}
 
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New(nil)
+		mux := http.NewServeMux()
+		telemetry.RegisterDebug(mux, reg)
+		go func() {
+			log.Printf("nomloc-object: metrics on %s", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("nomloc-object: metrics: %v", err)
+			}
+		}()
+	}
+
 	obj, err := agent.DialObject(agent.ObjectConfig{
 		ID:         "object-1",
 		ServerAddr: *serverAddr,
@@ -60,6 +76,7 @@ func run(args []string) error {
 		Sim:        sim,
 		Packets:    *packets,
 		Seed:       *seed,
+		Telemetry:  reg,
 		Logf:       log.Printf,
 	})
 	if err != nil {

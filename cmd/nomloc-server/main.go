@@ -21,6 +21,7 @@ import (
 	"github.com/nomloc/nomloc/internal/core"
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 func main() {
@@ -33,7 +34,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("nomloc-server", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7100", "listen address")
-	httpAddr := fs.String("http", "", "also serve the monitoring API (GET /healthz, /status, /estimates) on this address")
+	httpAddr := fs.String("http", "", "also serve the monitoring API (GET /healthz, /status, /estimates, /metrics, /debug/pprof/) on this address")
 	scenario := fs.String("scenario", "lab", "scenario providing the area of interest")
 	workers := fs.Int("workers", 0, "concurrent localization solves (0/1 serialized, -1 = one per CPU)")
 	verbose := fs.Bool("v", false, "verbose logging")
@@ -45,7 +46,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	loc, err := core.New(core.Config{Area: scn.Area})
+	reg := telemetry.New(nil)
+	loc, err := core.New(core.Config{
+		Area:    scn.Area,
+		Metrics: telemetry.NewSolveMetrics(reg),
+	})
 	if err != nil {
 		return err
 	}
@@ -53,7 +58,13 @@ func run(args []string) error {
 	if *verbose {
 		logf = log.Printf
 	}
-	srv, err := server.New(server.Config{ID: "nomloc-server", Localizer: loc, Workers: *workers, Logf: logf})
+	srv, err := server.New(server.Config{
+		ID:        "nomloc-server",
+		Localizer: loc,
+		Workers:   *workers,
+		Telemetry: reg,
+		Logf:      logf,
+	})
 	if err != nil {
 		return err
 	}

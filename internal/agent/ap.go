@@ -17,6 +17,7 @@ import (
 	"github.com/nomloc/nomloc/internal/csi"
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/mobility"
+	"github.com/nomloc/nomloc/internal/telemetry"
 	"github.com/nomloc/nomloc/internal/wire"
 )
 
@@ -79,6 +80,10 @@ type APConfig struct {
 	// replaying the same wire traffic reproduces the same samples bit for
 	// bit.
 	Clock func() time.Time
+	// Telemetry, when set, counts the agent's probe traffic (frames,
+	// reports, moves). Counters only — the agent never reads wall time
+	// from it — so instrumentation does not perturb determinism.
+	Telemetry *telemetry.Registry
 	// Logf, when set, receives diagnostic log lines.
 	Logf func(format string, args ...any)
 }
@@ -98,10 +103,11 @@ func (a *APAgent) captureTime(roundID, seq uint64) time.Time {
 
 // APAgent is a connected access point.
 type APAgent struct {
-	cfg   APConfig
-	conn  net.Conn
-	chain *mobility.Chain
-	rng   *rand.Rand
+	cfg     APConfig
+	conn    net.Conn
+	chain   *mobility.Chain
+	rng     *rand.Rand
+	metrics apMetrics
 
 	mu       sync.Mutex
 	writeMu  sync.Mutex
@@ -133,10 +139,11 @@ func DialAP(cfg APConfig) (*APAgent, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	a := &APAgent{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		rounds: make(map[uint64]*apRound),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		metrics: newAPMetrics(cfg.Telemetry, cfg.ID),
+		rounds:  make(map[uint64]*apRound),
+		done:    make(chan struct{}),
 	}
 	if cfg.Nomadic {
 		chain, err := mobility.UniformChain(cfg.Sites)
@@ -250,6 +257,7 @@ func (a *APAgent) onProbeFrame(m *wire.ProbeFrame) {
 		RSSI:       m.RSSI,
 		CSI:        m.CSI,
 	})
+	a.metrics.frames.Inc()
 	ready := r.readyLocked()
 	a.mu.Unlock()
 	if ready {
@@ -291,6 +299,7 @@ func (a *APAgent) report(roundID uint64) {
 		a.cfg.Logf("ap %s: report: %v", a.cfg.ID, err)
 		return
 	}
+	a.metrics.reports.Inc()
 	if a.cfg.Nomadic {
 		a.move()
 	}
@@ -316,6 +325,7 @@ func (a *APAgent) move() {
 	site := a.curSite
 	a.mu.Unlock()
 
+	a.metrics.moves.Inc()
 	if err := a.send(&wire.PositionUpdate{APID: a.cfg.ID, SiteIndex: site, Pos: truePos}); err != nil {
 		a.cfg.Logf("ap %s: position update: %v", a.cfg.ID, err)
 	}

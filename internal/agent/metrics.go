@@ -1,0 +1,43 @@
+package agent
+
+import "github.com/nomloc/nomloc/internal/telemetry"
+
+// This file holds the agents' probe-traffic instruments. Everything is a
+// plain counter — agents are under nomloc-vet's determinism contract, so
+// they count events and never read a clock. With a nil registry every
+// field is a nil *telemetry.Counter and each Inc melts into a pointer
+// test.
+
+// apMetrics counts one AP agent's traffic.
+type apMetrics struct {
+	frames  *telemetry.Counter // probe frames captured
+	reports *telemetry.Counter // CSI reports sent
+	moves   *telemetry.Counter // nomadic waypoint moves
+}
+
+func newAPMetrics(r *telemetry.Registry, id string) apMetrics {
+	l := telemetry.Label{Key: "ap", Value: id}
+	return apMetrics{
+		frames:  r.Counter("nomloc_ap_frames_total", "probe frames captured by the AP", l),
+		reports: r.Counter("nomloc_ap_reports_total", "CSI reports sent to the server", l),
+		moves:   r.Counter("nomloc_ap_moves_total", "nomadic waypoint moves", l),
+	}
+}
+
+// objMetrics counts one object agent's traffic.
+type objMetrics struct {
+	probes    *telemetry.Counter // probe frames transmitted
+	rounds    *telemetry.Counter // measurement rounds started
+	estimates *telemetry.Counter // estimates received
+	drops     *telemetry.Counter // estimates dropped on a full buffer
+}
+
+func newObjMetrics(r *telemetry.Registry, id string) objMetrics {
+	l := telemetry.Label{Key: "object", Value: id}
+	return objMetrics{
+		probes:    r.Counter("nomloc_object_probes_total", "probe frames transmitted", l),
+		rounds:    r.Counter("nomloc_object_rounds_total", "measurement rounds started", l),
+		estimates: r.Counter("nomloc_object_estimates_total", "estimates received", l),
+		drops:     r.Counter("nomloc_object_estimate_drops_total", "estimates dropped on a full buffer", l),
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/nomloc/nomloc/internal/channel"
 	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/telemetry"
 	"github.com/nomloc/nomloc/internal/wire"
 )
 
@@ -31,6 +32,10 @@ type ObjectConfig struct {
 	RoundTimeout time.Duration
 	// Seed drives measurement noise.
 	Seed int64
+	// Telemetry, when set, counts the agent's probe traffic (rounds,
+	// probes, estimates). Counters only — the agent never reads wall time
+	// from it — so instrumentation does not perturb determinism.
+	Telemetry *telemetry.Registry
 	// Logf, when set, receives diagnostic log lines.
 	Logf func(format string, args ...any)
 }
@@ -38,9 +43,10 @@ type ObjectConfig struct {
 // ObjectAgent is the connected object: it transmits probe bursts and
 // receives location estimates.
 type ObjectAgent struct {
-	cfg  ObjectConfig
-	conn net.Conn
-	rng  *rand.Rand
+	cfg     ObjectConfig
+	conn    net.Conn
+	rng     *rand.Rand
+	metrics objMetrics
 
 	mu      sync.Mutex
 	writeMu sync.Mutex
@@ -74,6 +80,7 @@ func DialObject(cfg ObjectConfig) (*ObjectAgent, error) {
 		cfg:       cfg,
 		conn:      conn,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		metrics:   newObjMetrics(cfg.Telemetry, cfg.ID),
 		apPos:     make(map[string]geom.Vec),
 		estimates: make(chan wire.Estimate, 16),
 		done:      make(chan struct{}),
@@ -116,9 +123,11 @@ func (o *ObjectAgent) Run() error {
 			o.apPos[m.APID] = m.Pos
 			o.mu.Unlock()
 		case *wire.Estimate:
+			o.metrics.estimates.Inc()
 			select {
 			case o.estimates <- *m:
 			default:
+				o.metrics.drops.Inc()
 				o.cfg.Logf("object %s: estimate buffer full, dropping round %d", o.cfg.ID, m.RoundID)
 			}
 		case *wire.ErrorMsg:
@@ -182,6 +191,7 @@ func (o *ObjectAgent) RunRound(roundID uint64) (wire.Estimate, error) {
 	if err := o.send(&wire.RoundStart{RoundID: roundID, ObjectID: o.cfg.ID, Packets: o.cfg.Packets}); err != nil {
 		return wire.Estimate{}, fmt.Errorf("agent: round start: %w", err)
 	}
+	o.metrics.rounds.Inc()
 	// Transmit the burst: for each packet, every AP hears its own channel
 	// realization of the same probe.
 	for seq := 0; seq < o.cfg.Packets; seq++ {
@@ -196,6 +206,7 @@ func (o *ObjectAgent) RunRound(roundID uint64) (wire.Estimate, error) {
 			if err := o.send(frame); err != nil {
 				return wire.Estimate{}, fmt.Errorf("agent: probe frame: %w", err)
 			}
+			o.metrics.probes.Inc()
 		}
 	}
 

@@ -6,18 +6,25 @@ import (
 )
 
 // DetRand forbids the three ambient sources of nondeterminism inside
-// deterministic packages: wall-clock reads, the global math/rand source,
-// and iteration over maps (whose order Go randomizes). Map iteration is
-// allowed when the body only collects keys/values into a slice — the
-// collect-then-sort idiom — because collection order cannot leak into the
-// result once the slice is sorted. Anything else needs an explicit
+// deterministic packages: wall-clock reads (time.Now and its telemetry
+// alias telemetry.WallClock), the global math/rand source, and iteration
+// over maps (whose order Go randomizes). Map iteration is allowed when
+// the body only collects keys/values into a slice — the collect-then-sort
+// idiom — because collection order cannot leak into the result once the
+// slice is sorted. Anything else needs an explicit
 // //nomloc:nondeterministic-ok suppression on the offending line.
 var DetRand = &Analyzer{
 	Name: "detrand",
-	Doc: "forbid time.Now, the global math/rand source, and unsorted map " +
-		"iteration in deterministic packages",
+	Doc: "forbid time.Now, telemetry.WallClock, the global math/rand " +
+		"source, and unsorted map iteration in deterministic packages",
 	Run: runDetRand,
 }
+
+// telemetryPkg is the import path of the zero-dependency metrics
+// subsystem. Its WallClock helper is time.Now in a trench coat, so
+// deterministic packages may not call it either: they take an injected
+// telemetry.Clock (or count events and read no clock at all).
+const telemetryPkg = "github.com/nomloc/nomloc/internal/telemetry"
 
 // globalRandFuncs are the math/rand top-level functions that consume the
 // shared global source. Constructors (New, NewSource, NewZipf) are fine:
@@ -40,13 +47,20 @@ func runDetRand(pass *Pass) error {
 			case *ast.CallExpr:
 				f := calleeFunc(pass.Info, n)
 				if isPkgFunc(f, "time", "Now") {
-					pass.Reportf(n.Pos(), "time.Now is nondeterministic in a deterministic package; inject a clock (see agent.APConfig.Clock)")
+					pass.Reportf(n.Pos(), "time.Now is nondeterministic in a deterministic package; inject a telemetry.Clock (see agent.APConfig.Clock, server.Config.Clock)")
 				}
 				if f != nil && f.Pkg() != nil && f.Pkg().Path() == "math/rand" && globalRandFuncs[f.Name()] {
 					sig, _ := f.Type().(*types.Signature)
 					if sig != nil && sig.Recv() == nil {
 						pass.Reportf(n.Pos(), "rand.%s draws from the global math/rand source; use an explicit *rand.Rand seeded via parallel.MixSeed or parallel.Stream", f.Name())
 					}
+				}
+			case *ast.Ident:
+				// telemetry.WallClock leaks whether it is called or merely
+				// passed along as a Clock value, so every use is flagged —
+				// not just CallExprs.
+				if f, ok := pass.Info.Uses[n].(*types.Func); ok && isPkgFunc(f, telemetryPkg, "WallClock") {
+					pass.Reportf(n.Pos(), "telemetry.WallClock reads the wall clock and is nondeterministic in a deterministic package; accept an injected telemetry.Clock instead")
 				}
 			case *ast.RangeStmt:
 				tv, ok := pass.Info.Types[n.X]

@@ -6,10 +6,24 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 func clock() time.Time {
 	return time.Now() // want `time.Now is nondeterministic`
+}
+
+func telemetryClock() time.Time {
+	return telemetry.WallClock() // want `telemetry.WallClock reads the wall clock`
+}
+
+func telemetryClockValue() telemetry.Clock {
+	return telemetry.WallClock // want `telemetry.WallClock reads the wall clock`
+}
+
+func injectedClock(c telemetry.Clock) time.Time {
+	return c()
 }
 
 func globalRand() int {

@@ -5,10 +5,16 @@ package other
 import (
 	"math/rand"
 	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 func clock() time.Time {
 	return time.Now()
+}
+
+func telemetryClock() time.Time {
+	return telemetry.WallClock()
 }
 
 func globalRand() int {

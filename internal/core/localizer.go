@@ -9,6 +9,7 @@ import (
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/lp"
 	"github.com/nomloc/nomloc/internal/parallel"
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 // CenterRule selects how the location estimate is extracted from the
@@ -61,6 +62,11 @@ type Config struct {
 	// Pairs selects which anchor pairs constrain the solve. Defaults to
 	// PaperPairs.
 	Pairs PairPolicy
+	// Metrics, when non-nil, counts solves, judgements, relaxations, LP
+	// pivots, and degenerate centers. Everything recorded is derived from
+	// solve state — never the wall clock — so an instrumented Localizer
+	// remains bit-deterministic and detrand-clean.
+	Metrics *telemetry.SolveMetrics
 }
 
 // Localizer runs SP-based location estimation over a fixed area.
@@ -269,6 +275,7 @@ func (l *Localizer) locateFromJudgements(judgements []Judgement, sc *solveScratc
 		if len(ties) > 1 {
 			if est, ok := l.mergeFeasible(ties, judgements); ok {
 				est.NumJudgements = len(judgements)
+				l.cfg.Metrics.RecordSolve(est.NumJudgements, est.NumRelaxed)
 				return est, nil
 			}
 		}
@@ -278,6 +285,7 @@ func (l *Localizer) locateFromJudgements(judgements []Judgement, sc *solveScratc
 	if err != nil {
 		return nil, err
 	}
+	l.cfg.Metrics.RecordSolve(len(judgements), best.numRelaxed)
 	return &Estimate{
 		Position:      l.cfg.Area.Clamp(pos),
 		RelaxCost:     best.cost,
@@ -321,6 +329,7 @@ func (l *Localizer) solvePiece(pi int, piece geom.Polygon, judgements []Judgemen
 	if err != nil {
 		return pieceSolve{}, fmt.Errorf("relaxation: %w", err)
 	}
+	l.cfg.Metrics.RecordPiece(rel.Iterations)
 
 	relaxed := make([]geom.HalfPlane, len(sc.cons))
 	numRelaxed := 0
@@ -354,6 +363,7 @@ func (l *Localizer) centerOf(ps pieceSolve, sc *solveScratch) (geom.Vec, error) 
 		// means the region degenerated to (near) a point — fall back to
 		// the LP vertex.
 		if errors.Is(err, lp.ErrEmptyRegion) || errors.Is(err, lp.ErrUnboundedRegion) {
+			l.cfg.Metrics.RecordDegenerate()
 			return ps.z, nil
 		}
 		return geom.Vec{}, fmt.Errorf("%w: chebyshev: %v", errNoCenter, err)

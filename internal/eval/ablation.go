@@ -1,7 +1,6 @@
 package eval
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -123,7 +122,7 @@ func RunConfidenceAblation(scn *deploy.Scenario, opt Options) ([]AblationRow, er
 
 	rows := make([]AblationRow, 0, len(variants))
 	for _, v := range variants {
-		errs, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
+		errs, err := parallel.Map(opt.poolCtx(), opt.Workers, len(scn.TestSites),
 			func(si int) (float64, error) {
 				site := scn.TestSites[si]
 				rng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, int64(si), 0)))
@@ -289,7 +288,7 @@ func RunBaselineComparisonMode(scn *deploy.Scenario, opt Options, mode Mode) ([]
 	}
 
 	// Per site, the mean trial error for each method (method order).
-	siteMeans, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
+	siteMeans, err := parallel.Map(opt.poolCtx(), opt.Workers, len(scn.TestSites),
 		func(si int) ([]float64, error) {
 			site := scn.TestSites[si]
 			rng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, int64(si), 0)))
@@ -387,7 +386,7 @@ func runMultiNomadicOnce(scn *deploy.Scenario, opt Options, n int) ([]float64, e
 		fleets = append(fleets, sites)
 	}
 
-	return parallel.Map(context.Background(), opt.Workers, len(scn.TestSites), func(si int) (float64, error) {
+	return parallel.Map(opt.poolCtx(), opt.Workers, len(scn.TestSites), func(si int) (float64, error) {
 		site := scn.TestSites[si]
 		rng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, int64(si), 0)))
 		var siteErrs []float64

@@ -14,6 +14,7 @@ import (
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/mobility"
 	"github.com/nomloc/nomloc/internal/parallel"
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 // Mode selects the deployment under evaluation.
@@ -75,6 +76,17 @@ type Options struct {
 	// RNG stream seeded from Seed, results are bit-identical at every
 	// worker count.
 	Workers int
+	// Telemetry, when set, receives solve counters and worker-pool
+	// metrics from every sweep the harness fans out. Instrumentation is
+	// count-based and clock-free inside the deterministic pipeline, so
+	// figure outputs are bitwise identical with or without it.
+	Telemetry *telemetry.Registry
+}
+
+// poolCtx is the context the harness hands to the worker pool, carrying
+// the telemetry registry when one is configured.
+func (o Options) poolCtx() context.Context {
+	return telemetry.NewContext(context.Background(), o.Telemetry)
 }
 
 // withDefaults resolves zero fields.
@@ -123,6 +135,7 @@ func NewHarness(scn *deploy.Scenario, opt Options) (*Harness, error) {
 		Center:        opt.Center,
 		Pairs:         opt.Pairs,
 		MinConfidence: opt.MinConfidence,
+		Metrics:       telemetry.NewSolveMetrics(opt.Telemetry),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("localizer: %w", err)
@@ -259,7 +272,7 @@ type SiteResult struct {
 // measurement sequences align, and results are identical at every
 // Workers setting.
 func (h *Harness) RunSites(mode Mode) ([]SiteResult, error) {
-	return parallel.Map(context.Background(), h.opt.Workers, len(h.scn.TestSites),
+	return parallel.Map(h.opt.poolCtx(), h.opt.Workers, len(h.scn.TestSites),
 		func(si int) (SiteResult, error) {
 			site := h.scn.TestSites[si]
 			rng := rand.New(rand.NewSource(parallel.MixSeed(h.opt.Seed, int64(si), int64(mode))))
@@ -308,7 +321,7 @@ func (p ProximityResult) Accuracy() float64 {
 // deployment (paper Fig. 7: C(4,2) = 6 judgements per site). Judgements
 // are averaged over TrialsPerSite independent measurement rounds.
 func (h *Harness) ProximityAccuracy() ([]ProximityResult, error) {
-	return parallel.Map(context.Background(), h.opt.Workers, len(h.scn.TestSites),
+	return parallel.Map(h.opt.poolCtx(), h.opt.Workers, len(h.scn.TestSites),
 		func(si int) (ProximityResult, error) {
 			site := h.scn.TestSites[si]
 			rng := rand.New(rand.NewSource(parallel.MixSeed(h.opt.Seed, int64(si), proximityMode)))

@@ -1,7 +1,6 @@
 package eval
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
 
@@ -123,7 +122,7 @@ func RunMovingPatterns(scn *deploy.Scenario, opt Options, moves int) ([]Ablation
 	}
 	rows := make([]AblationRow, 0, len(planner.Builtin()))
 	for _, strat := range planner.Builtin() {
-		errs, err := parallel.Map(context.Background(), opt.Workers, len(scn.TestSites),
+		errs, err := parallel.Map(opt.poolCtx(), opt.Workers, len(scn.TestSites),
 			func(si int) (float64, error) {
 				site := scn.TestSites[si]
 				rng := rand.New(rand.NewSource(parallel.MixSeed(opt.Seed, int64(si), 0)))

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbFigures is the observability contract of
+// the harness: enabling telemetry must leave figure outputs bitwise
+// unchanged. The instruments inside the deterministic pipeline are
+// count-only and clock-free, so an instrumented run and a bare run of
+// the same seed produce identical results.
+func TestTelemetryDoesNotPerturbFigures(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{PacketsPerSite: 8, TrialsPerSite: 1, WalkSteps: 6, Seed: 42, Workers: 2}
+
+	bare, err := RunFig8(scn, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instrumented := opt
+	instrumented.Telemetry = telemetry.New(nil)
+	instr, err := RunFig8(scn, instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(bare, instr) {
+		t.Errorf("telemetry perturbed Fig. 8:\nbare:         %+v\ninstrumented: %+v", bare, instr)
+	}
+
+	// The instrumented run must actually have recorded work: solve
+	// counters and pool task counters both non-zero.
+	snap := instrumented.Telemetry.Snapshot()
+	counters := map[string]float64{}
+	for _, m := range snap.Metrics {
+		counters[m.Name] = m.Value
+	}
+	for _, name := range []string{"nomloc_solve_total", "nomloc_pool_tasks_done_total"} {
+		if counters[name] <= 0 {
+			t.Errorf("instrumented run recorded %s = %v, want > 0", name, counters[name])
+		}
+	}
+}

@@ -265,6 +265,8 @@ type Relaxation struct {
 	T []float64
 	// Cost is the attained wᵀt.
 	Cost float64
+	// Iterations counts the simplex pivots the solve took.
+	Iterations int
 }
 
 // RelaxedSolve solves
@@ -325,9 +327,10 @@ func (ws *Workspace) RelaxedSolve(a [][]float64, b []float64, w []float64) (*Rel
 		return nil, fmt.Errorf("lp: relaxation solve returned %v", res.Status)
 	}
 	rel := &Relaxation{
-		Z:    append([]float64(nil), res.X[:dim]...),
-		T:    make([]float64, m),
-		Cost: res.Objective,
+		Z:          append([]float64(nil), res.X[:dim]...),
+		T:          make([]float64, m),
+		Cost:       res.Objective,
+		Iterations: res.Iterations,
 	}
 	for i := 0; i < m; i++ {
 		ti := res.X[dim+i]

@@ -60,6 +60,8 @@ type Result struct {
 	Status    Status
 	X         []float64
 	Objective float64
+	// Iterations counts simplex pivots performed across both phases.
+	Iterations int
 }
 
 // Validation and solver errors.
@@ -120,6 +122,9 @@ type Workspace struct {
 	probFree []bool
 	probFlat []float64
 	probRows [][]float64
+
+	// iters accumulates simplex pivots across both phases of one Solve.
+	iters int
 }
 
 // growF returns buf resized to n zeroed entries, reallocating only when
@@ -188,6 +193,7 @@ func (ws *Workspace) Solve(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	ws.iters = 0
 	n := len(p.C)
 	m := len(p.A)
 
@@ -233,7 +239,7 @@ func (ws *Workspace) Solve(p *Problem) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Status: status}
+	res := &Result{Status: status, Iterations: ws.iters}
 	if status != Optimal {
 		return res, nil
 	}
@@ -432,6 +438,7 @@ func (ws *Workspace) runSimplex(t [][]float64, basis []int, cObj []float64, allo
 			return objVal, Unbounded, nil
 		}
 		pivot(t, basis, leave, enter)
+		ws.iters++
 		recompute()
 	}
 	return 0, 0, ErrMaxIterations

@@ -4,6 +4,12 @@
 // surface them, and per-task RNG streams derive from the run seed alone —
 // so a sweep executed on eight workers is bit-identical to the same sweep
 // executed on one.
+//
+// The pool is observable without growing its signatures: when the context
+// carries a telemetry registry (telemetry.NewContext), ForEach/Map/
+// MapWorker publish queue, occupancy, and per-worker busy-time metrics
+// under the nomloc_pool prefix. Instrumentation never influences task
+// claiming or results, so the determinism contract is unaffected.
 package parallel
 
 import (
@@ -12,7 +18,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
+
+// poolPrefix names the metric family set ForEach/Map/MapWorker publish.
+const poolPrefix = "nomloc_pool"
 
 // Resolve maps a Workers option to a concrete worker count: n > 0 is
 // taken as-is, 0 means one worker (sequential), and negative means one
@@ -46,12 +58,22 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	pm := telemetry.NewPoolMetrics(telemetry.FromContext(ctx), poolPrefix)
+	pm.SetCapacity(workers)
+	submitted := pm.Now()
+	pm.Submit(n)
 	if workers <= 1 {
+		busy := pm.WorkerBusy(0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				pm.Abandon(n - i)
 				return err
 			}
-			if err := fn(i); err != nil {
+			at := pm.Claim(submitted)
+			err := fn(i)
+			pm.Finish(busy, at)
+			if err != nil {
+				pm.Abandon(n - i - 1)
 				return err
 			}
 		}
@@ -59,15 +81,17 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 
 	var (
-		next atomic.Int64
-		stop atomic.Bool
-		wg   sync.WaitGroup
-		errs = make([]error, n)
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		claimed atomic.Int64
+		errs    = make([]error, n)
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			busy := pm.WorkerBusy(worker)
 			for !stop.Load() {
 				if err := ctx.Err(); err != nil {
 					stop.Store(true)
@@ -81,15 +105,20 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				claimed.Add(1)
+				at := pm.Claim(submitted)
+				err := fn(i)
+				pm.Finish(busy, at)
+				if err != nil {
 					errs[i] = err
 					stop.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	pm.Abandon(n - int(claimed.Load()))
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -131,15 +160,24 @@ func MapWorker[S, T any](ctx context.Context, workers, n int, newState func(work
 	if workers > n {
 		workers = n
 	}
+	pm := telemetry.NewPoolMetrics(telemetry.FromContext(ctx), poolPrefix)
+	pm.SetCapacity(workers)
+	submitted := pm.Now()
+	pm.Submit(n)
 	out := make([]T, n)
 	if workers <= 1 {
+		busy := pm.WorkerBusy(0)
 		state := newState(0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				pm.Abandon(n - i)
 				return nil, err
 			}
+			at := pm.Claim(submitted)
 			v, err := fn(state, i)
+			pm.Finish(busy, at)
 			if err != nil {
+				pm.Abandon(n - i - 1)
 				return nil, err
 			}
 			out[i] = v
@@ -148,15 +186,17 @@ func MapWorker[S, T any](ctx context.Context, workers, n int, newState func(work
 	}
 
 	var (
-		next atomic.Int64
-		stop atomic.Bool
-		wg   sync.WaitGroup
-		errs = make([]error, n)
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		claimed atomic.Int64
+		errs    = make([]error, n)
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			busy := pm.WorkerBusy(worker)
 			state := newState(worker)
 			for !stop.Load() {
 				if err := ctx.Err(); err != nil {
@@ -171,7 +211,10 @@ func MapWorker[S, T any](ctx context.Context, workers, n int, newState func(work
 				if i >= n {
 					return
 				}
+				claimed.Add(1)
+				at := pm.Claim(submitted)
 				v, err := fn(state, i)
+				pm.Finish(busy, at)
 				if err != nil {
 					errs[i] = err
 					stop.Store(true)
@@ -182,6 +225,7 @@ func MapWorker[S, T any](ctx context.Context, workers, n int, newState func(work
 		}(w)
 	}
 	wg.Wait()
+	pm.Abandon(n - int(claimed.Load()))
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -228,6 +272,7 @@ func mix(seed, task uint64) uint64 {
 // moment.
 type Gate struct {
 	slots chan struct{}
+	pm    *telemetry.PoolMetrics
 }
 
 // NewGate returns a gate admitting Resolve(n) concurrent holders.
@@ -235,17 +280,30 @@ func NewGate(n int) *Gate {
 	return &Gate{slots: make(chan struct{}, Resolve(n))}
 }
 
+// Instrument attaches pool metrics to the gate (nil detaches). Call
+// before the gate sees traffic; Enter/Leave read the field without
+// synchronization.
+func (g *Gate) Instrument(pm *telemetry.PoolMetrics) {
+	g.pm = pm
+	pm.SetCapacity(cap(g.slots))
+}
+
 // Enter blocks until a slot frees up or the context is done.
 func (g *Gate) Enter(ctx context.Context) error {
+	submitted := g.pm.Now()
+	g.pm.Submit(1)
 	select {
 	case g.slots <- struct{}{}:
+		g.pm.Claim(submitted)
 		return nil
 	case <-ctx.Done():
+		g.pm.Abandon(1)
 		return ctx.Err()
 	}
 }
 
 // Leave releases a slot taken by Enter.
 func (g *Gate) Leave() {
+	g.pm.Finish(nil, time.Time{})
 	<-g.slots
 }

@@ -3,6 +3,9 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"sort"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
 )
 
 // This file exposes the server's operational state over HTTP for
@@ -38,16 +41,23 @@ func (s *Server) CurrentStatus() Status {
 	for id := range s.objects {
 		st.Objects = append(st.Objects, id)
 	}
+	// The id sets live in maps; sort so the JSON body is stable across
+	// scrapes instead of leaking iteration order.
+	sort.Strings(st.APs)
+	sort.Strings(st.Objects)
 	return st
 }
 
 // StatusHandler returns an http.Handler serving the monitoring API:
 //
-//	GET /healthz   → 200 "ok"
-//	GET /status    → the Status snapshot as JSON
-//	GET /estimates → all produced estimates as a JSON array
+//	GET /healthz      → 200 "ok"
+//	GET /status       → the Status snapshot as JSON
+//	GET /estimates    → all produced estimates as a JSON array
+//	GET /metrics      → Prometheus text exposition (Config.Telemetry)
+//	GET /debug/pprof/ → the standard pprof handlers
 func (s *Server) StatusHandler() http.Handler {
 	mux := http.NewServeMux()
+	telemetry.RegisterDebug(mux, s.cfg.Telemetry)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

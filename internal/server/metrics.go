@@ -1,0 +1,139 @@
+package server
+
+import (
+	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// serverMetrics instruments the round lifecycle. A nil *serverMetrics
+// (telemetry off) makes every method a no-op, so the hot path never
+// branches on configuration. Durations read the server's injected clock —
+// under a fixed clock every histogram observation lands in the first
+// bucket and two identical runs expose byte-identical /metrics bodies.
+type serverMetrics struct {
+	clock  telemetry.Clock
+	tracer *telemetry.Tracer
+
+	reports       *telemetry.Counter
+	roundsStarted *telemetry.Counter
+	roundsSolved  *telemetry.Counter
+	roundsTimeout *telemetry.Counter
+	solveErrors   *telemetry.Counter
+	estimates     *telemetry.Counter
+	solveSeconds  *telemetry.Histogram
+	roundSeconds  *telemetry.Histogram
+	roundAnchors  *telemetry.Histogram
+	sessions      map[wire.Role]*telemetry.Gauge
+}
+
+// newServerMetrics builds the server instrument set on reg, or nil when
+// telemetry is off.
+func newServerMetrics(reg *telemetry.Registry, clock telemetry.Clock) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	roleGauge := func(role wire.Role) *telemetry.Gauge {
+		return reg.Gauge("nomloc_server_sessions", "connected agent sessions by role",
+			telemetry.Label{Key: "role", Value: string(role)})
+	}
+	return &serverMetrics{
+		clock:         clock,
+		tracer:        telemetry.NewTracer(reg, 256),
+		reports:       reg.Counter("nomloc_server_reports_total", "CSI reports received"),
+		roundsStarted: reg.Counter("nomloc_server_rounds_started_total", "measurement rounds started"),
+		roundsSolved:  reg.Counter("nomloc_server_rounds_solved_total", "rounds localized successfully"),
+		roundsTimeout: reg.Counter("nomloc_server_rounds_timeout_total", "rounds finalized by timeout"),
+		solveErrors:   reg.Counter("nomloc_server_solve_errors_total", "rounds whose localization failed"),
+		estimates:     reg.Counter("nomloc_server_estimates_total", "estimates broadcast"),
+		solveSeconds:  reg.Histogram("nomloc_server_solve_seconds", "round localization solve latency", nil),
+		roundSeconds:  reg.Histogram("nomloc_server_round_seconds", "round start-to-finalize latency", nil),
+		roundAnchors:  reg.Histogram("nomloc_server_round_anchors", "anchors (reports) entering each round solve", telemetry.LinearBuckets(0, 4, 16)),
+		sessions: map[wire.Role]*telemetry.Gauge{
+			wire.RoleAP:     roleGauge(wire.RoleAP),
+			wire.RoleObject: roleGauge(wire.RoleObject),
+			wire.RoleViewer: roleGauge(wire.RoleViewer),
+		},
+	}
+}
+
+// now reads the injected clock (zero time when telemetry is off).
+func (sm *serverMetrics) now() time.Time {
+	if sm == nil {
+		return time.Time{}
+	}
+	return sm.clock()
+}
+
+// sessionUp / sessionDown track the per-role session gauges.
+func (sm *serverMetrics) sessionUp(role wire.Role) {
+	if sm == nil {
+		return
+	}
+	if g := sm.sessions[role]; g != nil {
+		g.Inc()
+	}
+}
+
+func (sm *serverMetrics) sessionDown(role wire.Role) {
+	if sm == nil {
+		return
+	}
+	if g := sm.sessions[role]; g != nil {
+		g.Dec()
+	}
+}
+
+// roundStarted records a round opening and returns its trace span.
+func (sm *serverMetrics) roundStarted() telemetry.Span {
+	if sm == nil {
+		return telemetry.Span{}
+	}
+	sm.roundsStarted.Inc()
+	return sm.tracer.Start("round")
+}
+
+// reportReceived records one CSI report.
+func (sm *serverMetrics) reportReceived() {
+	if sm == nil {
+		return
+	}
+	sm.reports.Inc()
+}
+
+// roundFinalized closes a round's span and records its latency and
+// timeout status.
+func (sm *serverMetrics) roundFinalized(span telemetry.Span, startedAt time.Time, timeout bool) {
+	if sm == nil {
+		return
+	}
+	span.End()
+	sm.roundSeconds.Observe(sm.clock().Sub(startedAt).Seconds())
+	if timeout {
+		sm.roundsTimeout.Inc()
+	}
+}
+
+// solved records the outcome of one localization solve.
+func (sm *serverMetrics) solved(startedAt time.Time, anchors int, err error) {
+	if sm == nil {
+		return
+	}
+	sm.solveSeconds.Observe(sm.clock().Sub(startedAt).Seconds())
+	if err != nil {
+		sm.solveErrors.Inc()
+		return
+	}
+	sm.roundsSolved.Inc()
+	sm.estimates.Inc()
+	sm.roundAnchors.Observe(float64(anchors))
+}
+
+// solveSpan opens the trace span covering one localization solve.
+func (sm *serverMetrics) solveSpan() telemetry.Span {
+	if sm == nil {
+		return telemetry.Span{}
+	}
+	return sm.tracer.Start("solve")
+}

@@ -15,6 +15,7 @@ import (
 
 	"github.com/nomloc/nomloc/internal/core"
 	"github.com/nomloc/nomloc/internal/parallel"
+	"github.com/nomloc/nomloc/internal/telemetry"
 	"github.com/nomloc/nomloc/internal/wire"
 )
 
@@ -36,6 +37,14 @@ type Config struct {
 	Workers int
 	// Logf, when set, receives diagnostic log lines.
 	Logf func(format string, args ...any)
+	// Telemetry, when set, receives round-lifecycle metrics and trace
+	// spans, and is served at /metrics by StatusHandler. Nil disables all
+	// instrumentation at the cost of one pointer test per event.
+	Telemetry *telemetry.Registry
+	// Clock is the time source behind latency measurements. Defaults to
+	// the Telemetry registry's clock (WallClock when Telemetry is nil).
+	// Inject a fixed clock to make /metrics bodies reproducible.
+	Clock telemetry.Clock
 }
 
 // Server errors.
@@ -47,8 +56,9 @@ var (
 // Server is the localization server. Create with New, run with Serve, stop
 // with Shutdown.
 type Server struct {
-	cfg  Config
-	gate *parallel.Gate // bounds concurrent localization solves
+	cfg     Config
+	gate    *parallel.Gate // bounds concurrent localization solves
+	metrics *serverMetrics // nil when telemetry is off
 
 	mu        sync.Mutex
 	ln        net.Listener
@@ -81,6 +91,8 @@ type round struct {
 	reported map[string]struct{}
 	timer    *time.Timer
 	done     bool
+	started  time.Time      // clock reading at RoundStart (telemetry only)
+	span     telemetry.Span // open "round" trace span (telemetry only)
 }
 
 // New validates the configuration and builds a server.
@@ -100,15 +112,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{
+	if cfg.Clock == nil {
+		if c := cfg.Telemetry.Clock(); c != nil {
+			cfg.Clock = c
+		} else {
+			cfg.Clock = telemetry.WallClock
+		}
+	}
+	s := &Server{
 		cfg:      cfg,
 		gate:     parallel.NewGate(cfg.Workers),
+		metrics:  newServerMetrics(cfg.Telemetry, cfg.Clock),
 		sessions: make(map[*session]struct{}),
 		aps:      make(map[string]*session),
 		objects:  make(map[string]*session),
 		rounds:   make(map[uint64]*round),
 		history:  make(map[string][]*wire.CSIReport),
-	}, nil
+	}
+	s.gate.Instrument(telemetry.NewPoolMetrics(cfg.Telemetry, "nomloc_server_pool"))
+	return s, nil
 }
 
 // Serve accepts connections on ln until Shutdown. It returns nil after a
@@ -219,6 +241,9 @@ func (s *Server) handle(sess *session) {
 			delete(s.objects, sess.id)
 		}
 		s.mu.Unlock()
+		if sess.role != "" {
+			s.metrics.sessionDown(sess.role)
+		}
 		_ = sess.conn.Close()
 	}()
 
@@ -274,6 +299,12 @@ func (s *Server) onHello(sess *session, m *wire.Hello) error {
 		_ = sess.send(&wire.HelloAck{OK: false, ServerID: s.cfg.ID, Detail: "unknown role"})
 		return fmt.Errorf("unknown role %q", m.Role)
 	}
+	if sess.role != m.Role {
+		if sess.role != "" {
+			s.metrics.sessionDown(sess.role)
+		}
+		s.metrics.sessionUp(m.Role)
+	}
 	sess.role = m.Role
 	sess.id = m.ID
 	s.cfg.Logf("server: registered %s %q", m.Role, m.ID)
@@ -295,6 +326,8 @@ func (s *Server) onRoundStart(sess *session, m *wire.RoundStart) error {
 		packets:  m.Packets,
 		expected: make(map[string]struct{}, len(s.aps)),
 		reported: make(map[string]struct{}),
+		started:  s.metrics.now(),
+		span:     s.metrics.roundStarted(),
 	}
 	var apSessions []*session
 	for id, ap := range s.aps {
@@ -344,6 +377,7 @@ func (s *Server) onPositionUpdate(m *wire.PositionUpdate) error {
 }
 
 func (s *Server) onCSIReport(m *wire.CSIReport) error {
+	s.metrics.reportReceived()
 	s.mu.Lock()
 	r, ok := s.rounds[m.RoundID]
 	if !ok || r.done {
@@ -415,6 +449,7 @@ func (s *Server) finalizeRound(roundID uint64, timeout bool) {
 	if closed {
 		return
 	}
+	s.metrics.roundFinalized(r.span, r.started, timeout)
 	if timeout {
 		s.cfg.Logf("server: round %d finalized by timeout (%d/%d reports)",
 			roundID, len(r.reported), len(r.expected))
@@ -426,7 +461,11 @@ func (s *Server) finalizeRound(roundID uint64, timeout bool) {
 	if err := s.gate.Enter(context.Background()); err != nil {
 		return
 	}
+	solveSpan := s.metrics.solveSpan()
+	solveStart := s.metrics.now()
 	est, err := s.localize(reports)
+	solveSpan.End()
+	s.metrics.solved(solveStart, len(reports), err)
 	s.gate.Leave()
 	if err != nil {
 		s.cfg.Logf("server: round %d: localize: %v", roundID, err)

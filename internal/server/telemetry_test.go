@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/telemetry"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+func TestCurrentStatusSorted(t *testing.T) {
+	s, err := New(Config{Localizer: testLocalizer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert ids directly so map iteration order is the only ordering the
+	// snapshot could possibly inherit.
+	s.mu.Lock()
+	for _, id := range []string{"ap-c", "ap-a", "ap-b", "ap-z", "ap-m"} {
+		s.aps[id] = &session{id: id}
+	}
+	for _, id := range []string{"obj-2", "obj-1", "obj-3"} {
+		s.objects[id] = &session{id: id}
+	}
+	s.mu.Unlock()
+
+	st := s.CurrentStatus()
+	wantAPs := []string{"ap-a", "ap-b", "ap-c", "ap-m", "ap-z"}
+	for i, id := range wantAPs {
+		if st.APs[i] != id {
+			t.Fatalf("APs = %v, want %v", st.APs, wantAPs)
+		}
+	}
+	wantObjs := []string{"obj-1", "obj-2", "obj-3"}
+	for i, id := range wantObjs {
+		if st.Objects[i] != id {
+			t.Fatalf("Objects = %v, want %v", st.Objects, wantObjs)
+		}
+	}
+
+	// The JSON body is byte-stable across snapshots — the property a
+	// dashboard differ relies on.
+	b1, err := json.Marshal(s.CurrentStatus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(s.CurrentStatus())
+	if string(b1) != string(b2) {
+		t.Errorf("status JSON unstable:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// runInstrumentedRound drives one complete measurement round (two APs,
+// one object) against a fixed-clock instrumented server and returns the
+// /metrics body scraped after the estimate arrived.
+func runInstrumentedRound(t *testing.T) string {
+	t.Helper()
+	epoch := time.Date(2014, time.June, 30, 12, 0, 0, 0, time.UTC)
+	reg := telemetry.New(func() time.Time { return epoch })
+	s, addr := startServer(t, Config{
+		Localizer: testLocalizer(t),
+		Telemetry: reg,
+		Workers:   2,
+	})
+
+	csiVec := make([]complex128, 8)
+	for k := range csiVec {
+		csiVec[k] = complex(1, 0)
+	}
+
+	// Two APs that answer the forwarded RoundStart with a CSI report.
+	for _, spec := range []struct {
+		id  string
+		pos geom.Vec
+	}{{"ap1", geom.V(1, 1)}, {"ap2", geom.V(11, 7)}} {
+		conn := dialRaw(t, addr)
+		if ack := hello(t, conn, &wire.Hello{Role: wire.RoleAP, ID: spec.id, Pos: spec.pos}); !ack.OK {
+			t.Fatalf("%s rejected: %s", spec.id, ack.Detail)
+		}
+		go func(conn net.Conn, id string, pos geom.Vec) {
+			for {
+				msg, err := wire.ReadMessage(conn)
+				if err != nil {
+					return
+				}
+				if m, ok := msg.(*wire.RoundStart); ok {
+					_ = wire.WriteMessage(conn, &wire.CSIReport{
+						RoundID: m.RoundID, APID: id, Pos: pos,
+						Batch: csiBatch(id, csiVec),
+					})
+				}
+			}
+		}(conn, spec.id, spec.pos)
+	}
+
+	obj := dialRaw(t, addr)
+	if ack := hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj"}); !ack.OK {
+		t.Fatalf("object rejected: %s", ack.Detail)
+	}
+	if err := wire.WriteMessage(obj, &wire.RoundStart{RoundID: 1, ObjectID: "obj", Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = obj.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		msg, err := wire.ReadMessage(obj)
+		if err != nil {
+			t.Fatalf("waiting for estimate: %v", err)
+		}
+		if msg.Type() == wire.TypeEstimate {
+			break
+		}
+		if msg.Type() == wire.TypeError {
+			t.Fatalf("round errored: %+v", msg)
+		}
+	}
+
+	// All metric updates are ordered before the estimate broadcast, so a
+	// scrape taken now sees the settled state.
+	web := httptest.NewServer(s.StatusHandler())
+	defer web.Close()
+	resp, err := web.Client().Get(web.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestMetricsExposition(t *testing.T) {
+	body := runInstrumentedRound(t)
+	for _, want := range []string{
+		"# TYPE nomloc_server_solve_seconds histogram",
+		"nomloc_server_solve_seconds_count 1",
+		"# TYPE nomloc_server_pool_tasks_running gauge",
+		"nomloc_server_pool_tasks_done_total 1",
+		"nomloc_server_rounds_started_total 1",
+		"nomloc_server_rounds_solved_total 1",
+		"nomloc_server_reports_total 2",
+		`nomloc_server_sessions{role="ap"} 2`,
+		`nomloc_server_sessions{role="object"} 1`,
+		`nomloc_span_seconds_count{span="round"} 1`,
+		`nomloc_span_seconds_count{span="solve"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsDeterministicAcrossRuns(t *testing.T) {
+	// Two identical fixed-clock, fixed-input runs must expose
+	// byte-identical /metrics bodies.
+	a := runInstrumentedRound(t)
+	b := runInstrumentedRound(t)
+	if a != b {
+		t.Errorf("fixed-clock runs exposed different bodies:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

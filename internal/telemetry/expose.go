@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry's two export surfaces — the Prometheus
+// text exposition and the JSON-ready Snapshot — plus the HTTP plumbing
+// that mounts them. Both walk the same sorted view, so their ordering is
+// identical and free of map iteration order by construction.
+
+// formatValue renders a sample value exactly as Prometheus's Go client
+// does (shortest round-trip representation), so fixed inputs produce
+// byte-fixed output.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// WritePrometheus writes the registry in Prometheus text format
+// (version 0.0.4): families sorted by name, series by label signature,
+// histograms with cumulative le buckets plus _sum and _count. A nil
+// registry writes nothing. Timestamps are never emitted — they would
+// break byte-reproducibility and scrapers supply their own.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.view() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, helpEscaper.Replace(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series' sample lines.
+func writeSeries(w io.Writer, f familyView, s seriesEntry) error {
+	switch m := s.metric.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.sig, formatValue(m.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.sig, formatValue(m.Value()))
+		return err
+	case *Histogram:
+		cum := m.cumulative()
+		for i, le := range m.upper {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, withLE(s.sig, formatValue(le)), cum[i]); err != nil {
+				return err
+			}
+		}
+		count := m.Count()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.sig, "+Inf"), count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.sig, formatValue(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.sig, count)
+		return err
+	default:
+		return fmt.Errorf("telemetry: unknown series type %T", s.metric)
+	}
+}
+
+// withLE splices the le label into a series' label signature.
+func withLE(sig, le string) string {
+	if sig == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", strings.TrimSuffix(sig, "}"), le)
+}
+
+// Handler serves the registry as GET /metrics content. A nil registry
+// serves an empty (but well-formed) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// RegisterDebug mounts the full observability surface on mux:
+// GET /metrics (Prometheus exposition) and the net/http/pprof handlers
+// under /debug/pprof/. Server and agent binaries share this wiring.
+func RegisterDebug(mux *http.ServeMux, r *Registry) {
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Snapshot is a deterministic, JSON-marshalable export of every series —
+// what nomloc-bench -telemetry prints and what tests assert against.
+// Metrics appear sorted by family name, then label signature.
+type Snapshot struct {
+	// Metrics lists every series.
+	Metrics []MetricPoint `json:"metrics"`
+}
+
+// MetricPoint is one series' state.
+type MetricPoint struct {
+	// Name is the family name.
+	Name string `json:"name"`
+	// Type is "counter", "gauge", or "histogram".
+	Type string `json:"type"`
+	// Labels holds the series' dimensions (omitted when unlabeled).
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter total or gauge level (histograms use the
+	// fields below instead).
+	Value float64 `json:"value,omitempty"`
+	// Count and Sum summarize a histogram's observations.
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	// Buckets holds a histogram's cumulative counts per finite upper
+	// bound; the +Inf bucket equals Count and is omitted (it would not
+	// survive JSON anyway).
+	Buckets []BucketPoint `json:"buckets,omitempty"`
+}
+
+// BucketPoint is one cumulative histogram bucket.
+type BucketPoint struct {
+	// UpperBound is the bucket's le bound.
+	UpperBound float64 `json:"le"`
+	// Count is the cumulative observation count at this bound.
+	Count uint64 `json:"count"`
+}
+
+// Snapshot exports the registry. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Metrics: []MetricPoint{}}
+	if r == nil {
+		return snap
+	}
+	for _, f := range r.view() {
+		for _, s := range f.series {
+			p := MetricPoint{
+				Name:   f.name,
+				Type:   f.kind.String(),
+				Labels: parseSignature(s.sig),
+			}
+			switch m := s.metric.(type) {
+			case *Counter:
+				p.Value = m.Value()
+			case *Gauge:
+				p.Value = m.Value()
+			case *Histogram:
+				p.Count = m.Count()
+				p.Sum = m.Sum()
+				cum := m.cumulative()
+				p.Buckets = make([]BucketPoint, len(m.upper))
+				for i, le := range m.upper {
+					p.Buckets[i] = BucketPoint{UpperBound: le, Count: cum[i]}
+				}
+			}
+			snap.Metrics = append(snap.Metrics, p)
+		}
+	}
+	return snap
+}
+
+// parseSignature recovers the label map from a canonical signature (the
+// inverse of signature, possible because keys and values are escaped).
+func parseSignature(sig string) map[string]string {
+	if sig == "" {
+		return nil
+	}
+	out := map[string]string{}
+	body := strings.TrimSuffix(strings.TrimPrefix(sig, "{"), "}")
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		key := body[:eq]
+		rest := body[eq+1:]
+		val, n := unquoteLabel(rest)
+		out[key] = val
+		body = strings.TrimPrefix(rest[n:], ",")
+	}
+	return out
+}
+
+// unquoteLabel decodes one leading quoted label value, returning the
+// value and how many input bytes it spanned.
+func unquoteLabel(s string) (string, int) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i < len(s) {
+				if s[i] == 'n' {
+					b.WriteByte('\n')
+				} else {
+					b.WriteByte(s[i])
+				}
+			}
+		case '"':
+			return b.String(), i + 1
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String(), len(s)
+}

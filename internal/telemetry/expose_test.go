@@ -1,0 +1,170 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+// populate drives a fixed set of operations against a registry.
+func populate(r *telemetry.Registry) {
+	r.Counter("b_total", "second family").Add(7)
+	r.Counter("a_total", "first family").Inc()
+	r.Gauge("pool_running", "in flight", telemetry.Label{Key: "pool", Value: "solve"}).Set(2)
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+}
+
+func expose(t *testing.T, r *telemetry.Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := telemetry.New(nil)
+	populate(r)
+	got := expose(t, r)
+	want := `# HELP a_total first family
+# TYPE a_total counter
+a_total 1
+# HELP b_total second family
+# TYPE b_total counter
+b_total 7
+# HELP latency_seconds latency
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 5.55
+latency_seconds_count 3
+# HELP pool_running in flight
+# TYPE pool_running gauge
+pool_running{pool="solve"} 2
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	// Two registries fed identical operations expose byte-identical
+	// bodies — the property the fleet-monitoring diff tests rely on.
+	a, b := telemetry.New(nil), telemetry.New(nil)
+	populate(a)
+	populate(b)
+	// Re-render the first registry too: repeated scrapes of quiescent
+	// state must also be stable.
+	if got, again := expose(t, a), expose(t, a); got != again {
+		t.Error("two scrapes of the same registry differ")
+	}
+	if ea, eb := expose(t, a), expose(t, b); ea != eb {
+		t.Errorf("identical runs exposed different bodies:\n%s\nvs\n%s", ea, eb)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := telemetry.New(nil)
+	r.Counter("esc_total", "", telemetry.Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
+	got := expose(t, r)
+	want := `esc_total{path="a\\b\"c\nd"} 1` + "\n"
+	if !strings.Contains(got, want) {
+		t.Errorf("escaped series missing:\ngot %q\nwant substring %q", got, want)
+	}
+	// The snapshot recovers the original value.
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Labels["path"] != "a\\b\"c\nd" {
+		t.Errorf("snapshot labels = %+v", snap.Metrics)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := telemetry.New(nil)
+	populate(r)
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 4 {
+		t.Fatalf("snapshot has %d metrics, want 4", len(snap.Metrics))
+	}
+	// Sorted by name: a_total, b_total, latency_seconds, pool_running.
+	order := []string{"a_total", "b_total", "latency_seconds", "pool_running"}
+	for i, name := range order {
+		if snap.Metrics[i].Name != name {
+			t.Fatalf("metric %d = %s, want %s", i, snap.Metrics[i].Name, name)
+		}
+	}
+	hist := snap.Metrics[2]
+	if hist.Type != "histogram" || hist.Count != 3 || hist.Sum != 5.55 {
+		t.Errorf("histogram point = %+v", hist)
+	}
+	if len(hist.Buckets) != 2 || hist.Buckets[0].Count != 1 || hist.Buckets[1].Count != 2 {
+		t.Errorf("histogram buckets = %+v", hist.Buckets)
+	}
+	// Marshals cleanly (no Inf/NaN) and deterministically.
+	b1, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(r.Snapshot())
+	if string(b1) != string(b2) {
+		t.Error("snapshot JSON not stable across calls")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := telemetry.New(nil)
+	r.Counter("hits_total", "").Inc()
+	srv := httptest.NewServer(telemetry.Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "hits_total 1") {
+		t.Errorf("body = %q", body)
+	}
+
+	resp2, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 405 {
+		t.Errorf("POST status = %d", resp2.StatusCode)
+	}
+}
+
+func TestRegisterDebugMountsPprof(t *testing.T) {
+	m := http.NewServeMux()
+	telemetry.RegisterDebug(m, telemetry.New(nil))
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"context"
+	"strconv"
+	"time"
+)
+
+// This file packages the repo's standard instrument sets: pool metrics
+// for the parallel worker pool and the server's solve gate, solve metrics
+// for the localization hot path, and the context plumbing that carries a
+// registry into code (eval → parallel) whose call signatures should not
+// grow a telemetry parameter.
+
+// ctxKey keys the registry in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the registry; a nil registry returns
+// ctx unchanged.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the registry carried by ctx, or nil.
+func FromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}
+
+// PoolMetrics instruments one worker pool (or admission gate) under a
+// shared name prefix. All methods are nil-receiver safe; construct from a
+// nil registry and every call melts into a pointer test.
+type PoolMetrics struct {
+	reg    *Registry
+	prefix string
+
+	// Queued counts tasks ever submitted to the pool.
+	Queued *Counter
+	// Done counts tasks that finished executing.
+	Done *Counter
+	// Running gauges tasks currently executing.
+	Running *Gauge
+	// Waiting gauges tasks submitted but not yet claimed by a worker.
+	Waiting *Gauge
+	// Capacity gauges the pool's concurrency bound.
+	Capacity *Gauge
+	// QueueWait is the submit→claim latency distribution in seconds.
+	QueueWait *Histogram
+}
+
+// NewPoolMetrics builds (or re-binds — registration is get-or-create) the
+// pool instrument set under prefix, e.g. "nomloc_pool" or
+// "nomloc_server_pool". A nil registry yields a nil, no-op set.
+func NewPoolMetrics(r *Registry, prefix string) *PoolMetrics {
+	if r == nil {
+		return nil
+	}
+	return &PoolMetrics{
+		reg:       r,
+		prefix:    prefix,
+		Queued:    r.Counter(prefix+"_tasks_queued_total", "tasks submitted to the pool"),
+		Done:      r.Counter(prefix+"_tasks_done_total", "tasks finished by the pool"),
+		Running:   r.Gauge(prefix+"_tasks_running", "tasks currently executing"),
+		Waiting:   r.Gauge(prefix+"_tasks_waiting", "tasks submitted but not yet claimed"),
+		Capacity:  r.Gauge(prefix+"_capacity", "concurrency bound of the pool"),
+		QueueWait: r.Histogram(prefix+"_queue_wait_seconds", "submit-to-claim wait in seconds", nil),
+	}
+}
+
+// WorkerBusy returns the busy-seconds counter for one worker index.
+func (p *PoolMetrics) WorkerBusy(worker int) *Counter {
+	if p == nil {
+		return nil
+	}
+	return p.reg.Counter(p.prefix+"_worker_busy_seconds_total",
+		"seconds each worker spent executing tasks",
+		Label{Key: "worker", Value: strconv.Itoa(worker)})
+}
+
+// SetCapacity records the pool's concurrency bound. Nil-safe.
+func (p *PoolMetrics) SetCapacity(n int) {
+	if p == nil {
+		return
+	}
+	p.Capacity.Set(float64(n))
+}
+
+// Now reads the instrument clock (zero time on a nil set).
+func (p *PoolMetrics) Now() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return p.reg.Now()
+}
+
+// Submit records n tasks entering the pool.
+func (p *PoolMetrics) Submit(n int) {
+	if p == nil {
+		return
+	}
+	p.Queued.Add(uint64(n))
+	p.Waiting.Add(float64(n))
+}
+
+// Claim records one waiting task (submitted at submitted) starting to
+// execute and returns the claim time, which Finish takes back.
+func (p *PoolMetrics) Claim(submitted time.Time) time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	now := p.reg.Now()
+	p.Waiting.Dec()
+	p.QueueWait.Observe(now.Sub(submitted).Seconds())
+	p.Running.Inc()
+	return now
+}
+
+// Finish records one claimed task completing; busy (the claiming worker's
+// busy counter, may be nil for gates with no worker identity) accrues the
+// execution time since claimedAt.
+func (p *PoolMetrics) Finish(busy *Counter, claimedAt time.Time) {
+	if p == nil {
+		return
+	}
+	if busy != nil {
+		busy.AddFloat(p.reg.Now().Sub(claimedAt).Seconds())
+	}
+	p.Running.Dec()
+	p.Done.Inc()
+}
+
+// Abandon returns n submitted-but-never-claimed tasks (a pool run aborted
+// by an error or cancellation) out of the waiting gauge.
+func (p *PoolMetrics) Abandon(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.Waiting.Add(float64(-n))
+}
+
+// SolveMetrics instruments the localization solve hot path. Everything
+// here is count-only — iterations, judgement counts, relaxations — never
+// wall time, so a Localizer inside the deterministic evaluation pipeline
+// can carry it without violating the detrand contract or perturbing
+// bit-reproducible figures.
+type SolveMetrics struct {
+	// Solves counts completed Locate calls.
+	Solves *Counter
+	// Infeasible counts degenerate center extractions (the relaxed region
+	// collapsed to a point and the LP vertex was used).
+	Infeasible *Counter
+	// Relaxed counts proximity constraints the LP had to relax.
+	Relaxed *Counter
+	// Judgements is the per-solve pairwise-judgement count distribution.
+	Judgements *Histogram
+	// Iterations is the per-piece simplex pivot count distribution.
+	Iterations *Histogram
+}
+
+// NewSolveMetrics builds the solve instrument set. A nil registry yields
+// a nil set; the Localizer checks for nil once per solve.
+func NewSolveMetrics(r *Registry) *SolveMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SolveMetrics{
+		Solves:     r.Counter("nomloc_solve_total", "completed localization solves"),
+		Infeasible: r.Counter("nomloc_solve_degenerate_total", "center extractions that fell back to the LP vertex"),
+		Relaxed:    r.Counter("nomloc_solve_relaxed_total", "proximity constraints relaxed by the winning piece"),
+		Judgements: r.Histogram("nomloc_solve_judgements", "pairwise judgements entering each solve", LinearBuckets(0, 8, 16)),
+		Iterations: r.Histogram("nomloc_solve_lp_iterations", "simplex pivots per piece solve", ExponentialBuckets(1, 2, 14)),
+	}
+}
+
+// RecordSolve records one completed Locate call. Nil-safe.
+func (m *SolveMetrics) RecordSolve(judgements, relaxed int) {
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	m.Judgements.Observe(float64(judgements))
+	m.Relaxed.Add(uint64(relaxed))
+}
+
+// RecordPiece records one per-piece relaxation LP solve. Nil-safe.
+func (m *SolveMetrics) RecordPiece(iterations int) {
+	if m == nil {
+		return
+	}
+	m.Iterations.Observe(float64(iterations))
+}
+
+// RecordDegenerate records one center extraction that fell back to the
+// LP vertex. Nil-safe.
+func (m *SolveMetrics) RecordDegenerate() {
+	if m == nil {
+		return
+	}
+	m.Infeasible.Inc()
+}

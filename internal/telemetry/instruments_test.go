@@ -1,0 +1,112 @@
+package telemetry_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+func TestContextCarriesRegistry(t *testing.T) {
+	r := telemetry.New(nil)
+	ctx := telemetry.NewContext(context.Background(), r)
+	if telemetry.FromContext(ctx) != r {
+		t.Error("registry did not round-trip through context")
+	}
+	if telemetry.FromContext(context.Background()) != nil {
+		t.Error("bare context yielded a registry")
+	}
+	// A nil registry leaves the context untouched.
+	base := context.Background()
+	if telemetry.NewContext(base, nil) != base {
+		t.Error("nil registry changed the context")
+	}
+}
+
+func TestPoolMetricsAccounting(t *testing.T) {
+	// Clock advances 1 s per read. Submit reads nothing; Claim reads once;
+	// Finish (with a busy counter) reads once.
+	r := telemetry.New(stepClock(epoch, time.Second))
+	pm := telemetry.NewPoolMetrics(r, "nomloc_pool")
+	pm.Capacity.Set(4)
+
+	submitted := epoch
+	pm.Submit(3)
+	if pm.Queued.Value() != 3 || pm.Waiting.Value() != 3 {
+		t.Fatalf("after submit: queued=%v waiting=%v", pm.Queued.Value(), pm.Waiting.Value())
+	}
+
+	busy := pm.WorkerBusy(0)
+	claimed := pm.Claim(submitted)
+	if pm.Waiting.Value() != 2 || pm.Running.Value() != 1 {
+		t.Errorf("after claim: waiting=%v running=%v", pm.Waiting.Value(), pm.Running.Value())
+	}
+	if pm.QueueWait.Count() != 1 {
+		t.Errorf("queue wait observations = %d", pm.QueueWait.Count())
+	}
+
+	pm.Finish(busy, claimed)
+	if pm.Running.Value() != 0 || pm.Done.Value() != 1 {
+		t.Errorf("after finish: running=%v done=%v", pm.Running.Value(), pm.Done.Value())
+	}
+	// One clock step between claim and finish → one busy second.
+	if busy.Value() != 1 {
+		t.Errorf("worker busy seconds = %v, want 1", busy.Value())
+	}
+
+	// The two never-claimed tasks get abandoned on pool teardown.
+	pm.Abandon(2)
+	if pm.Waiting.Value() != 0 {
+		t.Errorf("waiting after abandon = %v", pm.Waiting.Value())
+	}
+}
+
+func TestPoolMetricsWorkerSeries(t *testing.T) {
+	r := telemetry.New(fixedClock(epoch))
+	pm := telemetry.NewPoolMetrics(r, "nomloc_pool")
+	a, b := pm.WorkerBusy(0), pm.WorkerBusy(1)
+	if a == b {
+		t.Fatal("worker busy counters share a series")
+	}
+	if pm.WorkerBusy(0) != a {
+		t.Error("worker busy counter not stable across calls")
+	}
+}
+
+func TestNilPoolMetricsNoOp(t *testing.T) {
+	pm := telemetry.NewPoolMetrics(nil, "x")
+	if pm != nil {
+		t.Fatal("nil registry did not yield nil pool metrics")
+	}
+	pm.Submit(3)
+	at := pm.Claim(epoch)
+	pm.Finish(pm.WorkerBusy(0), at)
+	pm.Abandon(1)
+	if !pm.Now().IsZero() {
+		t.Error("nil pool metrics Now() not zero")
+	}
+}
+
+func TestSolveMetrics(t *testing.T) {
+	r := telemetry.New(nil)
+	sm := telemetry.NewSolveMetrics(r)
+	sm.Solves.Inc()
+	sm.Infeasible.Inc()
+	sm.Relaxed.Add(2)
+	sm.Judgements.Observe(12)
+	sm.Iterations.Observe(40)
+	if sm.Solves.Value() != 1 || sm.Relaxed.Value() != 2 {
+		t.Errorf("solve counters: solves=%v relaxed=%v", sm.Solves.Value(), sm.Relaxed.Value())
+	}
+	if sm.Judgements.Count() != 1 || sm.Iterations.Count() != 1 {
+		t.Error("solve histograms missed observations")
+	}
+	// Re-binding against the same registry returns the same series.
+	if telemetry.NewSolveMetrics(r).Solves != sm.Solves {
+		t.Error("re-bound solve metrics use a different series")
+	}
+	if telemetry.NewSolveMetrics(nil) != nil {
+		t.Error("nil registry did not yield nil solve metrics")
+	}
+}

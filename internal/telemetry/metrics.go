@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// floatBits is an atomic float64 stored as its IEEE-754 bit pattern.
+// Add is a CAS loop; Store/Load are single atomics.
+type floatBits struct {
+	bits atomic.Uint64
+}
+
+func (f *floatBits) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *floatBits) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *floatBits) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric. Integer increments (the
+// common case) take the single-atomic fast path; fractional amounts (busy
+// seconds) accumulate separately under CAS. Every method is nil-receiver
+// safe so "telemetry off" costs one pointer test.
+type Counter struct {
+	ints   atomic.Uint64
+	floats floatBits
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.ints.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.ints.Add(n)
+}
+
+// AddFloat adds a non-negative fractional amount (e.g. busy seconds).
+// Negative and NaN deltas are dropped: a counter only moves forward.
+func (c *Counter) AddFloat(v float64) {
+	if c == nil || v < 0 || math.IsNaN(v) {
+		return
+	}
+	c.floats.add(v)
+}
+
+// Value returns the accumulated total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return float64(c.ints.Load()) + c.floats.load()
+}
+
+// Gauge is a metric that can go up and down (in-flight tasks, queue
+// depth). Nil-receiver safe.
+type Gauge struct {
+	val floatBits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.val.store(v)
+}
+
+// Add adds v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.val.add(v)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.val.load()
+}
+
+// DefBuckets are the default histogram buckets, tuned (like Prometheus's
+// defaults) for latencies in seconds from sub-millisecond to ~10 s.
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExponentialBuckets returns n ascending bucket bounds starting at start
+// and multiplying by factor (> 1) at each step.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n ascending bucket bounds starting at start and
+// stepping by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}
+
+// Histogram counts observations into fixed buckets. Buckets are an atomic
+// each; sum and count are single atomics too, so a scrape racing an
+// Observe may see sum and count off by one observation — consistent state
+// returns as soon as writers quiesce, which is when deterministic
+// comparisons happen.
+type Histogram struct {
+	upper  []float64 // finite ascending upper bounds
+	counts []atomic.Uint64
+	sum    floatBits
+	total  atomic.Uint64
+}
+
+// newHistogram builds a histogram over validated bounds.
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1), // +1: the +Inf overflow bucket
+	}
+}
+
+// Observe records one value. NaN observations are dropped — they would
+// poison the sum and match no bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bucket whose upper bound admits v; the overflow slot catches
+	// the rest.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// cumulative returns the per-bound cumulative counts (Prometheus bucket
+// semantics), excluding the +Inf bucket — whose cumulative count is
+// Count() by definition.
+func (h *Histogram) cumulative() []uint64 {
+	out := make([]uint64, len(h.upper))
+	var run uint64
+	for i := range h.upper {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}

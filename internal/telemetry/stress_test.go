@@ -1,0 +1,99 @@
+package telemetry_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+// TestRegistryStress hammers one registry from many goroutines — mixed
+// registration and updates on shared and per-goroutine series, span
+// recording, and concurrent scrapes — then checks exact totals. Run with
+// -race this is the package's data-race oracle.
+func TestRegistryStress(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 500
+	)
+	r := telemetry.New(fixedClock(epoch))
+	tr := telemetry.NewTracer(r, 64)
+
+	// Shared series created up front plus per-goroutine re-registration
+	// below, so the get-or-create path is exercised under contention.
+	shared := r.Counter("stress_shared_total", "")
+	gauge := r.Gauge("stress_gauge", "")
+	hist := r.Histogram("stress_seconds", "", nil)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			mine := r.Counter("stress_worker_total", "",
+				telemetry.Label{Key: "worker", Value: string(rune('a' + g))})
+			for i := 0; i < iterations; i++ {
+				shared.Inc()
+				r.Counter("stress_shared_total", "").AddFloat(0.5)
+				mine.Inc()
+				gauge.Add(1)
+				gauge.Add(-1)
+				hist.Observe(float64(i%10) * 0.01)
+				hist.ObserveDuration(time.Millisecond)
+				tr.Start("stress").End()
+			}
+		}(g)
+	}
+
+	// Concurrent scrapers while the writers run.
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+
+	close(start)
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	total := goroutines * iterations
+	if got := shared.Value(); got != float64(total)*1.5 {
+		t.Errorf("shared counter = %v, want %v", got, float64(total)*1.5)
+	}
+	if got := gauge.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := hist.Count(); got != uint64(2*total) {
+		t.Errorf("histogram count = %d, want %d", got, 2*total)
+	}
+	if got := tr.Total(); got != uint64(total) {
+		t.Errorf("tracer total = %d, want %d", got, total)
+	}
+	for g := 0; g < goroutines; g++ {
+		c := r.Counter("stress_worker_total", "",
+			telemetry.Label{Key: "worker", Value: string(rune('a' + g))})
+		if c.Value() != iterations {
+			t.Errorf("worker %d counter = %v, want %d", g, c.Value(), iterations)
+		}
+	}
+}

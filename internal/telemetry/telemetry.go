@@ -1,0 +1,296 @@
+// Package telemetry is the repo's zero-dependency observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms), a
+// span-based tracer, Prometheus text-format exposition, and a
+// deterministic JSON snapshot. It exists so every scaling PR can be
+// measured instead of guessed — where round-solve time goes, whether the
+// worker pool saturates, how many LP pivots a solve burns.
+//
+// Two properties shape the design:
+//
+//   - Lock-cheap hot paths. Counters and gauges are single atomics;
+//     histograms are an atomic per bucket. Registration (the only mutex)
+//     happens once per series, not per observation, and every metric
+//     method is nil-receiver safe so instrumented code pays one pointer
+//     test when telemetry is off.
+//
+//   - Deterministic output. Exposition and snapshots order families by
+//     name and series by label signature, never by map iteration, and
+//     every duration measurement flows through an injected Clock — so two
+//     fixed-clock, fixed-seed runs produce byte-identical /metrics
+//     bodies, and instrumented deterministic packages stay clean under
+//     nomloc-vet's detrand contract (they count and observe derived
+//     values; they never read the wall clock themselves).
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock is the time source behind every duration measurement. Production
+// wiring injects WallClock; deterministic tests inject a fixed or stepped
+// clock. Deterministic packages must only ever receive a Clock from their
+// caller — nomloc-vet's detrand analyzer rejects both time.Now and
+// telemetry.WallClock calls inside them.
+type Clock func() time.Time
+
+// WallClock is the production time source. Do not call it from a package
+// under the determinism contract; accept an injected Clock instead.
+func WallClock() time.Time { return time.Now() }
+
+// Label is one metric dimension, e.g. {Key: "worker", Value: "3"}.
+type Label struct {
+	Key, Value string
+}
+
+// kind discriminates metric families.
+type kind int
+
+const (
+	counterKind kind = iota + 1
+	gaugeKind
+	histogramKind
+)
+
+// String implements fmt.Stringer.
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// family is one metric name: its help text, kind, shared histogram
+// buckets, and the series keyed by label signature.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64 // histogram families only; shared by all series
+	series  map[string]any
+}
+
+// Registry holds metric families and the clock their timers read.
+// A nil *Registry is a valid "telemetry off" registry: every method
+// no-ops (returning nil metrics, whose methods in turn no-op), so
+// instrumentation call sites never need a feature flag.
+type Registry struct {
+	clock Clock
+
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns a registry whose duration measurements read clock; nil
+// selects WallClock. Inject a fixed clock to make exposition bodies
+// byte-reproducible across runs.
+func New(clock Clock) *Registry {
+	if clock == nil {
+		clock = WallClock
+	}
+	return &Registry{
+		clock:    clock,
+		families: make(map[string]*family),
+	}
+}
+
+// Clock returns the registry's time source (nil for a nil registry).
+func (r *Registry) Clock() Clock {
+	if r == nil {
+		return nil
+	}
+	return r.clock
+}
+
+// Now reads the registry's clock; the zero time for a nil registry.
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.clock()
+}
+
+// Metric and label names follow the Prometheus data model.
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// signature renders labels as a canonical `{k="v",…}` suffix (keys
+// sorted, values escaped), or "" for an unlabeled series. The same string
+// keys the series map and prints in the exposition, so series identity
+// and output order agree by construction.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, labelEscaper.Replace(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelEscaper applies the exposition-format escapes for label values:
+// backslash, double quote, and newline.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// validate panics on malformed metric or label names: registration
+// happens at wiring time, so a bad name is a programming error, not a
+// runtime condition.
+func validate(name string, labels []Label) {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if !labelRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label key %q on %q", l.Key, name))
+		}
+		if seen[l.Key] {
+			panic(fmt.Sprintf("telemetry: duplicate label key %q on %q", l.Key, name))
+		}
+		seen[l.Key] = true
+	}
+}
+
+// lookup returns (creating on first use) the series of one family. The
+// family's kind is fixed by its first registration; a kind conflict is a
+// wiring bug and panics. make builds a new series value.
+func (r *Registry) lookup(name, help string, k kind, buckets []float64, labels []Label, make func() any) any {
+	validate(name, labels)
+	sig := signature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, buckets: buckets, series: map[string]any{}}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("telemetry: %q registered as %v, re-requested as %v", name, f.kind, k))
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = make()
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter returns the counter series name{labels…}, creating it on first
+// use. Re-registration with the same name and labels returns the same
+// counter; the help text of the first registration wins. Nil-safe.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, counterKind, nil, labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge series name{labels…}, creating it on first use.
+// Nil-safe.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, gaugeKind, nil, labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram series name{labels…} with the family's
+// fixed buckets (ascending upper bounds; a +Inf overflow bucket is
+// implicit). The first registration fixes the buckets for every series of
+// the family; nil buckets select DefBuckets. Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	var famBuckets []float64
+	r.mu.Lock()
+	if f := r.families[name]; f != nil {
+		famBuckets = f.buckets
+	}
+	r.mu.Unlock()
+	if famBuckets == nil {
+		famBuckets = checkBuckets(name, buckets)
+	}
+	return r.lookup(name, help, histogramKind, famBuckets, labels,
+		func() any { return newHistogram(famBuckets) }).(*Histogram)
+}
+
+// checkBuckets validates and copies histogram bounds: finite, strictly
+// ascending upper bounds only (the +Inf bucket is implicit).
+func checkBuckets(name string, buckets []float64) []float64 {
+	out := append([]float64(nil), buckets...)
+	for i, b := range out {
+		if i > 0 && out[i-1] >= b {
+			panic(fmt.Sprintf("telemetry: %q buckets not strictly ascending at %d", name, i))
+		}
+	}
+	return out
+}
+
+// familyView is an exposition-ready snapshot of one family: metadata
+// copied, series sorted by label signature. The metric values themselves
+// are shared pointers — their reads are atomic and need no lock.
+type familyView struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64
+	series  []seriesEntry
+}
+
+// seriesEntry pairs one series with its canonical label signature.
+type seriesEntry struct {
+	sig    string
+	metric any
+}
+
+// view snapshots every family under the registration lock, ordered by
+// family name and then label signature — the single ordering both the
+// Prometheus exposition and Snapshot use, so the two surfaces always
+// agree and neither ever leaks map iteration order.
+func (r *Registry) view() []familyView {
+	r.mu.Lock()
+	out := make([]familyView, 0, len(r.families))
+	for _, f := range r.families {
+		fv := familyView{
+			name:    f.name,
+			help:    f.help,
+			kind:    f.kind,
+			buckets: f.buckets,
+			series:  make([]seriesEntry, 0, len(f.series)),
+		}
+		for sig, s := range f.series {
+			fv.series = append(fv.series, seriesEntry{sig: sig, metric: s})
+		}
+		out = append(out, fv)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, fv := range out {
+		s := fv.series
+		sort.Slice(s, func(i, j int) bool { return s[i].sig < s[j].sig })
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package telemetry_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+// fixedClock returns a clock pinned to one instant.
+func fixedClock(at time.Time) telemetry.Clock {
+	return func() time.Time { return at }
+}
+
+// stepClock returns a clock advancing by step on every read.
+func stepClock(start time.Time, step time.Duration) telemetry.Clock {
+	var mu sync.Mutex
+	t := start
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(step)
+		return t
+	}
+}
+
+var epoch = time.Date(2014, time.June, 30, 12, 0, 0, 0, time.UTC)
+
+func TestCounter(t *testing.T) {
+	r := telemetry.New(nil)
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.AddFloat(0.5)
+	if got := c.Value(); got != 5.5 {
+		t.Errorf("Value = %v, want 5.5", got)
+	}
+	// Negative and NaN float deltas are dropped.
+	c.AddFloat(-3)
+	c.AddFloat(math.NaN())
+	if got := c.Value(); got != 5.5 {
+		t.Errorf("Value after bad deltas = %v, want 5.5", got)
+	}
+	// Get-or-create: same name+labels yields the same series.
+	if r.Counter("test_total", "other help") != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := telemetry.New(nil).Gauge("test_gauge", "help")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("Value = %v, want 2.5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := telemetry.New(nil).Histogram("test_hist", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("Sum = %v, want 106", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := telemetry.New(nil)
+	a := r.Counter("workers_total", "", telemetry.Label{Key: "worker", Value: "0"})
+	b := r.Counter("workers_total", "", telemetry.Label{Key: "worker", Value: "1"})
+	if a == b {
+		t.Fatal("distinct label values share a series")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Error("increment leaked across label values")
+	}
+	// Label order does not matter for identity.
+	x := r.Gauge("g", "", telemetry.Label{Key: "a", Value: "1"}, telemetry.Label{Key: "b", Value: "2"})
+	y := r.Gauge("g", "", telemetry.Label{Key: "b", Value: "2"}, telemetry.Label{Key: "a", Value: "1"})
+	if x != y {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := telemetry.New(nil)
+	r.Counter("conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge re-registration of a counter did not panic")
+		}
+	}()
+	r.Gauge("conflict", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := telemetry.New(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad name", "")
+}
+
+func TestNilRegistryAndMetricsNoOp(t *testing.T) {
+	var r *telemetry.Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", nil)
+	c.Inc()
+	c.Add(2)
+	c.AddFloat(1)
+	g.Set(1)
+	g.Inc()
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics accumulated values")
+	}
+	if !r.Now().IsZero() {
+		t.Error("nil registry Now() not zero")
+	}
+	if got := r.Snapshot(); len(got.Metrics) != 0 {
+		t.Errorf("nil registry snapshot has %d metrics", len(got.Metrics))
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := telemetry.ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := telemetry.LinearBuckets(0, 5, 3)
+	wantLin := []float64{0, 5, 10}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, wantLin)
+		}
+	}
+}
+
+func TestRegistryClock(t *testing.T) {
+	at := epoch.Add(time.Hour)
+	r := telemetry.New(fixedClock(at))
+	if !r.Now().Equal(at) {
+		t.Errorf("Now = %v, want %v", r.Now(), at)
+	}
+	if telemetry.New(nil).Clock() == nil {
+		t.Error("default registry has no clock")
+	}
+}

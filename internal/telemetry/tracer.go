@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	// Name identifies the operation ("round", "solve", …).
+	Name string `json:"name"`
+	// Start is the span's begin time per the tracer's clock.
+	Start time.Time `json:"start"`
+	// Duration is End − Start (clamped at zero).
+	Duration time.Duration `json:"duration"`
+}
+
+// Tracer measures named operations with the registry's clock. Every
+// finished span lands in two places: a per-name duration histogram
+// (nomloc_span_seconds{span="…"}) on the registry, and a bounded
+// in-memory ring for inspection from tests, /status-style dashboards,
+// and nomloc-bench. A nil *Tracer no-ops, and because the clock is the
+// registry's injected Clock, tracing inside deterministic packages does
+// not break bit-reproducibility — a fixed clock yields fixed spans.
+type Tracer struct {
+	reg *Registry
+	max int
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer recording to reg, retaining the most recent
+// capacity spans (default 256). A nil registry yields a nil (no-op)
+// tracer.
+func NewTracer(reg *Registry, capacity int) *Tracer {
+	if reg == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{reg: reg, max: capacity}
+}
+
+// Span is one in-flight operation; close it with End. The zero Span (from
+// a nil tracer) is valid and inert.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+}
+
+// Start opens a span. Nil-safe.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, start: t.reg.Now()}
+}
+
+// End closes the span, recording its duration into the tracer's ring and
+// the registry's span histogram. It returns the measured duration.
+func (s Span) End() time.Duration {
+	if s.tr == nil {
+		return 0
+	}
+	d := s.tr.reg.Now().Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.tr.record(SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	return d
+}
+
+// record appends one finished span to the ring and the span histogram.
+func (t *Tracer) record(rec SpanRecord) {
+	t.reg.Histogram("nomloc_span_seconds", "duration of traced operations by span name",
+		DefBuckets, Label{Key: "span", Value: rec.Name}).ObserveDuration(rec.Duration)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < t.max {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+	}
+	t.next = (t.next + 1) % t.max
+	t.total++
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if len(t.ring) < t.max {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// Total returns how many spans have finished over the tracer's lifetime
+// (including ones the ring has since evicted).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

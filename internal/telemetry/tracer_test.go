@@ -1,0 +1,89 @@
+package telemetry_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+func TestTracerSpans(t *testing.T) {
+	// Clock steps 1 s per read: Start reads once, End reads once, so each
+	// span measures exactly one second.
+	r := telemetry.New(stepClock(epoch, time.Second))
+	tr := telemetry.NewTracer(r, 8)
+
+	sp := tr.Start("solve")
+	if d := sp.End(); d != time.Second {
+		t.Errorf("span duration = %v, want 1s", d)
+	}
+	tr.Start("round").End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "solve" || spans[1].Name != "round" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if tr.Total() != 2 {
+		t.Errorf("Total = %d", tr.Total())
+	}
+
+	// Every finished span feeds the per-name histogram.
+	snap := r.Snapshot()
+	var found int
+	for _, m := range snap.Metrics {
+		if m.Name == "nomloc_span_seconds" {
+			found++
+			if m.Count != 1 || m.Sum != 1 {
+				t.Errorf("span series %v: count=%d sum=%v", m.Labels, m.Count, m.Sum)
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("span histogram series = %d, want 2 (solve, round)", found)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	r := telemetry.New(fixedClock(epoch))
+	tr := telemetry.NewTracer(r, 3)
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		tr.Start(name).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d spans, want 3", len(spans))
+	}
+	// Oldest first: c, d, e survive.
+	for i, want := range []string{"c", "d", "e"} {
+		if spans[i].Name != want {
+			t.Errorf("spans[%d] = %s, want %s", i, spans[i].Name, want)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Errorf("Total = %d, want 5", tr.Total())
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	tr := telemetry.NewTracer(nil, 8)
+	if tr != nil {
+		t.Fatal("nil registry did not yield nil tracer")
+	}
+	sp := tr.Start("x")
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Error("nil tracer retained state")
+	}
+}
+
+func TestFixedClockSpansAreZero(t *testing.T) {
+	// A pinned clock yields zero-duration spans — the mechanism that
+	// keeps fixed-clock server runs byte-identical.
+	r := telemetry.New(fixedClock(epoch))
+	tr := telemetry.NewTracer(r, 4)
+	if d := tr.Start("solve").End(); d != 0 {
+		t.Errorf("fixed-clock span = %v, want 0", d)
+	}
+}
