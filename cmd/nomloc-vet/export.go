@@ -1,0 +1,248 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+)
+
+// Finding is one diagnostic in exportable form. File is relative to the
+// -C directory with forward slashes, so the same tree produces the same
+// bytes no matter where it is checked out — the exporters inherit the
+// determinism contract the analyzers enforce.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// sortFindings orders findings by (file, line, col, analyzer, message):
+// the one canonical order every output mode shares.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// writeJSON emits the findings as an indented JSON array (never null:
+// a clean run is an empty array).
+func writeJSON(out io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	buf, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", buf)
+	return err
+}
+
+// SARIF 2.1.0 — the minimal subset GitHub code scanning ingests. Field
+// order is fixed by the struct definitions, so output is byte-stable.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF emits the findings as a SARIF 2.1.0 log. The rule table
+// lists the full suite that ran (sorted by id), findings or not, so a
+// clean run still documents what was checked.
+func writeSARIF(out io.Writer, findings []Finding, suite []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(suite))
+	for _, a := range suite {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "nomloc-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	buf, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", buf)
+	return err
+}
+
+// Baseline ratchet. The baseline keys findings by (analyzer, file,
+// message) with an occurrence count and deliberately ignores line
+// numbers: moving baselined code around must not trip CI, adding a NEW
+// instance of a baselined message in the same file must.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// loadBaseline reads and indexes a baseline file.
+func loadBaseline(path string) (map[string]int, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(buf, &bf); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	idx := make(map[string]int, len(bf.Findings))
+	for _, e := range bf.Findings {
+		idx[baselineKey(e.Analyzer, e.File, e.Message)] += e.Count
+	}
+	return idx, nil
+}
+
+// diffBaseline splits findings into the new ones (beyond the baselined
+// count for their key) and reports how many baseline entries are stale
+// (baselined occurrences that no longer happen). Findings must already
+// be in canonical order; within one key the later occurrences are the
+// ones reported new.
+func diffBaseline(findings []Finding, baseline map[string]int) (news []Finding, stale int) {
+	allowed := make(map[string]int, len(baseline))
+	for k, v := range baseline {
+		allowed[k] = v
+	}
+	for _, f := range findings {
+		k := baselineKey(f.Analyzer, f.File, f.Message)
+		if allowed[k] > 0 {
+			allowed[k]--
+			continue
+		}
+		news = append(news, f)
+	}
+	for _, rest := range allowed {
+		stale += rest
+	}
+	return news, stale
+}
+
+// writeBaseline persists the findings as a fresh baseline, canonically
+// ordered so the checked-in file diffs cleanly.
+func writeBaseline(path string, findings []Finding) error {
+	counts := map[string]baselineEntry{}
+	for _, f := range findings {
+		k := baselineKey(f.Analyzer, f.File, f.Message)
+		e := counts[k]
+		e.Analyzer, e.File, e.Message = f.Analyzer, f.File, f.Message
+		e.Count++
+		counts[k] = e
+	}
+	entries := make([]baselineEntry, 0, len(counts))
+	for _, e := range counts {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	buf, err := json.MarshalIndent(baselineFile{Version: 1, Findings: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

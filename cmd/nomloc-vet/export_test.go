@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+)
+
+// TestWriteJSONGolden pins the JSON exporter's exact bytes: the /metrics
+// determinism contract applied to findings.
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeJSON(&buf, []Finding{
+		{Analyzer: "detrand", File: "internal/core/x.go", Line: 5, Col: 3, Message: "boom"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `[
+  {
+    "analyzer": "detrand",
+    "file": "internal/core/x.go",
+    "line": 5,
+    "col": 3,
+    "message": "boom"
+  }
+]
+`
+	if buf.String() != want {
+		t.Errorf("JSON output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	// A clean run is an empty array, never null.
+	buf.Reset()
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "[]\n" {
+		t.Errorf("empty JSON output = %q, want %q", buf.String(), "[]\n")
+	}
+}
+
+// TestWriteSARIFGolden pins the SARIF exporter's exact bytes for a
+// one-rule suite with one finding.
+func TestWriteSARIFGolden(t *testing.T) {
+	suite := []*analysis.Analyzer{{Name: "detrand", Doc: "no wall clocks"}}
+	var buf bytes.Buffer
+	err := writeSARIF(&buf, []Finding{
+		{Analyzer: "detrand", File: "internal/core/x.go", Line: 5, Col: 3, Message: "boom"},
+	}, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "nomloc-vet",
+          "rules": [
+            {
+              "id": "detrand",
+              "shortDescription": {
+                "text": "no wall clocks"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "detrand",
+          "level": "warning",
+          "message": {
+            "text": "boom"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "internal/core/x.go"
+                },
+                "region": {
+                  "startLine": 5,
+                  "startColumn": 3
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
+}
+`
+	if buf.String() != want {
+		t.Errorf("SARIF output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestExportersByteStableOnRepo runs each exporter twice over the real
+// module and demands byte-identical output — the acceptance criterion
+// for wiring them into code scanning.
+func TestExportersByteStableOnRepo(t *testing.T) {
+	for _, mode := range []string{"-json", "-sarif"} {
+		t.Run(mode, func(t *testing.T) {
+			var first, second, errOut bytes.Buffer
+			if code := run([]string{mode, "-C", "../..", "./..."}, &first, &errOut); code != 0 {
+				t.Fatalf("run 1 exit = %d\nstderr:\n%s", code, errOut.String())
+			}
+			errOut.Reset()
+			if code := run([]string{mode, "-C", "../..", "./..."}, &second, &errOut); code != 0 {
+				t.Fatalf("run 2 exit = %d\nstderr:\n%s", code, errOut.String())
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("%s output differs across two runs on the same tree", mode)
+			}
+		})
+	}
+}
+
+// TestJSONExportOnModule checks the end-to-end JSON shape over a module
+// with a known finding.
+func TestJSONExportOnModule(t *testing.T) {
+	dir := tmpModule(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-C", dir, "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	var findings []Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "detrand" ||
+		findings[0].File != "core/core.go" || findings[0].Line != 5 {
+		t.Errorf("findings = %+v, want one detrand at core/core.go:5", findings)
+	}
+}
+
+// TestSARIFExportOnModule checks the end-to-end SARIF shape, including
+// the full rule table.
+func TestSARIFExportOnModule(t *testing.T) {
+	dir := tmpModule(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-sarif", "-C", dir, "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = %+v, want one 2.1.0 run", log)
+	}
+	if got := log.Runs[0].Tool.Driver.Name; got != "nomloc-vet" {
+		t.Errorf("driver name = %q", got)
+	}
+	if nrules := len(log.Runs[0].Tool.Driver.Rules); nrules != len(analysis.All()) {
+		t.Errorf("rule table has %d rules, want the full suite of %d", nrules, len(analysis.All()))
+	}
+	res := log.Runs[0].Results
+	if len(res) != 1 || res[0].RuleID != "detrand" ||
+		res[0].Locations[0].PhysicalLocation.ArtifactLocation.URI != "core/core.go" {
+		t.Errorf("results = %+v, want one detrand at core/core.go", res)
+	}
+}
+
+// TestBaselineRatchet drives the whole ratchet lifecycle: record,
+// tolerate, catch new findings, and note stale entries.
+func TestBaselineRatchet(t *testing.T) {
+	dir := tmpModule(t)
+	baseline := filepath.Join(dir, "vet-baseline.json")
+
+	// A missing baseline file is a hard error, not an empty baseline —
+	// silently passing everything would defeat the gate.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-C", dir, "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline exit = %d, want 2", code)
+	}
+
+	// Record the current findings.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, "-update-baseline", "-C", dir, "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-update-baseline exit = %d\nstderr:\n%s", code, errOut.String())
+	}
+
+	// Baselined findings no longer fail the run.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, "-C", dir, "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+
+	// A NEW violation in a different file still fails.
+	writeTmp(t, dir, "core/extra.go", `package core
+
+import "time"
+
+func Later() time.Time { return time.Now() }
+`)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, "-C", dir, "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("new-finding run exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "core/extra.go") || strings.Contains(out.String(), "core/core.go") {
+		t.Errorf("text mode should print only the new finding:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "new finding(s) beyond baseline") {
+		t.Errorf("stderr should name the ratchet:\n%s", errOut.String())
+	}
+
+	// Fixing baselined code yields a stale note, never a failure.
+	if err := os.Remove(filepath.Join(dir, "core/core.go")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "core/extra.go")); err != nil {
+		t.Fatal(err)
+	}
+	writeTmp(t, dir, "core/core.go", "package core\n")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, "-C", dir, "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("stale-baseline run exit = %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "no longer occur") {
+		t.Errorf("stderr should note the stale baseline entry:\n%s", errOut.String())
+	}
+}
+
+// TestBaselineLineInsensitive moves the baselined violation to a
+// different line and checks the ratchet stays quiet: the key is
+// (analyzer, file, message), not position.
+func TestBaselineLineInsensitive(t *testing.T) {
+	dir := tmpModule(t)
+	baseline := filepath.Join(dir, "vet-baseline.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-update-baseline", "-C", dir, "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-update-baseline exit = %d", code)
+	}
+	writeTmp(t, dir, "core/core.go", `package core
+
+import "time"
+
+// Pushed down a few lines.
+
+func Clock() time.Time { return time.Now() }
+`)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, "-C", dir, "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("moved finding exit = %d, want 0 (baseline must ignore line numbers)\nstdout:\n%s", code, out.String())
+	}
+}
+
+func TestJSONAndSARIFExclusive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-sarif", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("-json -sarif exit = %d, want 2", code)
+	}
+}
+
+func TestUpdateBaselineRequiresBaseline(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-update-baseline", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("-update-baseline without -baseline exit = %d, want 2", code)
+	}
+}

@@ -1,15 +1,25 @@
 // Command nomloc-vet is the multichecker for NomLoc's determinism and
 // concurrency contract. It composes the internal/analysis suite —
-// detrand, seedmix, floateq, locksafe — over `go list` package patterns
+// detrand, seedmix, floateq, locksafe, plus the flow-sensitive
+// nanguard, errdrop, and leakcheck — over `go list` package patterns
 // and exits nonzero when any analyzer reports a finding, so CI can gate
 // merges on the contract the same way it gates on tests:
 //
 //	go run ./cmd/nomloc-vet ./...
 //	go run ./cmd/nomloc-vet -analyzers detrand,seedmix ./internal/eval/
+//	go run ./cmd/nomloc-vet -json ./...
+//	go run ./cmd/nomloc-vet -sarif ./... > nomloc-vet.sarif
+//	go run ./cmd/nomloc-vet -baseline vet-baseline.json ./...
 //
-// Diagnostics print as file:line:col: analyzer: message. The escape
-// hatch //nomloc:nondeterministic-ok (detrand only) is honored and
-// audited: a suppression with nothing to suppress is itself an error.
+// Diagnostics print as file:line:col: analyzer: message; -json and
+// -sarif emit machine-readable findings with paths relative to the -C
+// directory, byte-identical across runs on the same tree. With
+// -baseline the exit status ratchets: only findings NOT accounted for
+// in the baseline file fail the run (-update-baseline rewrites it).
+// Per-analyzer escape hatches (//nomloc:nondeterministic-ok,
+// //nomloc:nanguard-ok, //nomloc:errdrop-ok, //nomloc:leakcheck-ok) are
+// honored and audited: a suppression with nothing to suppress is itself
+// an error.
 package main
 
 import (
@@ -17,7 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"path/filepath"
 	"strings"
 
 	"github.com/nomloc/nomloc/internal/analysis"
@@ -35,7 +45,19 @@ func run(args []string, out, errOut io.Writer) int {
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	dir := fs.String("C", ".", "resolve package patterns relative to this directory")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 instead of text")
+	baselinePath := fs.String("baseline", "", "fail only on findings not recorded in this baseline file")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(errOut, "nomloc-vet: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(errOut, "nomloc-vet: -update-baseline requires -baseline")
 		return 2
 	}
 
@@ -72,11 +94,12 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	type finding struct {
-		pos  string
-		line string
+	absDir, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+		return 2
 	}
-	var findings []finding
+	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range suite {
 			diags, err := pkg.Run(a)
@@ -86,20 +109,76 @@ func run(args []string, out, errOut io.Writer) int {
 			}
 			for _, d := range diags {
 				pos := pkg.Fset.Position(d.Pos)
-				findings = append(findings, finding{
-					pos:  pos.String(),
-					line: fmt.Sprintf("%s: %s: %s", pos, d.Analyzer, d.Message),
+				findings = append(findings, Finding{
+					Analyzer: d.Analyzer,
+					File:     relativeTo(absDir, pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
 				})
 			}
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
-	for _, f := range findings {
-		fmt.Fprintln(out, f.line)
+	sortFindings(findings)
+
+	// The baseline ratchet decides what counts against the exit status;
+	// the exporters always carry the full current picture.
+	failing := findings
+	if *baselinePath != "" {
+		if *updateBaseline {
+			if err := writeBaseline(*baselinePath, findings); err != nil {
+				fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(errOut, "nomloc-vet: baseline %s updated with %d finding(s)\n", *baselinePath, len(findings))
+			return 0
+		}
+		baseline, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+			return 2
+		}
+		news, stale := diffBaseline(findings, baseline)
+		if stale > 0 {
+			fmt.Fprintf(errOut, "nomloc-vet: note: %d baselined finding(s) no longer occur; run -update-baseline to ratchet down\n", stale)
+		}
+		failing = news
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(errOut, "nomloc-vet: %d finding(s)\n", len(findings))
+
+	switch {
+	case *jsonOut:
+		if err := writeJSON(out, findings); err != nil {
+			fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := writeSARIF(out, findings, suite); err != nil {
+			fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range failing {
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(failing) > 0 {
+		label := "finding(s)"
+		if *baselinePath != "" {
+			label = "new finding(s) beyond baseline"
+		}
+		fmt.Fprintf(errOut, "nomloc-vet: %d %s\n", len(failing), label)
 		return 1
 	}
 	return 0
+}
+
+// relativeTo rewrites filename relative to dir with forward slashes,
+// falling back to the input when it lives outside dir. Keeping paths
+// tree-relative makes every output mode byte-stable across checkouts.
+func relativeTo(dir, filename string) string {
+	rel, err := filepath.Rel(dir, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
 }

@@ -20,28 +20,36 @@ func TestRepoIsVetClean(t *testing.T) {
 	}
 }
 
-// TestFindingsExitOne builds a throwaway module holding a detrand
-// violation and checks the multichecker reports it and exits 1.
-func TestFindingsExitOne(t *testing.T) {
+// tmpModule materializes a throwaway module holding one detrand
+// violation (time.Now in a package named core) and returns its root.
+func tmpModule(t *testing.T) string {
+	t.Helper()
 	dir := t.TempDir()
-	write := func(rel, content string) {
-		t.Helper()
-		path := filepath.Join(dir, rel)
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	write("go.mod", "module tmpvet\n\ngo 1.22\n")
-	write("core/core.go", `package core
+	writeTmp(t, dir, "go.mod", "module tmpvet\n\ngo 1.22\n")
+	writeTmp(t, dir, "core/core.go", `package core
 
 import "time"
 
 func Clock() time.Time { return time.Now() }
 `)
+	return dir
+}
 
+func writeTmp(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindingsExitOne builds a throwaway module holding a detrand
+// violation and checks the multichecker reports it and exits 1.
+func TestFindingsExitOne(t *testing.T) {
+	dir := tmpModule(t)
 	var out, errOut bytes.Buffer
 	code := run([]string{"-C", dir, "./..."}, &out, &errOut)
 	if code != 1 {
@@ -50,6 +58,10 @@ func Clock() time.Time { return time.Now() }
 	if !strings.Contains(out.String(), "detrand") || !strings.Contains(out.String(), "time.Now") {
 		t.Fatalf("findings missing detrand/time.Now:\n%s", out.String())
 	}
+	// Paths print relative to -C, so output is checkout-independent.
+	if !strings.Contains(out.String(), "core/core.go:5:") {
+		t.Fatalf("finding not reported with a tree-relative path:\n%s", out.String())
+	}
 }
 
 func TestListAnalyzers(t *testing.T) {
@@ -57,7 +69,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, name := range []string{"detrand", "seedmix", "floateq", "locksafe"} {
+	for _, name := range []string{"detrand", "seedmix", "floateq", "locksafe", "nanguard", "errdrop", "leakcheck"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

@@ -36,21 +36,21 @@ func handshake(addr string, hello *wire.Hello) (net.Conn, error) {
 		return nil, fmt.Errorf("agent: dial %s: %w", addr, err)
 	}
 	if err := wire.WriteMessage(conn, hello); err != nil {
-		_ = conn.Close()
+		_ = conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 		return nil, fmt.Errorf("agent: hello: %w", err)
 	}
 	msg, err := wire.ReadMessage(conn)
 	if err != nil {
-		_ = conn.Close()
+		_ = conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 		return nil, fmt.Errorf("agent: hello ack: %w", err)
 	}
 	ack, ok := msg.(*wire.HelloAck)
 	if !ok {
-		_ = conn.Close()
+		_ = conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 		return nil, fmt.Errorf("%w: got %q instead of ack", ErrRejected, msg.Type())
 	}
 	if !ack.OK {
-		_ = conn.Close()
+		_ = conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 		return nil, fmt.Errorf("%w: %s", ErrRejected, ack.Detail)
 	}
 	return conn, nil
@@ -221,7 +221,7 @@ func (a *APAgent) Close() {
 	}
 	a.closed = true
 	a.mu.Unlock()
-	_ = a.conn.Close()
+	_ = a.conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 	<-a.done
 }
 

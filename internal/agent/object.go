@@ -148,7 +148,7 @@ func (o *ObjectAgent) Close() {
 	}
 	o.closed = true
 	o.mu.Unlock()
-	_ = o.conn.Close()
+	_ = o.conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 	<-o.done
 }
 

@@ -103,6 +103,6 @@ func (v *ViewerAgent) Close() {
 	}
 	v.closed = true
 	v.mu.Unlock()
-	_ = v.conn.Close()
+	_ = v.conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 	<-v.done
 }

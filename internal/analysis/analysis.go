@@ -1,7 +1,7 @@
 // Package analysis is nomloc-vet's static-analysis toolkit: a
 // self-contained go/analysis-style framework (the container this repo
 // builds in has no network access, so golang.org/x/tools is off the
-// table) plus the four analyzers that enforce NomLoc's determinism and
+// table) plus the analyzers that enforce NomLoc's determinism and
 // concurrency contract. The evaluation pipeline's bit-reproducibility —
 // the property that makes the paper-figure reproductions checkable — is
 // enforced here at the syntax/type level instead of living as tribal
@@ -13,6 +13,17 @@
 //   - floateq:  no exact ==/!= between floats away from zero sentinels
 //   - locksafe: *Locked methods are called with a lock held, and
 //     mutex-bearing values are never copied
+//
+// On top of those AST-pattern checks sit three flow-sensitive analyzers
+// built on the cfg.go/dataflow.go engine (DESIGN.md §9):
+//
+//   - nanguard:  possibly-NaN floats must not reach lp constraint
+//     construction, confidence computation, or a returned coordinate
+//     without a guard (escape hatch: //nomloc:nanguard-ok)
+//   - errdrop:   no discarded or never-checked errors in deterministic
+//     packages (escape hatch: //nomloc:errdrop-ok)
+//   - leakcheck: go statements in server/parallel/agent must have a
+//     provable exit discipline (escape hatch: //nomloc:leakcheck-ok)
 //
 // The cmd/nomloc-vet multichecker composes them over `go list` package
 // patterns; the analysistest subpackage runs them over fixture packages
@@ -79,7 +90,7 @@ func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
 
 // All returns the nomloc-vet analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, SeedMix, FloatEq, LockSafe}
+	return []*Analyzer{DetRand, SeedMix, FloatEq, LockSafe, NanGuard, ErrDrop, LeakCheck}
 }
 
 // deterministicPackages are the import-path base names whose outputs feed

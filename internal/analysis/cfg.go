@@ -1,0 +1,438 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow half of the dataflow engine (DESIGN.md
+// §9): a function-scope CFG over go/ast, feeding the forward-fixpoint
+// framework in dataflow.go. It deliberately stays at the statement
+// granularity the flow-sensitive analyzers (nanguard, errdrop,
+// leakcheck) consume — no SSA, no interprocedural edges.
+
+// Block is one basic block: a maximal straight-line run of atoms with a
+// single entry and explicit successor edges.
+//
+// Atoms are either complete statements (assignment, expression, send,
+// return, defer, go, …) or bare ast.Expr nodes; by convention a bare
+// expression atom is always a branch condition (if/for cond, switch
+// tag), which is how transfer functions recognize guard points without
+// re-walking the enclosing statement.
+type Block struct {
+	// Index orders blocks by creation; Entry is 0.
+	Index int
+	// Atoms are the block's nodes in execution order.
+	Atoms []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+
+	preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the block control enters at.
+	Entry *Block
+	// Exit is the single synthetic exit block every return and
+	// falling-off-the-end path reaches. It carries no atoms.
+	Exit *Block
+	// Blocks lists every block, Entry first. Blocks unreachable from
+	// Entry (code after an unconditional return, unused labels) are kept
+	// so their atoms stay walkable.
+	Blocks []*Block
+	// Defers collects the function's defer statements in lexical order.
+	// Deferred calls run on every exit path (including panics), which is
+	// why analyzers treat them separately from the block structure.
+	Defers []*ast.DeferStmt
+}
+
+// Preds returns the blocks with an edge into b.
+func (c *CFG) Preds(b *Block) []*Block { return b.preds }
+
+// Reachable returns the set of blocks reachable from start by following
+// successor edges (start included).
+func (c *CFG) Reachable(start *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(start)
+	return seen
+}
+
+// CanReach reports whether to is reachable from from.
+func (c *CFG) CanReach(from, to *Block) bool {
+	return c.Reachable(from)[to]
+}
+
+// loopFrame tracks where break and continue jump for one enclosing
+// for/range/switch/select statement. cont is nil for switch and select
+// (continue skips them and binds to the enclosing loop).
+type loopFrame struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil after an unconditional jump: code that follows is unreachable
+	frames []loopFrame
+	labels map[string]*Block // label name → block the labeled statement starts in
+	// pendingLabel carries a label to attach to the next loop/switch
+	// frame, so `L: for ...` lets `break L` resolve.
+	pendingLabel string
+}
+
+// NewCFG builds the control-flow graph of one function body. The body
+// may be nil (declaration without body); the result then has an empty
+// entry wired straight to exit.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*Block{},
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.cfg.Entry, b.cfg.Exit = entry, exit
+	b.cur = entry
+	if body != nil {
+		b.stmts(body.List)
+	}
+	b.jump(exit)
+	// Exit must stay edge-free even if a goto targeted past it.
+	exit.Succs = nil
+	b.wirePreds()
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) wirePreds() {
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.preds = append(s.preds, blk)
+		}
+	}
+}
+
+// edge links from → to (nil-safe on from).
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jump ends the current block with an edge to target and marks the
+// continuation unreachable.
+func (b *cfgBuilder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = nil
+}
+
+// add appends an atom to the current block, reviving an unreachable
+// continuation into a fresh predecessor-less block so its atoms remain
+// part of the graph.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Atoms = append(b.cur.Atoms, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// frameFor finds the break/continue target frame: the innermost frame,
+// or the one carrying the label. wantCont selects frames that can host
+// a continue (loops).
+func (b *cfgBuilder) frameFor(label string, wantCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if wantCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// labelBlock returns (creating on demand) the block a label names, so
+// forward gotos can be wired before their target is built.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		target := b.labelBlock(s.Label.Name)
+		b.jump(target)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.frameFor(label, false); f != nil {
+				b.jump(f.brk)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if f := b.frameFor(label, true); f != nil {
+				b.jump(f.cont)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.jump(b.labelBlock(label))
+		case token.FALLTHROUGH:
+			// Handled by the enclosing switch builder; nothing here.
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond) // bare expression atom: a branch condition
+		condEnd := b.cur
+		after := b.newBlock()
+
+		thenBlk := b.newBlock()
+		b.edge(condEnd, thenBlk)
+		b.cur = thenBlk
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condEnd, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condEnd, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(b.cur, after)
+		}
+		headEnd := b.cur
+		body := b.newBlock()
+		b.edge(headEnd, body)
+		b.cur = body
+		b.pushFrame(after, post)
+		b.stmts(s.Body.List)
+		b.popFrame()
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		b.add(s) // the range header: binds key/value, reads X
+		b.edge(b.cur, after)
+		headEnd := b.cur
+		body := b.newBlock()
+		b.edge(headEnd, body)
+		b.cur = body
+		b.pushFrame(after, head)
+		b.stmts(s.Body.List)
+		b.popFrame()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag) // bare expression atom
+		}
+		b.caseClauses(s.Body, func(cc *ast.CaseClause) []ast.Node {
+			atoms := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				atoms = append(atoms, e)
+			}
+			return atoms
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body, func(*ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	default:
+		// AssignStmt, ExprStmt, IncDecStmt, SendStmt, GoStmt, DeclStmt,
+		// EmptyStmt — straight-line atoms.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) pushFrame(brk, cont *Block) {
+	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, brk: brk, cont: cont})
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) popFrame() {
+	b.frames = b.frames[:len(b.frames)-1]
+}
+
+// caseClauses builds the shared case-dispatch shape of switch and type
+// switch: every clause is a successor of the dispatch point, a missing
+// default adds a fall-out edge, and a trailing fallthrough chains into
+// the next clause's body.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, clauseAtoms func(*ast.CaseClause) []ast.Node) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.pushFrame(after, nil)
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		b.edge(dispatch, blocks[i])
+		b.cur = blocks[i]
+		for _, a := range clauseAtoms(cc) {
+			b.add(a)
+		}
+		fallsThrough := false
+		for _, cs := range cc.Body {
+			if br, ok := cs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(cs)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+			b.cur = nil
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(dispatch, after)
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.pushFrame(after, nil)
+	hasClauses := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		hasClauses = true
+		blk := b.newBlock()
+		b.edge(dispatch, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.popFrame()
+	if !hasClauses {
+		// `select {}` blocks forever: no way out.
+		b.cur = nil
+		return
+	}
+	b.cur = after
+}

@@ -1,0 +1,291 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+)
+
+// parseBody parses src as a file and returns the body of its first
+// function declaration.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// blockWith returns the first block containing an atom satisfying pred.
+func blockWith(cfg *analysis.CFG, pred func(ast.Node) bool) *analysis.Block {
+	for _, b := range cfg.Blocks {
+		for _, a := range b.Atoms {
+			if pred(a) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func isReturn(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok }
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f() { a := 1; b := a; _ = b }`))
+	if len(cfg.Entry.Atoms) != 3 {
+		t.Errorf("entry atoms = %d, want 3", len(cfg.Entry.Atoms))
+	}
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Errorf("entry should fall straight to exit")
+	}
+	if len(cfg.Exit.Succs) != 0 {
+		t.Errorf("exit must have no successors")
+	}
+}
+
+func TestCFGIfElseBothReturn(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f(c bool) int {
+		if c {
+			return 1
+		} else {
+			return 2
+		}
+	}`))
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("exit must be reachable via the returns")
+	}
+	// The condition block must branch two ways.
+	cond := blockWith(cfg, func(n ast.Node) bool { _, ok := n.(*ast.Ident); return ok })
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("condition block should have 2 successors, got %+v", cond)
+	}
+	// Both returns flow to exit and nothing else.
+	for _, b := range cfg.Blocks {
+		for _, a := range b.Atoms {
+			if isReturn(a) && (len(b.Succs) != 1 || b.Succs[0] != cfg.Exit) {
+				t.Error("return block must jump straight to exit")
+			}
+		}
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f(n int) {
+		s := 0
+		for i := 0; i < n; i++ {
+			s += i
+		}
+		_ = s
+	}`))
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("loop with condition must reach exit")
+	}
+	body := blockWith(cfg, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Tok == token.ADD_ASSIGN
+	})
+	if body == nil {
+		t.Fatal("loop body block not found")
+	}
+	// The body must cycle back (via the post block) to the loop head.
+	if !cfg.CanReach(body, body) {
+		t.Error("loop body must be able to reach itself (back edge)")
+	}
+}
+
+func TestCFGInfiniteFor(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f() {
+		for {
+			g()
+		}
+	}`))
+	if cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("for {} has no way out; exit must be unreachable")
+	}
+}
+
+func TestCFGBreakEscapesLoop(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f(c bool) {
+		for {
+			if c {
+				break
+			}
+		}
+	}`))
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("break must make exit reachable")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f(x int) {
+		a := 0
+		switch x {
+		case 1:
+			a = 1
+			fallthrough
+		case 2:
+			a = 2
+		default:
+			a = 3
+		}
+		_ = a
+	}`))
+	one := blockWith(cfg, func(n ast.Node) bool { return assignsLiteral(n, "1") })
+	two := blockWith(cfg, func(n ast.Node) bool { return assignsLiteral(n, "2") })
+	three := blockWith(cfg, func(n ast.Node) bool { return assignsLiteral(n, "3") })
+	if one == nil || two == nil || three == nil {
+		t.Fatal("case bodies not found")
+	}
+	if !cfg.CanReach(one, two) {
+		t.Error("fallthrough must chain case 1 into case 2")
+	}
+	if cfg.CanReach(two, three) {
+		t.Error("case 2 must not reach default")
+	}
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("switch must flow to exit")
+	}
+}
+
+func assignsLiteral(n ast.Node, lit string) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return false
+	}
+	bl, ok := as.Rhs[0].(*ast.BasicLit)
+	return ok && bl.Value == lit
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f() { select {} }`))
+	if cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("select {} never proceeds; exit must be unreachable")
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f(a, b chan int) int {
+		select {
+		case v := <-a:
+			return v
+		case <-b:
+		}
+		return 0
+	}`))
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("select with clauses must flow onward")
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f(c bool) {
+		if c {
+			goto done
+		}
+		g()
+	done:
+		h()
+	}`))
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("goto target must flow to exit")
+	}
+	call := blockWith(cfg, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		c, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := c.Fun.(*ast.Ident)
+		return ok && id.Name == "h"
+	})
+	if call == nil {
+		t.Fatal("labeled statement's block not found")
+	}
+	if len(cfg.Preds(call)) < 2 {
+		t.Errorf("label block should be reached from goto and fallthrough, preds = %d", len(cfg.Preds(call)))
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f(c bool) {
+	outer:
+		for {
+			for {
+				if c {
+					break outer
+				}
+			}
+		}
+	}`))
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("labeled break must escape both loops")
+	}
+}
+
+func TestCFGUnreachableCodeStaysWalkable(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f() int {
+		return 1
+		g()
+	}`))
+	dead := blockWith(cfg, func(n ast.Node) bool { _, ok := n.(*ast.ExprStmt); return ok })
+	if dead == nil {
+		t.Fatal("unreachable statement must still appear in a block")
+	}
+	if cfg.Reachable(cfg.Entry)[dead] {
+		t.Error("code after return must not be reachable")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f() {
+		defer g()
+		if cond() {
+			defer h()
+		}
+	}`))
+	if len(cfg.Defers) != 2 {
+		t.Errorf("defers collected = %d, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}`))
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("range loop must flow to exit")
+	}
+	head := blockWith(cfg, func(n ast.Node) bool { _, ok := n.(*ast.RangeStmt); return ok })
+	if head == nil {
+		t.Fatal("range header block not found")
+	}
+	if !cfg.CanReach(head, head) {
+		t.Error("range head must have a back edge")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	cfg := analysis.NewCFG(nil)
+	if !cfg.CanReach(cfg.Entry, cfg.Exit) {
+		t.Error("empty function must wire entry to exit")
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import "go/ast"
+
+// This file is the fixpoint half of the dataflow engine (DESIGN.md §9):
+// a generic forward worklist solver over the CFGs cfg.go builds. A
+// FlowProblem supplies the lattice (bottom, join, equality) and the
+// per-atom transfer function; Forward computes the least fixpoint and
+// hands back the fact at every block boundary. Analyzers then make one
+// final in-order pass per block, re-applying Transfer atom by atom and
+// checking their sinks against the exact fact that reaches each atom.
+
+// FlowProblem describes one forward dataflow analysis with facts of
+// type S.
+type FlowProblem[S any] struct {
+	// Entry is the fact at function entry.
+	Entry S
+	// Bottom produces the identity element of Join, used to seed blocks
+	// before any predecessor fact has flowed in.
+	Bottom func() S
+	// Join merges the facts of two predecessors. It must be monotone
+	// and may read but not mutate its arguments.
+	Join func(a, b S) S
+	// Transfer applies one atom to a fact. It owns s (Forward always
+	// passes a Clone) and returns the fact after the atom.
+	Transfer func(s S, atom ast.Node) S
+	// Equal reports fact equality; the fixpoint stops when no block's
+	// input changes.
+	Equal func(a, b S) bool
+	// Clone deep-copies a fact so Transfer can mutate freely.
+	Clone func(s S) S
+}
+
+// Forward solves the problem to its least fixpoint and returns the
+// fact flowing INTO each block. Facts for blocks unreachable from
+// cfg.Entry stay at Bottom. The fact flowing out of a block is
+// recomputable with BlockOut.
+func Forward[S any](cfg *CFG, p FlowProblem[S]) map[*Block]S {
+	in := make(map[*Block]S, len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		in[b] = p.Bottom()
+	}
+	in[cfg.Entry] = p.Entry
+
+	reachable := cfg.Reachable(cfg.Entry)
+	// Worklist seeded in block-creation order, which approximates
+	// reverse postorder closely enough for these small graphs.
+	work := make([]*Block, 0, len(cfg.Blocks))
+	queued := make(map[*Block]bool, len(cfg.Blocks))
+	push := func(b *Block) {
+		if !queued[b] && reachable[b] {
+			queued[b] = true
+			work = append(work, b)
+		}
+	}
+	push(cfg.Entry)
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := BlockOut(p, in[b], b)
+		for _, s := range b.Succs {
+			merged := p.Join(in[s], out)
+			if !p.Equal(merged, in[s]) {
+				in[s] = merged
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// BlockOut pushes the fact entering a block through every atom and
+// returns the fact at the block's end.
+func BlockOut[S any](p FlowProblem[S], entering S, b *Block) S {
+	s := p.Clone(entering)
+	for _, atom := range b.Atoms {
+		s = p.Transfer(s, atom)
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+)
+
+// assignedProblem is a definite-assignment analysis used to exercise
+// the fixpoint solver: a variable is in the fact iff it has been
+// assigned on EVERY path (join = intersection), so it stresses exactly
+// the identity-element behavior nanguard's guarded marks depend on —
+// the Bottom seed must not eat facts at the first real join.
+func assignedProblem() analysis.FlowProblem[map[string]bool] {
+	clone := func(s map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	return analysis.FlowProblem[map[string]bool]{
+		Entry:  map[string]bool{},
+		Bottom: func() map[string]bool { return nil },
+		Clone:  clone,
+		Join: func(a, b map[string]bool) map[string]bool {
+			if a == nil {
+				return clone(b)
+			}
+			if b == nil {
+				return clone(a)
+			}
+			out := map[string]bool{}
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Transfer: func(s map[string]bool, atom ast.Node) map[string]bool {
+			if as, ok := atom.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						s[id.Name] = true
+					}
+				}
+			}
+			return s
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// factAtReturn solves the problem and returns the fact reaching the
+// first ReturnStmt atom.
+func factAtReturn(t *testing.T, src string) map[string]bool {
+	t.Helper()
+	cfg := analysis.NewCFG(parseBody(t, src))
+	p := assignedProblem()
+	in := analysis.Forward(cfg, p)
+	for _, b := range cfg.Blocks {
+		s := p.Clone(in[b])
+		for _, atom := range b.Atoms {
+			if isReturn(atom) {
+				return s
+			}
+			s = p.Transfer(s, atom)
+		}
+	}
+	t.Fatal("no return statement found")
+	return nil
+}
+
+func TestForwardBranchesIntersect(t *testing.T) {
+	s := factAtReturn(t, `func f(c bool) int {
+		a := 1
+		if c {
+			b := 2
+			_ = b
+		} else {
+			a = 3
+		}
+		return a
+	}`)
+	if !s["a"] {
+		t.Error("a is assigned on both paths; must survive the join")
+	}
+	if s["b"] {
+		t.Error("b is assigned on only one path; must not survive the join")
+	}
+}
+
+// TestForwardJoinWithSeedKeepsFacts is the regression for the Bottom
+// identity bug: the first out-fact to arrive at a join block must pass
+// through unchanged rather than being intersected against the empty
+// seed (which would discard every all-paths fact computed so far).
+func TestForwardJoinWithSeedKeepsFacts(t *testing.T) {
+	s := factAtReturn(t, `func f(c bool) int {
+		a := 1
+		if c {
+			a = 2
+		}
+		return a
+	}`)
+	if !s["a"] {
+		t.Error("a assigned before the branch must still be definite after it")
+	}
+}
+
+func TestForwardLoopConverges(t *testing.T) {
+	s := factAtReturn(t, `func f(n int) int {
+		x := 0
+		for i := 0; i < n; i++ {
+			x = i
+			y := x
+			_ = y
+		}
+		return x
+	}`)
+	if !s["x"] {
+		t.Error("x assigned before the loop must be definite after it")
+	}
+	if s["y"] {
+		t.Error("y assigned only inside the loop body must not be definite after it")
+	}
+}
+
+func TestForwardUnreachableStaysBottom(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f() int {
+		return 1
+		g()
+	}`))
+	p := assignedProblem()
+	in := analysis.Forward(cfg, p)
+	reachable := cfg.Reachable(cfg.Entry)
+	for _, b := range cfg.Blocks {
+		if !reachable[b] && in[b] != nil {
+			t.Errorf("unreachable block %d must keep the Bottom fact", b.Index)
+		}
+	}
+}
+
+func TestBlockOutAppliesAllAtoms(t *testing.T) {
+	cfg := analysis.NewCFG(parseBody(t, `func f() { a := 1; b := 2; _ = a; _ = b }`))
+	p := assignedProblem()
+	out := analysis.BlockOut(p, p.Entry, cfg.Entry)
+	if !out["a"] || !out["b"] {
+		t.Errorf("BlockOut fact = %v, want a and b assigned", out)
+	}
+}

@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrDrop reports dropped errors inside the deterministic packages. A
+// discarded error in the solve pipeline is the silent twin of a NaN:
+// the run keeps going and the output is quietly wrong. Three patterns
+// are flagged:
+//
+//   - a call result containing an error discarded with `_`
+//     (`_ = w.Flush()`, `v, _ := parse(s)`),
+//   - a bare call statement whose result tuple contains an error,
+//   - an error assigned to a variable that is never read again on some
+//     path to function exit, or overwritten while still unchecked —
+//     proven on the CFG, so `err := f(); if err != nil {…}` is clean
+//     no matter how the branches wind.
+//
+// Only variables declared inside the analyzed function are tracked
+// (closure-captured errors belong to their declaring function), and
+// named error results are exempt: assigning one is returning it.
+// Escape hatch: //nomloc:errdrop-ok, audited for staleness.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flag error values discarded via _, unassigned calls returning " +
+		"errors, and error variables assigned but never checked on some path " +
+		"(deterministic packages only)",
+	Run: runErrDrop,
+}
+
+// errFact maps a pending (assigned, unread) error variable to the
+// position of the assignment that made it pending. Join is union with
+// the smallest position kept, so "pending on any path" propagates.
+type errFact map[*types.Var]token.Pos
+
+func runErrDrop(pass *Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	ed := &errDrop{pass: pass}
+	for _, file := range pass.Files {
+		forEachFuncBody(file, func(fn ast.Node, body *ast.BlockStmt, results *ast.FieldList) {
+			ed.checkFunc(body, results)
+		})
+	}
+	return nil
+}
+
+type errDrop struct {
+	pass *Pass
+	// local is the set of error vars declared in the function under
+	// analysis; only these are flow-tracked.
+	local map[*types.Var]bool
+	// reporting is true during the final per-block pass; the transfer
+	// function only emits diagnostics then, never during the fixpoint.
+	reporting bool
+}
+
+func (ed *errDrop) checkFunc(body *ast.BlockStmt, results *ast.FieldList) {
+	ed.local = map[*types.Var]bool{}
+	named := map[*types.Var]bool{}
+	if results != nil {
+		for _, f := range results.List {
+			for _, name := range f.Names {
+				if v, ok := ed.pass.Info.Defs[name].(*types.Var); ok {
+					named[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // the literal's own pass tracks its declarations
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := ed.pass.Info.Defs[id].(*types.Var); ok && !named[v] && isErrorType(v.Type()) {
+			ed.local[v] = true
+		}
+		return true
+	})
+
+	cfg := NewCFG(body)
+	p := ed.problem()
+	in := Forward(cfg, p)
+
+	// Final pass: re-walk each reachable block with reporting on, so
+	// overwrite and discard diagnostics fire against the exact fact
+	// reaching each atom.
+	ed.reporting = true
+	reachable := cfg.Reachable(cfg.Entry)
+	for _, b := range cfg.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		s := p.Clone(in[b])
+		for _, atom := range b.Atoms {
+			s = p.Transfer(s, atom)
+		}
+	}
+	ed.reporting = false
+
+	// Exit check: anything still pending on entry to Exit went
+	// unchecked on at least one path — unless a deferred call reads it,
+	// since defers run after the facts above are computed.
+	exit := in[cfg.Exit]
+	if len(exit) == 0 {
+		return
+	}
+	deferred := map[*types.Var]bool{}
+	for _, d := range cfg.Defers {
+		for v := range ed.readsIn(d) {
+			deferred[v] = true
+		}
+	}
+	for _, vp := range sortedErrFact(exit) {
+		if deferred[vp.v] {
+			continue
+		}
+		ed.pass.Reportf(vp.pos, "error assigned to %s is never checked on some path to return", vp.v.Name())
+	}
+}
+
+func (ed *errDrop) problem() FlowProblem[errFact] {
+	return FlowProblem[errFact]{
+		Entry:  errFact{},
+		Bottom: func() errFact { return errFact{} },
+		Clone: func(s errFact) errFact {
+			out := make(errFact, len(s))
+			for k, v := range s {
+				out[k] = v
+			}
+			return out
+		},
+		Join: func(a, b errFact) errFact {
+			out := make(errFact, len(a)+len(b))
+			for k, v := range a {
+				out[k] = v
+			}
+			for k, v := range b {
+				if prev, ok := out[k]; !ok || v < prev {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Transfer: ed.transfer,
+		Equal: func(a, b errFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || v != w {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// transfer applies one atom: reads retire pending errors, assignments
+// to tracked vars open new ones, and (in the reporting pass) discards
+// and overwrites are diagnosed.
+func (ed *errDrop) transfer(s errFact, atom ast.Node) errFact {
+	// Reads first: in `err = f(err)` the old value is consumed before
+	// the new assignment lands.
+	for v := range ed.readsIn(atom) {
+		delete(s, v)
+	}
+
+	switch n := atom.(type) {
+	case *ast.AssignStmt:
+		ed.transferAssign(s, n)
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if idx := errorResultIndex(ed.pass.Info, call); idx >= 0 && ed.reporting &&
+				!isInfallibleCall(ed.pass.Info, call) {
+				ed.pass.Reportf(call.Pos(), "result of %s contains an error that is discarded; assign and check it", callName(ed.pass.Info, call))
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					for _, name := range vs.Names {
+						ed.openPending(s, name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Value.(*ast.Ident); ok {
+			ed.openPending(s, id)
+		}
+		if id, ok := n.Key.(*ast.Ident); ok {
+			ed.openPending(s, id)
+		}
+	}
+	return s
+}
+
+func (ed *errDrop) transferAssign(s errFact, n *ast.AssignStmt) {
+	fromCall := len(n.Rhs) == 1 && isCallExpr(n.Rhs[0])
+	for i, lhs := range n.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			// Blank-discarded call results carrying an error are the
+			// classic drop. Discarding a plain variable (`_ = err`) is
+			// an explicit, visible choice and stays legal.
+			if ed.reporting && fromCall {
+				if call := n.Rhs[0].(*ast.CallExpr); blankDiscardsError(ed.pass.Info, call, i, len(n.Lhs)) &&
+					!isInfallibleCall(ed.pass.Info, call) {
+					ed.pass.Reportf(lhs.Pos(), "error result of %s discarded with _; assign and check it", callName(ed.pass.Info, call))
+				}
+			}
+			continue
+		}
+		ed.openPending(s, id)
+	}
+}
+
+// openPending marks a tracked error var as assigned-and-unread,
+// reporting an overwrite if it was already pending.
+func (ed *errDrop) openPending(s errFact, id *ast.Ident) {
+	v := ed.objOf(id)
+	if v == nil || !ed.local[v] {
+		return
+	}
+	if prev, pending := s[v]; pending && ed.reporting {
+		ed.pass.Reportf(id.Pos(), "error in %s assigned at %s is overwritten before being checked", v.Name(), ed.pass.Fset.Position(prev))
+	}
+	s[v] = id.Pos()
+}
+
+// readsIn collects every tracked error var read inside an atom,
+// descending into function literals (a closure reading err counts) but
+// skipping pure assignment-target positions of the atom itself.
+func (ed *errDrop) readsIn(atom ast.Node) map[*types.Var]bool {
+	writes := map[*ast.Ident]bool{}
+	switch n := atom.(type) {
+	case *ast.AssignStmt:
+		if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writes[id] = true
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			writes[id] = true
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			writes[id] = true
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						writes[name] = true
+					}
+				}
+			}
+		}
+	}
+	reads := map[*types.Var]bool{}
+	ast.Inspect(atom, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writes[id] {
+			return true
+		}
+		if v := ed.objOf(id); v != nil && ed.local[v] {
+			reads[v] = true
+		}
+		return true
+	})
+	return reads
+}
+
+func (ed *errDrop) objOf(id *ast.Ident) *types.Var {
+	if v, ok := ed.pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := ed.pass.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// --- helpers ---
+
+func isCallExpr(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isInfallibleCall recognizes methods documented to always return a nil
+// error, so discarding their result is idiomatic rather than a drop:
+// bytes.Buffer and strings.Builder writers (and hash.Hash's Write,
+// which inherits the same contract).
+func isInfallibleCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case pkg == "bytes" && name == "Buffer":
+		return true
+	case pkg == "strings" && name == "Builder":
+		return true
+	case pkg == "hash" && name == "Hash":
+		return true
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// errorResultIndex returns the index of the first error in a call's
+// result tuple, or -1. Single-result calls count when that result is
+// an error.
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	t := info.TypeOf(call)
+	if t == nil {
+		return -1
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	}
+	if isErrorType(t) {
+		return 0
+	}
+	return -1
+}
+
+// blankDiscardsError reports whether the i-th assignment target (of
+// nLhs) discards an error-typed result of call.
+func blankDiscardsError(info *types.Info, call *ast.CallExpr, i, nLhs int) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok && nLhs == tuple.Len() {
+		return i < tuple.Len() && isErrorType(tuple.At(i).Type())
+	}
+	return nLhs == 1 && isErrorType(t)
+}
+
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.Name()
+	}
+	return "call"
+}
+
+type errVarPos struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+// sortedErrFact orders pending errors by assignment position so exit
+// diagnostics are deterministic.
+func sortedErrFact(s errFact) []errVarPos {
+	out := make([]errVarPos, 0, len(s))
+	for v, pos := range s {
+		out = append(out, errVarPos{v, pos})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].pos < out[j-1].pos; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// LeakCheck audits every `go` statement in the concurrency-bearing
+// packages (server, parallel, agent) for a provable exit discipline.
+// A goroutine passes when, on every CFG path through its body, it
+// touches a lifecycle signal before returning — a WaitGroup.Done
+// (deferred or inline), a channel operation (send, receive —
+// including <-ctx.Done() — or range), a select, or a close() — or when
+// the spawned named function is handed a context.Context, a channel,
+// or a *sync.WaitGroup to govern it. Everything else is reported: a
+// goroutine with no reachable signaled exit is exactly the leak the
+// paper's long-running serving deployment cannot tolerate.
+//
+// The check is necessarily a heuristic for liveness, so it is biased
+// to the repo's supervision idiom (`go func() { defer wg.Done(); … }`)
+// and keeps an audited escape hatch: //nomloc:leakcheck-ok.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc: "flag go statements in server, parallel, and agent whose goroutines " +
+		"have no reachable exit via context cancellation, channel ops, or " +
+		"WaitGroup.Done on all CFG paths",
+	Run: runLeakCheck,
+}
+
+var leakScopedPackages = map[string]bool{
+	"server": true, "parallel": true, "agent": true,
+}
+
+func runLeakCheck(pass *Pass) error {
+	if !leakScopedPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	lc := &leakCheck{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				lc.checkGo(g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type leakCheck struct {
+	pass *Pass
+}
+
+func (lc *leakCheck) checkGo(g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		lc.checkLitBody(g, lit.Body)
+		return
+	}
+	// Named function or method value: trust it when the caller hands it
+	// a lifecycle handle; otherwise the exit discipline is invisible
+	// from this spawn site.
+	for _, arg := range g.Call.Args {
+		if isLifecycleType(lc.pass.Info.TypeOf(arg)) {
+			return
+		}
+	}
+	lc.pass.Reportf(g.Pos(), "goroutine calls %s with no context, channel, or WaitGroup to govern its exit", callName(lc.pass.Info, g.Call))
+}
+
+func (lc *leakCheck) checkLitBody(g *ast.GoStmt, body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+
+	// Deferred Done/close supervises every exit path at once — the
+	// repo's canonical `defer wg.Done()` idiom.
+	for _, d := range cfg.Defers {
+		if lc.containsSignal(d, true) {
+			return
+		}
+	}
+
+	// Forward dataflow: "has this path touched a lifecycle signal yet".
+	// Join is AND — true only when every predecessor path signaled.
+	p := FlowProblem[bool]{
+		Entry:  false,
+		Bottom: func() bool { return true },
+		Join:   func(a, b bool) bool { return a && b },
+		Transfer: func(s bool, atom ast.Node) bool {
+			return s || lc.containsSignal(atom, false)
+		},
+		Equal: func(a, b bool) bool { return a == b },
+		Clone: func(s bool) bool { return s },
+	}
+	in := Forward(cfg, p)
+	reachable := cfg.Reachable(cfg.Entry)
+
+	if reachable[cfg.Exit] {
+		if !in[cfg.Exit] {
+			lc.pass.Reportf(g.Pos(), "goroutine can return without touching a context, channel, or WaitGroup on some path; supervise it (e.g. defer wg.Done())")
+		}
+		return
+	}
+
+	// Exit unreachable: the body loops forever. That is fine for a
+	// worker pumping a channel, fatal for a busy spin — demand a signal
+	// somewhere in the looping region.
+	for _, b := range cfg.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		for _, atom := range b.Atoms {
+			if lc.containsSignal(atom, false) {
+				return
+			}
+		}
+	}
+	lc.pass.Reportf(g.Pos(), "goroutine loops forever with no context, channel, or WaitGroup operation; it cannot be shut down")
+}
+
+// containsSignal reports whether a node's subtree performs a lifecycle
+// signal: WaitGroup.Done, close(), a channel send or receive, a range
+// over a channel, or a select. Nested function literals are skipped
+// unless intoLits is set (defers run in this goroutine, so a deferred
+// closure's body counts).
+func (lc *leakCheck) containsSignal(n ast.Node, intoLits bool) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return intoLits
+		case *ast.CallExpr:
+			if lc.isDoneCall(x) || isCloseCall(lc.pass.Info, x) {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.RangeStmt:
+			if t := lc.pass.Info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (lc *leakCheck) isDoneCall(call *ast.CallExpr) bool {
+	f := calleeFunc(lc.pass.Info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync" && f.Name() == "Done"
+}
+
+func isCloseCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// isLifecycleType reports whether t can govern a goroutine's exit:
+// context.Context, any channel, or *sync.WaitGroup.
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+				return true
+			case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+				return true
+			}
+		}
+	}
+	return false
+}

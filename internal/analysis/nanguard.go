@@ -1,0 +1,633 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// NanGuard is the flow-sensitive NaN-taint analyzer for the numeric hot
+// path (packages core and lp — the PDP-ratio → confidence → constraint
+// pipeline the paper's Eq. 4–19 live in). A single unguarded division
+// or math.Log can turn a location estimate into NaN without any error
+// surfacing; NanGuard proves, per function, that no such value reaches
+// the places NaN silently corrupts:
+//
+//   - an argument of a call into package lp (constraint construction
+//     and solving),
+//   - an argument of the confidence functions F / Confidence,
+//   - a returned coordinate (geom.Vec, float slices/arrays, or structs
+//     carrying a geom.Vec such as core.Estimate).
+//
+// Taint springs from float division whose denominator is not provably
+// safe and from the NaN-capable math functions (Log, Sqrt, Pow, …)
+// applied to unvetted arguments. A guard — math.IsNaN, math.IsInf,
+// math.Abs, or any relational comparison mentioning the value — clears
+// it: after `if x <= 0 { return err }`, both `1/x` and `math.Log(x)`
+// are clean. The analysis is function-scoped and optimistic across
+// calls (results of non-math calls are clean; callees vet their own
+// outputs), and tracks idents, field selectors, and index expressions
+// syntactically. Escape hatch: //nomloc:nanguard-ok on the offending
+// line, audited for staleness like every other suppression.
+var NanGuard = &Analyzer{
+	Name: "nanguard",
+	Doc: "flag possibly-NaN floats (unguarded division, math.Log/Sqrt/Pow) " +
+		"reaching lp constraint construction, confidence computation, or a " +
+		"returned coordinate in core and lp",
+	Run: runNanGuard,
+}
+
+// nanScopedPackages are the import-path base names NanGuard analyzes:
+// the numeric pipeline whose outputs become coordinates.
+var nanScopedPackages = map[string]bool{"core": true, "lp": true}
+
+// nanMathFuncs are the math functions that return NaN for some real
+// input, mapped to whether every argument must be vetted (Pow) or only
+// the first.
+var nanMathFuncs = map[string]bool{
+	"Log": false, "Log2": false, "Log10": false, "Log1p": false,
+	"Sqrt": false, "Asin": false, "Acos": false,
+	"Pow": true, "Mod": true, "Remainder": true,
+}
+
+// nanGuardFuncs are the math predicates whose application to a value
+// counts as guarding it.
+var nanGuardFuncs = map[string]bool{
+	"IsNaN": true, "IsInf": true, "Abs": true, "Signbit": true,
+}
+
+// taintMark is the per-expression lattice: guarded < (absent) < tainted.
+// Guarded survives a join only when both sides agree; tainted wins any
+// join.
+type taintMark int
+
+const (
+	markGuarded taintMark = iota + 1
+	markTainted
+)
+
+// taintFact maps tracked expression keys (ExprString of idents,
+// selectors, index expressions) to their mark. Each entry remembers the
+// identifiers its key is built from so writes invalidate it.
+type taintFact map[string]taintEntry
+
+type taintEntry struct {
+	mark  taintMark
+	roots map[string]bool
+}
+
+func runNanGuard(pass *Pass) error {
+	if !nanScopedPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	ng := &nanGuard{pass: pass}
+	for _, file := range pass.Files {
+		forEachFuncBody(file, func(fn ast.Node, body *ast.BlockStmt, results *ast.FieldList) {
+			ng.checkFunc(body)
+		})
+	}
+	return nil
+}
+
+type nanGuard struct {
+	pass *Pass
+}
+
+func (ng *nanGuard) problem() FlowProblem[taintFact] {
+	clone := func(s taintFact) taintFact {
+		out := make(taintFact, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+	return FlowProblem[taintFact]{
+		Entry: taintFact{},
+		// Bottom is a nil map: the "no path has reached this block yet"
+		// sentinel and identity of Join. It must stay distinguishable
+		// from the empty fact — guarded marks survive a join with
+		// Bottom but not with a real fact that lacks them.
+		Bottom: func() taintFact { return nil },
+		Clone:  clone,
+		Join: func(a, b taintFact) taintFact {
+			if a == nil {
+				return clone(b)
+			}
+			if b == nil {
+				return clone(a)
+			}
+			out := taintFact{}
+			for k, va := range a {
+				if va.mark == markTainted {
+					out[k] = va
+				} else if vb, ok := b[k]; ok && vb.mark == markGuarded {
+					out[k] = va // guarded on both paths
+				}
+			}
+			for k, vb := range b {
+				if vb.mark == markTainted {
+					out[k] = vb
+				}
+			}
+			return out
+		},
+		Transfer: ng.transfer,
+		Equal: func(a, b taintFact) bool {
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			if len(a) != len(b) {
+				return false
+			}
+			for k, va := range a {
+				if vb, ok := b[k]; !ok || va.mark != vb.mark {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+func (ng *nanGuard) checkFunc(body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+	p := ng.problem()
+	in := Forward(cfg, p)
+	reachable := cfg.Reachable(cfg.Entry)
+	for _, b := range cfg.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		s := p.Clone(in[b])
+		for _, atom := range b.Atoms {
+			ng.checkSinks(s, atom)
+			s = p.Transfer(s, atom)
+		}
+	}
+}
+
+// transfer applies one atom to the fact: conditions guard the values
+// they test, assignments move taint, writes invalidate derived keys.
+func (ng *nanGuard) transfer(s taintFact, atom ast.Node) taintFact {
+	switch n := atom.(type) {
+	case ast.Expr:
+		// Bare expression atoms are branch conditions by CFG convention.
+		ng.applyGuards(s, n)
+	case *ast.AssignStmt:
+		ng.assign(s, n)
+	case *ast.IncDecStmt:
+		ng.invalidate(s, n.X)
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			ng.invalidate(s, n.Key)
+		}
+		if n.Value != nil {
+			ng.invalidate(s, n.Value)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					ng.setMarkFromRHS(s, name, rhs, len(vs.Values) == len(vs.Names))
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (ng *nanGuard) assign(s taintFact, n *ast.AssignStmt) {
+	if n.Tok == token.QUO_ASSIGN {
+		// x /= y is x = x / y: the division-source rule applies.
+		for _, lhs := range n.Lhs {
+			if len(n.Rhs) == 1 && ng.isFloat(lhs) && !ng.safeDenominator(s, n.Rhs[0]) {
+				ng.setMark(s, lhs, markTainted)
+				return
+			}
+		}
+	}
+	aligned := len(n.Lhs) == len(n.Rhs)
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		if aligned {
+			rhs = n.Rhs[i]
+		}
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE && rhs != nil {
+			// Compound op: the old value participates; keep taint sticky.
+			if ng.tainted(s, lhs) || ng.tainted(s, rhs) {
+				ng.setMark(s, lhs, markTainted)
+				continue
+			}
+			ng.invalidate(s, lhs)
+			continue
+		}
+		ng.setMarkFromRHS(s, lhs, rhs, aligned)
+	}
+}
+
+func (ng *nanGuard) setMarkFromRHS(s taintFact, lhs, rhs ast.Expr, aligned bool) {
+	switch {
+	case rhs != nil && ng.tainted(s, rhs):
+		ng.setMark(s, lhs, markTainted)
+	case !aligned:
+		// Tuple assignment from a call: call results are clean.
+		ng.invalidate(s, lhs)
+	default:
+		ng.invalidate(s, lhs)
+	}
+}
+
+// setMark invalidates keys the write clobbers, then records the mark
+// for the written expression (when trackable).
+func (ng *nanGuard) setMark(s taintFact, lhs ast.Expr, m taintMark) {
+	ng.invalidate(s, lhs)
+	key, roots, ok := taintKey(lhs)
+	if !ok {
+		return
+	}
+	s[key] = taintEntry{mark: m, roots: roots}
+}
+
+// invalidate drops every fact whose key is rooted at an identifier the
+// written expression redefines.
+func (ng *nanGuard) invalidate(s taintFact, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	var written string
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		written = e.Name
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		key, _, ok := taintKey(lhs)
+		if ok {
+			delete(s, key)
+		}
+		return
+	default:
+		return
+	}
+	if written == "_" {
+		return
+	}
+	for k, e := range s {
+		if e.roots[written] {
+			delete(s, k)
+		}
+	}
+}
+
+// applyGuards marks every value a condition tests as guarded, in both
+// branch directions. Deliberately coarse: the point is to recognize
+// that the author thought about the value's range at all, mirroring
+// how a human reviewer reads `if x <= 0 { … }`.
+func (ng *nanGuard) applyGuards(s taintFact, cond ast.Expr) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR:
+			ng.applyGuards(s, e.X)
+			ng.applyGuards(s, e.Y)
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			ng.guardOperand(s, e.X)
+			ng.guardOperand(s, e.Y)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			ng.applyGuards(s, e.X)
+		}
+	case *ast.CallExpr:
+		// A bare predicate condition: if math.IsNaN(x) { … }.
+		ng.guardOperand(s, e)
+	}
+}
+
+// guardOperand guards the trackable value inside one comparison
+// operand, unwrapping the math guard predicates and conversions.
+func (ng *nanGuard) guardOperand(s taintFact, e ast.Expr) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		f := calleeFunc(ng.pass.Info, call)
+		if f != nil && f.Pkg() != nil && f.Pkg().Path() == "math" && nanGuardFuncs[f.Name()] {
+			for _, arg := range call.Args {
+				ng.guardOperand(s, arg)
+			}
+		}
+		return
+	}
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		ng.guardOperand(s, u.X)
+		return
+	}
+	key, roots, ok := taintKey(e)
+	if !ok {
+		return
+	}
+	s[key] = taintEntry{mark: markGuarded, roots: roots}
+}
+
+// tainted reports whether evaluating e may produce NaN under fact s.
+func (ng *nanGuard) tainted(s taintFact, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ng.tainted(s, e.X)
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		key, _, ok := taintKey(e)
+		if !ok {
+			return false
+		}
+		ent, ok := s[key]
+		return ok && ent.mark == markTainted
+	case *ast.UnaryExpr:
+		return ng.tainted(s, e.X)
+	case *ast.BinaryExpr:
+		if ng.tainted(s, e.X) || ng.tainted(s, e.Y) {
+			return true
+		}
+		if e.Op == token.QUO && ng.isFloat(e) && !ng.safeDenominator(s, e.Y) {
+			return true
+		}
+		return false
+	case *ast.CallExpr:
+		f := calleeFunc(ng.pass.Info, e)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "math" {
+			return false // non-math calls vet their own results
+		}
+		allArgs, risky := nanMathFuncs[f.Name()]
+		if !risky && !nanMathFuncs_has(f.Name()) {
+			return false
+		}
+		for i, arg := range e.Args {
+			if ng.tainted(s, arg) {
+				return true
+			}
+			if i == 0 || allArgs {
+				if !ng.vettedOperand(s, arg) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func nanMathFuncs_has(name string) bool {
+	_, ok := nanMathFuncs[name]
+	return ok
+}
+
+// safeDenominator reports whether dividing by e cannot yield NaN/Inf
+// surprise: a nonzero constant, a guarded value, or a call result
+// (callee contracts cover their outputs, e.g. radio.DelayResolution).
+func (ng *nanGuard) safeDenominator(s taintFact, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		return ng.safeDenominator(s, u.X)
+	}
+	if tv, ok := ng.pass.Info.Types[e]; ok && tv.Value != nil {
+		return constNonZero(tv)
+	}
+	if _, ok := e.(*ast.CallExpr); ok {
+		return true
+	}
+	if key, _, ok := taintKey(e); ok {
+		if ent, ok := s[key]; ok && ent.mark == markGuarded {
+			return true
+		}
+	}
+	return false
+}
+
+// vettedOperand reports whether e is safe to hand a NaN-capable math
+// function: constants, guarded values, and call results pass; raw
+// variables and arithmetic do not.
+func (ng *nanGuard) vettedOperand(s taintFact, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := ng.pass.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if _, ok := e.(*ast.CallExpr); ok {
+		return true
+	}
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		return ng.vettedOperand(s, u.X)
+	}
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.MUL {
+		// x*x (a square) cannot be negative; other products can.
+		if taintKeyEqual(b.X, b.Y) {
+			return true
+		}
+	}
+	if key, _, ok := taintKey(e); ok {
+		if ent, ok := s[key]; ok && ent.mark == markGuarded {
+			return true
+		}
+	}
+	return false
+}
+
+func constNonZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() != "0"
+}
+
+func (ng *nanGuard) isFloat(e ast.Expr) bool {
+	t := ng.pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// checkSinks reports tainted values reaching a sink inside one atom.
+func (ng *nanGuard) checkSinks(s taintFact, atom ast.Node) {
+	switch n := atom.(type) {
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if ng.coordType(res) {
+				ng.reportTaintWithin(s, res, "returned coordinate")
+			}
+		}
+	}
+	// Call sinks can sit inside any atom (assignments, conditions, …).
+	ast.Inspect(atom, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false // literals are analyzed as their own functions
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sink := ng.sinkName(call)
+		if sink == "" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ng.reportTaintWithin(s, arg, sink)
+		}
+		return true
+	})
+}
+
+// sinkName classifies a call as a NaN sink: any call into package lp,
+// or the confidence functions F/Confidence of package core.
+func (ng *nanGuard) sinkName(call *ast.CallExpr) string {
+	f := calleeFunc(ng.pass.Info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	switch path.Base(f.Pkg().Path()) {
+	case "lp":
+		return "lp constraint construction (lp." + f.Name() + ")"
+	case "core":
+		if f.Name() == "F" || f.Name() == "Confidence" {
+			return "confidence computation (" + f.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// reportTaintWithin reports the first tainted sub-expression of e, if
+// any, naming the sink it reaches.
+func (ng *nanGuard) reportTaintWithin(s taintFact, e ast.Expr, sink string) {
+	reported := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if reported {
+			return false
+		}
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		sub, ok := x.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if ng.tainted(s, sub) {
+			reported = true
+			ng.pass.Reportf(sub.Pos(), "possibly-NaN value reaches %s without an IsNaN/IsInf or range guard; check the operand before use", sink)
+			return false
+		}
+		return true
+	})
+}
+
+// taintKey renders a trackable expression (ident, selector chain, index
+// with trackable operands) to a state key plus its root identifiers.
+func taintKey(e ast.Expr) (string, map[string]bool, bool) {
+	roots := map[string]bool{}
+	var render func(ast.Expr) (string, bool)
+	render = func(e ast.Expr) (string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			roots[e.Name] = true
+			return e.Name, true
+		case *ast.SelectorExpr:
+			base, ok := render(e.X)
+			if !ok {
+				return "", false
+			}
+			return base + "." + e.Sel.Name, true
+		case *ast.IndexExpr:
+			base, ok := render(e.X)
+			if !ok {
+				return "", false
+			}
+			switch idx := ast.Unparen(e.Index).(type) {
+			case *ast.Ident:
+				roots[idx.Name] = true
+				return base + "[" + idx.Name + "]", true
+			case *ast.BasicLit:
+				return base + "[" + idx.Value + "]", true
+			}
+			return "", false
+		case *ast.StarExpr:
+			base, ok := render(e.X)
+			if !ok {
+				return "", false
+			}
+			return "*" + base, true
+		}
+		return "", false
+	}
+	key, ok := render(e)
+	if !ok {
+		return "", nil, false
+	}
+	return key, roots, true
+}
+
+// taintKeyEqual reports whether two expressions render to the same
+// trackable key (used for the x*x square exemption).
+func taintKeyEqual(a, b ast.Expr) bool {
+	ka, _, oka := taintKey(a)
+	kb, _, okb := taintKey(b)
+	return oka && okb && ka == kb
+}
+
+// coordType reports whether the static type of e is coordinate-shaped:
+// geom.Vec itself, float slices/arrays, or a (pointer to a) struct with
+// a geom.Vec field — the shapes location estimates travel in.
+func (ng *nanGuard) coordType(e ast.Expr) bool {
+	return isCoordType(ng.pass.Info.TypeOf(e), 0)
+}
+
+func isCoordType(t types.Type, depth int) bool {
+	if t == nil || depth > 3 {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return isCoordType(ptr.Elem(), depth+1)
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil &&
+			path.Base(obj.Pkg().Path()) == "geom" && obj.Name() == "Vec" {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isFloatType(u.Elem())
+	case *types.Array:
+		return isFloatType(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if isCoordType(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isFloatType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// forEachFuncBody visits every function body in a file: declarations
+// and function literals alike, each treated as its own analysis scope.
+func forEachFuncBody(file *ast.File, visit func(fn ast.Node, body *ast.BlockStmt, results *ast.FieldList)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn, fn.Body, fn.Type.Results)
+			}
+		case *ast.FuncLit:
+			visit(fn, fn.Body, fn.Type.Results)
+		}
+		return true
+	})
+}

@@ -7,28 +7,42 @@ import (
 	"strings"
 )
 
-// SuppressComment is the escape hatch for detrand findings: placed at the
-// end of the offending line (or alone on the line directly above it), it
-// silences diagnostics on exactly that one statement's line. A rationale
-// may follow after a space. Suppressions are audited — one that silences
-// nothing is itself reported, so escape hatches cannot outlive the code
-// they excused.
+// SuppressComment is detrand's escape hatch, kept as a named constant
+// because production code and docs reference it; the per-analyzer
+// marker table below is the general mechanism.
 const SuppressComment = "//nomloc:nondeterministic-ok"
 
-// suppressibleAnalyzers names the analyzers SuppressComment applies to.
-// The other checks have no sanctioned exceptions: seed derivations,
-// float comparisons, and lock conventions are always fixable in place.
-var suppressibleAnalyzers = map[string]bool{"detrand": true}
+// analyzerMarkers maps each suppressible analyzer to its escape-hatch
+// comment. Placed at the end of the offending line (or alone on the
+// line directly above it) the marker silences diagnostics on exactly
+// that one line; a rationale may follow after a space. Suppressions
+// are audited — one that silences nothing is itself reported, so
+// escape hatches cannot outlive the code they excused.
+//
+// seedmix, floateq, and locksafe have no marker on purpose: seed
+// derivations, float comparisons, and lock conventions are always
+// fixable in place, so those checks admit no sanctioned exceptions.
+var analyzerMarkers = map[string]string{
+	"detrand":   SuppressComment,
+	"nanguard":  "//nomloc:nanguard-ok",
+	"errdrop":   "//nomloc:errdrop-ok",
+	"leakcheck": "//nomloc:leakcheck-ok",
+}
 
-// ApplySuppressions filters diags through the SuppressComment escape
-// hatches found in files, returning the surviving diagnostics plus one
+// MarkerFor returns the escape-hatch comment for an analyzer, or ""
+// when the analyzer admits no suppressions.
+func MarkerFor(analyzer string) string { return analyzerMarkers[analyzer] }
+
+// ApplySuppressions filters diags through the analyzer's escape-hatch
+// comments found in files, returning the surviving diagnostics plus one
 // stale-suppression diagnostic (attributed to analyzer) for every
 // comment that suppressed nothing. Call it once per (package, analyzer)
-// run; for analyzers outside the suppressible set it returns diags
-// unchanged and reports no staleness (the comments belong to detrand's
-// audit, not theirs).
+// run; for analyzers without a marker it returns diags unchanged and
+// reports no staleness. Each analyzer audits only its own marker, so a
+// stale //nomloc:nanguard-ok is reported by nanguard's run alone.
 func ApplySuppressions(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
-	if !suppressibleAnalyzers[analyzer] {
+	marker := analyzerMarkers[analyzer]
+	if marker == "" {
 		return diags
 	}
 
@@ -42,12 +56,12 @@ func ApplySuppressions(fset *token.FileSet, files []*ast.File, analyzer string, 
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, SuppressComment) {
+				if !strings.HasPrefix(c.Text, marker) {
 					continue
 				}
 				// Require a clean boundary: exactly the marker, or the
 				// marker followed by whitespace and a rationale.
-				rest := c.Text[len(SuppressComment):]
+				rest := c.Text[len(marker):]
 				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 					continue
 				}
@@ -97,7 +111,7 @@ func ApplySuppressions(fset *token.FileSet, files []*ast.File, analyzer string, 
 			kept = append(kept, Diagnostic{
 				Pos:      s.pos,
 				Analyzer: analyzer,
-				Message:  "stale " + SuppressComment + " suppression: no diagnostic on this or the next line",
+				Message:  "stale " + marker + " suppression: no diagnostic on this or the next line",
 			})
 		}
 	}

@@ -31,23 +31,93 @@ func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
 	return fset, file
 }
 
-// TestSuppressionScopedToDetrand checks that the hatch does not leak to
-// other analyzers: a suppression comment neither silences their
-// diagnostics nor produces stale reports under their name.
-func TestSuppressionScopedToDetrand(t *testing.T) {
-	const src = `package p
+// TestSuppressionMarkersPerAnalyzer drives the per-analyzer escape
+// hatches through one table covering every analyzer in the suite: the
+// suppressible ones silence diagnostics under their own marker only,
+// and the intentionally marker-less ones ignore every marker.
+func TestSuppressionMarkersPerAnalyzer(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		marker   string // "" = analyzer admits no suppressions
+	}{
+		{"detrand", "//nomloc:nondeterministic-ok"},
+		{"nanguard", "//nomloc:nanguard-ok"},
+		{"errdrop", "//nomloc:errdrop-ok"},
+		{"leakcheck", "//nomloc:leakcheck-ok"},
+		{"seedmix", ""},
+		{"floateq", ""},
+		{"locksafe", ""},
+	}
+	// Every analyzer in All() must appear in the table, so a future
+	// analyzer forces a decision about its escape hatch.
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		covered[tc.analyzer] = true
+	}
+	for _, a := range analysis.All() {
+		if !covered[a.Name] {
+			t.Errorf("analyzer %s missing from the suppression table", a.Name)
+		}
+	}
 
-var x = 1 //nomloc:nondeterministic-ok
-`
-	fset, file := parseOne(t, src)
-	in := []analysis.Diagnostic{{
-		Pos:      file.Package,
-		Analyzer: "floateq",
-		Message:  "exact floating-point ==",
-	}}
-	got := analysis.ApplySuppressions(fset, []*ast.File{file}, "floateq", in)
-	if len(got) != 1 || got[0].Message != in[0].Message {
-		t.Fatalf("floateq diagnostics = %v, want the input unchanged", got)
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			if got := analysis.MarkerFor(tc.analyzer); got != tc.marker {
+				t.Fatalf("MarkerFor(%s) = %q, want %q", tc.analyzer, got, tc.marker)
+			}
+
+			// The analyzer's own marker (when it has one) silences a
+			// diagnostic on the marker's line.
+			if tc.marker != "" {
+				fset, file := parseOne(t, "package p\n\nvar x = 1 "+tc.marker+"\n")
+				in := []analysis.Diagnostic{{
+					Pos:      file.Decls[0].Pos(),
+					Analyzer: tc.analyzer,
+					Message:  "violation",
+				}}
+				got := analysis.ApplySuppressions(fset, []*ast.File{file}, tc.analyzer, in)
+				if len(got) != 0 {
+					t.Errorf("own marker did not suppress: %+v", got)
+				}
+			}
+
+			// Every OTHER analyzer's marker must neither silence this
+			// analyzer's diagnostics nor produce stale reports under
+			// its name.
+			for _, other := range cases {
+				if other.marker == "" || other.analyzer == tc.analyzer {
+					continue
+				}
+				fset, file := parseOne(t, "package p\n\nvar x = 1 "+other.marker+"\n")
+				in := []analysis.Diagnostic{{
+					Pos:      file.Decls[0].Pos(),
+					Analyzer: tc.analyzer,
+					Message:  "violation",
+				}}
+				got := analysis.ApplySuppressions(fset, []*ast.File{file}, tc.analyzer, in)
+				if len(got) != 1 || got[0].Message != "violation" {
+					t.Errorf("marker %s leaked into %s: %+v", other.marker, tc.analyzer, got)
+				}
+			}
+		})
+	}
+}
+
+// TestStaleSuppressionPerAnalyzer checks the audit fires under each
+// suppressible analyzer's own marker and name.
+func TestStaleSuppressionPerAnalyzer(t *testing.T) {
+	for _, analyzer := range []string{"detrand", "nanguard", "errdrop", "leakcheck"} {
+		t.Run(analyzer, func(t *testing.T) {
+			marker := analysis.MarkerFor(analyzer)
+			fset, file := parseOne(t, "package p\n\n"+marker+"\nvar a = 1\n")
+			got := analysis.ApplySuppressions(fset, []*ast.File{file}, analyzer, nil)
+			if len(got) != 1 || !strings.Contains(got[0].Message, "stale "+marker) {
+				t.Fatalf("diagnostics = %+v, want one stale report for %s", got, marker)
+			}
+			if got[0].Analyzer != analyzer {
+				t.Errorf("stale report attributed to %s, want %s", got[0].Analyzer, analyzer)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,89 @@
+// Package core is an errdrop fixture: its directory base name puts it
+// inside the determinism contract the analyzer scopes to.
+package core
+
+import (
+	"errors"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func mayFail() error    { return errBoom }
+func val() (int, error) { return 0, errBoom }
+func use(int)           {}
+func consume(error)     {}
+
+func blankDiscard() {
+	_ = mayFail() // want `error result of mayFail discarded with _`
+}
+
+func bareCall() {
+	mayFail() // want `result of mayFail contains an error that is discarded`
+}
+
+func tupleBlank() {
+	v, _ := val() // want `error result of val discarded with _`
+	use(v)
+}
+
+func checkedOnOnePath(flag bool) error {
+	err := mayFail() // want `error assigned to err is never checked on some path`
+	if flag {
+		return err
+	}
+	return nil
+}
+
+func overwritten() error {
+	err := mayFail()
+	err = mayFail() // want `error in err assigned at .* is overwritten before being checked`
+	return err
+}
+
+func checkedProperly() {
+	err := mayFail()
+	if err != nil {
+		consume(err)
+	}
+}
+
+func checkedOnBothBranches(flag bool) error {
+	err := mayFail()
+	if flag {
+		return err
+	}
+	consume(err)
+	return nil
+}
+
+// namedResult is exempt: assigning a named error result is returning it.
+func namedResult() (err error) {
+	err = mayFail()
+	return
+}
+
+// explicitDrop stays legal: discarding a plain variable is a visible,
+// greppable decision, unlike discarding a call result inline.
+func explicitDrop() {
+	err := mayFail()
+	_ = err
+}
+
+// closureRead counts as a check: the deferred closure consumes err.
+func closureRead() {
+	err := mayFail()
+	defer func() { consume(err) }()
+}
+
+// builderWrites is exempt: strings.Builder's writers are documented to
+// never return a non-nil error.
+func builderWrites() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}
+
+func suppressed() {
+	_ = mayFail() //nomloc:errdrop-ok fixture demonstrates the audited escape hatch
+}

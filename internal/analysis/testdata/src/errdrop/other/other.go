@@ -1,0 +1,13 @@
+// Package other is errdrop's scope-negative fixture: dropped errors
+// outside the deterministic packages are some other tool's business.
+package other
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func mayFail() error { return errBoom }
+
+func drop() {
+	_ = mayFail() // out of scope: no diagnostic
+}

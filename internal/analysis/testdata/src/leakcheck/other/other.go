@@ -1,0 +1,13 @@
+// Package other is leakcheck's scope-negative fixture: goroutines
+// outside server/parallel/agent are not audited.
+package other
+
+func work() {}
+
+func unsupervised() {
+	go func() { // out of scope: no diagnostic
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,105 @@
+// Package server is a leakcheck fixture: its directory base name puts
+// it inside the analyzer's concurrency scope.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+func work()   {}
+func use(int) {}
+
+func handle(ctx context.Context) { <-ctx.Done() }
+
+func unsupervised() {
+	go func() { // want `goroutine can return without touching a context, channel, or WaitGroup`
+		work()
+	}()
+}
+
+func spinsForever() {
+	go func() { // want `goroutine loops forever with no context, channel, or WaitGroup`
+		for {
+			work()
+		}
+	}()
+}
+
+func namedNoHandle() {
+	go work() // want `goroutine calls work with no context, channel, or WaitGroup`
+}
+
+func signaledOnOnePathOnly(wg *sync.WaitGroup, flag bool) {
+	go func() { // want `goroutine can return without touching a context, channel, or WaitGroup`
+		if flag {
+			wg.Done()
+		}
+	}()
+}
+
+func deferredDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func deferredDoneInClosure(wg *sync.WaitGroup) {
+	go func() {
+		defer func() { wg.Done() }()
+		work()
+	}()
+}
+
+func watchesContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func drainsChannel(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+func selectLoop(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+func sendsResult(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+func closesDone(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+func namedWithContext(ctx context.Context) {
+	go handle(ctx)
+}
+
+func suppressed() {
+	go func() { //nomloc:leakcheck-ok fixture demonstrates the audited escape hatch
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,89 @@
+// Package core is a nanguard fixture: its directory base name puts it
+// inside the analyzer's numeric scope. F below stands in for the real
+// confidence function — nanguard keys sinks on package base + name, so
+// a local F in a package whose path ends in "core" is a sink.
+package core
+
+import (
+	"math"
+
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/lp"
+)
+
+// F mimics core.F's shape for sink matching.
+func F(x float64) float64 { return x }
+
+func ratioUnguarded(pi, pj float64) float64 {
+	return F(pj / pi) // want `possibly-NaN value reaches confidence computation \(F\)`
+}
+
+func ratioGuarded(pi, pj float64) float64 {
+	if pi <= 0 {
+		return 0
+	}
+	return F(pj / pi)
+}
+
+func viaVariable(pi, pj float64) float64 {
+	x := pj / pi
+	return F(x) // want `possibly-NaN value reaches confidence computation \(F\)`
+}
+
+func viaVariableGuarded(pi, pj float64) float64 {
+	x := pj / pi
+	if math.IsNaN(x) {
+		return 0.5
+	}
+	return F(x)
+}
+
+func badCoord(d float64) geom.Vec {
+	return geom.V(1/d, 0) // want `possibly-NaN value reaches returned coordinate`
+}
+
+func okCoord(d float64) geom.Vec {
+	if d < 1e-9 {
+		return geom.Vec{}
+	}
+	return geom.V(1/d, 0)
+}
+
+func badLog(x float64) []float64 {
+	return []float64{math.Log(x)} // want `possibly-NaN value reaches returned coordinate`
+}
+
+func okLog(x float64) []float64 {
+	if x <= 0 || math.IsNaN(x) {
+		return nil
+	}
+	return []float64{math.Log(x)}
+}
+
+func badLP(a [][]float64, b []float64, eps float64) {
+	_, _ = lp.RelaxedSolve(a, b, []float64{1 / eps}) // want `possibly-NaN value reaches lp constraint construction \(lp.RelaxedSolve\)`
+}
+
+func okLP(a [][]float64, b []float64, eps float64) {
+	if eps <= 0 {
+		return
+	}
+	_, _ = lp.RelaxedSolve(a, b, []float64{1 / eps})
+}
+
+// sqrtOfSquare shows the x*x exemption: a square cannot be negative.
+func sqrtOfSquare(x float64) []float64 {
+	return []float64{math.Sqrt(x * x)}
+}
+
+// callDenominator shows the optimistic call rule: callees vet their own
+// return values, so dividing by one is trusted.
+func callDenominator(pi float64) float64 {
+	return F(pi / scale())
+}
+
+func scale() float64 { return 2 }
+
+func suppressed(d float64) geom.Vec {
+	return geom.V(1/d, 0) //nomloc:nanguard-ok fixture demonstrates the audited escape hatch
+}

@@ -1,0 +1,13 @@
+// Package other is nanguard's scope-negative fixture: the same shapes
+// that fire inside core/lp stay silent in any other package.
+package other
+
+import "math"
+
+func coords(d float64) []float64 {
+	return []float64{1 / d} // out of scope: no diagnostic
+}
+
+func logged(x float64) []float64 {
+	return []float64{math.Log(x)} // out of scope: no diagnostic
+}

@@ -1,0 +1,93 @@
+// locksafe edge cases around unlock placement. locksafe's locked-call
+// check is deliberately lexical — any (R)Lock earlier in the function
+// body counts as "held" — so these fixtures pin both sides of that
+// line: the shapes it must keep catching, and the unlock-path
+// subtleties it knowingly leaves to the race detector.
+package server
+
+import "sync"
+
+type RStore struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func (r *RStore) getLocked(k string) int { return r.items[k] }
+
+// DeferredRUnlockInLoop: the deferred RUnlocks pile up until function
+// return, so every iteration after the first re-locks an already-held
+// RLock. The lexical model sees an RLock before the call and stays
+// silent — pinned here as the documented limit of the check.
+func (r *RStore) DeferredRUnlockInLoop(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		total += r.getLocked(k)
+	}
+	return total
+}
+
+// LoopCallBeforeLock is the companion true positive: the same loop
+// shape with the *Locked call made before any lock exists in the
+// function.
+func (r *RStore) LoopCallBeforeLock(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		total += r.getLocked(k) // want `getLocked is called without a lock held in LoopCallBeforeLock`
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return total
+}
+
+// DoubleUnlockOnBranch: the error path unlocks and then falls through
+// to the shared unlock — a guaranteed "unlock of unlocked mutex" panic
+// at runtime. locksafe does not model unlock counts; pinned silent as
+// the documented limit.
+func (r *RStore) DoubleUnlockOnBranch(k string, fail bool) int {
+	r.mu.Lock()
+	v := r.getLocked(k)
+	if fail {
+		r.mu.Unlock()
+	}
+	r.mu.Unlock()
+	return v
+}
+
+// BranchWithoutLock: the fast path calls into locked state before the
+// function ever takes the lock. The lexical check orders by position,
+// so the early call reports and the properly covered one below does
+// not.
+func (r *RStore) BranchWithoutLock(k string, cached bool) int {
+	if cached {
+		return r.getLocked(k) // want `getLocked is called without a lock held in BranchWithoutLock`
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.getLocked(k)
+}
+
+// LockInOneBranchReleaseInAnother: whether the lock is held at the call
+// depends on `take`, which the lexical model cannot see — any earlier
+// Lock counts. Pinned silent as the documented limit.
+func (r *RStore) LockInOneBranchReleaseInAnother(k string, take bool) int {
+	if take {
+		r.mu.Lock()
+	}
+	v := r.getLocked(k)
+	if take {
+		r.mu.Unlock()
+	}
+	return v
+}
+
+// SumAll pins the copylocks side for RWMutex: range values copy the
+// lock every iteration.
+func SumAll(stores []RStore) int {
+	total := 0
+	for _, s := range stores { // want `range value copies sync.RWMutex per iteration`
+		total += len(s.items)
+	}
+	return total
+}

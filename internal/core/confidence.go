@@ -60,6 +60,10 @@ type PDPEstimate struct {
 var (
 	ErrNoSamples = errors.New("core: batch has no samples")
 	ErrBadPDP    = errors.New("core: non-positive PDP estimate")
+	// ErrNonFinitePDP rejects NaN/±Inf powers before they reach the
+	// confidence ratio, where NaN would silently defeat every threshold
+	// comparison downstream.
+	ErrNonFinitePDP = errors.New("core: non-finite PDP estimate")
 )
 
 // EstimatePDP runs the paper's PDP extraction on every packet of a batch

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/nomloc/nomloc/internal/geom"
 )
@@ -74,7 +75,16 @@ func (j Judgement) HalfPlane() geom.HalfPlane {
 // Judge compares two anchors' PDPs and returns the directed judgement,
 // orienting the pair so the larger PDP (shorter distance) is Closer. An
 // exactly tied pair is oriented (a, b) with confidence ½.
+//
+// PDPs must be positive and finite: a NaN or ±Inf power would sail
+// through the ordering comparison (NaN compares false with everything)
+// and surface as a NaN confidence that no downstream `< threshold`
+// filter can catch, so the rejection happens here, typed, before the
+// ratio is ever formed.
 func Judge(a, b Anchor) (Judgement, error) {
+	if math.IsNaN(a.PDP) || math.IsNaN(b.PDP) || math.IsInf(a.PDP, 0) || math.IsInf(b.PDP, 0) {
+		return Judgement{}, fmt.Errorf("%w: %q=%v, %q=%v", ErrNonFinitePDP, a.key(), a.PDP, b.key(), b.PDP)
+	}
 	if a.PDP <= 0 || b.PDP <= 0 {
 		return Judgement{}, fmt.Errorf("%w: %q=%v, %q=%v", ErrBadPDP, a.key(), a.PDP, b.key(), b.PDP)
 	}

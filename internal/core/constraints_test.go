@@ -62,6 +62,53 @@ func TestJudgeInvalidPDP(t *testing.T) {
 	}
 }
 
+// TestJudgeRejectsDegeneratePDP pins the hot-path guard: no zero,
+// negative, NaN, or Inf power may survive to the confidence ratio. The
+// pre-guard failure mode was silent — NaN compares false with
+// everything, so a NaN confidence sailed through BuildJudgements'
+// `< minConfidence` filter straight into the constraint system.
+func TestJudgeRejectsDegeneratePDP(t *testing.T) {
+	cases := []struct {
+		name string
+		pdp  float64
+		want error
+	}{
+		{"zero", 0, ErrBadPDP},
+		{"negative", -3, ErrBadPDP},
+		{"nan", math.NaN(), ErrNonFinitePDP},
+		{"+inf", math.Inf(1), ErrNonFinitePDP},
+		{"-inf", math.Inf(-1), ErrNonFinitePDP},
+	}
+	good := staticAnchor("good", 10, 0, 5)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := staticAnchor("bad", 0, 0, tc.pdp)
+			for _, pair := range [][2]Anchor{{bad, good}, {good, bad}} {
+				j, err := Judge(pair[0], pair[1])
+				if !errors.Is(err, tc.want) {
+					t.Errorf("Judge(%v, %v) err = %v, want %v", pair[0].PDP, pair[1].PDP, err, tc.want)
+				}
+				if math.IsNaN(j.Confidence) {
+					t.Errorf("Judge leaked NaN confidence for pdp=%v", tc.pdp)
+				}
+			}
+
+			// The same inputs must surface as an error from the batch
+			// builder, never as a NaN judgement in its output.
+			anchors := []Anchor{bad, good, staticAnchor("c", 5, 5, 2)}
+			js, err := BuildJudgements(anchors, PaperPairs, 0)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("BuildJudgements err = %v, want %v", err, tc.want)
+			}
+			for _, j := range js {
+				if math.IsNaN(j.Confidence) || math.IsInf(j.Confidence, 0) {
+					t.Errorf("BuildJudgements emitted non-finite confidence %v", j.Confidence)
+				}
+			}
+		})
+	}
+}
+
 func TestJudgementHalfPlane(t *testing.T) {
 	a := staticAnchor("a", 0, 0, 9)
 	b := staticAnchor("b", 10, 0, 1)
