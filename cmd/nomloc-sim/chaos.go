@@ -1,0 +1,203 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/agent"
+	"github.com/nomloc/nomloc/internal/chaos"
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+// runChaos runs the scenario's distributed stack — real server, AP and
+// object agents over localhost TCP — with every AP connection routed
+// through the chaos fault injector, then prints the per-round estimates,
+// the deterministic fault trace summary, and the resilience counters.
+// The same -chaos-seed replays the exact same failure sequence.
+func runChaos(scenario, profile string, chaosSeed int64, rounds, packets int, seed int64) error {
+	scn, err := deploy.ByName(scenario)
+	if err != nil {
+		return err
+	}
+	plan, err := chaos.Profile(profile, chaosSeed)
+	if err != nil {
+		return err
+	}
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		return err
+	}
+	reg := telemetry.New(nil)
+	srv, err := server.New(server.Config{
+		Localizer:    loc,
+		RoundTimeout: 500 * time.Millisecond,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+
+	cn := chaos.New(plan, chaos.Options{Telemetry: reg})
+	newAP := func(cfg agent.APConfig) (*agent.APAgent, error) {
+		cfg.ServerAddr = addr
+		cfg.Telemetry = reg
+		cfg.Dialer = cn.Dialer(cfg.ID, nil)
+		cfg.MaxReconnects = 20
+		cfg.ReconnectBase = 5 * time.Millisecond
+		cfg.ReconnectMax = 100 * time.Millisecond
+		return agent.DialAP(cfg)
+	}
+	var aps []*agent.APAgent
+	for i, ap := range scn.StaticAPs {
+		a, err := newAP(agent.APConfig{ID: ap.ID, Sites: []geom.Vec{ap.Pos}, Seed: int64(i + 1)})
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", ap.ID, err)
+		}
+		aps = append(aps, a)
+	}
+	if scn.Nomadic.ID != "" {
+		a, err := newAP(agent.APConfig{
+			ID: scn.Nomadic.ID, Sites: scn.Nomadic.AllSites(), Nomadic: true, Seed: 99,
+		})
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", scn.Nomadic.ID, err)
+		}
+		aps = append(aps, a)
+	}
+	for _, a := range aps {
+		a := a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Run() // chaos runs can end with a lost session; counters tell the story
+		}()
+	}
+
+	sim, err := scn.Simulator()
+	if err != nil {
+		return err
+	}
+	obj, err := agent.DialObject(agent.ObjectConfig{
+		ID:           "obj1",
+		ServerAddr:   addr,
+		Pos:          scn.TestSites[0],
+		Sim:          sim,
+		Packets:      packets,
+		RoundTimeout: 5 * time.Second,
+		Seed:         seed,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		return err
+	}
+	for _, ap := range scn.StaticAPs {
+		obj.RegisterAP(ap.ID, ap.Pos)
+	}
+	if scn.Nomadic.ID != "" {
+		obj.RegisterAP(scn.Nomadic.ID, scn.Nomadic.Home)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = obj.Run()
+	}()
+
+	fmt.Printf("chaos profile %s (seed %d) on scenario %s — %d APs, object at %v, %d rounds\n\n",
+		profile, chaosSeed, scn.Name, len(aps), scn.TestSites[0], rounds)
+	truth := scn.TestSites[0]
+	for r := 1; r <= rounds; r++ {
+		est, err := obj.RunRound(uint64(r))
+		switch {
+		case errors.Is(err, agent.ErrNoEstimate):
+			fmt.Printf("round %3d: lost (no estimate before the round deadline)\n", r)
+		case err != nil:
+			fmt.Printf("round %3d: error: %v\n", r, err)
+		default:
+			fmt.Printf("round %3d: estimate %v  error %.2f m\n", r, est.Pos, est.Pos.Sub(truth).Len())
+		}
+	}
+
+	obj.Close()
+	for _, a := range aps {
+		a.Close()
+	}
+	srv.Shutdown()
+	wg.Wait()
+
+	tr := cn.Trace()
+	fmt.Printf("\nfault trace: %d events (replayable with -chaos-seed %d)\n", tr.Len(), chaosSeed)
+	counts := tr.CountByFault()
+	for _, f := range chaos.Faults() {
+		if counts[f] > 0 {
+			fmt.Printf("  %-9s %d\n", f, counts[f])
+		}
+	}
+	printResilienceCounters(reg)
+	return nil
+}
+
+// printResilienceCounters prints the chaos/degraded-mode counter families
+// in sorted order so the output is stable across runs.
+func printResilienceCounters(reg *telemetry.Registry) {
+	want := map[string]bool{
+		"nomloc_chaos_dials_total":              true,
+		"nomloc_chaos_dial_failures_total":      true,
+		"nomloc_chaos_frames_total":             true,
+		"nomloc_ap_reconnects_total":            true,
+		"nomloc_ap_resends_total":               true,
+		"nomloc_object_reconnects_total":        true,
+		"nomloc_server_degraded_rounds_total":   true,
+		"nomloc_server_empty_rounds_total":      true,
+		"nomloc_server_duplicate_reports_total": true,
+		"nomloc_server_stale_reports_total":     true,
+		"nomloc_server_bad_frames_total":        true,
+		"nomloc_server_evicted_sessions_total":  true,
+	}
+	var lines []string
+	for _, m := range reg.Snapshot().Metrics {
+		if !want[m.Name] && !strings.HasPrefix(m.Name, "nomloc_chaos_faults") {
+			continue
+		}
+		if m.Value == 0 {
+			continue
+		}
+		var lbl string
+		if len(m.Labels) > 0 {
+			var kv []string
+			for k, v := range m.Labels {
+				kv = append(kv, fmt.Sprintf("%s=%s", k, v))
+			}
+			sort.Strings(kv)
+			lbl = "{" + strings.Join(kv, ",") + "}"
+		}
+		lines = append(lines, fmt.Sprintf("  %s%s %g", m.Name, lbl, m.Value))
+	}
+	sort.Strings(lines)
+	fmt.Println("\nresilience counters:")
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(lines) == 0 {
+		fmt.Println("  (none fired)")
+	}
+}

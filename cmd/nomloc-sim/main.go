@@ -39,12 +39,18 @@ func run(args []string) error {
 	record := fs.String("record", "", "record the campaign's raw CSI batches to this file (gzip JSON)")
 	replay := fs.String("replay", "", "skip measurement and replay a recorded campaign file instead")
 	plan := fs.Bool("plan", false, "print the scenario floor plan before running")
+	chaosProfile := fs.String("chaos-profile", "", "run the distributed stack under a fault profile: lossy, flaky, or partition")
+	chaosSeed := fs.Int64("chaos-seed", 1, "chaos schedule seed; the same seed replays the same fault trace")
+	rounds := fs.Int("rounds", 10, "rounds to run in chaos mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *replay != "" {
 		return replayCampaign(*replay, *scenario)
+	}
+	if *chaosProfile != "" {
+		return runChaos(*scenario, *chaosProfile, *chaosSeed, *rounds, *packets, *seed)
 	}
 
 	scn, err := deploy.ByName(*scenario)

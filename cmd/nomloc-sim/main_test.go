@@ -63,3 +63,15 @@ func TestReplayScenarioFallback(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestRunChaosMode(t *testing.T) {
+	if err := run([]string{
+		"-scenario", "lab", "-chaos-profile", "lossy",
+		"-chaos-seed", "3", "-rounds", "3", "-packets", "4",
+	}); err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if err := run([]string{"-chaos-profile", "hurricane"}); err == nil {
+		t.Error("unknown chaos profile accepted")
+	}
+}

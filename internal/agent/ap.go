@@ -29,11 +29,20 @@ var (
 	ErrNoEstimate = errors.New("agent: no estimate before deadline")
 )
 
-// handshake dials the server and performs the hello exchange.
-func handshake(addr string, hello *wire.Hello) (net.Conn, error) {
-	conn, err := net.Dial("tcp", addr)
+// handshake dials the server (through dial, nil meaning plain TCP) and
+// performs the hello exchange. A positive timeout arms a timer that
+// closes the connection if the exchange stalls — a deadline without a
+// wall-clock read, so the agent stays under the determinism contract.
+func handshake(dial dialFunc, addr string, hello *wire.Hello, timeout time.Duration) (net.Conn, error) {
+	conn, err := dial.orTCP()(addr)
 	if err != nil {
 		return nil, fmt.Errorf("agent: dial %s: %w", addr, err)
+	}
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			_ = conn.Close() //nomloc:errdrop-ok best-effort close on handshake timeout
+		})
+		defer t.Stop()
 	}
 	if err := wire.WriteMessage(conn, hello); err != nil {
 		_ = conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
@@ -86,6 +95,25 @@ type APConfig struct {
 	Telemetry *telemetry.Registry
 	// Logf, when set, receives diagnostic log lines.
 	Logf func(format string, args ...any)
+	// Dialer, when set, replaces plain TCP dialing (chaos injection,
+	// in-memory transports). It is used for the initial connection and
+	// every reconnect.
+	Dialer func(addr string) (net.Conn, error)
+	// MaxReconnects caps reconnect attempts after a lost session. 0 (the
+	// default) disables reconnection: Run returns on the first read error,
+	// preserving the pre-chaos contract.
+	MaxReconnects int
+	// ReconnectBase and ReconnectMax bound the capped exponential backoff
+	// between reconnect attempts (defaults 10 ms and 1 s). Jitter is drawn
+	// from a stream derived from Seed, so retry timing is reproducible.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// Sleep, when set, replaces time.Sleep between reconnect attempts
+	// (tests collapse the backoff to zero).
+	Sleep func(time.Duration)
+	// HandshakeTimeout bounds the dial-to-ack exchange of each connection
+	// attempt. 0 disables the deadline.
+	HandshakeTimeout time.Duration
 }
 
 // captureEpoch is the base timestamp of simulated capture time, shared
@@ -103,20 +131,28 @@ func (a *APAgent) captureTime(roundID, seq uint64) time.Time {
 
 // APAgent is a connected access point.
 type APAgent struct {
-	cfg     APConfig
-	conn    net.Conn
-	chain   *mobility.Chain
-	rng     *rand.Rand
-	metrics apMetrics
+	cfg      APConfig
+	chain    *mobility.Chain
+	rng      *rand.Rand
+	retryRng *rand.Rand // backoff jitter; used only by the Run goroutine
+	metrics  apMetrics
 
 	mu       sync.Mutex
 	writeMu  sync.Mutex
+	conn     net.Conn // replaced on reconnect; snapshot under mu
 	curSite  int
 	believed geom.Vec
 	rounds   map[uint64]*apRound
+	tail     []*tailEntry // unacknowledged reports, oldest first
 	closed   bool
 
 	done chan struct{}
+}
+
+// tailEntry is one report awaiting its ReportAck.
+type tailEntry struct {
+	rep  *wire.CSIReport
+	sent bool // a prior send attempt happened (re-sends count separately)
 }
 
 // apRound accumulates one round's probe frames.
@@ -138,12 +174,16 @@ func DialAP(cfg APConfig) (*APAgent, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
 	a := &APAgent{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		metrics: newAPMetrics(cfg.Telemetry, cfg.ID),
-		rounds:  make(map[uint64]*apRound),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		retryRng: retryRNG(cfg.Seed),
+		metrics:  newAPMetrics(cfg.Telemetry, cfg.ID),
+		rounds:   make(map[uint64]*apRound),
+		done:     make(chan struct{}),
 	}
 	if cfg.Nomadic {
 		chain, err := mobility.UniformChain(cfg.Sites)
@@ -158,9 +198,14 @@ func DialAP(cfg APConfig) (*APAgent, error) {
 		return nil, err
 	}
 
-	conn, err := handshake(cfg.ServerAddr, &wire.Hello{
-		Role: wire.RoleAP, ID: cfg.ID, Pos: cfg.Sites[0], SiteIndex: 0,
-	})
+	hello := &wire.Hello{Role: wire.RoleAP, ID: cfg.ID, Pos: cfg.Sites[0], SiteIndex: 0}
+	conn, err := handshake(cfg.Dialer, cfg.ServerAddr, hello, cfg.HandshakeTimeout)
+	// The initial dial gets the same retry budget as a mid-session loss:
+	// under a lossy network there is nothing special about attempt zero.
+	for k := 1; err != nil && k <= cfg.MaxReconnects; k++ {
+		cfg.Sleep(backoff(cfg.ReconnectBase, cfg.ReconnectMax, k, a.retryRng))
+		conn, err = handshake(cfg.Dialer, cfg.ServerAddr, hello, cfg.HandshakeTimeout)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -175,26 +220,46 @@ func (a *APAgent) TruePos() geom.Vec {
 	return a.cfg.Sites[a.curSite]
 }
 
-// send serializes writes to the server.
+// send serializes writes to the server. Failures are typed ErrSessionLost:
+// the transport under the current session is gone, and only a reconnect
+// (when enabled) brings a new one.
 func (a *APAgent) send(msg wire.Message) error {
 	a.writeMu.Lock()
 	defer a.writeMu.Unlock()
-	return wire.WriteMessage(a.conn, msg)
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if err := wire.WriteMessage(conn, msg); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrSessionLost, msg.Type(), err)
+	}
+	return nil
 }
 
-// Run processes server traffic until the connection closes or Close is
-// called. It always returns a non-nil reason; after Close it returns
-// ErrClosed.
+// Run processes server traffic until the connection closes and cannot be
+// re-established, or Close is called. It always returns a non-nil reason;
+// after Close it returns ErrClosed.
 func (a *APAgent) Run() error {
 	defer close(a.done)
 	for {
-		msg, err := wire.ReadMessage(a.conn)
+		a.mu.Lock()
+		conn := a.conn
+		a.mu.Unlock()
+		msg, err := wire.ReadMessage(conn)
 		if err != nil {
+			if wire.IsDecodeError(err) {
+				// Corrupted frame, stream still framed: drop it, keep the
+				// session.
+				a.cfg.Logf("ap %s: dropping bad frame: %v", a.cfg.ID, err)
+				continue
+			}
 			a.mu.Lock()
 			closed := a.closed
 			a.mu.Unlock()
 			if closed {
 				return ErrClosed
+			}
+			if a.reconnect() {
+				continue
 			}
 			return fmt.Errorf("agent: read: %w", err)
 		}
@@ -203,10 +268,104 @@ func (a *APAgent) Run() error {
 			a.onRoundStart(m)
 		case *wire.ProbeFrame:
 			a.onProbeFrame(m)
+		case *wire.ReportAck:
+			a.onReportAck(m)
 		case *wire.ErrorMsg:
 			a.cfg.Logf("ap %s: server error: %s", a.cfg.ID, m.Detail)
 		default:
 			a.cfg.Logf("ap %s: ignoring %q", a.cfg.ID, msg.Type())
+		}
+	}
+}
+
+// reconnect re-establishes the server session after a lost connection:
+// up to MaxReconnects handshakes separated by capped exponential backoff
+// with seed-deterministic jitter. On success the new connection replaces
+// the old one and the unacknowledged report tail is re-sent. It returns
+// false when reconnection is disabled, exhausted, or the agent closed.
+func (a *APAgent) reconnect() bool {
+	if a.cfg.MaxReconnects <= 0 {
+		return false
+	}
+	a.mu.Lock()
+	old := a.conn
+	site := a.curSite
+	believed := a.believed
+	a.mu.Unlock()
+	_ = old.Close() //nomloc:errdrop-ok the old transport is already dead; closing is best-effort
+	for attempt := 1; attempt <= a.cfg.MaxReconnects; attempt++ {
+		a.cfg.Sleep(backoff(a.cfg.ReconnectBase, a.cfg.ReconnectMax, attempt, a.retryRng))
+		a.mu.Lock()
+		closed := a.closed
+		a.mu.Unlock()
+		if closed {
+			return false
+		}
+		conn, err := handshake(a.cfg.Dialer, a.cfg.ServerAddr, &wire.Hello{
+			Role: wire.RoleAP, ID: a.cfg.ID, Pos: believed, SiteIndex: site,
+		}, a.cfg.HandshakeTimeout)
+		if err != nil {
+			a.cfg.Logf("ap %s: reconnect %d/%d: %v", a.cfg.ID, attempt, a.cfg.MaxReconnects, err)
+			continue
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			_ = conn.Close() //nomloc:errdrop-ok best-effort close; the agent is shutting down
+			return false
+		}
+		a.conn = conn
+		a.mu.Unlock()
+		a.metrics.reconnects.Inc()
+		a.cfg.Logf("ap %s: reconnected on attempt %d", a.cfg.ID, attempt)
+		a.flushTail()
+		return true
+	}
+	return false
+}
+
+// onReportAck clears the acknowledged report from the unacked tail.
+func (a *APAgent) onReportAck(m *wire.ReportAck) {
+	if m.APID != a.cfg.ID {
+		return
+	}
+	a.mu.Lock()
+	kept := a.tail[:0]
+	for _, e := range a.tail {
+		if e.rep.RoundID == m.RoundID && e.rep.SiteIndex == m.SiteIndex {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(a.tail); i++ {
+		a.tail[i] = nil
+	}
+	a.tail = kept
+	a.mu.Unlock()
+}
+
+// flushTail sends every unacknowledged report oldest-first, stopping at
+// the first failure (the tail survives for the next flush). First-time
+// sends count as reports, repeats as re-sends.
+func (a *APAgent) flushTail() {
+	a.mu.Lock()
+	reps := make([]*wire.CSIReport, len(a.tail))
+	again := make([]bool, len(a.tail))
+	for i, e := range a.tail {
+		reps[i] = e.rep
+		again[i] = e.sent
+		e.sent = true
+	}
+	a.mu.Unlock()
+	for i, rep := range reps {
+		if err := a.send(rep); err != nil {
+			a.cfg.Logf("ap %s: report %d: %v", a.cfg.ID, rep.RoundID, err)
+			return
+		}
+		if again[i] {
+			a.metrics.resends.Inc()
+		} else {
+			a.metrics.reports.Inc()
 		}
 	}
 }
@@ -220,8 +379,9 @@ func (a *APAgent) Close() {
 		return
 	}
 	a.closed = true
+	conn := a.conn
 	a.mu.Unlock()
-	_ = a.conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
+	_ = conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 	<-a.done
 }
 
@@ -285,8 +445,6 @@ func (a *APAgent) report(roundID uint64) {
 	site := a.curSite
 	believed := a.believed
 	delete(a.rounds, roundID)
-	a.mu.Unlock()
-
 	rep := &wire.CSIReport{
 		RoundID:   roundID,
 		APID:      a.cfg.ID,
@@ -295,11 +453,17 @@ func (a *APAgent) report(roundID uint64) {
 		Nomadic:   a.cfg.Nomadic,
 		Batch:     csi.Batch{APID: a.cfg.ID, SiteIndex: site, Samples: samples},
 	}
-	if err := a.send(rep); err != nil {
-		a.cfg.Logf("ap %s: report: %v", a.cfg.ID, err)
-		return
+	a.tail = append(a.tail, &tailEntry{rep: rep})
+	if drop := len(a.tail) - maxUnackedReports; drop > 0 {
+		a.tail = append(a.tail[:0], a.tail[drop:]...)
 	}
-	a.metrics.reports.Inc()
+	a.mu.Unlock()
+
+	a.flushTail()
+	// The mobility walk advances whether or not the report was delivered:
+	// position is physics, not transport, and keeping the walk purely
+	// seed-driven is what lets a healed chaos run converge back to the
+	// fault-free golden estimates.
 	if a.cfg.Nomadic {
 		a.move()
 	}

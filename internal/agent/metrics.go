@@ -10,34 +10,40 @@ import "github.com/nomloc/nomloc/internal/telemetry"
 
 // apMetrics counts one AP agent's traffic.
 type apMetrics struct {
-	frames  *telemetry.Counter // probe frames captured
-	reports *telemetry.Counter // CSI reports sent
-	moves   *telemetry.Counter // nomadic waypoint moves
+	frames     *telemetry.Counter // probe frames captured
+	reports    *telemetry.Counter // CSI reports sent
+	moves      *telemetry.Counter // nomadic waypoint moves
+	reconnects *telemetry.Counter // sessions re-established after a loss
+	resends    *telemetry.Counter // unacked reports sent again
 }
 
 func newAPMetrics(r *telemetry.Registry, id string) apMetrics {
 	l := telemetry.Label{Key: "ap", Value: id}
 	return apMetrics{
-		frames:  r.Counter("nomloc_ap_frames_total", "probe frames captured by the AP", l),
-		reports: r.Counter("nomloc_ap_reports_total", "CSI reports sent to the server", l),
-		moves:   r.Counter("nomloc_ap_moves_total", "nomadic waypoint moves", l),
+		frames:     r.Counter("nomloc_ap_frames_total", "probe frames captured by the AP", l),
+		reports:    r.Counter("nomloc_ap_reports_total", "CSI reports sent to the server", l),
+		moves:      r.Counter("nomloc_ap_moves_total", "nomadic waypoint moves", l),
+		reconnects: r.Counter("nomloc_ap_reconnects_total", "AP sessions re-established after a loss", l),
+		resends:    r.Counter("nomloc_ap_resends_total", "unacknowledged CSI reports sent again", l),
 	}
 }
 
 // objMetrics counts one object agent's traffic.
 type objMetrics struct {
-	probes    *telemetry.Counter // probe frames transmitted
-	rounds    *telemetry.Counter // measurement rounds started
-	estimates *telemetry.Counter // estimates received
-	drops     *telemetry.Counter // estimates dropped on a full buffer
+	probes     *telemetry.Counter // probe frames transmitted
+	rounds     *telemetry.Counter // measurement rounds started
+	estimates  *telemetry.Counter // estimates received
+	drops      *telemetry.Counter // estimates dropped on a full buffer
+	reconnects *telemetry.Counter // sessions re-established after a loss
 }
 
 func newObjMetrics(r *telemetry.Registry, id string) objMetrics {
 	l := telemetry.Label{Key: "object", Value: id}
 	return objMetrics{
-		probes:    r.Counter("nomloc_object_probes_total", "probe frames transmitted", l),
-		rounds:    r.Counter("nomloc_object_rounds_total", "measurement rounds started", l),
-		estimates: r.Counter("nomloc_object_estimates_total", "estimates received", l),
-		drops:     r.Counter("nomloc_object_estimate_drops_total", "estimates dropped on a full buffer", l),
+		probes:     r.Counter("nomloc_object_probes_total", "probe frames transmitted", l),
+		rounds:     r.Counter("nomloc_object_rounds_total", "measurement rounds started", l),
+		estimates:  r.Counter("nomloc_object_estimates_total", "estimates received", l),
+		drops:      r.Counter("nomloc_object_estimate_drops_total", "estimates dropped on a full buffer", l),
+		reconnects: r.Counter("nomloc_object_reconnects_total", "object sessions re-established after a loss", l),
 	}
 }

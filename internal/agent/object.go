@@ -38,18 +38,35 @@ type ObjectConfig struct {
 	Telemetry *telemetry.Registry
 	// Logf, when set, receives diagnostic log lines.
 	Logf func(format string, args ...any)
+	// Dialer, when set, replaces plain TCP dialing (chaos injection,
+	// in-memory transports). Used for the initial connection and every
+	// reconnect.
+	Dialer func(addr string) (net.Conn, error)
+	// MaxReconnects caps reconnect attempts after a lost session. 0 (the
+	// default) disables reconnection.
+	MaxReconnects int
+	// ReconnectBase and ReconnectMax bound the capped exponential backoff
+	// between reconnect attempts (defaults 10 ms and 1 s).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// Sleep, when set, replaces time.Sleep between reconnect attempts.
+	Sleep func(time.Duration)
+	// HandshakeTimeout bounds the dial-to-ack exchange of each connection
+	// attempt. 0 disables the deadline.
+	HandshakeTimeout time.Duration
 }
 
 // ObjectAgent is the connected object: it transmits probe bursts and
 // receives location estimates.
 type ObjectAgent struct {
-	cfg     ObjectConfig
-	conn    net.Conn
-	rng     *rand.Rand
-	metrics objMetrics
+	cfg      ObjectConfig
+	rng      *rand.Rand
+	retryRng *rand.Rand // backoff jitter; used only by the Run goroutine
+	metrics  objMetrics
 
 	mu      sync.Mutex
 	writeMu sync.Mutex
+	conn    net.Conn            // replaced on reconnect; snapshot under mu
 	apPos   map[string]geom.Vec // true AP positions for physics
 	closed  bool
 
@@ -72,7 +89,17 @@ func DialObject(cfg ObjectConfig) (*ObjectAgent, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	conn, err := handshake(cfg.ServerAddr, &wire.Hello{Role: wire.RoleObject, ID: cfg.ID})
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	hello := &wire.Hello{Role: wire.RoleObject, ID: cfg.ID}
+	retry := retryRNG(cfg.Seed)
+	conn, err := handshake(cfg.Dialer, cfg.ServerAddr, hello, cfg.HandshakeTimeout)
+	// Initial dials share the reconnect budget; see DialAP.
+	for k := 1; err != nil && k <= cfg.MaxReconnects; k++ {
+		cfg.Sleep(backoff(cfg.ReconnectBase, cfg.ReconnectMax, k, retry))
+		conn, err = handshake(cfg.Dialer, cfg.ServerAddr, hello, cfg.HandshakeTimeout)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -80,6 +107,7 @@ func DialObject(cfg ObjectConfig) (*ObjectAgent, error) {
 		cfg:       cfg,
 		conn:      conn,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		retryRng:  retry,
 		metrics:   newObjMetrics(cfg.Telemetry, cfg.ID),
 		apPos:     make(map[string]geom.Vec),
 		estimates: make(chan wire.Estimate, 16),
@@ -95,25 +123,41 @@ func (o *ObjectAgent) RegisterAP(id string, pos geom.Vec) {
 	o.apPos[id] = pos
 }
 
-// send serializes writes to the server.
+// send serializes writes to the server. Failures are typed ErrSessionLost.
 func (o *ObjectAgent) send(msg wire.Message) error {
 	o.writeMu.Lock()
 	defer o.writeMu.Unlock()
-	return wire.WriteMessage(o.conn, msg)
+	o.mu.Lock()
+	conn := o.conn
+	o.mu.Unlock()
+	if err := wire.WriteMessage(conn, msg); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrSessionLost, msg.Type(), err)
+	}
+	return nil
 }
 
-// Run processes server traffic until the connection closes or Close is
-// called.
+// Run processes server traffic until the connection closes and cannot be
+// re-established, or Close is called.
 func (o *ObjectAgent) Run() error {
 	defer close(o.done)
 	for {
-		msg, err := wire.ReadMessage(o.conn)
+		o.mu.Lock()
+		conn := o.conn
+		o.mu.Unlock()
+		msg, err := wire.ReadMessage(conn)
 		if err != nil {
+			if wire.IsDecodeError(err) {
+				o.cfg.Logf("object %s: dropping bad frame: %v", o.cfg.ID, err)
+				continue
+			}
 			o.mu.Lock()
 			closed := o.closed
 			o.mu.Unlock()
 			if closed {
 				return ErrClosed
+			}
+			if o.reconnect() {
+				continue
 			}
 			return fmt.Errorf("agent: read: %w", err)
 		}
@@ -138,6 +182,46 @@ func (o *ObjectAgent) Run() error {
 	}
 }
 
+// reconnect re-establishes the object's server session; see the AP
+// version for the backoff contract. In-flight rounds are not replayed —
+// RunRound's caller sees its timeout and retries at round granularity.
+func (o *ObjectAgent) reconnect() bool {
+	if o.cfg.MaxReconnects <= 0 {
+		return false
+	}
+	o.mu.Lock()
+	old := o.conn
+	o.mu.Unlock()
+	_ = old.Close() //nomloc:errdrop-ok the old transport is already dead; closing is best-effort
+	for attempt := 1; attempt <= o.cfg.MaxReconnects; attempt++ {
+		o.cfg.Sleep(backoff(o.cfg.ReconnectBase, o.cfg.ReconnectMax, attempt, o.retryRng))
+		o.mu.Lock()
+		closed := o.closed
+		o.mu.Unlock()
+		if closed {
+			return false
+		}
+		conn, err := handshake(o.cfg.Dialer, o.cfg.ServerAddr,
+			&wire.Hello{Role: wire.RoleObject, ID: o.cfg.ID}, o.cfg.HandshakeTimeout)
+		if err != nil {
+			o.cfg.Logf("object %s: reconnect %d/%d: %v", o.cfg.ID, attempt, o.cfg.MaxReconnects, err)
+			continue
+		}
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			_ = conn.Close() //nomloc:errdrop-ok best-effort close; the agent is shutting down
+			return false
+		}
+		o.conn = conn
+		o.mu.Unlock()
+		o.metrics.reconnects.Inc()
+		o.cfg.Logf("object %s: reconnected on attempt %d", o.cfg.ID, attempt)
+		return true
+	}
+	return false
+}
+
 // Close shuts the agent down and waits for Run to exit.
 func (o *ObjectAgent) Close() {
 	o.mu.Lock()
@@ -147,8 +231,9 @@ func (o *ObjectAgent) Close() {
 		return
 	}
 	o.closed = true
+	conn := o.conn
 	o.mu.Unlock()
-	_ = o.conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
+	_ = conn.Close() //nomloc:errdrop-ok best-effort close on teardown; the dominant error is already propagating
 	<-o.done
 }
 

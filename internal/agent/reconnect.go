@@ -1,0 +1,65 @@
+package agent
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/parallel"
+)
+
+// ErrSessionLost marks a write that failed because the server session is
+// gone (reset, partition, or plain disconnect). Agents with reconnection
+// enabled recover from it; callers can errors.Is against it to tell a
+// transport loss from a protocol rejection.
+var ErrSessionLost = errors.New("agent: session lost")
+
+// Reconnect defaults and bounds.
+const (
+	defaultReconnectBase = 10 * time.Millisecond
+	defaultReconnectMax  = time.Second
+	// maxUnackedReports bounds the AP's unacknowledged report tail; the
+	// oldest reports are dropped first (the server's accumulated history
+	// makes an old lost report the least damaging kind).
+	maxUnackedReports = 32
+	// retryStream tags the RNG stream that jitters reconnect backoff,
+	// keeping it disjoint from the mobility/noise stream of the same seed.
+	retryStream = 0x7e7a11
+)
+
+// dialFunc dials the server; the zero value means plain TCP.
+type dialFunc func(addr string) (net.Conn, error)
+
+// orTCP returns d, or the plain TCP dialer when d is nil.
+func (d dialFunc) orTCP() dialFunc {
+	if d != nil {
+		return d
+	}
+	return func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// backoff computes the capped exponential backoff with deterministic
+// jitter for the k-th reconnect attempt (1-based): base·2^(k−1) clamped
+// to max, scaled into [50%, 100%] by the seeded retry stream.
+func backoff(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		base = defaultReconnectBase
+	}
+	if max <= 0 {
+		max = defaultReconnectMax
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*rng.Float64()))
+}
+
+// retryRNG derives the backoff-jitter stream for an agent seed.
+func retryRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(parallel.MixSeed(seed, retryStream, 0)))
+}

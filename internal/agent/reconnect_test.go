@@ -1,0 +1,117 @@
+package agent
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/channel"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// testSim builds a channel simulator from the Lab scenario.
+func testSim(t *testing.T) *channel.Simulator {
+	t.Helper()
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := scn.Simulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// fakeServer accepts one connection, completes the hello handshake, and
+// keeps the conn open until the test ends.
+func fakeServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if _, err := wire.ReadMessage(conn); err != nil {
+				_ = conn.Close()
+				continue
+			}
+			_ = wire.WriteMessage(conn, &wire.HelloAck{OK: true, ServerID: "fake"})
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestSendWrapsErrSessionLost is the regression test for the typed write
+// failure: when the transport dies underneath an agent, every failed send
+// must be classifiable with errors.Is(err, ErrSessionLost) so callers can
+// distinguish a lost session from a protocol error.
+func TestSendWrapsErrSessionLost(t *testing.T) {
+	addr := fakeServer(t)
+
+	a, err := DialAP(APConfig{ID: "ap1", ServerAddr: addr, Sites: []geom.Vec{geom.V(1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = a.Run() }() // reconnects disabled: Run exits on the loss
+	defer a.Close()
+	a.mu.Lock()
+	_ = a.conn.Close() // sever the transport underneath the agent
+	a.mu.Unlock()
+	if err := a.send(&wire.CSIReport{RoundID: 1, APID: "ap1"}); !errors.Is(err, ErrSessionLost) {
+		t.Errorf("AP send after transport loss = %v, want ErrSessionLost", err)
+	}
+
+	o, err := DialObject(ObjectConfig{ID: "obj1", ServerAddr: addr, Sim: testSim(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = o.Run() }()
+	defer o.Close()
+	o.mu.Lock()
+	_ = o.conn.Close()
+	o.mu.Unlock()
+	if err := o.send(&wire.RoundStart{RoundID: 1, ObjectID: "obj1", Packets: 1}); !errors.Is(err, ErrSessionLost) {
+		t.Errorf("object send after transport loss = %v, want ErrSessionLost", err)
+	}
+}
+
+// TestBackoffDeterministicAndCapped pins the reconnect schedule: two RNGs
+// from the same seed yield byte-identical delays, doubling from base and
+// clamped to max, never dipping below the half-base jitter floor.
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	r1, r2 := retryRNG(5), retryRNG(5)
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	for k := 1; k <= 12; k++ {
+		d1 := backoff(base, max, k, r1)
+		d2 := backoff(base, max, k, r2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed gave %v and %v", k, d1, d2)
+		}
+		if d1 > max {
+			t.Errorf("attempt %d: %v exceeds cap %v", k, d1, max)
+		}
+		ceil := base
+		for i := 1; i < k && ceil < max; i++ {
+			ceil *= 2
+		}
+		if ceil > max {
+			ceil = max
+		}
+		if d1 < ceil/2 {
+			t.Errorf("attempt %d: %v below jitter floor %v", k, d1, ceil/2)
+		}
+	}
+	if backoff(0, 0, 1, retryRNG(1)) <= 0 {
+		t.Error("zero base/max must fall back to defaults, not zero")
+	}
+}

@@ -46,7 +46,7 @@ func DialViewer(cfg ViewerConfig) (*ViewerAgent, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	conn, err := handshake(cfg.ServerAddr, &wire.Hello{Role: wire.RoleViewer, ID: cfg.ID})
+	conn, err := handshake(nil, cfg.ServerAddr, &wire.Hello{Role: wire.RoleViewer, ID: cfg.ID}, 0)
 	if err != nil {
 		return nil, err
 	}

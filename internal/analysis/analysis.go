@@ -109,6 +109,10 @@ var deterministicPackages = map[string]bool{
 	"mobility":  true,
 	"track":     true,
 	"agent":     true,
+	// chaos joins the contract because its whole value is replayability:
+	// a fault schedule that consulted the wall clock or the global rand
+	// source would not reproduce from its seed.
+	"chaos": true,
 }
 
 // isDeterministicPkg reports whether the import path names a package

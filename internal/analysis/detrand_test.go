@@ -8,7 +8,8 @@ import (
 )
 
 func TestDetRand(t *testing.T) {
-	// core is inside the determinism contract, other is not: the same
-	// violations must report in the former and stay silent in the latter.
-	analysistest.Run(t, analysistest.TestData(), analysis.DetRand, "core", "other")
+	// core and chaos are inside the determinism contract, other is not:
+	// the same violations must report in the former and stay silent in
+	// the latter.
+	analysistest.Run(t, analysistest.TestData(), analysis.DetRand, "core", "chaos", "other")
 }

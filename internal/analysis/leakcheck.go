@@ -30,7 +30,7 @@ var LeakCheck = &Analyzer{
 }
 
 var leakScopedPackages = map[string]bool{
-	"server": true, "parallel": true, "agent": true,
+	"server": true, "parallel": true, "agent": true, "chaos": true,
 }
 
 func runLeakCheck(pass *Pass) error {

@@ -1,0 +1,42 @@
+// Package chaos is a detrand fixture: the fault-injection layer is inside
+// the determinism contract — a chaos schedule that reads the wall clock or
+// the global rand source would not replay from its seed.
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stampEvent() time.Time {
+	return time.Now() // want `time.Now is nondeterministic`
+}
+
+func drawFate() float64 {
+	return rand.Float64() // want `global math/rand source`
+}
+
+func seededFate(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func tallyFaults(counts map[string]int) []string {
+	var out []string
+	for k, n := range counts { // want `map iteration order is nondeterministic`
+		if n > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func tallyFaultsSorted(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

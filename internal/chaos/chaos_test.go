@@ -1,0 +1,366 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// pump pushes msgs through a fault-injecting pipe named name and returns
+// what the clean side received ("bad" for a frame that decoded to a typed
+// error) plus whether the writer hit an injected reset. The write side is
+// closed after the last message so held frames flush.
+func pump(t *testing.T, n *Net, name string, msgs []wire.Message) (got []string, reset bool) {
+	t.Helper()
+	faulty, clean := n.Pipe(name)
+	done := make(chan []string, 1)
+	go func() {
+		var rec []string
+		for {
+			m, err := wire.ReadMessage(clean)
+			if err != nil {
+				if wire.IsDecodeError(err) {
+					rec = append(rec, "bad")
+					continue
+				}
+				done <- rec
+				return
+			}
+			rec = append(rec, string(m.Type()))
+		}
+	}()
+	for _, m := range msgs {
+		if err := wire.WriteMessage(faulty, m); err != nil {
+			if errors.Is(err, ErrReset) {
+				reset = true
+				break
+			}
+			t.Fatalf("write: %v", err)
+		}
+	}
+	_ = faulty.Close()
+	select {
+	case got = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never finished")
+	}
+	_ = clean.Close()
+	return got, reset
+}
+
+// script builds a burst of distinct messages to push through a pipe.
+func script(k int) []wire.Message {
+	msgs := make([]wire.Message, 0, k+1)
+	msgs = append(msgs, &wire.Hello{Role: wire.RoleAP, ID: "ap1"})
+	for i := 0; i < k; i++ {
+		msgs = append(msgs, &wire.RoundStart{RoundID: uint64(i + 1), ObjectID: "obj", Packets: 1})
+	}
+	return msgs
+}
+
+func TestProfiles(t *testing.T) {
+	for _, name := range Profiles() {
+		p, err := Profile(name, 7)
+		if err != nil {
+			t.Errorf("Profile(%q): %v", name, err)
+		}
+		if p.Seed != 7 {
+			t.Errorf("Profile(%q).Seed = %d", name, p.Seed)
+		}
+		if len(p.Rules) == 0 {
+			t.Errorf("Profile(%q) has no rules", name)
+		}
+		for _, r := range p.Rules {
+			if r.From < 1 {
+				t.Errorf("Profile(%q) rule %s starts at frame %d; the handshake frame must stay clean", name, r.Fault, r.From)
+			}
+		}
+	}
+	if _, err := Profile("bogus", 1); !errors.Is(err, ErrUnknownProfile) {
+		t.Errorf("unknown profile: %v", err)
+	}
+}
+
+func TestRuleWindow(t *testing.T) {
+	r := Rule{Fault: Drop, From: 2, Until: 5}
+	for i, want := range map[int]bool{0: false, 1: false, 2: true, 4: true, 5: false} {
+		if got := r.active(i); got != want {
+			t.Errorf("active(%d) = %v, want %v", i, got, want)
+		}
+	}
+	unbounded := Rule{Fault: Drop, From: 1}
+	if !unbounded.active(1 << 20) {
+		t.Error("unbounded rule should stay active")
+	}
+}
+
+// TestPassThrough: with no rules armed, every frame crosses intact, even
+// when the writer fragments frames into single bytes.
+func TestPassThrough(t *testing.T) {
+	n := New(Plan{Seed: 1}, Options{})
+	faulty, clean := n.Pipe("c")
+	var buf bytes.Buffer
+	if err := wire.WriteMessage(&buf, &wire.Hello{Role: wire.RoleAP, ID: "ap1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	got := make(chan wire.Message, 1)
+	go func() {
+		m, err := wire.ReadMessage(clean)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		got <- m
+	}()
+	for _, b := range raw { // worst-case fragmentation
+		if _, err := faulty.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := <-got
+	if hello, ok := m.(*wire.Hello); !ok || hello.ID != "ap1" {
+		t.Fatalf("got %#v", m)
+	}
+	if n.Trace().Len() != 0 {
+		t.Errorf("trace not empty: %s", n.Trace())
+	}
+	_ = faulty.Close()
+}
+
+func TestDropAndPartition(t *testing.T) {
+	for _, fault := range []Fault{Drop, Partition} {
+		n := New(Plan{Seed: 3, Rules: []Rule{{Fault: fault, Prob: 1, From: 2, Until: 4}}}, Options{})
+		got, _ := pump(t, n, "c", script(5)) // frames 0..5
+		if len(got) != 4 {                   // frames 2 and 3 vanish
+			t.Errorf("%s: received %d frames (%v), want 4", fault, len(got), got)
+		}
+		if c := n.Trace().CountByFault()[fault]; c != 2 {
+			t.Errorf("%s: trace counts %d events, want 2", fault, c)
+		}
+	}
+}
+
+func TestDup(t *testing.T) {
+	n := New(Plan{Seed: 3, Rules: []Rule{{Fault: Dup, Prob: 1, From: 1, Until: 3}}}, Options{})
+	got, _ := pump(t, n, "c", script(3)) // frames 0..3; 1 and 2 doubled
+	if len(got) != 6 {
+		t.Errorf("received %d frames (%v), want 6", len(got), got)
+	}
+}
+
+// TestDelayReleasesInLogicalTime: a held frame is released by later
+// frames, never by a timer — total delivery is complete and the ordering
+// shift is exact.
+func TestDelayReleasesInLogicalTime(t *testing.T) {
+	n := New(Plan{Seed: 3, Rules: []Rule{{Fault: Delay, Prob: 1, From: 1, Until: 2, Hold: 2}}}, Options{})
+	msgs := []wire.Message{
+		&wire.RoundStart{RoundID: 10, ObjectID: "obj"},
+		&wire.RoundStart{RoundID: 11, ObjectID: "obj"}, // held until after frame 3
+		&wire.RoundStart{RoundID: 12, ObjectID: "obj"},
+		&wire.RoundStart{RoundID: 13, ObjectID: "obj"},
+		&wire.RoundStart{RoundID: 14, ObjectID: "obj"},
+	}
+	faulty, clean := n.Pipe("c")
+	var order []uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := wire.ReadMessage(clean)
+			if err != nil {
+				return
+			}
+			order = append(order, m.(*wire.RoundStart).RoundID)
+		}
+	}()
+	for _, m := range msgs {
+		if err := wire.WriteMessage(faulty, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = faulty.Close()
+	<-done
+	want := []uint64{10, 12, 13, 11, 14}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestCorruptKeepsFraming(t *testing.T) {
+	n := New(Plan{Seed: 9, Rules: []Rule{{Fault: Corrupt, Prob: 1, From: 1, Until: 3, Bytes: 2}}}, Options{})
+	got, _ := pump(t, n, "c", script(4))
+	// All 5 frames arrive: corrupted ones decode (possibly to "bad"), and
+	// crucially the stream never desyncs — the frames after the window are
+	// intact message types.
+	if len(got) != 5 {
+		t.Fatalf("received %d frames (%v), want 5", len(got), got)
+	}
+	if got[len(got)-1] != string(wire.TypeRoundStart) {
+		t.Errorf("stream desynced after corruption: %v", got)
+	}
+	if c := n.Trace().CountByFault()[Corrupt]; c != 2 {
+		t.Errorf("trace counts %d corruptions, want 2", c)
+	}
+}
+
+func TestResetBreaksConnection(t *testing.T) {
+	n := New(Plan{Seed: 5, Rules: []Rule{{Fault: Reset, Prob: 1, From: 2, Until: 3}}}, Options{})
+	got, reset := pump(t, n, "c", script(5))
+	if !reset {
+		t.Fatal("writer never saw ErrReset")
+	}
+	if len(got) > 2 {
+		t.Errorf("received %d frames after a frame-2 reset: %v", len(got), got)
+	}
+	// Writes after a reset fail immediately.
+	faulty, _ := n.Pipe("c2")
+	n2 := New(Plan{Seed: 5, Rules: []Rule{{Fault: Reset, Prob: 1, From: 0}}}, Options{})
+	f2, c2 := n2.Pipe("x")
+	go func() {
+		_, _ = wire.ReadMessage(c2)
+	}()
+	if err := wire.WriteMessage(f2, &wire.Hello{ID: "x"}); !errors.Is(err, ErrReset) {
+		t.Errorf("first write: %v, want ErrReset", err)
+	}
+	if _, err := f2.Write([]byte{1}); !errors.Is(err, ErrReset) {
+		t.Errorf("write after reset: %v, want ErrReset", err)
+	}
+	_ = faulty.Close()
+}
+
+// TestScheduleDeterminism: same plan, same connection names → byte-equal
+// traces and identical delivery, run after run.
+func TestScheduleDeterminism(t *testing.T) {
+	plan := Plan{Seed: 11, Rules: []Rule{
+		{Fault: Drop, Prob: 0.3, From: 1},
+		{Fault: Dup, Prob: 0.2, From: 1},
+		{Fault: Delay, Prob: 0.2, From: 1, Hold: 2},
+		{Fault: Corrupt, Prob: 0.1, From: 1, Bytes: 1},
+	}}
+	run := func() (string, []string) {
+		n := New(plan, Options{})
+		var all []string
+		for _, name := range []string{"ap0", "ap1", "ap2"} {
+			got, _ := pump(t, n, name, script(20))
+			all = append(all, got...)
+		}
+		return n.Trace().String(), all
+	}
+	trace1, got1 := run()
+	trace2, got2 := run()
+	if trace1 != trace2 {
+		t.Errorf("traces differ:\n--- run 1\n%s--- run 2\n%s", trace1, trace2)
+	}
+	if fmt.Sprint(got1) != fmt.Sprint(got2) {
+		t.Errorf("deliveries differ:\n%v\n%v", got1, got2)
+	}
+	if trace1 == "" {
+		t.Error("no faults fired; the plan is not exercising anything")
+	}
+}
+
+// TestAttemptAdvancesSchedule: the same name reconnecting gets a fresh —
+// but still deterministic — schedule, labeled name#attempt in the trace.
+func TestAttemptAdvancesSchedule(t *testing.T) {
+	plan := Plan{Seed: 13, Rules: []Rule{{Fault: Drop, Prob: 0.5, From: 0}}}
+	n := New(plan, Options{})
+	got0, _ := pump(t, n, "ap1", script(30))
+	got1, _ := pump(t, n, "ap1", script(30))
+	if fmt.Sprint(got0) == fmt.Sprint(got1) {
+		t.Error("attempt 0 and 1 produced identical fates; streams should differ")
+	}
+	trace := n.Trace().String()
+	if !strings.Contains(trace, "ap1#1 ") {
+		t.Errorf("trace lacks attempt-1 label:\n%s", trace)
+	}
+}
+
+func TestDialer(t *testing.T) {
+	reg := telemetry.New(nil)
+	n := New(Plan{Seed: 1, DialFailProb: 1}, Options{Telemetry: reg})
+	dial := n.Dialer("obj", func(addr string) (net.Conn, error) {
+		t.Fatal("underlying dial reached despite DialFailProb=1")
+		return nil, nil
+	})
+	if _, err := dial("whatever"); !errors.Is(err, ErrDialRefused) {
+		t.Fatalf("dial: %v, want ErrDialRefused", err)
+	}
+	if got := reg.Counter("nomloc_chaos_dial_failures_total", "").Value(); got != 1 {
+		t.Errorf("dial failure counter = %v, want 1", got)
+	}
+	ok := New(Plan{Seed: 1}, Options{})
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	dial2 := ok.Dialer("obj", func(addr string) (net.Conn, error) { return c1, nil })
+	conn, err := dial2("whatever")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, isFault := conn.(*faultConn); !isFault {
+		t.Errorf("dialer returned %T, want *faultConn", conn)
+	}
+}
+
+func TestCorruptCopyDeterministic(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	a := CorruptCopy(data, 99, 4)
+	b := CorruptCopy(data, 99, 4)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, data) {
+		t.Error("no bytes flipped")
+	}
+	if c := CorruptCopy(data, 100, 4); bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption")
+	}
+	if got := CorruptCopy(nil, 1, 3); len(got) != 0 {
+		t.Errorf("corrupting empty input produced %v", got)
+	}
+}
+
+// TestTraceStringStable: String sorts by (conn, frame), so insertion
+// order — which depends on goroutine interleaving in real runs — cannot
+// leak into the rendering.
+func TestTraceStringStable(t *testing.T) {
+	tr := &Trace{}
+	tr.add(Event{Conn: "b", Frame: 2, Fault: Drop})
+	tr.add(Event{Conn: "a", Frame: 5, Fault: Dup, Detail: "x"})
+	tr.add(Event{Conn: "a", Frame: 1, Fault: Drop})
+	want := "a frame=1 fault=drop\na frame=5 fault=dup x\nb frame=2 fault=drop\n"
+	if got := tr.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+// TestClockStampsTraceOnly: an injected clock stamps events but never
+// changes the rendered trace.
+func TestClockStampsTraceOnly(t *testing.T) {
+	fixed := time.Date(2014, 6, 30, 12, 0, 0, 0, time.UTC)
+	n := New(Plan{Seed: 3, Rules: []Rule{{Fault: Drop, Prob: 1, From: 0}}},
+		Options{Clock: func() time.Time { return fixed }})
+	_, _ = pump(t, n, "c", script(0))
+	events := n.Trace().Events()
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	if !events[0].At.Equal(fixed) {
+		t.Errorf("event stamped %v, want %v", events[0].At, fixed)
+	}
+	bare := New(Plan{Seed: 3, Rules: []Rule{{Fault: Drop, Prob: 1, From: 0}}}, Options{})
+	_, _ = pump(t, bare, "c", script(0))
+	if n.Trace().String() != bare.Trace().String() {
+		t.Error("clock leaked into the trace rendering")
+	}
+}

@@ -1,0 +1,414 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/agent"
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/telemetry"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// scenarioResult is everything one distributed run produces that the
+// conformance suite compares.
+type scenarioResult struct {
+	estimates []wire.Estimate // one per round, in round order
+	trace     string          // chaos fault trace ("" for golden runs)
+	registry  *telemetry.Registry
+}
+
+// runScenario stands up the full distributed stack — server, the Lab
+// scenario's three static APs, one object — and drives `rounds`
+// measurement rounds. When plan is non-nil every AP connection goes
+// through a chaos.Net built from it; the object and server stay clean, so
+// faults hit exactly the report path the conformance plans target.
+func runScenario(t *testing.T, plan *Plan, rounds int) scenarioResult {
+	t.Helper()
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New(nil)
+	srv, err := server.New(server.Config{
+		Localizer:    loc,
+		RoundTimeout: 250 * time.Millisecond,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+
+	var cn *Net
+	if plan != nil {
+		cn = New(*plan, Options{Telemetry: reg})
+	}
+	var aps []*agent.APAgent
+	for i, ap := range scn.StaticAPs {
+		cfg := agent.APConfig{
+			ID:         ap.ID,
+			ServerAddr: addr,
+			Sites:      []geom.Vec{ap.Pos},
+			Seed:       int64(i + 1),
+			Telemetry:  reg,
+		}
+		if cn != nil {
+			cfg.Dialer = cn.Dialer(fmt.Sprintf("ap%d", i), nil)
+			cfg.MaxReconnects = 8
+			cfg.ReconnectBase = time.Millisecond
+			cfg.ReconnectMax = 20 * time.Millisecond
+		}
+		a, err := agent.DialAP(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aps = append(aps, a)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Run() // chaos runs end with lost sessions; that's the point
+		}()
+	}
+
+	sim, err := scn.Simulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := agent.DialObject(agent.ObjectConfig{
+		ID:           "obj1",
+		ServerAddr:   addr,
+		Pos:          geom.V(5, 3),
+		Sim:          sim,
+		Packets:      5,
+		RoundTimeout: 3 * time.Second,
+		Seed:         7,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range scn.StaticAPs {
+		obj.RegisterAP(ap.ID, ap.Pos)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = obj.Run()
+	}()
+
+	var ests []wire.Estimate
+	for r := 1; r <= rounds; r++ {
+		est, err := obj.RunRound(uint64(r))
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		ests = append(ests, est)
+	}
+
+	obj.Close()
+	for _, a := range aps {
+		a.Close()
+	}
+	srv.Shutdown()
+	wg.Wait()
+
+	res := scenarioResult{estimates: ests, registry: reg}
+	if cn != nil {
+		res.trace = cn.Trace().String()
+	}
+	return res
+}
+
+// conformanceKinds arms each recoverable fault kind over the window
+// [2, 4): frame 0 is the handshake, frame k is round k's report, so the
+// faults hit rounds 2–3 and every later round runs clean — the "heal".
+var conformanceKinds = []struct {
+	name string
+	rule Rule
+}{
+	{"drop", Rule{Fault: Drop, Prob: 1, From: 2, Until: 4}},
+	{"dup", Rule{Fault: Dup, Prob: 1, From: 2, Until: 4}},
+	{"delay", Rule{Fault: Delay, Prob: 1, From: 2, Until: 4, Hold: 2}},
+	{"reorder", Rule{Fault: Reorder, Prob: 1, From: 2, Until: 4}},
+	{"corrupt", Rule{Fault: Corrupt, Prob: 1, From: 2, Until: 4, Bytes: 3}},
+	{"partition", Rule{Fault: Partition, Prob: 1, From: 2, Until: 4}},
+}
+
+// TestConformanceTraceReplay: for every fault kind and seed, pushing the
+// same scripted frame sequence through the same plan twice produces a
+// byte-identical fault trace and identical deliveries.
+func TestConformanceTraceReplay(t *testing.T) {
+	for _, tc := range conformanceKinds {
+		for _, seed := range []int64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				rule := tc.rule
+				rule.Prob = 0.7 // probabilistic, so the RNG schedule matters
+				plan := Plan{Seed: seed, Rules: []Rule{rule}}
+				run := func() (string, []string) {
+					n := New(plan, Options{})
+					got, _ := pump(t, n, "conn", script(12))
+					return n.Trace().String(), got
+				}
+				trace1, got1 := run()
+				trace2, got2 := run()
+				if trace1 != trace2 {
+					t.Errorf("trace not reproducible:\n--- run 1\n%s--- run 2\n%s", trace1, trace2)
+				}
+				if fmt.Sprint(got1) != fmt.Sprint(got2) {
+					t.Errorf("deliveries differ:\n%v\n%v", got1, got2)
+				}
+			})
+		}
+	}
+	// Reset too: the trace (including the cut offset) must replay.
+	for _, seed := range []int64{1, 2, 3} {
+		plan := Plan{Seed: seed, Rules: []Rule{{Fault: Reset, Prob: 0.3, From: 1}}}
+		run := func() string {
+			n := New(plan, Options{})
+			_, _ = pump(t, n, "conn", script(12))
+			return n.Trace().String()
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("reset trace not reproducible (seed %d):\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestConformanceHealToGolden: for every recoverable fault kind, a full
+// distributed run under a windowed plan converges — once the window
+// closes and fresh rounds replace the report history — to the exact
+// estimates of the fault-free golden run.
+func TestConformanceHealToGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed conformance runs take seconds")
+	}
+	const rounds = 6
+	golden := runScenario(t, nil, rounds)
+	if len(golden.estimates) != rounds {
+		t.Fatalf("golden run produced %d estimates", len(golden.estimates))
+	}
+	goldenFinal := golden.estimates[rounds-1]
+
+	for _, tc := range conformanceKinds {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := Plan{Seed: 1, Rules: []Rule{tc.rule}}
+			got := runScenario(t, &plan, rounds)
+			if got.trace == "" {
+				t.Fatalf("no faults fired; the %s window missed every frame", tc.name)
+			}
+			final := got.estimates[rounds-1]
+			if final != goldenFinal {
+				t.Errorf("healed estimate diverged from golden:\n got %+v\nwant %+v\ntrace:\n%s",
+					final, goldenFinal, got.trace)
+			}
+		})
+	}
+}
+
+// TestConformanceSameSeedSameRun: the acceptance bar — the same chaos
+// seed yields a byte-identical fault trace AND an identical estimate
+// stream across two full distributed runs.
+func TestConformanceSameSeedSameRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed conformance runs take seconds")
+	}
+	mix := []Rule{
+		{Fault: Drop, Prob: 0.4, From: 2, Until: 4},
+		{Fault: Dup, Prob: 0.3, From: 2, Until: 4},
+		{Fault: Delay, Prob: 0.3, From: 2, Until: 4, Hold: 2},
+		{Fault: Corrupt, Prob: 0.2, From: 2, Until: 4, Bytes: 2},
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			plan := Plan{Seed: seed, Rules: mix}
+			a := runScenario(t, &plan, 5)
+			b := runScenario(t, &plan, 5)
+			if a.trace != b.trace {
+				t.Errorf("fault traces differ:\n--- run 1\n%s--- run 2\n%s", a.trace, b.trace)
+			}
+			if len(a.estimates) != len(b.estimates) {
+				t.Fatalf("estimate counts differ: %d vs %d", len(a.estimates), len(b.estimates))
+			}
+			for i := range a.estimates {
+				if a.estimates[i] != b.estimates[i] {
+					t.Errorf("round %d estimates differ:\n%+v\n%+v", i+1, a.estimates[i], b.estimates[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReconnectMidRound: an AP killed mid-round (injected reset while its
+// report is on the wire) reconnects with backoff and the system keeps
+// producing estimates — degraded when the report misses its round — with
+// reconnects and degraded rounds visible on /metrics.
+func TestReconnectMidRound(t *testing.T) {
+	scn, err := deploy.Lab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New(nil)
+	srv, err := server.New(server.Config{
+		Localizer:    loc,
+		RoundTimeout: 200 * time.Millisecond,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+
+	// ap0 gets a hostile link: its round-2 report is dropped (degrading
+	// round 2) and its round-3 report is cut mid-frame (killing the
+	// session). The other APs stay clean.
+	cn := New(Plan{Seed: 4, Rules: []Rule{
+		{Fault: Drop, Prob: 1, From: 2, Until: 3},
+		{Fault: Reset, Prob: 1, From: 3, Until: 4},
+	}}, Options{Telemetry: reg})
+	var aps []*agent.APAgent
+	for i, ap := range scn.StaticAPs {
+		cfg := agent.APConfig{
+			ID:         ap.ID,
+			ServerAddr: addr,
+			Sites:      []geom.Vec{ap.Pos},
+			Seed:       int64(i + 1),
+			Telemetry:  reg,
+		}
+		if i == 0 {
+			cfg.Dialer = cn.Dialer("ap0", nil)
+			cfg.MaxReconnects = 10
+			cfg.ReconnectBase = time.Millisecond
+			cfg.ReconnectMax = 20 * time.Millisecond
+		}
+		a, err := agent.DialAP(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aps = append(aps, a)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Run()
+		}()
+	}
+	sim, err := scn.Simulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := agent.DialObject(agent.ObjectConfig{
+		ID: "obj1", ServerAddr: addr, Pos: geom.V(5, 3), Sim: sim,
+		Packets: 5, RoundTimeout: 3 * time.Second, Seed: 7, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range scn.StaticAPs {
+		obj.RegisterAP(ap.ID, ap.Pos)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = obj.Run()
+	}()
+
+	for r := 1; r <= 5; r++ {
+		est, err := obj.RunRound(uint64(r))
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if est.RoundID != uint64(r) {
+			t.Fatalf("round %d got estimate for round %d", r, est.RoundID)
+		}
+	}
+
+	// Scrape /metrics the way an operator would.
+	ts := httptest.NewServer(srv.StatusHandler())
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	ts.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(body)
+
+	obj.Close()
+	for _, a := range aps {
+		a.Close()
+	}
+	srv.Shutdown()
+	wg.Wait()
+
+	if got := metricValue(t, exposition, `nomloc_ap_reconnects_total{ap="`+scn.StaticAPs[0].ID+`"}`); got < 1 {
+		t.Errorf("reconnects_total = %v, want >= 1\n%s", got, exposition)
+	}
+	if got := metricValue(t, exposition, "nomloc_server_degraded_rounds_total"); got < 1 {
+		t.Errorf("degraded_rounds_total = %v, want >= 1\n%s", got, exposition)
+	}
+	if !strings.Contains(exposition, "nomloc_chaos_faults_total") {
+		t.Error("/metrics lacks the chaos fault counters")
+	}
+	if cn.Trace().CountByFault()[Reset] < 1 {
+		t.Errorf("no reset fired:\n%s", cn.Trace())
+	}
+}
+
+// metricValue extracts one sample's value from a Prometheus exposition
+// body. The metric must be present.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%g", &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %q not in exposition:\n%s", name, exposition)
+	return 0
+}

@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"github.com/nomloc/nomloc/internal/parallel"
+)
+
+// faultConn is one fault-injecting endpoint. Writes are buffered until a
+// whole wire frame (4-byte big-endian length prefix plus body) is
+// available, then the frame's fate is drawn from the connection's RNG
+// stream. Reads pass through untouched — to fault the reverse direction,
+// wrap the other endpoint.
+type faultConn struct {
+	net.Conn
+	net   *Net
+	label string
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	pending []byte      // bytes not yet forming a whole frame
+	held    []heldFrame // delayed frames awaiting release
+	frame   int         // next per-connection frame index
+	broken  bool        // an injected reset closed the transport
+}
+
+// heldFrame is a delayed frame and the frame index that releases it.
+type heldFrame struct {
+	data    []byte
+	release int // forwarded after the frame with this index
+}
+
+// Write implements net.Conn. It reassembles frames from p and applies
+// the plan to each completed frame; a partial frame stays buffered for
+// the next call. The returned length covers all of p on success —
+// dropped frames are "written" from the caller's point of view, exactly
+// like bytes handed to a kernel that later loses them.
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return 0, ErrReset
+	}
+	c.pending = append(c.pending, p...)
+	for {
+		if len(c.pending) < 4 {
+			return len(p), nil
+		}
+		frameLen := int(binary.BigEndian.Uint32(c.pending))
+		if frameLen > maxBufferedFrame {
+			// Not wire traffic; fail open and flush everything raw.
+			raw := c.pending
+			c.pending = nil
+			if _, err := c.Conn.Write(raw); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+		total := 4 + frameLen
+		if len(c.pending) < total {
+			return len(p), nil
+		}
+		frame := append([]byte(nil), c.pending[:total]...)
+		c.pending = append(c.pending[:0], c.pending[total:]...)
+		if err := c.processLocked(frame); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// processLocked decides and applies one frame's fate. Every rule draws
+// exactly one probability sample per frame — windows and earlier firings
+// never change how many draws happen — so the RNG stream position is a
+// pure function of the frame index and schedules replay bit-identically.
+func (c *faultConn) processLocked(frame []byte) error {
+	idx := c.frame
+	c.frame++
+	c.net.frames.Inc()
+
+	var fired *Rule
+	for i := range c.net.plan.Rules {
+		r := &c.net.plan.Rules[i]
+		draw := c.rng.Float64()
+		if fired != nil || !r.active(idx) {
+			continue
+		}
+		if draw < r.Prob {
+			fired = r
+		}
+	}
+	if fired == nil {
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		return c.releaseHeldLocked(idx)
+	}
+
+	c.net.faults[fired.Fault].Inc()
+	switch fired.Fault {
+	case Drop, Partition:
+		c.net.trace.add(Event{Conn: c.label, Frame: idx, Fault: fired.Fault, At: c.net.stamp()})
+		return c.releaseHeldLocked(idx)
+	case Dup:
+		c.net.trace.add(Event{Conn: c.label, Frame: idx, Fault: Dup, At: c.net.stamp()})
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		return c.releaseHeldLocked(idx)
+	case Delay, Reorder:
+		hold := fired.Hold
+		if fired.Fault == Reorder || hold <= 0 {
+			hold = 1
+		}
+		c.held = append(c.held, heldFrame{data: frame, release: idx + hold})
+		c.net.trace.add(Event{Conn: c.label, Frame: idx, Fault: fired.Fault,
+			Detail: fmt.Sprintf("hold=%d", hold), At: c.net.stamp()})
+		return nil
+	case Corrupt:
+		flips := fired.Bytes
+		if flips <= 0 {
+			flips = 1
+		}
+		detail := corruptFrame(frame, c.rng, flips)
+		c.net.trace.add(Event{Conn: c.label, Frame: idx, Fault: Corrupt, Detail: detail, At: c.net.stamp()})
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		return c.releaseHeldLocked(idx)
+	case Reset:
+		cut := c.rng.Intn(len(frame))
+		c.net.trace.add(Event{Conn: c.label, Frame: idx, Fault: Reset,
+			Detail: fmt.Sprintf("cut=%d", cut), At: c.net.stamp()})
+		if cut > 0 {
+			_, _ = c.Conn.Write(frame[:cut]) //nomloc:errdrop-ok the injected reset is already the dominant failure
+		}
+		c.broken = true
+		_ = c.Conn.Close() //nomloc:errdrop-ok best-effort teardown of the transport being reset
+		return ErrReset
+	default:
+		// An unknown fault kind in a hand-built rule: forward unfaulted.
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		return c.releaseHeldLocked(idx)
+	}
+}
+
+// releaseHeldLocked forwards every held frame whose release index has
+// arrived, preserving hold order.
+func (c *faultConn) releaseHeldLocked(idx int) error {
+	kept := c.held[:0]
+	for _, h := range c.held {
+		if h.release <= idx {
+			if _, err := c.Conn.Write(h.data); err != nil {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, h)
+	}
+	c.held = kept
+	return nil
+}
+
+// Close flushes any held frames and closes the underlying connection, so
+// a delayed frame is late, never silently lost, unless the plan dropped
+// it explicitly.
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	if !c.broken {
+		for _, h := range c.held {
+			_, _ = c.Conn.Write(h.data) //nomloc:errdrop-ok best-effort flush on teardown
+		}
+	}
+	c.held = nil
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// corruptFrame flips n bytes of the frame body in place (the length
+// prefix survives so the stream stays framed) and returns a
+// deterministic description of the flips. Frames with an empty body are
+// left untouched.
+func corruptFrame(frame []byte, rng *rand.Rand, n int) string {
+	if len(frame) <= 4 {
+		return "empty body"
+	}
+	detail := "offsets="
+	for i := 0; i < n; i++ {
+		off := 4 + rng.Intn(len(frame)-4)
+		frame[off] ^= byte(1 + rng.Intn(255))
+		if i > 0 {
+			detail += ","
+		}
+		detail += fmt.Sprint(off)
+	}
+	return detail
+}
+
+// CorruptCopy returns a copy of data with n byte flips drawn from a
+// stream derived from seed, leaving the input untouched. The flips hit
+// any offset, header included — it exists for fuzzing the wire decoder
+// against corruption harsher than the in-band Corrupt fault (which
+// preserves framing).
+func CorruptCopy(data []byte, seed int64, n int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 || n <= 0 {
+		return out
+	}
+	rng := parallel.Stream(seed, 0)
+	for i := 0; i < n; i++ {
+		out[rng.Intn(len(out))] ^= byte(1 + rng.Intn(255))
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/parallel"
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+// Transport errors.
+var (
+	// ErrReset is returned by a write that triggered an injected
+	// mid-stream reset; the underlying connection is closed.
+	ErrReset = errors.New("chaos: injected connection reset")
+	// ErrDialRefused is returned by a Dialer attempt the plan failed.
+	ErrDialRefused = errors.New("chaos: injected dial failure")
+)
+
+// maxBufferedFrame bounds the write-side reassembly buffer. A length
+// prefix beyond it cannot be a wire frame, so the conn fails open and
+// passes bytes through unfaulted rather than buffering unboundedly.
+const maxBufferedFrame = 32 << 20
+
+// Options configures a Net beyond its plan.
+type Options struct {
+	// Clock stamps trace events. Chaos never reads wall time itself; a
+	// nil clock leaves event timestamps zero.
+	Clock telemetry.Clock
+	// Telemetry, when set, receives the nomloc_chaos_* counters.
+	Telemetry *telemetry.Registry
+}
+
+// Net derives fault-injecting connections from one plan. Every wrapped
+// connection gets its own RNG stream keyed by (plan seed, connection
+// name, attempt number), so per-connection fault schedules are a pure
+// function of the seed no matter how goroutines interleave.
+type Net struct {
+	plan  Plan
+	clock telemetry.Clock
+	trace *Trace
+
+	frames    *telemetry.Counter
+	dials     *telemetry.Counter
+	dialFails *telemetry.Counter
+	faults    map[Fault]*telemetry.Counter
+
+	mu       sync.Mutex
+	attempts map[string]int // per-name connection attempt counter
+}
+
+// New builds a Net for plan.
+func New(plan Plan, opts Options) *Net {
+	n := &Net{
+		plan:     plan,
+		clock:    opts.Clock,
+		trace:    &Trace{},
+		attempts: make(map[string]int),
+		faults:   make(map[Fault]*telemetry.Counter, len(Faults())),
+	}
+	reg := opts.Telemetry
+	n.frames = reg.Counter("nomloc_chaos_frames_total", "frames seen by the chaos layer")
+	n.dials = reg.Counter("nomloc_chaos_dials_total", "dial attempts through chaos dialers")
+	n.dialFails = reg.Counter("nomloc_chaos_dial_failures_total", "dial attempts failed by the plan")
+	for _, f := range Faults() {
+		n.faults[f] = reg.Counter("nomloc_chaos_faults_total", "injected faults by kind",
+			telemetry.Label{Key: "kind", Value: string(f)})
+	}
+	return n
+}
+
+// Trace returns the Net's fault trace.
+func (n *Net) Trace() *Trace { return n.trace }
+
+// stamp reads the injected clock, or returns the zero time without one.
+// Chaos never falls back to wall time: determinism is the whole point.
+func (n *Net) stamp() time.Time {
+	if n.clock == nil {
+		return time.Time{}
+	}
+	return n.clock()
+}
+
+// rngFor derives the RNG stream of one (name, attempt) connection. The
+// name hashes to the stream index and the attempt is the mode, so a
+// reconnect replays a fresh — but still seed-determined — schedule.
+func (n *Net) rngFor(name string, attempt int) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name)) //nomloc:errdrop-ok fnv.Write cannot fail
+	stream := int64(h.Sum64() & 0x7FFFFFFF)
+	return parallel.Stream(parallel.MixSeed(n.plan.Seed, stream, int64(attempt)), 0)
+}
+
+// nextAttempt returns the 0-based attempt number for name and the trace
+// label to record events under ("name" for the first attempt, "name#k"
+// after).
+func (n *Net) nextAttempt(name string) (int, string) {
+	n.mu.Lock()
+	attempt := n.attempts[name]
+	n.attempts[name] = attempt + 1
+	n.mu.Unlock()
+	if attempt == 0 {
+		return 0, name
+	}
+	return attempt, fmt.Sprintf("%s#%d", name, attempt)
+}
+
+// Conn wraps c: writes through the returned connection are reassembled
+// into wire frames and faulted per the plan; reads pass through. Each
+// call consumes one attempt for name, advancing the RNG schedule.
+func (n *Net) Conn(name string, c net.Conn) net.Conn {
+	attempt, label := n.nextAttempt(name)
+	return &faultConn{
+		Conn:  c,
+		net:   n,
+		label: label,
+		rng:   n.rngFor(name, attempt),
+	}
+}
+
+// Pipe returns a synchronous in-memory connection pair with the plan
+// applied to writes on the first (faulty) end; the second end is clean.
+func (n *Net) Pipe(name string) (faulty, clean net.Conn) {
+	c1, c2 := net.Pipe()
+	return n.Conn(name, c1), c2
+}
+
+// Dialer wraps dial (nil selects net.Dial over TCP) for one named
+// client. Attempts fail with the plan's DialFailProb; a successful dial
+// returns a fault-injecting connection whose schedule continues the
+// attempt's RNG stream.
+func (n *Net) Dialer(name string, dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		attempt, label := n.nextAttempt(name)
+		rng := n.rngFor(name, attempt)
+		n.dials.Inc()
+		if n.plan.DialFailProb > 0 && rng.Float64() < n.plan.DialFailProb {
+			n.dialFails.Inc()
+			n.trace.add(Event{Conn: label, Frame: -1, Fault: Partition, Detail: "dial refused", At: n.stamp()})
+			return nil, fmt.Errorf("%w: %s attempt %d", ErrDialRefused, name, attempt)
+		}
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return &faultConn{Conn: c, net: n, label: label, rng: rng}, nil
+	}
+}

@@ -1,0 +1,140 @@
+// Package chaos is the deterministic fault-injection layer the
+// server/agent/wire stack is hardened against. NomLoc's premise is that
+// nomadic APs come and go — devices move, sleep, disconnect, and report
+// late — so the transport under the wire protocol must be testable under
+// exactly those conditions, reproducibly.
+//
+// The package wraps net.Conn endpoints (chaos.Net) and injects faults at
+// frame granularity: it understands the wire protocol's 4-byte length
+// prefix, reassembles whole frames from the write stream, and then — from
+// an RNG schedule derived from the plan seed alone — drops, duplicates,
+// delays (in logical frame time, never wall time), reorders, corrupts,
+// resets mid-frame, or partitions. Every decision is recorded in a Trace
+// whose rendering is byte-identical across two runs of the same seed, so
+// a failing chaos test names a seed and the exact failure replays.
+//
+// chaos is under nomloc-vet's determinism contract: it never reads the
+// wall clock (an injectable telemetry.Clock stamps trace events), all
+// randomness flows through streams derived via parallel.MixSeed, and no
+// map iteration order can leak into behavior.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fault names one injected failure mode.
+type Fault string
+
+// Fault kinds.
+const (
+	// Drop silently discards the frame.
+	Drop Fault = "drop"
+	// Dup forwards the frame twice.
+	Dup Fault = "dup"
+	// Delay holds the frame for Rule.Hold subsequent frames before
+	// releasing it (logical time; the stream stays framed).
+	Delay Fault = "delay"
+	// Reorder is Delay with a hold of one frame: the frame swaps places
+	// with its successor.
+	Reorder Fault = "reorder"
+	// Corrupt flips Rule.Bytes bytes inside the frame body. The length
+	// prefix is preserved, so the stream stays framed and the receiver
+	// sees a typed decode error rather than a desync.
+	Corrupt Fault = "corrupt"
+	// Reset forwards a prefix of the frame and closes the underlying
+	// connection mid-stream: the receiver desyncs and both sides lose
+	// the session.
+	Reset Fault = "reset"
+	// Partition discards the frame like Drop; by convention partition
+	// rules run with Prob 1 over a window, modeling a link outage.
+	Partition Fault = "partition"
+)
+
+// Faults lists every fault kind in reporting order.
+func Faults() []Fault {
+	return []Fault{Drop, Dup, Delay, Reorder, Corrupt, Reset, Partition}
+}
+
+// Rule arms one fault over a window of per-connection frame indices.
+type Rule struct {
+	// Fault is the failure mode this rule injects.
+	Fault Fault
+	// Prob is the per-frame firing probability in [0, 1].
+	Prob float64
+	// From is the first frame index (per connection, 0-based) the rule
+	// applies to. Frame 0 carries the Hello on agent connections, so
+	// plans that must not break the handshake start at 1.
+	From int
+	// Until is the first frame index the rule no longer applies to;
+	// 0 means unbounded. A bounded window is how a plan "heals".
+	Until int
+	// Hold is the number of subsequent frames a Delay holds its victim
+	// for (default 1).
+	Hold int
+	// Bytes is the number of byte flips a Corrupt applies (default 1).
+	Bytes int
+}
+
+// active reports whether the rule covers frame index i.
+func (r *Rule) active(i int) bool {
+	return i >= r.From && (r.Until == 0 || i < r.Until)
+}
+
+// Plan is a declarative fault schedule: a seed and the rules it drives.
+// The same plan always replays the same failure trace — rules are
+// consulted in order per frame, the first firing rule wins, and every
+// rule draws exactly one probability sample per frame so streams stay
+// aligned no matter which faults fire.
+type Plan struct {
+	// Seed is the root of every RNG stream the plan draws from.
+	Seed int64
+	// Rules are the armed faults, consulted in order.
+	Rules []Rule
+	// DialFailProb makes Dialer attempts fail with this probability,
+	// modeling a partitioned or refusing endpoint during reconnect.
+	DialFailProb float64
+}
+
+// ErrUnknownProfile reports a Profile name that is not registered.
+var ErrUnknownProfile = errors.New("chaos: unknown profile")
+
+// Profiles lists the named plans Profile accepts.
+func Profiles() []string { return []string{"lossy", "flaky", "partition"} }
+
+// Profile returns a named ready-made plan seeded with seed:
+//
+//   - lossy: a congested link — drops, duplicates, logical delays, and
+//     occasional body corruption; connections survive.
+//   - flaky: an unreliable device — mid-stream resets on top of drops
+//     and delays, plus refused redials, exercising reconnect/backoff.
+//   - partition: a link outage — a window in which every frame is
+//     discarded and dials fail, then full healing.
+//
+// All profiles leave frame 0 untouched so the initial handshake of each
+// connection attempt can complete.
+func Profile(name string, seed int64) (Plan, error) {
+	switch name {
+	case "lossy":
+		return Plan{Seed: seed, Rules: []Rule{
+			{Fault: Drop, Prob: 0.05, From: 1},
+			{Fault: Dup, Prob: 0.02, From: 1},
+			{Fault: Delay, Prob: 0.03, From: 1, Hold: 2},
+			{Fault: Corrupt, Prob: 0.01, From: 1, Bytes: 2},
+		}}, nil
+	case "flaky":
+		return Plan{Seed: seed, DialFailProb: 0.2, Rules: []Rule{
+			{Fault: Reset, Prob: 0.01, From: 1},
+			{Fault: Drop, Prob: 0.02, From: 1},
+			{Fault: Delay, Prob: 0.05, From: 1, Hold: 1},
+		}}, nil
+	case "partition":
+		return Plan{Seed: seed, DialFailProb: 0.25, Rules: []Rule{
+			{Fault: Partition, Prob: 1, From: 4, Until: 12},
+			{Fault: Drop, Prob: 0.01, From: 1},
+		}}, nil
+	default:
+		return Plan{}, fmt.Errorf("%w: %q (want one of lossy, flaky, partition)", ErrUnknownProfile, name)
+	}
+}

@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/agent"
+	"github.com/nomloc/nomloc/internal/channel"
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/telemetry"
+)
+
+// soakScenario is a wide open floor with eight static AP positions —
+// larger than any paper testbed on purpose, so the soak stresses session
+// count rather than physics.
+func soakScenario(t *testing.T) *deploy.Scenario {
+	t.Helper()
+	area := geom.Rect(0, 0, 24, 16)
+	env, err := channel.NewEnvironment(area, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &deploy.Scenario{
+		Name:  "soak",
+		Area:  area,
+		Env:   env,
+		Radio: channel.DefaultParams(),
+		TestSites: []geom.Vec{
+			geom.V(11, 7),
+		},
+	}
+	for i := 0; i < 8; i++ {
+		s.StaticAPs = append(s.StaticAPs, deploy.AP{
+			ID:  fmt.Sprintf("ap%d", i),
+			Pos: geom.V(float64(2+6*(i%4)), float64(2+12*(i/4))),
+		})
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSoakFlaky runs the full distributed stack — 8 APs (two of them
+// walking a small site set) behind the flaky chaos profile — for a long
+// sequence of rounds under whatever scheduler pressure the race detector
+// adds. It asserts liveness properties, not estimate values: estimate
+// round IDs are strictly monotone, most rounds produce an estimate despite
+// resets and refused redials, and every goroutine the stack started is
+// gone afterward.
+func TestSoakFlaky(t *testing.T) {
+	rounds := 200
+	if testing.Short() {
+		rounds = 40
+	}
+	before := runtime.NumGoroutine()
+
+	scn := soakScenario(t)
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New(nil)
+	srv, err := server.New(server.Config{
+		Localizer:          loc,
+		RoundTimeout:       100 * time.Millisecond,
+		SessionIdleTimeout: 30 * time.Second, // generous: arms the deadline path without evicting
+		Telemetry:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+
+	plan, err := Profile("flaky", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := New(plan, Options{Telemetry: reg})
+
+	var aps []*agent.APAgent
+	for i, ap := range scn.StaticAPs {
+		cfg := agent.APConfig{
+			ID:            ap.ID,
+			ServerAddr:    addr,
+			Sites:         []geom.Vec{ap.Pos},
+			Seed:          int64(100 + i),
+			Telemetry:     reg,
+			Dialer:        cn.Dialer(ap.ID, nil),
+			MaxReconnects: 50,
+			ReconnectBase: time.Millisecond,
+			ReconnectMax:  10 * time.Millisecond,
+		}
+		if i >= 6 {
+			cfg.Sites = []geom.Vec{ap.Pos, ap.Pos.Add(geom.V(1.5, 0)), ap.Pos.Add(geom.V(0, 1.5))}
+			cfg.Nomadic = true
+		}
+		a, err := agent.DialAP(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aps = append(aps, a)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Run()
+		}()
+	}
+
+	sim, err := scn.Simulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := agent.DialObject(agent.ObjectConfig{
+		ID:           "obj1",
+		ServerAddr:   addr,
+		Pos:          scn.TestSites[0],
+		Sim:          sim,
+		Packets:      3,
+		RoundTimeout: 2 * time.Second,
+		Seed:         7,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range scn.StaticAPs {
+		obj.RegisterAP(ap.ID, ap.Pos)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = obj.Run()
+	}()
+
+	var lastID uint64
+	estimated := 0
+	for r := 1; r <= rounds; r++ {
+		est, err := obj.RunRound(uint64(r))
+		if err != nil {
+			// Degraded mode: a fully-lost round is allowed, a hung one is not.
+			if errors.Is(err, agent.ErrNoEstimate) || errors.Is(err, agent.ErrSessionLost) {
+				continue
+			}
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if est.RoundID <= lastID {
+			t.Fatalf("round IDs not monotone: %d after %d", est.RoundID, lastID)
+		}
+		lastID = est.RoundID
+		estimated++
+	}
+	if estimated < rounds/2 {
+		t.Errorf("only %d/%d rounds produced estimates under the flaky profile", estimated, rounds)
+	}
+
+	obj.Close()
+	for _, a := range aps {
+		a.Close()
+	}
+	srv.Shutdown()
+	wg.Wait()
+
+	// Goroutine accounting: everything the stack started must unwind.
+	// Straggling finalizer timers and evicted sessions get a grace window.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if cn.Trace().Len() == 0 {
+		t.Error("flaky profile injected no faults over the whole soak")
+	}
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded fault decision.
+type Event struct {
+	// Conn names the connection (the name given to Conn/Dialer/Pipe,
+	// suffixed with "#<attempt>" after the first attempt).
+	Conn string
+	// Frame is the per-connection frame index the fault hit.
+	Frame int
+	// Fault is the injected failure mode.
+	Fault Fault
+	// Detail carries fault parameters (hold length, corrupted offsets,
+	// reset cut point), deterministic under a fixed seed.
+	Detail string
+	// At is the injected clock's reading when the fault fired; the zero
+	// time when the Net has no clock. It is excluded from String so
+	// trace identity never depends on scheduling, only on the seed.
+	At time.Time
+}
+
+// Trace accumulates fault events across every connection of a Net.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// add appends one event.
+func (t *Trace) add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in arrival order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// String renders the trace one event per line, sorted by connection name
+// and then frame index. Per-connection decisions are a pure function of
+// the plan seed, so under the same seed the rendering is byte-identical
+// across runs even when goroutine interleaving reorders arrival.
+func (t *Trace) String() string {
+	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Conn != events[j].Conn {
+			return events[i].Conn < events[j].Conn
+		}
+		return events[i].Frame < events[j].Frame
+	})
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(fmt.Sprintf("%s frame=%d fault=%s", e.Conn, e.Frame, e.Fault))
+		if e.Detail != "" {
+			b.WriteByte(' ')
+			b.WriteString(e.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountByFault tallies events per fault kind in Faults() order.
+func (t *Trace) CountByFault() map[Fault]int {
+	out := make(map[Fault]int, len(Faults()))
+	for _, e := range t.Events() {
+		out[e.Fault]++
+	}
+	return out
+}

@@ -22,6 +22,12 @@ type serverMetrics struct {
 	roundsTimeout *telemetry.Counter
 	solveErrors   *telemetry.Counter
 	estimates     *telemetry.Counter
+	duplicates    *telemetry.Counter
+	stale         *telemetry.Counter
+	badFrames     *telemetry.Counter
+	evictions     *telemetry.Counter
+	degraded      *telemetry.Counter
+	empty         *telemetry.Counter
 	solveSeconds  *telemetry.Histogram
 	roundSeconds  *telemetry.Histogram
 	roundAnchors  *telemetry.Histogram
@@ -47,6 +53,12 @@ func newServerMetrics(reg *telemetry.Registry, clock telemetry.Clock) *serverMet
 		roundsTimeout: reg.Counter("nomloc_server_rounds_timeout_total", "rounds finalized by timeout"),
 		solveErrors:   reg.Counter("nomloc_server_solve_errors_total", "rounds whose localization failed"),
 		estimates:     reg.Counter("nomloc_server_estimates_total", "estimates broadcast"),
+		duplicates:    reg.Counter("nomloc_server_duplicate_reports_total", "CSI reports absorbed idempotently (re-sends and chaos duplicates)"),
+		stale:         reg.Counter("nomloc_server_stale_reports_total", "CSI reports ignored as stale (older round than stored, or unknown round)"),
+		badFrames:     reg.Counter("nomloc_server_bad_frames_total", "frames dropped for decode errors without losing the session"),
+		evictions:     reg.Counter("nomloc_server_evicted_sessions_total", "sessions evicted after the idle timeout"),
+		degraded:      reg.Counter("nomloc_server_degraded_rounds_total", "rounds solved with fewer reports than expected"),
+		empty:         reg.Counter("nomloc_server_empty_rounds_total", "rounds finalized with no report history to solve from"),
 		solveSeconds:  reg.Histogram("nomloc_server_solve_seconds", "round localization solve latency", nil),
 		roundSeconds:  reg.Histogram("nomloc_server_round_seconds", "round start-to-finalize latency", nil),
 		roundAnchors:  reg.Histogram("nomloc_server_round_anchors", "anchors (reports) entering each round solve", telemetry.LinearBuckets(0, 4, 16)),
@@ -100,6 +112,54 @@ func (sm *serverMetrics) reportReceived() {
 		return
 	}
 	sm.reports.Inc()
+}
+
+// duplicateReport counts a CSI report absorbed idempotently.
+func (sm *serverMetrics) duplicateReport() {
+	if sm == nil {
+		return
+	}
+	sm.duplicates.Inc()
+}
+
+// staleReport counts a CSI report discarded for staleness.
+func (sm *serverMetrics) staleReport() {
+	if sm == nil {
+		return
+	}
+	sm.stale.Inc()
+}
+
+// badFrame counts a frame dropped for a decode error.
+func (sm *serverMetrics) badFrame() {
+	if sm == nil {
+		return
+	}
+	sm.badFrames.Inc()
+}
+
+// sessionEvicted counts an idle-timeout eviction.
+func (sm *serverMetrics) sessionEvicted() {
+	if sm == nil {
+		return
+	}
+	sm.evictions.Inc()
+}
+
+// degradedRound counts a round solved with fewer reports than expected.
+func (sm *serverMetrics) degradedRound() {
+	if sm == nil {
+		return
+	}
+	sm.degraded.Inc()
+}
+
+// emptyRound counts a round with nothing to solve from.
+func (sm *serverMetrics) emptyRound() {
+	if sm == nil {
+		return
+	}
+	sm.empty.Inc()
 }
 
 // roundFinalized closes a round's span and records its latency and

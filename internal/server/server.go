@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +29,12 @@ type Config struct {
 	// RoundTimeout finalizes a round even if some APs have not reported.
 	// Defaults to 5 s.
 	RoundTimeout time.Duration
+	// SessionIdleTimeout evicts a session whose connection carries no
+	// readable frame for this long, reclaiming dead agents whose TCP
+	// peer vanished without a FIN. 0 (the default) disables eviction.
+	// Deadlines are armed from the wall clock, so leave this off when
+	// injecting a fixed Clock.
+	SessionIdleTimeout time.Duration
 	// MaxNomadicSites bounds how many distinct nomadic waypoints are kept
 	// per (object, AP): older sites are evicted first. Defaults to 8.
 	MaxNomadicSites int
@@ -51,7 +58,17 @@ type Config struct {
 var (
 	ErrNoLocalizer = errors.New("server: config needs a localizer")
 	ErrClosed      = errors.New("server: closed")
+	// ErrEmptyRound marks a round that finalized with no report history to
+	// solve from: every expected report was lost (or no AP ever reported
+	// for the object). It is counted separately from solve errors because
+	// it indicts the transport, not the localizer.
+	ErrEmptyRound = errors.New("server: round has no reports")
 )
+
+// maxFinishedRounds bounds the finished-round memory used to absorb
+// duplicate and late CSI reports idempotently; the oldest entries are
+// forgotten first.
+const maxFinishedRounds = 1024
 
 // Server is the localization server. Create with New, run with Serve, stop
 // with Shutdown.
@@ -66,6 +83,8 @@ type Server struct {
 	aps       map[string]*session
 	objects   map[string]*session
 	rounds    map[uint64]*round
+	finished  map[uint64]struct{}          // recently finalized rounds (idempotent late reports)
+	finishedQ []uint64                     // finished-round eviction order
 	history   map[string][]*wire.CSIReport // per object: accumulated reports
 	estimates []wire.Estimate
 	closed    bool
@@ -127,6 +146,7 @@ func New(cfg Config) (*Server, error) {
 		aps:      make(map[string]*session),
 		objects:  make(map[string]*session),
 		rounds:   make(map[uint64]*round),
+		finished: make(map[uint64]struct{}),
 		history:  make(map[string][]*wire.CSIReport),
 	}
 	s.gate.Instrument(telemetry.NewPoolMetrics(cfg.Telemetry, "nomloc_server_pool"))
@@ -248,9 +268,25 @@ func (s *Server) handle(sess *session) {
 	}()
 
 	for {
+		if s.cfg.SessionIdleTimeout > 0 {
+			_ = sess.conn.SetReadDeadline(time.Now().Add(s.cfg.SessionIdleTimeout))
+		}
 		msg, err := wire.ReadMessage(sess.conn)
 		if err != nil {
-			return // disconnect (EOF or broken frame)
+			if wire.IsDecodeError(err) {
+				// The broken frame was consumed whole and the stream is
+				// still framed (chaos corruption lands here): log, count,
+				// and keep the session.
+				s.metrics.badFrame()
+				s.cfg.Logf("server: %s/%s: dropping bad frame: %v", sess.role, sess.id, err)
+				continue
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.metrics.sessionEvicted()
+				s.cfg.Logf("server: %s/%s: evicting idle session", sess.role, sess.id)
+			}
+			return // disconnect (EOF, desync, or idle eviction)
 		}
 		if err := s.dispatch(sess, msg); err != nil {
 			s.cfg.Logf("server: %s/%s: %v", sess.role, sess.id, err)
@@ -271,7 +307,7 @@ func (s *Server) dispatch(sess *session, msg wire.Message) error {
 	case *wire.PositionUpdate:
 		return s.onPositionUpdate(m)
 	case *wire.CSIReport:
-		return s.onCSIReport(m)
+		return s.onCSIReport(sess, m)
 	default:
 		return fmt.Errorf("unexpected message %q", msg.Type())
 	}
@@ -376,20 +412,44 @@ func (s *Server) onPositionUpdate(m *wire.PositionUpdate) error {
 	return nil
 }
 
-func (s *Server) onCSIReport(m *wire.CSIReport) error {
+// onCSIReport stores one AP report and acknowledges it. Handling is
+// idempotent per (round, AP): a duplicate delivery — chaos duplication,
+// or an agent re-sending its unacknowledged tail after a reconnect — is
+// counted, re-acknowledged so the sender can clear its tail, and never
+// treated as an error. Reports for already-finalized rounds are likewise
+// acknowledged and absorbed.
+func (s *Server) onCSIReport(sess *session, m *wire.CSIReport) error {
 	s.metrics.reportReceived()
+	ack := &wire.ReportAck{RoundID: m.RoundID, APID: m.APID, SiteIndex: m.SiteIndex}
 	s.mu.Lock()
 	r, ok := s.rounds[m.RoundID]
 	if !ok || r.done {
+		_, wasFinished := s.finished[m.RoundID]
 		s.mu.Unlock()
-		return fmt.Errorf("report for unknown or finished round %d", m.RoundID)
+		if wasFinished {
+			s.metrics.duplicateReport()
+		} else {
+			// A round the server never opened (its RoundStart was lost)
+			// or one evicted from finished-round memory. Ack anyway so
+			// the agent stops re-sending a report no round will consume.
+			s.metrics.staleReport()
+		}
+		return sess.send(ack)
 	}
 	objectID := r.objectID
+	if _, dup := r.reported[m.APID]; dup {
+		s.metrics.duplicateReport()
+		s.mu.Unlock()
+		return sess.send(ack)
+	}
 	s.storeReportLocked(objectID, m)
 	r.reported[m.APID] = struct{}{}
 	complete := len(r.reported) >= len(r.expected)
 	s.mu.Unlock()
 
+	if err := sess.send(ack); err != nil {
+		s.cfg.Logf("server: ack report %d/%s: %v", m.RoundID, m.APID, err)
+	}
 	if complete {
 		s.finalizeRound(m.RoundID, false)
 	}
@@ -398,9 +458,18 @@ func (s *Server) onCSIReport(m *wire.CSIReport) error {
 
 // storeReportLocked appends a report to the object's history, keeping the
 // most recent report per static AP and per (nomadic AP, site), bounded by
-// MaxNomadicSites per nomadic AP.
+// MaxNomadicSites per nomadic AP. Recency is judged by round id, not
+// arrival order: a report that was delayed or re-sent across rounds never
+// clobbers a newer stored report for the same identity.
 func (s *Server) storeReportLocked(objectID string, m *wire.CSIReport) {
 	hist := s.history[objectID]
+	for _, old := range hist {
+		same := old.APID == m.APID && (!m.Nomadic || old.SiteIndex == m.SiteIndex)
+		if same && old.RoundID > m.RoundID {
+			s.metrics.staleReport()
+			return
+		}
+	}
 	// Drop a previous report with the same identity (static: APID; nomadic:
 	// APID+site).
 	kept := hist[:0]
@@ -441,6 +510,12 @@ func (s *Server) finalizeRound(roundID uint64, timeout bool) {
 		r.timer.Stop()
 	}
 	delete(s.rounds, roundID)
+	s.finished[roundID] = struct{}{}
+	s.finishedQ = append(s.finishedQ, roundID)
+	if len(s.finishedQ) > maxFinishedRounds {
+		delete(s.finished, s.finishedQ[0])
+		s.finishedQ = s.finishedQ[1:]
+	}
 	reports := append([]*wire.CSIReport(nil), s.history[r.objectID]...)
 	obj := s.objects[r.objectID]
 	closed := s.closed
@@ -454,6 +529,30 @@ func (s *Server) finalizeRound(roundID uint64, timeout bool) {
 		s.cfg.Logf("server: round %d finalized by timeout (%d/%d reports)",
 			roundID, len(r.reported), len(r.expected))
 	}
+	if len(reports) == 0 {
+		// Nothing to solve from at all — distinct from degraded: there is
+		// no estimate to hand back, only a typed error.
+		s.metrics.emptyRound()
+		s.cfg.Logf("server: round %d: %v", roundID, ErrEmptyRound)
+		if obj != nil {
+			_ = obj.send(&wire.ErrorMsg{Detail: fmt.Sprintf("round %d: %v", roundID, ErrEmptyRound)})
+		}
+		return
+	}
+	if timeout && len(r.reported) < len(r.expected) {
+		// A partial round still solves from accumulated history — that is
+		// NomLoc's degraded mode, worth a counter rather than an error.
+		s.metrics.degradedRound()
+	}
+	// Canonical solve order: history arrival order depends on network
+	// interleaving, so sort by identity to keep estimates bit-reproducible
+	// under reordered deliveries.
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].APID != reports[j].APID {
+			return reports[i].APID < reports[j].APID
+		}
+		return reports[i].SiteIndex < reports[j].SiteIndex
+	})
 
 	// Admission through the gate bounds how many rounds solve at once;
 	// the solve itself runs outside the server lock, so reports for other

@@ -3,12 +3,14 @@ package server
 import (
 	"errors"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/nomloc/nomloc/internal/core"
 	"github.com/nomloc/nomloc/internal/csi"
 	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/telemetry"
 	"github.com/nomloc/nomloc/internal/wire"
 )
 
@@ -323,11 +325,16 @@ func csiBatch(apID string, vec []complex128) csi.Batch {
 	}
 }
 
-func TestReportForUnknownRoundRejected(t *testing.T) {
-	_, addr := startServer(t, Config{Localizer: testLocalizer(t)})
+// TestReportForUnknownRoundAcked: a report for a round the server never
+// opened (its RoundStart was lost) is absorbed and acknowledged — never
+// errored — so the agent stops re-sending it; the stale counter records
+// the absorption.
+func TestReportForUnknownRoundAcked(t *testing.T) {
+	reg := telemetry.New(nil)
+	_, addr := startServer(t, Config{Localizer: testLocalizer(t), Telemetry: reg})
 	ap := dialRaw(t, addr)
 	hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1"})
-	rep := &wire.CSIReport{RoundID: 42, APID: "ap1", Batch: csiBatch("ap1", []complex128{1, 2})}
+	rep := &wire.CSIReport{RoundID: 42, APID: "ap1", SiteIndex: 3, Batch: csiBatch("ap1", []complex128{1, 2})}
 	if err := wire.WriteMessage(ap, rep); err != nil {
 		t.Fatal(err)
 	}
@@ -335,8 +342,16 @@ func TestReportForUnknownRoundRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if msg.Type() != wire.TypeError {
-		t.Errorf("got %q, want error", msg.Type())
+	ack, ok := msg.(*wire.ReportAck)
+	if !ok {
+		t.Fatalf("got %q, want report_ack", msg.Type())
+	}
+	if ack.RoundID != 42 || ack.APID != "ap1" || ack.SiteIndex != 3 {
+		t.Errorf("ack = %+v", ack)
+	}
+	stale := reg.Counter("nomloc_server_stale_reports_total", "")
+	if got := stale.Value(); got != 1 {
+		t.Errorf("stale counter = %v, want 1", got)
 	}
 }
 
@@ -442,5 +457,52 @@ func TestStoreReportDedupAndEviction(t *testing.T) {
 	}
 	if site1 {
 		t.Error("oldest site survived eviction")
+	}
+}
+
+// TestEmptyRoundTypedError covers the distinct ErrEmptyRound path in
+// finalizeRound: a round that times out with no report history at all must
+// bump its own counter and hand the object a typed error message, not a
+// zero-valued estimate.
+func TestEmptyRoundTypedError(t *testing.T) {
+	reg := telemetry.New(nil)
+	_, addr := startServer(t, Config{
+		Localizer:    testLocalizer(t),
+		RoundTimeout: 50 * time.Millisecond,
+		Telemetry:    reg,
+	})
+
+	// One AP that never reports, so the round's expected set is nonempty
+	// but its history stays empty.
+	ap := dialRaw(t, addr)
+	if ack := hello(t, ap, &wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)}); !ack.OK {
+		t.Fatalf("AP rejected: %s", ack.Detail)
+	}
+	obj := dialRaw(t, addr)
+	if ack := hello(t, obj, &wire.Hello{Role: wire.RoleObject, ID: "obj1"}); !ack.OK {
+		t.Fatalf("object rejected: %s", ack.Detail)
+	}
+
+	if err := wire.WriteMessage(obj, &wire.RoundStart{RoundID: 9, ObjectID: "obj1", Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, ok := msg.(*wire.ErrorMsg)
+	if !ok {
+		t.Fatalf("got %q, want error after an empty round", msg.Type())
+	}
+	if !strings.Contains(em.Detail, ErrEmptyRound.Error()) {
+		t.Errorf("error detail %q does not mention %q", em.Detail, ErrEmptyRound)
+	}
+	if v := reg.Counter("nomloc_server_empty_rounds_total", "").Value(); v != 1 {
+		t.Errorf("nomloc_server_empty_rounds_total = %v, want 1", v)
+	}
+	// The empty round must not have been counted as degraded — that
+	// counter is for partial rounds that still solved from history.
+	if v := reg.Counter("nomloc_server_degraded_rounds_total", "").Value(); v != 0 {
+		t.Errorf("nomloc_server_degraded_rounds_total = %v, want 0", v)
 	}
 }

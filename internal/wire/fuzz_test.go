@@ -8,6 +8,7 @@ import (
 	"io"
 	"testing"
 
+	"github.com/nomloc/nomloc/internal/chaos"
 	"github.com/nomloc/nomloc/internal/csi"
 	"github.com/nomloc/nomloc/internal/geom"
 )
@@ -87,6 +88,51 @@ func FuzzReadMessage(f *testing.F) {
 		b, _ := json.Marshal(again)
 		if !bytes.Equal(a, b) {
 			t.Fatalf("round trip changed payload:\n%s\n%s", a, b)
+		}
+	})
+}
+
+// FuzzCorruptedFrames replays the chaos layer's corruption against the
+// decoder: a valid frame is byte-flipped by chaos.CorruptCopy (any
+// offset, header included — harsher than the in-band Corrupt fault) and
+// the result must decode to a message or fail with a TYPED error. A
+// corrupted frame must never panic the decoder and never produce an
+// untyped error: the server and agents branch on wire.IsDecodeError to
+// decide whether a session survives, so an unclassified failure would
+// drop sessions that could have lived.
+func FuzzCorruptedFrames(f *testing.F) {
+	seeds := [][]byte{
+		encode(f, &Hello{Role: RoleAP, ID: "ap1", Pos: geom.V(1, 2), SiteIndex: 3}),
+		encode(f, &RoundStart{RoundID: 7, ObjectID: "obj", Packets: 25}),
+		encode(f, &ReportAck{RoundID: 7, APID: "ap1", SiteIndex: 2}),
+		encode(f, &CSIReport{RoundID: 7, APID: "ap1", Nomadic: true, Batch: csi.Batch{
+			APID:    "ap1",
+			Samples: []csi.Sample{{APID: "ap1", Seq: 0, CSI: csi.Vector{1, 2i}}},
+		}}),
+		encode(f, &Estimate{RoundID: 7, ObjectID: "obj", Pos: geom.V(3, 4), RelaxCost: 0.5, NumAnchors: 6}),
+	}
+	for i, data := range seeds {
+		f.Add(data, int64(i+1), 1)
+		f.Add(data, int64(1e9+int64(i)), 4)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, flips int) {
+		if flips < 0 {
+			flips = -flips
+		}
+		corrupted := chaos.CorruptCopy(data, seed, flips%16)
+		msg, err := ReadMessage(bytes.NewReader(corrupted))
+		if err == nil {
+			if msg == nil {
+				t.Fatal("nil message with nil error")
+			}
+			return
+		}
+		switch {
+		case IsDecodeError(err):
+		case errors.Is(err, ErrFrameTooLarge):
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		default:
+			t.Fatalf("corrupted frame produced an untyped error: %v", err)
 		}
 	})
 }

@@ -29,6 +29,7 @@ const (
 	TypeRoundStart     MsgType = "round_start"
 	TypePositionUpdate MsgType = "position_update"
 	TypeCSIReport      MsgType = "csi_report"
+	TypeReportAck      MsgType = "report_ack"
 	TypeEstimate       MsgType = "estimate"
 	TypeError          MsgType = "error"
 )
@@ -157,6 +158,22 @@ type CSIReport struct {
 // Type implements Message.
 func (*CSIReport) Type() MsgType { return TypeCSIReport }
 
+// ReportAck acknowledges one CSIReport. Agents keep a report in their
+// unacknowledged tail until its ack arrives, re-sending it after a
+// reconnect or alongside the next report; the server's idempotent report
+// handling makes the resulting duplicates harmless.
+type ReportAck struct {
+	// RoundID is the acknowledged report's round.
+	RoundID uint64 `json:"roundId"`
+	// APID is the reporting AP.
+	APID string `json:"apId"`
+	// SiteIndex is the acknowledged report's capture site.
+	SiteIndex int `json:"siteIndex"`
+}
+
+// Type implements Message.
+func (*ReportAck) Type() MsgType { return TypeReportAck }
+
 // Estimate is the server's localization result for a round.
 type Estimate struct {
 	// RoundID is the round the estimate answers.
@@ -191,6 +208,7 @@ var (
 	_ Message = (*ProbeFrame)(nil)
 	_ Message = (*PositionUpdate)(nil)
 	_ Message = (*CSIReport)(nil)
+	_ Message = (*ReportAck)(nil)
 	_ Message = (*Estimate)(nil)
 	_ Message = (*ErrorMsg)(nil)
 )
@@ -216,6 +234,8 @@ func newByType(t MsgType) (Message, error) {
 		return &PositionUpdate{}, nil
 	case TypeCSIReport:
 		return &CSIReport{}, nil
+	case TypeReportAck:
+		return &ReportAck{}, nil
 	case TypeEstimate:
 		return &Estimate{}, nil
 	case TypeError:
@@ -276,4 +296,15 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return nil, fmt.Errorf("%w: payload for %q: %v", ErrBadMessage, env.Type, err)
 	}
 	return msg, nil
+}
+
+// IsDecodeError reports whether err is a per-frame decode failure after
+// which the stream is still framed: the broken frame was consumed whole,
+// so the reader may keep going. Transport errors and a too-large length
+// prefix are NOT decode errors — after those the stream is desynced and
+// the session is lost. Chaos-corrupted frames land here, which is what
+// lets the server and agents survive corruption without dropping the
+// session.
+func IsDecodeError(err error) bool {
+	return errors.Is(err, ErrBadMessage) || errors.Is(err, ErrUnknownType)
 }
