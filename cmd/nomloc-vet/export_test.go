@@ -105,6 +105,96 @@ func TestWriteSARIFGolden(t *testing.T) {
 	}
 }
 
+// TestWriteSARIFGoldenInterprocedural pins the SARIF bytes for the two
+// summary-based analyzers, so their rule wiring stays stable.
+func TestWriteSARIFGoldenInterprocedural(t *testing.T) {
+	suite := []*analysis.Analyzer{
+		{Name: "lockorder", Doc: "no AB-BA"},
+		{Name: "unitcheck", Doc: "no mixed units"},
+	}
+	var buf bytes.Buffer
+	err := writeSARIF(&buf, []Finding{
+		{Analyzer: "lockorder", File: "internal/server/s.go", Line: 7, Col: 2, Message: "lock order inversion"},
+		{Analyzer: "unitcheck", File: "internal/dsp/d.go", Line: 9, Col: 10, Message: "unit mismatch"},
+	}, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "nomloc-vet",
+          "rules": [
+            {
+              "id": "lockorder",
+              "shortDescription": {
+                "text": "no AB-BA"
+              }
+            },
+            {
+              "id": "unitcheck",
+              "shortDescription": {
+                "text": "no mixed units"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "lockorder",
+          "level": "warning",
+          "message": {
+            "text": "lock order inversion"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "internal/server/s.go"
+                },
+                "region": {
+                  "startLine": 7,
+                  "startColumn": 2
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "unitcheck",
+          "level": "warning",
+          "message": {
+            "text": "unit mismatch"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "internal/dsp/d.go"
+                },
+                "region": {
+                  "startLine": 9,
+                  "startColumn": 10
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
+}
+`
+	if buf.String() != want {
+		t.Errorf("SARIF output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
 // TestExportersByteStableOnRepo runs each exporter twice over the real
 // module and demands byte-identical output — the acceptance criterion
 // for wiring them into code scanning.

@@ -1,15 +1,23 @@
 // Command nomloc-vet is the multichecker for NomLoc's determinism and
 // concurrency contract. It composes the internal/analysis suite —
 // detrand, seedmix, floateq, locksafe, plus the flow-sensitive
-// nanguard, errdrop, and leakcheck — over `go list` package patterns
-// and exits nonzero when any analyzer reports a finding, so CI can gate
-// merges on the contract the same way it gates on tests:
+// nanguard, errdrop, and leakcheck and the summary-based lockorder and
+// unitcheck — over `go list` package patterns and exits nonzero when
+// any analyzer reports a finding, so CI can gate merges on the
+// contract the same way it gates on tests:
 //
 //	go run ./cmd/nomloc-vet ./...
 //	go run ./cmd/nomloc-vet -analyzers detrand,seedmix ./internal/eval/
 //	go run ./cmd/nomloc-vet -json ./...
 //	go run ./cmd/nomloc-vet -sarif ./... > nomloc-vet.sarif
 //	go run ./cmd/nomloc-vet -baseline vet-baseline.json ./...
+//	go run ./cmd/nomloc-vet -callgraph=dot ./... > callgraph.dot
+//
+// All loaded packages form one Program (internal/analysis.BuildProgram):
+// the analyzers see the whole-module call graph and function summaries,
+// so taint, fallibility, lock order, and units flow across package
+// boundaries. -callgraph=dot|json dumps that graph instead of running
+// the analyzers.
 //
 // Diagnostics print as file:line:col: analyzer: message; -json and
 // -sarif emit machine-readable findings with paths relative to the -C
@@ -17,9 +25,9 @@
 // -baseline the exit status ratchets: only findings NOT accounted for
 // in the baseline file fail the run (-update-baseline rewrites it).
 // Per-analyzer escape hatches (//nomloc:nondeterministic-ok,
-// //nomloc:nanguard-ok, //nomloc:errdrop-ok, //nomloc:leakcheck-ok) are
-// honored and audited: a suppression with nothing to suppress is itself
-// an error.
+// //nomloc:nanguard-ok, //nomloc:errdrop-ok, //nomloc:leakcheck-ok,
+// //nomloc:lockorder-ok, //nomloc:unitcheck-ok) are honored and
+// audited: a suppression with nothing to suppress is itself an error.
 package main
 
 import (
@@ -49,7 +57,12 @@ func run(args []string, out, errOut io.Writer) int {
 	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 instead of text")
 	baselinePath := fs.String("baseline", "", "fail only on findings not recorded in this baseline file")
 	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
+	callgraph := fs.String("callgraph", "", "dump the whole-program call graph (dot or json) instead of running analyzers")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *callgraph != "" && *callgraph != "dot" && *callgraph != "json" {
+		fmt.Fprintf(errOut, "nomloc-vet: -callgraph must be dot or json, got %q\n", *callgraph)
 		return 2
 	}
 	if *jsonOut && *sarifOut {
@@ -93,6 +106,21 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
 		return 2
 	}
+	prog := analysis.BuildProgram(pkgs)
+
+	if *callgraph != "" {
+		var err error
+		if *callgraph == "dot" {
+			err = prog.Graph.WriteDOT(out)
+		} else {
+			err = prog.Graph.WriteJSON(out)
+		}
+		if err != nil {
+			fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+			return 2
+		}
+		return 0
+	}
 
 	absDir, err := filepath.Abs(*dir)
 	if err != nil {
@@ -102,7 +130,7 @@ func run(args []string, out, errOut io.Writer) int {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range suite {
-			diags, err := pkg.Run(a)
+			diags, err := prog.RunPkg(pkg, a)
 			if err != nil {
 				fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
 				return 2

@@ -69,7 +69,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, name := range []string{"detrand", "seedmix", "floateq", "locksafe", "nanguard", "errdrop", "leakcheck"} {
+	for _, name := range []string{"detrand", "seedmix", "floateq", "locksafe", "nanguard", "errdrop", "leakcheck", "lockorder", "unitcheck"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -80,5 +80,82 @@ func TestUnknownAnalyzer(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-analyzers", "nope"}, &out, &errOut); code != 2 {
 		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+}
+
+func TestCallGraphBadMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-callgraph", "svg"}, &out, &errOut); code != 2 {
+		t.Fatalf("-callgraph=svg exit = %d, want 2", code)
+	}
+}
+
+// TestCallGraphDOTGolden pins the -callgraph=dot dump on a tiny fixture
+// module: exact bytes, twice.
+func TestCallGraphDOTGolden(t *testing.T) {
+	dir := t.TempDir()
+	writeTmp(t, dir, "go.mod", "module tmpcg\n\ngo 1.22\n")
+	writeTmp(t, dir, "lib/lib.go", `package lib
+
+func Leaf() int { return 1 }
+
+func Mid() int { return Leaf() }
+
+func Top() int { return Mid() }
+`)
+	const golden = `digraph nomloc {
+  rankdir=LR;
+  "tmpcg/lib.Leaf" [shape=box,label="tmpcg/lib.Leaf\nlib.go:3"];
+  "tmpcg/lib.Mid" [shape=box,label="tmpcg/lib.Mid\nlib.go:5"];
+  "tmpcg/lib.Top" [shape=box,label="tmpcg/lib.Top\nlib.go:7"];
+  "tmpcg/lib.Mid" -> "tmpcg/lib.Leaf";
+  "tmpcg/lib.Top" -> "tmpcg/lib.Mid";
+}
+`
+	var first, second, errOut bytes.Buffer
+	if code := run([]string{"-C", dir, "-callgraph=dot", "./..."}, &first, &errOut); code != 0 {
+		t.Fatalf("-callgraph=dot exit = %d\nstderr:\n%s", code, errOut.String())
+	}
+	if first.String() != golden {
+		t.Errorf("DOT dump:\n%s\nwant:\n%s", first.String(), golden)
+	}
+	errOut.Reset()
+	if code := run([]string{"-C", dir, "-callgraph=dot", "./..."}, &second, &errOut); code != 0 {
+		t.Fatalf("second -callgraph=dot exit = %d", code)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("-callgraph=dot output differs across two runs")
+	}
+}
+
+// TestInterproceduralFindingViaCLI drives a cross-function leak through
+// the whole stack: the spawn site passes a context, only the callee's
+// body (seen via the Program's summaries) proves the goroutine ignores
+// it.
+func TestInterproceduralFindingViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	writeTmp(t, dir, "go.mod", "module tmpleak\n\ngo 1.22\n")
+	writeTmp(t, dir, "server/server.go", `package server
+
+import "context"
+
+func busy() {}
+
+func spin(ctx context.Context) {
+	for {
+		busy()
+	}
+}
+
+func Serve(ctx context.Context) {
+	go spin(ctx)
+}
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-C", dir, "-analyzers", "leakcheck", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "goroutine calls spin, which loops forever") {
+		t.Fatalf("missing interprocedural leak finding:\n%s", out.String())
 	}
 }

@@ -15,15 +15,34 @@
 //     mutex-bearing values are never copied
 //
 // On top of those AST-pattern checks sit three flow-sensitive analyzers
-// built on the cfg.go/dataflow.go engine (DESIGN.md §9):
+// built on the cfg.go/dataflow.go engine (DESIGN.md §9), upgraded to
+// interprocedural precision by the callgraph.go/summary.go layer
+// (DESIGN.md §11) — facts flow through returns, parameters, and
+// wrappers across function and package boundaries:
 //
 //   - nanguard:  possibly-NaN floats must not reach lp constraint
 //     construction, confidence computation, or a returned coordinate
-//     without a guard (escape hatch: //nomloc:nanguard-ok)
+//     without a guard; a helper that divides unguarded taints its
+//     callers (escape hatch: //nomloc:nanguard-ok)
 //   - errdrop:   no discarded or never-checked errors in deterministic
-//     packages (escape hatch: //nomloc:errdrop-ok)
+//     packages; functions proven to always return a nil error are
+//     exempt, transitively through wrappers (escape hatch:
+//     //nomloc:errdrop-ok)
 //   - leakcheck: go statements in server/parallel/agent must have a
-//     provable exit discipline (escape hatch: //nomloc:leakcheck-ok)
+//     provable exit discipline, with spawned named functions judged by
+//     their own bodies (escape hatch: //nomloc:leakcheck-ok)
+//
+// Two analyzers are summary-based from the ground up:
+//
+//   - lockorder: the cross-function mutex acquisition-order graph of
+//     server/parallel/agent/telemetry must be acyclic; cycles are
+//     reported as potential deadlocks with both acquisition paths
+//     (escape hatch: //nomloc:lockorder-ok)
+//   - unitcheck: lightweight dimensional analysis (dBm, dB, mW, m, rad)
+//     seeded from parameter/field names and //nomloc:unit annotations;
+//     mixed-unit arithmetic and unit-mismatched call arguments are
+//     flagged in csi, channel, dsp, baseline, and core (escape hatch:
+//     //nomloc:unitcheck-ok)
 //
 // The cmd/nomloc-vet multichecker composes them over `go list` package
 // patterns; the analysistest subpackage runs them over fixture packages
@@ -62,6 +81,11 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's fact tables for Files.
 	Info *types.Info
+	// Prog is the whole-program view (call graph, summaries) when the
+	// pass runs under Program.RunPkg; nil under the legacy Package.Run
+	// path, in which case analyzers fall back to intraprocedural
+	// behavior.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -90,7 +114,7 @@ func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
 
 // All returns the nomloc-vet analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, SeedMix, FloatEq, LockSafe, NanGuard, ErrDrop, LeakCheck}
+	return []*Analyzer{DetRand, SeedMix, FloatEq, LockSafe, NanGuard, ErrDrop, LeakCheck, LockOrder, UnitCheck}
 }
 
 // deterministicPackages are the import-path base names whose outputs feed

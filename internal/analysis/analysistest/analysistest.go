@@ -89,7 +89,12 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)
 		}
-		diags, err := pkg.Run(a)
+		// Run under a single-package Program so fixtures exercise the
+		// interprocedural path: call graph, summaries, and cross-file
+		// flows within the fixture package (// want on the caller's
+		// line, cause in the callee — same file or not).
+		prog := analysis.BuildProgram([]*analysis.Package{pkg})
+		diags, err := prog.RunPkg(pkg, a)
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)
 		}

@@ -1,0 +1,629 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural half of the analysis framework
+// (DESIGN.md §11): a whole-program call graph over every package a
+// Program loads. The graph is deliberately simple — a class-hierarchy
+// (CHA-style) resolver, not points-to analysis — because its job is to
+// carry function summaries across call sites deterministically, and a
+// sound over-approximation with stable ordering beats a precise one
+// with unstable output.
+//
+// Three call kinds are distinguished:
+//
+//   - EdgeStatic:    direct calls to a named function or method, resolved
+//     through the type checker. Cross-package targets resolve even though
+//     each package is type-checked separately, because nodes are keyed by
+//     a stable string FuncID rather than object identity.
+//   - EdgeInterface: calls through an interface method. The resolver adds
+//     one edge per concrete type in the program whose method set
+//     structurally satisfies the interface (name + signature string),
+//     plus an edge to the interface method itself as an external node.
+//   - EdgeDynamic:   calls through a function-typed value. The resolver
+//     links the site to every tracked function literal in the program
+//     with an identical signature string. The dumps show dynamic and
+//     interface edges and the SCC engine traverses them; the summary
+//     consumers resolve call sites statically (OfCall), staying
+//     optimistic where the target is a value, not a name.
+//
+// Node order, edge order, and both dump formats are byte-stable across
+// runs: everything is sorted by FuncID and position, never by map
+// iteration.
+
+// EdgeKind classifies how a call site reaches its callee.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a known function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a CHA-resolved call through an interface method.
+	EdgeInterface
+	// EdgeDynamic is a type-based edge from a call through a
+	// function-typed value to a matching function literal.
+	EdgeDynamic
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeDynamic:
+		return "dynamic"
+	}
+	return "unknown"
+}
+
+// FuncInfo is the source-level view of one function the program defines:
+// a declaration or a function literal, bound to the package that owns it
+// (positions and type facts must be resolved through that package).
+type FuncInfo struct {
+	// ID is the function's stable identifier (see FuncIDOf).
+	ID string
+	// Pkg owns the function's AST and type information.
+	Pkg *Package
+	// Decl is the declaration, nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal, nil for declarations.
+	Lit *ast.FuncLit
+	// Obj is the type-checker's object, nil for literals.
+	Obj *types.Func
+	// Sig is the function's signature.
+	Sig *types.Signature
+	// Body is the function body (may be nil for bodyless declarations).
+	Body *ast.BlockStmt
+}
+
+// Pos returns the function's declaration position.
+func (fi *FuncInfo) Pos() token.Pos {
+	if fi.Decl != nil {
+		return fi.Decl.Pos()
+	}
+	return fi.Lit.Pos()
+}
+
+// Node is one function in the call graph. Fn is nil for external
+// functions (stdlib, export-data-only dependencies): they have callers
+// but no analyzable body.
+type Node struct {
+	// ID is the stable function identifier.
+	ID string
+	// Fn holds the source view, nil for external functions.
+	Fn *FuncInfo
+	// Obj is the first *types.Func the builder resolved for this node
+	// (present for externals reached from a call site; nil for literals).
+	Obj *types.Func
+	// Out are the node's call sites in (position, callee ID) order.
+	Out []*Edge
+	// In are the edges into this node, sorted like Out.
+	In []*Edge
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	// Caller and Callee are the linked nodes.
+	Caller, Callee *Node
+	// Kind says how the call was resolved.
+	Kind EdgeKind
+	// Site is the call expression, nil for dynamic edges synthesized
+	// program-wide (their Pos still anchors the site).
+	Site *ast.CallExpr
+	// Pos anchors the call site in the caller's package fileset.
+	Pos token.Pos
+}
+
+// CallGraph is the whole-program call graph.
+type CallGraph struct {
+	// Nodes lists every node sorted by ID.
+	Nodes []*Node
+
+	byID map[string]*Node
+}
+
+// NodeByID returns the node with the given FuncID, or nil.
+func (g *CallGraph) NodeByID(id string) *Node { return g.byID[id] }
+
+// FuncIDOf renders the stable identifier of a named function or method:
+// "path/to/pkg.Name" for package functions, "path/to/pkg.(Recv).Name"
+// and "path/to/pkg.(*Recv).Name" for methods. The ID is identical
+// whether f came from source or from export data, which is what lets
+// summaries computed in one package resolve at call sites in another.
+func FuncIDOf(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	pkg := "builtin"
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Path()
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return pkg + "." + recvString(sig.Recv().Type()) + "." + f.Name()
+	}
+	return pkg + "." + f.Name()
+}
+
+// recvString renders a receiver type as "(T)" or "(*T)".
+func recvString(t types.Type) string {
+	ptr := ""
+	if p, ok := t.(*types.Pointer); ok {
+		ptr = "*"
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return "(" + ptr + t.Obj().Name() + ")"
+	case *types.Interface:
+		return "(" + ptr + "interface)"
+	}
+	return "(" + ptr + t.String() + ")"
+}
+
+// fullQualifier prints package paths in type strings, so signature
+// comparisons are exact across separately type-checked packages.
+func fullQualifier(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	return p.Path()
+}
+
+// sigString renders a function type for structural comparison, receiver
+// excluded (types.TypeString never prints receivers).
+func sigString(sig *types.Signature) string {
+	return types.TypeString(sig, fullQualifier)
+}
+
+// graphBuilder accumulates nodes and edges before the final sort.
+type graphBuilder struct {
+	graph *CallGraph
+	// concrete lists every named type with methods across the program's
+	// source packages, for CHA interface resolution.
+	concrete []concreteType
+	// literals lists every tracked function literal by signature string,
+	// for dynamic-call resolution.
+	literals map[string][]*Node
+}
+
+type concreteType struct {
+	name *types.TypeName
+	pkg  *Package
+	// methods maps method name → (signature string, declared func).
+	methods map[string]concreteMethod
+}
+
+type concreteMethod struct {
+	sig string
+	fn  *types.Func
+}
+
+// BuildCallGraph constructs the deterministic whole-program call graph
+// of the packages (normally a Program's packages, sorted by import
+// path).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	b := &graphBuilder{
+		graph:    &CallGraph{byID: map[string]*Node{}},
+		literals: map[string][]*Node{},
+	}
+
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
+	// Pass 1: create a node per declared function and per function
+	// literal, in deterministic (package, file, position) order.
+	var infos []*FuncInfo
+	for _, pkg := range sorted {
+		infos = append(infos, collectFuncs(pkg)...)
+	}
+	for _, fi := range infos {
+		n := b.node(fi.ID)
+		n.Fn = fi
+		n.Obj = fi.Obj
+		if fi.Lit != nil {
+			key := sigString(fi.Sig)
+			b.literals[key] = append(b.literals[key], n)
+		}
+	}
+
+	// Pass 2: index concrete method sets for CHA.
+	for _, pkg := range sorted {
+		b.indexConcreteTypes(pkg)
+	}
+
+	// Pass 3: resolve every call site of every function body.
+	for _, fi := range infos {
+		if fi.Body != nil {
+			b.resolveCalls(fi)
+		}
+	}
+
+	b.finish()
+	return b.graph
+}
+
+// collectFuncs walks one package's files and returns a FuncInfo per
+// function declaration and literal, literals numbered in source order
+// within their enclosing declaration ("pkg.Fn$1", "pkg.Fn$1$1", …).
+func collectFuncs(pkg *Package) []*FuncInfo {
+	var out []*FuncInfo
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fi := &FuncInfo{
+				ID:   FuncIDOf(obj),
+				Pkg:  pkg,
+				Decl: fd,
+				Obj:  obj,
+				Sig:  obj.Type().(*types.Signature),
+				Body: fd.Body,
+			}
+			out = append(out, fi)
+			if fd.Body != nil {
+				out = append(out, collectLits(pkg, fi.ID, fd.Body)...)
+			}
+		}
+	}
+	return out
+}
+
+// collectLits finds the function literals directly enclosed by scope
+// (not nested inside a deeper literal) and recurses into each, so IDs
+// mirror lexical nesting.
+func collectLits(pkg *Package, parentID string, scope ast.Node) []*FuncInfo {
+	var out []*FuncInfo
+	n := 0
+	var direct []*ast.FuncLit
+	ast.Inspect(scope, func(x ast.Node) bool {
+		if x == scope {
+			return true
+		}
+		if lit, ok := x.(*ast.FuncLit); ok {
+			direct = append(direct, lit)
+			return false // nested literals belong to this one
+		}
+		return true
+	})
+	for _, lit := range direct {
+		n++
+		sig, _ := pkg.Info.TypeOf(lit).(*types.Signature)
+		if sig == nil {
+			continue
+		}
+		fi := &FuncInfo{
+			ID:   fmt.Sprintf("%s$%d", parentID, n),
+			Pkg:  pkg,
+			Lit:  lit,
+			Sig:  sig,
+			Body: lit.Body,
+		}
+		out = append(out, fi)
+		out = append(out, collectLits(pkg, fi.ID, lit.Body)...)
+	}
+	return out
+}
+
+// indexConcreteTypes records the full method set (promoted methods
+// included) of every named non-interface type the package declares.
+func (b *graphBuilder) indexConcreteTypes(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok || types.IsInterface(named) {
+					continue
+				}
+				methods := map[string]concreteMethod{}
+				mset := types.NewMethodSet(types.NewPointer(named))
+				for i := 0; i < mset.Len(); i++ {
+					sel := mset.At(i)
+					fn, ok := sel.Obj().(*types.Func)
+					if !ok {
+						continue
+					}
+					sig, ok := sel.Type().(*types.Signature)
+					if !ok {
+						continue
+					}
+					methods[fn.Name()] = concreteMethod{sig: sigString(sig), fn: fn}
+				}
+				if len(methods) > 0 {
+					b.concrete = append(b.concrete, concreteType{name: tn, pkg: pkg, methods: methods})
+				}
+			}
+		}
+	}
+}
+
+// node returns (creating on demand) the node for an ID.
+func (b *graphBuilder) node(id string) *Node {
+	if n, ok := b.graph.byID[id]; ok {
+		return n
+	}
+	n := &Node{ID: id}
+	b.graph.byID[id] = n
+	b.graph.Nodes = append(b.graph.Nodes, n)
+	return n
+}
+
+// resolveCalls walks one function body (literals excluded — they are
+// their own callers) and adds an edge per resolvable call site.
+func (b *graphBuilder) resolveCalls(fi *FuncInfo) {
+	caller := b.graph.byID[fi.ID]
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Body, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Conversions and builtins are not calls.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil {
+			// Immediately-invoked literal, or a call through a
+			// function-typed value: resolve type-based to literals.
+			if lit, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); isLit {
+				b.edgeToLit(caller, fi, lit, call)
+				return true
+			}
+			if isBuiltinCall(info, call) {
+				return true
+			}
+			b.dynamicEdges(caller, info, call)
+			return true
+		}
+		sig, _ := f.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			b.interfaceEdges(caller, f, sig, call)
+			return true
+		}
+		b.addEdge(caller, b.nodeFor(f), EdgeStatic, call, call.Pos())
+		return true
+	})
+}
+
+// edgeToLit links an immediately-invoked literal to its own node, found
+// by position within the caller's package.
+func (b *graphBuilder) edgeToLit(caller *Node, fi *FuncInfo, lit *ast.FuncLit, call *ast.CallExpr) {
+	for _, n := range b.graph.Nodes {
+		if n.Fn != nil && n.Fn.Lit == lit && n.Fn.Pkg == fi.Pkg {
+			b.addEdge(caller, n, EdgeStatic, call, call.Pos())
+			return
+		}
+	}
+}
+
+// nodeFor returns the node for a resolved function, recording the
+// types.Func on externals so summarizers can read its signature.
+func (b *graphBuilder) nodeFor(f *types.Func) *Node {
+	n := b.node(FuncIDOf(f))
+	if n.Obj == nil {
+		n.Obj = f
+	}
+	return n
+}
+
+// interfaceEdges links an interface-method call to the interface method
+// node plus every concrete type whose method set satisfies the
+// interface structurally.
+func (b *graphBuilder) interfaceEdges(caller *Node, f *types.Func, sig *types.Signature, call *ast.CallExpr) {
+	b.addEdge(caller, b.nodeFor(f), EdgeInterface, call, call.Pos())
+
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return
+	}
+	want := make(map[string]string, iface.NumMethods())
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		want[m.Name()] = sigString(m.Type().(*types.Signature))
+	}
+	for _, ct := range b.concrete {
+		if !satisfiesStructurally(ct, want) {
+			continue
+		}
+		m, ok := ct.methods[f.Name()]
+		if !ok {
+			continue
+		}
+		b.addEdge(caller, b.nodeFor(m.fn), EdgeInterface, call, call.Pos())
+	}
+}
+
+// satisfiesStructurally reports whether a concrete type's method set
+// covers every interface method by name and exact signature string.
+func satisfiesStructurally(ct concreteType, want map[string]string) bool {
+	for name, sig := range want {
+		m, ok := ct.methods[name]
+		if !ok || m.sig != sig {
+			return false
+		}
+	}
+	return true
+}
+
+// dynamicEdges links a call through a function-typed value to every
+// tracked literal with the same signature string.
+func (b *graphBuilder) dynamicEdges(caller *Node, info *types.Info, call *ast.CallExpr) {
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for _, target := range b.literals[sigString(sig)] {
+		b.addEdge(caller, target, EdgeDynamic, call, call.Pos())
+	}
+}
+
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// addEdge records one call edge, deduplicating identical
+// (caller, callee, kind, pos) tuples.
+func (b *graphBuilder) addEdge(caller, callee *Node, kind EdgeKind, site *ast.CallExpr, pos token.Pos) {
+	if caller == nil || callee == nil {
+		return
+	}
+	for _, e := range caller.Out {
+		if e.Callee == callee && e.Kind == kind && e.Pos == pos {
+			return
+		}
+	}
+	e := &Edge{Caller: caller, Callee: callee, Kind: kind, Site: site, Pos: pos}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+}
+
+// finish sorts nodes and edges into the one canonical order every dump
+// and traversal shares.
+func (b *graphBuilder) finish() {
+	g := b.graph
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].ID < g.Nodes[j].ID })
+	for _, n := range g.Nodes {
+		sort.Slice(n.Out, func(i, j int) bool {
+			a, c := n.Out[i], n.Out[j]
+			if a.Pos != c.Pos {
+				return a.Pos < c.Pos
+			}
+			if a.Callee.ID != c.Callee.ID {
+				return a.Callee.ID < c.Callee.ID
+			}
+			return a.Kind < c.Kind
+		})
+		sort.Slice(n.In, func(i, j int) bool {
+			a, c := n.In[i], n.In[j]
+			if a.Caller.ID != c.Caller.ID {
+				return a.Caller.ID < c.Caller.ID
+			}
+			if a.Pos != c.Pos {
+				return a.Pos < c.Pos
+			}
+			return a.Kind < c.Kind
+		})
+	}
+}
+
+// position renders a node's declaration site as "file:line" relative to
+// nothing (absolute paths trimmed to base) — a human label for dumps.
+func (n *Node) position() string {
+	if n.Fn == nil {
+		return ""
+	}
+	p := n.Fn.Pkg.Fset.Position(n.Fn.Pos())
+	parts := strings.Split(strings.ReplaceAll(p.Filename, "\\", "/"), "/")
+	return fmt.Sprintf("%s:%d", parts[len(parts)-1], p.Line)
+}
+
+// WriteDOT dumps the graph in Graphviz DOT form. Internal (source)
+// nodes are boxes, externals ellipses; dynamic edges are dashed,
+// interface edges dotted. Output is byte-stable.
+func (g *CallGraph) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph nomloc {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	for _, n := range g.Nodes {
+		if n.Fn == nil {
+			if len(n.In) == 0 && len(n.Out) == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %q [shape=ellipse];\n", n.ID)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %q [shape=box,label=%q];\n", n.ID, n.ID+"\n"+n.position())
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			attr := ""
+			switch e.Kind {
+			case EdgeDynamic:
+				attr = " [style=dashed]"
+			case EdgeInterface:
+				attr = " [style=dotted]"
+			}
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n", e.Caller.ID, e.Callee.ID, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteJSON dumps the graph as a JSON object with sorted node and edge
+// arrays. Output is byte-stable.
+func (g *CallGraph) WriteJSON(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("{\n  \"nodes\": [\n")
+	first := true
+	for _, n := range g.Nodes {
+		if n.Fn == nil && len(n.In) == 0 && len(n.Out) == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		kind := "external"
+		pos := ""
+		if n.Fn != nil {
+			kind = "func"
+			if n.Fn.Lit != nil {
+				kind = "literal"
+			}
+			pos = n.position()
+		}
+		fmt.Fprintf(&sb, "    {\"id\": %q, \"kind\": %q, \"pos\": %q}", n.ID, kind, pos)
+	}
+	sb.WriteString("\n  ],\n  \"edges\": [\n")
+	first = true
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if !first {
+				sb.WriteString(",\n")
+			}
+			first = false
+			fmt.Fprintf(&sb, "    {\"caller\": %q, \"callee\": %q, \"kind\": %q}",
+				e.Caller.ID, e.Callee.ID, e.Kind)
+		}
+	}
+	sb.WriteString("\n  ]\n}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,181 @@
+package analysis_test
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+)
+
+// testImporter resolves imports against packages the test checked
+// earlier, so cross-package graphs build without export data.
+type testImporter map[string]*types.Package
+
+func (m testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("testImporter: no package %q", path)
+}
+
+// typecheckPkg parses and type-checks one in-memory package.
+func typecheckPkg(t *testing.T, imp testImporter, path, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+"/src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp != nil {
+		imp[path] = tpkg
+	}
+	return &analysis.Package{Path: path, Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+func hasEdge(g *analysis.CallGraph, caller, callee string, kind analysis.EdgeKind) bool {
+	n := g.NodeByID(caller)
+	if n == nil {
+		return false
+	}
+	for _, e := range n.Out {
+		if e.Callee.ID == callee && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+const cgSrc = `package cg
+
+type Greeter interface{ Greet() string }
+
+type English struct{}
+
+func (English) Greet() string { return "hi" }
+
+func (e *English) Shout() string { return e.Greet() }
+
+func SayVia(g Greeter) string { return g.Greet() }
+
+func Use() string {
+	f := func() int { return 1 }
+	apply(f)
+	return SayVia(English{})
+}
+
+func apply(f func() int) int { return f() }
+`
+
+func buildCGFixture(t *testing.T) *analysis.CallGraph {
+	t.Helper()
+	pkg := typecheckPkg(t, testImporter{}, "cg", cgSrc)
+	return analysis.BuildCallGraph([]*analysis.Package{pkg})
+}
+
+func TestCallGraphStaticEdges(t *testing.T) {
+	g := buildCGFixture(t)
+	for _, e := range [][2]string{
+		{"cg.Use", "cg.apply"},
+		{"cg.Use", "cg.SayVia"},
+		{"cg.(*English).Shout", "cg.(English).Greet"},
+	} {
+		if !hasEdge(g, e[0], e[1], analysis.EdgeStatic) {
+			t.Errorf("missing static edge %s -> %s", e[0], e[1])
+		}
+	}
+}
+
+func TestCallGraphInterfaceEdges(t *testing.T) {
+	g := buildCGFixture(t)
+	// The interface call links both the interface method node and every
+	// concrete type whose method set satisfies it structurally.
+	if !hasEdge(g, "cg.SayVia", "cg.(Greeter).Greet", analysis.EdgeInterface) {
+		t.Error("missing interface edge to the interface method node")
+	}
+	if !hasEdge(g, "cg.SayVia", "cg.(English).Greet", analysis.EdgeInterface) {
+		t.Error("missing CHA edge to the concrete implementation")
+	}
+}
+
+func TestCallGraphDynamicEdges(t *testing.T) {
+	g := buildCGFixture(t)
+	// apply calls through a func value; the resolver links every tracked
+	// literal with the same signature — here Use's literal.
+	if !hasEdge(g, "cg.apply", "cg.Use$1", analysis.EdgeDynamic) {
+		t.Error("missing dynamic edge apply -> cg.Use$1")
+	}
+	n := g.NodeByID("cg.Use$1")
+	if n == nil || n.Fn == nil || n.Fn.Lit == nil {
+		t.Fatal("literal node cg.Use$1 missing or untracked")
+	}
+}
+
+func TestCallGraphCrossPackage(t *testing.T) {
+	imp := testImporter{}
+	liba := typecheckPkg(t, imp, "liba", `package liba
+func Exported() int { return 0 }
+`)
+	libb := typecheckPkg(t, imp, "libb", `package libb
+
+import "liba"
+
+func Calls() int { return liba.Exported() }
+`)
+	g := analysis.BuildCallGraph([]*analysis.Package{libb, liba})
+	if !hasEdge(g, "libb.Calls", "liba.Exported", analysis.EdgeStatic) {
+		t.Error("missing cross-package static edge libb.Calls -> liba.Exported")
+	}
+	// The callee node is internal (has a body), keyed by the same FuncID
+	// the caller's package resolved.
+	if n := g.NodeByID("liba.Exported"); n == nil || n.Fn == nil {
+		t.Error("liba.Exported should be an internal node")
+	}
+}
+
+func TestCallGraphNodesSorted(t *testing.T) {
+	g := buildCGFixture(t)
+	for i := 1; i < len(g.Nodes); i++ {
+		if g.Nodes[i-1].ID >= g.Nodes[i].ID {
+			t.Fatalf("nodes out of order: %q before %q", g.Nodes[i-1].ID, g.Nodes[i].ID)
+		}
+	}
+}
+
+// TestCallGraphDumpsByteStable rebuilds the graph from a fresh parse and
+// demands byte-identical DOT and JSON dumps.
+func TestCallGraphDumpsByteStable(t *testing.T) {
+	var dots, jsons [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		g := buildCGFixture(t)
+		if err := g.WriteDOT(&dots[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.WriteJSON(&jsons[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(dots[0].Bytes(), dots[1].Bytes()) {
+		t.Error("DOT dump not byte-stable across rebuilds")
+	}
+	if !bytes.Equal(jsons[0].Bytes(), jsons[1].Bytes()) {
+		t.Error("JSON dump not byte-stable across rebuilds")
+	}
+}

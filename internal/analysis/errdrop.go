@@ -22,6 +22,14 @@ import (
 // Only variables declared inside the analyzed function are tracked
 // (closure-captured errors belong to their declaring function), and
 // named error results are exempt: assigning one is returning it.
+//
+// Calls proven infallible are exempt from all three patterns. The base
+// cases are the documented stdlib contracts (bytes.Buffer,
+// strings.Builder, hash.Hash writers); under a Program the exemption
+// extends transitively through the fallibility summary (DESIGN.md §11):
+// a wrapper whose error result is provably always nil — every return
+// hands back a literal nil or another infallible call — inherits the
+// exemption, across function and package boundaries.
 // Escape hatch: //nomloc:errdrop-ok, audited for staleness.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
@@ -41,6 +49,9 @@ func runErrDrop(pass *Pass) error {
 		return nil
 	}
 	ed := &errDrop{pass: pass}
+	if pass.Prog != nil {
+		ed.sum = SummariesFor(pass.Prog, errSummarizer)
+	}
 	for _, file := range pass.Files {
 		forEachFuncBody(file, func(fn ast.Node, body *ast.BlockStmt, results *ast.FieldList) {
 			ed.checkFunc(body, results)
@@ -51,6 +62,9 @@ func runErrDrop(pass *Pass) error {
 
 type errDrop struct {
 	pass *Pass
+	// sum holds the program-wide fallibility summaries, nil on
+	// intraprocedural runs (only the stdlib contract table applies then).
+	sum *Summaries[errSummary]
 	// local is the set of error vars declared in the function under
 	// analysis; only these are flow-tracked.
 	local map[*types.Var]bool
@@ -180,7 +194,7 @@ func (ed *errDrop) transfer(s errFact, atom ast.Node) errFact {
 	case *ast.ExprStmt:
 		if call, ok := n.X.(*ast.CallExpr); ok {
 			if idx := errorResultIndex(ed.pass.Info, call); idx >= 0 && ed.reporting &&
-				!isInfallibleCall(ed.pass.Info, call) {
+				!ed.infallible(call) {
 				ed.pass.Reportf(call.Pos(), "result of %s contains an error that is discarded; assign and check it", callName(ed.pass.Info, call))
 			}
 		}
@@ -218,7 +232,7 @@ func (ed *errDrop) transferAssign(s errFact, n *ast.AssignStmt) {
 			// an explicit, visible choice and stays legal.
 			if ed.reporting && fromCall {
 				if call := n.Rhs[0].(*ast.CallExpr); blankDiscardsError(ed.pass.Info, call, i, len(n.Lhs)) &&
-					!isInfallibleCall(ed.pass.Info, call) {
+					!ed.infallible(call) {
 					ed.pass.Reportf(lhs.Pos(), "error result of %s discarded with _; assign and check it", callName(ed.pass.Info, call))
 				}
 			}
@@ -311,7 +325,12 @@ var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Inte
 // bytes.Buffer and strings.Builder writers (and hash.Hash's Write,
 // which inherits the same contract).
 func isInfallibleCall(info *types.Info, call *ast.CallExpr) bool {
-	f := calleeFunc(info, call)
+	return infallibleByContract(calleeFunc(info, call))
+}
+
+// infallibleByContract is the stdlib base case of the fallibility
+// summary: methods whose documentation promises a nil error.
+func infallibleByContract(f *types.Func) bool {
 	if f == nil {
 		return false
 	}
@@ -335,6 +354,121 @@ func isInfallibleCall(info *types.Info, call *ast.CallExpr) bool {
 		return true
 	case pkg == "hash" && name == "Hash":
 		return true
+	}
+	return false
+}
+
+// infallible reports whether a call provably returns a nil error: by
+// stdlib contract, or (interprocedurally) by the callee's fallibility
+// summary.
+func (ed *errDrop) infallible(call *ast.CallExpr) bool {
+	if isInfallibleCall(ed.pass.Info, call) {
+		return true
+	}
+	if ed.sum == nil {
+		return false
+	}
+	sum, ok := ed.sum.OfCall(ed.pass.Info, call)
+	return ok && sum.infallible
+}
+
+// ---- interprocedural fallibility summaries ----
+
+// errSummary says whether a function's error results are provably
+// always nil. Bottom (fallible) is the sound default for unknown
+// functions, recursion that never settles, and bodies the analysis
+// cannot prove.
+type errSummary struct {
+	infallible bool
+}
+
+var errSummarizer = Summarizer[errSummary]{
+	Name:    "errdrop",
+	Bottom:  func() errSummary { return errSummary{} },
+	Equal:   func(a, b errSummary) bool { return a == b },
+	Compute: computeErrSummary,
+}
+
+// computeErrSummary proves a function infallible when every return
+// statement hands back a literal nil (or another infallible call) in
+// each error-typed result position. Bare returns through named error
+// results stay fallible — proving those nil would need flow analysis.
+// Externals fall back to the stdlib contract table. Monotone: a callee
+// flipping fallible→infallible can only flip callers the same way.
+func computeErrSummary(sm *Summaries[errSummary], n *Node) errSummary {
+	fi := n.Fn
+	if fi == nil {
+		return errSummary{infallible: infallibleByContract(n.Obj)}
+	}
+	if fi.Body == nil || fi.Sig == nil {
+		return errSummary{}
+	}
+	results := fi.Sig.Results()
+	hasErr := false
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			hasErr = true
+		}
+	}
+	if !hasErr {
+		return errSummary{}
+	}
+	info := fi.Pkg.Info
+	infallible := true
+	sawReturn := false
+	ast.Inspect(fi.Body, func(x ast.Node) bool {
+		if !infallible {
+			return false
+		}
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false // a literal's returns are its own
+		}
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		infallible = returnsNilError(sm, info, results, ret)
+		return true
+	})
+	return errSummary{infallible: infallible && sawReturn}
+}
+
+// returnsNilError reports whether one return statement provably yields
+// nil in every error-typed result position.
+func returnsNilError(sm *Summaries[errSummary], info *types.Info, results *types.Tuple, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == results.Len() {
+		for i, res := range ret.Results {
+			if !isErrorType(results.At(i).Type()) {
+				continue
+			}
+			if !nilOrInfallibleExpr(sm, info, res) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(ret.Results) == 1 && results.Len() > 1 {
+		// return f(): the whole tuple is forwarded from the callee.
+		return nilOrInfallibleExpr(sm, info, ret.Results[0])
+	}
+	// Bare return through named results: conservatively fallible.
+	return false
+}
+
+// nilOrInfallibleExpr reports whether an expression in error-result
+// position is a literal nil or a call with a nil-error guarantee.
+func nilOrInfallibleExpr(sm *Summaries[errSummary], info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.IsNil() {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if isInfallibleCall(info, call) {
+			return true
+		}
+		sum, ok := sm.OfCall(info, call)
+		return ok && sum.infallible
 	}
 	return false
 }

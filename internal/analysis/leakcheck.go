@@ -18,6 +18,14 @@ import (
 // goroutine with no reachable signaled exit is exactly the leak the
 // paper's long-running serving deployment cannot tolerate.
 //
+// Under a Program the named-function path is judged interprocedurally
+// (DESIGN.md §11): the spawned function's own body is classified by the
+// same CFG discipline, with signals flowing through the helpers it
+// calls — so `go spin(ctx)` is reported when spin ignores its context,
+// and `go func() { pump(ch) }()` is clean when pump ranges the channel.
+// Only when the callee's body is out of reach does the analyzer fall
+// back to the lifecycle-argument heuristic of the spawn site.
+//
 // The check is necessarily a heuristic for liveness, so it is biased
 // to the repo's supervision idiom (`go func() { defer wg.Done(); … }`)
 // and keeps an audited escape hatch: //nomloc:leakcheck-ok.
@@ -38,6 +46,9 @@ func runLeakCheck(pass *Pass) error {
 		return nil
 	}
 	lc := &leakCheck{pass: pass}
+	if pass.Prog != nil {
+		lc.sum = SummariesFor(pass.Prog, leakSummarizer)
+	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
@@ -51,6 +62,9 @@ func runLeakCheck(pass *Pass) error {
 
 type leakCheck struct {
 	pass *Pass
+	// sum holds the program-wide leak summaries, nil on intraprocedural
+	// runs (named spawns then fall back to the lifecycle-arg heuristic).
+	sum *Summaries[leakSummary]
 }
 
 func (lc *leakCheck) checkGo(g *ast.GoStmt) {
@@ -58,9 +72,22 @@ func (lc *leakCheck) checkGo(g *ast.GoStmt) {
 		lc.checkLitBody(g, lit.Body)
 		return
 	}
-	// Named function or method value: trust it when the caller hands it
-	// a lifecycle handle; otherwise the exit discipline is invisible
-	// from this spawn site.
+	// Named function or method: when the program view has the callee's
+	// body, judge it directly — a callee that ignores its arguments
+	// leaks no matter what lifecycle handles the spawn site passes.
+	if lc.sum != nil {
+		if node := lc.sum.NodeOfCall(lc.pass.Info, g.Call); node != nil && node.Fn != nil && node.Fn.Body != nil {
+			switch lc.sum.Of(node.ID).verdict {
+			case leakyReturn:
+				lc.pass.Reportf(g.Pos(), "goroutine calls %s, which can return without touching a context, channel, or WaitGroup on some path; supervise it (e.g. defer wg.Done())", callName(lc.pass.Info, g.Call))
+			case leakyLoop:
+				lc.pass.Reportf(g.Pos(), "goroutine calls %s, which loops forever with no context, channel, or WaitGroup operation; it cannot be shut down", callName(lc.pass.Info, g.Call))
+			}
+			return
+		}
+	}
+	// Callee body out of reach: trust the spawn when the caller hands it
+	// a lifecycle handle; otherwise the exit discipline is invisible.
 	for _, arg := range g.Call.Args {
 		if isLifecycleType(lc.pass.Info.TypeOf(arg)) {
 			return
@@ -70,13 +97,23 @@ func (lc *leakCheck) checkGo(g *ast.GoStmt) {
 }
 
 func (lc *leakCheck) checkLitBody(g *ast.GoStmt, body *ast.BlockStmt) {
+	switch lc.judgeBody(body) {
+	case leakyReturn:
+		lc.pass.Reportf(g.Pos(), "goroutine can return without touching a context, channel, or WaitGroup on some path; supervise it (e.g. defer wg.Done())")
+	case leakyLoop:
+		lc.pass.Reportf(g.Pos(), "goroutine loops forever with no context, channel, or WaitGroup operation; it cannot be shut down")
+	}
+}
+
+// judgeBody classifies a goroutine body's exit discipline.
+func (lc *leakCheck) judgeBody(body *ast.BlockStmt) leakVerdict {
 	cfg := NewCFG(body)
 
 	// Deferred Done/close supervises every exit path at once — the
 	// repo's canonical `defer wg.Done()` idiom.
 	for _, d := range cfg.Defers {
 		if lc.containsSignal(d, true) {
-			return
+			return leakOK
 		}
 	}
 
@@ -97,9 +134,9 @@ func (lc *leakCheck) checkLitBody(g *ast.GoStmt, body *ast.BlockStmt) {
 
 	if reachable[cfg.Exit] {
 		if !in[cfg.Exit] {
-			lc.pass.Reportf(g.Pos(), "goroutine can return without touching a context, channel, or WaitGroup on some path; supervise it (e.g. defer wg.Done())")
+			return leakyReturn
 		}
-		return
+		return leakOK
 	}
 
 	// Exit unreachable: the body loops forever. That is fine for a
@@ -111,11 +148,11 @@ func (lc *leakCheck) checkLitBody(g *ast.GoStmt, body *ast.BlockStmt) {
 		}
 		for _, atom := range b.Atoms {
 			if lc.containsSignal(atom, false) {
-				return
+				return leakOK
 			}
 		}
 	}
-	lc.pass.Reportf(g.Pos(), "goroutine loops forever with no context, channel, or WaitGroup operation; it cannot be shut down")
+	return leakyLoop
 }
 
 // containsSignal reports whether a node's subtree performs a lifecycle
@@ -132,8 +169,11 @@ func (lc *leakCheck) containsSignal(n ast.Node, intoLits bool) bool {
 		switch x := x.(type) {
 		case *ast.FuncLit:
 			return intoLits
+		case *ast.GoStmt:
+			// A spawned goroutine's signals are its own, not this path's.
+			return false
 		case *ast.CallExpr:
-			if lc.isDoneCall(x) || isCloseCall(lc.pass.Info, x) {
+			if lc.isDoneCall(x) || isCloseCall(lc.pass.Info, x) || lc.signalsThrough(x) {
 				found = true
 				return false
 			}
@@ -159,6 +199,73 @@ func (lc *leakCheck) containsSignal(n ast.Node, intoLits bool) bool {
 		return true
 	})
 	return found
+}
+
+// signalsThrough reports whether a call's callee performs a lifecycle
+// signal in its own body, per the interprocedural summary — how
+// `for { step(ch) }` counts when step drains the channel.
+func (lc *leakCheck) signalsThrough(call *ast.CallExpr) bool {
+	if lc.sum == nil {
+		return false
+	}
+	sum, ok := lc.sum.OfCall(lc.pass.Info, call)
+	return ok && sum.signals
+}
+
+// ---- interprocedural leak summaries ----
+
+// leakVerdict classifies one function body as a goroutine root.
+type leakVerdict int
+
+const (
+	// leakUnknown: no body to judge (externals).
+	leakUnknown leakVerdict = iota
+	// leakOK: every path signals before returning, or a deferred signal
+	// covers all exits, or the forever-loop touches a signal.
+	leakOK
+	// leakyReturn: some path returns without a signal.
+	leakyReturn
+	// leakyLoop: the body loops forever with no signal anywhere.
+	leakyLoop
+)
+
+// leakSummary is one function's concurrency-exit summary: signals says
+// whether calling the function performs a lifecycle signal on some path
+// (what callers fold into their own discipline), and verdict is the
+// body's classification when spawned directly via `go f(...)`.
+type leakSummary struct {
+	signals bool
+	verdict leakVerdict
+}
+
+var leakSummarizer = Summarizer[leakSummary]{
+	Name:    "leakcheck",
+	Bottom:  func() leakSummary { return leakSummary{} },
+	Equal:   func(a, b leakSummary) bool { return a == b },
+	Compute: computeLeakSummary,
+}
+
+func computeLeakSummary(sm *Summaries[leakSummary], n *Node) leakSummary {
+	fi := n.Fn
+	if fi == nil || fi.Body == nil {
+		return leakSummary{}
+	}
+	// The synthetic pass never reports (judgeBody only classifies), so
+	// it carries no Analyzer.
+	lc := &leakCheck{
+		pass: &Pass{
+			Fset:  fi.Pkg.Fset,
+			Files: fi.Pkg.Files,
+			Pkg:   fi.Pkg.Types,
+			Info:  fi.Pkg.Info,
+			Prog:  sm.Prog,
+		},
+		sum: sm,
+	}
+	return leakSummary{
+		signals: lc.containsSignal(fi.Body, false),
+		verdict: lc.judgeBody(fi.Body),
+	}
 }
 
 func (lc *leakCheck) isDoneCall(call *ast.CallExpr) bool {

@@ -1,0 +1,441 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the cross-function mutex acquisition-order graph of
+// the concurrency-bearing packages (server, parallel, agent, telemetry)
+// and reports every two-lock inversion — the classic AB-BA shape where
+// one code path acquires A then B while another acquires B then A,
+// which deadlocks the moment both paths run concurrently.
+//
+// The analyzer is summary-based from the ground up (DESIGN.md §11).
+// Locks are abstracted by type, not instance: `s.mu.Lock()` on a
+// *server.Server is the key "server.Server.mu", so any two Server
+// values alias. Each function's summary carries the set of lock keys it
+// may acquire (transitively, through the functions it calls) plus the
+// order edges its own body closes: an edge A→B is recorded when B is
+// acquired — directly or inside a callee — while A is held. Deferred
+// unlocks do not release during the body, matching the
+// `mu.Lock(); defer mu.Unlock()` idiom, and a goroutine spawned with
+// `go` starts with an empty held set of its own. The global graph is
+// the union of every summary's edges; an inversion is reported once, at
+// a deterministic anchor edge, with both acquisition paths spelled out.
+//
+// Self-edges (re-acquiring the same key) are deliberately not reported:
+// under type-based aliasing, locking two distinct values of one type is
+// legitimate and common. The analyzer needs the whole-program view and
+// reports nothing on intraprocedural runs.
+// Escape hatch: //nomloc:lockorder-ok, audited for staleness.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "flag lock-order inversions (AB-BA deadlock shapes) in the " +
+		"cross-function mutex acquisition graph of server, parallel, agent, " +
+		"and telemetry",
+	Run: runLockOrder,
+}
+
+// lockScopedPackages are the import-path base names whose mutexes
+// participate in the acquisition-order graph.
+var lockScopedPackages = map[string]bool{
+	"server": true, "parallel": true, "agent": true, "telemetry": true,
+}
+
+func runLockOrder(pass *Pass) error {
+	if pass.Prog == nil || !lockScopedPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, c := range lockConflicts(pass.Prog) {
+		if c.anchor.pkgPath == pass.Pkg.Path() {
+			pass.Reportf(c.anchor.pos,
+				"lock order inversion between %s and %s: %s, but %s; acquire mutexes in one global order",
+				c.a, c.b, c.anchor.desc, c.other.desc)
+		}
+	}
+	return nil
+}
+
+// lockOrderEdge is one acquisition-order edge A→B with the evidence
+// that closed it: the package and position to report at, and a rendered
+// description of the path.
+type lockOrderEdge struct {
+	from, to string
+	pkgPath  string
+	pos      token.Pos
+	desc     string
+}
+
+// lockSummary is one function's view of the acquisition graph.
+type lockSummary struct {
+	// acquires maps each lock key the function may take — itself or
+	// transitively — to the rendered site of the ultimate direct
+	// acquisition ("server.(*Server).handle at server.go:42").
+	acquires map[string]string
+	// edges maps "from\x00to" to the order edge this function's body
+	// closes.
+	edges map[string]lockOrderEdge
+}
+
+var lockSummarizer = Summarizer[lockSummary]{
+	Name:   "lockorder",
+	Bottom: func() lockSummary { return lockSummary{} },
+	Equal: func(a, b lockSummary) bool {
+		if len(a.acquires) != len(b.acquires) || len(a.edges) != len(b.edges) {
+			return false
+		}
+		for k, v := range a.acquires {
+			if b.acquires[k] != v {
+				return false
+			}
+		}
+		for k, v := range a.edges {
+			if b.edges[k] != v {
+				return false
+			}
+		}
+		return true
+	},
+	Compute: computeLockSummary,
+}
+
+// lockHeld maps each held lock key to the rendered site where the
+// current path acquired it.
+type lockHeld map[string]string
+
+func computeLockSummary(sm *Summaries[lockSummary], n *Node) lockSummary {
+	fi := n.Fn
+	if fi == nil || fi.Body == nil {
+		return lockSummary{}
+	}
+	if !lockScopedPackages[path.Base(fi.Pkg.Path)] {
+		return lockSummary{}
+	}
+	sc := &lockScan{fi: fi, sum: sm}
+	cfg := NewCFG(fi.Body)
+	p := sc.problem()
+	in := Forward(cfg, p)
+
+	// Recording pass: replay each reachable block against its fixpoint
+	// entry fact, now capturing acquires and edges.
+	sc.out = lockSummary{acquires: map[string]string{}, edges: map[string]lockOrderEdge{}}
+	sc.recording = true
+	reachable := cfg.Reachable(cfg.Entry)
+	for _, b := range cfg.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		s := p.Clone(in[b])
+		for _, atom := range b.Atoms {
+			s = p.Transfer(s, atom)
+		}
+	}
+	sc.recording = false
+	if len(sc.out.acquires) == 0 && len(sc.out.edges) == 0 {
+		return lockSummary{}
+	}
+	return sc.out
+}
+
+// lockScan runs the held-set dataflow over one function body.
+type lockScan struct {
+	fi        *FuncInfo
+	sum       *Summaries[lockSummary]
+	recording bool
+	out       lockSummary
+}
+
+func (sc *lockScan) problem() FlowProblem[lockHeld] {
+	clone := func(s lockHeld) lockHeld {
+		out := make(lockHeld, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+	return FlowProblem[lockHeld]{
+		Entry:  lockHeld{},
+		Bottom: func() lockHeld { return nil },
+		Clone:  clone,
+		// Join is union (held on any path counts), smallest witness kept
+		// for determinism.
+		Join: func(a, b lockHeld) lockHeld {
+			if a == nil {
+				return clone(b)
+			}
+			if b == nil {
+				return clone(a)
+			}
+			out := clone(a)
+			for k, v := range b {
+				if prev, ok := out[k]; !ok || v < prev {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Transfer: sc.transfer,
+		Equal: func(a, b lockHeld) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || v != w {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// transfer folds one atom's calls into the held set, in pre-order.
+// Deferred calls are skipped (a deferred unlock releases at exit, not
+// here) and so are go statements (the spawned goroutine holds nothing
+// of this path's).
+func (sc *lockScan) transfer(s lockHeld, atom ast.Node) lockHeld {
+	ast.Inspect(atom, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sc.applyCall(s, call)
+		return true
+	})
+	return s
+}
+
+func (sc *lockScan) applyCall(s lockHeld, call *ast.CallExpr) {
+	info := sc.fi.Pkg.Info
+	if recv, name, ok := lockMethodCall(info, call); ok {
+		key := lockKeyOf(info, recv, sc.fi.Pkg.Path)
+		if key == "" {
+			return
+		}
+		switch name {
+		case "Lock", "RLock":
+			if sc.recording {
+				site := sc.shortID() + " at " + sc.posStr(call.Pos())
+				sc.record(key, site)
+				for _, h := range sortedHeld(s) {
+					if h.key == key {
+						continue
+					}
+					sc.recordEdge(h.key, key, call.Pos(), fmt.Sprintf(
+						"%s acquires %s at %s while holding %s (since %s)",
+						sc.shortID(), key, sc.posStr(call.Pos()), h.key, h.since))
+				}
+			}
+			if _, held := s[key]; !held {
+				s[key] = sc.posStr(call.Pos())
+			}
+		case "Unlock", "RUnlock":
+			delete(s, key)
+		}
+		return
+	}
+	// A non-lock call: every key the callee may acquire is ordered
+	// after every key held here. The callee's locks are assumed
+	// balanced, so the held set is unchanged on return.
+	sum, ok := sc.sum.OfCall(info, call)
+	if !ok || len(sum.acquires) == 0 || !sc.recording {
+		return
+	}
+	for _, k := range sortedKeys(sum.acquires) {
+		sc.record(k, sum.acquires[k])
+		for _, h := range sortedHeld(s) {
+			if h.key == k {
+				continue
+			}
+			sc.recordEdge(h.key, k, call.Pos(), fmt.Sprintf(
+				"%s calls %s at %s while holding %s (since %s), and the callee acquires %s (%s)",
+				sc.shortID(), callName(info, call), sc.posStr(call.Pos()), h.key, h.since, k, sum.acquires[k]))
+		}
+	}
+}
+
+// record notes a (possibly transitive) acquisition, first witness wins
+// so summaries stabilize.
+func (sc *lockScan) record(key, site string) {
+	if _, ok := sc.out.acquires[key]; !ok {
+		sc.out.acquires[key] = site
+	}
+}
+
+func (sc *lockScan) recordEdge(from, to string, pos token.Pos, desc string) {
+	k := from + "\x00" + to
+	if _, ok := sc.out.edges[k]; !ok {
+		sc.out.edges[k] = lockOrderEdge{from: from, to: to, pkgPath: sc.fi.Pkg.Path, pos: pos, desc: desc}
+	}
+}
+
+// shortID renders the function's ID with the import path shortened to
+// its base ("server.(*Server).handle").
+func (sc *lockScan) shortID() string {
+	return shortFuncID(sc.fi.ID)
+}
+
+func shortFuncID(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func (sc *lockScan) posStr(pos token.Pos) string {
+	p := sc.fi.Pkg.Fset.Position(pos)
+	return path.Base(strings.ReplaceAll(p.Filename, "\\", "/")) + ":" + fmt.Sprint(p.Line)
+}
+
+type heldEntry struct{ key, since string }
+
+func sortedHeld(s lockHeld) []heldEntry {
+	out := make([]heldEntry, 0, len(s))
+	for k, v := range s {
+		out = append(out, heldEntry{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockMethodCall recognizes sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock
+// method calls, returning the receiver expression and method name.
+func lockMethodCall(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel.X, f.Name(), true
+	}
+	return nil, "", false
+}
+
+// lockKeyOf abstracts a lock receiver to its type-based key:
+// "pkgbase.Type.field" for a mutex field, "pkgbase.Type" for an
+// embedded mutex, "pkgbase.name" for a package-level or local mutex
+// variable.
+func lockKeyOf(info *types.Info, recv ast.Expr, pkgPath string) string {
+	recv = ast.Unparen(recv)
+	switch e := recv.(type) {
+	case *ast.SelectorExpr:
+		if owner := namedOwner(info.TypeOf(e.X)); owner != nil {
+			return typeKey(owner) + "." + e.Sel.Name
+		}
+		return path.Base(pkgPath) + "." + e.Sel.Name
+	case *ast.Ident:
+		if owner := namedOwner(info.TypeOf(e)); owner != nil && !isSyncLockType(owner) {
+			// Embedded mutex: s.Lock() with S embedding sync.Mutex.
+			return typeKey(owner)
+		}
+		return path.Base(pkgPath) + "." + e.Name
+	}
+	return ""
+}
+
+// namedOwner unwraps pointers and returns the named type, or nil.
+func namedOwner(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func typeKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return path.Base(obj.Pkg().Path()) + "." + obj.Name()
+}
+
+func isSyncLockType(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockConflict is one AB-BA inversion: the anchor edge (reported) and
+// the other direction (quoted in the message).
+type lockConflict struct {
+	a, b          string
+	anchor, other lockOrderEdge
+}
+
+// lockConflicts unions every function's order edges and returns the
+// pairwise inversions, computed once per program and sorted by
+// (a, b, anchor package).
+func lockConflicts(prog *Program) []lockConflict {
+	return prog.cached("lockorder:conflicts", func() any {
+		sm := SummariesFor(prog, lockSummarizer)
+		edges := map[string]lockOrderEdge{}
+		for _, n := range prog.Graph.Nodes {
+			sum := sm.Of(n.ID)
+			for _, k := range sortedEdgeKeys(sum.edges) {
+				if _, ok := edges[k]; !ok {
+					edges[k] = sum.edges[k]
+				}
+			}
+		}
+		var out []lockConflict
+		for _, k := range sortedEdgeKeys(edges) {
+			e := edges[k]
+			if e.from >= e.to {
+				continue // each unordered pair considered once, from its a<b edge
+			}
+			rev, ok := edges[e.to+"\x00"+e.from]
+			if !ok {
+				continue
+			}
+			anchor, other := e, rev
+			if other.pkgPath < anchor.pkgPath || (other.pkgPath == anchor.pkgPath && other.desc < anchor.desc) {
+				anchor, other = other, anchor
+			}
+			out = append(out, lockConflict{a: e.from, b: e.to, anchor: anchor, other: other})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].a != out[j].a {
+				return out[i].a < out[j].a
+			}
+			return out[i].b < out[j].b
+		})
+		return out
+	}).([]lockConflict)
+}
+
+func sortedEdgeKeys(m map[string]lockOrderEdge) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -25,11 +25,20 @@ import (
 // applied to unvetted arguments. A guard — math.IsNaN, math.IsInf,
 // math.Abs, or any relational comparison mentioning the value — clears
 // it: after `if x <= 0 { return err }`, both `1/x` and `math.Log(x)`
-// are clean. The analysis is function-scoped and optimistic across
-// calls (results of non-math calls are clean; callees vet their own
-// outputs), and tracks idents, field selectors, and index expressions
-// syntactically. Escape hatch: //nomloc:nanguard-ok on the offending
-// line, audited for staleness like every other suppression.
+// are clean. The analysis tracks idents, field selectors, and index
+// expressions syntactically.
+//
+// Across calls the analyzer is summary-driven (DESIGN.md §11): every
+// function in the program gets a bottom-up NaN summary saying, per
+// result, whether it may be NaN unconditionally (an unguarded division
+// inside the callee) or only when an argument already is. A helper that
+// divides unguarded therefore taints its callers, down to the LP and
+// coordinate sinks, across package boundaries. Calls the graph cannot
+// resolve (function values, externals without source) stay optimistic:
+// callees vet their own outputs. Without a Program (legacy single-
+// package runs) every call is optimistic, which is the old behavior.
+// Escape hatch: //nomloc:nanguard-ok on the offending line, audited for
+// staleness like every other suppression.
 var NanGuard = &Analyzer{
 	Name: "nanguard",
 	Doc: "flag possibly-NaN floats (unguarded division, math.Log/Sqrt/Pow) " +
@@ -82,6 +91,9 @@ func runNanGuard(pass *Pass) error {
 		return nil
 	}
 	ng := &nanGuard{pass: pass}
+	if pass.Prog != nil {
+		ng.sum = SummariesFor(pass.Prog, nanSummarizer)
+	}
 	for _, file := range pass.Files {
 		forEachFuncBody(file, func(fn ast.Node, body *ast.BlockStmt, results *ast.FieldList) {
 			ng.checkFunc(body)
@@ -92,6 +104,9 @@ func runNanGuard(pass *Pass) error {
 
 type nanGuard struct {
 	pass *Pass
+	// sum holds the program-wide NaN summaries, nil on intraprocedural
+	// runs (every call is then optimistically clean).
+	sum *Summaries[nanSummary]
 }
 
 func (ng *nanGuard) problem() FlowProblem[taintFact] {
@@ -192,6 +207,18 @@ func (ng *nanGuard) transfer(s taintFact, atom ast.Node) taintFact {
 				if !ok {
 					continue
 				}
+				if len(vs.Names) > 1 && len(vs.Values) == 1 {
+					if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+						for i, name := range vs.Names {
+							if ng.summaryResultTainted(s, call, i) {
+								ng.setMark(s, name, markTainted)
+							} else {
+								ng.invalidate(s, name)
+							}
+						}
+						continue
+					}
+				}
 				for i, name := range vs.Names {
 					var rhs ast.Expr
 					if i < len(vs.Values) {
@@ -216,6 +243,20 @@ func (ng *nanGuard) assign(s taintFact, n *ast.AssignStmt) {
 		}
 	}
 	aligned := len(n.Lhs) == len(n.Rhs)
+	if !aligned && len(n.Rhs) == 1 {
+		// Tuple assignment from one call: consult the callee's summary
+		// per result index instead of assuming every result clean.
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			for i, lhs := range n.Lhs {
+				if ng.summaryResultTainted(s, call, i) {
+					ng.setMark(s, lhs, markTainted)
+				} else {
+					ng.invalidate(s, lhs)
+				}
+			}
+			return
+		}
+	}
 	for i, lhs := range n.Lhs {
 		var rhs ast.Expr
 		if aligned {
@@ -358,7 +399,10 @@ func (ng *nanGuard) tainted(s taintFact, e ast.Expr) bool {
 	case *ast.CallExpr:
 		f := calleeFunc(ng.pass.Info, e)
 		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "math" {
-			return false // non-math calls vet their own results
+			// Non-math calls: consult the callee's NaN summary when
+			// running interprocedurally; without one, callees vet their
+			// own results.
+			return ng.summaryResultTainted(s, e, 0)
 		}
 		allArgs, risky := nanMathFuncs[f.Name()]
 		if !risky && !nanMathFuncs_has(f.Name()) {
@@ -395,8 +439,8 @@ func (ng *nanGuard) safeDenominator(s taintFact, e ast.Expr) bool {
 	if tv, ok := ng.pass.Info.Types[e]; ok && tv.Value != nil {
 		return constNonZero(tv)
 	}
-	if _, ok := e.(*ast.CallExpr); ok {
-		return true
+	if call, ok := e.(*ast.CallExpr); ok {
+		return !ng.summaryResultTainted(s, call, 0)
 	}
 	if key, _, ok := taintKey(e); ok {
 		if ent, ok := s[key]; ok && ent.mark == markGuarded {
@@ -414,8 +458,8 @@ func (ng *nanGuard) vettedOperand(s taintFact, e ast.Expr) bool {
 	if tv, ok := ng.pass.Info.Types[e]; ok && tv.Value != nil {
 		return true
 	}
-	if _, ok := e.(*ast.CallExpr); ok {
-		return true
+	if call, ok := e.(*ast.CallExpr); ok {
+		return !ng.summaryResultTainted(s, call, 0)
 	}
 	if u, ok := e.(*ast.UnaryExpr); ok {
 		return ng.vettedOperand(s, u.X)
@@ -614,6 +658,215 @@ func isCoordType(t types.Type, depth int) bool {
 func isFloatType(t types.Type) bool {
 	basic, ok := t.Underlying().(*types.Basic)
 	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// ---- interprocedural NaN summaries ----
+
+// nanResultFact classifies one function result for callers.
+type nanResultFact int
+
+const (
+	// nanResultClean: the result is never NaN, no matter the arguments.
+	nanResultClean nanResultFact = iota
+	// nanResultFromParams: the result may be NaN when an argument
+	// already is — taint flows through, but the callee adds none.
+	nanResultFromParams
+	// nanResultAlways: the callee itself can produce NaN (an unguarded
+	// division or risky math call), so every call is tainted.
+	nanResultAlways
+)
+
+// nanSummary is one function's NaN summary: a fact per result. The
+// empty slice is Bottom — the optimistic "callee vets its own outputs"
+// assumption used for externals and packages outside the numeric
+// pipeline.
+type nanSummary struct {
+	results []nanResultFact
+}
+
+var nanSummarizer = Summarizer[nanSummary]{
+	Name:   "nanguard",
+	Bottom: func() nanSummary { return nanSummary{} },
+	Equal: func(a, b nanSummary) bool {
+		if len(a.results) != len(b.results) {
+			return false
+		}
+		for i := range a.results {
+			if a.results[i] != b.results[i] {
+				return false
+			}
+		}
+		return true
+	},
+	Compute: computeNanSummary,
+}
+
+// computeNanSummary derives one function's summary by running the taint
+// dataflow over its body twice: once with a clean entry fact (taint
+// found there is the callee's own — nanResultAlways) and once with
+// every float parameter tainted (additional taint is parameter-borne —
+// nanResultFromParams). The always-run's taint is a subset of the
+// from-params run's, so the per-result facts are totally ordered and
+// the SCC fixpoint stays monotone. Only functions in the NaN-scoped
+// packages are summarized; everything else keeps the optimistic Bottom.
+func computeNanSummary(sm *Summaries[nanSummary], n *Node) nanSummary {
+	fi := n.Fn
+	if fi == nil || fi.Body == nil || fi.Sig == nil {
+		return nanSummary{}
+	}
+	if !nanScopedPackages[path.Base(fi.Pkg.Path)] {
+		return nanSummary{}
+	}
+	results := fi.Sig.Results()
+	hasFloat := false
+	for i := 0; i < results.Len(); i++ {
+		if isFloatType(results.At(i).Type()) {
+			hasFloat = true
+		}
+	}
+	if !hasFloat {
+		return nanSummary{}
+	}
+	// The synthetic pass never reports (returnTaints only reads facts),
+	// so it carries no Analyzer.
+	ng := &nanGuard{
+		pass: &Pass{
+			Fset:  fi.Pkg.Fset,
+			Files: fi.Pkg.Files,
+			Pkg:   fi.Pkg.Types,
+			Info:  fi.Pkg.Info,
+			Prog:  sm.Prog,
+		},
+		sum: sm,
+	}
+	always := ng.returnTaints(fi, taintFact{})
+	entry := taintFact{}
+	params := fi.Sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if p.Name() == "" || p.Name() == "_" || !isFloatType(p.Type()) {
+			continue
+		}
+		entry[p.Name()] = taintEntry{mark: markTainted, roots: map[string]bool{p.Name(): true}}
+	}
+	fromParams := ng.returnTaints(fi, entry)
+	out := nanSummary{results: make([]nanResultFact, results.Len())}
+	for i := range out.results {
+		switch {
+		case always[i]:
+			out.results[i] = nanResultAlways
+		case fromParams[i]:
+			out.results[i] = nanResultFromParams
+		}
+	}
+	return out
+}
+
+// returnTaints runs the taint dataflow over fi's body under the given
+// entry fact and reports, per result index, whether some return may
+// yield a tainted value there.
+func (ng *nanGuard) returnTaints(fi *FuncInfo, entry taintFact) []bool {
+	out := make([]bool, fi.Sig.Results().Len())
+	cfg := NewCFG(fi.Body)
+	p := ng.problem()
+	p.Entry = entry
+	in := Forward(cfg, p)
+	reachable := cfg.Reachable(cfg.Entry)
+	names := namedResults(fi)
+	for _, b := range cfg.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		s := p.Clone(in[b])
+		for _, atom := range b.Atoms {
+			if ret, ok := atom.(*ast.ReturnStmt); ok {
+				ng.noteReturnTaint(s, ret, names, out)
+			}
+			s = p.Transfer(s, atom)
+		}
+	}
+	return out
+}
+
+// namedResults returns the declared result names of fi, "" for unnamed
+// positions.
+func namedResults(fi *FuncInfo) []string {
+	var fl *ast.FieldList
+	switch {
+	case fi.Decl != nil:
+		fl = fi.Decl.Type.Results
+	case fi.Lit != nil:
+		fl = fi.Lit.Type.Results
+	}
+	if fl == nil {
+		return nil
+	}
+	var names []string
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			names = append(names, "")
+			continue
+		}
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+// noteReturnTaint folds one return statement into the per-result taint
+// flags: explicit results by position, a forwarded multi-result call by
+// its callee's summary, a bare return by the named results' marks.
+func (ng *nanGuard) noteReturnTaint(s taintFact, ret *ast.ReturnStmt, names []string, out []bool) {
+	switch {
+	case len(ret.Results) == len(out):
+		for i, res := range ret.Results {
+			if ng.tainted(s, res) {
+				out[i] = true
+			}
+		}
+	case len(ret.Results) == 1 && len(out) > 1:
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			for i := range out {
+				if ng.summaryResultTainted(s, call, i) {
+					out[i] = true
+				}
+			}
+		}
+	case len(ret.Results) == 0:
+		for i := range out {
+			if i < len(names) && names[i] != "" && names[i] != "_" {
+				if ent, ok := s[names[i]]; ok && ent.mark == markTainted {
+					out[i] = true
+				}
+			}
+		}
+	}
+}
+
+// summaryResultTainted consults the NaN summary of a call's callee for
+// result idx: nanResultAlways taints unconditionally, and
+// nanResultFromParams taints when some argument is tainted under s.
+// Without a Program (sum == nil) every call stays optimistically clean.
+func (ng *nanGuard) summaryResultTainted(s taintFact, call *ast.CallExpr, idx int) bool {
+	if ng.sum == nil {
+		return false
+	}
+	sum, ok := ng.sum.OfCall(ng.pass.Info, call)
+	if !ok || idx >= len(sum.results) {
+		return false
+	}
+	switch sum.results[idx] {
+	case nanResultAlways:
+		return true
+	case nanResultFromParams:
+		for _, arg := range call.Args {
+			if ng.tainted(s, arg) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // forEachFuncBody visits every function body in a file: declarations

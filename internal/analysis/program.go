@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Program is the whole-module view the interprocedural analyzers
+// consume: every loaded package plus the call graph over them, with a
+// cache for derived artifacts (function summaries, the lock-order
+// graph) so each is computed once per program no matter how many
+// per-package passes consult it.
+//
+// A Pass run through Program.RunPkg carries the Program in Pass.Prog;
+// analyzers degrade gracefully to their intraprocedural behavior when
+// Prog is nil (the legacy Package.Run path).
+type Program struct {
+	// Packages are the loaded packages, in load order.
+	Packages []*Package
+	// Graph is the deterministic whole-program call graph.
+	Graph *CallGraph
+
+	mu     sync.Mutex
+	caches map[string]any
+}
+
+// BuildProgram assembles a Program over the loaded packages, building
+// the call graph eagerly (it is the one artifact every interprocedural
+// analyzer needs).
+func BuildProgram(pkgs []*Package) *Program {
+	return &Program{
+		Packages: pkgs,
+		Graph:    BuildCallGraph(pkgs),
+		caches:   map[string]any{},
+	}
+}
+
+// cached returns the artifact under key, computing it at most once per
+// key via build. build runs outside the lock so it may itself consult
+// other cache keys; a lost race recomputes deterministically identical
+// values, so first-write-wins is safe.
+func (p *Program) cached(key string, build func() any) any {
+	p.mu.Lock()
+	if v, ok := p.caches[key]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	v := build()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w, ok := p.caches[key]; ok {
+		return w
+	}
+	p.caches[key] = v
+	return v
+}
+
+// RunPkg executes one analyzer over one of the program's packages with
+// interprocedural context, returning diagnostics after suppression
+// filtering.
+func (p *Program) RunPkg(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Prog:     p,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+	}
+	return ApplySuppressions(pkg.Fset, pkg.Files, a.Name, pass.diags), nil
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the function-summary engine (DESIGN.md §11): a generic
+// bottom-up fixpoint over the strongly-connected components of the call
+// graph. A Summarizer[S] supplies the lattice (Bottom, Equal) and a
+// Compute function that derives one function's summary, reading callee
+// summaries through Summaries.Of. The engine processes SCCs in reverse
+// topological order — callees before callers — so acyclic call chains
+// resolve in one Compute each, and iterates each cyclic SCC to a
+// fixpoint, so recursion (direct or mutual) is safe: Of returns the
+// callee's current approximation, which only grows monotonically until
+// the component stabilizes.
+//
+// Summaries compose with the intraprocedural FlowProblem engine by
+// design: a transfer function that reaches a call site looks the callee
+// up by FuncID and folds the summary into its local fact, which is how
+// nanguard taint, errdrop fallibility, leakcheck exit discipline, and
+// unitcheck dimensions all cross function and package boundaries.
+
+// Summarizer describes one bottom-up function-summary analysis with
+// summaries of type S.
+type Summarizer[S any] struct {
+	// Name keys the Program cache; one computation per (program, name).
+	Name string
+	// Bottom is the summary of an unknown function and the seed of
+	// cyclic components. Compute must be monotone w.r.t. it.
+	Bottom func() S
+	// Equal reports summary equality; SCC iteration stops when no
+	// member's summary changes.
+	Equal func(a, b S) bool
+	// Compute derives the summary of one node. It may call sm.Of for
+	// any callee (Bottom for functions not yet reached) and must be
+	// deterministic.
+	Compute func(sm *Summaries[S], n *Node) S
+}
+
+// Summaries holds the memoized fixpoint results of one Summarizer over
+// one Program.
+type Summaries[S any] struct {
+	// Prog is the program the summaries were computed over.
+	Prog *Program
+
+	s Summarizer[S]
+	m map[string]S
+}
+
+// Of returns the summary for a FuncID, or Bottom for functions outside
+// the program (or not yet computed, inside a cyclic component).
+func (sm *Summaries[S]) Of(id string) S {
+	if v, ok := sm.m[id]; ok {
+		return v
+	}
+	return sm.s.Bottom()
+}
+
+// OfCall resolves a call expression to its callee's summary. The second
+// result is false for calls the graph cannot resolve statically
+// (builtins, conversions, calls through function values).
+func (sm *Summaries[S]) OfCall(info *types.Info, call *ast.CallExpr) (S, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return sm.s.Bottom(), false
+	}
+	return sm.Of(FuncIDOf(f)), true
+}
+
+// NodeOfCall resolves a call expression to its callee's graph node, or
+// nil when unresolvable.
+func (sm *Summaries[S]) NodeOfCall(info *types.Info, call *ast.CallExpr) *Node {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return nil
+	}
+	return sm.Prog.Graph.NodeByID(FuncIDOf(f))
+}
+
+// maxSCCIters bounds one component's fixpoint iteration. Monotone
+// Compute functions converge in at most |SCC| rounds; the cap only
+// guards against a non-monotone Summarizer oscillating forever.
+const maxSCCIters = 64
+
+// ComputeSummaries runs the bottom-up fixpoint and returns the full
+// summary table. Deterministic: SCC discovery follows the graph's
+// sorted node and edge order, and members of a component are processed
+// sorted by ID.
+func ComputeSummaries[S any](prog *Program, s Summarizer[S]) *Summaries[S] {
+	sm := &Summaries[S]{Prog: prog, s: s, m: make(map[string]S, len(prog.Graph.Nodes))}
+	for _, scc := range sccs(prog.Graph) {
+		members := append([]*Node(nil), scc...)
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		for _, n := range members {
+			sm.m[n.ID] = s.Bottom()
+		}
+		for iter := 0; iter < maxSCCIters; iter++ {
+			changed := false
+			for _, n := range members {
+				next := s.Compute(sm, n)
+				if !s.Equal(next, sm.m[n.ID]) {
+					sm.m[n.ID] = next
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return sm
+}
+
+// SummariesFor returns the program's memoized summaries for s,
+// computing them on first use.
+func SummariesFor[S any](prog *Program, s Summarizer[S]) *Summaries[S] {
+	return prog.cached("summary:"+s.Name, func() any {
+		return ComputeSummaries(prog, s)
+	}).(*Summaries[S])
+}
+
+// sccs returns the strongly-connected components of the call graph in
+// reverse topological order of the condensation: every component is
+// emitted after all components it calls into. Tarjan's algorithm gives
+// exactly this order for free.
+func sccs(g *CallGraph) [][]*Node {
+	type state struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := make(map[*Node]*state, len(g.Nodes))
+	var stack []*Node
+	var out [][]*Node
+	index := 0
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		sv := &state{index: index, lowlink: index}
+		states[v] = sv
+		index++
+		stack = append(stack, v)
+		sv.onStack = true
+
+		for _, e := range v.Out {
+			w := e.Callee
+			sw, seen := states[w]
+			if !seen {
+				strongconnect(w)
+				if lw := states[w].lowlink; lw < sv.lowlink {
+					sv.lowlink = lw
+				}
+			} else if sw.onStack {
+				if sw.index < sv.lowlink {
+					sv.lowlink = sw.index
+				}
+			}
+		}
+
+		if sv.lowlink == sv.index {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if _, seen := states[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return out
+}

@@ -27,6 +27,8 @@ var analyzerMarkers = map[string]string{
 	"nanguard":  "//nomloc:nanguard-ok",
 	"errdrop":   "//nomloc:errdrop-ok",
 	"leakcheck": "//nomloc:leakcheck-ok",
+	"lockorder": "//nomloc:lockorder-ok",
+	"unitcheck": "//nomloc:unitcheck-ok",
 }
 
 // MarkerFor returns the escape-hatch comment for an analyzer, or ""

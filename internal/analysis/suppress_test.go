@@ -44,6 +44,8 @@ func TestSuppressionMarkersPerAnalyzer(t *testing.T) {
 		{"nanguard", "//nomloc:nanguard-ok"},
 		{"errdrop", "//nomloc:errdrop-ok"},
 		{"leakcheck", "//nomloc:leakcheck-ok"},
+		{"lockorder", "//nomloc:lockorder-ok"},
+		{"unitcheck", "//nomloc:unitcheck-ok"},
 		{"seedmix", ""},
 		{"floateq", ""},
 		{"locksafe", ""},
@@ -106,7 +108,7 @@ func TestSuppressionMarkersPerAnalyzer(t *testing.T) {
 // TestStaleSuppressionPerAnalyzer checks the audit fires under each
 // suppressible analyzer's own marker and name.
 func TestStaleSuppressionPerAnalyzer(t *testing.T) {
-	for _, analyzer := range []string{"detrand", "nanguard", "errdrop", "leakcheck"} {
+	for _, analyzer := range []string{"detrand", "nanguard", "errdrop", "leakcheck", "lockorder", "unitcheck"} {
 		t.Run(analyzer, func(t *testing.T) {
 			marker := analysis.MarkerFor(analyzer)
 			fset, file := parseOne(t, "package p\n\n"+marker+"\nvar a = 1\n")

@@ -1,0 +1,27 @@
+// Interprocedural errdrop cases: infallibility proven from callee
+// bodies in this file, consumed at call sites below — the summary is
+// what lets a discarded error go unreported.
+package core
+
+// neverFails hands back a literal nil in its error position on every
+// return, so its summary proves it infallible.
+func neverFails() error { return nil }
+
+// wrapsNil is infallible transitively: its only return forwards another
+// infallible call.
+func wrapsNil() error { return neverFails() }
+
+// wrapsBoom forwards a fallible call, so it stays fallible.
+func wrapsBoom() error { return mayFail() }
+
+// provenInfallible discards results the summaries prove are always nil;
+// without the interprocedural view both lines would be reported.
+func provenInfallible() {
+	neverFails()
+	_ = wrapsNil()
+}
+
+func stillFallible() {
+	wrapsBoom()     // want `result of wrapsBoom contains an error that is discarded`
+	_ = wrapsBoom() // want `error result of wrapsBoom discarded with _`
+}

@@ -1,0 +1,57 @@
+// Interprocedural leakcheck cases: spawned named functions are judged
+// by their own bodies, and signals flow through the helpers a closure
+// calls — neither is visible at the spawn site alone.
+package server
+
+import "context"
+
+func busy() {}
+
+// spin accepts a context and then ignores it; the lifecycle-argument
+// heuristic would trust the spawn, the body proves it cannot stop.
+func spin(ctx context.Context) {
+	for {
+		busy()
+	}
+}
+
+func spawnsSpin(ctx context.Context) {
+	go spin(ctx) // want `goroutine calls spin, which loops forever with no context, channel, or WaitGroup`
+}
+
+// pump drains its channel, so a closure delegating to it is governed
+// even though the closure body holds no channel operation of its own.
+func pump(ch chan int) {
+	for range ch {
+	}
+}
+
+func spawnsPump(ch chan int) {
+	go func() {
+		pump(ch)
+	}()
+}
+
+// step performs one receive; a forever-loop around it can be shut down
+// by closing the channel.
+func step(ch chan int) {
+	<-ch
+}
+
+func loopsOverStep(ch chan int) {
+	go func() {
+		for {
+			step(ch)
+		}
+	}()
+}
+
+// quits returns without touching any signal; spawning it directly is a
+// leak even though nothing at the spawn site says so.
+func quits() {
+	busy()
+}
+
+func spawnsQuits() {
+	go quits() // want `goroutine calls quits, which can return without touching a context, channel, or WaitGroup`
+}

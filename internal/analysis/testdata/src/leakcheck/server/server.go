@@ -27,7 +27,7 @@ func spinsForever() {
 }
 
 func namedNoHandle() {
-	go work() // want `goroutine calls work with no context, channel, or WaitGroup`
+	go work() // want `goroutine calls work, which can return without touching a context, channel, or WaitGroup`
 }
 
 func signaledOnOnePathOnly(wg *sync.WaitGroup, flag bool) {

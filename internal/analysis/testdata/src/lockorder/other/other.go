@@ -1,0 +1,28 @@
+// Package other sits outside the lockorder scope (its base name is not
+// server, parallel, agent, or telemetry), so even a textbook AB-BA
+// inversion stays silent.
+package other
+
+import "sync"
+
+type left struct{ mu sync.Mutex }
+type right struct{ mu sync.Mutex }
+
+var (
+	l left
+	r right
+)
+
+func leftThenRight() {
+	l.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func rightThenLeft() {
+	r.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	r.mu.Unlock()
+}

@@ -1,0 +1,71 @@
+// Package server is a lockorder fixture: its directory base name puts
+// it inside the analyzer's concurrency scope. The inversion below is
+// only visible interprocedurally — one direction runs through a callee.
+package server
+
+import "sync"
+
+type registry struct{ mu sync.Mutex }
+type journal struct{ mu sync.Mutex }
+
+var (
+	reg registry
+	jnl journal
+)
+
+// lockJournal acquires the journal lock on behalf of its callers; the
+// summary carries that fact up the call graph.
+func lockJournal() {
+	jnl.mu.Lock()
+	jnl.mu.Unlock()
+}
+
+// registryThenJournal closes registry→journal through the callee.
+func registryThenJournal() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	lockJournal()
+}
+
+// journalThenRegistry closes journal→registry directly, completing the
+// AB-BA shape. Its description sorts first, so the inversion anchors on
+// the second acquisition below.
+func journalThenRegistry() {
+	jnl.mu.Lock()
+	reg.mu.Lock() // want `lock order inversion between server.journal.mu and server.registry.mu`
+	reg.mu.Unlock()
+	jnl.mu.Unlock()
+}
+
+// sameOrderTwice repeats the registry→journal order; consistent orders
+// never report.
+func sameOrderTwice() {
+	reg.mu.Lock()
+	jnl.mu.Lock()
+	jnl.mu.Unlock()
+	reg.mu.Unlock()
+}
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+var (
+	va alpha
+	vb beta
+)
+
+// alphaThenBeta and betaThenAlpha invert each other; the anchor lands
+// here and the audited escape hatch silences it.
+func alphaThenBeta() {
+	va.mu.Lock()
+	vb.mu.Lock() //nomloc:lockorder-ok fixture demonstrates the audited escape hatch
+	vb.mu.Unlock()
+	va.mu.Unlock()
+}
+
+func betaThenAlpha() {
+	vb.mu.Lock()
+	va.mu.Lock()
+	va.mu.Unlock()
+	vb.mu.Unlock()
+}

@@ -1,0 +1,42 @@
+// Interprocedural nanguard cases: the cause lives in a callee in this
+// file while the // want expectation sits on the caller's line — only
+// the summary-driven analysis (DESIGN.md §11) connects the two.
+package core
+
+import "math"
+
+// divByParam divides by its parameter with no guard, so its summary
+// marks the result possibly-NaN on every call.
+func divByParam(pi, pj float64) float64 {
+	return pj / pi
+}
+
+func callerUnguarded(pi, pj float64) float64 {
+	return F(divByParam(pi, pj)) // want `possibly-NaN value reaches confidence computation \(F\)`
+}
+
+// safeRatio vets its own result before returning, so its summary is
+// clean and callers may feed it to sinks without ceremony.
+func safeRatio(pi, pj float64) float64 {
+	x := pj / pi
+	if math.IsNaN(x) {
+		return 0
+	}
+	return x
+}
+
+func callerOfSafe(pi, pj float64) float64 {
+	return F(safeRatio(pi, pj))
+}
+
+// forward hands its argument back, so its result is exactly as tainted
+// as what the caller passes in.
+func forward(x float64) float64 { return x }
+
+func forwardsNaN(pi float64) float64 {
+	return F(forward(1 / pi)) // want `possibly-NaN value reaches confidence computation \(F\)`
+}
+
+func forwardsClean() float64 {
+	return F(forward(2))
+}

@@ -1,0 +1,94 @@
+// Package dsp is a unitcheck fixture: its directory base name puts it
+// inside the analyzer's radio-math scope. Units come from the name
+// heuristics (DBm/DB/MW/RSSI/Rad/Meters suffixes) and from
+// //nomloc:unit annotations; summaries carry them across calls.
+package dsp
+
+func mixes(powerMW, levelDBm float64) float64 {
+	return powerMW + levelDBm // want `unit mismatch: mW \+ dBm; convert to a common unit first`
+}
+
+// ratioOf is fine: the difference of two absolute levels is a ratio.
+func ratioOf(aDBm, bDBm float64) float64 {
+	return aDBm - bDBm
+}
+
+// applyGain is fine: adding a dB gain to a dBm level yields dBm.
+func applyGain(levelDBm, gainDB float64) float64 {
+	return levelDBm + gainDB
+}
+
+func relabel(linearMW float64) float64 {
+	levelDBm := linearMW // want `assigning mW value to levelDBm, which is named as dBm; convert first`
+	return levelDBm
+}
+
+// attenuate subtracts a loss from a level; the annotation declares what
+// the bare parameter names cannot.
+//
+//nomloc:unit level=dBm loss=dB
+func attenuate(level, loss float64) float64 {
+	return level - loss
+}
+
+func misuses(powerMW float64) float64 {
+	return attenuate(powerMW, 3) // want `argument 1 of attenuate is mW but the callee declares dBm; convert before the call`
+}
+
+func usesRight(levelDBm, fadeDB float64) float64 {
+	return attenuate(levelDBm, fadeDB)
+}
+
+// strongest returns one of its dBm parameters, so its result unit is
+// inferred as dBm from the return expressions alone.
+func strongest(aDBm, bDBm float64) float64 {
+	if aDBm > bDBm {
+		return aDBm
+	}
+	return bDBm
+}
+
+func comparesInferred(spanMeters float64) bool {
+	return strongest(-40, -60) > spanMeters // want `unit mismatch: dBm > m; convert to a common unit first`
+}
+
+// Profile carries field annotations where names give nothing away.
+type Profile struct {
+	Gain float64 //nomloc:unit dB
+	Span float64 //nomloc:unit m
+}
+
+func fieldMix(p Profile, levelDBm float64) float64 {
+	return levelDBm + p.Span // want `unit mismatch: dBm \+ m; convert to a common unit first`
+}
+
+func fieldOK(p Profile, levelDBm float64) float64 {
+	return levelDBm + p.Gain
+}
+
+// MeanRSSI exercises the function-name heuristic: the body infers no
+// unit, the RSSI suffix declares the result dBm.
+func MeanRSSI(samples []float64) float64 {
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / float64(len(samples))
+}
+
+func rssiVsDistance(distMeters float64) bool {
+	return MeanRSSI(nil) < distMeters // want `unit mismatch: dBm < m; convert to a common unit first`
+}
+
+func accumulate(readingsDBm []float64, offsetMW float64) float64 {
+	totalDBm := 0.0
+	for _, r := range readingsDBm {
+		totalDBm += r
+	}
+	totalDBm += offsetMW // want `unit mismatch: dBm value combined with mW \+=; convert to a common unit first`
+	return totalDBm
+}
+
+func suppressed(powerMW, levelDBm float64) float64 {
+	return powerMW + levelDBm //nomloc:unitcheck-ok fixture demonstrates the audited escape hatch
+}

@@ -1,0 +1,7 @@
+// Package other sits outside the unitcheck scope (its base name is not
+// csi, channel, dsp, baseline, or core), so mixed units stay silent.
+package other
+
+func mixes(powerMW, levelDBm float64) float64 {
+	return powerMW + levelDBm
+}

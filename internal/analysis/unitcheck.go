@@ -1,0 +1,594 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// UnitCheck is a lightweight dimensional analysis for the radio math in
+// csi, channel, dsp, baseline, and core. The NomLoc pipeline moves
+// power figures between three representations — absolute dBm, relative
+// dB, and linear mW — plus meters and radians in the geometry, and the
+// compiler sees all five as float64. Mixing them silently (adding a mW
+// reading to a dBm level, handing a linear amplitude to a function
+// expecting dB) corrupts estimates without any error, which is exactly
+// the bug class this analyzer pins at the syntax level.
+//
+// Units are seeded two ways:
+//
+//   - name heuristics: a parameter, field, variable, or function named
+//     with the suffix DBm, DB, MW, RSSI, Rad, or Meters (or the exact
+//     lowercase dbm/db/mw/rssi/rad) carries the corresponding unit;
+//   - //nomloc:unit annotations: a struct field's trailing comment
+//     (`Gain float64 //nomloc:unit dB`) or a function doc line
+//     (`//nomloc:unit a=dBm result=mW`, result2= for a second result)
+//     declares units the names don't show.
+//
+// Function summaries (DESIGN.md §11) carry parameter and result units
+// across call and package boundaries: call arguments are checked
+// against the callee's declared parameters, and un-annotated result
+// units are inferred from the callee's return expressions.
+//
+// The arithmetic rules mirror how the units actually compose: same-unit
+// + and - are fine (and dBm - dBm yields dB: the difference of two
+// levels is a ratio), dBm ± dB yields dBm (applying a gain), while any
+// other mixed-known pair in +, -, or a comparison is reported.
+// Multiplication and division change dimensions, so their results stay
+// agnostic. Assignments into a unit-named variable are checked
+// strictly; call arguments and ± keep the dB/dBm leniency, since a dB
+// parameter receiving an absolute dBm level is the textbook "dBm is dB
+// re 1 mW" idiom. The analyzer needs the whole-program view and reports
+// nothing on intraprocedural runs.
+// Escape hatch: //nomloc:unitcheck-ok, audited for staleness.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc: "flag mixed-unit arithmetic (dBm/dB/mW/m/rad) and unit-mismatched " +
+		"call arguments in csi, channel, dsp, baseline, and core, seeded from " +
+		"names and //nomloc:unit annotations",
+	Run: runUnitCheck,
+}
+
+// unitScopedPackages are the import-path base names whose float math is
+// unit-checked.
+var unitScopedPackages = map[string]bool{
+	"csi": true, "channel": true, "dsp": true, "baseline": true, "core": true,
+}
+
+// unit is one of the five tracked dimensions, "" when unknown.
+type unit string
+
+const (
+	unitDBm unit = "dBm"
+	unitDB  unit = "dB"
+	unitMW  unit = "mW"
+	unitM   unit = "m"
+	unitRad unit = "rad"
+)
+
+var validUnits = map[string]unit{
+	"dBm": unitDBm, "dB": unitDB, "mW": unitMW, "m": unitM, "rad": unitRad,
+}
+
+func runUnitCheck(pass *Pass) error {
+	if pass.Prog == nil || !unitScopedPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	uc := &unitCheck{
+		pass:   pass,
+		sum:    SummariesFor(pass.Prog, unitSummarizer),
+		annots: unitAnnotsOf(pass.Prog),
+	}
+	for _, file := range pass.Files {
+		forEachFuncBody(file, func(fn ast.Node, body *ast.BlockStmt, results *ast.FieldList) {
+			uc.env = map[string]unit{}
+			uc.seedEnv(fn)
+			uc.checkBody(body)
+		})
+	}
+	return nil
+}
+
+// seedEnv loads the function's annotated parameter units into the local
+// environment (name heuristics need no seeding — the evaluator applies
+// them on every identifier).
+func (uc *unitCheck) seedEnv(fn ast.Node) {
+	fd, ok := fn.(*ast.FuncDecl)
+	if !ok {
+		return
+	}
+	obj, ok := uc.pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	for name, u := range uc.annots.funcs[FuncIDOf(obj)] {
+		if !strings.HasPrefix(name, "result") {
+			uc.env[name] = u
+		}
+	}
+}
+
+type unitCheck struct {
+	pass   *Pass
+	sum    *Summaries[unitSummary]
+	annots *unitAnnots
+	env    map[string]unit
+}
+
+// checkBody walks one function body in source order, updating the
+// environment at assignments and checking every binary expression and
+// call site exactly once.
+func (uc *unitCheck) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch n := x.(type) {
+		case *ast.FuncLit:
+			return false // literals are their own scope
+		case *ast.AssignStmt:
+			uc.assign(n)
+		case *ast.BinaryExpr:
+			uc.checkBinary(n)
+		case *ast.CallExpr:
+			uc.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (uc *unitCheck) assign(n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		// Compound op: the lhs participates like a binary operand.
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 && uc.isFloat(n.Lhs[0]) {
+			lu, ru := uc.unitOf(n.Lhs[0]), uc.unitOf(n.Rhs[0])
+			if _, ok := combineUnits(token.ADD, lu, ru); !ok {
+				uc.pass.Reportf(n.Pos(), "unit mismatch: %s value combined with %s %s; convert to a common unit first", lu, ru, n.Tok)
+			}
+		}
+		return
+	}
+	if len(n.Lhs) != len(n.Rhs) {
+		return // tuple results carry units through summaries only at calls
+	}
+	for i, lhs := range n.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		ru := uc.unitOf(n.Rhs[i])
+		declared := unitFromName(id.Name)
+		if declared != "" && ru != "" && declared != ru && uc.isFloat(lhs) {
+			uc.pass.Reportf(n.Rhs[i].Pos(), "assigning %s value to %s, which is named as %s; convert first", ru, id.Name, declared)
+		}
+		switch {
+		case declared != "":
+			uc.env[id.Name] = declared
+		case ru != "":
+			uc.env[id.Name] = ru
+		default:
+			delete(uc.env, id.Name)
+		}
+	}
+}
+
+func (uc *unitCheck) checkBinary(n *ast.BinaryExpr) {
+	switch n.Op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if !uc.isFloat(n.X) || !uc.isFloat(n.Y) {
+		return
+	}
+	a, b := uc.unitOf(n.X), uc.unitOf(n.Y)
+	if _, ok := combineUnits(n.Op, a, b); !ok {
+		uc.pass.Reportf(n.OpPos, "unit mismatch: %s %s %s; convert to a common unit first", a, n.Op, b)
+	}
+}
+
+func (uc *unitCheck) checkCall(call *ast.CallExpr) {
+	if tv, ok := uc.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	sum, ok := uc.sum.OfCall(uc.pass.Info, call)
+	if !ok || len(sum.params) == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= len(sum.params) {
+			break // variadic tail carries no declared unit
+		}
+		pu := sum.params[i]
+		if pu == "" {
+			continue
+		}
+		au := uc.unitOf(arg)
+		if au == "" || unitsInterchange(au, pu) {
+			continue
+		}
+		uc.pass.Reportf(arg.Pos(), "argument %d of %s is %s but the callee declares %s; convert before the call", i+1, callName(uc.pass.Info, call), au, pu)
+	}
+}
+
+// unitOf evaluates an expression's unit, "" when unknown. Pure: all
+// reporting happens at the single visit of each checked node.
+func (uc *unitCheck) unitOf(e ast.Expr) unit {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if u, ok := uc.env[e.Name]; ok {
+			return u
+		}
+		return unitFromName(e.Name)
+	case *ast.SelectorExpr:
+		if u := uc.fieldUnit(e); u != "" {
+			return u
+		}
+		return unitFromName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return uc.unitOf(e.X) // an element of a dBm-named slice is dBm
+	case *ast.CallExpr:
+		if tv, ok := uc.pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return uc.unitOf(e.Args[0]) // conversions preserve units
+		}
+		if uc.sum != nil {
+			if s, ok := uc.sum.OfCall(uc.pass.Info, e); ok && len(s.results) > 0 {
+				return s.results[0]
+			}
+		}
+		return ""
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return uc.unitOf(e.X)
+		}
+		return ""
+	case *ast.BinaryExpr:
+		u, _ := combineUnits(e.Op, uc.unitOf(e.X), uc.unitOf(e.Y))
+		return u
+	}
+	return ""
+}
+
+// fieldUnit resolves a field access against the //nomloc:unit field
+// annotations, keyed by the owner's declared type.
+func (uc *unitCheck) fieldUnit(sel *ast.SelectorExpr) unit {
+	owner := namedOwner(uc.pass.Info.TypeOf(sel.X))
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return ""
+	}
+	key := owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + sel.Sel.Name
+	return uc.annots.fields[key]
+}
+
+func (uc *unitCheck) isFloat(e ast.Expr) bool {
+	return isFloatType(uc.pass.Info.TypeOf(e))
+}
+
+// combineUnits folds two operand units under an operator, reporting
+// compatibility. Unknown operands adopt the known side; + and - demand
+// the same unit or the dBm/dB pair (dBm ± dB = dBm, dBm - dBm = dB);
+// * and / change dimensions and stay agnostic; comparisons demand
+// interchangeable units.
+func combineUnits(op token.Token, a, b unit) (unit, bool) {
+	if a == "" {
+		return b, true
+	}
+	if b == "" {
+		return a, true
+	}
+	switch op {
+	case token.ADD, token.SUB:
+		if a == b {
+			if op == token.SUB && a == unitDBm {
+				return unitDB, true
+			}
+			return a, true
+		}
+		if unitsInterchange(a, b) {
+			return unitDBm, true
+		}
+		return "", false
+	case token.MUL, token.QUO:
+		return "", true
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return "", a == b || unitsInterchange(a, b)
+	}
+	return "", true
+}
+
+// unitsInterchange reports whether two units may stand in for each
+// other: identical, or the dB/dBm pair (a dBm level is a dB figure
+// referenced to 1 mW).
+func unitsInterchange(a, b unit) bool {
+	if a == b {
+		return true
+	}
+	return (a == unitDBm && b == unitDB) || (a == unitDB && b == unitDBm)
+}
+
+// unitFromName applies the naming heuristics: camelCase suffixes DBm,
+// DB, MW, RSSI, Rad, Meters and their exact lowercase forms.
+func unitFromName(name string) unit {
+	switch {
+	case strings.HasSuffix(name, "DBm"), name == "dbm":
+		return unitDBm
+	case strings.HasSuffix(name, "DB"), name == "db":
+		return unitDB
+	case strings.HasSuffix(name, "MW"), name == "mw":
+		return unitMW
+	case strings.HasSuffix(name, "RSSI"), name == "rssi":
+		return unitDBm
+	case strings.HasSuffix(name, "Rad"), name == "rad":
+		return unitRad
+	case strings.HasSuffix(name, "Meters"):
+		return unitM
+	}
+	return ""
+}
+
+// ---- interprocedural unit summaries ----
+
+// unitSummary carries one function's parameter and result units for
+// call-site checking, "" per unknown position.
+type unitSummary struct {
+	params  []unit
+	results []unit
+}
+
+var unitSummarizer = Summarizer[unitSummary]{
+	Name:   "unitcheck",
+	Bottom: func() unitSummary { return unitSummary{} },
+	Equal: func(a, b unitSummary) bool {
+		return unitsEqual(a.params, b.params) && unitsEqual(a.results, b.results)
+	},
+	Compute: computeUnitSummary,
+}
+
+func unitsEqual(a, b []unit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeUnitSummary derives a function's units: parameters from
+// annotations then name heuristics, results from annotations, then
+// return-expression inference (all returns must agree), then the RSSI
+// name suffix.
+func computeUnitSummary(sm *Summaries[unitSummary], n *Node) unitSummary {
+	fi := n.Fn
+	if fi == nil || fi.Sig == nil {
+		return unitSummary{}
+	}
+	annots := unitAnnotsOf(sm.Prog)
+	fa := annots.funcs[fi.ID]
+
+	params := fi.Sig.Params()
+	ps := make([]unit, params.Len())
+	for i := range ps {
+		p := params.At(i)
+		if !isFloatType(p.Type()) {
+			continue
+		}
+		if u, ok := fa[p.Name()]; ok {
+			ps[i] = u
+		} else {
+			ps[i] = unitFromName(p.Name())
+		}
+	}
+
+	results := fi.Sig.Results()
+	rs := make([]unit, results.Len())
+	for i := range rs {
+		if !isFloatType(results.At(i).Type()) {
+			continue
+		}
+		if u, ok := fa[resultAnnotKey(i)]; ok {
+			rs[i] = u
+		}
+	}
+	if fi.Body != nil {
+		inferResultUnits(sm, annots, fi, ps, rs)
+	}
+	if len(rs) > 0 && rs[0] == "" && fi.Obj != nil &&
+		isFloatType(results.At(0).Type()) && strings.HasSuffix(fi.Obj.Name(), "RSSI") {
+		rs[0] = unitDBm
+	}
+
+	if allUnknown(ps) && allUnknown(rs) {
+		return unitSummary{}
+	}
+	return unitSummary{params: ps, results: rs}
+}
+
+func allUnknown(us []unit) bool {
+	for _, u := range us {
+		if u != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// inferResultUnits fills unannotated result units from the function's
+// return expressions: a position gets a unit only when every return
+// agrees on it.
+func inferResultUnits(sm *Summaries[unitSummary], annots *unitAnnots, fi *FuncInfo, ps, rs []unit) {
+	// The synthetic pass never reports (unitOf is pure), so it carries
+	// no Analyzer.
+	uc := &unitCheck{
+		pass: &Pass{
+			Fset:  fi.Pkg.Fset,
+			Files: fi.Pkg.Files,
+			Pkg:   fi.Pkg.Types,
+			Info:  fi.Pkg.Info,
+			Prog:  sm.Prog,
+		},
+		sum:    sm,
+		annots: annots,
+		env:    map[string]unit{},
+	}
+	params := fi.Sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if ps[i] != "" && params.At(i).Name() != "" {
+			uc.env[params.At(i).Name()] = ps[i]
+		}
+	}
+	conflicted := make([]bool, len(rs))
+	inferred := make([]unit, len(rs))
+	ast.Inspect(fi.Body, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != len(rs) {
+			return true
+		}
+		for i, res := range ret.Results {
+			u := uc.unitOf(res)
+			switch {
+			case u == "":
+				conflicted[i] = true // one unknown return leaves the slot open
+			case inferred[i] == "":
+				inferred[i] = u
+			case inferred[i] != u:
+				conflicted[i] = true
+			}
+		}
+		return true
+	})
+	for i := range rs {
+		if rs[i] == "" && !conflicted[i] {
+			rs[i] = inferred[i]
+		}
+	}
+}
+
+// resultAnnotKey names a result position in a //nomloc:unit doc line:
+// "result" for the first, "result2", "result3", … beyond.
+func resultAnnotKey(i int) string {
+	if i == 0 {
+		return "result"
+	}
+	return "result" + strconv.Itoa(i+1)
+}
+
+// ---- //nomloc:unit annotation collection ----
+
+// unitAnnots are the program's parsed //nomloc:unit annotations.
+type unitAnnots struct {
+	// fields maps "pkgpath.Type.Field" to the field's declared unit.
+	fields map[string]unit
+	// funcs maps FuncID to its parameter/result units by annotation key.
+	funcs map[string]map[string]unit
+}
+
+// unitAnnotsOf parses every //nomloc:unit annotation in the program,
+// once per Program.
+func unitAnnotsOf(prog *Program) *unitAnnots {
+	return prog.cached("unitcheck:annots", func() any {
+		ua := &unitAnnots{fields: map[string]unit{}, funcs: map[string]map[string]unit{}}
+		for _, pkg := range prog.Packages {
+			for _, file := range pkg.Files {
+				ua.collectFile(pkg, file)
+			}
+		}
+		return ua
+	}).(*unitAnnots)
+}
+
+func (ua *unitAnnots) collectFile(pkg *Package, file *ast.File) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			obj, _ := pkg.Info.Defs[d.Name].(*types.Func)
+			if obj == nil || d.Doc == nil {
+				continue
+			}
+			for _, c := range d.Doc.List {
+				rest, ok := unitAnnotRest(c.Text)
+				if !ok {
+					continue
+				}
+				id := FuncIDOf(obj)
+				for _, f := range strings.Fields(rest) {
+					name, val, found := strings.Cut(f, "=")
+					if !found {
+						continue
+					}
+					u, ok := validUnits[val]
+					if !ok {
+						continue
+					}
+					if ua.funcs[id] == nil {
+						ua.funcs[id] = map[string]unit{}
+					}
+					ua.funcs[id][name] = u
+				}
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					u := fieldAnnotUnit(f)
+					if u == "" {
+						continue
+					}
+					for _, name := range f.Names {
+						ua.fields[pkg.Path+"."+ts.Name.Name+"."+name.Name] = u
+					}
+				}
+			}
+		}
+	}
+}
+
+// fieldAnnotUnit reads a struct field's //nomloc:unit comment (trailing
+// or doc): a single unit token.
+func fieldAnnotUnit(f *ast.Field) unit {
+	for _, cg := range []*ast.CommentGroup{f.Comment, f.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := unitAnnotRest(c.Text)
+			if !ok {
+				continue
+			}
+			if u, ok := validUnits[strings.TrimSpace(rest)]; ok {
+				return u
+			}
+		}
+	}
+	return ""
+}
+
+// unitAnnotRest strips the //nomloc:unit prefix, demanding a clean
+// boundary so //nomloc:unitcheck-ok never parses as an annotation.
+func unitAnnotRest(text string) (string, bool) {
+	const prefix = "//nomloc:unit"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+	"github.com/nomloc/nomloc/internal/analysis/analysistest"
+)
+
+func TestUnitCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.UnitCheck,
+		"unitcheck/dsp", "unitcheck/other")
+}

@@ -94,6 +94,8 @@ func (m RangingModel) Validate() error {
 
 // Distance inverts the model: d = 10^((RefPowerDBm − P)/(10γ)), clamped
 // below at 0.1 m.
+//
+//nomloc:unit powerDBm=dBm result=m
 func (m RangingModel) Distance(powerDBm float64) float64 {
 	d := math.Pow(10, (m.RefPowerDBm-powerDBm)/(10*m.PathLossExponent))
 	if d < 0.1 {

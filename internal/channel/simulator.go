@@ -170,6 +170,8 @@ func (s *Simulator) Params() Params { return s.par }
 
 // pathLossDB is the log-distance loss at distance d (clamped at 0.1 m so
 // co-located antennas do not blow up).
+//
+//nomloc:unit d=m result=dB
 func (s *Simulator) pathLossDB(d float64) float64 {
 	if d < 0.1 {
 		d = 0.1
@@ -369,7 +371,11 @@ func (s *Simulator) Measure(tx, rx geom.Vec, rng *rand.Rand) csi.Vector {
 
 // RSSI returns the coarse received signal strength for the link in dBm:
 // total received power across paths (noise floor included), the way a
-// commodity NIC reports it.
+// commodity NIC reports it. The decibels of an absolute mW power are a
+// dBm level, which the annotation records where inference would only
+// see dsp.DB's generic dB.
+//
+//nomloc:unit result=dBm
 func (s *Simulator) RSSI(tx, rx geom.Vec) float64 {
 	var mw float64
 	for _, p := range s.Paths(tx, rx) {

@@ -48,7 +48,7 @@ func Confidence(pi, pj float64) float64 {
 // CSI captures.
 type PDPEstimate struct {
 	// Power is the estimated direct-path power (linear, mW domain).
-	Power float64
+	Power float64 //nomloc:unit mW
 	// Tap is the CIR tap index the power was read from (for the median
 	// sample).
 	Tap int

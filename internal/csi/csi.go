@@ -219,7 +219,7 @@ type Sample struct {
 	CapturedAt time.Time `json:"capturedAt"`
 	// RSSI is the coarse received signal strength in dBm (what legacy
 	// RSS-based systems would use; kept for the baselines).
-	RSSI float64 `json:"rssi"`
+	RSSI float64 `json:"rssi"` //nomloc:unit dBm
 	// CSI is the per-subcarrier channel snapshot.
 	CSI Vector `json:"csi"`
 }

@@ -109,6 +109,8 @@ func DelaySpreadRMS(profile []float64) float64 {
 
 // DB converts a linear power ratio to decibels. Non-positive input maps to
 // −Inf.
+//
+//nomloc:unit result=dB
 func DB(linear float64) float64 {
 	if linear <= 0 {
 		return math.Inf(-1)
