@@ -18,8 +18,11 @@ import (
 	"os/signal"
 	"syscall"
 
+	"time"
+
 	"github.com/nomloc/nomloc/internal/core"
 	"github.com/nomloc/nomloc/internal/deploy"
+	"github.com/nomloc/nomloc/internal/journal"
 	"github.com/nomloc/nomloc/internal/server"
 	"github.com/nomloc/nomloc/internal/telemetry"
 )
@@ -37,6 +40,8 @@ func run(args []string) error {
 	httpAddr := fs.String("http", "", "also serve the monitoring API (GET /healthz, /status, /estimates, /metrics, /debug/pprof/) on this address")
 	scenario := fs.String("scenario", "lab", "scenario providing the area of interest")
 	workers := fs.Int("workers", 0, "concurrent localization solves (0/1 serialized, -1 = one per CPU)")
+	journalDir := fs.String("journal", "", "durable round journal directory (DESIGN.md §12); a restart recovers and resumes from it")
+	snapEvery := fs.Int("journal-snapshot-every", 64, "solved rounds between journal snapshots (with -journal)")
 	verbose := fs.Bool("v", false, "verbose logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,12 +63,31 @@ func run(args []string) error {
 	if *verbose {
 		logf = log.Printf
 	}
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		// The clock feeds only the recovery-duration metric; journal
+		// bytes stay clock-free.
+		jnl, err = journal.Open(journal.Options{Dir: *journalDir, Clock: time.Now, Telemetry: reg})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := jnl.Close(); cerr != nil && !errors.Is(cerr, journal.ErrClosed) {
+				log.Printf("nomloc-server: journal close: %v", cerr)
+			}
+		}()
+		st := jnl.Stats()
+		log.Printf("nomloc-server: journal %s: recovered %d record(s) through seq %d in %v (%d segment(s), %d torn byte(s) truncated)",
+			*journalDir, st.Records, st.LastSeq, st.Duration, st.Segments, st.TruncatedBytes)
+	}
 	srv, err := server.New(server.Config{
-		ID:        "nomloc-server",
-		Localizer: loc,
-		Workers:   *workers,
-		Telemetry: reg,
-		Logf:      logf,
+		ID:                   "nomloc-server",
+		Localizer:            loc,
+		Workers:              *workers,
+		Telemetry:            reg,
+		Logf:                 logf,
+		Journal:              jnl,
+		JournalSnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		return err

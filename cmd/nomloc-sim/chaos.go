@@ -37,6 +37,10 @@ func runChaos(scenario, profile string, chaosSeed int64, rounds, packets int, se
 		return err
 	}
 	reg := telemetry.New(nil)
+	cn, err := chaos.New(plan, chaos.Options{Telemetry: reg})
+	if err != nil {
+		return err
+	}
 	srv, err := server.New(server.Config{
 		Localizer:    loc,
 		RoundTimeout: 500 * time.Millisecond,
@@ -57,7 +61,6 @@ func runChaos(scenario, profile string, chaosSeed int64, rounds, packets int, se
 		_ = srv.Serve(ln)
 	}()
 
-	cn := chaos.New(plan, chaos.Options{Telemetry: reg})
 	newAP := func(cfg agent.APConfig) (*agent.APAgent, error) {
 		cfg.ServerAddr = addr
 		cfg.Telemetry = reg
@@ -153,7 +156,31 @@ func runChaos(scenario, profile string, chaosSeed int64, rounds, packets int, se
 		}
 	}
 	printResilienceCounters(reg)
+
+	// CI chaos jobs assert on this: any round that finalized through the
+	// degraded or empty path makes the whole run exit non-zero, with one
+	// summary line on stderr (printed by main's error handler).
+	degraded := uint64(reg.Counter("nomloc_server_degraded_rounds_total", "").Value())
+	empty := uint64(reg.Counter("nomloc_server_empty_rounds_total", "").Value())
+	if degraded > 0 || empty > 0 {
+		return &DegradedRunError{Degraded: degraded, Empty: empty, Rounds: rounds}
+	}
 	return nil
+}
+
+// DegradedRunError reports a chaos run in which at least one round
+// finalized through the server's degraded path (fewer reports than
+// expected) or the ErrEmptyRound path (no reports at all). The run still
+// printed its full output; this error only changes the exit status.
+type DegradedRunError struct {
+	Degraded uint64 // rounds solved with fewer reports than expected
+	Empty    uint64 // rounds that finalized with no reports (ErrEmptyRound)
+	Rounds   int    // rounds the run attempted
+}
+
+func (e *DegradedRunError) Error() string {
+	return fmt.Sprintf("%d of %d round(s) degraded, %d empty — the run completed but lost coverage",
+		e.Degraded, e.Rounds, e.Empty)
 }
 
 // printResilienceCounters prints the chaos/degraded-mode counter families

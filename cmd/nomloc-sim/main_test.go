@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -65,11 +66,25 @@ func TestReplayScenarioFallback(t *testing.T) {
 }
 
 func TestRunChaosMode(t *testing.T) {
-	if err := run([]string{
+	// lossy seed 3 deterministically drops one report, so the run must
+	// fail with the typed degraded-run error CI asserts on — and its
+	// message must be a single line.
+	err := run([]string{
 		"-scenario", "lab", "-chaos-profile", "lossy",
 		"-chaos-seed", "3", "-rounds", "3", "-packets", "4",
-	}); err != nil {
-		t.Fatalf("chaos run: %v", err)
+	})
+	var de *DegradedRunError
+	if !errors.As(err, &de) {
+		t.Fatalf("chaos run: %v, want DegradedRunError", err)
+	}
+	if de.Degraded == 0 && de.Empty == 0 {
+		t.Errorf("degraded error with zero counts: %+v", de)
+	}
+	if de.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", de.Rounds)
+	}
+	if strings.Contains(de.Error(), "\n") {
+		t.Errorf("error message spans lines: %q", de.Error())
 	}
 	if err := run([]string{"-chaos-profile", "hurricane"}); err == nil {
 		t.Error("unknown chaos profile accepted")

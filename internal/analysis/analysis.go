@@ -137,6 +137,10 @@ var deterministicPackages = map[string]bool{
 	// a fault schedule that consulted the wall clock or the global rand
 	// source would not reproduce from its seed.
 	"chaos": true,
+	// journal joins because two fixed-input runs must write byte-equal
+	// WALs: a clock read or map-order leak into the record stream would
+	// break the recovery conformance suite's byte-equality.
+	"journal": true,
 }
 
 // isDeterministicPkg reports whether the import path names a package

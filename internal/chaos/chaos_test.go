@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"strings"
 	"testing"
@@ -12,6 +13,16 @@ import (
 	"github.com/nomloc/nomloc/internal/telemetry"
 	"github.com/nomloc/nomloc/internal/wire"
 )
+
+// mustNet builds a Net from a plan the test believes valid.
+func mustNet(t *testing.T, plan Plan, opts Options) *Net {
+	t.Helper()
+	n, err := New(plan, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
 
 // pump pushes msgs through a fault-injecting pipe named name and returns
 // what the clean side received ("bad" for a frame that decoded to a typed
@@ -104,7 +115,7 @@ func TestRuleWindow(t *testing.T) {
 // TestPassThrough: with no rules armed, every frame crosses intact, even
 // when the writer fragments frames into single bytes.
 func TestPassThrough(t *testing.T) {
-	n := New(Plan{Seed: 1}, Options{})
+	n := mustNet(t, Plan{Seed: 1}, Options{})
 	faulty, clean := n.Pipe("c")
 	var buf bytes.Buffer
 	if err := wire.WriteMessage(&buf, &wire.Hello{Role: wire.RoleAP, ID: "ap1"}); err != nil {
@@ -136,7 +147,7 @@ func TestPassThrough(t *testing.T) {
 
 func TestDropAndPartition(t *testing.T) {
 	for _, fault := range []Fault{Drop, Partition} {
-		n := New(Plan{Seed: 3, Rules: []Rule{{Fault: fault, Prob: 1, From: 2, Until: 4}}}, Options{})
+		n := mustNet(t, Plan{Seed: 3, Rules: []Rule{{Fault: fault, Prob: 1, From: 2, Until: 4}}}, Options{})
 		got, _ := pump(t, n, "c", script(5)) // frames 0..5
 		if len(got) != 4 {                   // frames 2 and 3 vanish
 			t.Errorf("%s: received %d frames (%v), want 4", fault, len(got), got)
@@ -148,7 +159,7 @@ func TestDropAndPartition(t *testing.T) {
 }
 
 func TestDup(t *testing.T) {
-	n := New(Plan{Seed: 3, Rules: []Rule{{Fault: Dup, Prob: 1, From: 1, Until: 3}}}, Options{})
+	n := mustNet(t, Plan{Seed: 3, Rules: []Rule{{Fault: Dup, Prob: 1, From: 1, Until: 3}}}, Options{})
 	got, _ := pump(t, n, "c", script(3)) // frames 0..3; 1 and 2 doubled
 	if len(got) != 6 {
 		t.Errorf("received %d frames (%v), want 6", len(got), got)
@@ -159,7 +170,7 @@ func TestDup(t *testing.T) {
 // frames, never by a timer — total delivery is complete and the ordering
 // shift is exact.
 func TestDelayReleasesInLogicalTime(t *testing.T) {
-	n := New(Plan{Seed: 3, Rules: []Rule{{Fault: Delay, Prob: 1, From: 1, Until: 2, Hold: 2}}}, Options{})
+	n := mustNet(t, Plan{Seed: 3, Rules: []Rule{{Fault: Delay, Prob: 1, From: 1, Until: 2, Hold: 2}}}, Options{})
 	msgs := []wire.Message{
 		&wire.RoundStart{RoundID: 10, ObjectID: "obj"},
 		&wire.RoundStart{RoundID: 11, ObjectID: "obj"}, // held until after frame 3
@@ -194,7 +205,7 @@ func TestDelayReleasesInLogicalTime(t *testing.T) {
 }
 
 func TestCorruptKeepsFraming(t *testing.T) {
-	n := New(Plan{Seed: 9, Rules: []Rule{{Fault: Corrupt, Prob: 1, From: 1, Until: 3, Bytes: 2}}}, Options{})
+	n := mustNet(t, Plan{Seed: 9, Rules: []Rule{{Fault: Corrupt, Prob: 1, From: 1, Until: 3, Bytes: 2}}}, Options{})
 	got, _ := pump(t, n, "c", script(4))
 	// All 5 frames arrive: corrupted ones decode (possibly to "bad"), and
 	// crucially the stream never desyncs — the frames after the window are
@@ -211,7 +222,7 @@ func TestCorruptKeepsFraming(t *testing.T) {
 }
 
 func TestResetBreaksConnection(t *testing.T) {
-	n := New(Plan{Seed: 5, Rules: []Rule{{Fault: Reset, Prob: 1, From: 2, Until: 3}}}, Options{})
+	n := mustNet(t, Plan{Seed: 5, Rules: []Rule{{Fault: Reset, Prob: 1, From: 2, Until: 3}}}, Options{})
 	got, reset := pump(t, n, "c", script(5))
 	if !reset {
 		t.Fatal("writer never saw ErrReset")
@@ -221,7 +232,7 @@ func TestResetBreaksConnection(t *testing.T) {
 	}
 	// Writes after a reset fail immediately.
 	faulty, _ := n.Pipe("c2")
-	n2 := New(Plan{Seed: 5, Rules: []Rule{{Fault: Reset, Prob: 1, From: 0}}}, Options{})
+	n2 := mustNet(t, Plan{Seed: 5, Rules: []Rule{{Fault: Reset, Prob: 1, From: 0}}}, Options{})
 	f2, c2 := n2.Pipe("x")
 	go func() {
 		_, _ = wire.ReadMessage(c2)
@@ -245,7 +256,7 @@ func TestScheduleDeterminism(t *testing.T) {
 		{Fault: Corrupt, Prob: 0.1, From: 1, Bytes: 1},
 	}}
 	run := func() (string, []string) {
-		n := New(plan, Options{})
+		n := mustNet(t, plan, Options{})
 		var all []string
 		for _, name := range []string{"ap0", "ap1", "ap2"} {
 			got, _ := pump(t, n, name, script(20))
@@ -270,7 +281,7 @@ func TestScheduleDeterminism(t *testing.T) {
 // but still deterministic — schedule, labeled name#attempt in the trace.
 func TestAttemptAdvancesSchedule(t *testing.T) {
 	plan := Plan{Seed: 13, Rules: []Rule{{Fault: Drop, Prob: 0.5, From: 0}}}
-	n := New(plan, Options{})
+	n := mustNet(t, plan, Options{})
 	got0, _ := pump(t, n, "ap1", script(30))
 	got1, _ := pump(t, n, "ap1", script(30))
 	if fmt.Sprint(got0) == fmt.Sprint(got1) {
@@ -284,7 +295,7 @@ func TestAttemptAdvancesSchedule(t *testing.T) {
 
 func TestDialer(t *testing.T) {
 	reg := telemetry.New(nil)
-	n := New(Plan{Seed: 1, DialFailProb: 1}, Options{Telemetry: reg})
+	n := mustNet(t, Plan{Seed: 1, DialFailProb: 1}, Options{Telemetry: reg})
 	dial := n.Dialer("obj", func(addr string) (net.Conn, error) {
 		t.Fatal("underlying dial reached despite DialFailProb=1")
 		return nil, nil
@@ -295,7 +306,7 @@ func TestDialer(t *testing.T) {
 	if got := reg.Counter("nomloc_chaos_dial_failures_total", "").Value(); got != 1 {
 		t.Errorf("dial failure counter = %v, want 1", got)
 	}
-	ok := New(Plan{Seed: 1}, Options{})
+	ok := mustNet(t, Plan{Seed: 1}, Options{})
 	c1, c2 := net.Pipe()
 	defer c1.Close()
 	defer c2.Close()
@@ -348,7 +359,7 @@ func TestTraceStringStable(t *testing.T) {
 // changes the rendered trace.
 func TestClockStampsTraceOnly(t *testing.T) {
 	fixed := time.Date(2014, 6, 30, 12, 0, 0, 0, time.UTC)
-	n := New(Plan{Seed: 3, Rules: []Rule{{Fault: Drop, Prob: 1, From: 0}}},
+	n := mustNet(t, Plan{Seed: 3, Rules: []Rule{{Fault: Drop, Prob: 1, From: 0}}},
 		Options{Clock: func() time.Time { return fixed }})
 	_, _ = pump(t, n, "c", script(0))
 	events := n.Trace().Events()
@@ -358,9 +369,54 @@ func TestClockStampsTraceOnly(t *testing.T) {
 	if !events[0].At.Equal(fixed) {
 		t.Errorf("event stamped %v, want %v", events[0].At, fixed)
 	}
-	bare := New(Plan{Seed: 3, Rules: []Rule{{Fault: Drop, Prob: 1, From: 0}}}, Options{})
+	bare := mustNet(t, Plan{Seed: 3, Rules: []Rule{{Fault: Drop, Prob: 1, From: 0}}}, Options{})
 	_, _ = pump(t, bare, "c", script(0))
 	if n.Trace().String() != bare.Trace().String() {
 		t.Error("clock leaked into the trace rendering")
+	}
+}
+
+// TestPlanValidate: malformed plans are rejected with ErrBadPlan rather
+// than clamped — a clamped probability would silently shift every RNG
+// draw after it and break trace replay.
+func TestPlanValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		plan Plan
+	}{
+		{"nan prob", Plan{Rules: []Rule{{Fault: Drop, Prob: math.NaN()}}}},
+		{"negative prob", Plan{Rules: []Rule{{Fault: Drop, Prob: -0.1}}}},
+		{"prob above one", Plan{Rules: []Rule{{Fault: Drop, Prob: 1.1}}}},
+		{"nan dial prob", Plan{DialFailProb: math.NaN()}},
+		{"negative dial prob", Plan{DialFailProb: -1}},
+		{"dial prob above one", Plan{DialFailProb: 2}},
+		{"negative from", Plan{Rules: []Rule{{Fault: Drop, Prob: 0.5, From: -1}}}},
+		{"negative until", Plan{Rules: []Rule{{Fault: Drop, Prob: 0.5, Until: -2}}}},
+		{"empty window", Plan{Rules: []Rule{{Fault: Drop, Prob: 0.5, From: 5, Until: 5}}}},
+		{"negative hold", Plan{Rules: []Rule{{Fault: Delay, Prob: 0.5, Hold: -1}}}},
+		{"negative bytes", Plan{Rules: []Rule{{Fault: Corrupt, Prob: 0.5, Bytes: -3}}}},
+		{"unknown fault", Plan{Rules: []Rule{{Fault: "gremlin", Prob: 0.5}}}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(); !errors.Is(err, ErrBadPlan) {
+				t.Errorf("Validate = %v, want ErrBadPlan", err)
+			}
+			if _, err := New(tc.plan, Options{}); !errors.Is(err, ErrBadPlan) {
+				t.Errorf("New = %v, want ErrBadPlan", err)
+			}
+		})
+	}
+	if err := (Plan{}).Validate(); err != nil {
+		t.Errorf("zero plan: %v", err)
+	}
+	for _, name := range Profiles() {
+		plan, err := Profile(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Errorf("profile %s fails its own validation: %v", name, err)
+		}
 	}
 }

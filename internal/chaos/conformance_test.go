@@ -66,7 +66,7 @@ func runScenario(t *testing.T, plan *Plan, rounds int) scenarioResult {
 
 	var cn *Net
 	if plan != nil {
-		cn = New(*plan, Options{Telemetry: reg})
+		cn = mustNet(t, *plan, Options{Telemetry: reg})
 	}
 	var aps []*agent.APAgent
 	for i, ap := range scn.StaticAPs {
@@ -170,7 +170,7 @@ func TestConformanceTraceReplay(t *testing.T) {
 				rule.Prob = 0.7 // probabilistic, so the RNG schedule matters
 				plan := Plan{Seed: seed, Rules: []Rule{rule}}
 				run := func() (string, []string) {
-					n := New(plan, Options{})
+					n := mustNet(t, plan, Options{})
 					got, _ := pump(t, n, "conn", script(12))
 					return n.Trace().String(), got
 				}
@@ -189,7 +189,7 @@ func TestConformanceTraceReplay(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		plan := Plan{Seed: seed, Rules: []Rule{{Fault: Reset, Prob: 0.3, From: 1}}}
 		run := func() string {
-			n := New(plan, Options{})
+			n := mustNet(t, plan, Options{})
 			_, _ = pump(t, n, "conn", script(12))
 			return n.Trace().String()
 		}
@@ -300,7 +300,7 @@ func TestReconnectMidRound(t *testing.T) {
 	// ap0 gets a hostile link: its round-2 report is dropped (degrading
 	// round 2) and its round-3 report is cut mid-frame (killing the
 	// session). The other APs stay clean.
-	cn := New(Plan{Seed: 4, Rules: []Rule{
+	cn := mustNet(t, Plan{Seed: 4, Rules: []Rule{
 		{Fault: Drop, Prob: 1, From: 2, Until: 3},
 		{Fault: Reset, Prob: 1, From: 3, Until: 4},
 	}}, Options{Telemetry: reg})

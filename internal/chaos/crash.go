@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// CrashPoint names a location in the journal's durability path where a
+// Crasher can simulate a process kill. The string values are the contract
+// with internal/journal's Options.CrashHook — they mirror the journal's
+// Point* constants without importing it, keeping the fault layer free of
+// dependencies on the subsystems it torments.
+type CrashPoint string
+
+// Crash points, in the order one append visits them.
+const (
+	// CrashAppendBefore kills before anything reaches the segment: the
+	// record is lost entirely, the journal tail stays clean.
+	CrashAppendBefore CrashPoint = "append:before"
+	// CrashAppendTorn kills mid-write: half the record's bytes land on
+	// disk — the torn-tail shape recovery must truncate.
+	CrashAppendTorn CrashPoint = "append:torn"
+	// CrashAppendAfter kills after the fsync but before the caller acks:
+	// the record is durable, the sender re-sends, replay absorbs the
+	// duplicate idempotently.
+	CrashAppendAfter CrashPoint = "append:after"
+	// CrashSnapshotBefore / CrashSnapshotAfter bracket a snapshot write.
+	CrashSnapshotBefore CrashPoint = "snapshot:before"
+	CrashSnapshotAfter  CrashPoint = "snapshot:after"
+)
+
+// CrashPoints lists every injectable point, in durability-path order —
+// the conformance suite iterates this so a newly added point cannot
+// silently escape coverage.
+func CrashPoints() []CrashPoint {
+	return []CrashPoint{
+		CrashAppendBefore,
+		CrashAppendTorn,
+		CrashAppendAfter,
+		CrashSnapshotBefore,
+		CrashSnapshotAfter,
+	}
+}
+
+// ErrCrashed is the error a Crasher injects: the simulated kill. Callers
+// match it with errors.Is to distinguish an injected crash from a real
+// I/O failure.
+var ErrCrashed = errors.New("chaos: injected crash")
+
+// Crasher is a deterministic crash-point injector: it arms one named
+// point and fires on its nth visit, exactly once. Plug Hook into
+// journal.Options.CrashHook. Safe for concurrent use — journal appends
+// may race from several handler goroutines.
+type Crasher struct {
+	point CrashPoint
+	nth   int
+
+	mu    sync.Mutex
+	hits  int
+	fired bool
+}
+
+// NewCrasher arms point to fire on its nth visit (1-based; nth < 1 means
+// the first visit).
+func NewCrasher(point CrashPoint, nth int) *Crasher {
+	if nth < 1 {
+		nth = 1
+	}
+	return &Crasher{point: point, nth: nth}
+}
+
+// Hook is the journal crash hook: it returns ErrCrashed (wrapped with the
+// point name) on the armed visit and nil otherwise.
+func (c *Crasher) Hook(point string) error {
+	if CrashPoint(point) != c.point {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fired {
+		return nil
+	}
+	c.hits++
+	if c.hits < c.nth {
+		return nil
+	}
+	c.fired = true
+	return fmt.Errorf("%w at %s (visit %d)", ErrCrashed, point, c.hits)
+}
+
+// Fired reports whether the injected crash has happened — scenarios use
+// it to tell "survived the fault" from "fault never triggered".
+func (c *Crasher) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// Hits returns how many times the armed point was visited so far.
+func (c *Crasher) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}

@@ -54,8 +54,12 @@ type Net struct {
 	attempts map[string]int // per-name connection attempt counter
 }
 
-// New builds a Net for plan.
-func New(plan Plan, opts Options) *Net {
+// New builds a Net for plan. Invalid plans are rejected with ErrBadPlan
+// rather than clamped, so a plan that runs is exactly the plan replayed.
+func New(plan Plan, opts Options) (*Net, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
 	n := &Net{
 		plan:     plan,
 		clock:    opts.Clock,
@@ -71,7 +75,7 @@ func New(plan Plan, opts Options) *Net {
 		n.faults[f] = reg.Counter("nomloc_chaos_faults_total", "injected faults by kind",
 			telemetry.Label{Key: "kind", Value: string(f)})
 	}
-	return n
+	return n, nil
 }
 
 // Trace returns the Net's fault trace.

@@ -22,6 +22,7 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Fault names one injected failure mode.
@@ -95,6 +96,58 @@ type Plan struct {
 	// DialFailProb makes Dialer attempts fail with this probability,
 	// modeling a partitioned or refusing endpoint during reconnect.
 	DialFailProb float64
+}
+
+// ErrBadPlan reports a plan that failed validation. chaos refuses bad
+// plans outright rather than clamping: a silently-clamped probability
+// changes every RNG draw after it, so the trace a user thinks they are
+// replaying is not the trace that ran.
+var ErrBadPlan = errors.New("chaos: invalid plan")
+
+// checkProb rejects probabilities outside [0, 1], including NaN.
+func checkProb(name string, v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("%w: %s = %v, want a probability in [0, 1]", ErrBadPlan, name, v)
+	}
+	return nil
+}
+
+// Validate rejects malformed plans with ErrBadPlan: probabilities must
+// be real numbers in [0, 1], windows must be non-negative and non-empty,
+// holds and byte counts must be non-negative, and every rule must name a
+// known fault kind.
+func (p Plan) Validate() error {
+	if err := checkProb("DialFailProb", p.DialFailProb); err != nil {
+		return err
+	}
+	known := make(map[Fault]bool, len(Faults()))
+	for _, f := range Faults() {
+		known[f] = true
+	}
+	for i, r := range p.Rules {
+		if !known[r.Fault] {
+			return fmt.Errorf("%w: rule %d: unknown fault %q", ErrBadPlan, i, r.Fault)
+		}
+		if err := checkProb(fmt.Sprintf("rule %d Prob", i), r.Prob); err != nil {
+			return err
+		}
+		if r.From < 0 {
+			return fmt.Errorf("%w: rule %d: From = %d, want >= 0", ErrBadPlan, i, r.From)
+		}
+		if r.Until < 0 {
+			return fmt.Errorf("%w: rule %d: Until = %d, want >= 0", ErrBadPlan, i, r.Until)
+		}
+		if r.Until != 0 && r.Until <= r.From {
+			return fmt.Errorf("%w: rule %d: empty window [%d, %d)", ErrBadPlan, i, r.From, r.Until)
+		}
+		if r.Hold < 0 {
+			return fmt.Errorf("%w: rule %d: Hold = %d, want >= 0", ErrBadPlan, i, r.Hold)
+		}
+		if r.Bytes < 0 {
+			return fmt.Errorf("%w: rule %d: Bytes = %d, want >= 0", ErrBadPlan, i, r.Bytes)
+		}
+	}
+	return nil
 }
 
 // ErrUnknownProfile reports a Profile name that is not registered.

@@ -1,0 +1,292 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/journal"
+	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// recoveryRounds is how many measurement rounds the conformance driver
+// runs; with snapshots every 2 rounds the stream crosses a snapshot
+// boundary mid-run.
+const recoveryRounds = 4
+
+// recoveryRun is one journal-backed server plus its driver connections.
+type recoveryRun struct {
+	srv    *server.Server
+	j      *journal.Journal
+	object net.Conn
+	aps    [2]net.Conn
+}
+
+// startRecoveryRun opens (or recovers) the journal in dir, starts a
+// journaled server, and registers two APs and one object over raw
+// connections, strictly in that order so every run appends session
+// records identically.
+func startRecoveryRun(t *testing.T, dir string, hook func(string) error) *recoveryRun {
+	t.Helper()
+	j, err := journal.Open(journal.Options{Dir: dir, CrashHook: hook})
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	loc, err := core.New(core.Config{Area: geom.Rect(0, 0, 12, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Localizer:            loc,
+		RoundTimeout:         time.Second,
+		Journal:              j,
+		JournalSnapshotEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if cerr := j.Close(); cerr != nil && !errors.Is(cerr, journal.ErrClosed) {
+			t.Errorf("journal close: %v", cerr)
+		}
+	})
+
+	run := &recoveryRun{srv: srv, j: j}
+	dial := func(h *wire.Hello) net.Conn {
+		conn, derr := net.Dial("tcp", ln.Addr().String())
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		t.Cleanup(func() { _ = conn.Close() })
+		if werr := wire.WriteMessage(conn, h); werr != nil {
+			t.Fatal(werr)
+		}
+		if _, rerr := readMsg[*wire.HelloAck](conn); rerr != nil {
+			t.Fatalf("hello ack: %v", rerr)
+		}
+		return conn
+	}
+	run.aps[0] = dial(&wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)})
+	run.aps[1] = dial(&wire.Hello{Role: wire.RoleAP, ID: "ap2", Pos: geom.V(11, 7)})
+	run.object = dial(&wire.Hello{Role: wire.RoleObject, ID: "obj1"})
+	return run
+}
+
+// readMsg reads one message of type T from conn under a deadline, so a
+// crashed server fails the driver instead of hanging it.
+func readMsg[T wire.Message](conn net.Conn) (T, error) {
+	var zero T
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return zero, err
+	}
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		return zero, err
+	}
+	out, ok := msg.(T)
+	if !ok {
+		return zero, fmt.Errorf("got %q, want %T", msg.Type(), zero)
+	}
+	return out, nil
+}
+
+// recoveryReport builds the deterministic report AP i sends for a round:
+// content depends only on (AP, round), so the golden run and every
+// crash-resumed run feed the solver identical inputs.
+func recoveryReport(roundID uint64, i int) *wire.CSIReport {
+	aps := []struct {
+		id  string
+		pos geom.Vec
+		vec []complex128
+	}{
+		{"ap1", geom.V(1, 1), []complex128{1, 2}},
+		{"ap2", geom.V(11, 7), []complex128{2, 1}},
+	}
+	ap := aps[i]
+	return &wire.CSIReport{
+		RoundID: roundID,
+		APID:    ap.id,
+		Pos:     ap.pos,
+		Batch: csi.Batch{
+			APID: ap.id,
+			Samples: []csi.Sample{
+				{APID: ap.id, Seq: 0, CSI: ap.vec},
+				{APID: ap.id, Seq: 1, CSI: ap.vec},
+			},
+		},
+	}
+}
+
+// tryRound drives one full round and returns an error as soon as the
+// server stops responding — the crash-detection signal.
+func (run *recoveryRun) tryRound(roundID uint64) error {
+	if err := wire.WriteMessage(run.object, &wire.RoundStart{RoundID: roundID, ObjectID: "obj1", Packets: 2}); err != nil {
+		return err
+	}
+	for _, ap := range run.aps {
+		if _, err := readMsg[*wire.RoundStart](ap); err != nil {
+			return err
+		}
+	}
+	for i, ap := range run.aps {
+		if err := wire.WriteMessage(ap, recoveryReport(roundID, i)); err != nil {
+			return err
+		}
+		if _, err := readMsg[*wire.ReportAck](ap); err != nil {
+			return err
+		}
+	}
+	if _, err := readMsg[*wire.Estimate](run.object); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goldenRecoveryRun drives the full uninterrupted scenario and returns
+// its estimates — the byte-exact target every crash-recovery run must
+// reproduce.
+func goldenRecoveryRun(t *testing.T) []wire.Estimate {
+	t.Helper()
+	run := startRecoveryRun(t, t.TempDir(), nil)
+	for r := uint64(1); r <= recoveryRounds; r++ {
+		if err := run.tryRound(r); err != nil {
+			t.Fatalf("golden round %d: %v", r, err)
+		}
+	}
+	return run.srv.Estimates()
+}
+
+// TestCrashRecoveryConformance is the crash-point conformance suite: for
+// every injectable crash point, a server killed mid-run and restarted
+// through journal recovery must converge to estimates identical to the
+// uninterrupted golden run, and the surviving journal must verify with
+// zero diffs.
+func TestCrashRecoveryConformance(t *testing.T) {
+	golden := goldenRecoveryRun(t)
+	if len(golden) != recoveryRounds {
+		t.Fatalf("golden produced %d estimates, want %d", len(golden), recoveryRounds)
+	}
+
+	// Append-visit numbering for nth: 1 meta, 2-4 session opens, then 3
+	// per round (two reports + one round-solved). nth=6 kills round 1
+	// between its two report acks; nth=7 kills its round-solved append.
+	// Snapshot points first fire after round 2 (JournalSnapshotEvery=2).
+	cases := []struct {
+		point CrashPoint
+		nth   int
+	}{
+		{CrashAppendBefore, 6},
+		{CrashAppendBefore, 7},
+		{CrashAppendTorn, 6},
+		{CrashAppendTorn, 7},
+		{CrashAppendAfter, 6},
+		{CrashAppendAfter, 7},
+		{CrashSnapshotBefore, 1},
+		{CrashSnapshotAfter, 1},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/visit%d", tc.point, tc.nth), func(t *testing.T) {
+			dir := t.TempDir()
+			crasher := NewCrasher(tc.point, tc.nth)
+			run := startRecoveryRun(t, dir, crasher.Hook)
+			var crashedAt uint64
+			for r := uint64(1); r <= recoveryRounds; r++ {
+				if err := run.tryRound(r); err != nil {
+					crashedAt = r
+					break
+				}
+			}
+			if !crasher.Fired() {
+				t.Fatalf("crash point never fired (completed through round %d)", recoveryRounds)
+			}
+			if crashedAt == 0 {
+				t.Fatal("crash fired but every round succeeded")
+			}
+			run.srv.Shutdown()
+			if err := run.j.Close(); err != nil && !errors.Is(err, journal.ErrClosed) {
+				t.Fatalf("close crashed journal: %v", err)
+			}
+
+			// Restart: recovery replays the journal, the driver re-announces
+			// from the first round without a recorded estimate.
+			resumed := startRecoveryRun(t, dir, nil)
+			if tc.point == CrashAppendTorn && resumed.j.Stats().TruncatedBytes == 0 {
+				t.Error("torn crash recovered without truncating anything")
+			}
+			restored := resumed.srv.Estimates()
+			for i := range restored {
+				if restored[i] != golden[i] {
+					t.Fatalf("restored estimate %d diverged:\n got %+v\nwant %+v", i, restored[i], golden[i])
+				}
+			}
+			for r := uint64(len(restored)) + 1; r <= recoveryRounds; r++ {
+				if err := resumed.tryRound(r); err != nil {
+					t.Fatalf("resumed round %d: %v", r, err)
+				}
+			}
+			final := resumed.srv.Estimates()
+			if len(final) != len(golden) {
+				t.Fatalf("recovered run produced %d estimates, want %d", len(final), len(golden))
+			}
+			for i := range golden {
+				if final[i] != golden[i] {
+					t.Fatalf("estimate %d diverged from golden:\n got %+v\nwant %+v", i, final[i], golden[i])
+				}
+			}
+			resumed.srv.Shutdown()
+			if err := resumed.j.Close(); err != nil && !errors.Is(err, journal.ErrClosed) {
+				t.Fatalf("close resumed journal: %v", err)
+			}
+
+			vr, err := journal.Verify(dir)
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if !vr.Clean() {
+				t.Fatalf("recovered journal has %d diffs: %+v", len(vr.Diffs), vr.Diffs)
+			}
+		})
+	}
+}
+
+// TestCrasherSemantics pins the injector's contract: fires exactly once,
+// on the armed visit of the armed point only.
+func TestCrasherSemantics(t *testing.T) {
+	c := NewCrasher(CrashAppendAfter, 3)
+	if err := c.Hook(string(CrashAppendBefore)); err != nil {
+		t.Fatalf("wrong point fired: %v", err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := c.Hook(string(CrashAppendAfter)); err != nil {
+			t.Fatalf("visit %d fired early: %v", i, err)
+		}
+	}
+	err := c.Hook(string(CrashAppendAfter))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("armed visit = %v, want ErrCrashed", err)
+	}
+	if !c.Fired() {
+		t.Fatal("Fired() false after firing")
+	}
+	if err := c.Hook(string(CrashAppendAfter)); err != nil {
+		t.Fatalf("crasher fired twice: %v", err)
+	}
+	if got := c.Hits(); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+	if got := len(CrashPoints()); got != 5 {
+		t.Fatalf("CrashPoints lists %d points", got)
+	}
+}

@@ -94,7 +94,7 @@ func TestSoakFlaky(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cn := New(plan, Options{Telemetry: reg})
+	cn := mustNet(t, plan, Options{Telemetry: reg})
 
 	var aps []*agent.APAgent
 	for i, ap := range scn.StaticAPs {

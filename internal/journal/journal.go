@@ -1,0 +1,594 @@
+// Package journal is the server's durability substrate: a zero-dependency,
+// deterministic write-ahead log plus snapshot store. Every state change
+// the localization pipeline accumulates — stored CSI reports, solved
+// rounds, session lifecycle — is appended to CRC32C-checksummed segment
+// files BEFORE the change is acknowledged to any agent, so a process
+// crash loses at most un-acked work, which the wire protocol's
+// idempotent re-send path replays anyway.
+//
+// Three properties shape the design:
+//
+//   - Byte-stable content. Records carry no timestamps and no map-order
+//     dependence: report payloads re-use the wire protocol's own frame
+//     encoding, snapshots serialize State in canonical field and sort
+//     order, and the injected telemetry.Clock feeds only recovery-duration
+//     metrics, never the files. Two identical runs write identical bytes.
+//
+//   - Torn-tail tolerance. Recovery replays snapshot + segment tail and
+//     truncates at the first bad checksum in the final segment — a clean
+//     torn tail (the normal crash shape) never fails recovery. Corruption
+//     in the committed interior is a typed ErrCorrupt.
+//
+//   - Crash-point testability. Every append consults an optional
+//     CrashHook at named points (before the write, mid-write, after the
+//     fsync), which internal/chaos arms to simulate a kill between append
+//     and ack; the conformance suite proves recovery converges to the
+//     uninterrupted run's exact estimates.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/telemetry"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// Crash-point names consulted through Options.CrashHook, in the order an
+// append visits them. internal/chaos mirrors these as chaos.CrashPoint
+// constants; the string values are the contract.
+const (
+	PointAppendBefore   = "append:before"   // nothing written yet
+	PointAppendTorn     = "append:torn"     // half the record written, then killed
+	PointAppendAfter    = "append:after"    // record durable, ack never sent
+	PointSnapshotBefore = "snapshot:before" // snapshot not yet written
+	PointSnapshotAfter  = "snapshot:after"  // snapshot durable, compact not run
+)
+
+// Journal errors.
+var (
+	// ErrClosed is returned by operations on a closed journal.
+	ErrClosed = errors.New("journal: closed")
+	// ErrBroken is returned once a previous append failed (or a crash
+	// hook fired): the on-disk tail is in an unknown state and the owner
+	// must recover through a fresh Open.
+	ErrBroken = errors.New("journal: broken by earlier failure")
+)
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the journal directory, created if absent. Required.
+	Dir string
+	// Clock feeds the recovery-duration metric. It never influences file
+	// bytes. Nil leaves durations zero (and the journal fully
+	// deterministic even under telemetry).
+	Clock telemetry.Clock
+	// Telemetry, when set, receives the nomloc_journal_* instruments.
+	Telemetry *telemetry.Registry
+	// SegmentMaxBytes rolls the active segment once it would exceed this
+	// size. Defaults to 4 MiB.
+	SegmentMaxBytes int64
+	// NoSync skips fsync after appends and snapshots. Tests only: a real
+	// deployment that sets this trades the WAL's durability guarantee
+	// away.
+	NoSync bool
+	// CrashHook, when set, is consulted at the named crash points. A
+	// non-nil return simulates a kill at that point: the journal marks
+	// itself broken and the operation fails with the returned error.
+	// internal/chaos provides deterministic hooks.
+	CrashHook func(point string) error
+}
+
+// Journal is an open write-ahead log. Create with Open; Open performs
+// recovery, so a Journal is always positioned at a consistent tail.
+// Methods are safe for concurrent use.
+type Journal struct {
+	opts    Options
+	metrics *journalMetrics
+
+	mu       sync.Mutex
+	seg      *os.File // active segment, positioned at its end
+	segFirst uint64   // active segment's first record seq
+	segSize  int64    // active segment's current byte size
+	segCount int      // live segment files (active included)
+	nextSeq  uint64   // seq the next append will carry
+	state    *State   // state recovered at Open; owned by the caller after State()
+	stats    RecoveryStats
+	fresh    bool // no records existed at Open
+	broken   bool
+	closed   bool
+}
+
+// Open recovers the journal in opts.Dir (creating it when absent) and
+// opens it for appending. The recovered state is available via State,
+// recovery statistics via Stats.
+func Open(opts Options) (*Journal, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("journal: options need a directory")
+	}
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = 4 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create dir: %w", err)
+	}
+	j := &Journal{
+		opts:    opts,
+		metrics: newJournalMetrics(opts.Telemetry),
+	}
+	start := j.now()
+	// The journal is not shared yet, but recover reaches *Locked helpers,
+	// so hold the mutex for the analyzer-visible invariant.
+	j.mu.Lock()
+	err := j.recoverLocked()
+	j.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	j.stats.Duration = j.now().Sub(start)
+	j.metrics.recovered(j.stats, j.segCount)
+	return j, nil
+}
+
+// now reads the injected clock (zero time without one, so durations stay
+// zero and never perturb determinism).
+func (j *Journal) now() time.Time {
+	if j.opts.Clock == nil {
+		return time.Time{}
+	}
+	return j.opts.Clock()
+}
+
+// recover loads the newest valid snapshot, replays the segment tail with
+// torn-write truncation, and opens the active segment for appending.
+func (j *Journal) recoverLocked() error {
+	segments, snapshots, err := listDir(j.opts.Dir)
+	if err != nil {
+		return err
+	}
+
+	// Newest snapshot wins; an unreadable newest snapshot falls back to
+	// the next older one (its segments may still be present), and a
+	// journal with no usable snapshot replays from the beginning.
+	st := &State{}
+	for i := len(snapshots) - 1; i >= 0; i-- {
+		loaded, serr := loadSnapshot(filepath.Join(j.opts.Dir, snapshots[i].name))
+		if serr != nil {
+			continue
+		}
+		st = loaded
+		break
+	}
+	j.stats.SnapshotSeq = st.Seq
+
+	// Replay segments in order, skipping records the snapshot covers.
+	// Only the final segment may have a torn tail; anything invalid
+	// before that is interior corruption.
+	wantSeq := st.Seq + 1
+	lastIdx := len(segments) - 1
+	for i, entry := range segments {
+		if i < lastIdx && segments[i+1].seq <= wantSeq {
+			// Entire segment is below the snapshot floor (kept only
+			// because compaction was interrupted); skip without scanning.
+			continue
+		}
+		sc, serr := scanSegment(j.opts.Dir, entry, st.Seq)
+		if serr != nil {
+			return serr
+		}
+		if sc.torn > 0 && i < lastIdx {
+			return fmt.Errorf("%w: segment %s has %d invalid bytes before the journal tail",
+				ErrCorrupt, entry.name, sc.torn)
+		}
+		for _, rec := range sc.records {
+			if rec.Seq != wantSeq {
+				if i == lastIdx {
+					// A seq gap at the tail behaves like a torn tail.
+					break
+				}
+				return fmt.Errorf("%w: segment %s jumps to seq %d, want %d",
+					ErrCorrupt, entry.name, rec.Seq, wantSeq)
+			}
+			if aerr := st.apply(rec); aerr != nil {
+				return aerr
+			}
+			wantSeq++
+			j.stats.Records++
+		}
+		if sc.torn > 0 {
+			if terr := os.Truncate(filepath.Join(j.opts.Dir, entry.name), sc.goodSize); terr != nil {
+				return fmt.Errorf("journal: truncate torn tail: %w", terr)
+			}
+			j.stats.TruncatedBytes += sc.torn
+		}
+	}
+
+	j.state = st
+	j.nextSeq = wantSeq
+	j.stats.LastSeq = wantSeq - 1
+	j.fresh = wantSeq == 1
+
+	// Open the active segment: the last listed one when it is usable,
+	// otherwise a fresh segment starting at the next sequence.
+	if len(segments) > 0 {
+		last := segments[lastIdx]
+		path := filepath.Join(j.opts.Dir, last.name)
+		if info, ierr := os.Stat(path); ierr == nil && info.Size() >= segmentHeaderSize && last.seq <= wantSeq {
+			f, oerr := os.OpenFile(path, os.O_RDWR, 0o644)
+			if oerr != nil {
+				return fmt.Errorf("journal: open segment: %w", oerr)
+			}
+			size, serr := f.Seek(0, 2)
+			if serr != nil {
+				cerr := f.Close()
+				return fmt.Errorf("journal: seek segment: %w", errors.Join(serr, cerr))
+			}
+			j.seg = f
+			j.segFirst = last.seq
+			j.segSize = size
+			j.segCount = len(segments)
+			j.stats.Segments = j.segCount
+			return nil
+		}
+		// The last segment is unusable (torn header): replace it.
+		if rerr := os.Remove(path); rerr != nil {
+			return fmt.Errorf("journal: remove torn segment: %w", rerr)
+		}
+		segments = segments[:lastIdx]
+	}
+	j.segCount = len(segments)
+	if err := j.createSegmentLocked(); err != nil {
+		return err
+	}
+	j.stats.Segments = j.segCount
+	return nil
+}
+
+// createSegmentLocked creates and syncs a fresh segment for nextSeq and
+// installs it as the active segment.
+func (j *Journal) createSegmentLocked() error {
+	path := segmentPath(j.opts.Dir, j.nextSeq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: create segment: %w", err)
+	}
+	hdr := encodeSegmentHeader(j.nextSeq)
+	if _, werr := f.Write(hdr); werr != nil {
+		cerr := f.Close()
+		return fmt.Errorf("journal: write segment header: %w", errors.Join(werr, cerr))
+	}
+	if !j.opts.NoSync {
+		if serr := f.Sync(); serr != nil {
+			cerr := f.Close()
+			return fmt.Errorf("journal: sync segment header: %w", errors.Join(serr, cerr))
+		}
+		if derr := syncDir(j.opts.Dir); derr != nil {
+			cerr := f.Close()
+			return errors.Join(derr, cerr)
+		}
+		j.metrics.fsync(2)
+	}
+	j.seg = f
+	j.segFirst = j.nextSeq
+	j.segSize = segmentHeaderSize
+	j.segCount++
+	j.metrics.segments(j.segCount)
+	return nil
+}
+
+// State returns the state recovered at Open. The caller takes ownership:
+// the journal never reads or mutates it after Open.
+func (j *Journal) State() *State { return j.state }
+
+// Stats returns the recovery statistics of the Open that produced j.
+func (j *Journal) Stats() RecoveryStats { return j.stats }
+
+// Fresh reports whether the journal contained no records at Open — the
+// owner writes the meta record exactly once, on a fresh journal.
+func (j *Journal) Fresh() bool { return j.fresh }
+
+// Broken reports whether an earlier failure (or crash hook) left the
+// on-disk tail in an unknown state. A broken journal refuses all writes;
+// the owner must halt and recover through a fresh Open.
+func (j *Journal) Broken() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.broken
+}
+
+// LastSeq returns the sequence number of the most recently appended (or
+// recovered) record.
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq - 1
+}
+
+// hook consults the crash hook for one named point. A non-nil result
+// marks the journal broken: the simulated process is dead.
+func (j *Journal) hookLocked(point string) error {
+	if j.opts.CrashHook == nil {
+		return nil
+	}
+	if err := j.opts.CrashHook(point); err != nil {
+		j.broken = true
+		return fmt.Errorf("journal: crash at %s: %w", point, err)
+	}
+	return nil
+}
+
+// append encodes and durably writes one record, rolling the segment when
+// full. It is the single write path every Append* method funnels into.
+func (j *Journal) append(kind Kind, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.closed:
+		return ErrClosed
+	case j.broken:
+		return ErrBroken
+	}
+	if err := j.hookLocked(PointAppendBefore); err != nil {
+		return err
+	}
+	rec := Record{Seq: j.nextSeq, Kind: kind, Payload: payload}
+	buf := appendRecord(nil, rec)
+	if len(buf) > maxRecordBytes {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(buf))
+	}
+	if j.segSize+int64(len(buf)) > j.opts.SegmentMaxBytes && j.segSize > segmentHeaderSize {
+		if err := j.rollLocked(); err != nil {
+			j.broken = true
+			return err
+		}
+	}
+	if err := j.hookLocked(PointAppendTorn); err != nil {
+		// Simulate the kill mid-write: half the record reaches the disk.
+		if _, werr := j.seg.Write(buf[:len(buf)/2]); werr == nil && !j.opts.NoSync {
+			_ = j.seg.Sync() //nomloc:errdrop-ok simulating a crash; the torn bytes' durability is best-effort by definition
+		}
+		return err
+	}
+	if _, err := j.seg.Write(buf); err != nil {
+		j.broken = true
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.seg.Sync(); err != nil {
+			j.broken = true
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+		j.metrics.fsync(1)
+	}
+	j.segSize += int64(len(buf))
+	j.nextSeq++
+	j.metrics.appended(kind, len(buf))
+	if err := j.hookLocked(PointAppendAfter); err != nil {
+		return err
+	}
+	return nil
+}
+
+// rollLocked closes the active segment and starts the next one.
+func (j *Journal) rollLocked() error {
+	if !j.opts.NoSync {
+		if err := j.seg.Sync(); err != nil {
+			return fmt.Errorf("journal: sync before roll: %w", err)
+		}
+		j.metrics.fsync(1)
+	}
+	if err := j.seg.Close(); err != nil {
+		return fmt.Errorf("journal: close segment: %w", err)
+	}
+	j.seg = nil
+	return j.createSegmentLocked()
+}
+
+// AppendMeta writes the journal's meta record. The owner calls it exactly
+// once, immediately after opening a Fresh journal.
+func (j *Journal) AppendMeta(m Meta) error {
+	m.FormatVersion = FormatVersion
+	payload, err := jsonPayload(m)
+	if err != nil {
+		return err
+	}
+	return j.append(KindMeta, payload)
+}
+
+// AppendSessionOpen records one agent session registering.
+func (j *Journal) AppendSessionOpen(role wire.Role, id string) error {
+	payload, err := jsonPayload(SessionEvent{Role: role, ID: id})
+	if err != nil {
+		return err
+	}
+	return j.append(KindSessionOpen, payload)
+}
+
+// AppendSessionClose records one agent session ending.
+func (j *Journal) AppendSessionClose(role wire.Role, id string) error {
+	payload, err := jsonPayload(SessionEvent{Role: role, ID: id})
+	if err != nil {
+		return err
+	}
+	return j.append(KindSessionClose, payload)
+}
+
+// AppendReport records one stored CSI report for objectID. The server
+// calls this BEFORE acknowledging the report — the WAL contract.
+func (j *Journal) AppendReport(objectID string, rep *wire.CSIReport) error {
+	payload, err := encodeReportPayload(objectID, rep)
+	if err != nil {
+		return err
+	}
+	return j.append(KindReport, payload)
+}
+
+// AppendRoundSolved records one successful round solve BEFORE its
+// estimate is broadcast.
+func (j *Journal) AppendRoundSolved(rs RoundSolved) error {
+	payload, err := jsonPayload(rs)
+	if err != nil {
+		return err
+	}
+	return j.append(KindRoundSolved, payload)
+}
+
+// jsonPayload marshals a record payload.
+func jsonPayload(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshal payload: %w", err)
+	}
+	return payload, nil
+}
+
+// Snapshot durably writes st as a snapshot file tagged with st.Seq. The
+// caller captures st under the same lock discipline as its appends so
+// st.Seq names a consistent prefix; pass LastSeq for st.Seq when
+// building the state by hand.
+func (j *Journal) Snapshot(st *State) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.closed:
+		return ErrClosed
+	case j.broken:
+		return ErrBroken
+	}
+	if err := j.hookLocked(PointSnapshotBefore); err != nil {
+		return err
+	}
+	img, err := encodeSnapshot(st)
+	if err != nil {
+		return err
+	}
+	// Write-temp-then-rename so a crash mid-snapshot leaves either no
+	// snapshot or a complete one, never a half-written newest snapshot
+	// (recovery would skip it via the CRC anyway; the rename just keeps
+	// the directory tidy under fuzzing).
+	final := filepath.Join(j.opts.Dir, snapshotName(st.Seq))
+	tmp := final + ".tmp"
+	if werr := writeFileSync(tmp, img, !j.opts.NoSync); werr != nil {
+		return werr
+	}
+	if rerr := os.Rename(tmp, final); rerr != nil {
+		return fmt.Errorf("journal: publish snapshot: %w", rerr)
+	}
+	if !j.opts.NoSync {
+		if derr := syncDir(j.opts.Dir); derr != nil {
+			return derr
+		}
+		j.metrics.fsync(2)
+	}
+	j.metrics.snapshot(len(img))
+	if err := j.hookLocked(PointSnapshotAfter); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Compact removes snapshot-covered files: every segment whose records all
+// fall at or below the newest snapshot's sequence (the active segment is
+// never removed) and every snapshot older than the newest valid one. Safe
+// to call at any time; a crash mid-compact only leaves extra files for
+// the next Compact.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	segments, snapshots, err := listDir(j.opts.Dir)
+	if err != nil {
+		return err
+	}
+	if len(snapshots) == 0 {
+		return nil
+	}
+	cover := snapshots[len(snapshots)-1].seq
+	removed := false
+	for i, entry := range segments {
+		// A segment's records end where the next segment begins; the
+		// last (active) segment always stays.
+		if i+1 >= len(segments) || segments[i+1].seq > cover+1 || entry.seq == j.segFirst {
+			continue
+		}
+		if rerr := os.Remove(filepath.Join(j.opts.Dir, entry.name)); rerr != nil {
+			return fmt.Errorf("journal: compact segment: %w", rerr)
+		}
+		j.segCount--
+		removed = true
+	}
+	for _, entry := range snapshots[:len(snapshots)-1] {
+		if rerr := os.Remove(filepath.Join(j.opts.Dir, entry.name)); rerr != nil {
+			return fmt.Errorf("journal: compact snapshot: %w", rerr)
+		}
+		removed = true
+	}
+	if removed && !j.opts.NoSync {
+		if derr := syncDir(j.opts.Dir); derr != nil {
+			return derr
+		}
+		j.metrics.fsync(1)
+	}
+	j.metrics.segments(j.segCount)
+	return nil
+}
+
+// Close flushes and closes the active segment. Further operations return
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	j.closed = true
+	if j.seg == nil {
+		return nil
+	}
+	var serr error
+	if !j.opts.NoSync && !j.broken {
+		serr = j.seg.Sync()
+		if serr == nil {
+			j.metrics.fsync(1)
+		}
+	}
+	cerr := j.seg.Close()
+	j.seg = nil
+	if serr != nil {
+		return fmt.Errorf("journal: close: %w", errors.Join(serr, cerr))
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: close: %w", cerr)
+	}
+	return nil
+}
+
+// writeFileSync writes data to path, fsyncing before close when sync is
+// set.
+func writeFileSync(path string, data []byte, sync bool) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: create %s: %w", filepath.Base(path), err)
+	}
+	if _, werr := f.Write(data); werr != nil {
+		cerr := f.Close()
+		return fmt.Errorf("journal: write %s: %w", filepath.Base(path), errors.Join(werr, cerr))
+	}
+	if sync {
+		if serr := f.Sync(); serr != nil {
+			cerr := f.Close()
+			return fmt.Errorf("journal: sync %s: %w", filepath.Base(path), errors.Join(serr, cerr))
+		}
+	}
+	if cerr := f.Close(); cerr != nil {
+		return fmt.Errorf("journal: close %s: %w", filepath.Base(path), cerr)
+	}
+	return nil
+}

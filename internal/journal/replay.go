@@ -1,0 +1,325 @@
+package journal
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// SolveReports converts a canonical-order report set into anchors and
+// runs the SP localization pipeline. The server's live solve path and the
+// journal replayer share this single implementation, so a replay
+// re-executes solves bit-for-bit — any drift would be a diff, not a
+// silent divergence.
+func SolveReports(loc *core.Localizer, reports []*wire.CSIReport) (*core.Estimate, error) {
+	anchors := make([]core.Anchor, 0, len(reports))
+	for _, rep := range reports {
+		est, err := core.EstimatePDP(&rep.Batch)
+		if err != nil {
+			return nil, fmt.Errorf("pdp for %s#%d: %w", rep.APID, rep.SiteIndex, err)
+		}
+		kind := core.StaticAP
+		if rep.Nomadic {
+			kind = core.NomadicSite
+		}
+		anchors = append(anchors, core.Anchor{
+			APID:      rep.APID,
+			SiteIndex: rep.SiteIndex,
+			Kind:      kind,
+			Pos:       rep.Pos,
+			PDP:       est.Power,
+		})
+	}
+	return loc.Locate(anchors)
+}
+
+// Diff is one disagreement between a recorded estimate and its re-solved
+// counterpart. Float fields compare bit-exactly (math.Float64bits): the
+// replay contract is byte determinism, not tolerance.
+type Diff struct {
+	// RoundID / ObjectID identify the estimate.
+	RoundID  uint64 `json:"roundId"`
+	ObjectID string `json:"objectId"`
+	// Field names the disagreeing field (pos.x, pos.y, relaxCost,
+	// numAnchors, solveError).
+	Field string `json:"field"`
+	// Recorded / Replayed render both sides for the report.
+	Recorded string `json:"recorded"`
+	Replayed string `json:"replayed"`
+}
+
+// VerifyResult summarizes one verification pass over a journal.
+type VerifyResult struct {
+	// Meta is the journal's meta record.
+	Meta Meta `json:"meta"`
+	// Records counts every record scanned from segments.
+	Records int `json:"records"`
+	// Rounds counts the round-solved records seen (snapshot-covered
+	// estimates excluded).
+	Rounds int `json:"rounds"`
+	// Resolved counts rounds that were re-solved and compared.
+	Resolved int `json:"resolved"`
+	// Skipped counts rounds whose anchor reports were compacted away and
+	// could not be re-solved, plus estimates only present in a snapshot.
+	Skipped int `json:"skipped"`
+	// TornBytes counts trailing bytes past the last valid record — a
+	// clean crash artifact, reported but not an error.
+	TornBytes int64 `json:"tornBytes"`
+	// Diffs are the disagreements; an empty slice is a clean journal.
+	Diffs []Diff `json:"diffs"`
+}
+
+// Clean reports whether the verification found zero diffs.
+func (vr *VerifyResult) Clean() bool { return len(vr.Diffs) == 0 }
+
+// anchorKey identifies one stored report version: the identity the
+// server's history keeps reports under, pinned to the capture round so a
+// later site revisit never shadows the version an earlier solve used.
+type anchorKey struct {
+	objectID  string
+	apID      string
+	siteIndex int
+	roundID   uint64
+}
+
+// Verify re-reads a journal directory without modifying it, re-solves
+// every round-solved record whose anchor reports are still present, and
+// diffs the results against the recorded estimates bit-exactly. A clean
+// torn tail is tolerated (reported via TornBytes); interior corruption
+// returns ErrCorrupt.
+func Verify(dir string) (*VerifyResult, error) {
+	segments, snapshots, err := listDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	vr := &VerifyResult{Diffs: []Diff{}}
+
+	// Seed the anchor index (and meta) from the newest valid snapshot:
+	// after compaction it is the only source for reports older than the
+	// surviving segments.
+	index := make(map[anchorKey]*wire.CSIReport)
+	for i := len(snapshots) - 1; i >= 0; i-- {
+		st, serr := loadSnapshot(filepath.Join(dir, snapshots[i].name))
+		if serr != nil {
+			continue
+		}
+		vr.Meta = st.Meta
+		vr.Skipped += len(st.Estimates)
+		for _, oh := range st.History {
+			for _, rep := range oh.Reports {
+				index[anchorKey{oh.ObjectID, rep.APID, rep.SiteIndex, rep.RoundID}] = rep
+			}
+		}
+		break
+	}
+
+	// Scan every surviving segment from its first record; only the final
+	// segment may carry a torn tail.
+	var loc *core.Localizer
+	var wantSeq uint64
+	for i, entry := range segments {
+		sc, serr := scanSegment(dir, entry, 0)
+		if serr != nil {
+			return nil, serr
+		}
+		if sc.torn > 0 && i < len(segments)-1 {
+			return nil, fmt.Errorf("%w: segment %s has %d invalid bytes before the journal tail",
+				ErrCorrupt, entry.name, sc.torn)
+		}
+		vr.TornBytes += sc.torn
+		if wantSeq == 0 {
+			wantSeq = entry.seq
+		}
+		for _, rec := range sc.records {
+			if rec.Seq != wantSeq {
+				if i == len(segments)-1 {
+					break
+				}
+				return nil, fmt.Errorf("%w: segment %s jumps to seq %d, want %d",
+					ErrCorrupt, entry.name, rec.Seq, wantSeq)
+			}
+			wantSeq++
+			vr.Records++
+			switch rec.Kind {
+			case KindMeta:
+				if derr := decodeJSON(rec.Payload, &vr.Meta, "meta"); derr != nil {
+					return nil, derr
+				}
+			case KindSessionOpen, KindSessionClose:
+				var ev SessionEvent
+				if derr := decodeJSON(rec.Payload, &ev, "session"); derr != nil {
+					return nil, derr
+				}
+			case KindReport:
+				objectID, rep, derr := decodeReportPayload(rec.Payload)
+				if derr != nil {
+					return nil, derr
+				}
+				index[anchorKey{objectID, rep.APID, rep.SiteIndex, rep.RoundID}] = rep
+			case KindRoundSolved:
+				var rs RoundSolved
+				if derr := decodeJSON(rec.Payload, &rs, "round_solved"); derr != nil {
+					return nil, derr
+				}
+				vr.Rounds++
+				if loc == nil {
+					loc, err = localizerFromMeta(vr.Meta)
+					if err != nil {
+						return nil, err
+					}
+				}
+				verifyRound(vr, loc, index, rs)
+			default:
+				return nil, fmt.Errorf("%w: unknown record kind %d at seq %d", ErrCorrupt, rec.Kind, rec.Seq)
+			}
+		}
+	}
+	if vr.Records > 0 && len(vr.Meta.AreaVertices) == 0 {
+		return nil, ErrNoMeta
+	}
+	return vr, nil
+}
+
+// localizerFromMeta rebuilds the solve pipeline a journal's solves ran on.
+func localizerFromMeta(m Meta) (*core.Localizer, error) {
+	if len(m.AreaVertices) < 3 {
+		return nil, ErrNoMeta
+	}
+	area, err := geom.NewPolygon(m.AreaVertices)
+	if err != nil {
+		return nil, fmt.Errorf("journal: meta area: %w", err)
+	}
+	loc, err := core.New(core.Config{Area: area})
+	if err != nil {
+		return nil, fmt.Errorf("journal: rebuild localizer: %w", err)
+	}
+	return loc, nil
+}
+
+// verifyRound re-solves one recorded round and appends any disagreements
+// to vr.Diffs.
+func verifyRound(vr *VerifyResult, loc *core.Localizer, index map[anchorKey]*wire.CSIReport, rs RoundSolved) {
+	reports := make([]*wire.CSIReport, 0, len(rs.Anchors))
+	for _, a := range rs.Anchors {
+		rep, ok := index[anchorKey{rs.Estimate.ObjectID, a.APID, a.SiteIndex, a.RoundID}]
+		if !ok {
+			// The anchor's report bytes were compacted away; this round
+			// predates the surviving tail and cannot be re-solved.
+			vr.Skipped++
+			return
+		}
+		reports = append(reports, rep)
+	}
+	vr.Resolved++
+	diff := func(field, recorded, replayed string) {
+		vr.Diffs = append(vr.Diffs, Diff{
+			RoundID:  rs.Estimate.RoundID,
+			ObjectID: rs.Estimate.ObjectID,
+			Field:    field,
+			Recorded: recorded,
+			Replayed: replayed,
+		})
+	}
+	est, err := SolveReports(loc, reports)
+	if err != nil {
+		diff("solveError", "success", err.Error())
+		return
+	}
+	if math.Float64bits(est.Position.X) != math.Float64bits(rs.Estimate.Pos.X) {
+		diff("pos.x", formatFloat(rs.Estimate.Pos.X), formatFloat(est.Position.X))
+	}
+	if math.Float64bits(est.Position.Y) != math.Float64bits(rs.Estimate.Pos.Y) {
+		diff("pos.y", formatFloat(rs.Estimate.Pos.Y), formatFloat(est.Position.Y))
+	}
+	if math.Float64bits(est.RelaxCost) != math.Float64bits(rs.Estimate.RelaxCost) {
+		diff("relaxCost", formatFloat(rs.Estimate.RelaxCost), formatFloat(est.RelaxCost))
+	}
+	if len(reports) != rs.Estimate.NumAnchors {
+		diff("numAnchors", strconv.Itoa(rs.Estimate.NumAnchors), strconv.Itoa(len(reports)))
+	}
+}
+
+// formatFloat renders a float for diff output with full round-trip
+// precision.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ReadState performs a read-only recovery of dir — the same snapshot+tail
+// replay Open runs, without truncating torn tails or opening a segment
+// for appending. Replay tooling uses it to summarize a journal that a
+// live server may still own.
+func ReadState(dir string) (*State, RecoveryStats, error) {
+	segments, snapshots, err := listDir(dir)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	st := &State{}
+	for i := len(snapshots) - 1; i >= 0; i-- {
+		loaded, serr := loadSnapshot(filepath.Join(dir, snapshots[i].name))
+		if serr != nil {
+			continue
+		}
+		st = loaded
+		break
+	}
+	stats := RecoveryStats{SnapshotSeq: st.Seq, Segments: len(segments)}
+	wantSeq := st.Seq + 1
+	for i, entry := range segments {
+		if i < len(segments)-1 && segments[i+1].seq <= wantSeq {
+			continue
+		}
+		sc, serr := scanSegment(dir, entry, st.Seq)
+		if serr != nil {
+			return nil, stats, serr
+		}
+		if sc.torn > 0 && i < len(segments)-1 {
+			return nil, stats, fmt.Errorf("%w: segment %s has %d invalid bytes before the journal tail",
+				ErrCorrupt, entry.name, sc.torn)
+		}
+		for _, rec := range sc.records {
+			if rec.Seq != wantSeq {
+				if i == len(segments)-1 {
+					break
+				}
+				return nil, stats, fmt.Errorf("%w: segment %s jumps to seq %d, want %d",
+					ErrCorrupt, entry.name, rec.Seq, wantSeq)
+			}
+			if aerr := st.apply(rec); aerr != nil {
+				return nil, stats, aerr
+			}
+			wantSeq++
+			stats.Records++
+		}
+		stats.TruncatedBytes += sc.torn
+	}
+	stats.LastSeq = wantSeq - 1
+	return st, stats, nil
+}
+
+// DirSize sums the journal directory's file sizes — replay tooling's
+// summary metric.
+func DirSize(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("journal: list %s: %w", dir, err)
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			return 0, fmt.Errorf("journal: stat %s: %w", e.Name(), ierr)
+		}
+		total += info.Size()
+	}
+	return total, nil
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/journal"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// openJournal opens a test journal under dir.
+func openJournal(t *testing.T, dir string) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	return j
+}
+
+// journaledHarness is one deterministic server run: a journal-backed
+// server with two AP connections and one object connection, driven
+// strictly sequentially so two identical runs append identical bytes.
+type journaledHarness struct {
+	srv    *Server
+	j      *journal.Journal
+	ap1    interface{ Read([]byte) (int, error) }
+	object interface{ Read([]byte) (int, error) }
+}
+
+// expectMsg reads one message of type T from conn, failing on anything
+// else.
+func expectMsg[T wire.Message](t *testing.T, conn interface{ Read([]byte) (int, error) }) T {
+	t.Helper()
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	out, ok := msg.(T)
+	if !ok {
+		t.Fatalf("got %q, want %T", msg.Type(), out)
+	}
+	return out
+}
+
+// driveRound runs one full measurement round over already-registered
+// connections: round start, both AP reports (each acked), and the
+// object's estimate.
+func driveRound(t *testing.T, roundID uint64, object, ap1, ap2 interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+}) wire.Estimate {
+	t.Helper()
+	start := &wire.RoundStart{RoundID: roundID, ObjectID: "obj1", Packets: 2}
+	if err := wire.WriteMessage(object, start); err != nil {
+		t.Fatal(err)
+	}
+	// Both APs see the forwarded round start before reporting.
+	expectMsg[*wire.RoundStart](t, ap1)
+	expectMsg[*wire.RoundStart](t, ap2)
+	reports := []*wire.CSIReport{
+		{RoundID: roundID, APID: "ap1", Pos: geom.V(1, 1), Batch: csiBatch("ap1", []complex128{1, 2})},
+		{RoundID: roundID, APID: "ap2", Pos: geom.V(11, 7), Batch: csiBatch("ap2", []complex128{2, 1})},
+	}
+	conns := []interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+	}{ap1, ap2}
+	for i, rep := range reports {
+		if err := wire.WriteMessage(conns[i], rep); err != nil {
+			t.Fatal(err)
+		}
+		expectMsg[*wire.ReportAck](t, conns[i])
+	}
+	est := expectMsg[*wire.Estimate](t, object)
+	return *est
+}
+
+// runJournaledSession drives `rounds` full rounds against a fresh
+// journal-backed server in dir, shuts the server down cleanly, and
+// returns the estimates it broadcast.
+func runJournaledSession(t *testing.T, dir string, rounds int) []wire.Estimate {
+	t.Helper()
+	j := openJournal(t, dir)
+	s, addr := startServer(t, Config{Localizer: testLocalizer(t), Journal: j, JournalSnapshotEvery: 2})
+
+	ap1 := dialRaw(t, addr)
+	hello(t, ap1, &wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)})
+	ap2 := dialRaw(t, addr)
+	hello(t, ap2, &wire.Hello{Role: wire.RoleAP, ID: "ap2", Pos: geom.V(11, 7)})
+	object := dialRaw(t, addr)
+	hello(t, object, &wire.Hello{Role: wire.RoleObject, ID: "obj1"})
+
+	for r := 1; r <= rounds; r++ {
+		driveRound(t, uint64(r), object, ap1, ap2)
+	}
+	got := s.Estimates()
+	// Shut down before the connection cleanups run so no session-close
+	// records race into the journal.
+	s.Shutdown()
+	if err := j.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+	return got
+}
+
+// TestJournalRestartResumes: a restarted server recovers estimates,
+// finished-round memory, and report history from its journal — new rounds
+// continue the sequence, and a re-announced finished round yields the
+// recorded estimate instead of a duplicate solve.
+func TestJournalRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	first := runJournaledSession(t, dir, 2)
+	if len(first) != 2 {
+		t.Fatalf("first run estimates = %d, want 2", len(first))
+	}
+
+	j := openJournal(t, dir)
+	defer func() {
+		if err := j.Close(); err != nil && !errors.Is(err, journal.ErrClosed) {
+			t.Errorf("journal close: %v", err)
+		}
+	}()
+	s, addr := startServer(t, Config{Localizer: testLocalizer(t), Journal: j})
+	restored := s.Estimates()
+	if len(restored) != len(first) {
+		t.Fatalf("restored %d estimates, want %d", len(restored), len(first))
+	}
+	for i := range first {
+		if restored[i] != first[i] {
+			t.Fatalf("estimate %d diverged after restart: %+v vs %+v", i, restored[i], first[i])
+		}
+	}
+
+	ap1 := dialRaw(t, addr)
+	hello(t, ap1, &wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)})
+	ap2 := dialRaw(t, addr)
+	hello(t, ap2, &wire.Hello{Role: wire.RoleAP, ID: "ap2", Pos: geom.V(11, 7)})
+	object := dialRaw(t, addr)
+	hello(t, object, &wire.Hello{Role: wire.RoleObject, ID: "obj1"})
+
+	// Re-announcing a finished round replays its recorded estimate.
+	if err := wire.WriteMessage(object, &wire.RoundStart{RoundID: 1, ObjectID: "obj1", Packets: 2}); err != nil {
+		t.Fatal(err)
+	}
+	replayed := expectMsg[*wire.Estimate](t, object)
+	if *replayed != first[0] {
+		t.Fatalf("replayed estimate = %+v, want %+v", *replayed, first[0])
+	}
+	if got := s.Estimates(); len(got) != len(first) {
+		t.Fatalf("re-announcement appended an estimate: %d, want %d", len(got), len(first))
+	}
+
+	// A genuinely new round extends the sequence, solving from the
+	// recovered history plus its fresh reports.
+	est := driveRound(t, 3, object, ap1, ap2)
+	if est.RoundID != 3 || est.NumAnchors < 2 {
+		t.Fatalf("post-restart estimate = %+v", est)
+	}
+	if got := s.Estimates(); len(got) != len(first)+1 {
+		t.Fatalf("estimates after new round = %d, want %d", len(got), len(first)+1)
+	}
+	s.Shutdown()
+}
+
+// TestJournalTwoRunByteEquality: two identical server runs against fresh
+// journals produce byte-identical journal directories — the determinism
+// contract the CI recovery job asserts under -race.
+func TestJournalTwoRunByteEquality(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for _, dir := range dirs {
+		runJournaledSession(t, dir, 3)
+	}
+	entries0, err := os.ReadDir(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries1, err := os.ReadDir(dirs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries0) != len(entries1) {
+		t.Fatalf("file counts differ: %d vs %d", len(entries0), len(entries1))
+	}
+	for i := range entries0 {
+		if entries0[i].Name() != entries1[i].Name() {
+			t.Fatalf("file names differ: %s vs %s", entries0[i].Name(), entries1[i].Name())
+		}
+		b0, err := os.ReadFile(filepath.Join(dirs[0], entries0[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := os.ReadFile(filepath.Join(dirs[1], entries1[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b0, b1) {
+			t.Fatalf("journal file %s differs between identical runs", entries0[i].Name())
+		}
+	}
+}
+
+// TestJournalVerifyAfterLiveRun: the journal a live server writes passes
+// nomloc-replay's verification with zero diffs — recorded estimates
+// re-solve to the same bits.
+func TestJournalVerifyAfterLiveRun(t *testing.T) {
+	dir := t.TempDir()
+	runJournaledSession(t, dir, 3)
+	vr, err := journal.Verify(dir)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !vr.Clean() {
+		t.Fatalf("live journal has %d diffs: %+v", len(vr.Diffs), vr.Diffs)
+	}
+	if vr.Rounds+vr.Skipped < 3 {
+		t.Fatalf("verify saw %d rounds (+%d skipped), want 3", vr.Rounds, vr.Skipped)
+	}
+}
+
+// TestJournalMismatchRejected: resuming a journal under a different
+// configuration is refused with ErrJournalMismatch rather than silently
+// replaying state under the wrong retention or geometry.
+func TestJournalMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	runJournaledSession(t, dir, 1)
+
+	j := openJournal(t, dir)
+	defer func() {
+		if err := j.Close(); err != nil {
+			t.Errorf("journal close: %v", err)
+		}
+	}()
+	_, err := New(Config{Localizer: testLocalizer(t), Journal: j, MaxNomadicSites: 3})
+	if !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("New with mismatched retention = %v, want ErrJournalMismatch", err)
+	}
+}

@@ -9,12 +9,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/journal"
 	"github.com/nomloc/nomloc/internal/parallel"
 	"github.com/nomloc/nomloc/internal/telemetry"
 	"github.com/nomloc/nomloc/internal/wire"
@@ -52,6 +54,19 @@ type Config struct {
 	// the Telemetry registry's clock (WallClock when Telemetry is nil).
 	// Inject a fixed clock to make /metrics bodies reproducible.
 	Clock telemetry.Clock
+	// Journal, when set, makes the server durable: report history,
+	// finished-round memory, and estimates recovered at Open seed the
+	// server's state, and every state change is appended (and fsynced)
+	// BEFORE its acknowledgment leaves the server. A journal append
+	// failure halts the server rather than continuing with a diverged
+	// log. The journal must be freshly Opened; the server writes through
+	// it but the caller keeps ownership of Close.
+	Journal *journal.Journal
+	// JournalSnapshotEvery snapshots and compacts the journal after this
+	// many solved rounds. 0 disables automatic snapshots (the journal
+	// grows until the caller snapshots manually). Ignored without
+	// Journal.
+	JournalSnapshotEvery int
 }
 
 // Server errors.
@@ -63,6 +78,11 @@ var (
 	// for the object). It is counted separately from solve errors because
 	// it indicts the transport, not the localizer.
 	ErrEmptyRound = errors.New("server: round has no reports")
+	// ErrJournalMismatch marks a recovered journal whose meta record
+	// disagrees with the configuration — resuming would replay state
+	// under different retention or solve geometry than it was written
+	// with.
+	ErrJournalMismatch = errors.New("server: journal meta does not match config")
 )
 
 // maxFinishedRounds bounds the finished-round memory used to absorb
@@ -87,6 +107,7 @@ type Server struct {
 	finishedQ []uint64                     // finished-round eviction order
 	history   map[string][]*wire.CSIReport // per object: accumulated reports
 	estimates []wire.Estimate
+	sinceSnap int // rounds solved since the last automatic snapshot
 	closed    bool
 
 	wg sync.WaitGroup
@@ -150,7 +171,100 @@ func New(cfg Config) (*Server, error) {
 		history:  make(map[string][]*wire.CSIReport),
 	}
 	s.gate.Instrument(telemetry.NewPoolMetrics(cfg.Telemetry, "nomloc_server_pool"))
+	if cfg.Journal != nil {
+		if err := s.restoreFromJournal(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// journalMeta renders the meta record matching the configuration.
+func (s *Server) journalMeta() journal.Meta {
+	return journal.Meta{
+		ServerID:        s.cfg.ID,
+		AreaVertices:    s.cfg.Localizer.Config().Area.Vertices(),
+		MaxNomadicSites: s.cfg.MaxNomadicSites,
+	}
+}
+
+// restoreFromJournal seeds the server's durable state from the journal
+// recovered at Open: a fresh journal receives the meta record; an
+// existing one must match the configuration and contributes its report
+// history, estimates, and finished-round window, so restarted servers
+// resume with full memory.
+func (s *Server) restoreFromJournal() error {
+	j := s.cfg.Journal
+	if j.Fresh() {
+		if err := j.AppendMeta(s.journalMeta()); err != nil {
+			return err
+		}
+		return nil
+	}
+	st := j.State()
+	if err := metaMatches(st.Meta, s.journalMeta()); err != nil {
+		return err
+	}
+	for _, oh := range st.History {
+		s.history[oh.ObjectID] = append([]*wire.CSIReport(nil), oh.Reports...)
+	}
+	s.estimates = append(s.estimates, st.Estimates...)
+	for _, id := range st.Finished {
+		if _, dup := s.finished[id]; dup {
+			continue
+		}
+		s.finished[id] = struct{}{}
+		s.finishedQ = append(s.finishedQ, id)
+	}
+	return nil
+}
+
+// metaMatches verifies a recovered meta record against the configured
+// one. Floats compare bit-exactly: a "nearby" area is still a different
+// solve geometry.
+func metaMatches(got, want journal.Meta) error {
+	if got.ServerID != want.ServerID {
+		return fmt.Errorf("%w: journal belongs to %q, config says %q", ErrJournalMismatch, got.ServerID, want.ServerID)
+	}
+	if got.MaxNomadicSites != want.MaxNomadicSites {
+		return fmt.Errorf("%w: journal retains %d nomadic sites, config says %d",
+			ErrJournalMismatch, got.MaxNomadicSites, want.MaxNomadicSites)
+	}
+	if len(got.AreaVertices) != len(want.AreaVertices) {
+		return fmt.Errorf("%w: journal area has %d vertices, config has %d",
+			ErrJournalMismatch, len(got.AreaVertices), len(want.AreaVertices))
+	}
+	for i := range got.AreaVertices {
+		if math.Float64bits(got.AreaVertices[i].X) != math.Float64bits(want.AreaVertices[i].X) ||
+			math.Float64bits(got.AreaVertices[i].Y) != math.Float64bits(want.AreaVertices[i].Y) {
+			return fmt.Errorf("%w: journal area vertex %d is %v, config has %v",
+				ErrJournalMismatch, i, got.AreaVertices[i], want.AreaVertices[i])
+		}
+	}
+	return nil
+}
+
+// crashLocked halts the server after a journal append failure: the log
+// and the in-memory state can no longer be guaranteed to agree, so the
+// only safe continuation is a restart through recovery. Called with s.mu
+// held; never waits on handler goroutines (they may be the caller).
+func (s *Server) crashLocked(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.cfg.Logf("server: halting on journal failure: %v", err)
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for sess := range s.sessions {
+		_ = sess.conn.Close()
+	}
+	for _, r := range s.rounds {
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+	}
 }
 
 // Serve accepts connections on ln until Shutdown. It returns nil after a
@@ -260,6 +374,14 @@ func (s *Server) handle(sess *session) {
 		if sess.role == wire.RoleObject && s.objects[sess.id] == sess {
 			delete(s.objects, sess.id)
 		}
+		if s.cfg.Journal != nil && sess.role != "" && !s.closed {
+			// Skipped during shutdown: handler teardown order is
+			// scheduler-dependent there, and the journal's byte stream
+			// must not depend on it.
+			if err := s.cfg.Journal.AppendSessionClose(sess.role, sess.id); err != nil {
+				s.crashLocked(err)
+			}
+		}
 		s.mu.Unlock()
 		if sess.role != "" {
 			s.metrics.sessionDown(sess.role)
@@ -343,6 +465,15 @@ func (s *Server) onHello(sess *session, m *wire.Hello) error {
 	}
 	sess.role = m.Role
 	sess.id = m.ID
+	if s.cfg.Journal != nil {
+		// Journal the registration before the ack: after a crash the
+		// journal's session trail never claims fewer agents than were
+		// acknowledged.
+		if err := s.cfg.Journal.AppendSessionOpen(m.Role, m.ID); err != nil {
+			s.crashLocked(err)
+			return err
+		}
+	}
 	s.cfg.Logf("server: registered %s %q", m.Role, m.ID)
 	return sess.send(&wire.HelloAck{OK: true, ServerID: s.cfg.ID})
 }
@@ -355,6 +486,26 @@ func (s *Server) onRoundStart(sess *session, m *wire.RoundStart) error {
 	if _, dup := s.rounds[m.RoundID]; dup {
 		s.mu.Unlock()
 		return fmt.Errorf("duplicate round %d", m.RoundID)
+	}
+	if _, done := s.finished[m.RoundID]; done {
+		// A recovered server sees the object re-announce rounds that were
+		// already solved before the crash. Re-send the recorded estimate
+		// instead of re-opening the round — re-solving would append a
+		// duplicate estimate the first run never produced.
+		var est *wire.Estimate
+		for i := len(s.estimates) - 1; i >= 0; i-- {
+			if s.estimates[i].RoundID == m.RoundID {
+				est = &s.estimates[i]
+				break
+			}
+		}
+		s.mu.Unlock()
+		if est == nil {
+			// Finished but estimate-less: the round ended empty or failed
+			// its solve. The object gets the same terminal signal again.
+			return sess.send(&wire.ErrorMsg{Detail: fmt.Sprintf("round %d already finalized without an estimate", m.RoundID)})
+		}
+		return sess.send(est)
 	}
 	r := &round{
 		id:       m.RoundID,
@@ -442,7 +593,17 @@ func (s *Server) onCSIReport(sess *session, m *wire.CSIReport) error {
 		s.mu.Unlock()
 		return sess.send(ack)
 	}
-	s.storeReportLocked(objectID, m)
+	stored := s.storeReportLocked(objectID, m)
+	if stored && s.cfg.Journal != nil {
+		// WAL contract: the report is durable before its ack leaves the
+		// server, so a crash after this point re-delivers at worst an
+		// already-journaled report, which replays idempotently.
+		if err := s.cfg.Journal.AppendReport(objectID, m); err != nil {
+			s.crashLocked(err)
+			s.mu.Unlock()
+			return err
+		}
+	}
 	r.reported[m.APID] = struct{}{}
 	complete := len(r.reported) >= len(r.expected)
 	s.mu.Unlock()
@@ -456,44 +617,20 @@ func (s *Server) onCSIReport(sess *session, m *wire.CSIReport) error {
 	return nil
 }
 
-// storeReportLocked appends a report to the object's history, keeping the
-// most recent report per static AP and per (nomadic AP, site), bounded by
-// MaxNomadicSites per nomadic AP. Recency is judged by round id, not
-// arrival order: a report that was delayed or re-sent across rounds never
-// clobbers a newer stored report for the same identity.
-func (s *Server) storeReportLocked(objectID string, m *wire.CSIReport) {
-	hist := s.history[objectID]
-	for _, old := range hist {
-		same := old.APID == m.APID && (!m.Nomadic || old.SiteIndex == m.SiteIndex)
-		if same && old.RoundID > m.RoundID {
-			s.metrics.staleReport()
-			return
-		}
+// storeReportLocked absorbs a report into the object's history through
+// the retention semantics shared with journal replay — most recent report
+// per static AP and per (nomadic AP, site), bounded by MaxNomadicSites,
+// recency judged by round id — and reports whether it was stored. The
+// shared implementation is what lets a recovered journal rebuild exactly
+// this map.
+func (s *Server) storeReportLocked(objectID string, m *wire.CSIReport) bool {
+	hist, stored := journal.ApplyReport(s.history[objectID], m, s.cfg.MaxNomadicSites)
+	if !stored {
+		s.metrics.staleReport()
+		return false
 	}
-	// Drop a previous report with the same identity (static: APID; nomadic:
-	// APID+site).
-	kept := hist[:0]
-	perAP := 0
-	for _, old := range hist {
-		same := old.APID == m.APID && (!m.Nomadic || old.SiteIndex == m.SiteIndex)
-		if same {
-			continue
-		}
-		kept = append(kept, old)
-		if old.APID == m.APID {
-			perAP++
-		}
-	}
-	// Evict the oldest site of this nomadic AP when over budget.
-	if m.Nomadic && perAP >= s.cfg.MaxNomadicSites {
-		for i, old := range kept {
-			if old.APID == m.APID {
-				kept = append(kept[:i], kept[i+1:]...)
-				break
-			}
-		}
-	}
-	s.history[objectID] = append(kept, m)
+	s.history[objectID] = hist
+	return true
 }
 
 // finalizeRound runs localization for a round using the object's full
@@ -582,7 +719,23 @@ func (s *Server) finalizeRound(roundID uint64, timeout bool) {
 	}
 
 	s.mu.Lock()
+	if s.cfg.Journal != nil {
+		// Durable before visible: the solved round hits the log before the
+		// estimate is stored or broadcast. Anchors are recorded by identity
+		// in solve order, so replay re-solves this exact input set even
+		// after later rounds rewrite the history entries.
+		rs := journal.RoundSolved{Estimate: out, Anchors: make([]journal.AnchorRef, len(reports))}
+		for i, rep := range reports {
+			rs.Anchors[i] = journal.AnchorRef{APID: rep.APID, SiteIndex: rep.SiteIndex, RoundID: rep.RoundID}
+		}
+		if jerr := s.cfg.Journal.AppendRoundSolved(rs); jerr != nil {
+			s.crashLocked(jerr)
+			s.mu.Unlock()
+			return
+		}
+	}
 	s.estimates = append(s.estimates, out)
+	s.maybeSnapshotLocked()
 	targets := make([]*session, 0, len(s.sessions))
 	for sess := range s.sessions {
 		if sess.role == wire.RoleObject || sess.role == wire.RoleViewer {
@@ -598,25 +751,64 @@ func (s *Server) finalizeRound(roundID uint64, timeout bool) {
 	}
 }
 
-// localize turns the report set into anchors and runs the SP pipeline.
+// localize runs the SP pipeline over the report set through the solve
+// path shared with journal replay, so `nomloc-replay -verify` re-executes
+// exactly what the live server ran.
 func (s *Server) localize(reports []*wire.CSIReport) (*core.Estimate, error) {
-	anchors := make([]core.Anchor, 0, len(reports))
-	for _, rep := range reports {
-		est, err := core.EstimatePDP(&rep.Batch)
-		if err != nil {
-			return nil, fmt.Errorf("pdp for %s#%d: %w", rep.APID, rep.SiteIndex, err)
+	return journal.SolveReports(s.cfg.Localizer, reports)
+}
+
+// maybeSnapshotLocked runs the automatic snapshot+compact policy after a
+// solved round. Snapshot failures are logged, not fatal: the WAL itself
+// is still appending correctly, so durability is intact — only compaction
+// is deferred.
+func (s *Server) maybeSnapshotLocked() {
+	j := s.cfg.Journal
+	if j == nil || s.cfg.JournalSnapshotEvery <= 0 {
+		return
+	}
+	s.sinceSnap++
+	if s.sinceSnap < s.cfg.JournalSnapshotEvery {
+		return
+	}
+	s.sinceSnap = 0
+	if err := j.Snapshot(s.snapshotStateLocked()); err != nil {
+		if j.Broken() {
+			// A broken journal refuses every further append: this is a
+			// crash (real or injected), not a transient snapshot failure.
+			s.crashLocked(err)
+			return
 		}
-		kind := core.StaticAP
-		if rep.Nomadic {
-			kind = core.NomadicSite
-		}
-		anchors = append(anchors, core.Anchor{
-			APID:      rep.APID,
-			SiteIndex: rep.SiteIndex,
-			Kind:      kind,
-			Pos:       rep.Pos,
-			PDP:       est.Power,
+		s.cfg.Logf("server: journal snapshot: %v", err)
+		return
+	}
+	if err := j.Compact(); err != nil {
+		s.cfg.Logf("server: journal compact: %v", err)
+	}
+}
+
+// snapshotStateLocked captures the server's durable state in the
+// journal's canonical order. Holding s.mu while reading LastSeq is what
+// makes the seq name a consistent prefix: every append happens under the
+// same lock.
+func (s *Server) snapshotStateLocked() *journal.State {
+	st := &journal.State{
+		Meta:      s.journalMeta(),
+		Seq:       s.cfg.Journal.LastSeq(),
+		Estimates: append([]wire.Estimate(nil), s.estimates...),
+		Finished:  append([]uint64(nil), s.finishedQ...),
+	}
+	st.Meta.FormatVersion = journal.FormatVersion
+	ids := make([]string, 0, len(s.history))
+	for id := range s.history {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st.History = append(st.History, journal.ObjectHistory{
+			ObjectID: id,
+			Reports:  append([]*wire.CSIReport(nil), s.history[id]...),
 		})
 	}
-	return s.cfg.Localizer.Locate(anchors)
+	return st
 }

@@ -35,6 +35,10 @@ var (
 	ErrBadConfig   = errors.New("track: invalid config")
 	ErrNotStarted  = errors.New("track: filter has no state yet")
 	ErrBadInterval = errors.New("track: non-positive time step")
+	// ErrStaleRound marks an ObserveRound call whose round ID does not
+	// advance the filter — a duplicate or out-of-order estimate. The
+	// filter state is untouched; the caller simply drops the estimate.
+	ErrStaleRound = errors.New("track: stale or duplicate round")
 )
 
 // Validate checks the configuration.
@@ -53,10 +57,11 @@ func (c Config) Validate() error {
 // the filter runs two decoupled 2-state filters sharing parameters —
 // numerically simpler and exactly equivalent.
 type Filter struct {
-	cfg     Config
-	started bool
-	x       axisState
-	y       axisState
+	cfg       Config
+	started   bool
+	lastRound uint64
+	x         axisState
+	y         axisState
 }
 
 // axisState is one axis's [position, velocity] state and covariance.
@@ -127,6 +132,29 @@ func (f *Filter) Observe(z geom.Vec, dt float64) (geom.Vec, error) {
 	f.y.step(z.Y, dt, f.cfg.ProcessNoise, r)
 	return geom.V(f.x.pos, f.y.pos), nil
 }
+
+// ObserveRound feeds the estimate for one numbered round, making the
+// filter safe to drive from an at-least-once estimate stream: a server
+// recovering from its journal re-sends estimates for already-finalized
+// rounds, and chaos-delayed frames can arrive out of order. Round IDs
+// must strictly increase; a duplicate or older round is rejected with
+// ErrStaleRound and leaves the state exactly as it was. Gaps are fine —
+// dt is the caller's elapsed time since the last accepted estimate.
+func (f *Filter) ObserveRound(roundID uint64, z geom.Vec, dt float64) (geom.Vec, error) {
+	if f.started && roundID <= f.lastRound {
+		return geom.Vec{}, fmt.Errorf("%w: round %d after round %d", ErrStaleRound, roundID, f.lastRound)
+	}
+	p, err := f.Observe(z, dt)
+	if err != nil {
+		return p, err
+	}
+	f.lastRound = roundID
+	return p, nil
+}
+
+// LastRound returns the highest round ID ObserveRound has accepted, zero
+// before the first.
+func (f *Filter) LastRound() uint64 { return f.lastRound }
 
 // Predict advances the state dt seconds without an observation (a missed
 // round) and returns the predicted position.

@@ -1,0 +1,151 @@
+package track
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/geom"
+)
+
+// snapshot captures everything externally observable about a filter, so
+// tests can assert a rejected estimate changed nothing.
+type filterView struct {
+	pos, vel, unc geom.Vec
+	round         uint64
+}
+
+func viewOf(t *testing.T, f *Filter) filterView {
+	t.Helper()
+	pos, err := f.Position()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vel, err := f.Velocity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc, err := f.Uncertainty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filterView{pos: pos, vel: vel, unc: unc, round: f.LastRound()}
+}
+
+// TestObserveRoundRejectsDuplicates: the same round fed twice — exactly
+// what a journal-recovered server's re-sent estimate looks like — is
+// rejected with ErrStaleRound and leaves the state bit-identical.
+func TestObserveRoundRejectsDuplicates(t *testing.T) {
+	f, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ObserveRound(1, geom.V(2, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ObserveRound(2, geom.V(3, 2.5), 1); err != nil {
+		t.Fatal(err)
+	}
+	before := viewOf(t, f)
+	if _, err := f.ObserveRound(2, geom.V(3, 2.5), 1); !errors.Is(err, ErrStaleRound) {
+		t.Fatalf("duplicate round err = %v, want ErrStaleRound", err)
+	}
+	if after := viewOf(t, f); after != before {
+		t.Errorf("duplicate round mutated state:\n before %+v\n after  %+v", before, after)
+	}
+}
+
+// TestObserveRoundRejectsOutOfOrder: a chaos-delayed round arriving after
+// a newer one is dropped, even when its payload differs wildly.
+func TestObserveRoundRejectsOutOfOrder(t *testing.T) {
+	f, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := uint64(1); r <= 3; r++ {
+		if _, err := f.ObserveRound(r, geom.V(float64(r), 1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := viewOf(t, f)
+	if _, err := f.ObserveRound(2, geom.V(100, -100), 1); !errors.Is(err, ErrStaleRound) {
+		t.Fatalf("out-of-order round err = %v, want ErrStaleRound", err)
+	}
+	if after := viewOf(t, f); after != before {
+		t.Errorf("out-of-order round mutated state:\n before %+v\n after  %+v", before, after)
+	}
+	// Gaps are not staleness: round 7 after round 3 is accepted.
+	if _, err := f.ObserveRound(7, geom.V(4, 1), 4); err != nil {
+		t.Fatalf("gapped round: %v", err)
+	}
+	if got := f.LastRound(); got != 7 {
+		t.Errorf("LastRound = %d, want 7", got)
+	}
+}
+
+// TestObserveRoundReplayConvergence: a consumer that restarts mid-stream
+// and replays the whole estimate history through ObserveRound — the
+// journal-replay pattern — converges to the same trajectory as one that
+// saw each round exactly once.
+func TestObserveRoundReplayConvergence(t *testing.T) {
+	rounds := []geom.Vec{
+		geom.V(1, 1), geom.V(2, 1.5), geom.V(3, 2), geom.V(4, 2.5),
+		geom.V(5, 3), geom.V(6, 3.5),
+	}
+	clean, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, z := range rounds {
+		if _, err := clean.ObserveRound(uint64(i+1), z, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replayed, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pass: rounds 1..3 arrive live.
+	for i := 0; i < 3; i++ {
+		if _, err := replayed.ObserveRound(uint64(i+1), rounds[i], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server restarts and re-sends everything it has (rounds 1..3),
+	// then the stream continues live with 4..6. The re-sent prefix must
+	// be absorbed as pure no-ops.
+	for i := 0; i < 3; i++ {
+		if _, err := replayed.ObserveRound(uint64(i+1), rounds[i], 1); !errors.Is(err, ErrStaleRound) {
+			t.Fatalf("replayed round %d err = %v, want ErrStaleRound", i+1, err)
+		}
+	}
+	for i := 3; i < len(rounds); i++ {
+		if _, err := replayed.ObserveRound(uint64(i+1), rounds[i], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := viewOf(t, replayed), viewOf(t, clean); got != want {
+		t.Errorf("replayed trajectory diverged:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestObserveRoundBadInterval: interval validation still applies and a
+// rejected dt does not advance the round cursor.
+func TestObserveRoundBadInterval(t *testing.T) {
+	f, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ObserveRound(1, geom.V(0, 0), 0); err != nil {
+		t.Fatalf("first observation ignores dt: %v", err)
+	}
+	if _, err := f.ObserveRound(2, geom.V(1, 1), -1); !errors.Is(err, ErrBadInterval) {
+		t.Fatalf("bad dt err = %v, want ErrBadInterval", err)
+	}
+	if got := f.LastRound(); got != 1 {
+		t.Errorf("LastRound advanced to %d on a rejected interval", got)
+	}
+	if _, err := f.ObserveRound(2, geom.V(1, 1), 1); err != nil {
+		t.Fatalf("retry after bad interval: %v", err)
+	}
+}
