@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/nomloc/nomloc/internal/analysis"
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/eval"
 )
@@ -342,6 +343,36 @@ func BenchmarkExtMovingPatterns(b *testing.B) {
 			b.Fatal(err)
 		}
 		once("ext-patterns", func() { printAblation("moving-patterns", rows) })
+	}
+}
+
+// BenchmarkVetModule times one full nomloc-vet pass over the entire
+// module — load, call graph, summaries, every analyzer (the effect
+// system included) — so the lint wall-time CI pays stays measured.
+// Package load is re-done per iteration on purpose: it is part of the
+// wall time `go run ./cmd/nomloc-vet ./...` costs.
+func BenchmarkVetModule(b *testing.B) {
+	suite := analysis.All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analysis.Load(".", "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := analysis.BuildProgram(pkgs)
+		findings := 0
+		for _, pkg := range pkgs {
+			for _, a := range suite {
+				diags, err := prog.RunPkg(pkg, a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				findings += len(diags)
+			}
+		}
+		if findings != 0 {
+			b.Fatalf("vet found %d finding(s) on the tree; the benchmark assumes a clean module", findings)
+		}
 	}
 }
 

@@ -158,6 +158,26 @@ func writeSARIF(out io.Writer, findings []Finding, suite []*analysis.Analyzer) e
 // message) with an occurrence count and deliberately ignores line
 // numbers: moving baselined code around must not trip CI, adding a NEW
 // instance of a baselined message in the same file must.
+//
+// baselineVersion is the schema version this build reads and writes.
+// Version 2 introduced validation itself: a baseline whose version does
+// not match is rejected with BaselineVersionError instead of silently
+// mis-diffing against entries a different schema may key differently.
+const baselineVersion = 2
+
+// BaselineVersionError reports a baseline written under a different
+// schema version. The fix is always the same: regenerate the file with
+// -update-baseline from a tree built at this version.
+type BaselineVersionError struct {
+	Path string
+	Got  int
+	Want int
+}
+
+func (e *BaselineVersionError) Error() string {
+	return fmt.Sprintf("baseline %s has schema version %d, this build expects %d; regenerate it with -update-baseline", e.Path, e.Got, e.Want)
+}
+
 type baselineFile struct {
 	Version  int             `json:"version"`
 	Findings []baselineEntry `json:"findings"`
@@ -183,6 +203,9 @@ func loadBaseline(path string) (map[string]int, error) {
 	var bf baselineFile
 	if err := json.Unmarshal(buf, &bf); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, &BaselineVersionError{Path: path, Got: bf.Version, Want: baselineVersion}
 	}
 	idx := make(map[string]int, len(bf.Findings))
 	for _, e := range bf.Findings {
@@ -240,7 +263,7 @@ func writeBaseline(path string, findings []Finding) error {
 		}
 		return a.Message < b.Message
 	})
-	buf, err := json.MarshalIndent(baselineFile{Version: 1, Findings: entries}, "", "  ")
+	buf, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Findings: entries}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -348,6 +349,70 @@ func Clock() time.Time { return time.Now() }
 	errOut.Reset()
 	if code := run([]string{"-baseline", baseline, "-C", dir, "./..."}, &out, &errOut); code != 0 {
 		t.Fatalf("moved finding exit = %d, want 0 (baseline must ignore line numbers)\nstdout:\n%s", code, out.String())
+	}
+}
+
+// TestBaselineVersionMismatch pins the schema contract: a baseline from
+// a different version is a typed, actionable error — never a silent
+// mis-diff.
+func TestBaselineVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vet-baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 1, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadBaseline(path)
+	var verr *BaselineVersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("loadBaseline(v1) err = %v, want *BaselineVersionError", err)
+	}
+	if verr.Got != 1 || verr.Want != baselineVersion || verr.Path != path {
+		t.Errorf("BaselineVersionError = %+v, want Got=1 Want=%d Path=%s", verr, baselineVersion, path)
+	}
+	for _, frag := range []string{"schema version 1", "-update-baseline"} {
+		if !strings.Contains(verr.Error(), frag) {
+			t.Errorf("error text missing %q: %s", frag, verr.Error())
+		}
+	}
+
+	// A versionless (implicitly version-0) baseline is rejected too.
+	if err := os.WriteFile(path, []byte(`{"findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); !errors.As(err, &verr) || verr.Got != 0 {
+		t.Fatalf("loadBaseline(versionless) err = %v, want *BaselineVersionError with Got=0", err)
+	}
+}
+
+// TestBaselineVersionViaCLI checks the mismatch surfaces as a usage-level
+// exit (2), and that -update-baseline writes the current version back.
+func TestBaselineVersionViaCLI(t *testing.T) {
+	dir := tmpModule(t)
+	baseline := filepath.Join(dir, "vet-baseline.json")
+	writeTmp(t, dir, "vet-baseline.json", `{"version": 1, "findings": []}`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-C", dir, "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("stale-version baseline exit = %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "schema version 1") {
+		t.Errorf("stderr should name the version mismatch:\n%s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, "-update-baseline", "-C", dir, "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-update-baseline exit = %d\nstderr:\n%s", code, errOut.String())
+	}
+	buf, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(buf, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Version != baselineVersion {
+		t.Errorf("rewritten baseline version = %d, want %d", bf.Version, baselineVersion)
 	}
 }
 

@@ -1,33 +1,43 @@
 // Command nomloc-vet is the multichecker for NomLoc's determinism and
 // concurrency contract. It composes the internal/analysis suite —
 // detrand, seedmix, floateq, locksafe, plus the flow-sensitive
-// nanguard, errdrop, and leakcheck and the summary-based lockorder and
-// unitcheck — over `go list` package patterns and exits nonzero when
-// any analyzer reports a finding, so CI can gate merges on the
-// contract the same way it gates on tests:
+// nanguard, errdrop, and leakcheck, the summary-based lockorder and
+// unitcheck, and the interprocedural effects analyzer with its
+// replay-safety gate — over `go list` package patterns and exits
+// nonzero when any analyzer reports a finding, so CI can gate merges
+// on the contract the same way it gates on tests:
 //
 //	go run ./cmd/nomloc-vet ./...
-//	go run ./cmd/nomloc-vet -analyzers detrand,seedmix ./internal/eval/
+//	go run ./cmd/nomloc-vet -checks detrand,seedmix ./internal/eval/
 //	go run ./cmd/nomloc-vet -json ./...
 //	go run ./cmd/nomloc-vet -sarif ./... > nomloc-vet.sarif
 //	go run ./cmd/nomloc-vet -baseline vet-baseline.json ./...
 //	go run ./cmd/nomloc-vet -callgraph=dot ./... > callgraph.dot
+//	go run ./cmd/nomloc-vet -effects=json ./... > effects.json
 //
 // All loaded packages form one Program (internal/analysis.BuildProgram):
 // the analyzers see the whole-module call graph and function summaries,
-// so taint, fallibility, lock order, and units flow across package
-// boundaries. -callgraph=dot|json dumps that graph instead of running
-// the analyzers.
+// so taint, fallibility, lock order, units, and effects flow across
+// package boundaries. -callgraph=dot|json dumps that graph instead of
+// running the analyzers; -effects=dot|json dumps the inferred
+// per-function effect sets the same way. -gate-roots overrides the
+// replay-safety gate's root set (comma-separated FuncIDs).
+//
+// -checks (alias: -analyzers) selects a subset of the suite by name,
+// erroring on unknown names; -list enumerates the suite and exits.
 //
 // Diagnostics print as file:line:col: analyzer: message; -json and
 // -sarif emit machine-readable findings with paths relative to the -C
 // directory, byte-identical across runs on the same tree. With
 // -baseline the exit status ratchets: only findings NOT accounted for
 // in the baseline file fail the run (-update-baseline rewrites it).
+// Baseline files carry a schema "version"; a mismatch is a typed error
+// (BaselineVersionError), never a silent mis-diff.
 // Per-analyzer escape hatches (//nomloc:nondeterministic-ok,
 // //nomloc:nanguard-ok, //nomloc:errdrop-ok, //nomloc:leakcheck-ok,
-// //nomloc:lockorder-ok, //nomloc:unitcheck-ok) are honored and
-// audited: a suppression with nothing to suppress is itself an error.
+// //nomloc:lockorder-ok, //nomloc:unitcheck-ok, //nomloc:effects-ok)
+// are honored and audited: a suppression with nothing to suppress is
+// itself an error.
 package main
 
 import (
@@ -50,7 +60,9 @@ func main() {
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("nomloc-vet", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	var names string
+	fs.StringVar(&names, "checks", "", "comma-separated subset of analyzers to run (default: all); unknown names are an error")
+	fs.StringVar(&names, "analyzers", "", "alias for -checks")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	dir := fs.String("C", ".", "resolve package patterns relative to this directory")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of text")
@@ -58,11 +70,21 @@ func run(args []string, out, errOut io.Writer) int {
 	baselinePath := fs.String("baseline", "", "fail only on findings not recorded in this baseline file")
 	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
 	callgraph := fs.String("callgraph", "", "dump the whole-program call graph (dot or json) instead of running analyzers")
+	effectsDump := fs.String("effects", "", "dump the inferred effect graph (dot or json) instead of running analyzers")
+	gateRoots := fs.String("gate-roots", "", "comma-separated replay-safety gate roots (FuncIDs, full or shortened; default: the solve/replay path)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *callgraph != "" && *callgraph != "dot" && *callgraph != "json" {
 		fmt.Fprintf(errOut, "nomloc-vet: -callgraph must be dot or json, got %q\n", *callgraph)
+		return 2
+	}
+	if *effectsDump != "" && *effectsDump != "dot" && *effectsDump != "json" {
+		fmt.Fprintf(errOut, "nomloc-vet: -effects must be dot or json, got %q\n", *effectsDump)
+		return 2
+	}
+	if *callgraph != "" && *effectsDump != "" {
+		fmt.Fprintln(errOut, "nomloc-vet: -callgraph and -effects are mutually exclusive")
 		return 2
 	}
 	if *jsonOut && *sarifOut {
@@ -73,6 +95,15 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "nomloc-vet: -update-baseline requires -baseline")
 		return 2
 	}
+	if *gateRoots != "" {
+		var roots []string
+		for _, r := range strings.Split(*gateRoots, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				roots = append(roots, r)
+			}
+		}
+		analysis.GateRoots = roots
+	}
 
 	suite := analysis.All()
 	if *list {
@@ -81,13 +112,13 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		return 0
 	}
-	if *names != "" {
+	if names != "" {
 		byName := map[string]*analysis.Analyzer{}
 		for _, a := range suite {
 			byName[a.Name] = a
 		}
 		suite = suite[:0]
-		for _, n := range strings.Split(*names, ",") {
+		for _, n := range strings.Split(names, ",") {
 			a, ok := byName[strings.TrimSpace(n)]
 			if !ok {
 				fmt.Fprintf(errOut, "nomloc-vet: unknown analyzer %q\n", n)
@@ -114,6 +145,19 @@ func run(args []string, out, errOut io.Writer) int {
 			err = prog.Graph.WriteDOT(out)
 		} else {
 			err = prog.Graph.WriteJSON(out)
+		}
+		if err != nil {
+			fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	if *effectsDump != "" {
+		var err error
+		if *effectsDump == "dot" {
+			err = analysis.WriteEffectsDOT(out, prog)
+		} else {
+			err = analysis.WriteEffectsJSON(out, prog)
 		}
 		if err != nil {
 			fmt.Fprintf(errOut, "nomloc-vet: %v\n", err)

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
 )
 
 // TestRepoIsVetClean is the acceptance gate: the full module must carry
@@ -69,7 +71,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, name := range []string{"detrand", "seedmix", "floateq", "locksafe", "nanguard", "errdrop", "leakcheck", "lockorder", "unitcheck"} {
+	for _, name := range []string{"detrand", "seedmix", "floateq", "locksafe", "nanguard", "errdrop", "leakcheck", "lockorder", "unitcheck", "effects"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -77,9 +79,43 @@ func TestListAnalyzers(t *testing.T) {
 }
 
 func TestUnknownAnalyzer(t *testing.T) {
+	for _, flag := range []string{"-analyzers", "-checks"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{flag, "nope"}, &out, &errOut); code != 2 {
+			t.Fatalf("%s nope exit = %d, want 2", flag, code)
+		}
+		if !strings.Contains(errOut.String(), `unknown analyzer "nope"`) {
+			t.Errorf("%s nope stderr should name the unknown analyzer:\n%s", flag, errOut.String())
+		}
+	}
+}
+
+// TestChecksSelectsSubset runs only detrand via the -checks spelling and
+// confirms the leakcheck-only violation in the fixture module is not
+// reported — selection actually narrows the suite.
+func TestChecksSelectsSubset(t *testing.T) {
+	dir := t.TempDir()
+	writeTmp(t, dir, "go.mod", "module tmpchk\n\ngo 1.22\n")
+	writeTmp(t, dir, "server/server.go", `package server
+
+func busy() {}
+
+func Serve() {
+	go func() {
+		for {
+			busy()
+		}
+	}()
+}
+`)
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-analyzers", "nope"}, &out, &errOut); code != 2 {
-		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	if code := run([]string{"-C", dir, "-checks", "detrand", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-checks detrand exit = %d, want 0 (leak findings must be filtered)\nstdout:\n%s", code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", dir, "-checks", "leakcheck", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("-checks leakcheck exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 }
 
@@ -125,6 +161,104 @@ func Top() int { return Mid() }
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
 		t.Error("-callgraph=dot output differs across two runs")
+	}
+}
+
+// TestVetDeterministic is the two-run byte-equality contract for the
+// full machine-readable output: running the entire suite over the whole
+// module twice must produce identical -json bytes.
+func TestVetDeterministic(t *testing.T) {
+	var first, second, errOut bytes.Buffer
+	if code := run([]string{"-C", "../..", "-json", "./..."}, &first, &errOut); code != 0 {
+		t.Fatalf("run 1 exit = %d\nstderr:\n%s", code, errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-C", "../..", "-json", "./..."}, &second, &errOut); code != 0 {
+		t.Fatalf("run 2 exit = %d\nstderr:\n%s", code, errOut.String())
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("full-suite -json output differs across two runs on the same tree")
+	}
+}
+
+func TestEffectsDumpBadMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-effects", "svg"}, &out, &errOut); code != 2 {
+		t.Fatalf("-effects=svg exit = %d, want 2", code)
+	}
+}
+
+func TestEffectsAndCallGraphExclusive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-effects=json", "-callgraph=dot", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("-effects -callgraph exit = %d, want 2", code)
+	}
+}
+
+// TestEffectsDumpGolden pins the -effects=json dump on a tiny fixture
+// module: exact bytes, twice.
+func TestEffectsDumpGolden(t *testing.T) {
+	dir := t.TempDir()
+	writeTmp(t, dir, "go.mod", "module tmpeff\n\ngo 1.22\n")
+	writeTmp(t, dir, "lib/lib.go", `package lib
+
+import "time"
+
+func Clock() time.Time { return time.Now() }
+
+func Stamp() int64 { return Clock().UnixNano() }
+
+func Add(a, b int) int { return a + b }
+`)
+	const golden = `{
+  "functions": [
+    {"id": "tmpeff/lib.Add", "effects": "pure", "own": "pure"},
+    {"id": "tmpeff/lib.Clock", "effects": "wallclock", "own": "wallclock"},
+    {"id": "tmpeff/lib.Stamp", "effects": "wallclock", "own": "pure"}
+  ]
+}
+`
+	var first, second, errOut bytes.Buffer
+	if code := run([]string{"-C", dir, "-effects=json", "./..."}, &first, &errOut); code != 0 {
+		t.Fatalf("-effects=json exit = %d\nstderr:\n%s", code, errOut.String())
+	}
+	if first.String() != golden {
+		t.Errorf("effects dump:\n%s\nwant:\n%s", first.String(), golden)
+	}
+	errOut.Reset()
+	if code := run([]string{"-C", dir, "-effects=dot", "./..."}, &second, &errOut); code != 0 {
+		t.Fatalf("-effects=dot exit = %d\nstderr:\n%s", code, errOut.String())
+	}
+	for _, frag := range []string{"digraph nomloc_effects", `"tmpeff/lib.Clock"`, "style=bold", `"tmpeff/lib.Stamp" -> "tmpeff/lib.Clock";`} {
+		if !strings.Contains(second.String(), frag) {
+			t.Errorf("-effects=dot output missing %q:\n%s", frag, second.String())
+		}
+	}
+}
+
+// TestGateRootsFlag seeds a time.Now into a function reachable from a
+// -gate-roots override and demands the replay-safety diagnostic — the
+// CLI half of the issue's regression requirement.
+func TestGateRootsFlag(t *testing.T) {
+	defer func(prev []string) { analysis.GateRoots = prev }(analysis.GateRoots)
+	dir := t.TempDir()
+	writeTmp(t, dir, "go.mod", "module tmpgate\n\ngo 1.22\n")
+	writeTmp(t, dir, "solve/solve.go", `package solve
+
+import "time"
+
+//nomloc:effect(wallclock)
+func Entry() int64 { return helper() }
+
+func helper() int64 { return time.Now().UnixNano() }
+`)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", dir, "-checks", "effects", "-gate-roots", "solve.Entry", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("gated run exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "replay-safety gate: calls time.Now (wallclock) in solve.helper, reachable from gate root solve.Entry") {
+		t.Fatalf("missing gate diagnostic:\n%s", out.String())
 	}
 }
 

@@ -43,6 +43,12 @@
 //     mixed-unit arithmetic and unit-mismatched call arguments are
 //     flagged in csi, channel, dsp, baseline, and core (escape hatch:
 //     //nomloc:unitcheck-ok)
+//   - effects:   interprocedural effect inference over the lattice
+//     {wallclock, globalread, globalwrite, io, fsync, maporder,
+//     unseededrand, spawn, unsafe}; //nomloc:effect(...) annotations are
+//     verified against the inferred sets, and the replay-safety gate
+//     requires everything reachable from the solve/replay roots to stay
+//     free of GateForbidden effects (escape hatch: //nomloc:effects-ok)
 //
 // The cmd/nomloc-vet multichecker composes them over `go list` package
 // patterns; the analysistest subpackage runs them over fixture packages
@@ -114,7 +120,7 @@ func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
 
 // All returns the nomloc-vet analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, SeedMix, FloatEq, LockSafe, NanGuard, ErrDrop, LeakCheck, LockOrder, UnitCheck}
+	return []*Analyzer{DetRand, SeedMix, FloatEq, LockSafe, NanGuard, ErrDrop, LeakCheck, LockOrder, UnitCheck, Effects}
 }
 
 // deterministicPackages are the import-path base names whose outputs feed

@@ -1,0 +1,897 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the effect system (DESIGN.md §13): an interprocedural
+// inference over a small lattice of ambient effects, a declaration layer
+// (//nomloc:effect annotations checked against the inferred sets), and
+// the replay-safety gate — a configurable set of root functions from
+// which everything reachable must stay free of the effects that would
+// let a journal replay or a chaos heal-to-golden run diverge from the
+// live solve.
+//
+// Inference walks every function the call graph knows and derives two
+// sets per function:
+//
+//   - its OWN effects: intrinsic facts of the body (package-level
+//     variable reads/writes, map ranges whose order escapes, goroutine
+//     and channel operations, unsafe) plus the table effects of every
+//     external (bodyless) callee, resolved through stdlib summaries for
+//     time, os, math/rand, sync, io, fmt, and friends;
+//   - its FULL effects: own ∪ the full effects of source callees
+//     (static and CHA interface edges) ∪ the full effects of every
+//     lexically nested function literal.
+//
+// Nested literals are folded into their *creator*, not their caller:
+// a call through a function-typed value (parameter, field, local) is
+// effect-free at the call site, because whatever closure flows there
+// already charged its effects to the function that created it. This is
+// the classic latent-effect treatment of higher-order code and is what
+// keeps the injected-clock pattern sound and precise at once: the
+// parallel pool calling `fn(state, i)` stays clean, while a caller that
+// builds a closure over time.Now carries wallclock itself. Named
+// functions laundered through variables are the one hole, shared with
+// every other summary consumer in this package (DESIGN.md §11).
+//
+// The fixpoint is a plain monotone iteration over the sorted node list
+// rather than the SCC engine of summary.go: lexical containment is an
+// edge the call graph does not have, so component order cannot be
+// trusted to visit a closure's callees before the closure's creator.
+// Effect sets are 9-bit masks, so the global iteration converges in a
+// handful of rounds and stays byte-deterministic.
+
+// Effect is a bitmask over the effect lattice.
+type Effect uint16
+
+const (
+	// EffWallclock reads the wall clock (time.Now and wrappers).
+	EffWallclock Effect = 1 << iota
+	// EffGlobalRead reads a package-level variable.
+	EffGlobalRead
+	// EffGlobalWrite writes (or takes the address of) a package-level
+	// variable.
+	EffGlobalWrite
+	// EffIO touches files, networks, or process state.
+	EffIO
+	// EffFsync forces data to stable storage (os.(*File).Sync).
+	EffFsync
+	// EffMapOrder ranges over a map where element order escapes.
+	EffMapOrder
+	// EffUnseededRand draws from the global math/rand source.
+	EffUnseededRand
+	// EffSpawn starts goroutines or uses channels.
+	EffSpawn
+	// EffUnsafe uses package unsafe.
+	EffUnsafe
+)
+
+// effectOrder fixes the canonical display and parse order of the
+// lattice; every rendered effect list follows it.
+var effectOrder = []struct {
+	bit  Effect
+	name string
+}{
+	{EffWallclock, "wallclock"},
+	{EffGlobalRead, "globalread"},
+	{EffGlobalWrite, "globalwrite"},
+	{EffIO, "io"},
+	{EffFsync, "fsync"},
+	{EffMapOrder, "maporder"},
+	{EffUnseededRand, "unseededrand"},
+	{EffSpawn, "spawn"},
+	{EffUnsafe, "unsafe"},
+}
+
+// String renders the set in canonical order, "pure" for the empty set.
+func (e Effect) String() string {
+	if e == 0 {
+		return "pure"
+	}
+	var names []string
+	for _, eo := range effectOrder {
+		if e&eo.bit != 0 {
+			names = append(names, eo.name)
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+// ParseEffects parses a comma-separated effect list; "pure" (alone)
+// names the empty set.
+func ParseEffects(list string) (Effect, error) {
+	parts := strings.Split(list, ",")
+	var out Effect
+	pure := false
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "pure" {
+			pure = true
+			continue
+		}
+		found := false
+		for _, eo := range effectOrder {
+			if eo.name == p {
+				out |= eo.bit
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("unknown effect %q (lattice: pure, wallclock, globalread, globalwrite, io, fsync, maporder, unseededrand, spawn, unsafe)", p)
+		}
+	}
+	if pure && out != 0 {
+		return 0, fmt.Errorf("\"pure\" cannot be combined with other effects")
+	}
+	return out, nil
+}
+
+// effUnknown is the sound default for calls into external code no
+// stdlib summary covers: everything short of fsync and unsafe, both of
+// which require constructs the table does recognize.
+const effUnknown = EffWallclock | EffGlobalRead | EffGlobalWrite | EffIO | EffMapOrder | EffUnseededRand | EffSpawn
+
+// GateForbidden is the effect set the replay-safety gate rejects.
+// globalread stays legal (error sentinels and lookup tables are read
+// everywhere) and so does spawn: the parallel pool is deterministic by
+// construction (results in input order, per-task RNG streams), which is
+// its own statically-checked contract (leakcheck, detrand, seedmix).
+const GateForbidden = EffWallclock | EffGlobalWrite | EffIO | EffFsync | EffMapOrder | EffUnseededRand | EffUnsafe
+
+// DefaultGateRoots are the functions every journal replay and chaos
+// heal re-executes: the shared solve path. Roots match by full FuncID
+// or by shortened form ("journal.ApplyReport").
+var DefaultGateRoots = []string{
+	"github.com/nomloc/nomloc/internal/journal.ApplyReport",
+	"github.com/nomloc/nomloc/internal/journal.SolveReports",
+	"github.com/nomloc/nomloc/internal/core.(*Localizer).Locate",
+	"github.com/nomloc/nomloc/internal/core.(*Localizer).LocateBatch",
+	"github.com/nomloc/nomloc/internal/lp.Solve",
+	"github.com/nomloc/nomloc/internal/lp.(*Workspace).Solve",
+	"github.com/nomloc/nomloc/internal/track.(*Filter).ObserveRound",
+}
+
+// GateRoots is the active root set of the replay-safety gate.
+// cmd/nomloc-vet overrides it from -gate-roots; tests point it at
+// fixture functions. Set it before the first effects pass over a
+// Program — results are cached per program.
+var GateRoots = DefaultGateRoots
+
+// effectAnnotation opens the declaration grammar:
+// //nomloc:effect(pure) or //nomloc:effect(globalread,spawn), placed in
+// the function's doc comment. The effects analyzer verifies the
+// declared set matches the inferred set exactly, so annotations can
+// neither rot stale nor hide an effect.
+const effectAnnotation = "//nomloc:effect("
+
+// Effects infers per-function effect sets over the whole program,
+// verifies //nomloc:effect annotations against them, and enforces the
+// replay-safety gate from GateRoots.
+var Effects = &Analyzer{
+	Name: "effects",
+	Doc: "infer per-function effect sets (wallclock, globals, io, fsync, " +
+		"map order, unseeded rand, spawn, unsafe), verify //nomloc:effect " +
+		"annotations, and gate the solve/replay path on purity",
+	Run: runEffects,
+}
+
+// effectAtom is one direct effect occurrence inside a function: an
+// intrinsic fact of the body or the table effect of an external callee.
+type effectAtom struct {
+	pos    token.Pos
+	eff    Effect
+	detail string
+}
+
+// funcEffects is one function's inference state.
+type funcEffects struct {
+	node *Node
+	// atoms are the function's direct effect occurrences in position
+	// order.
+	atoms []effectAtom
+	// deps are the source callees (static + CHA interface edges) and
+	// lexically nested literals whose full effects fold in.
+	deps []*funcEffects
+	// own is the union of atoms.
+	own Effect
+	// all is the fixpoint result: own ∪ deps' all.
+	all Effect
+	// witness records, per effect bit, the first deterministic origin
+	// ("calls time.Now at lp.go:12" or "via core.(*Localizer).Locate").
+	witness map[Effect]string
+}
+
+// effectsResult is the whole-program inference outcome.
+type effectsResult struct {
+	byID  map[string]*funcEffects
+	order []*funcEffects // sorted by node ID
+}
+
+// effectsOf computes (once per program) the effect sets of every node.
+func effectsOf(prog *Program) *effectsResult {
+	return prog.cached("effects:infer", func() any {
+		return computeEffects(prog)
+	}).(*effectsResult)
+}
+
+func computeEffects(prog *Program) *effectsResult {
+	res := &effectsResult{byID: make(map[string]*funcEffects, len(prog.Graph.Nodes))}
+	for _, n := range prog.Graph.Nodes {
+		fe := &funcEffects{node: n, witness: map[Effect]string{}}
+		res.byID[n.ID] = fe
+		res.order = append(res.order, fe)
+	}
+	// Seed atoms and dependency lists. Nodes are already sorted by ID,
+	// so discovery order — and with it every witness below — is stable.
+	for _, fe := range res.order {
+		n := fe.node
+		if n.Fn == nil || n.Fn.Body == nil {
+			fe.own = externalEffects(n)
+			fe.all = fe.own
+			continue
+		}
+		fe.atoms = collectEffectAtoms(n.Fn)
+		seen := map[*funcEffects]bool{}
+		for _, e := range n.Out {
+			if e.Kind == EdgeDynamic {
+				// A call through a function-typed value: parametric.
+				// The closures that can flow here charged their
+				// effects to their creators already.
+				continue
+			}
+			callee := res.byID[e.Callee.ID]
+			if e.Callee.Fn != nil {
+				if !seen[callee] {
+					seen[callee] = true
+					fe.deps = append(fe.deps, callee)
+				}
+				continue
+			}
+			if e.Kind == EdgeInterface && siteHasSourceTarget(n, e.Pos) {
+				// The bare interface-method node; the CHA-resolved
+				// concrete targets at this site carry the effects.
+				continue
+			}
+			if eff := refineCallEffects(n.Fn.Pkg, e, externalEffects(e.Callee)); eff != 0 {
+				fe.atoms = append(fe.atoms, effectAtom{
+					pos:    e.Pos,
+					eff:    eff,
+					detail: "calls " + shortFuncID(e.Callee.ID),
+				})
+			}
+		}
+		for k := 1; ; k++ {
+			child := prog.Graph.NodeByID(fmt.Sprintf("%s$%d", n.ID, k))
+			if child == nil {
+				break
+			}
+			fe.deps = append(fe.deps, res.byID[child.ID])
+		}
+		sort.SliceStable(fe.atoms, func(i, j int) bool { return fe.atoms[i].pos < fe.atoms[j].pos })
+		for _, a := range fe.atoms {
+			fe.own |= a.eff
+		}
+		fe.all = fe.own
+		for _, a := range fe.atoms {
+			fe.recordWitness(a.eff, a.detail+" at "+posString(n.Fn, a.pos))
+		}
+	}
+	// Monotone global fixpoint: effect sets only grow, so iteration
+	// terminates; the sorted sweep order keeps witnesses deterministic.
+	for {
+		changed := false
+		for _, fe := range res.order {
+			next := fe.all
+			for _, dep := range fe.deps {
+				if add := dep.all &^ next; add != 0 {
+					next |= add
+					fe.recordWitness(add, "via "+shortFuncID(dep.node.ID))
+				}
+			}
+			if next != fe.all {
+				fe.all = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return res
+}
+
+// recordWitness notes the first origin of each newly acquired bit.
+func (fe *funcEffects) recordWitness(bits Effect, origin string) {
+	for _, eo := range effectOrder {
+		if bits&eo.bit != 0 {
+			if _, ok := fe.witness[eo.bit]; !ok {
+				fe.witness[eo.bit] = origin
+			}
+		}
+	}
+}
+
+// witnessFor renders the recorded origins of the given bits in
+// canonical order.
+func (fe *funcEffects) witnessFor(bits Effect) string {
+	var parts []string
+	for _, eo := range effectOrder {
+		if bits&eo.bit != 0 {
+			if w, ok := fe.witness[eo.bit]; ok {
+				parts = append(parts, eo.name+": "+w)
+			}
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// posString renders a position as "file:line" for witnesses and paths.
+func posString(fi *FuncInfo, pos token.Pos) string {
+	p := fi.Pkg.Fset.Position(pos)
+	parts := strings.Split(strings.ReplaceAll(p.Filename, "\\", "/"), "/")
+	return fmt.Sprintf("%s:%d", parts[len(parts)-1], p.Line)
+}
+
+// inMemoryPrinters are the fmt writers whose io effect vanishes when the
+// destination is an in-memory buffer: Fprintf to a strings.Builder or
+// bytes.Buffer is string formatting, not io.
+var inMemoryPrinters = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// refineCallEffects sharpens an external callee's table effects with
+// call-site facts the table cannot see.
+func refineCallEffects(pkg *Package, e *Edge, eff Effect) Effect {
+	if eff&EffIO == 0 || e.Site == nil || !inMemoryPrinters[e.Callee.ID] || len(e.Site.Args) == 0 {
+		return eff
+	}
+	t := pkg.Info.TypeOf(e.Site.Args[0])
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named == nil || named.Obj().Pkg() == nil {
+		return eff
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return eff &^ EffIO
+	}
+	return eff
+}
+
+// siteHasSourceTarget reports whether any edge at the call position
+// resolves to a function with an analyzable body.
+func siteHasSourceTarget(n *Node, pos token.Pos) bool {
+	for _, e := range n.Out {
+		if e.Pos == pos && e.Callee.Fn != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// collectEffectAtoms walks one function body (nested literals excluded —
+// they are their own nodes and fold in as lexical deps) and returns its
+// intrinsic effect occurrences.
+func collectEffectAtoms(fi *FuncInfo) []effectAtom {
+	info := fi.Pkg.Info
+	var atoms []effectAtom
+
+	// First pass: mark the base identifier of every write target —
+	// assignment LHS, ++/--, and &x (an escaping address may be written
+	// by anyone downstream).
+	writes := map[*ast.Ident]bool{}
+	markWrite := func(e ast.Expr) {
+		if id := baseIdent(info, e); id != nil {
+			writes[id] = true
+		}
+	}
+	ast.Inspect(fi.Body, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				markWrite(l)
+			}
+		case *ast.IncDecStmt:
+			markWrite(s.X)
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				markWrite(s.X)
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fi.Body, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			obj := info.Uses[s]
+			if obj != nil && obj.Pkg() == types.Unsafe {
+				atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffUnsafe,
+					detail: "uses unsafe." + obj.Name()})
+				return true
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return true
+			}
+			qual := v.Name()
+			if v.Pkg().Path() != fi.Pkg.Path {
+				qual = v.Pkg().Name() + "." + v.Name()
+			}
+			if writes[s] {
+				atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffGlobalWrite,
+					detail: "writes package-level var " + qual})
+			} else {
+				atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffGlobalRead,
+					detail: "reads package-level var " + qual})
+			}
+		case *ast.RangeStmt:
+			tv, ok := info.Types[s.X]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				if !isCollectOnlyBody(s.Body) {
+					atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffMapOrder,
+						detail: "ranges over a map with an order-sensitive body"})
+				}
+			case *types.Chan:
+				atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffSpawn,
+					detail: "receives from a channel via range"})
+			}
+		case *ast.GoStmt:
+			atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffSpawn,
+				detail: "spawns a goroutine"})
+		case *ast.SendStmt:
+			atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffSpawn,
+				detail: "sends on a channel"})
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffSpawn,
+					detail: "receives from a channel"})
+			}
+		case *ast.SelectStmt:
+			atoms = append(atoms, effectAtom{pos: s.Pos(), eff: EffSpawn,
+				detail: "selects over channels"})
+		}
+		return true
+	})
+	return atoms
+}
+
+// baseIdent unwraps selectors, indexing, derefs, and slices down to the
+// root identifier of an lvalue; a package-qualified name (pkg.Var)
+// resolves to the selected identifier, not the package name.
+func baseIdent(info *types.Info, e ast.Expr) *ast.Ident {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			if x, ok := ast.Unparen(t.X).(*ast.Ident); ok {
+				if _, isPkg := info.Uses[x].(*types.PkgName); isPkg {
+					return t.Sel
+				}
+			}
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.TypeAssertExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// stdlib summaries ------------------------------------------------------
+
+// stdlibIDEffects overrides the per-package defaults for specific
+// functions, keyed by FuncID.
+var stdlibIDEffects = map[string]Effect{
+	"os.(*File).Sync": EffIO | EffFsync,
+
+	"time.Unix":          0,
+	"time.UnixMicro":     0,
+	"time.UnixMilli":     0,
+	"time.Date":          0,
+	"time.Parse":         0,
+	"time.ParseDuration": 0,
+	"time.FixedZone":     0,
+
+	"context.WithTimeout":  EffWallclock | EffSpawn,
+	"context.WithDeadline": EffWallclock | EffSpawn,
+	"context.AfterFunc":    EffWallclock | EffSpawn,
+
+	"fmt.Sprint":   0,
+	"fmt.Sprintf":  0,
+	"fmt.Sprintln": 0,
+	"fmt.Errorf":   0,
+	"fmt.Appendf":  0,
+	"fmt.Append":   0,
+	"fmt.Appendln": 0,
+	"fmt.Sscan":    0,
+	"fmt.Sscanf":   0,
+	"fmt.Sscanln":  0,
+
+	"path/filepath.Abs":          EffIO,
+	"path/filepath.EvalSymlinks": EffIO,
+	"path/filepath.Glob":         EffIO,
+	"path/filepath.Walk":         EffIO,
+	"path/filepath.WalkDir":      EffIO,
+}
+
+// stdlibPkgEffects is the per-package default for external functions.
+// Packages not listed fall back to effUnknown — the sound default the
+// issue contract requires for unmodeled dependencies.
+var stdlibPkgEffects = map[string]Effect{
+	"builtin": 0,
+	"errors":  0,
+	"sort":    0, "slices": 0, "cmp": 0,
+	"strings": 0, "strconv": 0, "bytes": 0,
+	"unicode": 0, "unicode/utf8": 0, "unicode/utf16": 0,
+	"math": 0, "math/bits": 0, "math/cmplx": 0, "math/big": 0,
+	"container/heap": 0, "container/list": 0, "container/ring": 0,
+	"encoding/json": 0, "encoding/binary": 0, "encoding/base64": 0,
+	"encoding/hex": 0, "encoding/csv": EffIO,
+	"hash": 0, "hash/crc32": 0, "hash/crc64": 0, "hash/fnv": 0, "hash/maphash": 0,
+	"crypto/sha256": 0, "crypto/sha512": 0, "crypto/sha1": 0, "crypto/md5": 0,
+	"crypto/rand": EffIO | EffUnseededRand,
+	"regexp":      0, "regexp/syntax": 0,
+	"path": 0, "path/filepath": 0,
+	"sync": 0, "sync/atomic": 0,
+	"context": 0,
+	"runtime": 0,
+	"maps":    EffMapOrder,
+	"reflect": EffGlobalRead | EffMapOrder,
+	"unsafe":  EffUnsafe,
+	"time":    EffWallclock,
+	"fmt":     EffIO,
+	"os":      EffIO, "os/exec": EffIO | EffSpawn, "os/signal": EffIO | EffSpawn,
+	"io": EffIO, "io/fs": EffIO, "bufio": EffIO,
+	"net": EffIO | EffSpawn, "net/http": EffIO | EffSpawn, "net/url": 0,
+	"syscall": EffIO,
+	"log":     EffIO | EffGlobalRead,
+	"flag":    EffIO | EffGlobalRead | EffGlobalWrite,
+	"testing": EffIO,
+	"embed":   0,
+}
+
+// externalEffects summarizes a bodyless node: exact-ID overrides first,
+// then method-receiver rules, then the per-package default, then the
+// sound unknown default.
+func externalEffects(n *Node) Effect {
+	if eff, ok := stdlibIDEffects[n.ID]; ok {
+		return eff
+	}
+	pkg := "builtin"
+	var recv bool
+	if n.Obj != nil {
+		if n.Obj.Pkg() != nil {
+			pkg = n.Obj.Pkg().Path()
+		}
+		if sig, ok := n.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv = true
+		}
+	} else if i := strings.LastIndexByte(n.ID, '('); i > 0 {
+		// An external node reached without a types.Func (rare): parse
+		// the ID shape "pkg.(Recv).Name".
+		pkg = strings.TrimSuffix(n.ID[:i], ".")
+		recv = true
+	} else if i := strings.LastIndexByte(n.ID, '.'); i > 0 {
+		pkg = n.ID[:i]
+	}
+	switch pkg {
+	case "time", "math/rand":
+		// Value methods (time.Time.Add, rand.(*Rand).Intn) are pure
+		// modulo receiver; only the package-level entry points touch
+		// the clock or the global source.
+		if recv {
+			return 0
+		}
+		if pkg == "math/rand" {
+			if globalRandFuncs[funcName(n)] {
+				return EffUnseededRand
+			}
+			return 0
+		}
+	case "fmt", "context", "reflect", "maps":
+		// Interface methods (fmt.Stringer.String, context.Context.Err)
+		// and value methods are pure.
+		if recv {
+			return 0
+		}
+	}
+	if eff, ok := stdlibPkgEffects[pkg]; ok {
+		return eff
+	}
+	return effUnknown
+}
+
+// funcName extracts the bare function name of a node.
+func funcName(n *Node) string {
+	if n.Obj != nil {
+		return n.Obj.Name()
+	}
+	id := n.ID
+	if i := strings.LastIndexByte(id, '.'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// Annotation layer ------------------------------------------------------
+
+// effectDecl is one parsed //nomloc:effect annotation.
+type effectDecl struct {
+	pos      token.Pos
+	declared Effect
+	err      string
+}
+
+// parseEffectAnnotations extracts the annotations from a declaration's
+// doc comment (zero, one, or — erroneously — several).
+func parseEffectAnnotations(doc *ast.CommentGroup) []effectDecl {
+	if doc == nil {
+		return nil
+	}
+	var out []effectDecl
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, effectAnnotation) {
+			continue
+		}
+		rest := c.Text[len(effectAnnotation):]
+		close := strings.IndexByte(rest, ')')
+		if close < 0 {
+			out = append(out, effectDecl{pos: c.Pos(), err: "missing closing parenthesis"})
+			continue
+		}
+		eff, err := ParseEffects(rest[:close])
+		if err != nil {
+			out = append(out, effectDecl{pos: c.Pos(), err: err.Error()})
+			continue
+		}
+		out = append(out, effectDecl{pos: c.Pos(), declared: eff})
+	}
+	return out
+}
+
+// Replay-safety gate ----------------------------------------------------
+
+// gateFinding is one gate violation, pre-resolved to the package that
+// must report it.
+type gateFinding struct {
+	pkgPath string
+	pos     token.Pos
+	msg     string
+}
+
+// gateFindings walks the call-and-containment closure of GateRoots and
+// returns every forbidden effect atom inside it, plus a finding for
+// each root lacking an effect annotation. Computed once per program.
+func gateFindings(prog *Program) []gateFinding {
+	return prog.cached("effects:gate", func() any {
+		return computeGateFindings(prog, GateRoots)
+	}).([]gateFinding)
+}
+
+func computeGateFindings(prog *Program, roots []string) []gateFinding {
+	res := effectsOf(prog)
+	rootSet := map[string]bool{}
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	// parent links the BFS tree for path rendering; rootOf names each
+	// reachable function's gate root.
+	parent := map[*funcEffects]*funcEffects{}
+	rootOf := map[*funcEffects]*funcEffects{}
+	var queue []*funcEffects
+	for _, fe := range res.order {
+		id := fe.node.ID
+		if rootSet[id] || rootSet[shortFuncID(id)] {
+			parent[fe] = nil
+			rootOf[fe] = fe
+			queue = append(queue, fe)
+		}
+	}
+	var reach []*funcEffects
+	for len(queue) > 0 {
+		fe := queue[0]
+		queue = queue[1:]
+		reach = append(reach, fe)
+		for _, dep := range fe.deps {
+			if _, seen := rootOf[dep]; seen {
+				continue
+			}
+			parent[dep] = fe
+			rootOf[dep] = rootOf[fe]
+			queue = append(queue, dep)
+		}
+	}
+	sort.Slice(reach, func(i, j int) bool { return reach[i].node.ID < reach[j].node.ID })
+
+	var out []gateFinding
+	for _, fe := range reach {
+		n := fe.node
+		if n.Fn == nil {
+			continue
+		}
+		if parent[fe] == nil && n.Fn.Decl != nil && len(parseEffectAnnotations(n.Fn.Decl.Doc)) == 0 {
+			out = append(out, gateFinding{
+				pkgPath: n.Fn.Pkg.Path,
+				pos:     n.Fn.Decl.Pos(),
+				msg: fmt.Sprintf("replay-safety gate root %s must declare its effect set with a //nomloc:effect(%s) annotation",
+					shortFuncID(n.ID), fe.all),
+			})
+		}
+		for _, a := range fe.atoms {
+			bad := a.eff & GateForbidden
+			if bad == 0 {
+				continue
+			}
+			out = append(out, gateFinding{
+				pkgPath: n.Fn.Pkg.Path,
+				pos:     a.pos,
+				msg: fmt.Sprintf("replay-safety gate: %s (%s) in %s, reachable from gate root %s via %s; the solve/replay path must stay free of %s or journal replays diverge",
+					a.detail, bad, shortFuncID(n.ID), shortFuncID(rootOf[fe].node.ID), gatePath(parent, fe), GateForbidden),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].pkgPath != out[j].pkgPath {
+			return out[i].pkgPath < out[j].pkgPath
+		}
+		return out[i].pos < out[j].pos
+	})
+	return out
+}
+
+// gatePath renders the BFS path root → … → fe.
+func gatePath(parent map[*funcEffects]*funcEffects, fe *funcEffects) string {
+	var ids []string
+	for cur := fe; cur != nil; cur = parent[cur] {
+		ids = append(ids, shortFuncID(cur.node.ID))
+	}
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return strings.Join(ids, " → ")
+}
+
+// Analyzer --------------------------------------------------------------
+
+func runEffects(pass *Pass) error {
+	if pass.Prog == nil {
+		return nil // whole-program only; nothing to say intraprocedurally
+	}
+	res := effectsOf(pass.Prog)
+
+	// 1. Verify every annotation declared in this package.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			anns := parseEffectAnnotations(fd.Doc)
+			if len(anns) == 0 {
+				continue
+			}
+			for _, a := range anns[1:] {
+				pass.Reportf(a.pos, "duplicate //nomloc:effect annotation on %s; declare one effect set", fd.Name.Name)
+			}
+			ann := anns[0]
+			if ann.err != "" {
+				pass.Reportf(ann.pos, "malformed //nomloc:effect annotation: %s", ann.err)
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fe := res.byID[FuncIDOf(obj)]
+			if fe == nil {
+				continue
+			}
+			if missing := fe.all &^ ann.declared; missing != 0 {
+				pass.Reportf(ann.pos, "effect annotation on %s is missing inferred effect(s) %s (%s); declare them or remove the cause",
+					fd.Name.Name, missing, fe.witnessFor(missing))
+			}
+			if stale := ann.declared &^ fe.all; stale != 0 {
+				pass.Reportf(ann.pos, "stale effect annotation on %s: declared effect(s) %s are not inferred; drop them",
+					fd.Name.Name, stale)
+			}
+		}
+	}
+
+	// 2. Report this package's share of the replay-safety gate.
+	for _, gf := range gateFindings(pass.Prog) {
+		if gf.pkgPath == pass.Pkg.Path() {
+			pass.Reportf(gf.pos, "%s", gf.msg)
+		}
+	}
+	return nil
+}
+
+// Dumps -----------------------------------------------------------------
+
+// WriteEffectsJSON dumps the inferred effect sets of every source
+// function as a sorted JSON array. Output is byte-stable.
+func WriteEffectsJSON(w io.Writer, prog *Program) error {
+	res := effectsOf(prog)
+	var sb strings.Builder
+	sb.WriteString("{\n  \"functions\": [\n")
+	first := true
+	for _, fe := range res.order {
+		if fe.node.Fn == nil {
+			continue
+		}
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&sb, "    {\"id\": %q, \"effects\": %q, \"own\": %q}",
+			fe.node.ID, fe.all.String(), fe.own.String())
+	}
+	sb.WriteString("\n  ]\n}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteEffectsDOT dumps the effect graph in Graphviz DOT form: one box
+// per source function labelled with its inferred effects, edges from
+// the effect dependency lists (calls + lexical containment). Functions
+// carrying gate-forbidden effects render with a bold outline. Output is
+// byte-stable.
+func WriteEffectsDOT(w io.Writer, prog *Program) error {
+	res := effectsOf(prog)
+	var sb strings.Builder
+	sb.WriteString("digraph nomloc_effects {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	for _, fe := range res.order {
+		if fe.node.Fn == nil {
+			continue
+		}
+		style := ""
+		if fe.all&GateForbidden != 0 {
+			style = ",style=bold"
+		}
+		fmt.Fprintf(&sb, "  %q [shape=box,label=%q%s];\n",
+			fe.node.ID, fe.node.ID+"\n"+fe.all.String(), style)
+	}
+	for _, fe := range res.order {
+		if fe.node.Fn == nil {
+			continue
+		}
+		for _, dep := range fe.deps {
+			if dep.node.Fn == nil {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %q -> %q;\n", fe.node.ID, dep.node.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

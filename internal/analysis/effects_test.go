@@ -1,0 +1,66 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/nomloc/nomloc/internal/analysis"
+	"github.com/nomloc/nomloc/internal/analysis/analysistest"
+)
+
+// TestEffects covers inference (mutual recursion, CHA dispatch, closure
+// folding, parametric higher-order calls, map ranges) and the whole
+// annotation grammar: correct, missing, stale, malformed, duplicate,
+// and suppressed declarations.
+func TestEffects(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Effects, "effects")
+}
+
+// TestEffectsGate points the replay-safety gate at fixture roots and
+// checks the regression the issue contract demands: a time.Now or an
+// order-sensitive map range reachable from a root is diagnosed, and an
+// unannotated root is too.
+func TestEffectsGate(t *testing.T) {
+	defer func(prev []string) { analysis.GateRoots = prev }(analysis.GateRoots)
+	analysis.GateRoots = []string{"effectsgate.Entry", "effectsgate.Unannotated"}
+	analysistest.Run(t, analysistest.TestData(), analysis.Effects, "effectsgate")
+}
+
+// TestParseEffects pins the declaration grammar's parser.
+func TestParseEffects(t *testing.T) {
+	cases := []struct {
+		in   string
+		want analysis.Effect
+		ok   bool
+	}{
+		{"pure", 0, true},
+		{"wallclock", analysis.EffWallclock, true},
+		{"io,spawn", analysis.EffIO | analysis.EffSpawn, true},
+		{"spawn, io", analysis.EffIO | analysis.EffSpawn, true},
+		{"globalread,globalwrite,fsync,maporder,unseededrand,unsafe",
+			analysis.EffGlobalRead | analysis.EffGlobalWrite | analysis.EffFsync |
+				analysis.EffMapOrder | analysis.EffUnseededRand | analysis.EffUnsafe, true},
+		{"warpclock", 0, false},
+		{"pure,io", 0, false},
+	}
+	for _, c := range cases {
+		got, err := analysis.ParseEffects(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseEffects(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseEffects(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestEffectString pins the canonical rendering order.
+func TestEffectString(t *testing.T) {
+	if got := analysis.Effect(0).String(); got != "pure" {
+		t.Errorf("empty set renders %q, want pure", got)
+	}
+	e := analysis.EffSpawn | analysis.EffWallclock | analysis.EffIO
+	if got := e.String(); got != "wallclock,io,spawn" {
+		t.Errorf("set renders %q, want canonical order wallclock,io,spawn", got)
+	}
+}

@@ -29,6 +29,7 @@ var analyzerMarkers = map[string]string{
 	"leakcheck": "//nomloc:leakcheck-ok",
 	"lockorder": "//nomloc:lockorder-ok",
 	"unitcheck": "//nomloc:unitcheck-ok",
+	"effects":   "//nomloc:effects-ok",
 }
 
 // MarkerFor returns the escape-hatch comment for an analyzer, or ""

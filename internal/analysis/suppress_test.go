@@ -46,6 +46,7 @@ func TestSuppressionMarkersPerAnalyzer(t *testing.T) {
 		{"leakcheck", "//nomloc:leakcheck-ok"},
 		{"lockorder", "//nomloc:lockorder-ok"},
 		{"unitcheck", "//nomloc:unitcheck-ok"},
+		{"effects", "//nomloc:effects-ok"},
 		{"seedmix", ""},
 		{"floateq", ""},
 		{"locksafe", ""},

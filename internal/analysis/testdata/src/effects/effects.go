@@ -1,0 +1,127 @@
+// Package effects exercises the effect-inference and annotation layer:
+// SCC propagation through mutual recursion, CHA interface dispatch,
+// closure folding, parametric higher-order calls, and every annotation
+// diagnostic (missing, stale, malformed, duplicate, suppressed).
+package effects
+
+import (
+	"sort"
+	"time"
+)
+
+// --- mutual recursion: the SCC shares one effect set ---------------------
+
+//nomloc:effect(wallclock)
+func pingPong(n int) time.Time {
+	if n == 0 {
+		return time.Now()
+	}
+	return pong(n - 1)
+}
+
+// pong never reads the clock itself; the SCC fixpoint carries wallclock
+// around the cycle, so its annotation must still declare it.
+
+//nomloc:effect(wallclock)
+func pong(n int) time.Time {
+	return pingPong(n - 1)
+}
+
+// --- interface dispatch: CHA folds every concrete target ----------------
+
+type step interface {
+	run()
+}
+
+type clocky struct{}
+
+func (clocky) run() { _ = time.Now() }
+
+type calm struct{}
+
+func (calm) run() {}
+
+//nomloc:effect(wallclock)
+func dispatch(s step) {
+	s.run()
+}
+
+// --- closures fold into their creator, not their caller -----------------
+
+var counter int64
+
+//nomloc:effect(wallclock,globalread)
+func closes() func() int64 {
+	f := func() int64 { return time.Now().UnixNano() + counter }
+	return f
+}
+
+// apply calls through a function-typed parameter: parametric, so the
+// callee's latent effects charge the creator of whatever flows here.
+
+//nomloc:effect(pure)
+func apply(fn func() int) int {
+	return fn()
+}
+
+// --- map ranges: order-sensitive bodies carry maporder ------------------
+
+//nomloc:effect(maporder)
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// The collect-then-sort idiom stays pure: append-only bodies do not leak
+// iteration order.
+
+//nomloc:effect(pure)
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- annotation diagnostics ---------------------------------------------
+
+//nomloc:effect(pure) // want `effect annotation on lies is missing inferred effect\(s\) wallclock \(wallclock: calls time.Now at effects.go:\d+\); declare them or remove the cause`
+func lies() time.Time {
+	return time.Now()
+}
+
+//nomloc:effect(io) // want `stale effect annotation on tooBroad: declared effect\(s\) io are not inferred; drop them`
+func tooBroad(a, b int) int {
+	return a + b
+}
+
+//nomloc:effect(warpclock) // want `malformed //nomloc:effect annotation: unknown effect "warpclock"`
+func typo() {}
+
+//nomloc:effect(pure // want `malformed //nomloc:effect annotation: missing closing parenthesis`
+func unclosed() {}
+
+//nomloc:effect(pure,io) // want `malformed //nomloc:effect annotation: "pure" cannot be combined with other effects`
+func impure() {}
+
+//nomloc:effect(pure)
+//nomloc:effect(pure) // want `duplicate //nomloc:effect annotation on twice; declare one effect set`
+func twice() {}
+
+// --- escape hatch --------------------------------------------------------
+
+// The marker on the line above the annotation suppresses its finding.
+
+//nomloc:effects-ok fixture: annotation intentionally wrong
+//nomloc:effect(pure)
+func excused() time.Time {
+	return time.Now()
+}
+
+//nomloc:effects-ok nothing here to excuse // want `stale //nomloc:effects-ok suppression`
+func audited() {}

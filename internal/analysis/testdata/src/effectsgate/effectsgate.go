@@ -1,0 +1,41 @@
+// Package effectsgate exercises the replay-safety gate: the test points
+// analysis.GateRoots at Entry and Unannotated, so every forbidden effect
+// atom reachable from them must be diagnosed — the regression the issue
+// contract demands for a time.Now or map-range seeded into the solve
+// path.
+package effectsgate
+
+import "time"
+
+//nomloc:effect(wallclock,maporder)
+func Entry(m map[string]int) int {
+	return helper(m)
+}
+
+// helper is not a root itself; its atoms are reported with the BFS path
+// from the root that reaches it.
+
+func helper(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want `replay-safety gate: ranges over a map with an order-sensitive body \(maporder\) in effectsgate.helper, reachable from gate root effectsgate.Entry via effectsgate.Entry → effectsgate.helper`
+		t += v
+	}
+	_ = time.Now() // want `replay-safety gate: calls time.Now \(wallclock\) in effectsgate.helper, reachable from gate root effectsgate.Entry`
+	return t
+}
+
+// A root without a //nomloc:effect annotation is itself a finding: the
+// gate demands the solve path's contract be written down.
+
+func Unannotated() int { // want `replay-safety gate root effectsgate.Unannotated must declare its effect set with a //nomloc:effect\(pure\) annotation`
+	return pureHelper()
+}
+
+func pureHelper() int { return 41 }
+
+// Unreachable from any root: its clock read is effects-legal (only
+// detrand would care, and this package is not determinism-scoped).
+
+func offPath() time.Time {
+	return time.Now()
+}

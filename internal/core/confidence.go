@@ -36,6 +36,8 @@ func F(x float64) float64 {
 // with PDP pi than to the AP with PDP pj, i.e. w = f(pj/pi). The two
 // directed confidences for a pair sum to 1, and equal PDPs give ½.
 // It returns NaN if either power is non-positive or non-finite.
+//
+//nomloc:effect(pure)
 func Confidence(pi, pj float64) float64 {
 	if pi <= 0 || pj <= 0 ||
 		math.IsNaN(pi) || math.IsNaN(pj) || math.IsInf(pi, 0) || math.IsInf(pj, 0) {
@@ -71,6 +73,8 @@ var (
 // is robust to occasional corrupted captures. The per-packet design
 // matches the prototype: the object sends millisecond PINGs and the AP
 // collects thousands of packets per site.
+//
+//nomloc:effect(globalread)
 func EstimatePDP(batch *csi.Batch) (PDPEstimate, error) {
 	n := len(batch.Samples)
 	if n == 0 {

@@ -130,6 +130,8 @@ func (p PairPolicy) String() string {
 // BuildJudgements produces the pairwise proximity judgements for a set of
 // anchors under a policy, skipping pairs whose confidence falls below
 // minConfidence (½ keeps everything, since w ≥ ½ by construction).
+//
+//nomloc:effect(globalread)
 func BuildJudgements(anchors []Anchor, policy PairPolicy, minConfidence float64) ([]Judgement, error) {
 	if len(anchors) < 2 {
 		return nil, ErrTooFewAnchors

@@ -203,6 +203,8 @@ const costTol = 1e-7
 // (proximity + virtual-AP boundary), solves the relaxation LP (Eq. 19),
 // picks the piece(s) with minimal relaxation cost, and reports the center
 // of the relaxed feasible region.
+//
+//nomloc:effect(globalread)
 func (l *Localizer) Locate(anchors []Anchor) (*Estimate, error) {
 	judgements, err := BuildJudgements(anchors, l.cfg.Pairs, l.cfg.MinConfidence)
 	if err != nil {
@@ -218,6 +220,8 @@ func (l *Localizer) Locate(anchors []Anchor) (*Estimate, error) {
 // buffers for the simplex/clipping hot path. Estimates come back in
 // input order and are bit-identical to calling Locate on each set
 // sequentially; the first (lowest-index) failure aborts the batch.
+//
+//nomloc:effect(globalread,spawn)
 func (l *Localizer) LocateBatch(ctx context.Context, sets [][]Anchor, workers int) ([]*Estimate, error) {
 	return parallel.MapWorker(ctx, workers, len(sets),
 		func(int) *solveScratch { return new(solveScratch) },
@@ -236,6 +240,8 @@ func (l *Localizer) LocateBatch(ctx context.Context, sets [][]Anchor, workers in
 
 // LocateFromJudgements runs the solve on externally-produced judgements
 // (used by tests and by ablations that manipulate the judgement set).
+//
+//nomloc:effect(globalread)
 func (l *Localizer) LocateFromJudgements(judgements []Judgement) (*Estimate, error) {
 	sc := l.scratch.Get().(*solveScratch)
 	defer l.scratch.Put(sc)

@@ -73,6 +73,8 @@ func (st *State) historyFor(objectID string) int {
 // older than the stored entry for its identity is stale and leaves hist
 // untouched. The server and the journal replayer share this single
 // implementation so recovery can never drift from live behavior.
+//
+//nomloc:effect(pure)
 func ApplyReport(hist []*wire.CSIReport, rep *wire.CSIReport, maxNomadicSites int) ([]*wire.CSIReport, bool) {
 	if maxNomadicSites <= 0 {
 		maxNomadicSites = 8

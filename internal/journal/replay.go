@@ -17,6 +17,8 @@ import (
 // journal replayer share this single implementation, so a replay
 // re-executes solves bit-for-bit — any drift would be a diff, not a
 // silent divergence.
+//
+//nomloc:effect(globalread)
 func SolveReports(loc *core.Localizer, reports []*wire.CSIReport) (*core.Estimate, error) {
 	anchors := make([]core.Anchor, 0, len(reports))
 	for _, rep := range reports {
@@ -93,6 +95,8 @@ type anchorKey struct {
 // diffs the results against the recorded estimates bit-exactly. A clean
 // torn tail is tolerated (reported via TornBytes); interior corruption
 // returns ErrCorrupt.
+//
+//nomloc:effect(globalread,io)
 func Verify(dir string) (*VerifyResult, error) {
 	segments, snapshots, err := listDir(dir)
 	if err != nil {
@@ -255,6 +259,8 @@ func formatFloat(f float64) string {
 // replay Open runs, without truncating torn tails or opening a segment
 // for appending. Replay tooling uses it to summarize a journal that a
 // live server may still own.
+//
+//nomloc:effect(globalread,io)
 func ReadState(dir string) (*State, RecoveryStats, error) {
 	segments, snapshots, err := listDir(dir)
 	if err != nil {

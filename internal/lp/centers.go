@@ -53,6 +53,8 @@ func checkSystem(a [][]float64, b []float64) (dim int, err error) {
 // ErrUnboundedRegion when the inscribed radius is unbounded (the region
 // has non-empty interior in every direction — callers should include
 // boundary constraints).
+//
+//nomloc:effect(globalread)
 func ChebyshevCenter(a [][]float64, b []float64) (center []float64, radius float64, err error) {
 	var ws Workspace
 	return ws.ChebyshevCenter(a, b)
@@ -98,6 +100,8 @@ func (ws *Workspace) ChebyshevCenter(a [][]float64, b []float64) (center []float
 // FeasiblePoint returns a strictly interior point of { z : a·z ≤ b } when
 // one exists (the Chebyshev center), together with its margin. A margin of
 // zero (within tolerance) means the region has empty interior.
+//
+//nomloc:effect(globalread)
 func FeasiblePoint(a [][]float64, b []float64) (z []float64, margin float64, err error) {
 	return ChebyshevCenter(a, b)
 }
@@ -107,6 +111,8 @@ func FeasiblePoint(a [][]float64, b []float64) (z []float64, margin float64, err
 // start. This is the log-barrier center an interior-point LP solver (such
 // as CVX, which the paper uses) parks at when the objective is constant —
 // NomLoc's Eq. 12/16 "minimize 0" formulation.
+//
+//nomloc:effect(globalread)
 func AnalyticCenter(a [][]float64, b []float64, start []float64) ([]float64, error) {
 	dim, err := checkSystem(a, b)
 	if err != nil {
@@ -278,6 +284,8 @@ type Relaxation struct {
 // be bounded (a non-positive weight would let tᵢ grow for free); rows with
 // larger weight are preserved preferentially, mirroring the paper's use of
 // the confidence factor w as the price of breaking a constraint.
+//
+//nomloc:effect(globalread)
 func RelaxedSolve(a [][]float64, b []float64, w []float64) (*Relaxation, error) {
 	var ws Workspace
 	return ws.RelaxedSolve(a, b, w)

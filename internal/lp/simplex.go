@@ -180,6 +180,8 @@ func growRows(flat []float64, rows [][]float64, m, w int) ([]float64, [][]float6
 // Solve runs the two-phase simplex method on the problem. Free variables
 // are split internally into differences of non-negative pairs. On
 // Infeasible and Unbounded outcomes X is nil.
+//
+//nomloc:effect(globalread)
 func Solve(p *Problem) (*Result, error) {
 	var ws Workspace
 	return ws.Solve(p)
@@ -189,6 +191,8 @@ func Solve(p *Problem) (*Result, error) {
 // intermediate storage (split columns, tableau, basis) comes from the
 // workspace. Result.X is freshly allocated and stays valid after further
 // solves.
+//
+//nomloc:effect(globalread)
 func (ws *Workspace) Solve(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

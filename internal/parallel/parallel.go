@@ -152,6 +152,8 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 // buffers across tasks without synchronization. Results must not depend
 // on which worker ran a task — only on the task index — or the
 // determinism guarantee is lost.
+//
+//nomloc:effect(globalread,spawn)
 func MapWorker[S, T any](ctx context.Context, workers, n int, newState func(worker int) S, fn func(state S, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return make([]T, 0), nil
@@ -240,6 +242,8 @@ func MapWorker[S, T any](ctx context.Context, workers, n int, newState func(work
 // sequence — the property that makes parallel sweeps bit-reproducible:
 // randomness belongs to the task, never to the worker that happens to
 // execute it.
+//
+//nomloc:effect(pure)
 func Stream(seed, task int64) *rand.Rand {
 	return rand.New(rand.NewSource(int64(mix(uint64(seed), uint64(task)))))
 }
@@ -254,6 +258,8 @@ func Stream(seed, task int64) *rand.Rand {
 // with, so centralizing it does not shift any existing numbers; the
 // stride primes keep streams for distinct (stream, mode) pairs disjoint
 // across the ranges the harness uses.
+//
+//nomloc:effect(pure)
 func MixSeed(seed, stream, mode int64) int64 {
 	return seed + stream*7919 + mode*104729
 }

@@ -71,6 +71,8 @@ type axisState struct {
 }
 
 // New builds a filter.
+//
+//nomloc:effect(globalread)
 func New(cfg Config) (*Filter, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -140,6 +142,8 @@ func (f *Filter) Observe(z geom.Vec, dt float64) (geom.Vec, error) {
 // must strictly increase; a duplicate or older round is rejected with
 // ErrStaleRound and leaves the state exactly as it was. Gaps are fine —
 // dt is the caller's elapsed time since the last accepted estimate.
+//
+//nomloc:effect(globalread)
 func (f *Filter) ObserveRound(roundID uint64, z geom.Vec, dt float64) (geom.Vec, error) {
 	if f.started && roundID <= f.lastRound {
 		return geom.Vec{}, fmt.Errorf("%w: round %d after round %d", ErrStaleRound, roundID, f.lastRound)
@@ -207,6 +211,8 @@ func (a *axisState) step(z, dt, q, r float64) {
 
 // Smooth runs the filter over a whole estimate sequence sampled at a
 // fixed interval and returns the filtered trajectory (same length).
+//
+//nomloc:effect(globalread)
 func Smooth(cfg Config, estimates []geom.Vec, dt float64) ([]geom.Vec, error) {
 	f, err := New(cfg)
 	if err != nil {
