@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"github.com/nomloc/nomloc/internal/agent"
@@ -31,13 +32,26 @@ func main() {
 	}
 }
 
+// splitAddrs turns the -server value into a failover dial list: one
+// address, or a comma-separated list with the primary first.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("nomloc-ap", flag.ContinueOnError)
-	serverAddr := fs.String("server", "127.0.0.1:7100", "localization server address")
+	serverAddr := fs.String("server", "127.0.0.1:7100", "localization server address, or a comma-separated failover list (primary first; fallbacks tried in a per-agent seeded order on failed handshakes)")
 	scenario := fs.String("scenario", "lab", "scenario the AP belongs to")
 	id := fs.String("id", "", "AP id (e.g. ap1..ap4; required)")
 	nomadic := fs.Bool("nomadic", false, "run as the nomadic AP (id must match the scenario's nomadic AP)")
 	er := fs.Float64("er", 0, "believed-position error range in meters (nomadic only)")
+	maxReconnects := fs.Int("max-reconnects", 8, "reconnect attempts after a lost session (0 disables; failover needs this to reach a promoted standby)")
 	seed := fs.Int64("seed", 1, "mobility/error seed")
 	metricsAddr := fs.String("metrics", "", "serve GET /metrics and /debug/pprof/ on this address")
 	if err := fs.Parse(args); err != nil {
@@ -86,10 +100,11 @@ func run(args []string) error {
 
 	a, err := agent.DialAP(agent.APConfig{
 		ID:             *id,
-		ServerAddr:     *serverAddr,
+		ServerAddrs:    splitAddrs(*serverAddr),
 		Sites:          sites,
 		Nomadic:        *nomadic,
 		PositionErrorM: *er,
+		MaxReconnects:  *maxReconnects,
 		Seed:           *seed,
 		Telemetry:      reg,
 		Logf:           log.Printf,

@@ -15,11 +15,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"github.com/nomloc/nomloc/internal/agent"
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/geom"
 	"github.com/nomloc/nomloc/internal/telemetry"
+	"github.com/nomloc/nomloc/internal/wire"
 )
 
 func main() {
@@ -29,14 +32,46 @@ func main() {
 	}
 }
 
+// runRound drives one measurement round, retrying through failover
+// windows: a lost session or a missed estimate can mean the server just
+// died, and the background Run loop needs a moment to reach a fallback
+// from the dial list. Redelivered reports are absorbed idempotently by
+// the server's finished-round memory, so replaying the round is safe.
+// The retry budget is tied to -max-reconnects, so 0 keeps the old
+// fail-fast contract.
+func runRound(obj *agent.ObjectAgent, round uint64, retries int) (wire.Estimate, error) {
+	for attempt := 0; ; attempt++ {
+		est, err := obj.RunRound(round)
+		if err == nil || attempt >= retries ||
+			!(errors.Is(err, agent.ErrSessionLost) || errors.Is(err, agent.ErrNoEstimate)) {
+			return est, err
+		}
+		log.Printf("nomloc-object: round %d attempt %d: %v (retrying)", round, attempt+1, err)
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// splitAddrs turns the -server value into a failover dial list: one
+// address, or a comma-separated list with the primary first.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("nomloc-object", flag.ContinueOnError)
-	serverAddr := fs.String("server", "127.0.0.1:7100", "localization server address")
+	serverAddr := fs.String("server", "127.0.0.1:7100", "localization server address, or a comma-separated failover list (primary first; fallbacks tried in a per-agent seeded order on failed handshakes)")
 	scenario := fs.String("scenario", "lab", "scenario for the channel physics")
 	x := fs.Float64("x", 6, "object true x (m)")
 	y := fs.Float64("y", 4, "object true y (m)")
 	rounds := fs.Int("rounds", 6, "measurement rounds to run")
 	packets := fs.Int("packets", 25, "probe packets per round")
+	maxReconnects := fs.Int("max-reconnects", 8, "reconnect attempts after a lost session (0 disables; failover needs this to reach a promoted standby)")
 	seed := fs.Int64("seed", 1, "noise seed")
 	metricsAddr := fs.String("metrics", "", "serve GET /metrics and /debug/pprof/ on this address")
 	if err := fs.Parse(args); err != nil {
@@ -70,14 +105,15 @@ func run(args []string) error {
 	}
 
 	obj, err := agent.DialObject(agent.ObjectConfig{
-		ID:         "object-1",
-		ServerAddr: *serverAddr,
-		Pos:        truth,
-		Sim:        sim,
-		Packets:    *packets,
-		Seed:       *seed,
-		Telemetry:  reg,
-		Logf:       log.Printf,
+		ID:            "object-1",
+		ServerAddrs:   splitAddrs(*serverAddr),
+		Pos:           truth,
+		Sim:           sim,
+		Packets:       *packets,
+		MaxReconnects: *maxReconnects,
+		Seed:          *seed,
+		Telemetry:     reg,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		return err
@@ -92,7 +128,7 @@ func run(args []string) error {
 		truth, *rounds, *packets, *serverAddr)
 	fmt.Println("round  estimate          error(m)  anchors")
 	for r := uint64(1); r <= uint64(*rounds); r++ {
-		est, err := obj.RunRound(r)
+		est, err := runRound(obj, r, *maxReconnects)
 		if err != nil {
 			obj.Close()
 			<-runErr

@@ -23,6 +23,7 @@ import (
 	"github.com/nomloc/nomloc/internal/core"
 	"github.com/nomloc/nomloc/internal/deploy"
 	"github.com/nomloc/nomloc/internal/journal"
+	"github.com/nomloc/nomloc/internal/replica"
 	"github.com/nomloc/nomloc/internal/server"
 	"github.com/nomloc/nomloc/internal/telemetry"
 )
@@ -42,6 +43,9 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "concurrent localization solves (0/1 serialized, -1 = one per CPU)")
 	journalDir := fs.String("journal", "", "durable round journal directory (DESIGN.md §12); a restart recovers and resumes from it")
 	snapEvery := fs.Int("journal-snapshot-every", 64, "solved rounds between journal snapshots (with -journal)")
+	standby := fs.Bool("standby", false, "run as a replication standby (DESIGN.md §14): reject agents, apply the primary's journal stream, serve after promotion (POST /promote on -http); requires -journal")
+	epoch := fs.Uint64("epoch", 1, "replication fencing epoch; a promoted standby adopts epoch+1 and rejects lower-epoch streams")
+	replicateTo := fs.String("replicate-to", "", "stream this server's journal to a standby at this address (requires -journal)")
 	verbose := fs.Bool("v", false, "verbose logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +66,12 @@ func run(args []string) error {
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = log.Printf
+	}
+	if *standby && *journalDir == "" {
+		return errors.New("-standby requires -journal (the standby applies the primary's stream durably)")
+	}
+	if *replicateTo != "" && *journalDir == "" {
+		return errors.New("-replicate-to requires -journal (replication streams the journal)")
 	}
 	var jnl *journal.Journal
 	if *journalDir != "" {
@@ -88,16 +98,45 @@ func run(args []string) error {
 		Logf:                 logf,
 		Journal:              jnl,
 		JournalSnapshotEvery: *snapEvery,
+		Standby:              *standby,
+		Epoch:                *epoch,
 	})
 	if err != nil {
 		return err
+	}
+
+	// Stream the journal to a standby: the sender follows the live tail
+	// and reconnects on transport loss; a fencing rejection (this node
+	// was deposed) is terminal and logged.
+	var repl *replica.Sender
+	if *replicateTo != "" {
+		repl, err = replica.NewSender(replica.Config{
+			Journal:  jnl,
+			Addr:     *replicateTo,
+			ServerID: "nomloc-server",
+			Epoch:    *epoch,
+			Logf:     logf,
+		})
+		if err != nil {
+			return err
+		}
+		go func() {
+			if rerr := repl.Run(); rerr != nil && !errors.Is(rerr, replica.ErrSenderClosed) {
+				log.Printf("nomloc-server: replication to %s stopped: %v", *replicateTo, rerr)
+			}
+		}()
+		log.Printf("nomloc-server: replicating journal to %s (epoch %d)", *replicateTo, *epoch)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *addr, err)
 	}
-	log.Printf("nomloc-server: serving scenario %q on %s", scn.Name, ln.Addr())
+	role := "serving"
+	if *standby {
+		role = "standing by for"
+	}
+	log.Printf("nomloc-server: %s scenario %q on %s (epoch %d)", role, scn.Name, ln.Addr(), *epoch)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
@@ -118,6 +157,9 @@ func run(args []string) error {
 	select {
 	case s := <-sig:
 		log.Printf("nomloc-server: %v, shutting down", s)
+		if repl != nil {
+			repl.Close()
+		}
 		if httpSrv != nil {
 			_ = httpSrv.Close()
 		}
@@ -125,6 +167,9 @@ func run(args []string) error {
 		<-serveErr
 		return nil
 	case err := <-serveErr:
+		if repl != nil {
+			repl.Close()
+		}
 		if httpSrv != nil {
 			_ = httpSrv.Close()
 		}

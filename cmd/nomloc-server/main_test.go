@@ -15,4 +15,10 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-wat"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
+	if err := run([]string{"-standby"}); err == nil || !strings.Contains(err.Error(), "-journal") {
+		t.Errorf("-standby without -journal err = %v", err)
+	}
+	if err := run([]string{"-replicate-to", "127.0.0.1:7101"}); err == nil || !strings.Contains(err.Error(), "-journal") {
+		t.Errorf("-replicate-to without -journal err = %v", err)
+	}
 }

@@ -1,0 +1,375 @@
+package main
+
+// The failover drill exercises the full primary/standby runbook from the
+// command line (DESIGN.md §14): a journaled primary streams to a live
+// standby, dies between rounds, the standby drains the remainder off
+// disk, promotes with a bumped epoch, fences the deposed primary, and
+// finishes the run. Driven at the wire level with seeded deterministic
+// reports, so the estimate stream on stdout is byte-identical between
+//
+//	nomloc-sim -failover-drill golden -seed N   (no failure)
+//	nomloc-sim -failover-drill kill   -seed N   (primary killed mid-run)
+//
+// CI diffs the two outputs for several seeds; narrative goes to stderr.
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/csi"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/journal"
+	"github.com/nomloc/nomloc/internal/parallel"
+	"github.com/nomloc/nomloc/internal/replica"
+	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// drillStream tags the RNG streams that generate drill report content,
+// one per AP, mixed with the round so a redelivered round reproduces the
+// same bytes.
+const drillStream = 0xd811
+
+// drillServerID is the service identity both drill nodes share.
+const drillServerID = "nomloc-drill"
+
+// drillAPs is the fixed two-AP deployment the drill drives.
+var drillAPs = []struct {
+	id  string
+	pos geom.Vec
+}{
+	{"ap1", geom.V(1, 1)},
+	{"ap2", geom.V(11, 7)},
+}
+
+// drillNode is one journal-backed server endpoint of the drill pair.
+type drillNode struct {
+	srv  *server.Server
+	j    *journal.Journal
+	ln   net.Listener
+	addr string
+}
+
+// startDrillNode opens the journal in dir and serves on an ephemeral
+// localhost port, as a primary or a fenced standby.
+func startDrillNode(dir string, standby bool, epoch uint64) (*drillNode, error) {
+	j, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	loc, err := core.New(core.Config{Area: geom.Rect(0, 0, 12, 8)})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		ID:                   drillServerID,
+		Localizer:            loc,
+		RoundTimeout:         time.Second,
+		Journal:              j,
+		JournalSnapshotEvery: 2,
+		Standby:              standby,
+		Epoch:                epoch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &drillNode{srv: srv, j: j, ln: ln, addr: ln.Addr().String()}, nil
+}
+
+// stop shuts the node down and closes its journal.
+func (n *drillNode) stop() error {
+	n.srv.Shutdown()
+	if err := n.j.Close(); err != nil && !errors.Is(err, journal.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// drillDriver holds the raw wire connections driving rounds against the
+// current primary. Registration order is fixed (ap1, ap2, obj1) so every
+// run appends session records identically.
+type drillDriver struct {
+	object net.Conn
+	aps    [2]net.Conn
+}
+
+// dialDrill registers the driver connections against addr.
+func dialDrill(addr string) (*drillDriver, error) {
+	d := &drillDriver{}
+	dial := func(h *wire.Hello) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if err := wire.WriteMessage(conn, h); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		if _, err := drillRead[*wire.HelloAck](conn); err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("hello ack: %w", err)
+		}
+		return conn, nil
+	}
+	var err error
+	for i, ap := range drillAPs {
+		if d.aps[i], err = dial(&wire.Hello{Role: wire.RoleAP, ID: ap.id, Pos: ap.pos}); err != nil {
+			d.close()
+			return nil, err
+		}
+	}
+	if d.object, err = dial(&wire.Hello{Role: wire.RoleObject, ID: "obj1"}); err != nil {
+		d.close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// close drops whichever driver connections are open.
+func (d *drillDriver) close() {
+	for _, c := range d.aps {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+	if d.object != nil {
+		_ = d.object.Close()
+	}
+}
+
+// drillRead reads one message of type T under a deadline so a dead
+// server fails the drill instead of hanging it.
+func drillRead[T wire.Message](conn net.Conn) (T, error) {
+	var zero T
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return zero, err
+	}
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		return zero, err
+	}
+	out, ok := msg.(T)
+	if !ok {
+		return zero, fmt.Errorf("got %q, want %T", msg.Type(), zero)
+	}
+	return out, nil
+}
+
+// drillReport builds AP i's report for a round: content is a pure
+// function of (seed, round, AP), so a round redelivered after failover
+// feeds the solver the exact bytes the golden run saw.
+func drillReport(seed int64, roundID uint64, i int) *wire.CSIReport {
+	ap := drillAPs[i]
+	rng := rand.New(rand.NewSource(parallel.MixSeed(seed, drillStream+int64(i), int64(roundID))))
+	vec := []complex128{
+		complex(1+rng.Float64(), rng.Float64()),
+		complex(rng.Float64(), 1+rng.Float64()),
+	}
+	return &wire.CSIReport{
+		RoundID: roundID,
+		APID:    ap.id,
+		Pos:     ap.pos,
+		Batch: csi.Batch{
+			APID: ap.id,
+			Samples: []csi.Sample{
+				{APID: ap.id, Seq: 0, CSI: vec},
+				{APID: ap.id, Seq: 1, CSI: vec},
+			},
+		},
+	}
+}
+
+// driveRound runs one measurement round through the driver connections.
+func (d *drillDriver) driveRound(seed int64, roundID uint64) error {
+	if err := wire.WriteMessage(d.object, &wire.RoundStart{RoundID: roundID, ObjectID: "obj1", Packets: 2}); err != nil {
+		return err
+	}
+	for _, ap := range d.aps {
+		if _, err := drillRead[*wire.RoundStart](ap); err != nil {
+			return err
+		}
+	}
+	for i, ap := range d.aps {
+		if err := wire.WriteMessage(ap, drillReport(seed, roundID, i)); err != nil {
+			return err
+		}
+		if _, err := drillRead[*wire.ReportAck](ap); err != nil {
+			return err
+		}
+	}
+	if _, err := drillRead[*wire.Estimate](d.object); err != nil {
+		return err
+	}
+	return nil
+}
+
+// printDrillEstimates writes the estimate stream to stdout, one line per
+// round, in a fixed format both drill modes must reproduce byte for byte.
+func printDrillEstimates(ests []wire.Estimate) {
+	for _, e := range ests {
+		fmt.Printf("estimate round=%d object=%s pos=(%.9g,%.9g) cost=%.9g anchors=%d\n",
+			e.RoundID, e.ObjectID, e.Pos.X, e.Pos.Y, e.RelaxCost, e.NumAnchors)
+	}
+}
+
+// waitCaught polls the sender until the standby has acknowledged every
+// durable record, or the deadline passes.
+func waitCaught(snd *replica.Sender, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for !snd.Caught() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replication never caught up (acked %d)", snd.Acked())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// runFailoverDrill runs the drill in one of two modes: "golden" (an
+// uninterrupted single-primary run) or "kill" (primary dies mid-run,
+// the standby drains, promotes, fences, and finishes). Both print the
+// same estimate stream on stdout when given the same seed and rounds.
+func runFailoverDrill(mode string, rounds int, seed int64) error {
+	if rounds < 2 {
+		return fmt.Errorf("failover drill needs at least 2 rounds, got %d", rounds)
+	}
+	narrate := log.New(os.Stderr, "drill: ", 0)
+	primaryDir, err := os.MkdirTemp("", "nomloc-drill-primary-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(primaryDir)
+
+	primary, err := startDrillNode(primaryDir, false, 1)
+	if err != nil {
+		return err
+	}
+	defer primary.stop()
+
+	switch mode {
+	case "golden":
+		driver, err := dialDrill(primary.addr)
+		if err != nil {
+			return err
+		}
+		defer driver.close()
+		for r := uint64(1); r <= uint64(rounds); r++ {
+			if err := driver.driveRound(seed, r); err != nil {
+				return fmt.Errorf("golden round %d: %w", r, err)
+			}
+		}
+		narrate.Printf("golden run complete: %d rounds on one primary (seed %d)", rounds, seed)
+		printDrillEstimates(primary.srv.Estimates())
+		return primary.stop()
+
+	case "kill":
+		standbyDir, err := os.MkdirTemp("", "nomloc-drill-standby-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(standbyDir)
+		standby, err := startDrillNode(standbyDir, true, 1)
+		if err != nil {
+			return err
+		}
+		defer standby.stop()
+
+		live, err := replica.NewSender(replica.Config{
+			Journal: primary.j, Addr: standby.addr, ServerID: drillServerID, Epoch: 1,
+			Poll: time.Millisecond, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		liveDone := make(chan error, 1)
+		go func() { liveDone <- live.Run() }()
+
+		driver, err := dialDrill(primary.addr)
+		if err != nil {
+			return err
+		}
+		half := uint64(rounds) / 2
+		for r := uint64(1); r <= half; r++ {
+			if err := driver.driveRound(seed, r); err != nil {
+				driver.close()
+				return fmt.Errorf("pre-failure round %d: %w", r, err)
+			}
+		}
+		if err := waitCaught(live, 10*time.Second); err != nil {
+			driver.close()
+			return err
+		}
+		live.Close()
+		<-liveDone
+
+		// The primary dies. Drain whatever the live stream might have
+		// missed straight off its journal directory — the post-mortem
+		// step of the runbook — then promote.
+		driver.close()
+		if err := primary.stop(); err != nil {
+			return err
+		}
+		narrate.Printf("primary killed after round %d; draining its journal into the standby", half)
+		drain, err := replica.NewSender(replica.Config{
+			Dir: primaryDir, Addr: standby.addr, ServerID: drillServerID, Epoch: 1,
+			Poll: time.Millisecond, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		drainDone := make(chan error, 1)
+		go func() { drainDone <- drain.Run() }()
+		if err := waitCaught(drain, 10*time.Second); err != nil {
+			return err
+		}
+		drain.Close()
+		<-drainDone
+
+		epoch, err := standby.srv.Promote(0)
+		if err != nil {
+			return err
+		}
+		narrate.Printf("standby promoted at epoch %d", epoch)
+
+		// A resurrected primary at the old epoch must be fenced.
+		stale, err := replica.NewSender(replica.Config{
+			Dir: primaryDir, Addr: standby.addr, ServerID: drillServerID, Epoch: 1,
+			Poll: time.Millisecond, Seed: seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		if err := stale.Run(); !errors.Is(err, replica.ErrFenced) {
+			return fmt.Errorf("deposed primary was not fenced: %v", err)
+		}
+		narrate.Printf("deposed primary fenced (stale epoch 1 rejected)")
+
+		driver, err = dialDrill(standby.addr)
+		if err != nil {
+			return err
+		}
+		defer driver.close()
+		for r := half + 1; r <= uint64(rounds); r++ {
+			if err := driver.driveRound(seed, r); err != nil {
+				return fmt.Errorf("post-failover round %d: %w", r, err)
+			}
+		}
+		narrate.Printf("run completed on the promoted standby (%d rounds total)", rounds)
+		printDrillEstimates(standby.srv.Estimates())
+		return standby.stop()
+
+	default:
+		return fmt.Errorf("unknown -failover-drill mode %q (want golden or kill)", mode)
+	}
+}

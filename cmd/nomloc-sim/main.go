@@ -41,7 +41,8 @@ func run(args []string) error {
 	plan := fs.Bool("plan", false, "print the scenario floor plan before running")
 	chaosProfile := fs.String("chaos-profile", "", "run the distributed stack under a fault profile: lossy, flaky, or partition")
 	chaosSeed := fs.Int64("chaos-seed", 1, "chaos schedule seed; the same seed replays the same fault trace")
-	rounds := fs.Int("rounds", 10, "rounds to run in chaos mode")
+	rounds := fs.Int("rounds", 10, "rounds to run in chaos or failover-drill mode")
+	failoverDrill := fs.String("failover-drill", "", "run the primary/standby failover drill: golden (uninterrupted) or kill (primary dies mid-run); both print a byte-comparable estimate stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +52,9 @@ func run(args []string) error {
 	}
 	if *chaosProfile != "" {
 		return runChaos(*scenario, *chaosProfile, *chaosSeed, *rounds, *packets, *seed)
+	}
+	if *failoverDrill != "" {
+		return runFailoverDrill(*failoverDrill, *rounds, *seed)
 	}
 
 	scn, err := deploy.ByName(*scenario)

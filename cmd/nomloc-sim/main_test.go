@@ -2,6 +2,8 @@ package main
 
 import (
 	"errors"
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -88,5 +90,54 @@ func TestRunChaosMode(t *testing.T) {
 	}
 	if err := run([]string{"-chaos-profile", "hurricane"}); err == nil {
 		t.Error("unknown chaos profile accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// whatever fn printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	_ = w.Close()
+	out, readErr := io.ReadAll(r)
+	_ = r.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out)
+}
+
+// TestFailoverDrillByteIdentical: the kill-mode drill (primary dies
+// mid-run, standby drains, promotes, fences, finishes) must print an
+// estimate stream byte-identical to the uninterrupted golden run — the
+// cmd-level version of the chaos conformance keystone.
+func TestFailoverDrillByteIdentical(t *testing.T) {
+	args := func(mode string) []string {
+		return []string{"-failover-drill", mode, "-rounds", "4", "-seed", "11"}
+	}
+	golden := captureStdout(t, func() error { return run(args("golden")) })
+	kill := captureStdout(t, func() error { return run(args("kill")) })
+	if golden == "" || !strings.Contains(golden, "estimate round=1") {
+		t.Fatalf("golden output looks wrong:\n%s", golden)
+	}
+	if kill != golden {
+		t.Errorf("kill-mode estimate stream diverged from golden:\n--- golden ---\n%s--- kill ---\n%s", golden, kill)
+	}
+
+	if err := run([]string{"-failover-drill", "meteor"}); err == nil {
+		t.Error("unknown drill mode accepted")
+	}
+	if err := run([]string{"-failover-drill", "kill", "-rounds", "1"}); err == nil {
+		t.Error("single-round drill accepted (cannot kill mid-run)")
 	}
 }

@@ -71,6 +71,13 @@ type APConfig struct {
 	ID string
 	// ServerAddr is the localization server address.
 	ServerAddr string
+	// ServerAddrs is the failover dial list: the preferred primary
+	// first, then standby addresses. When set it replaces ServerAddr.
+	// A failed handshake — connection refused, or a standby rejecting
+	// agent hellos — rotates to the next address; the fallback order is
+	// shuffled per Seed so a fleet does not converge on one standby in
+	// the same order.
+	ServerAddrs []string
 	// Sites are the AP's possible positions. Static APs have exactly one;
 	// nomadic APs list home first, then the waypoints.
 	Sites []geom.Vec
@@ -114,6 +121,15 @@ type APConfig struct {
 	// HandshakeTimeout bounds the dial-to-ack exchange of each connection
 	// attempt. 0 disables the deadline.
 	HandshakeTimeout time.Duration
+	// RetryClock and ReconnectResetAfter govern backoff forgiveness: the
+	// reconnect schedule escalates across loss events (a flapping session
+	// no longer restarts at the base interval every time) and resets only
+	// after the session stayed healthy for ReconnectResetAfter, measured
+	// on RetryClock. Leaving either unset keeps the old per-loss reset.
+	// RetryClock is deliberately separate from Clock so enabling the
+	// reset does not perturb capture-timestamp determinism.
+	RetryClock          func() time.Time
+	ReconnectResetAfter time.Duration
 }
 
 // captureEpoch is the base timestamp of simulated capture time, shared
@@ -135,6 +151,8 @@ type APAgent struct {
 	chain    *mobility.Chain
 	rng      *rand.Rand
 	retryRng *rand.Rand // backoff jitter; used only by the Run goroutine
+	dial     *dialList  // failover rotation; used only by the dial path
+	retry    retryState // backoff escalation; used only by the dial path
 	metrics  apMetrics
 
 	mu       sync.Mutex
@@ -177,10 +195,15 @@ func DialAP(cfg APConfig) (*APAgent, error) {
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
+	dial, err := newDialList(cfg.ServerAddr, cfg.ServerAddrs, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	a := &APAgent{
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		retryRng: retryRNG(cfg.Seed),
+		dial:     dial,
 		metrics:  newAPMetrics(cfg.Telemetry, cfg.ID),
 		rounds:   make(map[uint64]*apRound),
 		done:     make(chan struct{}),
@@ -192,23 +215,24 @@ func DialAP(cfg APConfig) (*APAgent, error) {
 		}
 		a.chain = chain
 	}
-	var err error
 	a.believed, err = mobility.PerturbUniformDisk(cfg.Sites[0], cfg.PositionErrorM, a.rng)
 	if err != nil {
 		return nil, err
 	}
 
 	hello := &wire.Hello{Role: wire.RoleAP, ID: cfg.ID, Pos: cfg.Sites[0], SiteIndex: 0}
-	conn, err := handshake(cfg.Dialer, cfg.ServerAddr, hello, cfg.HandshakeTimeout)
+	conn, err := handshake(cfg.Dialer, a.dial.addr(), hello, cfg.HandshakeTimeout)
 	// The initial dial gets the same retry budget as a mid-session loss:
 	// under a lossy network there is nothing special about attempt zero.
 	for k := 1; err != nil && k <= cfg.MaxReconnects; k++ {
-		cfg.Sleep(backoff(cfg.ReconnectBase, cfg.ReconnectMax, k, a.retryRng))
-		conn, err = handshake(cfg.Dialer, cfg.ServerAddr, hello, cfg.HandshakeTimeout)
+		a.dial.advance()
+		cfg.Sleep(backoff(cfg.ReconnectBase, cfg.ReconnectMax, a.retry.next(), a.retryRng))
+		conn, err = handshake(cfg.Dialer, a.dial.addr(), hello, cfg.HandshakeTimeout)
 	}
 	if err != nil {
 		return nil, err
 	}
+	a.retry.onConnect(cfg.RetryClock)
 	a.conn = conn
 	return a, nil
 }
@@ -280,13 +304,17 @@ func (a *APAgent) Run() error {
 
 // reconnect re-establishes the server session after a lost connection:
 // up to MaxReconnects handshakes separated by capped exponential backoff
-// with seed-deterministic jitter. On success the new connection replaces
-// the old one and the unacknowledged report tail is re-sent. It returns
-// false when reconnection is disabled, exhausted, or the agent closed.
+// with seed-deterministic jitter. Escalation persists across loss events
+// (see retryState); a failed handshake rotates the failover dial list,
+// so agents find the promoted standby after the primary dies. On success
+// the new connection replaces the old one and the unacknowledged report
+// tail is re-sent. It returns false when reconnection is disabled,
+// exhausted, or the agent closed.
 func (a *APAgent) reconnect() bool {
 	if a.cfg.MaxReconnects <= 0 {
 		return false
 	}
+	a.retry.onLoss(a.cfg.RetryClock, a.cfg.ReconnectResetAfter)
 	a.mu.Lock()
 	old := a.conn
 	site := a.curSite
@@ -294,18 +322,20 @@ func (a *APAgent) reconnect() bool {
 	a.mu.Unlock()
 	_ = old.Close() //nomloc:errdrop-ok the old transport is already dead; closing is best-effort
 	for attempt := 1; attempt <= a.cfg.MaxReconnects; attempt++ {
-		a.cfg.Sleep(backoff(a.cfg.ReconnectBase, a.cfg.ReconnectMax, attempt, a.retryRng))
+		a.cfg.Sleep(backoff(a.cfg.ReconnectBase, a.cfg.ReconnectMax, a.retry.next(), a.retryRng))
 		a.mu.Lock()
 		closed := a.closed
 		a.mu.Unlock()
 		if closed {
 			return false
 		}
-		conn, err := handshake(a.cfg.Dialer, a.cfg.ServerAddr, &wire.Hello{
+		addr := a.dial.addr()
+		conn, err := handshake(a.cfg.Dialer, addr, &wire.Hello{
 			Role: wire.RoleAP, ID: a.cfg.ID, Pos: believed, SiteIndex: site,
 		}, a.cfg.HandshakeTimeout)
 		if err != nil {
-			a.cfg.Logf("ap %s: reconnect %d/%d: %v", a.cfg.ID, attempt, a.cfg.MaxReconnects, err)
+			a.dial.advance()
+			a.cfg.Logf("ap %s: reconnect %d/%d to %s: %v", a.cfg.ID, attempt, a.cfg.MaxReconnects, addr, err)
 			continue
 		}
 		a.mu.Lock()
@@ -316,8 +346,9 @@ func (a *APAgent) reconnect() bool {
 		}
 		a.conn = conn
 		a.mu.Unlock()
+		a.retry.onConnect(a.cfg.RetryClock)
 		a.metrics.reconnects.Inc()
-		a.cfg.Logf("ap %s: reconnected on attempt %d", a.cfg.ID, attempt)
+		a.cfg.Logf("ap %s: reconnected to %s on attempt %d", a.cfg.ID, addr, attempt)
 		a.flushTail()
 		return true
 	}

@@ -1,0 +1,293 @@
+package agent
+
+// Failover dial-list and backoff-escalation tests. The escalation tests
+// drive retryState with an injected fake clock — no sleeping, no wall
+// time — pinning the regression that a flapping session used to restart
+// its backoff schedule at the base interval on every loss event.
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+func TestDialListRotation(t *testing.T) {
+	if _, err := newDialList("", nil, 1); err == nil {
+		t.Error("empty dial list accepted")
+	}
+
+	// Single address wraps onto itself.
+	d, err := newDialList("a:1", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.advance()
+	if d.addr() != "a:1" {
+		t.Errorf("single-address rotation moved to %q", d.addr())
+	}
+
+	// The list form wins over the single field, keeps the primary first,
+	// and visits every address before wrapping.
+	d, err = newDialList("ignored:0", []string{"p:1", "s:2", "s:3"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.addr() != "p:1" {
+		t.Errorf("primary = %q, want p:1 (first entry is never shuffled)", d.addr())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		seen[d.addr()] = true
+		d.advance()
+	}
+	if !seen["p:1"] || !seen["s:2"] || !seen["s:3"] || d.addr() != "p:1" {
+		t.Errorf("rotation did not cycle all addresses back to the primary: %v, now at %q", seen, d.addr())
+	}
+
+	// The fallback shuffle is a pure function of the seed.
+	a1, _ := newDialList("", []string{"p", "x", "y", "z"}, 42)
+	a2, _ := newDialList("", []string{"p", "x", "y", "z"}, 42)
+	for i := range a1.addrs {
+		if a1.addrs[i] != a2.addrs[i] {
+			t.Fatalf("same seed shuffled differently: %v vs %v", a1.addrs, a2.addrs)
+		}
+	}
+}
+
+// TestRetryStateEscalatesAcrossFlaps: with a clock and a reset window,
+// the attempt counter carries across loss events while the session keeps
+// flapping, and resets only after a sustained healthy period.
+func TestRetryStateEscalatesAcrossFlaps(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	const resetAfter = 10 * time.Second
+
+	var r retryState
+	// First loss event: three failed attempts, then success.
+	r.onLoss(clock, resetAfter)
+	for want := 1; want <= 3; want++ {
+		if got := r.next(); got != want {
+			t.Fatalf("attempt = %d, want %d", got, want)
+		}
+	}
+	r.onConnect(clock)
+
+	// The session dies 1 s later — a flap. The schedule must continue
+	// from attempt 4, not restart at 1.
+	now = now.Add(time.Second)
+	r.onLoss(clock, resetAfter)
+	if got := r.next(); got != 4 {
+		t.Errorf("flapping session restarted backoff: attempt = %d, want 4", got)
+	}
+	r.onConnect(clock)
+
+	// This time the session stays healthy past the reset window before
+	// dying: past sins are forgiven and the schedule starts over.
+	now = now.Add(resetAfter + time.Second)
+	r.onLoss(clock, resetAfter)
+	if got := r.next(); got != 1 {
+		t.Errorf("healthy period did not reset backoff: attempt = %d, want 1", got)
+	}
+}
+
+// TestRetryStateLegacyReset: without a clock (or without a window) every
+// loss event starts a fresh schedule — the pre-failover contract that
+// deterministic chaos runs depend on.
+func TestRetryStateLegacyReset(t *testing.T) {
+	var r retryState
+	r.onLoss(nil, time.Minute)
+	r.next()
+	r.next()
+	r.onLoss(nil, time.Minute)
+	if got := r.next(); got != 1 {
+		t.Errorf("nil clock: attempt = %d, want 1", got)
+	}
+
+	clock := func() time.Time { return time.Unix(99, 0) }
+	r.next()
+	r.onLoss(clock, 0)
+	if got := r.next(); got != 1 {
+		t.Errorf("zero window: attempt = %d, want 1", got)
+	}
+}
+
+// flappyServer accepts connections, completes the hello handshake, and
+// then immediately drops each connection until `stable` is set — an
+// intermittent server that forces the agent through repeated loss events.
+type flappyServer struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	stable bool
+	conns  int
+}
+
+func newFlappyServer(t *testing.T) *flappyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flappyServer{ln: ln}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if _, err := wire.ReadMessage(conn); err != nil {
+				_ = conn.Close()
+				continue
+			}
+			_ = wire.WriteMessage(conn, &wire.HelloAck{OK: true, ServerID: "flappy"})
+			f.mu.Lock()
+			f.conns++
+			drop := !f.stable
+			f.mu.Unlock()
+			if drop {
+				_ = conn.Close()
+			}
+		}
+	}()
+	return f
+}
+
+// TestAPReconnectEscalation drives a real AP agent against a flapping
+// server with an injected RetryClock and recorded sleeps: the observed
+// backoff schedule must escalate monotonically across loss events
+// instead of restarting at the base interval.
+func TestAPReconnectEscalation(t *testing.T) {
+	srv := newFlappyServer(t)
+
+	var sleepMu sync.Mutex
+	var sleeps []time.Duration
+	now := time.Unix(0, 0)
+	a, err := DialAP(APConfig{
+		ID: "ap1", ServerAddr: srv.ln.Addr().String(), Sites: []geom.Vec{geom.V(1, 1)},
+		MaxReconnects: 3, ReconnectBase: 10 * time.Millisecond, ReconnectMax: time.Hour,
+		ReconnectResetAfter: time.Minute,
+		RetryClock:          func() time.Time { return now }, // frozen: every loss is a flap
+		Sleep: func(d time.Duration) {
+			sleepMu.Lock()
+			sleeps = append(sleeps, d)
+			sleepMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- a.Run() }()
+
+	// Let the agent flap through several loss events, then stabilize so
+	// Close tears down a live session.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		n := srv.conns
+		srv.mu.Unlock()
+		if n >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server saw only %d connections", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.mu.Lock()
+	srv.stable = true
+	srv.mu.Unlock()
+	a.Close()
+	<-runDone
+
+	sleepMu.Lock()
+	defer sleepMu.Unlock()
+	if len(sleeps) < 4 {
+		t.Fatalf("recorded only %d backoff sleeps", len(sleeps))
+	}
+	// Every reconnect here succeeds on its first try, so sleep k carries
+	// attempt number k. With the frozen clock no healthy reset fires:
+	// the schedule doubles monotonically (jitter keeps each delay within
+	// [2^(k-1)·base/2, 2^(k-1)·base], so any restart — a drop back to the
+	// base interval — would break monotonicity by attempt 3).
+	for i := 1; i < len(sleeps) && i < 8; i++ {
+		if sleeps[i] <= sleeps[i-1]/2 {
+			t.Errorf("backoff restarted: sleep %d = %v after %v", i, sleeps[i], sleeps[i-1])
+		}
+	}
+}
+
+// TestAgentFailsOverToFallback: when the primary dies, an AP with a
+// failover dial list reconnects to the fallback address.
+func TestAgentFailsOverToFallback(t *testing.T) {
+	primaryLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryConns := make(chan net.Conn, 1)
+	go func() {
+		conn, err := primaryLn.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := wire.ReadMessage(conn); err != nil {
+			return
+		}
+		_ = wire.WriteMessage(conn, &wire.HelloAck{OK: true, ServerID: "primary"})
+		primaryConns <- conn
+	}()
+	// Fallback server signals when the agent's hello lands on it.
+	fallbackLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fallbackLn.Close() })
+	failedOver := make(chan struct{}, 1)
+	go func() {
+		for {
+			conn, err := fallbackLn.Accept()
+			if err != nil {
+				return
+			}
+			if _, err := wire.ReadMessage(conn); err != nil {
+				_ = conn.Close()
+				continue
+			}
+			_ = wire.WriteMessage(conn, &wire.HelloAck{OK: true, ServerID: "fallback"})
+			select {
+			case failedOver <- struct{}{}:
+			default:
+			}
+		}
+	}()
+
+	a, err := DialAP(APConfig{
+		ID: "ap1", ServerAddrs: []string{primaryLn.Addr().String(), fallbackLn.Addr().String()},
+		Sites:         []geom.Vec{geom.V(1, 1)},
+		MaxReconnects: 5, ReconnectBase: time.Millisecond, ReconnectMax: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- a.Run() }()
+
+	// Kill the primary: listener and live conn both go away.
+	conn := <-primaryConns
+	_ = primaryLn.Close()
+	_ = conn.Close()
+
+	// The agent must land on the fallback.
+	select {
+	case <-failedOver:
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent never reached the fallback address")
+	}
+	a.Close()
+	<-runDone
+}

@@ -20,6 +20,8 @@ type ObjectConfig struct {
 	ID string
 	// ServerAddr is the localization server address.
 	ServerAddr string
+	// ServerAddrs is the failover dial list; see APConfig.ServerAddrs.
+	ServerAddrs []string
 	// Pos is the object's true position (what the system should find).
 	Pos geom.Vec
 	// Sim is the channel physics used to synthesize the CSI each AP
@@ -54,6 +56,10 @@ type ObjectConfig struct {
 	// HandshakeTimeout bounds the dial-to-ack exchange of each connection
 	// attempt. 0 disables the deadline.
 	HandshakeTimeout time.Duration
+	// RetryClock and ReconnectResetAfter govern backoff forgiveness
+	// across loss events; see APConfig. Unset keeps the per-loss reset.
+	RetryClock          func() time.Time
+	ReconnectResetAfter time.Duration
 }
 
 // ObjectAgent is the connected object: it transmits probe bursts and
@@ -62,6 +68,8 @@ type ObjectAgent struct {
 	cfg      ObjectConfig
 	rng      *rand.Rand
 	retryRng *rand.Rand // backoff jitter; used only by the Run goroutine
+	dial     *dialList  // failover rotation; used only by the dial path
+	retry    retryState // backoff escalation; used only by the dial path
 	metrics  objMetrics
 
 	mu      sync.Mutex
@@ -93,26 +101,33 @@ func DialObject(cfg ObjectConfig) (*ObjectAgent, error) {
 		cfg.Sleep = time.Sleep
 	}
 	hello := &wire.Hello{Role: wire.RoleObject, ID: cfg.ID}
-	retry := retryRNG(cfg.Seed)
-	conn, err := handshake(cfg.Dialer, cfg.ServerAddr, hello, cfg.HandshakeTimeout)
-	// Initial dials share the reconnect budget; see DialAP.
-	for k := 1; err != nil && k <= cfg.MaxReconnects; k++ {
-		cfg.Sleep(backoff(cfg.ReconnectBase, cfg.ReconnectMax, k, retry))
-		conn, err = handshake(cfg.Dialer, cfg.ServerAddr, hello, cfg.HandshakeTimeout)
-	}
+	dial, err := newDialList(cfg.ServerAddr, cfg.ServerAddrs, cfg.Seed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	return &ObjectAgent{
+	o := &ObjectAgent{
 		cfg:       cfg,
-		conn:      conn,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		retryRng:  retry,
+		retryRng:  retryRNG(cfg.Seed),
+		dial:      dial,
 		metrics:   newObjMetrics(cfg.Telemetry, cfg.ID),
 		apPos:     make(map[string]geom.Vec),
 		estimates: make(chan wire.Estimate, 16),
 		done:      make(chan struct{}),
-	}, nil
+	}
+	conn, err := handshake(cfg.Dialer, o.dial.addr(), hello, cfg.HandshakeTimeout)
+	// Initial dials share the reconnect budget; see DialAP.
+	for k := 1; err != nil && k <= cfg.MaxReconnects; k++ {
+		o.dial.advance()
+		cfg.Sleep(backoff(cfg.ReconnectBase, cfg.ReconnectMax, o.retry.next(), o.retryRng))
+		conn, err = handshake(cfg.Dialer, o.dial.addr(), hello, cfg.HandshakeTimeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	o.retry.onConnect(cfg.RetryClock)
+	o.conn = conn
+	return o, nil
 }
 
 // RegisterAP tells the object's physics layer where an AP currently is
@@ -189,22 +204,25 @@ func (o *ObjectAgent) reconnect() bool {
 	if o.cfg.MaxReconnects <= 0 {
 		return false
 	}
+	o.retry.onLoss(o.cfg.RetryClock, o.cfg.ReconnectResetAfter)
 	o.mu.Lock()
 	old := o.conn
 	o.mu.Unlock()
 	_ = old.Close() //nomloc:errdrop-ok the old transport is already dead; closing is best-effort
 	for attempt := 1; attempt <= o.cfg.MaxReconnects; attempt++ {
-		o.cfg.Sleep(backoff(o.cfg.ReconnectBase, o.cfg.ReconnectMax, attempt, o.retryRng))
+		o.cfg.Sleep(backoff(o.cfg.ReconnectBase, o.cfg.ReconnectMax, o.retry.next(), o.retryRng))
 		o.mu.Lock()
 		closed := o.closed
 		o.mu.Unlock()
 		if closed {
 			return false
 		}
-		conn, err := handshake(o.cfg.Dialer, o.cfg.ServerAddr,
+		addr := o.dial.addr()
+		conn, err := handshake(o.cfg.Dialer, addr,
 			&wire.Hello{Role: wire.RoleObject, ID: o.cfg.ID}, o.cfg.HandshakeTimeout)
 		if err != nil {
-			o.cfg.Logf("object %s: reconnect %d/%d: %v", o.cfg.ID, attempt, o.cfg.MaxReconnects, err)
+			o.dial.advance()
+			o.cfg.Logf("object %s: reconnect %d/%d to %s: %v", o.cfg.ID, attempt, o.cfg.MaxReconnects, addr, err)
 			continue
 		}
 		o.mu.Lock()
@@ -215,8 +233,9 @@ func (o *ObjectAgent) reconnect() bool {
 		}
 		o.conn = conn
 		o.mu.Unlock()
+		o.retry.onConnect(o.cfg.RetryClock)
 		o.metrics.reconnects.Inc()
-		o.cfg.Logf("object %s: reconnected on attempt %d", o.cfg.ID, attempt)
+		o.cfg.Logf("object %s: reconnected to %s on attempt %d", o.cfg.ID, addr, attempt)
 		return true
 	}
 	return false

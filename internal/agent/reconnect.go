@@ -26,6 +26,10 @@ const (
 	// retryStream tags the RNG stream that jitters reconnect backoff,
 	// keeping it disjoint from the mobility/noise stream of the same seed.
 	retryStream = 0x7e7a11
+	// failoverStream tags the RNG stream that shuffles the failover
+	// address rotation, disjoint from retryStream so adding fallback
+	// addresses does not perturb retry jitter.
+	failoverStream = 0xfa110e
 )
 
 // dialFunc dials the server; the zero value means plain TCP.
@@ -62,4 +66,79 @@ func backoff(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration
 // retryRNG derives the backoff-jitter stream for an agent seed.
 func retryRNG(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(parallel.MixSeed(seed, retryStream, 0)))
+}
+
+// dialList is the agent's failover address rotation: the configured
+// primary first, then the fallbacks in a seed-shuffled order, so a fleet
+// sharing one config does not converge on the same standby in the same
+// order. The cursor is sticky — a working address keeps serving across
+// reconnects — and advances only when a handshake against it fails
+// (connection refused, or a standby rejecting agent hellos). Used only
+// by the owning agent's dial path; it needs no locking.
+type dialList struct {
+	addrs []string
+	cur   int
+}
+
+// newDialList builds the rotation from the single-address field and the
+// failover list (the list wins when both are set; its first entry is the
+// preferred primary and is never shuffled).
+func newDialList(primary string, fallbacks []string, seed int64) (*dialList, error) {
+	list := append([]string(nil), fallbacks...)
+	if len(list) == 0 && primary != "" {
+		list = []string{primary}
+	}
+	if len(list) == 0 {
+		return nil, errors.New("agent: need a server address")
+	}
+	if len(list) > 2 {
+		rng := rand.New(rand.NewSource(parallel.MixSeed(seed, failoverStream, 0)))
+		rng.Shuffle(len(list)-1, func(i, j int) { list[i+1], list[j+1] = list[j+1], list[i+1] })
+	}
+	return &dialList{addrs: list}, nil
+}
+
+// addr returns the current dial target.
+func (d *dialList) addr() string { return d.addrs[d.cur] }
+
+// advance rotates to the next address after a failed handshake.
+func (d *dialList) advance() { d.cur = (d.cur + 1) % len(d.addrs) }
+
+// retryState tracks reconnect escalation across loss events. The old
+// schedule restarted at attempt 1 on every loss, so a session that
+// flapped — connected, then died moments later — reset its backoff each
+// time and hammered the server at the base interval forever. The attempt
+// counter now persists across loss events and resets only after the
+// session stayed healthy for resetAfter, measured on the injected clock.
+// Without a clock (or with resetAfter 0) every loss still starts a fresh
+// schedule, preserving the pre-failover contract for deterministic runs.
+type retryState struct {
+	attempt     int
+	connectedAt time.Time
+}
+
+// onLoss updates escalation when a session dies: a sustained healthy
+// period forgives past flapping, anything shorter escalates from where
+// the last schedule left off.
+func (r *retryState) onLoss(clock func() time.Time, resetAfter time.Duration) {
+	if clock == nil || resetAfter <= 0 {
+		r.attempt = 0
+		return
+	}
+	if !r.connectedAt.IsZero() && clock().Sub(r.connectedAt) >= resetAfter {
+		r.attempt = 0
+	}
+}
+
+// next claims the next attempt number (1-based) for backoff.
+func (r *retryState) next() int {
+	r.attempt++
+	return r.attempt
+}
+
+// onConnect records the clock reading of a successful handshake.
+func (r *retryState) onConnect(clock func() time.Time) {
+	if clock != nil {
+		r.connectedAt = clock()
+	}
 }

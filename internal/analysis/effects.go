@@ -152,6 +152,7 @@ const GateForbidden = EffWallclock | EffGlobalWrite | EffIO | EffFsync | EffMapO
 var DefaultGateRoots = []string{
 	"github.com/nomloc/nomloc/internal/journal.ApplyReport",
 	"github.com/nomloc/nomloc/internal/journal.SolveReports",
+	"github.com/nomloc/nomloc/internal/replica.(*Applier).Apply",
 	"github.com/nomloc/nomloc/internal/core.(*Localizer).Locate",
 	"github.com/nomloc/nomloc/internal/core.(*Localizer).LocateBatch",
 	"github.com/nomloc/nomloc/internal/lp.Solve",

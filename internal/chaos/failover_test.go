@@ -1,0 +1,495 @@
+package chaos
+
+// Primary/standby failover conformance (DESIGN.md §14). The keystone
+// run kills a journal-backed primary mid-round at injected crash points,
+// drains the durable tail of its directory to a streaming standby,
+// promotes the standby, and finishes the scenario against it — the final
+// estimate stream must be byte-identical to the uninterrupted golden
+// run, and the deposed primary must be provably fenced (typed ErrFenced
+// on its sender, nomloc_repl_fenced_total on the standby).
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/agent"
+	"github.com/nomloc/nomloc/internal/core"
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/journal"
+	"github.com/nomloc/nomloc/internal/replica"
+	"github.com/nomloc/nomloc/internal/server"
+	"github.com/nomloc/nomloc/internal/telemetry"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// startStandbyServer starts a journal-backed standby on an ephemeral
+// port, with telemetry so fencing is observable.
+func startStandbyServer(t *testing.T, dir string) (*server.Server, *journal.Journal, *telemetry.Registry, string) {
+	t.Helper()
+	j, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	loc, err := core.New(core.Config{Area: geom.Rect(0, 0, 12, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New(nil)
+	srv, err := server.New(server.Config{
+		Localizer:            loc,
+		RoundTimeout:         time.Second,
+		Journal:              j,
+		JournalSnapshotEvery: 2,
+		Standby:              true,
+		Epoch:                1,
+		Telemetry:            reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if cerr := j.Close(); cerr != nil && !errors.Is(cerr, journal.ErrClosed) {
+			t.Errorf("standby journal close: %v", cerr)
+		}
+	})
+	return srv, j, reg, ln.Addr().String()
+}
+
+// counterValue reads one counter total out of a registry snapshot.
+func counterValue(reg *telemetry.Registry, name string) float64 {
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// drainDirTo streams a dead primary's journal directory into the standby
+// until every durable record is acknowledged — the pre-promotion drain.
+func drainDirTo(t *testing.T, dir, addr string, epoch uint64) {
+	t.Helper()
+	snd, err := replica.NewSender(replica.Config{
+		Dir: dir, Addr: addr, ServerID: "nomloc-server", Epoch: epoch,
+		Poll: time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- snd.Run() }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !snd.Caught() {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain never caught up (acked %d)", snd.Acked())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snd.Close()
+	if err := <-done; !errors.Is(err, replica.ErrSenderClosed) {
+		t.Fatalf("drain sender exited with %v", err)
+	}
+}
+
+// dialFailoverDrivers registers the raw driver connections against an
+// already-running server, in the same canonical order as
+// startRecoveryRun, and returns a recoveryRun bound to them.
+func dialFailoverDrivers(t *testing.T, srv *server.Server, j *journal.Journal, addr string) *recoveryRun {
+	t.Helper()
+	run := &recoveryRun{srv: srv, j: j}
+	dial := func(h *wire.Hello) net.Conn {
+		conn, derr := net.Dial("tcp", addr)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		t.Cleanup(func() { _ = conn.Close() })
+		if werr := wire.WriteMessage(conn, h); werr != nil {
+			t.Fatal(werr)
+		}
+		if _, rerr := readMsg[*wire.HelloAck](conn); rerr != nil {
+			t.Fatalf("hello ack: %v", rerr)
+		}
+		return conn
+	}
+	run.aps[0] = dial(&wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)})
+	run.aps[1] = dial(&wire.Hello{Role: wire.RoleAP, ID: "ap2", Pos: geom.V(11, 7)})
+	run.object = dial(&wire.Hello{Role: wire.RoleObject, ID: "obj1"})
+	return run
+}
+
+// TestFailoverConformance is the keystone: for several injected crash
+// points, a primary killed mid-round is drained into a standby, the
+// standby promotes and finishes the run, and the final estimate stream
+// is byte-identical to the uninterrupted golden run — with the deposed
+// primary provably fenced.
+func TestFailoverConformance(t *testing.T) {
+	golden := goldenRecoveryRun(t)
+	if len(golden) != recoveryRounds {
+		t.Fatalf("golden produced %d estimates, want %d", len(golden), recoveryRounds)
+	}
+
+	// Visit numbering matches TestCrashRecoveryConformance: 1 meta, 2-4
+	// session opens, then 3 appends per round.
+	cases := []struct {
+		point CrashPoint
+		nth   int
+	}{
+		{CrashAppendBefore, 6},
+		{CrashAppendTorn, 6},
+		{CrashAppendTorn, 7},
+		{CrashAppendAfter, 7},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/visit%d", tc.point, tc.nth), func(t *testing.T) {
+			primaryDir := t.TempDir()
+			standbyDir := t.TempDir()
+			standby, standbyJ, reg, standbyAddr := startStandbyServer(t, standbyDir)
+
+			// Primary with the crash injector armed, live replication
+			// streaming its journal to the standby as rounds run.
+			crasher := NewCrasher(tc.point, tc.nth)
+			run := startRecoveryRun(t, primaryDir, crasher.Hook)
+			live, err := replica.NewSender(replica.Config{
+				Journal: run.j, Addr: standbyAddr, ServerID: "nomloc-server", Epoch: 1,
+				Poll: time.Millisecond, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveDone := make(chan error, 1)
+			go func() { liveDone <- live.Run() }()
+
+			var crashedAt uint64
+			for r := uint64(1); r <= recoveryRounds; r++ {
+				if err := run.tryRound(r); err != nil {
+					crashedAt = r
+					break
+				}
+			}
+			if !crasher.Fired() || crashedAt == 0 {
+				t.Fatalf("crash point never fired (fired=%v, crashedAt=%d)", crasher.Fired(), crashedAt)
+			}
+			live.Close()
+			<-liveDone
+			run.srv.Shutdown()
+			if err := run.j.Close(); err != nil && !errors.Is(err, journal.ErrClosed) {
+				t.Fatalf("close crashed journal: %v", err)
+			}
+
+			// Post-mortem drain: whatever the live stream missed comes off
+			// the dead primary's disk. The standby then holds exactly the
+			// durable prefix a restarted primary would recover.
+			drainDirTo(t, primaryDir, standbyAddr, 1)
+
+			epoch, err := standby.Promote(0)
+			if err != nil || epoch != 2 {
+				t.Fatalf("promote = (%d, %v), want (2, nil)", epoch, err)
+			}
+
+			// The deposed primary's sender reappears at its old epoch and
+			// must be fenced: typed error, counted on the standby.
+			stale, err := replica.NewSender(replica.Config{
+				Dir: primaryDir, Addr: standbyAddr, ServerID: "nomloc-server", Epoch: 1,
+				Poll: time.Millisecond, Seed: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := stale.Run(); !errors.Is(err, replica.ErrFenced) {
+				t.Fatalf("deposed primary's sender exited with %v, want ErrFenced", err)
+			}
+			if n := counterValue(reg, "nomloc_repl_fenced_total"); n < 1 {
+				t.Fatalf("nomloc_repl_fenced_total = %v, want >= 1", n)
+			}
+
+			// Finish the scenario against the promoted standby: recovered
+			// estimates must prefix-match golden, re-driven rounds must
+			// complete it byte-for-byte.
+			resumed := dialFailoverDrivers(t, standby, standbyJ, standbyAddr)
+			restored := resumed.srv.Estimates()
+			for i := range restored {
+				if restored[i] != golden[i] {
+					t.Fatalf("adopted estimate %d diverged:\n got %+v\nwant %+v", i, restored[i], golden[i])
+				}
+			}
+			for r := uint64(len(restored)) + 1; r <= recoveryRounds; r++ {
+				if err := resumed.tryRound(r); err != nil {
+					t.Fatalf("post-failover round %d: %v", r, err)
+				}
+			}
+			final := resumed.srv.Estimates()
+			if len(final) != len(golden) {
+				t.Fatalf("failover run produced %d estimates, want %d", len(final), len(golden))
+			}
+			for i := range golden {
+				if final[i] != golden[i] {
+					t.Fatalf("estimate %d diverged from golden:\n got %+v\nwant %+v", i, final[i], golden[i])
+				}
+			}
+
+			standby.Shutdown()
+			if err := standbyJ.Close(); err != nil && !errors.Is(err, journal.ErrClosed) {
+				t.Fatalf("close standby journal: %v", err)
+			}
+			vr, err := journal.Verify(standbyDir)
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if !vr.Clean() {
+				t.Fatalf("standby journal has %d diffs: %+v", len(vr.Diffs), vr.Diffs)
+			}
+		})
+	}
+}
+
+// TestPartitionPromoteFencesOldPrimary covers the split-brain scenario
+// the epoch exists for: the primary is NOT dead, only partitioned from
+// the standby. The standby promotes; when the partition heals and the
+// old primary's stream reconnects, it must be fenced — not silently
+// accepted as a second writer.
+func TestPartitionPromoteFencesOldPrimary(t *testing.T) {
+	standbyDir := t.TempDir()
+	standby, _, reg, standbyAddr := startStandbyServer(t, standbyDir)
+
+	primaryDir := t.TempDir()
+	run := startRecoveryRun(t, primaryDir, nil)
+	live, err := replica.NewSender(replica.Config{
+		Journal: run.j, Addr: standbyAddr, ServerID: "nomloc-server", Epoch: 1,
+		Poll: time.Millisecond, Seed: 1,
+		Sleep: func(time.Duration) {}, // reconnect instantly once fenced checks run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveDone := make(chan error, 1)
+	go func() { liveDone <- live.Run() }()
+
+	// Two healthy rounds replicate, then the "partition": the operator
+	// promotes the standby while the primary is still alive and serving.
+	for r := uint64(1); r <= 2; r++ {
+		if err := run.tryRound(r); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !live.Caught() {
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never caught up (acked %d)", live.Acked())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if epoch, err := standby.Promote(0); err != nil || epoch != 2 {
+		t.Fatalf("promote = (%d, %v), want (2, nil)", epoch, err)
+	}
+
+	// The old primary keeps appending (it can still serve its agents)
+	// but its stream must terminate with ErrFenced at the next batch or
+	// handshake — split-brain is refused, not absorbed.
+	if err := run.tryRound(3); err != nil {
+		t.Fatalf("old primary stopped serving during partition: %v", err)
+	}
+	select {
+	case err := <-liveDone:
+		if !errors.Is(err, replica.ErrFenced) {
+			t.Fatalf("old primary's sender exited with %v, want ErrFenced", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("old primary's sender was never fenced")
+	}
+	if n := counterValue(reg, "nomloc_repl_fenced_total"); n < 1 {
+		t.Fatalf("nomloc_repl_fenced_total = %v, want >= 1", n)
+	}
+}
+
+// TestAgentFailoverSoak runs the full agent stack against a replicated
+// primary/standby pair: rounds flow on the primary, the primary dies,
+// the standby promotes, and every agent finds it through the failover
+// dial list — rounds keep completing, and the whole stack unwinds.
+func TestAgentFailoverSoak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	scn := soakScenario(t)
+	loc, err := core.New(core.Config{Area: scn.Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	standbyDir := t.TempDir()
+	standbyJ, err := journal.Open(journal.Options{Dir: standbyDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	standby, err := server.New(server.Config{
+		Localizer: loc, RoundTimeout: 500 * time.Millisecond,
+		Journal: standbyJ, Standby: true, Epoch: 1, ID: "nomloc-soak",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	standbyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = standby.Serve(standbyLn)
+	}()
+
+	primaryDir := t.TempDir()
+	primaryJ, err := journal.Open(journal.Options{Dir: primaryDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := server.New(server.Config{
+		Localizer: loc, RoundTimeout: 500 * time.Millisecond,
+		Journal: primaryJ, ID: "nomloc-soak",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = primary.Serve(primaryLn)
+	}()
+
+	live, err := replica.NewSender(replica.Config{
+		Journal: primaryJ, Addr: standbyLn.Addr().String(), ServerID: "nomloc-soak", Epoch: 1,
+		Poll: time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveDone := make(chan error, 1)
+	go func() { liveDone <- live.Run() }()
+
+	addrs := []string{primaryLn.Addr().String(), standbyLn.Addr().String()}
+	var aps []*agent.APAgent
+	for i, ap := range scn.StaticAPs {
+		a, err := agent.DialAP(agent.APConfig{
+			ID: ap.ID, ServerAddrs: addrs, Sites: []geom.Vec{ap.Pos},
+			Seed:          int64(100 + i),
+			MaxReconnects: 100, ReconnectBase: time.Millisecond, ReconnectMax: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aps = append(aps, a)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Run()
+		}()
+	}
+	sim, err := scn.Simulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := agent.DialObject(agent.ObjectConfig{
+		ID: "obj1", ServerAddrs: addrs, Pos: scn.TestSites[0], Sim: sim,
+		Packets: 3, RoundTimeout: 2 * time.Second, Seed: 7,
+		MaxReconnects: 100, ReconnectBase: time.Millisecond, ReconnectMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range scn.StaticAPs {
+		obj.RegisterAP(ap.ID, ap.Pos)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = obj.Run()
+	}()
+
+	// runRound drives one round with retries: failover windows surface as
+	// lost sessions and estimate timeouts, both of which heal.
+	runRound := func(r uint64) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			est, err := obj.RunRound(r)
+			if err == nil {
+				if est.RoundID != r {
+					t.Fatalf("round %d got estimate for round %d", r, est.RoundID)
+				}
+				return
+			}
+			if !errors.Is(err, agent.ErrSessionLost) && !errors.Is(err, agent.ErrNoEstimate) {
+				t.Fatalf("round %d: %v", r, err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d never completed: %v", r, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	const half, total = 3, 8
+	for r := uint64(1); r <= half; r++ {
+		runRound(r)
+	}
+
+	// Fail over: drain, promote, then kill the primary. Agents chase the
+	// dial list to the promoted standby.
+	deadline := time.Now().Add(10 * time.Second)
+	for !live.Caught() {
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never caught up (acked %d)", live.Acked())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	live.Close()
+	<-liveDone
+	if epoch, err := standby.Promote(0); err != nil || epoch != 2 {
+		t.Fatalf("promote = (%d, %v), want (2, nil)", epoch, err)
+	}
+	primary.Shutdown()
+	if err := primaryJ.Close(); err != nil && !errors.Is(err, journal.ErrClosed) {
+		t.Fatalf("primary journal close: %v", err)
+	}
+
+	for r := uint64(half + 1); r <= total; r++ {
+		runRound(r)
+	}
+
+	obj.Close()
+	for _, a := range aps {
+		a.Close()
+	}
+	standby.Shutdown()
+	if err := standbyJ.Close(); err != nil && !errors.Is(err, journal.ErrClosed) {
+		t.Fatalf("standby journal close: %v", err)
+	}
+	wg.Wait()
+
+	// Everything the stack started must unwind.
+	gdeadline := time.Now().Add(10 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(gdeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -58,6 +58,10 @@ var (
 	// hook fired): the on-disk tail is in an unknown state and the owner
 	// must recover through a fresh Open.
 	ErrBroken = errors.New("journal: broken by earlier failure")
+	// ErrSeqGap is returned by AppendRaw when the record's sequence
+	// number is not exactly the next one — replication must deliver a
+	// contiguous stream.
+	ErrSeqGap = errors.New("journal: raw append out of sequence")
 )
 
 // Options parameterizes Open.
@@ -194,7 +198,7 @@ func (j *Journal) recoverLocked() error {
 				return fmt.Errorf("%w: segment %s jumps to seq %d, want %d",
 					ErrCorrupt, entry.name, rec.Seq, wantSeq)
 			}
-			if aerr := st.apply(rec); aerr != nil {
+			if aerr := st.Apply(rec); aerr != nil {
 				return aerr
 			}
 			wantSeq++
@@ -333,10 +337,34 @@ func (j *Journal) append(kind Kind, payload []byte) error {
 	case j.broken:
 		return ErrBroken
 	}
+	return j.appendLocked(Record{Seq: j.nextSeq, Kind: kind, Payload: payload})
+}
+
+// AppendRaw durably writes one already-sequenced record — the standby's
+// write path for replicated records, which must keep the primary's
+// sequence numbers so the two journals stay byte-interchangeable.
+// rec.Seq must be exactly LastSeq+1; a gap or overlap is ErrSeqGap.
+func (j *Journal) AppendRaw(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.closed:
+		return ErrClosed
+	case j.broken:
+		return ErrBroken
+	}
+	if rec.Seq != j.nextSeq {
+		return fmt.Errorf("%w: got seq %d, want %d", ErrSeqGap, rec.Seq, j.nextSeq)
+	}
+	return j.appendLocked(rec)
+}
+
+// appendLocked is the shared durable-write core: encode, roll when full,
+// write, fsync, then advance nextSeq. rec.Seq must equal j.nextSeq.
+func (j *Journal) appendLocked(rec Record) error {
 	if err := j.hookLocked(PointAppendBefore); err != nil {
 		return err
 	}
-	rec := Record{Seq: j.nextSeq, Kind: kind, Payload: payload}
 	buf := appendRecord(nil, rec)
 	if len(buf) > maxRecordBytes {
 		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(buf))
@@ -367,7 +395,7 @@ func (j *Journal) append(kind Kind, payload []byte) error {
 	}
 	j.segSize += int64(len(buf))
 	j.nextSeq++
-	j.metrics.appended(kind, len(buf))
+	j.metrics.appended(rec.Kind, len(buf))
 	if err := j.hookLocked(PointAppendAfter); err != nil {
 		return err
 	}

@@ -210,7 +210,7 @@ func decodeReportPayload(payload []byte) (string, *wire.CSIReport, error) {
 		return "", nil, fmt.Errorf("%w: report payload object id truncated", ErrCorrupt)
 	}
 	objectID := string(payload[2 : 2+objLen])
-	msg, err := wire.ReadMessage(bytes.NewReader(payload[2+objLen:]))
+	msg, err := wire.DecodeMessage(payload[2+objLen:])
 	if err != nil {
 		return "", nil, fmt.Errorf("%w: report payload: %v", ErrCorrupt, err)
 	}

@@ -111,9 +111,12 @@ func ApplyReport(hist []*wire.CSIReport, rep *wire.CSIReport, maxNomadicSites in
 	return append(kept, rep), true
 }
 
-// apply replays one record into the state. Session events advance Seq but
-// carry no state; they exist for audit and replay tooling.
-func (st *State) apply(rec Record) error {
+// Apply replays one record into the state. Session events advance Seq but
+// carry no state; they exist for audit and replay tooling. Recovery, the
+// replayer, and the standby's replication apply loop all funnel through
+// this one method, so a replicated state can never drift from a recovered
+// one.
+func (st *State) Apply(rec Record) error {
 	switch rec.Kind {
 	case KindMeta:
 		if err := decodeJSON(rec.Payload, &st.Meta, "meta"); err != nil {

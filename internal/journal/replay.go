@@ -297,7 +297,7 @@ func ReadState(dir string) (*State, RecoveryStats, error) {
 				return nil, stats, fmt.Errorf("%w: segment %s jumps to seq %d, want %d",
 					ErrCorrupt, entry.name, rec.Seq, wantSeq)
 			}
-			if aerr := st.apply(rec); aerr != nil {
+			if aerr := st.Apply(rec); aerr != nil {
 				return nil, stats, aerr
 			}
 			wantSeq++

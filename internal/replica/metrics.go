@@ -1,0 +1,52 @@
+package replica
+
+import "github.com/nomloc/nomloc/internal/telemetry"
+
+// senderMetrics instruments the replication stream. A nil receiver
+// (telemetry off) makes every method a no-op, matching the repo-wide
+// instrument-set idiom.
+type senderMetrics struct {
+	records  *telemetry.Counter
+	batches  *telemetry.Counter
+	connects *telemetry.Counter
+	lagGauge *telemetry.Gauge
+}
+
+// newSenderMetrics builds the sender instrument set on reg, or nil when
+// telemetry is off.
+func newSenderMetrics(reg *telemetry.Registry) *senderMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &senderMetrics{
+		records:  reg.Counter("nomloc_repl_sent_records_total", "journal records shipped to the standby"),
+		batches:  reg.Counter("nomloc_repl_sent_batches_total", "replication batches shipped to the standby"),
+		connects: reg.Counter("nomloc_repl_connects_total", "replication connections established"),
+		lagGauge: reg.Gauge("nomloc_repl_lag_records", "durable records not yet acknowledged by the standby"),
+	}
+}
+
+// sent records one acknowledged batch of n records.
+func (m *senderMetrics) sent(n int) {
+	if m == nil {
+		return
+	}
+	m.records.Add(uint64(n))
+	m.batches.Inc()
+}
+
+// connect counts one established replication connection.
+func (m *senderMetrics) connect() {
+	if m == nil {
+		return
+	}
+	m.connects.Inc()
+}
+
+// lag publishes the current replication lag in records.
+func (m *senderMetrics) lag(n int) {
+	if m == nil {
+		return
+	}
+	m.lagGauge.Set(float64(n))
+}

@@ -1,0 +1,65 @@
+// Package replica implements primary/standby streaming replication for
+// the NomLoc journal (DESIGN.md §14). The primary runs a Sender that
+// follows its own write-ahead log through journal.Tail and ships records
+// to the standby over the wire protocol's ReplHello/ReplBatch/ReplAck
+// messages; the standby appends each record to its own journal via
+// AppendRaw (preserving the primary's sequence numbers, so the two
+// directories stay byte-interchangeable) and applies it to live state
+// through an Applier.
+//
+// Every message carries a monotonically fenced epoch. A standby that has
+// promoted to epoch E rejects any primary announcing an epoch below E —
+// the split-brain guard: a resurrected old primary is fenced at the
+// handshake (and again per batch, in case promotion raced a stream) and
+// its Sender terminates with ErrFenced instead of retrying.
+//
+// The Applier deliberately reuses journal.State.Apply — the exact code
+// path crash recovery and the offline replayer run — so a standby's
+// state can never drift from what the primary would recover to.
+package replica
+
+import (
+	"fmt"
+
+	"github.com/nomloc/nomloc/internal/journal"
+)
+
+// Applier accumulates replicated journal records into live server state.
+// It enforces sequence contiguity (replication must deliver every record
+// exactly once, in order) and funnels every record through
+// journal.State.Apply, the shared replay path.
+//
+// An Applier is owned by one goroutine (the standby server applies under
+// its own lock); it performs no synchronization of its own.
+type Applier struct {
+	st *journal.State
+}
+
+// NewApplier wraps st (the standby's recovered journal state; nil starts
+// empty). The standby seeds it from journal.Open's recovery so a
+// restarted standby resumes applying exactly where its disk ends.
+func NewApplier(st *journal.State) *Applier {
+	if st == nil {
+		st = &journal.State{}
+	}
+	return &Applier{st: st}
+}
+
+// Apply absorbs one replicated record. The record must carry the next
+// sequence number; a gap or duplicate is a typed journal.ErrSeqGap so the
+// replication session can renegotiate its resume point.
+//
+//nomloc:effect(globalread)
+func (a *Applier) Apply(rec journal.Record) error {
+	if rec.Seq != a.st.Seq+1 {
+		return fmt.Errorf("%w: applier got seq %d, want %d", journal.ErrSeqGap, rec.Seq, a.st.Seq+1)
+	}
+	return a.st.Apply(rec)
+}
+
+// Seq returns the last applied sequence number.
+func (a *Applier) Seq() uint64 { return a.st.Seq }
+
+// State exposes the accumulated state. The standby adopts it wholesale at
+// promotion; until then callers must treat it as read-only.
+func (a *Applier) State() *journal.State { return a.st }

@@ -24,6 +24,10 @@ type Status struct {
 	ActiveRounds int `json:"activeRounds"`
 	// EstimatesProduced counts completed localizations.
 	EstimatesProduced int `json:"estimatesProduced"`
+	// Standby reports whether the instance is a replication standby.
+	Standby bool `json:"standby"`
+	// Epoch is the replication fencing epoch.
+	Epoch uint64 `json:"epoch"`
 }
 
 // CurrentStatus captures a snapshot of the server state.
@@ -34,6 +38,8 @@ func (s *Server) CurrentStatus() Status {
 		ServerID:          s.cfg.ID,
 		ActiveRounds:      len(s.rounds),
 		EstimatesProduced: len(s.estimates),
+		Standby:           s.standby,
+		Epoch:             s.epoch,
 	}
 	for id := range s.aps {
 		st.APs = append(st.APs, id)
@@ -50,11 +56,12 @@ func (s *Server) CurrentStatus() Status {
 
 // StatusHandler returns an http.Handler serving the monitoring API:
 //
-//	GET /healthz      → 200 "ok"
-//	GET /status       → the Status snapshot as JSON
-//	GET /estimates    → all produced estimates as a JSON array
-//	GET /metrics      → Prometheus text exposition (Config.Telemetry)
-//	GET /debug/pprof/ → the standard pprof handlers
+//	GET  /healthz      → 200 "ok"
+//	GET  /status       → the Status snapshot as JSON
+//	GET  /estimates    → all produced estimates as a JSON array
+//	GET  /metrics      → Prometheus text exposition (Config.Telemetry)
+//	GET  /debug/pprof/ → the standard pprof handlers
+//	POST /promote      → promote a standby to primary (DESIGN.md §14)
 func (s *Server) StatusHandler() http.Handler {
 	mux := http.NewServeMux()
 	telemetry.RegisterDebug(mux, s.cfg.Telemetry)
@@ -79,6 +86,18 @@ func (s *Server) StatusHandler() http.Handler {
 			return
 		}
 		writeJSON(w, s.Estimates())
+	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		epoch, err := s.Promote(0)
+		if err != nil {
+			http.Error(w, "promote: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]uint64{"epoch": epoch})
 	})
 	return mux
 }

@@ -104,3 +104,61 @@ func TestStatusUnknownPath(t *testing.T) {
 		t.Errorf("status = %d", resp.StatusCode)
 	}
 }
+
+// TestPromoteEndpoint: POST /promote turns a standby into a primary and
+// reports the adopted epoch; GET is rejected; promoting a primary is
+// idempotent (same epoch back, no error).
+func TestPromoteEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := startStandby(t, dir, 1)
+	srv := httptest.NewServer(s.StatusHandler())
+	defer srv.Close()
+
+	// Standby state is visible on /status before promotion.
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Standby || st.Epoch != 1 {
+		t.Errorf("pre-promotion status = {standby:%v epoch:%d}, want {true 1}", st.Standby, st.Epoch)
+	}
+
+	if resp, err = http.Get(srv.URL + "/promote"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /promote status = %d", resp.StatusCode)
+	}
+
+	for i := 0; i < 2; i++ { // second POST exercises idempotent re-promotion
+		resp, err = http.Post(srv.URL+"/promote", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]uint64
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out["epoch"] != 2 {
+			t.Errorf("POST /promote #%d = %d %v, want 200 epoch 2", i+1, resp.StatusCode, out)
+		}
+	}
+
+	if resp, err = http.Get(srv.URL + "/status"); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Standby || st.Epoch != 2 {
+		t.Errorf("post-promotion status = {standby:%v epoch:%d}, want {false 2}", st.Standby, st.Epoch)
+	}
+}

@@ -32,6 +32,12 @@ type serverMetrics struct {
 	roundSeconds  *telemetry.Histogram
 	roundAnchors  *telemetry.Histogram
 	sessions      map[wire.Role]*telemetry.Gauge
+
+	replFenced     *telemetry.Counter
+	replApplied    *telemetry.Counter
+	replBatches    *telemetry.Counter
+	replPromotions *telemetry.Counter
+	replEpoch      *telemetry.Gauge
 }
 
 // newServerMetrics builds the server instrument set on reg, or nil when
@@ -66,7 +72,13 @@ func newServerMetrics(reg *telemetry.Registry, clock telemetry.Clock) *serverMet
 			wire.RoleAP:     roleGauge(wire.RoleAP),
 			wire.RoleObject: roleGauge(wire.RoleObject),
 			wire.RoleViewer: roleGauge(wire.RoleViewer),
+			wire.RoleRepl:   roleGauge(wire.RoleRepl),
 		},
+		replFenced:     reg.Counter("nomloc_repl_fenced_total", "replication messages rejected for a stale epoch (split-brain fences)"),
+		replApplied:    reg.Counter("nomloc_repl_applied_records_total", "replicated journal records appended and applied on the standby"),
+		replBatches:    reg.Counter("nomloc_repl_batches_total", "replication batches accepted by the standby"),
+		replPromotions: reg.Counter("nomloc_repl_promotions_total", "standby-to-primary promotions"),
+		replEpoch:      reg.Gauge("nomloc_repl_epoch", "current replication fencing epoch"),
 	}
 }
 
@@ -188,6 +200,39 @@ func (sm *serverMetrics) solved(startedAt time.Time, anchors int, err error) {
 	sm.roundsSolved.Inc()
 	sm.estimates.Inc()
 	sm.roundAnchors.Observe(float64(anchors))
+}
+
+// replFencedMsg counts a replication message rejected for a stale epoch.
+func (sm *serverMetrics) replFencedMsg() {
+	if sm == nil {
+		return
+	}
+	sm.replFenced.Inc()
+}
+
+// replBatchApplied records one accepted batch of n replicated records.
+func (sm *serverMetrics) replBatchApplied(n int) {
+	if sm == nil {
+		return
+	}
+	sm.replBatches.Inc()
+	sm.replApplied.Add(uint64(n))
+}
+
+// replPromoted counts a promotion.
+func (sm *serverMetrics) replPromoted() {
+	if sm == nil {
+		return
+	}
+	sm.replPromotions.Inc()
+}
+
+// replEpochGauge publishes the current fencing epoch.
+func (sm *serverMetrics) replEpochGauge(epoch uint64) {
+	if sm == nil {
+		return
+	}
+	sm.replEpoch.Set(float64(epoch))
 }
 
 // solveSpan opens the trace span covering one localization solve.

@@ -1,0 +1,195 @@
+package server
+
+// Replication handlers (DESIGN.md §14). A standby accepts a primary's
+// ReplHello handshake and ReplBatch streams, appends every record to its
+// own journal with the primary's sequence numbers (AppendRaw), and
+// applies it through replica.Applier — the same journal.State.Apply path
+// crash recovery runs — so the standby's state can never drift from what
+// the primary would recover to.
+//
+// Every replication message carries an epoch. The standby rejects
+// anything announcing an epoch below its own: after a promotion (which
+// always moves strictly above the old primary's epoch) a resurrected old
+// primary is fenced at the handshake and again per batch, closing the
+// split-brain window. Fences are observable as ErrFencedEpoch on the
+// sender and nomloc_repl_fenced_total here.
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nomloc/nomloc/internal/journal"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// Epoch returns the server's current fencing epoch.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Standby reports whether the server is (still) a replication standby.
+func (s *Server) Standby() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.standby
+}
+
+// Promote turns a standby into a serving primary. The new epoch is
+// max(requested, current+1) — always strictly above the epoch the old
+// primary streamed at, so the old primary is fenced the moment it
+// reappears. requested==0 means "next epoch". Promoting a server that is
+// already a primary is a no-op returning the current epoch, so failover
+// drills can re-issue the order idempotently.
+func (s *Server) Promote(requested uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoteLocked(requested)
+}
+
+func (s *Server) promoteLocked(requested uint64) (uint64, error) {
+	if !s.standby {
+		return s.epoch, nil
+	}
+	next := s.epoch + 1
+	if requested > next {
+		next = requested
+	}
+	// Adopt the replicated state before serving: the promoted standby
+	// must resume with exactly the memory a restarted primary would —
+	// report history, the estimate log, and the finished-round window
+	// that makes late round re-announcements idempotent.
+	s.adoptStateLocked(s.applier.State())
+	if s.cfg.Journal.LastSeq() == 0 {
+		// Promoted before the primary ever streamed a record: the
+		// journal is still empty, so this server writes the meta record
+		// itself, exactly as a fresh primary would.
+		if err := s.cfg.Journal.AppendMeta(s.journalMeta()); err != nil {
+			s.crashLocked(err)
+			return 0, err
+		}
+	}
+	s.standby = false
+	s.applier = nil
+	s.epoch = next
+	s.metrics.replPromoted()
+	s.metrics.replEpochGauge(next)
+	s.cfg.Logf("server: promoted to primary at epoch %d", next)
+	return next, nil
+}
+
+// onReplHello negotiates a replication session: verify the sender speaks
+// for the same logical service, fence stale epochs, and hand back the
+// resume point (last durably applied sequence number).
+func (s *Server) onReplHello(sess *session, m *wire.ReplHello) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.ServerID != s.cfg.ID {
+		_ = sess.send(&wire.ReplAck{OK: false, Epoch: s.epoch, Detail: "wrong service"})
+		return fmt.Errorf("repl hello for service %q, this is %q", m.ServerID, s.cfg.ID)
+	}
+	if m.Epoch < s.epoch {
+		s.metrics.replFencedMsg()
+		_ = sess.send(&wire.ReplAck{OK: false, Epoch: s.epoch, Detail: "fenced: stale epoch"})
+		return fmt.Errorf("%w: hello at epoch %d, fenced at %d", ErrFencedEpoch, m.Epoch, s.epoch)
+	}
+	if !s.standby {
+		_ = sess.send(&wire.ReplAck{OK: false, Epoch: s.epoch, Detail: "not a standby"})
+		return fmt.Errorf("%w: repl hello at epoch %d", ErrNotStandby, m.Epoch)
+	}
+	if m.Epoch > s.epoch {
+		// The primary restarted at a higher epoch (e.g. after its own
+		// failback cycle); follow it so our fence stays current.
+		s.epoch = m.Epoch
+		s.metrics.replEpochGauge(s.epoch)
+	}
+	if sess.role != wire.RoleRepl {
+		if sess.role != "" {
+			s.metrics.sessionDown(sess.role)
+		}
+		s.metrics.sessionUp(wire.RoleRepl)
+	}
+	sess.role = wire.RoleRepl
+	sess.id = m.ServerID
+	s.cfg.Logf("server: replication link up at epoch %d, resuming after seq %d", s.epoch, s.applier.Seq())
+	return sess.send(&wire.ReplAck{OK: true, Epoch: s.epoch, Seq: s.applier.Seq()})
+}
+
+// onReplBatch durably appends and applies one batch of replicated
+// records. Records at or below the applied floor are absorbed
+// idempotently (the primary re-sends its unacked tail after a
+// reconnect). The ack carries the new applied floor so the sender can
+// trim its tail.
+func (s *Server) onReplBatch(sess *session, m *wire.ReplBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess.role != wire.RoleRepl {
+		_ = sess.send(&wire.ReplAck{OK: false, Epoch: s.epoch, Detail: "batch before hello"})
+		return errors.New("repl batch before hello")
+	}
+	if m.Epoch < s.epoch {
+		// Promotion can race an in-flight stream: the handshake passed at
+		// the old epoch, then this server promoted. Fence per batch too.
+		s.metrics.replFencedMsg()
+		_ = sess.send(&wire.ReplAck{OK: false, Epoch: s.epoch, Detail: "fenced: stale epoch"})
+		return fmt.Errorf("%w: batch at epoch %d, fenced at %d", ErrFencedEpoch, m.Epoch, s.epoch)
+	}
+	if !s.standby {
+		_ = sess.send(&wire.ReplAck{OK: false, Epoch: s.epoch, Detail: "not a standby"})
+		return fmt.Errorf("%w: repl batch at epoch %d", ErrNotStandby, m.Epoch)
+	}
+	applied := 0
+	for _, r := range m.Records {
+		if r.Seq <= s.applier.Seq() {
+			continue // re-sent tail after a reconnect; already durable here
+		}
+		rec := journal.Record{Seq: r.Seq, Kind: journal.Kind(r.Kind), Payload: r.Payload}
+		if err := s.cfg.Journal.AppendRaw(rec); err != nil {
+			if errors.Is(err, journal.ErrSeqGap) {
+				// The stream skipped ahead (shouldn't happen with a
+				// well-behaved sender): nack with our floor so the sender
+				// reconnects and renegotiates its resume point.
+				_ = sess.send(&wire.ReplAck{OK: false, Epoch: s.epoch, Seq: s.applier.Seq(), Detail: err.Error()})
+				return err
+			}
+			// Local durability failure: the standby's journal and state
+			// can no longer be guaranteed to agree. Same policy as the
+			// primary's append path — halt and recover on restart.
+			s.crashLocked(err)
+			return err
+		}
+		if err := s.applier.Apply(rec); err != nil {
+			// The record is durable but unapplicable (payload decode
+			// failure): state and log have diverged.
+			s.crashLocked(err)
+			return err
+		}
+		if rec.Kind == journal.KindMeta {
+			// First replicated record: the primary's meta must match this
+			// standby's configuration, or every later solve replays under
+			// the wrong geometry.
+			if err := metaMatches(s.applier.State().Meta, s.journalMeta()); err != nil {
+				s.crashLocked(err)
+				return err
+			}
+		}
+		applied++
+	}
+	s.metrics.replBatchApplied(applied)
+	return sess.send(&wire.ReplAck{OK: true, Epoch: s.epoch, Seq: s.applier.Seq()})
+}
+
+// onPromote handles a wire-level promotion order (the failover drill and
+// operator tooling path; in-process callers use Promote directly).
+func (s *Server) onPromote(sess *session, m *wire.Promote) error {
+	s.mu.Lock()
+	epoch, err := s.promoteLocked(m.Epoch)
+	cur := s.epoch
+	s.mu.Unlock()
+	if err != nil {
+		_ = sess.send(&wire.ReplAck{OK: false, Epoch: cur, Detail: err.Error()})
+		return err
+	}
+	return sess.send(&wire.ReplAck{OK: true, Epoch: epoch})
+}

@@ -1,0 +1,282 @@
+package server
+
+// White-box tests for the standby/replication handlers: handshake,
+// fencing, idempotent batch absorption, and promotion. The wire-level
+// conversations are hand-driven so each assertion pins one protocol
+// obligation; the full failover conformance run (crash a primary
+// mid-round, promote, byte-identical estimates) lives in internal/chaos.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/nomloc/nomloc/internal/geom"
+	"github.com/nomloc/nomloc/internal/journal"
+	"github.com/nomloc/nomloc/internal/telemetry"
+	"github.com/nomloc/nomloc/internal/wire"
+)
+
+// startStandby runs a journal-backed standby server on an ephemeral port.
+func startStandby(t *testing.T, dir string, epoch uint64) (*Server, string) {
+	t.Helper()
+	j := openJournal(t, dir)
+	t.Cleanup(func() { _ = j.Close() })
+	return startServer(t, Config{
+		Localizer: testLocalizer(t),
+		Journal:   j,
+		Standby:   true,
+		Epoch:     epoch,
+		Telemetry: telemetry.New(func() time.Time { return time.Unix(0, 0) }),
+	})
+}
+
+// replHello performs a replication handshake and returns the ack.
+func replHello(t *testing.T, conn net.Conn, serverID string, epoch uint64) *wire.ReplAck {
+	t.Helper()
+	if err := wire.WriteMessage(conn, &wire.ReplHello{ServerID: serverID, Epoch: epoch}); err != nil {
+		t.Fatal(err)
+	}
+	return readReplAck(t, conn)
+}
+
+// readReplAck reads frames until a ReplAck arrives, skipping the
+// advisory ErrorMsg the server pairs with every NACK.
+func readReplAck(t *testing.T, conn net.Conn) *wire.ReplAck {
+	t.Helper()
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			t.Fatalf("read ack: %v", err)
+		}
+		switch m := msg.(type) {
+		case *wire.ReplAck:
+			return m
+		case *wire.ErrorMsg:
+			// Advisory; the ack follows (or preceded it).
+		default:
+			t.Fatalf("got %q, want repl_ack", msg.Type())
+		}
+	}
+}
+
+// sendBatch ships one ReplBatch and returns the ack.
+func sendBatch(t *testing.T, conn net.Conn, epoch uint64, recs []wire.ReplRecord) *wire.ReplAck {
+	t.Helper()
+	if err := wire.WriteMessage(conn, &wire.ReplBatch{Epoch: epoch, Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	return readReplAck(t, conn)
+}
+
+// primaryRecords runs a short journaled primary session and returns every
+// record in its journal as wire records, plus the directory.
+func primaryRecords(t *testing.T) ([]wire.ReplRecord, string) {
+	t.Helper()
+	dir := t.TempDir()
+	runJournaledSession(t, dir, 2)
+	tail, err := journal.TailDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	var recs []wire.ReplRecord
+	for {
+		rec, done, err := tail.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return recs, dir
+		}
+		recs = append(recs, wire.ReplRecord{Seq: rec.Seq, Kind: uint8(rec.Kind), Payload: rec.Payload})
+	}
+}
+
+func TestStandbyRequiresJournal(t *testing.T) {
+	if _, err := New(Config{Localizer: testLocalizer(t), Standby: true}); !errors.Is(err, ErrStandbyNeedsJournal) {
+		t.Errorf("err = %v, want ErrStandbyNeedsJournal", err)
+	}
+}
+
+func TestStandbyRejectsAgents(t *testing.T) {
+	_, addr := startStandby(t, t.TempDir(), 1)
+	conn := dialRaw(t, addr)
+	ack := hello(t, conn, &wire.Hello{Role: wire.RoleAP, ID: "ap1", Pos: geom.V(1, 1)})
+	if ack.OK {
+		t.Fatal("standby accepted an agent hello")
+	}
+}
+
+// TestStandbyReplicationApplies streams a real primary journal into a
+// standby batch by batch and checks the applied floor, idempotent
+// re-delivery, and that the standby's journal directory recovers to the
+// identical state.
+func TestStandbyReplicationApplies(t *testing.T) {
+	recs, primaryDir := primaryRecords(t)
+	if len(recs) < 4 {
+		t.Fatalf("primary session wrote only %d records", len(recs))
+	}
+	standbyDir := t.TempDir()
+	s, addr := startStandby(t, standbyDir, 1)
+
+	conn := dialRaw(t, addr)
+	ack := replHello(t, conn, "nomloc-server", 1)
+	if !ack.OK || ack.Seq != 0 || ack.Epoch != 1 {
+		t.Fatalf("handshake ack = %+v", ack)
+	}
+
+	// Ship in two batches, the second overlapping the first (a re-sent
+	// tail after a reconnect): the overlap must be absorbed silently.
+	mid := len(recs) / 2
+	if ack := sendBatch(t, conn, 1, recs[:mid]); !ack.OK || ack.Seq != recs[mid-1].Seq {
+		t.Fatalf("first batch ack = %+v", ack)
+	}
+	if ack := sendBatch(t, conn, 1, recs); !ack.OK || ack.Seq != recs[len(recs)-1].Seq {
+		t.Fatalf("overlapping batch ack = %+v", ack)
+	}
+	if got := s.applier.Seq(); got != recs[len(recs)-1].Seq {
+		t.Errorf("applier floor = %d, want %d", got, recs[len(recs)-1].Seq)
+	}
+	if dup := s.metrics.replApplied.Value(); dup != float64(len(recs)) {
+		t.Errorf("applied counter = %v, want %d (idempotent re-delivery must not recount)", dup, len(recs))
+	}
+
+	// A batch that skips ahead renegotiates instead of crashing: the nack
+	// carries the floor and the session survives.
+	gap := []wire.ReplRecord{{Seq: recs[len(recs)-1].Seq + 5, Kind: uint8(journal.KindSessionOpen), Payload: []byte(`{"role":"ap","id":"x"}`)}}
+	if ack := sendBatch(t, conn, 1, gap); ack.OK || ack.Seq != recs[len(recs)-1].Seq {
+		t.Fatalf("gap batch ack = %+v", ack)
+	}
+
+	// The standby's journal directory must recover to the primary's exact
+	// state: same sequences, same contents.
+	s.Shutdown()
+	want, _, err := journal.ReadState(primaryDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := journal.ReadState(standbyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Seq != got.Seq || len(want.Estimates) != len(got.Estimates) {
+		t.Fatalf("standby state (seq %d, %d estimates) != primary (seq %d, %d estimates)",
+			got.Seq, len(got.Estimates), want.Seq, len(want.Estimates))
+	}
+}
+
+// TestStandbyFencesStaleEpoch: handshakes and batches below the
+// standby's epoch are rejected with the typed error, the counter
+// increments, and the ack names the winning epoch.
+func TestStandbyFencesStaleEpoch(t *testing.T) {
+	s, addr := startStandby(t, t.TempDir(), 5)
+
+	conn := dialRaw(t, addr)
+	ack := replHello(t, conn, "nomloc-server", 3)
+	if ack.OK || ack.Epoch != 5 {
+		t.Fatalf("stale hello ack = %+v, want rejection naming epoch 5", ack)
+	}
+	if n := s.metrics.replFenced.Value(); n != 1 {
+		t.Errorf("fenced counter = %v, want 1", n)
+	}
+
+	// A session that handshook at the current epoch but ships an older
+	// one per batch (promotion raced the stream) is fenced per batch.
+	conn2 := dialRaw(t, addr)
+	if ack := replHello(t, conn2, "nomloc-server", 5); !ack.OK {
+		t.Fatalf("current-epoch hello rejected: %s", ack.Detail)
+	}
+	if ack := sendBatch(t, conn2, 4, nil); ack.OK || ack.Epoch != 5 {
+		t.Fatalf("stale batch ack = %+v", ack)
+	}
+	if n := s.metrics.replFenced.Value(); n != 2 {
+		t.Errorf("fenced counter = %v, want 2", n)
+	}
+
+	// Wrong service name is a plain rejection, not a fence.
+	conn3 := dialRaw(t, addr)
+	if ack := replHello(t, conn3, "other-service", 5); ack.OK {
+		t.Fatal("wrong service accepted")
+	}
+	if n := s.metrics.replFenced.Value(); n != 2 {
+		t.Errorf("fenced counter moved on a non-fence rejection: %v", n)
+	}
+}
+
+// TestPromotionServesReplicatedState: a standby that absorbed a primary's
+// stream promotes, starts serving agents, remembers finished rounds
+// (re-announcement yields the recorded estimate, not a duplicate solve),
+// and fences the deposed primary.
+func TestPromotionServesReplicatedState(t *testing.T) {
+	recs, _ := primaryRecords(t)
+	s, addr := startStandby(t, t.TempDir(), 1)
+
+	repl := dialRaw(t, addr)
+	if ack := replHello(t, repl, "nomloc-server", 1); !ack.OK {
+		t.Fatalf("hello rejected: %s", ack.Detail)
+	}
+	if ack := sendBatch(t, repl, 1, recs); !ack.OK {
+		t.Fatalf("batch rejected: %s", ack.Detail)
+	}
+
+	// Promote over the wire; epoch must move strictly past the primary's.
+	if err := wire.WriteMessage(repl, &wire.Promote{}); err != nil {
+		t.Fatal(err)
+	}
+	ack := readReplAck(t, repl)
+	if !ack.OK || ack.Epoch != 2 {
+		t.Fatalf("promote ack = %+v, want OK at epoch 2", ack)
+	}
+	if s.Standby() || s.Epoch() != 2 {
+		t.Fatalf("standby=%v epoch=%d after promotion", s.Standby(), s.Epoch())
+	}
+	if n := s.metrics.replPromotions.Value(); n != 1 {
+		t.Errorf("promotions counter = %v, want 1", n)
+	}
+	// Re-promotion is a no-op.
+	if epoch, err := s.Promote(0); err != nil || epoch != 2 {
+		t.Errorf("re-promote = (%d, %v), want (2, nil)", epoch, err)
+	}
+
+	// The deposed primary reconnects at its old epoch and is fenced.
+	stale := dialRaw(t, addr)
+	if ack := replHello(t, stale, "nomloc-server", 1); ack.OK || ack.Epoch != 2 {
+		t.Fatalf("deposed primary ack = %+v, want fence at epoch 2", ack)
+	}
+	if n := s.metrics.replFenced.Value(); n != 1 {
+		t.Errorf("fenced counter = %v, want 1", n)
+	}
+
+	// Agents register now, and a round the dead primary already solved
+	// replays its recorded estimate instead of re-solving.
+	object := dialRaw(t, addr)
+	if ack := hello(t, object, &wire.Hello{Role: wire.RoleObject, ID: "obj1"}); !ack.OK {
+		t.Fatalf("object rejected after promotion: %s", ack.Detail)
+	}
+	if err := wire.WriteMessage(object, &wire.RoundStart{RoundID: 1, ObjectID: "obj1", Packets: 2}); err != nil {
+		t.Fatal(err)
+	}
+	est := expectMsg[*wire.Estimate](t, object)
+	if est.RoundID != 1 {
+		t.Fatalf("replayed estimate for round %d, want 1", est.RoundID)
+	}
+	wantEst := s.Estimates()
+	if len(wantEst) == 0 || wantEst[0].RoundID != 1 || est.Pos != wantEst[0].Pos {
+		t.Fatalf("replayed estimate %+v does not match adopted history %+v", est, wantEst)
+	}
+}
+
+// TestPromoteFreshStandby: promoting a standby that never received a
+// record produces a working fresh primary (it writes its own meta).
+func TestPromoteFreshStandby(t *testing.T) {
+	s, addr := startStandby(t, t.TempDir(), 1)
+	if epoch, err := s.Promote(7); err != nil || epoch != 7 {
+		t.Fatalf("promote = (%d, %v), want (7, nil)", epoch, err)
+	}
+	conn := dialRaw(t, addr)
+	if ack := hello(t, conn, &wire.Hello{Role: wire.RoleObject, ID: "obj"}); !ack.OK {
+		t.Fatalf("fresh promoted primary rejected agent: %s", ack.Detail)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/nomloc/nomloc/internal/core"
 	"github.com/nomloc/nomloc/internal/journal"
 	"github.com/nomloc/nomloc/internal/parallel"
+	"github.com/nomloc/nomloc/internal/replica"
 	"github.com/nomloc/nomloc/internal/telemetry"
 	"github.com/nomloc/nomloc/internal/wire"
 )
@@ -67,6 +68,18 @@ type Config struct {
 	// grows until the caller snapshots manually). Ignored without
 	// Journal.
 	JournalSnapshotEvery int
+	// Standby starts the server as a replication standby (DESIGN.md
+	// §14): it rejects agent sessions, accepts a primary's replication
+	// stream, and appends + applies each replicated record so its state
+	// tracks the primary's exactly. A Promote message (or the Promote
+	// method) turns it into a serving primary at a higher epoch.
+	// Requires Journal — the standby's copy must be durable too.
+	Standby bool
+	// Epoch is the fencing epoch the server starts at (defaults to 1).
+	// Replication handshakes and batches announcing a lower epoch are
+	// rejected — the split-brain guard. Promotion always moves to an
+	// epoch strictly above the old primary's.
+	Epoch uint64
 }
 
 // Server errors.
@@ -83,6 +96,16 @@ var (
 	// under different retention or solve geometry than it was written
 	// with.
 	ErrJournalMismatch = errors.New("server: journal meta does not match config")
+	// ErrStandbyNeedsJournal rejects a standby configuration without a
+	// journal: a standby's whole job is keeping a durable copy.
+	ErrStandbyNeedsJournal = errors.New("server: standby mode requires a journal")
+	// ErrFencedEpoch marks a replication message from a stale epoch — a
+	// deposed primary trying to stream after a promotion. The sender
+	// must stop; retrying would be split-brain.
+	ErrFencedEpoch = errors.New("server: fenced: stale replication epoch")
+	// ErrNotStandby marks a replication or promotion message sent to a
+	// server that is not (or no longer) a standby.
+	ErrNotStandby = errors.New("server: not a standby")
 )
 
 // maxFinishedRounds bounds the finished-round memory used to absorb
@@ -108,6 +131,9 @@ type Server struct {
 	history   map[string][]*wire.CSIReport // per object: accumulated reports
 	estimates []wire.Estimate
 	sinceSnap int // rounds solved since the last automatic snapshot
+	standby   bool
+	epoch     uint64
+	applier   *replica.Applier // standby apply loop; nil on a primary
 	closed    bool
 
 	wg sync.WaitGroup
@@ -159,6 +185,12 @@ func New(cfg Config) (*Server, error) {
 			cfg.Clock = telemetry.WallClock
 		}
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	if cfg.Standby && cfg.Journal == nil {
+		return nil, ErrStandbyNeedsJournal
+	}
 	s := &Server{
 		cfg:      cfg,
 		gate:     parallel.NewGate(cfg.Workers),
@@ -169,6 +201,8 @@ func New(cfg Config) (*Server, error) {
 		rounds:   make(map[uint64]*round),
 		finished: make(map[uint64]struct{}),
 		history:  make(map[string][]*wire.CSIReport),
+		standby:  cfg.Standby,
+		epoch:    cfg.Epoch,
 	}
 	s.gate.Instrument(telemetry.NewPoolMetrics(cfg.Telemetry, "nomloc_server_pool"))
 	if cfg.Journal != nil {
@@ -176,6 +210,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.metrics.replEpochGauge(s.epoch)
 	return s, nil
 }
 
@@ -195,6 +230,21 @@ func (s *Server) journalMeta() journal.Meta {
 // resume with full memory.
 func (s *Server) restoreFromJournal() error {
 	j := s.cfg.Journal
+	if s.cfg.Standby {
+		// A standby never appends locally — every record in its journal
+		// must come from the primary's stream with the primary's sequence
+		// numbers, or the two directories stop being interchangeable. A
+		// fresh standby journal therefore stays empty (the meta record
+		// arrives as the first replicated record); a recovered one must
+		// already match the configuration.
+		if !j.Fresh() {
+			if err := metaMatches(j.State().Meta, s.journalMeta()); err != nil {
+				return err
+			}
+		}
+		s.applier = replica.NewApplier(j.State())
+		return nil
+	}
 	if j.Fresh() {
 		if err := j.AppendMeta(s.journalMeta()); err != nil {
 			return err
@@ -205,6 +255,20 @@ func (s *Server) restoreFromJournal() error {
 	if err := metaMatches(st.Meta, s.journalMeta()); err != nil {
 		return err
 	}
+	// Recovery runs before the server is shared, but adoptStateLocked's
+	// contract is the mutex, so take it rather than special-case.
+	s.mu.Lock()
+	s.adoptStateLocked(st)
+	s.mu.Unlock()
+	return nil
+}
+
+// adoptStateLocked seeds the server's in-memory maps from a journal
+// state: report history, the estimate log, and the finished-round window.
+// Shared by crash recovery (restoreFromJournal) and standby promotion,
+// so a promoted standby resumes with exactly the memory a restarted
+// primary would. Called with s.mu held (or before the server is shared).
+func (s *Server) adoptStateLocked(st *journal.State) {
 	for _, oh := range st.History {
 		s.history[oh.ObjectID] = append([]*wire.CSIReport(nil), oh.Reports...)
 	}
@@ -216,7 +280,6 @@ func (s *Server) restoreFromJournal() error {
 		s.finished[id] = struct{}{}
 		s.finishedQ = append(s.finishedQ, id)
 	}
-	return nil
 }
 
 // metaMatches verifies a recovered meta record against the configured
@@ -374,10 +437,12 @@ func (s *Server) handle(sess *session) {
 		if sess.role == wire.RoleObject && s.objects[sess.id] == sess {
 			delete(s.objects, sess.id)
 		}
-		if s.cfg.Journal != nil && sess.role != "" && !s.closed {
-			// Skipped during shutdown: handler teardown order is
+		if s.cfg.Journal != nil && sess.role != "" && sess.role != wire.RoleRepl && !s.standby && !s.closed {
+			// Skipped during shutdown (handler teardown order is
 			// scheduler-dependent there, and the journal's byte stream
-			// must not depend on it.
+			// must not depend on it), for replication links (they are
+			// infrastructure, not agents), and on a standby (a standby
+			// never appends locally — see restoreFromJournal).
 			if err := s.cfg.Journal.AppendSessionClose(sess.role, sess.id); err != nil {
 				s.crashLocked(err)
 			}
@@ -430,6 +495,12 @@ func (s *Server) dispatch(sess *session, msg wire.Message) error {
 		return s.onPositionUpdate(m)
 	case *wire.CSIReport:
 		return s.onCSIReport(sess, m)
+	case *wire.ReplHello:
+		return s.onReplHello(sess, m)
+	case *wire.ReplBatch:
+		return s.onReplBatch(sess, m)
+	case *wire.Promote:
+		return s.onPromote(sess, m)
 	default:
 		return fmt.Errorf("unexpected message %q", msg.Type())
 	}
@@ -438,6 +509,13 @@ func (s *Server) dispatch(sess *session, msg wire.Message) error {
 func (s *Server) onHello(sess *session, m *wire.Hello) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.standby {
+		// A standby serves no agents. Rejecting the handshake (rather
+		// than hanging) lets the agent's failover dial list rotate to
+		// the primary immediately.
+		_ = sess.send(&wire.HelloAck{OK: false, ServerID: s.cfg.ID, Detail: "standby: not serving agents"})
+		return fmt.Errorf("standby: rejecting %s hello", m.Role)
+	}
 	if m.ID == "" {
 		_ = sess.send(&wire.HelloAck{OK: false, ServerID: s.cfg.ID, Detail: "empty id"})
 		return errors.New("hello with empty id")

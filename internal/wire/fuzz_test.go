@@ -52,6 +52,10 @@ func FuzzReadMessage(f *testing.F) {
 		}},
 		&Estimate{RoundID: 7, ObjectID: "obj", Pos: geom.V(3, 4), RelaxCost: 0.5, NumAnchors: 6},
 		&ErrorMsg{Detail: "boom"},
+		&ReplHello{ServerID: "srv", Epoch: 3},
+		&ReplBatch{Epoch: 3, Records: []ReplRecord{{Seq: 9, Kind: 4, Payload: []byte{0, 1, 2}}}},
+		&ReplAck{OK: true, Epoch: 3, Seq: 9},
+		&Promote{Epoch: 4},
 	}
 	for _, msg := range seeds {
 		f.Add(encode(f, msg))
@@ -110,6 +114,10 @@ func FuzzCorruptedFrames(f *testing.F) {
 			Samples: []csi.Sample{{APID: "ap1", Seq: 0, CSI: csi.Vector{1, 2i}}},
 		}}),
 		encode(f, &Estimate{RoundID: 7, ObjectID: "obj", Pos: geom.V(3, 4), RelaxCost: 0.5, NumAnchors: 6}),
+		encode(f, &ReplHello{ServerID: "srv", Epoch: 3}),
+		encode(f, &ReplBatch{Epoch: 3, Records: []ReplRecord{{Seq: 9, Kind: 4, Payload: []byte{0xde, 0xad}}}}),
+		encode(f, &ReplAck{OK: false, Epoch: 4, Seq: 9, Detail: "fenced: stale epoch"}),
+		encode(f, &Promote{Epoch: 4}),
 	}
 	for i, data := range seeds {
 		f.Add(data, int64(i+1), 1)

@@ -1,7 +1,8 @@
 //go:build ignore
 
-// gen_corpus.go regenerates the checked-in seed corpus for
-// FuzzReadMessage. Run from the package directory:
+// gen_corpus.go regenerates the checked-in seed corpora for
+// FuzzReadMessage and the replication-message entries of
+// FuzzCorruptedFrames. Run from the package directory:
 //
 //	go run testdata/gen_corpus.go
 package main
@@ -47,6 +48,10 @@ func main() {
 		}}),
 		encode(&wire.Estimate{RoundID: 7, ObjectID: "obj", Pos: geom.V(3, 4), RelaxCost: 0.5, NumAnchors: 6}),
 		encode(&wire.ErrorMsg{Detail: "boom"}),
+		encode(&wire.ReplHello{ServerID: "srv", Epoch: 3}),
+		encode(&wire.ReplBatch{Epoch: 3, Records: []wire.ReplRecord{{Seq: 9, Kind: 4, Payload: []byte{0xde, 0xad}}}}),
+		encode(&wire.ReplAck{OK: false, Epoch: 4, Seq: 9, Detail: "fenced: stale epoch"}),
+		encode(&wire.Promote{Epoch: 4}),
 		{0, 0},
 		{0xff, 0xff, 0xff, 0xff},
 		frame([]byte("not json")),
@@ -65,4 +70,31 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %d corpus entries to %s\n", len(seeds), dir)
+
+	// FuzzCorruptedFrames takes (data, seed, flips) triples; seed-01..03
+	// are hand-written and left alone, the replication messages start at
+	// seed-04.
+	type corrupted struct {
+		data  []byte
+		seed  int64
+		flips int
+	}
+	replSeeds := []corrupted{
+		{encode(&wire.ReplHello{ServerID: "srv", Epoch: 3}), 11, 2},
+		{encode(&wire.ReplBatch{Epoch: 3, Records: []wire.ReplRecord{{Seq: 9, Kind: 4, Payload: []byte{0xde, 0xad}}}}), 12, 5},
+		{encode(&wire.ReplAck{OK: false, Epoch: 4, Seq: 9, Detail: "fenced: stale epoch"}), 13, 3},
+		{encode(&wire.Promote{Epoch: 4}), 14, 1},
+	}
+	dir = filepath.Join("testdata", "fuzz", "FuzzCorruptedFrames")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range replSeeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nint64(%d)\nint(%d)\n", c.data, c.seed, c.flips)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i+4))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d corpus entries to %s\n", len(replSeeds), dir)
 }

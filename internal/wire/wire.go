@@ -32,6 +32,10 @@ const (
 	TypeReportAck      MsgType = "report_ack"
 	TypeEstimate       MsgType = "estimate"
 	TypeError          MsgType = "error"
+	TypeReplHello      MsgType = "repl_hello"
+	TypeReplBatch      MsgType = "repl_batch"
+	TypeReplAck        MsgType = "repl_ack"
+	TypePromote        MsgType = "promote"
 )
 
 // Role identifies what kind of agent a connection belongs to.
@@ -42,6 +46,9 @@ const (
 	RoleAP     Role = "ap"
 	RoleObject Role = "object"
 	RoleViewer Role = "viewer"
+	// RoleRepl marks a replication link from a primary server streaming
+	// its journal to a standby.
+	RoleRepl Role = "repl"
 )
 
 // Protocol limits and errors.
@@ -200,6 +207,75 @@ type ErrorMsg struct {
 // Type implements Message.
 func (*ErrorMsg) Type() MsgType { return TypeError }
 
+// ReplHello opens a replication link from a primary to a standby. The
+// standby answers with a ReplAck whose Seq is the last journal sequence
+// it has durably applied — the primary resumes streaming from there.
+type ReplHello struct {
+	// ServerID names the logical localization service both sides serve.
+	// A standby rejects a primary announcing a different service.
+	ServerID string `json:"serverId"`
+	// Epoch is the primary's fencing epoch. A standby that has promoted
+	// to a higher epoch rejects the hello: the sender is a stale primary.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Type implements Message.
+func (*ReplHello) Type() MsgType { return TypeReplHello }
+
+// ReplRecord is one journal record in transit. Payload rides as base64
+// through the JSON envelope; Kind mirrors journal record kinds without
+// importing the journal package.
+type ReplRecord struct {
+	// Seq is the record's journal sequence number.
+	Seq uint64 `json:"seq"`
+	// Kind is the journal record kind.
+	Kind uint8 `json:"kind"`
+	// Payload is the record body, exactly as journaled.
+	Payload []byte `json:"payload"`
+}
+
+// ReplBatch carries a contiguous run of journal records from the primary
+// to the standby. The standby acks the batch only after every record is
+// durable in its own journal AND applied to its state.
+type ReplBatch struct {
+	// Epoch is the sending primary's fencing epoch, re-checked per batch
+	// so a promotion mid-stream fences the rest of the stream too.
+	Epoch uint64 `json:"epoch"`
+	// Records are the journal records, ascending contiguous Seq.
+	Records []ReplRecord `json:"records"`
+}
+
+// Type implements Message.
+func (*ReplBatch) Type() MsgType { return TypeReplBatch }
+
+// ReplAck answers a ReplHello, ReplBatch, or Promote.
+type ReplAck struct {
+	// OK reports acceptance. False with a higher Epoch means the sender
+	// is fenced and must stop replicating.
+	OK bool `json:"ok"`
+	// Epoch is the receiver's current fencing epoch.
+	Epoch uint64 `json:"epoch"`
+	// Seq is the last journal sequence the receiver has durably applied.
+	Seq uint64 `json:"seq"`
+	// Detail carries a rejection reason when OK is false.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Type implements Message.
+func (*ReplAck) Type() MsgType { return TypeReplAck }
+
+// Promote orders a standby to become the primary. The standby adopts
+// max(Epoch, its epoch+1) as its new fencing epoch — strictly above every
+// epoch the old primary ever used — and begins accepting agent sessions.
+type Promote struct {
+	// Epoch is the requested new epoch; 0 lets the standby pick its
+	// current epoch + 1.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Type implements Message.
+func (*Promote) Type() MsgType { return TypePromote }
+
 // Compile-time interface checks.
 var (
 	_ Message = (*Hello)(nil)
@@ -211,6 +287,10 @@ var (
 	_ Message = (*ReportAck)(nil)
 	_ Message = (*Estimate)(nil)
 	_ Message = (*ErrorMsg)(nil)
+	_ Message = (*ReplHello)(nil)
+	_ Message = (*ReplBatch)(nil)
+	_ Message = (*ReplAck)(nil)
+	_ Message = (*Promote)(nil)
 )
 
 // envelope is the on-wire frame body.
@@ -240,6 +320,14 @@ func newByType(t MsgType) (Message, error) {
 		return &Estimate{}, nil
 	case TypeError:
 		return &ErrorMsg{}, nil
+	case TypeReplHello:
+		return &ReplHello{}, nil
+	case TypeReplBatch:
+		return &ReplBatch{}, nil
+	case TypeReplAck:
+		return &ReplAck{}, nil
+	case TypePromote:
+		return &Promote{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownType, t)
 	}
@@ -284,6 +372,30 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, frame); err != nil {
 		return nil, fmt.Errorf("wire: read frame body: %w", err)
 	}
+	return decodeFrame(frame)
+}
+
+// DecodeMessage decodes one framed message from an in-memory buffer: the
+// length prefix must describe the remainder exactly. It is the io-free
+// twin of ReadMessage for payloads already in memory — the journal
+// replay path decodes stored reports through it, keeping the replay
+// effect set clean of io (analysis.GateForbidden).
+func DecodeMessage(buf []byte) (Message, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: short frame header", ErrBadMessage)
+	}
+	n := binary.BigEndian.Uint32(buf[:4])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if uint32(len(buf)-4) != n {
+		return nil, fmt.Errorf("%w: frame length %d, buffer holds %d", ErrBadMessage, n, len(buf)-4)
+	}
+	return decodeFrame(buf[4:])
+}
+
+// decodeFrame unmarshals one frame body (the JSON envelope).
+func decodeFrame(frame []byte) (Message, error) {
 	var env envelope
 	if err := json.Unmarshal(frame, &env); err != nil {
 		return nil, fmt.Errorf("%w: envelope: %v", ErrBadMessage, err)

@@ -266,3 +266,43 @@ func TestWriteReadManyRandomVectors(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeMessage: the in-memory twin of ReadMessage accepts exactly
+// one whole frame and rejects everything else — short headers, truncated
+// bodies, and trailing bytes (a stream decoder would absorb the latter;
+// the journal's stored payloads must not).
+func TestDecodeMessage(t *testing.T) {
+	var buf bytes.Buffer
+	want := &CSIReport{RoundID: 9, APID: "ap1"}
+	if err := WriteMessage(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+
+	msg, err := DecodeMessage(frame)
+	if err != nil {
+		t.Fatalf("DecodeMessage: %v", err)
+	}
+	got, ok := msg.(*CSIReport)
+	if !ok || got.RoundID != want.RoundID || got.APID != want.APID {
+		t.Errorf("decoded %#v, want %#v", msg, want)
+	}
+
+	for name, b := range map[string][]byte{
+		"short header":   frame[:3],
+		"truncated body": frame[:len(frame)-1],
+		"trailing bytes": append(append([]byte(nil), frame...), 'x'),
+	} {
+		if _, err := DecodeMessage(b); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("%s: err = %v, want ErrBadMessage", name, err)
+		}
+	}
+
+	// A length prefix beyond the frame cap is the size error, not a
+	// decode error, matching ReadMessage.
+	huge := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(huge[:4], MaxFrameBytes+1)
+	if _, err := DecodeMessage(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+}
